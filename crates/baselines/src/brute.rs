@@ -1,0 +1,133 @@
+//! Brute-force oracles: the ground truth every engine is tested against.
+
+use spade_geometry::distance::point_polygon_distance;
+use spade_geometry::predicates::{point_in_polygon, polygons_intersect};
+use spade_geometry::{Point, Polygon};
+
+/// Ids of points inside the polygon (boundary inclusive).
+pub fn select_points(points: &[Point], poly: &Polygon) -> Vec<u32> {
+    let bb = poly.bbox();
+    points
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| bb.contains(**p) && point_in_polygon(**p, poly))
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+/// Ids of polygons intersecting the constraint polygon.
+pub fn select_polygons(polys: &[Polygon], constraint: &Polygon) -> Vec<u32> {
+    polys
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| polygons_intersect(p, constraint))
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+/// All `(polygon index, point index)` containment pairs.
+pub fn join_polygon_point(polys: &[Polygon], points: &[Point]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    for (i, poly) in polys.iter().enumerate() {
+        let bb = poly.bbox();
+        for (j, p) in points.iter().enumerate() {
+            if bb.contains(*p) && point_in_polygon(*p, poly) {
+                out.push((i as u32, j as u32));
+            }
+        }
+    }
+    out
+}
+
+/// All intersecting `(left index, right index)` polygon pairs.
+pub fn join_polygon_polygon(a: &[Polygon], b: &[Polygon]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    for (i, pa) in a.iter().enumerate() {
+        for (j, pb) in b.iter().enumerate() {
+            if polygons_intersect(pa, pb) {
+                out.push((i as u32, j as u32));
+            }
+        }
+    }
+    out
+}
+
+/// All `(left, right)` point pairs within distance `r`.
+pub fn distance_join(left: &[Point], right: &[Point], r: f64) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    for (i, a) in left.iter().enumerate() {
+        for (j, b) in right.iter().enumerate() {
+            if a.dist(*b) <= r {
+                out.push((i as u32, j as u32));
+            }
+        }
+    }
+    out
+}
+
+/// The k nearest points to `q`, nearest first.
+pub fn knn(points: &[Point], q: Point, k: usize) -> Vec<(u32, f64)> {
+    let mut all: Vec<(u32, f64)> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (i as u32, p.dist(q)))
+        .collect();
+    all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    all.truncate(k);
+    all
+}
+
+/// Point count per polygon.
+pub fn aggregate(polys: &[Polygon], points: &[Point]) -> Vec<(u32, u64)> {
+    polys
+        .iter()
+        .enumerate()
+        .map(|(i, poly)| {
+            let bb = poly.bbox();
+            let c = points
+                .iter()
+                .filter(|p| bb.contains(**p) && point_in_polygon(**p, poly))
+                .count() as u64;
+            (i as u32, c)
+        })
+        .collect()
+}
+
+/// Points within distance `r` of a polygon.
+pub fn select_within_distance(points: &[Point], poly: &Polygon, r: f64) -> Vec<u32> {
+    points
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| point_polygon_distance(**p, poly) <= r)
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spade_geometry::BBox;
+
+    #[test]
+    fn oracles_agree_on_a_tiny_case() {
+        let poly = Polygon::rect(BBox::new(Point::ZERO, Point::new(2.0, 2.0)));
+        let pts = vec![Point::new(1.0, 1.0), Point::new(5.0, 5.0)];
+        assert_eq!(select_points(&pts, &poly), vec![0]);
+        assert_eq!(join_polygon_point(&[poly.clone()], &pts), vec![(0, 0)]);
+        assert_eq!(aggregate(&[poly.clone()], &pts), vec![(0, 1)]);
+        assert_eq!(knn(&pts, Point::ZERO, 1)[0].0, 0);
+        assert_eq!(distance_join(&pts, &pts, 0.1).len(), 2);
+        assert_eq!(select_within_distance(&pts, &poly, 5.0).len(), 2);
+        assert_eq!(
+            select_polygons(&[poly.clone()], &Polygon::rect(BBox::new(
+                Point::new(1.0, 1.0),
+                Point::new(3.0, 3.0)
+            ))),
+            vec![0]
+        );
+        assert_eq!(
+            join_polygon_polygon(&[poly.clone()], &[poly]).len(),
+            1
+        );
+    }
+}

@@ -1,0 +1,484 @@
+//! An S2-like in-memory spatial library.
+//!
+//! The paper's large-memory-server baseline is Google's S2 library with
+//! `S2PointIndex` / `S2ShapeIndex` (§6.1). The behavioural properties the
+//! evaluation leans on are reproduced here:
+//!
+//! * a **point index** over hierarchical cells (points sorted by cell id,
+//!   queried by recursive cell covering) that is *purpose-built for
+//!   distance and kNN queries* — the paper finds S2 fastest on those;
+//! * query time that grows with result size (S2's time "is dependent on
+//!   the result size", §6.4);
+//! * a **shape index** (gridded polygon buckets) for polygon data;
+//! * strictly in-memory operation.
+
+use spade_geometry::predicates::{point_in_polygon, polygons_intersect, segments_intersect};
+use spade_geometry::{BBox, Point, Polygon, Segment};
+
+/// Maximum subdivision depth of the cell hierarchy.
+const MAX_LEVEL: u32 = 14;
+
+/// Interleave the low 16 bits of x and y into a Morton code.
+fn morton(x: u32, y: u32) -> u64 {
+    fn spread(mut v: u64) -> u64 {
+        v &= 0xffff;
+        v = (v | (v << 8)) & 0x00ff00ff;
+        v = (v | (v << 4)) & 0x0f0f0f0f;
+        v = (v | (v << 2)) & 0x33333333;
+        v = (v | (v << 1)) & 0x55555555;
+        v
+    }
+    spread(x as u64) | (spread(y as u64) << 1)
+}
+
+/// A sorted-cell point index, analogous to `S2PointIndex`.
+pub struct PointIndex {
+    extent: BBox,
+    /// `(cell id at MAX_LEVEL, point id)`, sorted by cell id.
+    entries: Vec<(u64, u32)>,
+    points: Vec<Point>,
+}
+
+impl PointIndex {
+    pub fn build(points: Vec<Point>) -> PointIndex {
+        let extent = BBox::from_points(points.iter().copied()).inflate(1e-9);
+        let mut entries: Vec<(u64, u32)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (cell_of(&extent, *p), i as u32))
+            .collect();
+        entries.sort_unstable();
+        PointIndex { extent, entries, points }
+    }
+
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    pub fn point(&self, id: u32) -> Point {
+        self.points[id as usize]
+    }
+
+    /// Ids of points inside the polygon: recursive cell covering with
+    /// whole-cell acceptance for cells fully inside.
+    pub fn select_polygon(&self, poly: &Polygon) -> Vec<u32> {
+        let mut out = Vec::new();
+        if self.points.is_empty() {
+            return out;
+        }
+        let edges = poly.boundary_edges();
+        let bb = poly.bbox();
+        self.visit(0, 0, 0, &mut |cell_box, prefix, level| {
+            if !cell_box.intersects(&bb) {
+                return Visit::Prune;
+            }
+            if box_inside_polygon(&cell_box, poly, &edges) {
+                return Visit::TakeAll;
+            }
+            if level == MAX_LEVEL {
+                return Visit::TestEach;
+            }
+            let _ = prefix;
+            Visit::Recurse
+        }, &mut |p| point_in_polygon(p, poly), &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    /// Ids of points within distance `r` of `q` (the S2 strength: the cell
+    /// structure prunes by distance directly).
+    pub fn within_distance(&self, q: Point, r: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        if self.points.is_empty() {
+            return out;
+        }
+        self.visit(0, 0, 0, &mut |cell_box, _, level| {
+            if cell_box.dist_to_point(q) > r {
+                return Visit::Prune;
+            }
+            if cell_box.max_dist_to_point(q) <= r {
+                return Visit::TakeAll;
+            }
+            if level == MAX_LEVEL {
+                return Visit::TestEach;
+            }
+            Visit::Recurse
+        }, &mut |p| p.dist(q) <= r, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    /// The k nearest points to `q`, nearest first: best-first search over
+    /// the cell hierarchy.
+    pub fn knn(&self, q: Point, k: usize) -> Vec<(u32, f64)> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        #[derive(PartialEq)]
+        struct Cand {
+            dist: f64,
+            prefix: u64,
+            level: u32,
+            /// point id when this is a leaf point, else u32::MAX
+            point: u32,
+        }
+        impl Eq for Cand {}
+        impl PartialOrd for Cand {
+            fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(o))
+            }
+        }
+        impl Ord for Cand {
+            fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+                self.dist.partial_cmp(&o.dist).unwrap_or(std::cmp::Ordering::Equal)
+            }
+        }
+        let mut heap = BinaryHeap::new();
+        let mut out = Vec::new();
+        if self.points.is_empty() || k == 0 {
+            return out;
+        }
+        heap.push(Reverse(Cand { dist: 0.0, prefix: 0, level: 0, point: u32::MAX }));
+        while let Some(Reverse(c)) = heap.pop() {
+            if c.point != u32::MAX {
+                out.push((c.point, c.dist));
+                if out.len() == k {
+                    break;
+                }
+                continue;
+            }
+            if c.level == MAX_LEVEL {
+                let (lo, hi) = self.range(c.prefix, c.level);
+                for &(_, id) in &self.entries[lo..hi] {
+                    let d = self.points[id as usize].dist(q);
+                    heap.push(Reverse(Cand { dist: d, prefix: 0, level: 0, point: id }));
+                }
+                continue;
+            }
+            for child in 0..4u64 {
+                let prefix = (c.prefix << 2) | child;
+                let level = c.level + 1;
+                let (lo, hi) = self.range(prefix, level);
+                if lo == hi {
+                    continue;
+                }
+                let cb = cell_box(&self.extent, prefix, level);
+                heap.push(Reverse(Cand {
+                    dist: cb.dist_to_point(q),
+                    prefix,
+                    level,
+                    point: u32::MAX,
+                }));
+            }
+        }
+        out
+    }
+
+    /// Entry range of a cell prefix at a level (binary search on the
+    /// sorted cell ids).
+    fn range(&self, prefix: u64, level: u32) -> (usize, usize) {
+        let shift = 2 * (MAX_LEVEL - level);
+        let lo_id = prefix << shift;
+        let hi_id = (prefix + 1) << shift;
+        let lo = self.entries.partition_point(|(c, _)| *c < lo_id);
+        let hi = self.entries.partition_point(|(c, _)| *c < hi_id);
+        (lo, hi)
+    }
+
+    fn visit(
+        &self,
+        prefix: u64,
+        level: u32,
+        _depth: u32,
+        classify: &mut impl FnMut(BBox, u64, u32) -> Visit,
+        test: &mut impl FnMut(Point) -> bool,
+        out: &mut Vec<u32>,
+    ) {
+        let (lo, hi) = self.range(prefix, level);
+        if lo == hi {
+            return;
+        }
+        let cb = cell_box(&self.extent, prefix, level);
+        match classify(cb, prefix, level) {
+            Visit::Prune => {}
+            Visit::TakeAll => out.extend(self.entries[lo..hi].iter().map(|(_, id)| *id)),
+            Visit::TestEach => {
+                for &(_, id) in &self.entries[lo..hi] {
+                    if test(self.points[id as usize]) {
+                        out.push(id);
+                    }
+                }
+            }
+            Visit::Recurse => {
+                for child in 0..4u64 {
+                    self.visit((prefix << 2) | child, level + 1, 0, classify, test, out);
+                }
+            }
+        }
+    }
+}
+
+enum Visit {
+    Prune,
+    TakeAll,
+    TestEach,
+    Recurse,
+}
+
+fn cell_of(extent: &BBox, p: Point) -> u64 {
+    let n = 1u32 << MAX_LEVEL;
+    let fx = ((p.x - extent.min.x) / extent.width()).clamp(0.0, 1.0);
+    let fy = ((p.y - extent.min.y) / extent.height()).clamp(0.0, 1.0);
+    let x = ((fx * n as f64) as u32).min(n - 1);
+    let y = ((fy * n as f64) as u32).min(n - 1);
+    morton(x, y)
+}
+
+fn cell_box(extent: &BBox, prefix: u64, level: u32) -> BBox {
+    // Decode the Morton prefix back to cell coordinates at `level`.
+    let mut x = 0u32;
+    let mut y = 0u32;
+    for i in 0..level {
+        let shift = 2 * (level - 1 - i);
+        let bits = (prefix >> shift) & 3;
+        x = (x << 1) | (bits & 1) as u32;
+        y = (y << 1) | ((bits >> 1) & 1) as u32;
+    }
+    let n = (1u64 << level) as f64;
+    let w = extent.width() / n;
+    let h = extent.height() / n;
+    let min = Point::new(extent.min.x + x as f64 * w, extent.min.y + y as f64 * h);
+    BBox::new(min, min + Point::new(w, h))
+}
+
+fn box_inside_polygon(b: &BBox, poly: &Polygon, edges: &[Segment]) -> bool {
+    if !poly.bbox().contains_box(b) {
+        return false;
+    }
+    // All corners inside and no boundary edge crossing the box.
+    if !b.corners().iter().all(|&c| point_in_polygon(c, poly)) {
+        return false;
+    }
+    let box_edges: Vec<Segment> = {
+        let c = b.corners();
+        (0..4).map(|i| Segment::new(c[i], c[(i + 1) % 4])).collect()
+    };
+    !edges
+        .iter()
+        .any(|e| e.bbox().intersects(b) && box_edges.iter().any(|be| segments_intersect(*e, *be)))
+}
+
+/// A gridded polygon index, analogous to `S2ShapeIndex`.
+pub struct ShapeIndex {
+    polygons: Vec<Polygon>,
+    grid: Vec<Vec<u32>>,
+    extent: BBox,
+    nx: u32,
+    ny: u32,
+}
+
+impl ShapeIndex {
+    pub fn build(polygons: Vec<Polygon>, cells_per_axis: u32) -> ShapeIndex {
+        let mut extent = BBox::empty();
+        for p in &polygons {
+            extent = extent.union(&p.bbox());
+        }
+        let extent = extent.inflate(1e-9);
+        let nx = cells_per_axis.max(1);
+        let ny = cells_per_axis.max(1);
+        let mut grid = vec![Vec::new(); (nx * ny) as usize];
+        for (i, p) in polygons.iter().enumerate() {
+            let bb = p.bbox();
+            for (cx, cy) in cover(&extent, nx, ny, &bb) {
+                grid[(cy * nx + cx) as usize].push(i as u32);
+            }
+        }
+        ShapeIndex { polygons, grid, extent, nx, ny }
+    }
+
+    pub fn len(&self) -> usize {
+        self.polygons.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.polygons.is_empty()
+    }
+
+    /// Polygons containing the point.
+    pub fn containing(&self, p: Point) -> Vec<u32> {
+        if !self.extent.contains(p) {
+            return Vec::new();
+        }
+        let cx = (((p.x - self.extent.min.x) / self.extent.width() * self.nx as f64) as u32)
+            .min(self.nx - 1);
+        let cy = (((p.y - self.extent.min.y) / self.extent.height() * self.ny as f64) as u32)
+            .min(self.ny - 1);
+        let mut out: Vec<u32> = self.grid[(cy * self.nx + cx) as usize]
+            .iter()
+            .copied()
+            .filter(|&i| point_in_polygon(p, &self.polygons[i as usize]))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Polygons intersecting the constraint polygon.
+    pub fn intersecting(&self, constraint: &Polygon) -> Vec<u32> {
+        let bb = constraint.bbox();
+        let mut cands = Vec::new();
+        for (cx, cy) in cover(&self.extent, self.nx, self.ny, &bb) {
+            cands.extend(self.grid[(cy * self.nx + cx) as usize].iter().copied());
+        }
+        cands.sort_unstable();
+        cands.dedup();
+        cands
+            .into_iter()
+            .filter(|&i| polygons_intersect(&self.polygons[i as usize], constraint))
+            .collect()
+    }
+}
+
+fn cover(extent: &BBox, nx: u32, ny: u32, bb: &BBox) -> Vec<(u32, u32)> {
+    let Some(clipped) = bb.intersection(extent) else {
+        return Vec::new();
+    };
+    let fx0 = ((clipped.min.x - extent.min.x) / extent.width() * nx as f64) as u32;
+    let fx1 = (((clipped.max.x - extent.min.x) / extent.width() * nx as f64) as u32).min(nx - 1);
+    let fy0 = ((clipped.min.y - extent.min.y) / extent.height() * ny as f64) as u32;
+    let fy1 = (((clipped.max.y - extent.min.y) / extent.height() * ny as f64) as u32).min(ny - 1);
+    let mut out = Vec::new();
+    for cy in fy0..=fy1 {
+        for cx in fx0..=fx1 {
+            out.push((cx, cy));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+
+    fn scatter(n: usize, extent: f64, seed: u64) -> Vec<Point> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let x = ((s >> 33) % 1_000_000) as f64 / 1_000_000.0 * extent;
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let y = ((s >> 33) % 1_000_000) as f64 / 1_000_000.0 * extent;
+                Point::new(x, y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn polygon_select_matches_brute() {
+        let pts = scatter(3000, 100.0, 1);
+        let idx = PointIndex::build(pts.clone());
+        for poly in [
+            Polygon::circle(Point::new(50.0, 50.0), 20.0, 8),
+            Polygon::rect(BBox::new(Point::new(10.0, 10.0), Point::new(35.0, 70.0))),
+            Polygon::circle(Point::new(95.0, 95.0), 3.0, 6),
+        ] {
+            let got = idx.select_polygon(&poly);
+            assert_eq!(got, brute::select_points(&pts, &poly), "{poly:?}");
+        }
+    }
+
+    #[test]
+    fn within_distance_matches_brute() {
+        let pts = scatter(2500, 100.0, 3);
+        let idx = PointIndex::build(pts.clone());
+        let q = Point::new(40.0, 60.0);
+        for r in [1.0, 8.0, 30.0] {
+            let got = idx.within_distance(q, r);
+            let want: Vec<u32> = pts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.dist(q) <= r)
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(got, want, "r={r}");
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute() {
+        let pts = scatter(2000, 100.0, 5);
+        let idx = PointIndex::build(pts.clone());
+        let q = Point::new(73.0, 21.0);
+        for k in [1, 10, 50] {
+            let got = idx.knn(q, k);
+            let want = brute::knn(&pts, q, k);
+            assert_eq!(got.len(), k);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g.1 - w.1).abs() < 1e-12, "k={k}");
+            }
+            // Sorted ascending.
+            assert!(got.windows(2).all(|w| w[0].1 <= w[1].1));
+        }
+    }
+
+    #[test]
+    fn knn_more_than_available() {
+        let pts = scatter(5, 10.0, 7);
+        let idx = PointIndex::build(pts);
+        assert_eq!(idx.knn(Point::ZERO, 20).len(), 5);
+        assert!(idx.knn(Point::ZERO, 0).is_empty());
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = PointIndex::build(vec![]);
+        assert!(idx.is_empty());
+        assert!(idx
+            .select_polygon(&Polygon::circle(Point::ZERO, 1.0, 6))
+            .is_empty());
+        assert!(idx.within_distance(Point::ZERO, 10.0).is_empty());
+        assert!(idx.knn(Point::ZERO, 3).is_empty());
+    }
+
+    #[test]
+    fn shape_index_containing() {
+        let polys: Vec<Polygon> = (0..16)
+            .map(|i| {
+                let min = Point::new((i % 4) as f64 * 10.0, (i / 4) as f64 * 10.0);
+                Polygon::rect(BBox::new(min, min + Point::new(9.0, 9.0)))
+            })
+            .collect();
+        let idx = ShapeIndex::build(polys.clone(), 8);
+        assert_eq!(idx.containing(Point::new(5.0, 5.0)), vec![0]);
+        assert_eq!(idx.containing(Point::new(15.0, 25.0)), vec![9]);
+        assert!(idx.containing(Point::new(9.5, 9.5)).is_empty());
+        assert!(idx.containing(Point::new(-5.0, -5.0)).is_empty());
+    }
+
+    #[test]
+    fn shape_index_intersecting_matches_brute() {
+        let polys: Vec<Polygon> = (0..25)
+            .map(|i| {
+                let min = Point::new((i % 5) as f64 * 8.0, (i / 5) as f64 * 8.0);
+                Polygon::rect(BBox::new(min, min + Point::new(6.0, 6.0)))
+            })
+            .collect();
+        let idx = ShapeIndex::build(polys.clone(), 6);
+        let c = Polygon::circle(Point::new(20.0, 20.0), 9.0, 10);
+        assert_eq!(idx.intersecting(&c), brute::select_polygons(&polys, &c));
+    }
+
+    #[test]
+    fn morton_roundtrip_via_cell_box() {
+        let extent = BBox::new(Point::ZERO, Point::new(100.0, 100.0));
+        let p = Point::new(33.0, 77.0);
+        let cell = cell_of(&extent, p);
+        // Walk the prefix down to MAX_LEVEL and check containment.
+        let cb = cell_box(&extent, cell, MAX_LEVEL);
+        assert!(cb.contains(p), "{cb:?} does not contain {p:?}");
+    }
+}

@@ -1,0 +1,238 @@
+//! The STIG baseline: a kd-tree over point data with leaf blocks.
+//!
+//! Doraiswamy et al.'s STIG \[12\] is the paper's specialized-GPU reference:
+//! a kd-tree whose *index filtering* is very tight (small leaf blocks), so
+//! low-selectivity point selections move little data and run few
+//! point-in-polygon tests — which is why STIG beats SPADE on sub-100 ms
+//! queries in Fig. 5 while supporting only point data. This reproduction
+//! keeps the structure (median-split kd-tree, leaf blocks, parallel
+//! refinement of the gathered leaves).
+
+use spade_geometry::predicates::point_in_polygon;
+use spade_geometry::{BBox, Point, Polygon};
+
+enum Node {
+    Leaf {
+        bbox: BBox,
+        /// Range into the reordered point array (the "leaf block").
+        range: std::ops::Range<usize>,
+    },
+    Split {
+        bbox: BBox,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+impl Node {
+    fn bbox(&self) -> &BBox {
+        match self {
+            Node::Leaf { bbox, .. } | Node::Split { bbox, .. } => bbox,
+        }
+    }
+}
+
+/// The STIG index.
+pub struct Stig {
+    root: Option<Node>,
+    /// Points reordered into leaf-contiguous blocks.
+    points: Vec<(u32, Point)>,
+    pub leaf_size: usize,
+}
+
+impl Stig {
+    /// Build with the given leaf block size (the paper tuned STIG to 4096).
+    pub fn build(points: Vec<Point>, leaf_size: usize) -> Stig {
+        let leaf_size = leaf_size.max(1);
+        let mut pts: Vec<(u32, Point)> = points
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (i as u32, p))
+            .collect();
+        let n = pts.len();
+        let root = if n == 0 {
+            None
+        } else {
+            Some(build_node(&mut pts, 0, n, 0, leaf_size))
+        };
+        Stig {
+            root,
+            points: pts,
+            leaf_size,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Polygonal selection: gather leaf blocks intersecting the constraint
+    /// bbox (index filtering), then refine with parallel exact tests.
+    pub fn select_polygon(&self, poly: &Polygon, workers: usize) -> Vec<u32> {
+        let Some(root) = &self.root else {
+            return Vec::new();
+        };
+        let bb = poly.bbox();
+        let mut blocks: Vec<std::ops::Range<usize>> = Vec::new();
+        gather(root, &bb, &mut blocks);
+        // Parallel refinement over the gathered blocks.
+        let workers = workers.clamp(1, blocks.len().max(1));
+        let results = parking_lot::Mutex::new(Vec::new());
+        let cursor = std::sync::atomic::AtomicUsize::new(0);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..workers {
+                let cursor = &cursor;
+                let blocks = &blocks;
+                let results = &results;
+                let points = &self.points;
+                s.spawn(move |_| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= blocks.len() {
+                            break;
+                        }
+                        for &(id, p) in &points[blocks[i].clone()] {
+                            if bb.contains(p) && point_in_polygon(p, poly) {
+                                local.push(id);
+                            }
+                        }
+                    }
+                    results.lock().extend(local);
+                });
+            }
+        })
+        .expect("stig worker panicked");
+        let mut out = results.into_inner();
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of leaf blocks the filter stage returns for a bbox — the
+    /// "data touched" metric the paper's analysis of STIG relies on.
+    pub fn blocks_touched(&self, bb: &BBox) -> usize {
+        let Some(root) = &self.root else {
+            return 0;
+        };
+        let mut blocks = Vec::new();
+        gather(root, bb, &mut blocks);
+        blocks.len()
+    }
+}
+
+fn build_node(
+    pts: &mut [(u32, Point)],
+    lo: usize,
+    hi: usize,
+    depth: usize,
+    leaf_size: usize,
+) -> Node {
+    let slice = &mut pts[lo..hi];
+    let bbox = BBox::from_points(slice.iter().map(|(_, p)| *p));
+    if slice.len() <= leaf_size {
+        return Node::Leaf {
+            bbox,
+            range: lo..hi,
+        };
+    }
+    let mid = slice.len() / 2;
+    if depth.is_multiple_of(2) {
+        slice.select_nth_unstable_by(mid, |a, b| {
+            a.1.x.partial_cmp(&b.1.x).unwrap_or(std::cmp::Ordering::Equal)
+        });
+    } else {
+        slice.select_nth_unstable_by(mid, |a, b| {
+            a.1.y.partial_cmp(&b.1.y).unwrap_or(std::cmp::Ordering::Equal)
+        });
+    }
+    let left = build_node(pts, lo, lo + mid, depth + 1, leaf_size);
+    let right = build_node(pts, lo + mid, hi, depth + 1, leaf_size);
+    Node::Split {
+        bbox,
+        left: Box::new(left),
+        right: Box::new(right),
+    }
+}
+
+fn gather(node: &Node, bb: &BBox, out: &mut Vec<std::ops::Range<usize>>) {
+    if !node.bbox().intersects(bb) {
+        return;
+    }
+    match node {
+        Node::Leaf { range, .. } => out.push(range.clone()),
+        Node::Split { left, right, .. } => {
+            gather(left, bb, out);
+            gather(right, bb, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+
+    fn scatter(n: usize, extent: f64, seed: u64) -> Vec<Point> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let x = ((s >> 33) % 1_000_000) as f64 / 1_000_000.0 * extent;
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let y = ((s >> 33) % 1_000_000) as f64 / 1_000_000.0 * extent;
+                Point::new(x, y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn selection_matches_brute() {
+        let pts = scatter(4000, 100.0, 17);
+        let stig = Stig::build(pts.clone(), 64);
+        for poly in [
+            Polygon::circle(Point::new(30.0, 70.0), 15.0, 12),
+            Polygon::rect(BBox::new(Point::new(60.0, 5.0), Point::new(90.0, 45.0))),
+        ] {
+            assert_eq!(stig.select_polygon(&poly, 4), brute::select_points(&pts, &poly));
+        }
+    }
+
+    #[test]
+    fn small_leaf_prunes_more() {
+        let pts = scatter(4000, 100.0, 19);
+        let fine = Stig::build(pts.clone(), 16);
+        let coarse = Stig::build(pts, 1024);
+        let bb = BBox::new(Point::new(10.0, 10.0), Point::new(20.0, 20.0));
+        // Finer leaves: more blocks but far fewer points touched overall.
+        assert!(fine.blocks_touched(&bb) >= coarse.blocks_touched(&bb));
+        let fine_pts: usize = fine.blocks_touched(&bb) * fine.leaf_size;
+        let coarse_pts: usize = coarse.blocks_touched(&bb) * coarse.leaf_size;
+        assert!(fine_pts < coarse_pts);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let stig = Stig::build(vec![], 64);
+        assert!(stig.is_empty());
+        assert!(stig
+            .select_polygon(&Polygon::circle(Point::ZERO, 1.0, 6), 2)
+            .is_empty());
+        let one = Stig::build(vec![Point::new(1.0, 1.0)], 64);
+        assert_eq!(
+            one.select_polygon(&Polygon::circle(Point::new(1.0, 1.0), 1.0, 8), 2),
+            vec![0]
+        );
+    }
+
+    #[test]
+    fn duplicate_points_handled() {
+        let pts = vec![Point::new(5.0, 5.0); 100];
+        let stig = Stig::build(pts, 8);
+        let hit = stig.select_polygon(&Polygon::circle(Point::new(5.0, 5.0), 1.0, 8), 2);
+        assert_eq!(hit.len(), 100);
+    }
+}

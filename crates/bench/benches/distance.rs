@@ -1,0 +1,77 @@
+//! Distance-query benchmarks (the Fig. 7 family at micro scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spade_baselines::s2like::PointIndex;
+use spade_bench::workloads as wl;
+use spade_core::dataset::Dataset;
+use spade_core::distance::{self, DistanceConstraint};
+use spade_datagen::spider;
+use spade_geometry::{LineString, Point};
+
+fn mercator(d: &Dataset) -> Dataset {
+    let objects = d
+        .objects
+        .iter()
+        .map(|(id, g)| (*id, spade_geometry::project::geometry_to_mercator(g)))
+        .collect();
+    Dataset::from_objects("m", d.kind, objects)
+}
+
+fn bench_distance_select(c: &mut Criterion) {
+    let mut g = c.benchmark_group("distance_select");
+    g.sample_size(10);
+    let spade = spade_bench::experiments::bench_engine();
+    let taxi = mercator(&wl::taxi(50_000));
+    let q = taxi.extent.center();
+    for r in [20.0f64, 100.0, 500.0] {
+        g.bench_with_input(BenchmarkId::new("spade_point", r as u64), &r, |b, &r| {
+            b.iter(|| {
+                distance::distance_select(&spade, &taxi, &DistanceConstraint::Point(q), r)
+                    .result
+                    .len()
+            })
+        });
+    }
+    // Accurate distance to a complex geometry — the query class §4.2 says
+    // only SPADE answers exactly.
+    let line = LineString::new(vec![
+        q,
+        q + Point::new(2000.0, 500.0),
+        q + Point::new(4000.0, -500.0),
+    ]);
+    g.bench_function("spade_polyline_200m", |b| {
+        b.iter(|| {
+            distance::distance_select(&spade, &taxi, &DistanceConstraint::Line(line.clone()), 200.0)
+                .result
+                .len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_distance_join(c: &mut Criterion) {
+    let mut g = c.benchmark_group("distance_join");
+    g.sample_size(10);
+    let spade = spade_bench::experiments::bench_engine();
+    let taxi = mercator(&wl::taxi(30_000));
+    let random = Dataset::from_points(
+        "rand",
+        spider::scale_points(&spider::uniform_points(500, 5), &taxi.extent),
+    );
+    g.bench_function("spade_500x30k_r20", |b| {
+        b.iter(|| distance::distance_join(&spade, &random, &taxi, 20.0).result.len())
+    });
+    let s2 = PointIndex::build(taxi.as_points().into_iter().map(|(_, p)| p).collect());
+    let left: Vec<Point> = random.as_points().into_iter().map(|(_, p)| p).collect();
+    g.bench_function("s2like_500x30k_r20", |b| {
+        b.iter(|| {
+            left.iter()
+                .map(|p| s2.within_distance(*p, 20.0).len())
+                .sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_distance_select, bench_distance_join);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Join benchmarks (Tables 2/3 at micro scale), including the layer-index
+//! vs naive-loop ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spade_baselines::cluster::{ClusterConfig, PointRdd, PolygonRdd};
+use spade_bench::workloads as wl;
+use spade_core::dataset::PreparedPolygonSet;
+use spade_core::engine::Constraint;
+use spade_core::{join, select};
+
+fn bench_point_polygon_join(c: &mut Criterion) {
+    let mut g = c.benchmark_group("join_point_polygon");
+    g.sample_size(10);
+    let spade = spade_bench::experiments::bench_engine();
+    let pts = wl::taxi(30_000);
+    let polys = wl::neighborhoods();
+
+    g.bench_function("spade_mem", |b| {
+        b.iter(|| join::join(&spade, &polys, &pts).result.len())
+    });
+    let rdd = PointRdd::build(
+        pts.as_points().into_iter().map(|(_, p)| p).collect(),
+        ClusterConfig::default(),
+    );
+    let prdd = PolygonRdd::build(
+        polys.as_polygons().into_iter().map(|(_, p)| p.clone()).collect(),
+        ClusterConfig::default(),
+    );
+    g.bench_function("cluster", |b| b.iter(|| rdd.join_polygons(&prdd).len()));
+    g.finish();
+}
+
+fn bench_polygon_polygon_join(c: &mut Criterion) {
+    let mut g = c.benchmark_group("join_polygon_polygon");
+    g.sample_size(10);
+    let spade = spade_bench::experiments::bench_engine();
+    let parcels = wl::parcels(1_000);
+    let boxes = wl::spider_boxes(10, false, 3);
+    g.bench_function("spade_mem", |b| {
+        b.iter(|| join::join(&spade, &parcels, &boxes).result.len())
+    });
+    g.finish();
+}
+
+fn bench_layer_vs_naive(c: &mut Criterion) {
+    // The ablation: one canvas per layer vs one canvas per polygon.
+    let mut g = c.benchmark_group("join_strategy");
+    g.sample_size(10);
+    let spade = spade_bench::experiments::bench_engine();
+    let polys = wl::neighborhoods();
+    let pts = wl::taxi(30_000);
+    let set = PreparedPolygonSet::prepare(&spade.pipeline, &polys, 512);
+    let points = pts.as_points();
+
+    g.bench_function("layer_index", |b| {
+        b.iter(|| join::join_polygon_point_mem(&spade, &set, &points).len())
+    });
+    g.bench_function("naive_per_polygon", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for poly in &set.polygons {
+                let constraint = Constraint::from_polygons(&spade, std::slice::from_ref(poly));
+                n += select::select_points_mem(&spade, &points, &constraint).len();
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_point_polygon_join,
+    bench_polygon_polygon_join,
+    bench_layer_vs_naive
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! kNN benchmarks (the Fig. 8/9 family at micro scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spade_baselines::cluster::{ClusterConfig, PointRdd};
+use spade_baselines::s2like::PointIndex;
+use spade_bench::workloads as wl;
+use spade_core::dataset::Dataset;
+use spade_core::knn;
+
+fn mercator(d: &Dataset) -> Dataset {
+    let objects = d
+        .objects
+        .iter()
+        .map(|(id, g)| (*id, spade_geometry::project::geometry_to_mercator(g)))
+        .collect();
+    Dataset::from_objects("m", d.kind, objects)
+}
+
+fn bench_knn_select(c: &mut Criterion) {
+    let mut g = c.benchmark_group("knn_select");
+    g.sample_size(10);
+    let spade = spade_bench::experiments::bench_engine();
+    let taxi = mercator(&wl::taxi(30_000));
+    let q = taxi.extent.center();
+    for k in [1usize, 10, 50] {
+        g.bench_with_input(BenchmarkId::new("spade", k), &k, |b, &k| {
+            b.iter(|| knn::knn_select(&spade, &taxi, q, k).result.len())
+        });
+    }
+    let s2 = PointIndex::build(taxi.as_points().into_iter().map(|(_, p)| p).collect());
+    for k in [1usize, 10, 50] {
+        g.bench_with_input(BenchmarkId::new("s2like", k), &k, |b, &k| {
+            b.iter(|| s2.knn(q, k).len())
+        });
+    }
+    let rdd = PointRdd::build(
+        taxi.as_points().into_iter().map(|(_, p)| p).collect(),
+        ClusterConfig::default(),
+    );
+    g.bench_function("cluster_k10", |b| b.iter(|| rdd.knn(q, 10).len()));
+    g.finish();
+}
+
+fn bench_knn_join(c: &mut Criterion) {
+    let mut g = c.benchmark_group("knn_join");
+    g.sample_size(10);
+    let spade = spade_bench::experiments::bench_engine();
+    let taxi = mercator(&wl::taxi(10_000));
+    let left = Dataset::from_points(
+        "left",
+        spade_datagen::spider::scale_points(
+            &spade_datagen::spider::uniform_points(50, 7),
+            &taxi.extent,
+        ),
+    );
+    g.bench_function("spade_50x10k_k5", |b| {
+        b.iter(|| knn::knn_join(&spade, &left, &taxi, 5).result.len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_knn_select, bench_knn_join);
+criterion_main!(benches);

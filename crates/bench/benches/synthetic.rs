@@ -1,0 +1,52 @@
+//! Synthetic-data benchmarks (the Fig. 10–13 family at micro scale):
+//! uniform vs gaussian distributions, selections and joins.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spade_bench::workloads as wl;
+use spade_core::{join, select};
+
+fn bench_selection_distributions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("synthetic_select");
+    g.sample_size(10);
+    let spade = spade_bench::experiments::bench_engine();
+    let constraint = wl::unit_square_constraint(0.3);
+    for gaussian in [false, true] {
+        let data = wl::spider_points(40, gaussian, 1);
+        g.bench_with_input(
+            BenchmarkId::new("points_40k", if gaussian { "gaussian" } else { "uniform" }),
+            &data,
+            |b, data| b.iter(|| select::select(&spade, data, &constraint).result.len()),
+        );
+    }
+    for gaussian in [false, true] {
+        let data = wl::spider_boxes(10, gaussian, 2);
+        g.bench_with_input(
+            BenchmarkId::new("boxes_10k", if gaussian { "gaussian" } else { "uniform" }),
+            &data,
+            |b, data| b.iter(|| select::select(&spade, data, &constraint).result.len()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_parcel_joins(c: &mut Criterion) {
+    let mut g = c.benchmark_group("synthetic_join");
+    g.sample_size(10);
+    let spade = spade_bench::experiments::bench_engine();
+    let parcels = wl::parcels(1_000);
+    for gaussian in [false, true] {
+        let pts = wl::spider_points(20, gaussian, 3);
+        g.bench_with_input(
+            BenchmarkId::new(
+                "parcels_1k_points_20k",
+                if gaussian { "gaussian" } else { "uniform" },
+            ),
+            &pts,
+            |b, pts| b.iter(|| join::join(&spade, &parcels, pts).result.len()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_selection_distributions, bench_parcel_joins);
+criterion_main!(benches);

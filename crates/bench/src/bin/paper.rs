@@ -1,0 +1,59 @@
+//! The paper harness: regenerate any table or figure of the SPADE paper.
+//!
+//! ```text
+//! cargo run -p spade-bench --release --bin paper -- list
+//! cargo run -p spade-bench --release --bin paper -- fig5a
+//! cargo run -p spade-bench --release --bin paper -- all
+//! SCALE=5 cargo run -p spade-bench --release --bin paper -- tab2
+//! ```
+
+use spade_bench::experiments::ALL;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "help" || args[0] == "--help" {
+        usage();
+        return;
+    }
+    match args[0].as_str() {
+        "list" => {
+            for (id, _) in ALL {
+                println!("{id}");
+            }
+        }
+        "all" => {
+            let t0 = Instant::now();
+            for (id, f) in ALL {
+                run(id, *f);
+            }
+            println!("\nall experiments done in {:.1}s", t0.elapsed().as_secs_f64());
+        }
+        id => {
+            let Some((_, f)) = ALL.iter().find(|(name, _)| name == &id) else {
+                eprintln!("unknown experiment '{id}'");
+                usage();
+                std::process::exit(1);
+            };
+            run(id, *f);
+        }
+    }
+}
+
+fn run(id: &str, f: fn() -> Vec<spade_bench::harness::Table>) {
+    println!("\n########## {id} ##########");
+    let t0 = Instant::now();
+    for table in f() {
+        table.print();
+    }
+    println!("[{id} completed in {:.1}s]", t0.elapsed().as_secs_f64());
+}
+
+fn usage() {
+    println!("usage: paper <experiment id | all | list>");
+    println!("experiments:");
+    for (id, _) in ALL {
+        println!("  {id}");
+    }
+    println!("env: SCALE=<f64> multiplies all data sizes (default 1)");
+}

@@ -1,0 +1,10 @@
+//! Shared harness support for the paper-reproduction benchmarks.
+//!
+//! [`workloads`] builds the scaled analogues of Table 1's data sets and the
+//! synthetic sets of §6.6; [`harness`] provides table printing and timing
+//! helpers; [`experiments`] implements one function per paper table/figure
+//! (see DESIGN.md's per-experiment index).
+
+pub mod experiments;
+pub mod harness;
+pub mod workloads;

@@ -1,0 +1,520 @@
+//! The GPU-friendly algebra operators (§2.1, implementations §5.1).
+//!
+//! SPADE implements four operator groups on canvases:
+//!
+//! * **Geometric transform** — moves geometry in space; performed by vertex
+//!   shaders during canvas creation ([`geometric_transform`] provides the
+//!   standalone form).
+//! * **Value transform** — rewrites pixel metadata in place.
+//! * **Mask** — filters pixels by a mask condition (the fragment-shader
+//!   form is fused into query passes; the standalone form operates on a
+//!   materialized canvas).
+//! * **(Multiway) blend** — merges canvases with a blend function; a single
+//!   multiway blend replaces chains of binary blends (§5.1).
+//! * **Map** (= dissect ∘ geometric transform) — emits one point per
+//!   non-null fragment into an output *list canvas*. Two implementations
+//!   exist, chosen by the query optimizer (§5.4): a 1-pass version that
+//!   needs an upper bound `n_max` on the result count, and a 2-pass version
+//!   that first counts (the "simulated Map") and then materializes.
+
+use spade_gpu::pool;
+use spade_gpu::raster;
+use spade_gpu::scan;
+use spade_gpu::shader::{Fragment, ShaderContext};
+use spade_gpu::{DrawCall, PixelValue, Pipeline, Primitive, Texture, NULL_PIXEL};
+use std::sync::atomic::AtomicU32;
+
+/// Standalone geometric transform: apply `f` to every primitive vertex
+/// (queries fuse this into the vertex shader; index construction and the
+/// aggregation plan use the standalone form).
+pub fn geometric_transform(
+    prims: &[Primitive],
+    f: impl Fn(spade_geometry::Point) -> spade_geometry::Point + Sync,
+) -> Vec<Primitive> {
+    prims.iter().map(|p| p.map_positions(&f)).collect()
+}
+
+/// Value transform: rewrite every non-null pixel with `f`, in parallel.
+pub fn value_transform(
+    tex: &mut Texture,
+    workers: usize,
+    f: impl Fn(PixelValue) -> PixelValue + Sync,
+) {
+    let pixels = tex.pixels_mut();
+    let ranges = pool::chunk_ranges(pixels.len(), workers);
+    let mut slices: Vec<&mut [PixelValue]> = Vec::with_capacity(ranges.len());
+    let mut rest = pixels;
+    for r in &ranges {
+        let (head, tail) = rest.split_at_mut(r.len());
+        slices.push(head);
+        rest = tail;
+    }
+    crossbeam::thread::scope(|s| {
+        for slice in slices {
+            let f = &f;
+            s.spawn(move |_| {
+                for px in slice.iter_mut() {
+                    if *px != NULL_PIXEL {
+                        *px = f(*px);
+                    }
+                }
+            });
+        }
+    })
+    .expect("value transform worker panicked");
+}
+
+/// Mask: null out every pixel that fails `keep(x, y, value)`, in parallel.
+pub fn mask(tex: &mut Texture, workers: usize, keep: impl Fn(u32, u32, PixelValue) -> bool + Sync) {
+    let width = tex.width() as usize;
+    let pixels = tex.pixels_mut();
+    let ranges = pool::chunk_ranges(pixels.len(), workers);
+    let mut slices: Vec<(usize, &mut [PixelValue])> = Vec::with_capacity(ranges.len());
+    let mut rest = pixels;
+    for r in &ranges {
+        let (head, tail) = rest.split_at_mut(r.len());
+        slices.push((r.start, head));
+        rest = tail;
+    }
+    crossbeam::thread::scope(|s| {
+        for (base, slice) in slices {
+            let keep = &keep;
+            s.spawn(move |_| {
+                for (i, px) in slice.iter_mut().enumerate() {
+                    if *px != NULL_PIXEL {
+                        let flat = base + i;
+                        let (x, y) = ((flat % width) as u32, (flat / width) as u32);
+                        if !keep(x, y, *px) {
+                            *px = NULL_PIXEL;
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("mask worker panicked");
+}
+
+/// Binary blend: merge `src` into `dst` pixel-wise, skipping null source
+/// pixels (a null source pixel means "no geometry here", not "value 0").
+pub fn blend(dst: &mut Texture, src: &Texture, mode: spade_gpu::BlendMode, workers: usize) {
+    assert_eq!(dst.len(), src.len(), "blend requires equal-size canvases");
+    let src_pixels = src.pixels();
+    let pixels = dst.pixels_mut();
+    let ranges = pool::chunk_ranges(pixels.len(), workers);
+    let mut slices: Vec<(usize, &mut [PixelValue])> = Vec::with_capacity(ranges.len());
+    let mut rest = pixels;
+    for r in &ranges {
+        let (head, tail) = rest.split_at_mut(r.len());
+        slices.push((r.start, head));
+        rest = tail;
+    }
+    crossbeam::thread::scope(|s| {
+        for (base, slice) in slices {
+            s.spawn(move |_| {
+                for (i, px) in slice.iter_mut().enumerate() {
+                    let sv = src_pixels[base + i];
+                    if sv != NULL_PIXEL {
+                        *px = mode.apply(*px, sv);
+                    }
+                }
+            });
+        }
+    })
+    .expect("blend worker panicked");
+}
+
+/// Multiway blend: fold many canvases into one with a single pass per
+/// canvas (§5.1 implements this as one rendering pass over all inputs; on
+/// materialized textures the fold is equivalent).
+pub fn multiway_blend(
+    canvases: &[&Texture],
+    mode: spade_gpu::BlendMode,
+    workers: usize,
+) -> Option<Texture> {
+    let first = canvases.first()?;
+    let mut out = (*first).clone();
+    for src in &canvases[1..] {
+        blend(&mut out, src, mode, workers);
+    }
+    Some(out)
+}
+
+/// Dissect: split a canvas into its non-null pixels (each conceptually a
+/// single-point canvas). Returns `(x, y, value)` entries in row-major order.
+pub fn dissect(tex: &Texture, workers: usize) -> Vec<scan::CompactEntry> {
+    scan::compact_non_null(tex, workers)
+}
+
+/// The result of a Map operation: the emitted values, in deterministic
+/// (primitive, fragment) order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapResult {
+    pub values: Vec<PixelValue>,
+    /// Number of rendering passes the operation used (1 or 2 + placement
+    /// iterations), reported to the optimizer's statistics.
+    pub passes: u32,
+}
+
+/// Error: the 1-pass Map overflowed its `n_max` list canvas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MapOverflow {
+    pub n_max: usize,
+    pub produced: usize,
+}
+
+impl std::fmt::Display for MapOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "map overflow: produced {} entries into an n_max={} list canvas",
+            self.produced, self.n_max
+        )
+    }
+}
+
+impl std::error::Error for MapOverflow {}
+
+/// 1-pass Map (§5.1 implementation 1): rasterize + shade the primitives,
+/// storing each emitted value at a unique slot of an `n_max`-sized list
+/// canvas, then run the parallel scan to compact out the nulls.
+///
+/// Fails with [`MapOverflow`] when more than `n_max` values are produced —
+/// the optimizer then falls back to [`map_2pass`].
+pub fn map_1pass(
+    pipe: &Pipeline,
+    prims: &[Primitive],
+    call: &DrawCall<'_>,
+    n_max: usize,
+) -> Result<MapResult, MapOverflow> {
+    let (chunks, produced) = shade_chunks(pipe, prims, call);
+    if produced > n_max {
+        return Err(MapOverflow {
+            n_max,
+            produced,
+        });
+    }
+    // Materialize the list canvas: a square-ish texture of ≥ n_max slots,
+    // entries placed at their scanned offsets.
+    let width = (n_max.max(1) as f64).sqrt().ceil() as u32;
+    let height = (n_max.max(1) as u32).div_ceil(width);
+    let mut list = Texture::new(width, height);
+    let mut slot = 0usize;
+    for chunk in &chunks {
+        for &v in chunk {
+            list.put_linear(slot, v);
+            slot += 1;
+        }
+    }
+    // Scan-compact the list canvas (removes the trailing nulls).
+    let compacted = scan::compact_non_null(&list, pipe.workers());
+    Ok(MapResult {
+        values: compacted.into_iter().map(|(_, _, v)| v).collect(),
+        passes: 1,
+    })
+}
+
+/// 2-pass Map (§5.1 implementation 2): a counting pass (the "simulated
+/// Map") followed by an exactly-sized materialization pass.
+pub fn map_2pass(pipe: &Pipeline, prims: &[Primitive], call: &DrawCall<'_>) -> MapResult {
+    let count = pipe.count_pass(prims, call) as usize;
+    match map_1pass(pipe, prims, call, count) {
+        Ok(mut r) => {
+            r.passes = 2;
+            r
+        }
+        Err(_) => unreachable!("count pass bounds the production exactly"),
+    }
+}
+
+/// Multi-emitting Map: like the Map operator but the per-fragment shader
+/// may emit any number of values (join pair extraction emits one pair per
+/// matching constraint object at an overflow pixel). On hardware this is a
+/// geometry-shader / append-buffer pattern; values come back in
+/// deterministic (primitive, fragment, emission) order.
+pub fn map_emit(
+    pipe: &Pipeline,
+    prims: &[Primitive],
+    viewport: spade_gpu::Viewport,
+    conservative: bool,
+    emit: impl Fn(&Fragment, &mut Vec<PixelValue>) + Sync,
+) -> MapResult {
+    map_emit_stateful(pipe, prims, viewport, conservative, || (), |_, frag, out| {
+        emit(frag, out)
+    })
+}
+
+/// [`map_emit`] with per-worker-chunk scratch state — the equivalent of
+/// shader workgroup-local memory. Used to deduplicate emissions (a
+/// candidate already known to match can skip further exact tests) and to
+/// reuse scratch buffers across fragments.
+pub fn map_emit_stateful<S>(
+    pipe: &Pipeline,
+    prims: &[Primitive],
+    viewport: spade_gpu::Viewport,
+    conservative: bool,
+    init: impl Fn() -> S + Sync,
+    emit: impl Fn(&mut S, &Fragment, &mut Vec<PixelValue>) + Sync,
+) -> MapResult
+where
+    S: Send,
+{
+    pipe.stats.add_draw_call();
+    let world = viewport.world;
+    let start = std::time::Instant::now();
+    let chunks: Vec<Vec<PixelValue>> =
+        pool::parallel_map_chunks(prims, pipe.workers(), |_, chunk| {
+            let mut out = Vec::new();
+            let mut state = init();
+            for prim in chunk {
+                if !prim.bbox().intersects(&world) {
+                    continue;
+                }
+                let attrs = prim.attrs();
+                raster::rasterize(prim, &viewport, conservative, &mut |x, y| {
+                    let frag = Fragment {
+                        x,
+                        y,
+                        world: viewport.pixel_center(x, y),
+                        attrs,
+                    };
+                    emit(&mut state, &frag, &mut out);
+                });
+            }
+            out
+        });
+    pipe.stats.add_gpu_time(start.elapsed());
+    let values: Vec<PixelValue> = chunks.into_iter().flatten().collect();
+    pipe.stats.add_fragments(values.len() as u64);
+    MapResult { values, passes: 1 }
+}
+
+/// Rasterize and fragment-shade `prims`, returning the emitted values per
+/// worker chunk (deterministic order) plus the total count.
+fn shade_chunks(
+    pipe: &Pipeline,
+    prims: &[Primitive],
+    call: &DrawCall<'_>,
+) -> (Vec<Vec<PixelValue>>, usize) {
+    pipe.stats.add_draw_call();
+    let counter = AtomicU32::new(0);
+    let vp = call.viewport;
+    let world = vp.world;
+    let ctx = ShaderContext {
+        textures: call.textures,
+        uniforms_f: call.uniforms_f,
+        uniforms_u: call.uniforms_u,
+        counter: &counter,
+    };
+    let start = std::time::Instant::now();
+    let chunks: Vec<Vec<PixelValue>> = pool::parallel_map_chunks(prims, pipe.workers(), |_, chunk| {
+        let mut out = Vec::new();
+        let mut expand = Vec::new();
+        for prim in chunk {
+            let moved = prim.map_positions(|p| {
+                call.vertex
+                    .shade(spade_gpu::Vertex::new(p, prim.attrs()))
+                    .pos
+            });
+            expand.clear();
+            match call.geometry {
+                Some(gs) => gs.expand(&moved, &mut expand),
+                None => expand.push(moved),
+            }
+            for prim in &expand {
+                if !prim.bbox().intersects(&world) {
+                    continue;
+                }
+                let attrs = prim.attrs();
+                raster::rasterize(prim, &vp, call.conservative, &mut |x, y| {
+                    let frag = Fragment {
+                        x,
+                        y,
+                        world: vp.pixel_center(x, y),
+                        attrs,
+                    };
+                    if let Some(v) = call.fragment.shade(&frag, &ctx) {
+                        out.push(v);
+                    }
+                });
+            }
+        }
+        out
+    });
+    pipe.stats.add_gpu_time(start.elapsed());
+    let total = chunks.iter().map(Vec::len).sum();
+    pipe.stats.add_fragments(total as u64);
+    (chunks, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spade_gpu::{BlendMode, Viewport};
+    use spade_geometry::{BBox, Point};
+
+    fn vp10() -> Viewport {
+        Viewport::new(BBox::new(Point::ZERO, Point::new(10.0, 10.0)), 10, 10)
+    }
+
+    fn tex_with(vals: &[(u32, u32, PixelValue)]) -> Texture {
+        let mut t = Texture::new(10, 10);
+        for &(x, y, v) in vals {
+            t.put(x, y, v);
+        }
+        t
+    }
+
+    #[test]
+    fn geometric_transform_moves_prims() {
+        let prims = vec![Primitive::point(Point::new(1.0, 1.0), [1, 0, 0, 0])];
+        let moved = geometric_transform(&prims, |p| p * 2.0);
+        assert_eq!(moved[0].bbox().min, Point::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn value_transform_skips_null() {
+        let mut t = tex_with(&[(1, 1, [5, 0, 0, 0])]);
+        value_transform(&mut t, 4, |v| [v[0] * 10, v[1], v[2], v[3]]);
+        assert_eq!(t.get(1, 1), [50, 0, 0, 0]);
+        assert_eq!(t.get(0, 0), NULL_PIXEL); // nulls untouched
+        assert_eq!(t.count_non_null(), 1);
+    }
+
+    #[test]
+    fn mask_filters_by_predicate() {
+        let mut t = tex_with(&[
+            (1, 1, [5, 0, 0, 0]),
+            (2, 2, [6, 0, 0, 0]),
+            (3, 3, [7, 0, 0, 0]),
+        ]);
+        mask(&mut t, 2, |_, _, v| v[0] % 2 == 0);
+        assert_eq!(t.count_non_null(), 1);
+        assert_eq!(t.get(2, 2), [6, 0, 0, 0]);
+    }
+
+    #[test]
+    fn mask_receives_coordinates() {
+        let mut t = tex_with(&[(1, 1, [5, 0, 0, 0]), (7, 3, [6, 0, 0, 0])]);
+        mask(&mut t, 3, |x, y, _| x == 7 && y == 3);
+        assert_eq!(t.count_non_null(), 1);
+        assert_eq!(t.get(7, 3)[0], 6);
+    }
+
+    #[test]
+    fn blend_merges_non_null_source() {
+        let mut dst = tex_with(&[(1, 1, [5, 0, 0, 0])]);
+        let src = tex_with(&[(1, 1, [3, 0, 0, 0]), (2, 2, [9, 0, 0, 0])]);
+        blend(&mut dst, &src, BlendMode::Add, 2);
+        assert_eq!(dst.get(1, 1), [8, 0, 0, 0]);
+        assert_eq!(dst.get(2, 2), [9, 0, 0, 0]);
+        assert_eq!(dst.count_non_null(), 2);
+    }
+
+    #[test]
+    fn multiway_blend_folds() {
+        let a = tex_with(&[(0, 0, [1, 0, 0, 0])]);
+        let b = tex_with(&[(0, 0, [2, 0, 0, 0])]);
+        let c = tex_with(&[(0, 0, [4, 0, 0, 0])]);
+        let out = multiway_blend(&[&a, &b, &c], BlendMode::Add, 2).unwrap();
+        assert_eq!(out.get(0, 0), [7, 0, 0, 0]);
+        assert!(multiway_blend(&[], BlendMode::Add, 2).is_none());
+    }
+
+    #[test]
+    fn dissect_yields_non_null_pixels() {
+        let t = tex_with(&[(3, 1, [9, 0, 0, 0]), (1, 0, [2, 0, 0, 0])]);
+        let parts = dissect(&t, 2);
+        assert_eq!(
+            parts,
+            vec![(1, 0, [2, 0, 0, 0]), (3, 1, [9, 0, 0, 0])]
+        );
+    }
+
+    #[test]
+    fn map_1pass_collects_values() {
+        let pipe = Pipeline::with_workers(4);
+        let prims: Vec<Primitive> = (0..20)
+            .map(|i| Primitive::point(Point::new((i % 10) as f64 + 0.5, (i / 10) as f64 + 0.5), [i + 1, 0, 0, 0]))
+            .collect();
+        let call = DrawCall::simple(vp10(), BlendMode::Replace, false);
+        let r = map_1pass(&pipe, &prims, &call, 64).unwrap();
+        assert_eq!(r.values.len(), 20);
+        assert_eq!(r.passes, 1);
+        // Deterministic primitive order.
+        let ids: Vec<u32> = r.values.iter().map(|v| v[0]).collect();
+        assert_eq!(ids, (1..=20).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn map_1pass_overflow_reported() {
+        let pipe = Pipeline::with_workers(2);
+        let prims: Vec<Primitive> = (0..10)
+            .map(|i| Primitive::point(Point::new(i as f64 + 0.5, 0.5), [i + 1, 0, 0, 0]))
+            .collect();
+        let call = DrawCall::simple(vp10(), BlendMode::Replace, false);
+        let err = map_1pass(&pipe, &prims, &call, 5).unwrap_err();
+        assert_eq!(err.n_max, 5);
+        assert_eq!(err.produced, 10);
+        assert!(err.to_string().contains("overflow"));
+    }
+
+    #[test]
+    fn map_2pass_equals_1pass() {
+        let pipe = Pipeline::with_workers(4);
+        let prims: Vec<Primitive> = (0..30)
+            .map(|i| Primitive::point(Point::new((i % 10) as f64 + 0.5, (i % 7) as f64 + 0.5), [i + 1, 0, 0, 0]))
+            .collect();
+        let call = DrawCall::simple(vp10(), BlendMode::Replace, false);
+        let one = map_1pass(&pipe, &prims, &call, 100).unwrap();
+        let two = map_2pass(&pipe, &prims, &call);
+        assert_eq!(one.values, two.values);
+        assert_eq!(two.passes, 2);
+    }
+
+    #[test]
+    fn map_respects_fragment_discard() {
+        let pipe = Pipeline::with_workers(2);
+        let frag = spade_gpu::FnFragment(|f: &Fragment, _: &ShaderContext<'_>| {
+            if f.attrs[0] % 2 == 0 {
+                Some(f.attrs)
+            } else {
+                None
+            }
+        });
+        let prims: Vec<Primitive> = (0..10)
+            .map(|i| Primitive::point(Point::new(i as f64 + 0.5, 0.5), [i, 0, 0, 0]))
+            .collect();
+        let call = DrawCall {
+            fragment: &frag,
+            ..DrawCall::simple(vp10(), BlendMode::Replace, false)
+        };
+        let r = map_2pass(&pipe, &prims, &call);
+        // ids 0,2,4,6,8 pass — but id 0 packs to attrs[0]=0 which is the
+        // null pixel and is compacted away; SPADE avoids this by storing
+        // id+1, which this test mimics for the surviving check.
+        assert!(r.values.iter().all(|v| v[0] % 2 == 0));
+    }
+
+    #[test]
+    fn map_deterministic_across_workers() {
+        let prims: Vec<Primitive> = (0..100)
+            .map(|i| {
+                Primitive::point(
+                    Point::new((i % 10) as f64 + 0.5, ((i / 10) % 10) as f64 + 0.5),
+                    [i + 1, 0, 0, 0],
+                )
+            })
+            .collect();
+        let mut reference: Option<Vec<PixelValue>> = None;
+        for workers in [1, 3, 7] {
+            let pipe = Pipeline::with_workers(workers);
+            let call = DrawCall::simple(vp10(), BlendMode::Replace, false);
+            let r = map_2pass(&pipe, &prims, &call);
+            match &reference {
+                None => reference = Some(r.values),
+                Some(v) => assert_eq!(&r.values, v, "workers={workers}"),
+            }
+        }
+    }
+}

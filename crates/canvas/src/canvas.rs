@@ -1,0 +1,179 @@
+//! Canvas pixel conventions and the canvas wrapper.
+//!
+//! The discrete canvas stores, per pixel, a triple of 4-tuples — one tuple
+//! `(v0, v1, v2, vb)` per primitive class (§4.1). Each tuple maps directly
+//! onto the four color channels of an FBO texture, so a canvas is backed by
+//! three textures (point, line, polygon).
+//!
+//! Channel conventions used throughout this reproduction:
+//!
+//! | channel | name | meaning |
+//! |---|---|---|
+//! | 0 | `CH_ID`    | object identifier + 1 (0 = null pixel) |
+//! | 1 | `CH_VAL`   | free payload (aggregation counts, Map slots) |
+//! | 2 | `CH_FLAG`  | [`FLAG_INTERIOR`] and/or [`FLAG_BOUNDARY`] bits |
+//! | 3 | `CH_BOUND` | boundary-index entry + 1 (0 = no boundary data) |
+
+use crate::boundary::BoundaryIndex;
+use spade_gpu::{PixelValue, Texture, Viewport};
+
+/// Channel index of the object identifier (`v0`).
+pub const CH_ID: usize = 0;
+/// Channel index of the free payload value (`v1`).
+pub const CH_VAL: usize = 1;
+/// Channel index of the classification flags (`v2`).
+pub const CH_FLAG: usize = 2;
+/// Channel index of the boundary pointer (`vb`).
+pub const CH_BOUND: usize = 3;
+
+/// Flag bit: the pixel is certainly covered by the geometry.
+pub const FLAG_INTERIOR: u32 = 1;
+/// Flag bit: coverage is uncertain; resolve with the boundary index.
+pub const FLAG_BOUNDARY: u32 = 2;
+
+/// Classification of one canvas pixel with respect to a geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PixelClass {
+    /// No geometry touches this pixel.
+    Outside,
+    /// The pixel is certainly covered (no exact test needed).
+    Interior,
+    /// The pixel is touched but coverage is uncertain: run the boundary test.
+    Boundary,
+}
+
+/// Classify a raw pixel value.
+pub fn classify(v: PixelValue) -> PixelClass {
+    if v[CH_ID] == 0 {
+        PixelClass::Outside
+    } else if v[CH_FLAG] & FLAG_BOUNDARY != 0 {
+        PixelClass::Boundary
+    } else {
+        PixelClass::Interior
+    }
+}
+
+/// Pack canvas attributes into a pixel value.
+pub fn pack(id: u32, val: u32, flags: u32, bound: u32) -> PixelValue {
+    [id + 1, val, flags, bound]
+}
+
+/// Object id stored in a pixel, if any.
+pub fn pixel_id(v: PixelValue) -> Option<u32> {
+    v[CH_ID].checked_sub(1)
+}
+
+/// Boundary entry index stored in a pixel, if any.
+pub fn pixel_bound(v: PixelValue) -> Option<u32> {
+    v[CH_BOUND].checked_sub(1)
+}
+
+/// One primitive-class layer of a canvas: the texture plus the boundary
+/// index its `vb` pointers reference.
+#[derive(Debug)]
+pub struct CanvasLayer {
+    pub texture: Texture,
+    pub boundary: BoundaryIndex,
+}
+
+impl CanvasLayer {
+    pub fn new(width: u32, height: u32) -> Self {
+        CanvasLayer {
+            texture: Texture::new(width, height),
+            boundary: BoundaryIndex::new(),
+        }
+    }
+}
+
+/// A discrete canvas: one layer per primitive class, sharing a viewport.
+///
+/// Most SPADE passes operate on a single class at a time (the fused
+/// select/join shaders bind only the constraint layer they need), so the
+/// per-class layers are optional and created lazily.
+#[derive(Debug)]
+pub struct Canvas {
+    pub viewport: Viewport,
+    pub points: Option<CanvasLayer>,
+    pub lines: Option<CanvasLayer>,
+    pub polygons: Option<CanvasLayer>,
+}
+
+impl Canvas {
+    pub fn new(viewport: Viewport) -> Self {
+        Canvas {
+            viewport,
+            points: None,
+            lines: None,
+            polygons: None,
+        }
+    }
+
+    /// Total device byte footprint of the allocated layers.
+    pub fn byte_size(&self) -> usize {
+        [&self.points, &self.lines, &self.polygons]
+            .into_iter()
+            .flatten()
+            .map(|l| l.texture.byte_size())
+            .sum()
+    }
+
+    /// The polygon layer, creating it if absent.
+    pub fn polygons_mut(&mut self) -> &mut CanvasLayer {
+        let (w, h) = (self.viewport.width, self.viewport.height);
+        self.polygons.get_or_insert_with(|| CanvasLayer::new(w, h))
+    }
+
+    /// The line layer, creating it if absent.
+    pub fn lines_mut(&mut self) -> &mut CanvasLayer {
+        let (w, h) = (self.viewport.width, self.viewport.height);
+        self.lines.get_or_insert_with(|| CanvasLayer::new(w, h))
+    }
+
+    /// The point layer, creating it if absent.
+    pub fn points_mut(&mut self) -> &mut CanvasLayer {
+        let (w, h) = (self.viewport.width, self.viewport.height);
+        self.points.get_or_insert_with(|| CanvasLayer::new(w, h))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spade_geometry::{BBox, Point};
+
+    #[test]
+    fn pack_and_classify() {
+        let interior = pack(7, 0, FLAG_INTERIOR, 0);
+        assert_eq!(classify(interior), PixelClass::Interior);
+        assert_eq!(pixel_id(interior), Some(7));
+        assert_eq!(pixel_bound(interior), None);
+
+        let boundary = pack(7, 0, FLAG_BOUNDARY, 12 + 1);
+        assert_eq!(classify(boundary), PixelClass::Boundary);
+        assert_eq!(pixel_bound(boundary), Some(12));
+
+        assert_eq!(classify([0, 0, 0, 0]), PixelClass::Outside);
+        assert_eq!(pixel_id([0, 0, 0, 0]), None);
+    }
+
+    #[test]
+    fn boundary_flag_wins_over_interior() {
+        // A pixel may carry both flags (interior pass then boundary pass):
+        // uncertainty dominates.
+        let both = pack(3, 0, FLAG_INTERIOR | FLAG_BOUNDARY, 1);
+        assert_eq!(classify(both), PixelClass::Boundary);
+    }
+
+    #[test]
+    fn lazy_layers() {
+        let vp = Viewport::new(BBox::new(Point::ZERO, Point::new(1.0, 1.0)), 8, 8);
+        let mut c = Canvas::new(vp);
+        assert_eq!(c.byte_size(), 0);
+        c.polygons_mut();
+        assert_eq!(c.byte_size(), 8 * 8 * 16);
+        c.points_mut();
+        c.lines_mut();
+        assert_eq!(c.byte_size(), 3 * 8 * 8 * 16);
+        assert!(c.points.is_some() && c.lines.is_some() && c.polygons.is_some());
+    }
+}

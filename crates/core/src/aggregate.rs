@@ -1,0 +1,432 @@
+//! Spatial aggregation (§5.2).
+//!
+//! Counts the objects of a point data set per polygon. Two plans, as in
+//! the paper:
+//!
+//! * the **generic plan** executes the join and then counts: results are
+//!   geometric-transformed to a unique slot per polygon and a multiway
+//!   blend (additive) produces the counts;
+//! * the **point-optimized plan** (always chosen by the optimizer for
+//!   point data) avoids materializing the join: an additive blend first
+//!   builds per-pixel partial counts, interior pixels of each polygon then
+//!   contribute their partials directly, and only boundary-pixel points
+//!   run exact tests.
+
+use crate::dataset::{Dataset, PreparedPolygonSet};
+use crate::engine::{Constraint, Spade};
+use crate::stats::QueryOutput;
+use spade_canvas::algebra;
+use spade_canvas::canvas::{classify, pixel_bound, pixel_id, PixelClass};
+use spade_geometry::Point;
+use spade_gpu::{BlendMode, DrawCall, Primitive, Texture};
+use std::time::{Duration, Instant};
+
+/// Aggregation result: `(polygon id, point count)` in polygon-id order.
+pub type Counts = Vec<(u32, u64)>;
+
+/// The point-optimized aggregation plan (§5.2, plan 2).
+pub fn aggregate_points(spade: &Spade, polys: &Dataset, points: &Dataset) -> QueryOutput<Counts> {
+    let measure = spade.begin();
+    let t0 = Instant::now();
+    let set = PreparedPolygonSet::prepare(&spade.pipeline, polys, spade.config.layer_resolution);
+    let polygon_time = t0.elapsed();
+    let pts = points.as_points();
+
+    let mut totals: std::collections::BTreeMap<u32, u64> = polys
+        .objects
+        .iter()
+        .map(|(id, _)| (*id, 0u64))
+        .collect();
+
+    for layer in 0..set.layers.len() {
+        let layer_polys = set.layer_polygons(layer);
+        if layer_polys.is_empty() {
+            continue;
+        }
+        let constraint = Constraint::from_polygons(spade, &layer_polys);
+
+        // Multiway blend: per-pixel partial counts of the points.
+        let prims: Vec<Primitive> = pts
+            .iter()
+            .map(|(_, p)| Primitive::point(*p, [1, 1, 0, 0]))
+            .collect();
+        let mut count_tex = Texture::new(constraint.viewport.width, constraint.viewport.height);
+        spade.pipeline.draw(
+            &mut count_tex,
+            &prims,
+            &DrawCall::simple(constraint.viewport, BlendMode::Add, false),
+        );
+
+        // Mask + map over the constraint canvas: interior pixels add their
+        // partials to their polygon.
+        let parts = algebra::dissect(&constraint.layer.texture, spade.pipeline.workers());
+        for (x, y, v) in parts {
+            if classify(v) == PixelClass::Interior {
+                if let Some(id) = pixel_id(v) {
+                    let c = count_tex.get(x, y)[1] as u64;
+                    if c > 0 {
+                        *totals.entry(id).or_insert(0) += c;
+                    }
+                }
+            }
+        }
+
+        // Boundary pixels: exact per-point tests through the boundary
+        // index (only points whose pixel is boundary-classified).
+        let point_prims: Vec<Primitive> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, (id, p))| Primitive::point(*p, [*id, i as u32, 0, 0]))
+            .collect();
+        let emitted = algebra::map_emit(
+            &spade.pipeline,
+            &point_prims,
+            constraint.viewport,
+            false,
+            |frag, out| {
+                let v = constraint.layer.texture.get(frag.x, frag.y);
+                if classify(v) == PixelClass::Boundary {
+                    let vb = pixel_bound(v).expect("boundary vb");
+                    let p = pts[frag.attrs[1] as usize].1;
+                    for cid in constraint
+                        .layer
+                        .boundary
+                        .matches_point_at((frag.x, frag.y), vb, p)
+                    {
+                        out.push([cid, 1, 0, 0]);
+                    }
+                }
+            },
+        );
+        for v in emitted.values {
+            *totals.entry(v[0]).or_insert(0) += 1;
+        }
+    }
+
+    let result: Counts = totals.into_iter().collect();
+    let n = result.len() as u64;
+    let stats = measure.finish(spade, Duration::ZERO, 0, polygon_time, 0, n);
+    QueryOutput { result, stats }
+}
+
+/// The generic plan (§5.2, plan 1): join, then geometric transform each
+/// result pair to a unique slot and count with an additive multiway blend.
+pub fn aggregate_via_join(
+    spade: &Spade,
+    polys: &Dataset,
+    points: &Dataset,
+) -> QueryOutput<Counts> {
+    let measure = spade.begin();
+    let join_out = crate::join::join(spade, polys, points);
+
+    // Geometric transform: pair → slot pixel keyed by the polygon id;
+    // multiway blend (Add) counts pairs per slot.
+    let n_polys = polys.len().max(1);
+    let width = (n_polys as f64).sqrt().ceil() as u32;
+    let height = (n_polys as u32).div_ceil(width);
+    let vp = spade_gpu::Viewport::new(
+        spade_geometry::BBox::new(Point::ZERO, Point::new(width as f64, height as f64)),
+        width,
+        height,
+    );
+    let prims: Vec<Primitive> = join_out
+        .result
+        .iter()
+        .map(|(pid, _)| {
+            let x = (pid % width) as f64 + 0.5;
+            let y = (pid / width) as f64 + 0.5;
+            Primitive::point(Point::new(x, y), [pid + 1, 1, 0, 0])
+        })
+        .collect();
+    let mut slots = Texture::new(width, height);
+    spade.pipeline.draw(
+        &mut slots,
+        &prims,
+        &DrawCall::simple(vp, BlendMode::Add, false),
+    );
+
+    let mut result: Counts = polys
+        .objects
+        .iter()
+        .map(|(id, _)| {
+            let x = id % width;
+            let y = id / width;
+            (*id, slots.get(x, y)[1] as u64)
+        })
+        .collect();
+    result.sort_unstable();
+    let n = result.len() as u64;
+    let mut stats = measure.finish(spade, Duration::ZERO, 0, Duration::ZERO, 0, n);
+    stats.polygon_time = join_out.stats.polygon_time;
+    QueryOutput { result, stats }
+}
+
+/// Out-of-core aggregation (§5.3 "Other queries are also executed using a
+/// similar strategy"): filter (polygon-cell, point-cell) pairs through the
+/// bounding-polygon join, stream each pair through the point-optimized
+/// plan, and sum the partial counts — each polygon lives in exactly one
+/// cell, so partials add without double counting.
+pub fn aggregate_indexed(
+    spade: &Spade,
+    polys: &crate::dataset::IndexedDataset,
+    points: &crate::dataset::IndexedDataset,
+) -> QueryOutput<Counts> {
+    let measure = spade.begin();
+    let mut totals: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+    let mut inner = crate::stats::QueryStats::default();
+
+    // Reuse the join driver's filter: pairs of intersecting cell hulls.
+    let filter_pairs = {
+        let hulls1: Vec<spade_canvas::create::PreparedPolygon> = polys
+            .grid
+            .bounding_polygons()
+            .into_iter()
+            .map(|(i, h)| spade_canvas::create::PreparedPolygon::prepare(i, &h))
+            .collect();
+        let hulls2: Vec<spade_canvas::create::PreparedPolygon> = points
+            .grid
+            .bounding_polygons()
+            .into_iter()
+            .map(|(i, h)| spade_canvas::create::PreparedPolygon::prepare(i, &h))
+            .collect();
+        let s1 = crate::dataset::PreparedPolygonSet {
+            layers: spade_canvas::layer::build_layer_index(
+                &spade.pipeline,
+                &hulls1,
+                spade.config.layer_resolution,
+            ),
+            polygons: hulls1,
+        };
+        let s2 = crate::dataset::PreparedPolygonSet {
+            layers: spade_canvas::layer::build_layer_index(
+                &spade.pipeline,
+                &hulls2,
+                spade.config.layer_resolution,
+            ),
+            polygons: hulls2,
+        };
+        crate::join::join_polygon_polygon_mem_res(
+            spade,
+            &s1,
+            &s2,
+            spade.config.filter_resolution,
+        )
+    };
+    let mut ordered = filter_pairs;
+    crate::optimizer::order_cell_pairs(&mut ordered);
+
+    // Zero-initialize every polygon id so empty polygons report 0.
+    for i in 0..polys.grid.num_cells() {
+        for (id, _) in polys.load_cell(i).expect("cell load").objects {
+            totals.entry(id).or_insert(0);
+        }
+    }
+
+    for (pc, tc) in ordered {
+        let poly_cell = polys.load_cell(pc as usize).expect("cell load");
+        let point_cell = points.load_cell(tc as usize).expect("cell load");
+        let _ = spade.device.upload(polys.grid.cells()[pc as usize].bytes);
+        let _ = spade.device.upload(points.grid.cells()[tc as usize].bytes);
+        let partial = aggregate_points(spade, &poly_cell, &point_cell);
+        inner.absorb(&partial.stats);
+        for (id, c) in partial.result {
+            *totals.entry(id).or_insert(0) += c;
+        }
+        spade.device.free(polys.grid.cells()[pc as usize].bytes);
+        spade.device.free(points.grid.cells()[tc as usize].bytes);
+    }
+
+    let result: Counts = totals.into_iter().collect();
+    let n = result.len() as u64;
+    let mut stats = measure.finish(
+        spade,
+        Duration::ZERO,
+        polys.grid.bytes_read() + points.grid.bytes_read(),
+        inner.polygon_time,
+        0,
+        n,
+    );
+    stats.cells_loaded = inner.cells_loaded;
+    QueryOutput { result, stats }
+}
+
+/// A heatmap: per-pixel point counts over a region — the pure multiway
+/// blend aggregation (the related-work heatmap queries \[47\] fall out of
+/// the algebra directly: geometric transform to the grid, additive blend).
+/// Returns a `resolution × resolution`-ish grid of counts, row-major, with
+/// its viewport.
+pub fn heatmap(
+    spade: &Spade,
+    points: &Dataset,
+    region: &spade_geometry::BBox,
+    resolution: u32,
+) -> QueryOutput<(spade_gpu::Viewport, Vec<u32>)> {
+    let measure = spade.begin();
+    let vp = spade_gpu::Viewport::square_pixels(*region, resolution);
+    let prims: Vec<Primitive> = points
+        .as_points()
+        .iter()
+        .map(|(_, p)| Primitive::point(*p, [1, 1, 0, 0]))
+        .collect();
+    let mut tex = Texture::new(vp.width, vp.height);
+    spade.pipeline.draw(
+        &mut tex,
+        &prims,
+        &DrawCall::simple(vp, BlendMode::Add, false),
+    );
+    let counts: Vec<u32> = tex.pixels().iter().map(|v| v[1]).collect();
+    let n = counts.iter().filter(|&&c| c > 0).count() as u64;
+    let stats = measure.finish(spade, Duration::ZERO, 0, Duration::ZERO, 0, n);
+    QueryOutput {
+        result: (vp, counts),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use spade_geometry::predicates::point_in_polygon;
+    use spade_geometry::{BBox, Polygon};
+
+    fn engine() -> Spade {
+        Spade::new(EngineConfig::test_small())
+    }
+
+    fn scatter(n: usize, extent: f64, seed: u64) -> Vec<Point> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let x = ((s >> 33) % 1_000_000) as f64 / 1_000_000.0 * extent;
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let y = ((s >> 33) % 1_000_000) as f64 / 1_000_000.0 * extent;
+                Point::new(x, y)
+            })
+            .collect()
+    }
+
+    fn neighborhoods() -> Vec<Polygon> {
+        let mut polys = Vec::new();
+        for i in 0..4 {
+            for j in 0..4 {
+                let min = Point::new(i as f64 * 25.0, j as f64 * 25.0);
+                polys.push(Polygon::rect(BBox::new(min, min + Point::new(24.0, 24.0))));
+            }
+        }
+        polys.push(Polygon::circle(Point::new(50.0, 50.0), 20.0, 12));
+        polys
+    }
+
+    fn oracle(polys: &[Polygon], pts: &[Point]) -> Counts {
+        polys
+            .iter()
+            .enumerate()
+            .map(|(i, poly)| {
+                let c = pts.iter().filter(|p| point_in_polygon(**p, poly)).count() as u64;
+                (i as u32, c)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn point_plan_matches_oracle() {
+        let s = engine();
+        let polys = neighborhoods();
+        let pts = scatter(2000, 100.0, 51);
+        let out = aggregate_points(
+            &s,
+            &Dataset::from_polygons("n", polys.clone()),
+            &Dataset::from_points("p", pts.clone()),
+        );
+        assert_eq!(out.result, oracle(&polys, &pts));
+    }
+
+    #[test]
+    fn join_plan_matches_oracle() {
+        let s = engine();
+        let polys = neighborhoods();
+        let pts = scatter(800, 100.0, 53);
+        let out = aggregate_via_join(
+            &s,
+            &Dataset::from_polygons("n", polys.clone()),
+            &Dataset::from_points("p", pts.clone()),
+        );
+        assert_eq!(out.result, oracle(&polys, &pts));
+    }
+
+    #[test]
+    fn plans_agree() {
+        let s = engine();
+        let polys = neighborhoods();
+        let pts = scatter(500, 100.0, 59);
+        let d1 = Dataset::from_polygons("n", polys);
+        let d2 = Dataset::from_points("p", pts);
+        let a = aggregate_points(&s, &d1, &d2);
+        let b = aggregate_via_join(&s, &d1, &d2);
+        assert_eq!(a.result, b.result);
+    }
+
+    #[test]
+    fn out_of_core_aggregation_matches_in_memory() {
+        let s = engine();
+        let polys = neighborhoods();
+        let pts = scatter(1500, 100.0, 61);
+        let d_polys = Dataset::from_polygons("n", polys);
+        let d_pts = Dataset::from_points("p", pts);
+        let mem = aggregate_points(&s, &d_polys, &d_pts);
+
+        let g1 = spade_index::GridIndex::build(None, &d_polys.objects, 40.0).unwrap();
+        let g2 = spade_index::GridIndex::build(None, &d_pts.objects, 40.0).unwrap();
+        let i1 = crate::dataset::IndexedDataset::new(
+            "n",
+            crate::dataset::DatasetKind::Polygons,
+            g1,
+        );
+        let i2 = crate::dataset::IndexedDataset::new(
+            "p",
+            crate::dataset::DatasetKind::Points,
+            g2,
+        );
+        let ooc = aggregate_indexed(&s, &i1, &i2);
+        assert_eq!(ooc.result, mem.result);
+    }
+
+    #[test]
+    fn heatmap_counts_points_per_pixel() {
+        let s = engine();
+        // 4 points in one pixel, 1 in another.
+        let pts = vec![
+            Point::new(1.5, 1.5),
+            Point::new(1.6, 1.4),
+            Point::new(1.4, 1.6),
+            Point::new(1.5, 1.6),
+            Point::new(8.5, 8.5),
+        ];
+        let data = Dataset::from_points("p", pts);
+        let region = BBox::new(Point::ZERO, Point::new(10.0, 10.0));
+        let out = heatmap(&s, &data, &region, 10);
+        let (vp, counts) = out.result;
+        assert_eq!(vp.width, 10);
+        let idx = |x: u32, y: u32| (y * vp.width + x) as usize;
+        assert_eq!(counts[idx(1, 1)], 4);
+        assert_eq!(counts[idx(8, 8)], 1);
+        assert_eq!(counts.iter().map(|&c| c as u64).sum::<u64>(), 5);
+        assert_eq!(out.stats.result_count, 2); // two hot pixels
+    }
+
+    #[test]
+    fn empty_points() {
+        let s = engine();
+        let polys = neighborhoods();
+        let n = polys.len();
+        let out = aggregate_points(
+            &s,
+            &Dataset::from_polygons("n", polys),
+            &Dataset::from_points("p", vec![]),
+        );
+        assert_eq!(out.result.len(), n);
+        assert!(out.result.iter().all(|(_, c)| *c == 0));
+    }
+}

@@ -1,0 +1,101 @@
+//! Engine configuration.
+
+/// Tuning knobs of the engine, mirroring the paper's setup in §6.1.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Canvas resolution along the longer axis of a query viewport.
+    pub resolution: u32,
+    /// Simulated device (GPU) memory in bytes. The paper's laptop had 8 GB;
+    /// benchmarks shrink this proportionally to the reduced data scale so
+    /// the out-of-core machinery still engages.
+    pub device_memory: u64,
+    /// Modeled host→device bandwidth in bytes/second.
+    pub bandwidth: f64,
+    /// Worker threads of the software pipeline (0 = all cores).
+    pub workers: usize,
+    /// Maximum slots of a single Map list canvas; result estimates above
+    /// this force the 2-pass Map implementation (§5.4).
+    pub max_map_slots: usize,
+    /// kNN: the radius shrink factor α > 1 (§5.2 step 1).
+    pub knn_alpha: f64,
+    /// kNN: number of log-spaced circles `c`.
+    pub knn_circles: usize,
+    /// Layer-index construction resolution.
+    pub layer_resolution: u32,
+    /// Resolution used by the out-of-core index-filter stage (coarse:
+    /// false positives only cost an extra cell load).
+    pub filter_resolution: u32,
+    /// Resolution of distance-constraint canvases (circles/capsules).
+    /// Any value is exact — the boundary index resolves uncertain pixels —
+    /// lower values trade boundary tests for rendering time, which pays
+    /// off for the small circles kNN queries draw (§5.2).
+    pub distance_resolution: u32,
+    /// Grid cells should serialize under this many bytes (the "≤ 2 GB per
+    /// cell" rule of §6.1, scaled).
+    pub max_cell_bytes: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            resolution: 1024,
+            device_memory: 64 << 20, // 64 MiB: a scaled-down 8 GB GPU
+            bandwidth: 12.0e9,
+            workers: 0,
+            max_map_slots: 1 << 22,
+            knn_alpha: 1.5,
+            knn_circles: 64,
+            layer_resolution: 512,
+            filter_resolution: 256,
+            distance_resolution: 512,
+            max_cell_bytes: 16 << 20,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A configuration sized for unit tests: small canvases, tiny device.
+    pub fn test_small() -> Self {
+        EngineConfig {
+            resolution: 256,
+            device_memory: 8 << 20,
+            max_cell_bytes: 1 << 20,
+            layer_resolution: 256,
+            filter_resolution: 128,
+            distance_resolution: 256,
+            knn_circles: 32,
+            ..Default::default()
+        }
+    }
+
+    pub fn effective_workers(&self) -> usize {
+        if self.workers == 0 {
+            spade_gpu::pool::default_workers()
+        } else {
+            self.workers
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = EngineConfig::default();
+        assert!(c.resolution >= 256);
+        assert!(c.knn_alpha > 1.0);
+        assert!(c.device_memory > c.max_cell_bytes);
+        assert!(c.effective_workers() >= 1);
+    }
+
+    #[test]
+    fn explicit_workers_respected() {
+        let c = EngineConfig {
+            workers: 3,
+            ..Default::default()
+        };
+        assert_eq!(c.effective_workers(), 3);
+    }
+}

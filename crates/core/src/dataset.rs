@@ -1,0 +1,258 @@
+//! Spatial data sets: in-memory and out-of-core forms.
+
+use spade_canvas::create::PreparedPolygon;
+use spade_canvas::LayerIndex;
+use spade_geometry::{BBox, Geometry, LineString, Point, Polygon};
+use spade_index::GridIndex;
+
+/// The primitive class of a data set (mixed sets are supported through
+/// [`Geometry`], but the engine's planners specialize on the common
+/// homogeneous cases the paper evaluates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    Points,
+    Lines,
+    Polygons,
+}
+
+/// An in-memory spatial data set.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    pub name: String,
+    pub kind: DatasetKind,
+    pub objects: Vec<(u32, Geometry)>,
+    pub extent: BBox,
+}
+
+impl Dataset {
+    pub fn from_points(name: impl Into<String>, pts: Vec<Point>) -> Self {
+        let objects: Vec<(u32, Geometry)> = pts
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (i as u32, Geometry::Point(p)))
+            .collect();
+        Self::from_objects(name, DatasetKind::Points, objects)
+    }
+
+    pub fn from_polygons(name: impl Into<String>, polys: Vec<Polygon>) -> Self {
+        let objects: Vec<(u32, Geometry)> = polys
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (i as u32, Geometry::Polygon(p)))
+            .collect();
+        Self::from_objects(name, DatasetKind::Polygons, objects)
+    }
+
+    pub fn from_lines(name: impl Into<String>, lines: Vec<LineString>) -> Self {
+        let objects: Vec<(u32, Geometry)> = lines
+            .into_iter()
+            .enumerate()
+            .map(|(i, l)| (i as u32, Geometry::LineString(l)))
+            .collect();
+        Self::from_objects(name, DatasetKind::Lines, objects)
+    }
+
+    pub fn from_objects(
+        name: impl Into<String>,
+        kind: DatasetKind,
+        objects: Vec<(u32, Geometry)>,
+    ) -> Self {
+        let mut extent = BBox::empty();
+        for (_, g) in &objects {
+            extent = extent.union(&g.bbox());
+        }
+        Dataset {
+            name: name.into(),
+            kind,
+            objects,
+            extent,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// View as `(id, point)` pairs (panics on non-point members — the
+    /// planner guarantees kind consistency).
+    pub fn as_points(&self) -> Vec<(u32, Point)> {
+        self.objects
+            .iter()
+            .map(|(id, g)| match g {
+                Geometry::Point(p) => (*id, *p),
+                other => panic!("expected point, found {other:?}"),
+            })
+            .collect()
+    }
+
+    /// View polygons (multi-polygons contribute each part under the same
+    /// object id, matching the canvas model's treatment).
+    pub fn as_polygons(&self) -> Vec<(u32, &Polygon)> {
+        let mut out = Vec::with_capacity(self.objects.len());
+        for (id, g) in &self.objects {
+            for p in g.polygons() {
+                out.push((*id, p));
+            }
+        }
+        out
+    }
+
+    /// Prepared (triangulated) polygons; the time this takes is the
+    /// "polygon processing" component of the breakdown.
+    pub fn prepare_polygons(&self) -> Vec<PreparedPolygon> {
+        self.as_polygons()
+            .into_iter()
+            .map(|(id, p)| PreparedPolygon::prepare(id, p))
+            .collect()
+    }
+
+    /// Approximate in-memory byte size (vector format, §4.2).
+    pub fn byte_size(&self) -> usize {
+        self.objects
+            .iter()
+            .map(|(_, g)| 16 + g.num_vertices() * 16)
+            .sum()
+    }
+}
+
+/// An out-of-core data set: a clustered grid index over disk blocks, plus
+/// the metadata the planner needs.
+pub struct IndexedDataset {
+    pub name: String,
+    pub kind: DatasetKind,
+    pub grid: GridIndex,
+}
+
+impl IndexedDataset {
+    pub fn new(name: impl Into<String>, kind: DatasetKind, grid: GridIndex) -> Self {
+        IndexedDataset {
+            name: name.into(),
+            kind,
+            grid,
+        }
+    }
+
+    /// Load one cell as an in-memory [`Dataset`].
+    pub fn load_cell(&self, idx: usize) -> spade_storage::Result<Dataset> {
+        let objects = self.grid.load_cell(idx)?;
+        Ok(Dataset::from_objects(
+            format!("{}#{}", self.name, idx),
+            self.kind,
+            objects,
+        ))
+    }
+}
+
+/// A polygon data set with its prepared form and layer index — the unit
+/// the join executor works with.
+pub struct PreparedPolygonSet {
+    pub polygons: Vec<PreparedPolygon>,
+    pub layers: LayerIndex,
+}
+
+impl PreparedPolygonSet {
+    pub fn prepare(
+        pipe: &spade_gpu::Pipeline,
+        dataset: &Dataset,
+        layer_resolution: u32,
+    ) -> Self {
+        let polygons = dataset.prepare_polygons();
+        let layers = spade_canvas::layer::build_layer_index(pipe, &polygons, layer_resolution);
+        PreparedPolygonSet { polygons, layers }
+    }
+
+    /// The prepared polygons of one layer.
+    pub fn layer_polygons(&self, layer: usize) -> Vec<PreparedPolygon> {
+        let ids = &self.layers.layers[layer];
+        self.polygons
+            .iter()
+            .filter(|p| ids.contains(&p.id))
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_dataset_basics() {
+        let d = Dataset::from_points("p", vec![Point::new(1.0, 2.0), Point::new(3.0, 4.0)]);
+        assert_eq!(d.kind, DatasetKind::Points);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.extent.min, Point::new(1.0, 2.0));
+        assert_eq!(d.as_points()[1], (1, Point::new(3.0, 4.0)));
+        assert!(d.byte_size() > 0);
+    }
+
+    #[test]
+    fn polygon_dataset_prepares() {
+        let d = Dataset::from_polygons(
+            "poly",
+            vec![Polygon::rect(BBox::new(Point::ZERO, Point::new(2.0, 2.0)))],
+        );
+        let prepared = d.prepare_polygons();
+        assert_eq!(prepared.len(), 1);
+        assert_eq!(prepared[0].triangles.len(), 2);
+    }
+
+    #[test]
+    fn multipolygon_parts_share_id() {
+        let m = Geometry::MultiPolygon(spade_geometry::MultiPolygon::new(vec![
+            Polygon::rect(BBox::new(Point::ZERO, Point::new(1.0, 1.0))),
+            Polygon::rect(BBox::new(Point::new(5.0, 0.0), Point::new(6.0, 1.0))),
+        ]));
+        let d = Dataset::from_objects("m", DatasetKind::Polygons, vec![(9, m)]);
+        let polys = d.as_polygons();
+        assert_eq!(polys.len(), 2);
+        assert!(polys.iter().all(|(id, _)| *id == 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected point")]
+    fn as_points_panics_on_polygons() {
+        let d = Dataset::from_polygons(
+            "poly",
+            vec![Polygon::rect(BBox::new(Point::ZERO, Point::new(1.0, 1.0)))],
+        );
+        let _ = d.as_points();
+    }
+
+    #[test]
+    fn prepared_set_layers() {
+        let pipe = spade_gpu::Pipeline::with_workers(2);
+        let d = Dataset::from_polygons(
+            "poly",
+            vec![
+                Polygon::rect(BBox::new(Point::ZERO, Point::new(2.0, 2.0))),
+                Polygon::rect(BBox::new(Point::new(1.0, 1.0), Point::new(3.0, 3.0))),
+                Polygon::rect(BBox::new(Point::new(10.0, 10.0), Point::new(12.0, 12.0))),
+            ],
+        );
+        let set = PreparedPolygonSet::prepare(&pipe, &d, 128);
+        assert_eq!(set.layers.num_objects(), 3);
+        assert_eq!(set.layers.len(), 2); // two overlapping rects split
+        let l0 = set.layer_polygons(0);
+        assert!(!l0.is_empty());
+    }
+
+    #[test]
+    fn indexed_dataset_roundtrip() {
+        let pts: Vec<Point> = (0..50)
+            .map(|i| Point::new((i % 10) as f64, (i / 10) as f64))
+            .collect();
+        let d = Dataset::from_points("p", pts);
+        let grid = GridIndex::build(None, &d.objects, 5.0).unwrap();
+        let idx = IndexedDataset::new("p", DatasetKind::Points, grid);
+        let mut total = 0;
+        for i in 0..idx.grid.num_cells() {
+            total += idx.load_cell(i).unwrap().len();
+        }
+        assert_eq!(total, 50);
+    }
+}

@@ -1,0 +1,452 @@
+//! Distance-based selections and joins (§4.2, §5.2).
+//!
+//! Distance queries differ from spatial selections/joins only in how the
+//! constraint canvas is created: geometry shaders generate circles around
+//! points, capsules around segments and buffers around polygons, and the
+//! boundary index stores the source primitive plus the distance so the
+//! exact test is a distance comparison. This is what lets SPADE answer
+//! *accurate* distance queries against complex geometry, which systems
+//! like GeoSpark approximate via centroids (§4.2).
+//!
+//! For distance joins the constraint side's "layer index" cannot exist in
+//! advance (the radius arrives with the query) — it is built on the fly
+//! (§5.2): circles are greedily packed into non-overlapping layers so each
+//! layer renders into one canvas with exact per-pixel attribution.
+
+use crate::dataset::Dataset;
+use crate::engine::{Constraint, Spade};
+use crate::join::{scan_points_for_pairs, Pairs};
+use crate::stats::QueryOutput;
+use spade_canvas::create::PreparedPolygon;
+use spade_canvas::distance as dcanvas;
+use spade_geometry::{BBox, LineString, Point, Polygon, Segment};
+use std::time::{Duration, Instant};
+
+/// The geometry a distance constraint measures from.
+#[derive(Debug, Clone)]
+pub enum DistanceConstraint {
+    Point(Point),
+    Line(LineString),
+    Polygon(Polygon),
+}
+
+impl DistanceConstraint {
+    fn bbox(&self) -> BBox {
+        match self {
+            DistanceConstraint::Point(p) => BBox::new(*p, *p),
+            DistanceConstraint::Line(l) => l.bbox(),
+            DistanceConstraint::Polygon(p) => p.bbox(),
+        }
+    }
+
+    /// Exact distance (the test oracle; the engine itself goes through the
+    /// canvas + boundary index).
+    pub fn distance_to(&self, p: Point) -> f64 {
+        match self {
+            DistanceConstraint::Point(c) => p.dist(*c),
+            DistanceConstraint::Line(l) => {
+                spade_geometry::distance::point_linestring_distance(p, l)
+            }
+            DistanceConstraint::Polygon(poly) => {
+                spade_geometry::distance::point_polygon_distance(p, poly)
+            }
+        }
+    }
+}
+
+/// Render the constraint canvas for "within `r` of G" (§4.2).
+fn build_distance_constraint(
+    spade: &Spade,
+    constraint: &DistanceConstraint,
+    r: f64,
+    polygon_time: &mut Duration,
+) -> Constraint {
+    let region = constraint.bbox().inflate(r);
+    let pad = (region.width().max(region.height()) * 1e-6).max(1e-9);
+    let vp = spade_gpu::Viewport::square_pixels(
+        region.inflate(pad),
+        spade.config.distance_resolution,
+    );
+    match constraint {
+        DistanceConstraint::Point(p) => {
+            let layer = dcanvas::distance_canvas_points(&spade.pipeline, vp, &[(0, *p)], r);
+            Constraint::from_layer(layer, vp, 1)
+        }
+        DistanceConstraint::Line(l) => {
+            let segs: Vec<(u32, Segment)> = l.segments().map(|s| (0, s)).collect();
+            let layer = dcanvas::distance_canvas_segments(&spade.pipeline, vp, &segs, r);
+            Constraint::from_layer(layer, vp, l.points.len())
+        }
+        DistanceConstraint::Polygon(poly) => {
+            let t0 = Instant::now();
+            let prepared = PreparedPolygon::prepare(0, poly);
+            *polygon_time += t0.elapsed();
+            let nv = prepared.num_vertices();
+            let layer = dcanvas::distance_canvas_polygon(&spade.pipeline, vp, &prepared, r);
+            Constraint::from_layer(layer, vp, nv)
+        }
+    }
+}
+
+/// Distance selection: ids of points within `r` of the constraint.
+pub fn distance_select(
+    spade: &Spade,
+    data: &Dataset,
+    constraint: &DistanceConstraint,
+    r: f64,
+) -> QueryOutput<Vec<u32>> {
+    let measure = spade.begin();
+    let mut polygon_time = Duration::ZERO;
+    let c = build_distance_constraint(spade, constraint, r, &mut polygon_time);
+    let ids = crate::select::select_points_mem(spade, &data.as_points(), &c);
+    let n = ids.len() as u64;
+    let stats = measure.finish(spade, Duration::ZERO, 0, polygon_time, 0, n);
+    QueryOutput { result: ids, stats }
+}
+
+/// Out-of-core distance selection (§5.3's strategy applied to distance
+/// constraints): the same distance canvas first filters the grid cells —
+/// its boundary entries answer hull-triangle distance tests exactly — and
+/// the matching cells stream through the in-memory pass.
+pub fn distance_select_indexed(
+    spade: &Spade,
+    data: &crate::dataset::IndexedDataset,
+    constraint: &DistanceConstraint,
+    r: f64,
+) -> QueryOutput<Vec<u32>> {
+    let measure = spade.begin();
+    let mut polygon_time = Duration::ZERO;
+    let mut disk_time = Duration::ZERO;
+    let mut disk_bytes = 0u64;
+    let mut cells_loaded = 0u64;
+
+    let c = build_distance_constraint(spade, constraint, r, &mut polygon_time);
+    let _ = spade.device.upload(c.byte_size());
+
+    // Index filtering: hull polygons against the distance canvas.
+    let t0 = Instant::now();
+    let hulls: Vec<PreparedPolygon> = data
+        .grid
+        .bounding_polygons()
+        .into_iter()
+        .map(|(i, h)| PreparedPolygon::prepare(i, &h))
+        .collect();
+    polygon_time += t0.elapsed();
+    let candidates = crate::select::select_polygons_mem(spade, &hulls, &c);
+
+    let mut ids = Vec::new();
+    for cell_idx in candidates {
+        let cell = &data.grid.cells()[cell_idx as usize];
+        let t0 = Instant::now();
+        let cell_data = data.load_cell(cell_idx as usize).expect("cell load");
+        disk_time += t0.elapsed();
+        disk_bytes += cell.bytes;
+        cells_loaded += 1;
+        let _ = spade.device.upload(cell.bytes);
+        ids.extend(crate::select::select_points_mem(
+            spade,
+            &cell_data.as_points(),
+            &c,
+        ));
+        spade.device.free(cell.bytes);
+    }
+    spade.device.free(c.byte_size());
+    ids.sort_unstable();
+    ids.dedup();
+    let n = ids.len() as u64;
+    let stats = measure.finish(spade, disk_time, disk_bytes, polygon_time, cells_loaded, n);
+    QueryOutput { result: ids, stats }
+}
+
+/// Pack disks into layers so no two disks in a layer overlap — the
+/// on-the-fly layer index for distance joins (§5.2). Greedy first-fit with
+/// a spatial hash; returns indices into `disks` per layer.
+pub fn disk_layers(disks: &[(Point, f64)]) -> Vec<Vec<usize>> {
+    let max_r = disks.iter().map(|d| d.1).fold(0.0, f64::max);
+    let cell = (2.0 * max_r).max(1e-9);
+    // One spatial hash per layer.
+    let mut layers: Vec<Vec<usize>> = Vec::new();
+    let mut hashes: Vec<std::collections::HashMap<(i64, i64), Vec<usize>>> = Vec::new();
+    let key = |p: Point| ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64);
+    for (i, (c, r)) in disks.iter().enumerate() {
+        let (kx, ky) = key(*c);
+        let mut placed = false;
+        for (layer, hash) in layers.iter_mut().zip(hashes.iter_mut()) {
+            let mut conflict = false;
+            'scan: for dx in -1..=1 {
+                for dy in -1..=1 {
+                    if let Some(others) = hash.get(&(kx + dx, ky + dy)) {
+                        for &j in others {
+                            let (cj, rj) = disks[j];
+                            if c.dist(cj) <= r + rj {
+                                conflict = true;
+                                break 'scan;
+                            }
+                        }
+                    }
+                }
+            }
+            if !conflict {
+                layer.push(i);
+                hash.entry((kx, ky)).or_default().push(i);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            let mut hash = std::collections::HashMap::new();
+            hash.insert((kx, ky), vec![i]);
+            hashes.push(hash);
+            layers.push(vec![i]);
+        }
+    }
+    layers
+}
+
+/// Type-1 distance join (§5.2): all pairs `(x ∈ D1, y ∈ D2)` with
+/// `distance(x, y) ≤ r`, both sides point sets. Constraint canvases are
+/// created from `d1` (the paper uses the smaller side; callers pass it
+/// first).
+pub fn distance_join(
+    spade: &Spade,
+    d1: &Dataset,
+    d2: &Dataset,
+    r: f64,
+) -> QueryOutput<Pairs> {
+    let constraints: Vec<(u32, Point, f64)> = d1
+        .as_points()
+        .into_iter()
+        .map(|(id, p)| (id, p, r))
+        .collect();
+    distance_join_multi(spade, &constraints, d2)
+}
+
+/// Type-2 distance join (§5.2): per-object radii `r_i`. Returns
+/// `(d1 id, d2 id)` pairs with `distance ≤ r_i`.
+pub fn distance_join_multi(
+    spade: &Spade,
+    constraints: &[(u32, Point, f64)],
+    d2: &Dataset,
+) -> QueryOutput<Pairs> {
+    let measure = spade.begin();
+    let points = d2.as_points();
+
+    // On-the-fly layer index over the constraint disks.
+    let disks: Vec<(Point, f64)> = constraints.iter().map(|&(_, c, r)| (c, r)).collect();
+    let layers = disk_layers(&disks);
+
+    let mut pairs: Pairs = Vec::new();
+    for layer in &layers {
+        let layer_constraints: Vec<(u32, Point, f64)> =
+            layer.iter().map(|&i| constraints[i]).collect();
+        let mut region = BBox::empty();
+        for (_, c, r) in &layer_constraints {
+            region = region.union(&BBox::new(*c, *c).inflate(*r));
+        }
+        let pad = (region.width().max(region.height()) * 1e-6).max(1e-9);
+        let vp = spade_gpu::Viewport::square_pixels(
+            region.inflate(pad),
+            spade.config.distance_resolution,
+        );
+        let layer_canvas =
+            dcanvas::distance_canvas_points_multi(&spade.pipeline, vp, &layer_constraints);
+        let constraint = Constraint::from_layer(layer_canvas, vp, layer_constraints.len());
+        pairs.extend(scan_points_for_pairs(spade, &constraint, &points));
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+
+    let n = pairs.len() as u64;
+    let stats = measure.finish(spade, Duration::ZERO, 0, Duration::ZERO, 0, n);
+    QueryOutput {
+        result: pairs,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+
+    fn engine() -> Spade {
+        Spade::new(EngineConfig::test_small())
+    }
+
+    fn scatter(n: usize, extent: f64, seed: u64) -> Vec<Point> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let x = ((s >> 33) % 1_000_000) as f64 / 1_000_000.0 * extent;
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let y = ((s >> 33) % 1_000_000) as f64 / 1_000_000.0 * extent;
+                Point::new(x, y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn distance_select_from_point_matches_oracle() {
+        let s = engine();
+        let pts = scatter(1500, 100.0, 3);
+        let data = Dataset::from_points("p", pts.clone());
+        let q = DistanceConstraint::Point(Point::new(50.0, 50.0));
+        let r = 17.0;
+        let out = distance_select(&s, &data, &q, r);
+        let mut got = out.result.clone();
+        got.sort_unstable();
+        let oracle: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| q.distance_to(**p) <= r)
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(got, oracle);
+    }
+
+    #[test]
+    fn distance_select_from_line_matches_oracle() {
+        let s = engine();
+        let pts = scatter(1200, 100.0, 5);
+        let data = Dataset::from_points("p", pts.clone());
+        let line = LineString::new(vec![
+            Point::new(10.0, 10.0),
+            Point::new(60.0, 40.0),
+            Point::new(90.0, 90.0),
+        ]);
+        let q = DistanceConstraint::Line(line);
+        let r = 8.0;
+        let out = distance_select(&s, &data, &q, r);
+        let mut got = out.result.clone();
+        got.sort_unstable();
+        let oracle: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| q.distance_to(**p) <= r)
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(got, oracle);
+    }
+
+    #[test]
+    fn distance_select_from_polygon_matches_oracle() {
+        let s = engine();
+        let pts = scatter(1200, 100.0, 9);
+        let data = Dataset::from_points("p", pts.clone());
+        let poly = Polygon::circle(Point::new(50.0, 50.0), 15.0, 8);
+        let q = DistanceConstraint::Polygon(poly);
+        let r = 10.0;
+        let out = distance_select(&s, &data, &q, r);
+        let mut got = out.result.clone();
+        got.sort_unstable();
+        let oracle: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| q.distance_to(**p) <= r)
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(got, oracle);
+    }
+
+    #[test]
+    fn disk_layers_are_valid_and_complete() {
+        let centers = scatter(200, 50.0, 21);
+        let disks: Vec<(Point, f64)> = centers.into_iter().map(|c| (c, 3.0)).collect();
+        let layers = disk_layers(&disks);
+        let total: usize = layers.iter().map(Vec::len).sum();
+        assert_eq!(total, 200);
+        for layer in &layers {
+            for (a, &i) in layer.iter().enumerate() {
+                for &j in &layer[a + 1..] {
+                    let (ci, ri) = disks[i];
+                    let (cj, rj) = disks[j];
+                    assert!(
+                        ci.dist(cj) > ri + rj,
+                        "disks {i} and {j} overlap within a layer"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distance_join_matches_oracle() {
+        let s = engine();
+        let left = scatter(60, 100.0, 31);
+        let right = scatter(700, 100.0, 37);
+        let d1 = Dataset::from_points("l", left.clone());
+        let d2 = Dataset::from_points("r", right.clone());
+        let r = 6.0;
+        let out = distance_join(&s, &d1, &d2, r);
+        let mut oracle = Vec::new();
+        for (i, a) in left.iter().enumerate() {
+            for (j, b) in right.iter().enumerate() {
+                if a.dist(*b) <= r {
+                    oracle.push((i as u32, j as u32));
+                }
+            }
+        }
+        oracle.sort_unstable();
+        assert_eq!(out.result, oracle);
+    }
+
+    #[test]
+    fn distance_join_multi_radii() {
+        let s = engine();
+        let left = scatter(40, 100.0, 41);
+        let right = scatter(500, 100.0, 43);
+        let constraints: Vec<(u32, Point, f64)> = left
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i as u32, *p, 2.0 + (i % 5) as f64 * 2.0))
+            .collect();
+        let d2 = Dataset::from_points("r", right.clone());
+        let out = distance_join_multi(&s, &constraints, &d2);
+        let mut oracle = Vec::new();
+        for (id, c, r) in &constraints {
+            for (j, b) in right.iter().enumerate() {
+                if c.dist(*b) <= *r {
+                    oracle.push((*id, j as u32));
+                }
+            }
+        }
+        oracle.sort_unstable();
+        assert_eq!(out.result, oracle);
+    }
+
+    #[test]
+    fn distance_select_indexed_matches_in_memory() {
+        let s = engine();
+        let pts = scatter(1200, 100.0, 91);
+        let data = Dataset::from_points("p", pts);
+        let grid = spade_index::GridIndex::build(None, &data.objects, 30.0).unwrap();
+        let indexed = crate::dataset::IndexedDataset::new(
+            "p",
+            crate::dataset::DatasetKind::Points,
+            grid,
+        );
+        let q = DistanceConstraint::Point(Point::new(42.0, 58.0));
+        for r in [5.0, 15.0, 40.0] {
+            let mut mem = distance_select(&s, &data, &q, r).result;
+            mem.sort_unstable();
+            let ooc = distance_select_indexed(&s, &indexed, &q, r);
+            assert_eq!(ooc.result, mem, "r={r}");
+            // Small radii must prune cells.
+            if r <= 5.0 {
+                assert!(ooc.stats.cells_loaded < indexed.grid.num_cells() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_radius_join() {
+        let s = engine();
+        let pts = vec![Point::new(1.0, 1.0), Point::new(2.0, 2.0)];
+        let d1 = Dataset::from_points("l", pts.clone());
+        let d2 = Dataset::from_points("r", pts);
+        let out = distance_join(&s, &d1, &d2, 0.0);
+        // Each point is within distance 0 of itself only.
+        assert_eq!(out.result, vec![(0, 0), (1, 1)]);
+    }
+}

@@ -1,0 +1,48 @@
+//! The SPADE spatial query engine.
+//!
+//! This crate is the paper's primary contribution (§3, §5): a query engine
+//! that plans, optimizes and executes spatial queries as compositions of
+//! the GPU-friendly algebra operators, over data that may not fit in device
+//! (or host) memory.
+//!
+//! Modules:
+//!
+//! * [`config`] — engine configuration: canvas resolution, device memory
+//!   budget, worker count, kNN parameters (§6.1's tuning knobs).
+//! * [`dataset`] — in-memory spatial data sets and their prepared forms
+//!   (triangulations, layer indexes), plus out-of-core handles backed by
+//!   the clustered grid index.
+//! * [`stats`] — the query time breakdown the paper reports (I/O / GPU /
+//!   polygon processing / CPU, §6.2) plus transfer and pass counters.
+//! * [`engine`] — the [`engine::Spade`] engine object tying the pipeline,
+//!   the device-memory model and the configuration together.
+//! * [`select`] — spatial selection (§5.2, Fig. 4): the fused
+//!   blend + mask + map pass over point/line/polygon data.
+//! * [`join`] — spatial joins as collections of selections driven by the
+//!   layer index; in-memory and both out-of-core strategies (§5.3).
+//! * [`distance`] — distance-based selections and the two distance-join
+//!   types (§5.2), with on-the-fly layer construction.
+//! * [`aggregate`] — spatial aggregation: the generic join+count plan and
+//!   the point-optimized multiway-blend plan (§5.2).
+//! * [`knn`] — kNN selection and join via log-spaced circle aggregation
+//!   (§5.2).
+//! * [`optimizer`] — the query optimizer (§5.4): Map implementation
+//!   choice, out-of-core join strategy choice by estimated transfer bytes,
+//!   and join-order selection that shares cell loads.
+
+pub mod aggregate;
+pub mod config;
+pub mod dataset;
+pub mod distance;
+pub mod engine;
+pub mod join;
+pub mod knn;
+pub mod optimizer;
+pub mod query;
+pub mod select;
+pub mod stats;
+
+pub use config::EngineConfig;
+pub use dataset::{Dataset, IndexedDataset};
+pub use engine::Spade;
+pub use stats::QueryStats;

@@ -1,0 +1,205 @@
+//! The query optimizer (§5.4).
+//!
+//! Three decisions, exactly the ones the paper's QO makes:
+//!
+//! 1. **Map implementation** — 1-pass when the result-size estimate
+//!    (`n_max`) fits the maximum list-canvas allocation, 2-pass otherwise;
+//!    estimates follow §5.4 (selection: `|D|`; point join: `n` points per
+//!    layer; polygon join: `m·n` per layer).
+//! 2. **Out-of-core join strategy** — layer-index join vs. a naive loop of
+//!    selects, chosen by the estimated bytes transferred to the device
+//!    ("the join strategy that requires the least memory transfer is then
+//!    selected").
+//! 3. **Join operation order** — consecutive selects should share at least
+//!    one resident grid cell, so cell loads carry over between iterations.
+
+use crate::engine::Spade;
+use spade_canvas::algebra::{self, MapResult};
+use spade_gpu::{DrawCall, Primitive};
+
+/// Which Map implementation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapImpl {
+    OnePass,
+    TwoPass,
+}
+
+/// Pick the Map implementation from the result-size estimate.
+pub fn choose_map_impl(spade: &Spade, n_max: usize) -> MapImpl {
+    if n_max <= spade.config.max_map_slots {
+        MapImpl::OnePass
+    } else {
+        MapImpl::TwoPass
+    }
+}
+
+/// Execute a Map with the chosen implementation, falling back to 2-pass if
+/// a 1-pass estimate proves wrong (cannot happen for the paper's estimates,
+/// which are upper bounds, but the engine stays robust).
+pub fn run_map(
+    spade: &Spade,
+    prims: &[Primitive],
+    call: &DrawCall<'_>,
+    n_max: usize,
+) -> MapResult {
+    match choose_map_impl(spade, n_max) {
+        MapImpl::OnePass => match algebra::map_1pass(&spade.pipeline, prims, call, n_max) {
+            Ok(r) => r,
+            Err(_) => algebra::map_2pass(&spade.pipeline, prims, call),
+        },
+        MapImpl::TwoPass => algebra::map_2pass(&spade.pipeline, prims, call),
+    }
+}
+
+/// The two out-of-core join strategies of §5.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinStrategy {
+    /// Layer-index join over filtered cell pairs.
+    LayerIndex,
+    /// A loop of per-object selections.
+    NaiveSelects,
+}
+
+/// Choose the join strategy by estimated transfer volume (§5.4 "Choose the
+/// join implementation").
+pub fn choose_join_strategy(layer_bytes: u64, naive_bytes: u64) -> JoinStrategy {
+    if naive_bytes < layer_bytes {
+        JoinStrategy::NaiveSelects
+    } else {
+        JoinStrategy::LayerIndex
+    }
+}
+
+/// Order cell pairs so consecutive iterations share a resident cell: sort
+/// lexicographically, with every odd left-group's right-cells reversed
+/// (boustrophedon), so both the left cell carries over within a group and
+/// the right cell carries over across group boundaries.
+pub fn order_cell_pairs(pairs: &mut [(u32, u32)]) {
+    pairs.sort_unstable();
+    let mut i = 0;
+    let mut group = 0usize;
+    while i < pairs.len() {
+        let left = pairs[i].0;
+        let mut j = i;
+        while j < pairs.len() && pairs[j].0 == left {
+            j += 1;
+        }
+        if group % 2 == 1 {
+            pairs[i..j].reverse();
+        }
+        group += 1;
+        i = j;
+    }
+}
+
+/// Estimated bytes transferred by the layer-index strategy: each cell pair
+/// moves both blocks, minus what order-sharing saves (a resident cell is
+/// not re-transferred).
+pub fn estimate_layer_bytes(
+    pairs: &[(u32, u32)],
+    left_bytes: &[u64],
+    right_bytes: &[u64],
+) -> u64 {
+    let mut ordered: Vec<(u32, u32)> = pairs.to_vec();
+    order_cell_pairs(&mut ordered);
+    let mut total = 0u64;
+    let mut resident_left = None;
+    let mut resident_right = None;
+    for (l, r) in ordered {
+        if resident_left != Some(l) {
+            total += left_bytes[l as usize];
+            resident_left = Some(l);
+        }
+        if resident_right != Some(r) {
+            total += right_bytes[r as usize];
+            resident_right = Some(r);
+        }
+    }
+    total
+}
+
+/// Estimated bytes transferred by the naive strategy: for each probe
+/// object, the blocks of every cell its filter matched (no sharing across
+/// probes beyond consecutive duplicates).
+pub fn estimate_naive_bytes(per_object_cells: &[Vec<u32>], cell_bytes: &[u64]) -> u64 {
+    let mut total = 0u64;
+    let mut resident = None;
+    for cells in per_object_cells {
+        for &c in cells {
+            if resident != Some(c) {
+                total += cell_bytes[c as usize];
+                resident = Some(c);
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+
+    #[test]
+    fn map_choice_threshold() {
+        let spade = Spade::new(EngineConfig {
+            max_map_slots: 100,
+            ..EngineConfig::test_small()
+        });
+        assert_eq!(choose_map_impl(&spade, 100), MapImpl::OnePass);
+        assert_eq!(choose_map_impl(&spade, 101), MapImpl::TwoPass);
+    }
+
+    #[test]
+    fn join_strategy_prefers_fewer_bytes() {
+        assert_eq!(choose_join_strategy(100, 200), JoinStrategy::LayerIndex);
+        assert_eq!(choose_join_strategy(300, 200), JoinStrategy::NaiveSelects);
+        // Ties go to the layer index (fewer rendering passes).
+        assert_eq!(choose_join_strategy(200, 200), JoinStrategy::LayerIndex);
+    }
+
+    #[test]
+    fn cell_pair_ordering_shares_loads() {
+        // A dense pair grid: the boustrophedon order shares a cell between
+        // every consecutive pair.
+        let mut pairs = vec![(1, 5), (0, 3), (1, 3), (0, 5), (2, 5), (2, 3)];
+        order_cell_pairs(&mut pairs);
+        for w in pairs.windows(2) {
+            assert!(
+                w[0].0 == w[1].0 || w[0].1 == w[1].1,
+                "no shared cell between {:?} and {:?} in {pairs:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn cell_pair_ordering_reduces_transfer_estimate() {
+        // Versus plain sorted order, the boustrophedon never transfers more.
+        let pairs: Vec<(u32, u32)> = (0..4).flat_map(|l| (0..4).map(move |r| (l, r))).collect();
+        let bytes = vec![10u64; 4];
+        let shared = estimate_layer_bytes(&pairs, &bytes, &bytes);
+        // Plain sorted order: left loads 4×10; right loads 4 per left group.
+        let plain = 4 * 10 + 4 * 4 * 10;
+        assert!(shared <= plain as u64);
+    }
+
+    #[test]
+    fn layer_estimate_counts_residency() {
+        let pairs = vec![(0, 0), (0, 1), (1, 1)];
+        let left = vec![10, 20];
+        let right = vec![100, 200];
+        // Ordered: (0,0),(0,1),(1,1): loads 10+100, then 200, then 20.
+        assert_eq!(estimate_layer_bytes(&pairs, &left, &right), 330);
+    }
+
+    #[test]
+    fn naive_estimate_sums_per_object() {
+        let cells = vec![vec![0, 1], vec![1, 2], vec![2]];
+        let bytes = vec![5, 7, 11];
+        // 5+7 (obj0) + 7 is resident? resident=1 after obj0 → obj1 loads
+        // nothing for 1, then 11; obj2: 2 already resident.
+        assert_eq!(estimate_naive_bytes(&cells, &bytes), 5 + 7 + 11);
+    }
+}

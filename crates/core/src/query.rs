@@ -1,0 +1,297 @@
+//! The engine's front door: a query AST and a single dispatch point.
+//!
+//! The executors in [`crate::select`], [`crate::join`], [`crate::distance`],
+//! [`crate::knn`] and [`crate::aggregate`] are directly usable; this module
+//! wraps them behind one [`SelectQuery`]/[`JoinQuery`] type so callers (and the paper
+//! harness) can express "the query" as data — the planner then picks the
+//! executor exactly as §5.2 describes per query class.
+
+use crate::dataset::{Dataset, IndexedDataset};
+use crate::distance::DistanceConstraint;
+use crate::engine::Spade;
+use crate::stats::QueryOutput;
+use spade_geometry::{BBox, Point, Polygon};
+
+/// A single-data-set spatial query.
+#[derive(Debug, Clone)]
+pub enum SelectQuery {
+    /// `ST_INTERSECTS` with a polygonal constraint (§5.2).
+    Intersects(Polygon),
+    /// The rectangular-range fast path (§4.2).
+    Range(BBox),
+    /// `ST_CONTAINS`: objects entirely inside the constraint (§7).
+    Contained(Polygon),
+    /// All objects within `r` of the constraint geometry (§5.2).
+    WithinDistance(DistanceConstraint, f64),
+    /// The `k` objects nearest to `q` (§5.2).
+    Knn(Point, usize),
+}
+
+/// A two-data-set query.
+#[derive(Debug, Clone)]
+pub enum JoinQuery {
+    /// Spatial (intersection) join (§5.2).
+    Intersects,
+    /// Distance join, type 1: fixed radius (§5.2).
+    WithinDistance(f64),
+    /// kNN join (§5.2).
+    Knn(usize),
+    /// Aggregation: count of right-side points per left-side polygon.
+    CountPoints,
+}
+
+/// The payload of a query result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResult {
+    Ids(Vec<u32>),
+    Ranked(Vec<(u32, f64)>),
+    Pairs(Vec<(u32, u32)>),
+    RankedPairs(Vec<(u32, u32, f64)>),
+    Counts(Vec<(u32, u64)>),
+}
+
+impl QueryResult {
+    /// Result cardinality, whatever the payload shape.
+    pub fn len(&self) -> usize {
+        match self {
+            QueryResult::Ids(v) => v.len(),
+            QueryResult::Ranked(v) => v.len(),
+            QueryResult::Pairs(v) => v.len(),
+            QueryResult::RankedPairs(v) => v.len(),
+            QueryResult::Counts(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The ids, when the payload is id-shaped.
+    pub fn ids(&self) -> Option<&[u32]> {
+        match self {
+            QueryResult::Ids(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Execute a selection query against an in-memory data set.
+pub fn run_select(spade: &Spade, data: &Dataset, q: &SelectQuery) -> QueryOutput<QueryResult> {
+    match q {
+        SelectQuery::Intersects(poly) => wrap_ids(crate::select::select(spade, data, poly)),
+        SelectQuery::Range(bb) => wrap_ids(crate::select::select_range(spade, data, *bb)),
+        SelectQuery::Contained(poly) => {
+            wrap_ids(crate::select::select_contained(spade, data, poly))
+        }
+        SelectQuery::WithinDistance(c, r) => {
+            wrap_ids(crate::distance::distance_select(spade, data, c, *r))
+        }
+        SelectQuery::Knn(p, k) => {
+            let out = crate::knn::knn_select(spade, data, *p, *k);
+            QueryOutput {
+                result: QueryResult::Ranked(out.result),
+                stats: out.stats,
+            }
+        }
+    }
+}
+
+/// Execute a selection query against an out-of-core data set: every query
+/// class streams through the grid filter (§5.3).
+pub fn run_select_indexed(
+    spade: &Spade,
+    data: &IndexedDataset,
+    q: &SelectQuery,
+) -> QueryOutput<QueryResult> {
+    match q {
+        SelectQuery::Intersects(poly) => {
+            wrap_ids(crate::select::select_indexed(spade, data, poly))
+        }
+        SelectQuery::Range(bb) => {
+            wrap_ids(crate::select::select_indexed(spade, data, &Polygon::rect(*bb)))
+        }
+        SelectQuery::WithinDistance(c, r) => {
+            wrap_ids(crate::distance::distance_select_indexed(spade, data, c, *r))
+        }
+        SelectQuery::Knn(p, k) => {
+            let out = crate::knn::knn_select_indexed(spade, data, *p, *k);
+            QueryOutput {
+                result: QueryResult::Ranked(out.result),
+                stats: out.stats,
+            }
+        }
+        SelectQuery::Contained(poly) => {
+            wrap_ids(crate::select::select_contained_indexed(spade, data, poly))
+        }
+    }
+}
+
+/// Execute a join query over two in-memory data sets.
+pub fn run_join(
+    spade: &Spade,
+    d1: &Dataset,
+    d2: &Dataset,
+    q: &JoinQuery,
+) -> QueryOutput<QueryResult> {
+    match q {
+        JoinQuery::Intersects => {
+            let out = crate::join::join(spade, d1, d2);
+            QueryOutput {
+                result: QueryResult::Pairs(out.result),
+                stats: out.stats,
+            }
+        }
+        JoinQuery::WithinDistance(r) => {
+            let out = crate::distance::distance_join(spade, d1, d2, *r);
+            QueryOutput {
+                result: QueryResult::Pairs(out.result),
+                stats: out.stats,
+            }
+        }
+        JoinQuery::Knn(k) => {
+            let out = crate::knn::knn_join(spade, d1, d2, *k);
+            QueryOutput {
+                result: QueryResult::RankedPairs(out.result),
+                stats: out.stats,
+            }
+        }
+        JoinQuery::CountPoints => {
+            // The optimizer always picks the point-optimized plan for point
+            // data (§5.2).
+            let out = crate::aggregate::aggregate_points(spade, d1, d2);
+            QueryOutput {
+                result: QueryResult::Counts(out.result),
+                stats: out.stats,
+            }
+        }
+    }
+}
+
+fn wrap_ids(out: QueryOutput<Vec<u32>>) -> QueryOutput<QueryResult> {
+    QueryOutput {
+        result: QueryResult::Ids(out.result),
+        stats: out.stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use spade_geometry::Point;
+
+    fn engine() -> Spade {
+        Spade::new(EngineConfig::test_small())
+    }
+
+    fn grid_points() -> Dataset {
+        Dataset::from_points(
+            "g",
+            (0..100)
+                .map(|i| Point::new((i % 10) as f64, (i / 10) as f64))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn select_variants_dispatch() {
+        let s = engine();
+        let data = grid_points();
+        let poly = Polygon::circle(Point::new(4.5, 4.5), 2.0, 16);
+        let a = run_select(&s, &data, &SelectQuery::Intersects(poly.clone()));
+        assert!(!a.result.is_empty());
+        assert!(a.result.ids().is_some());
+
+        let b = run_select(
+            &s,
+            &data,
+            &SelectQuery::Range(BBox::new(Point::new(1.0, 1.0), Point::new(3.0, 3.0))),
+        );
+        assert_eq!(b.result.len(), 9); // 3×3 lattice points inclusive
+
+        let c = run_select(&s, &data, &SelectQuery::Contained(poly));
+        assert_eq!(c.result.ids(), a.result.ids()); // points: contain == intersect
+
+        let d = run_select(
+            &s,
+            &data,
+            &SelectQuery::WithinDistance(DistanceConstraint::Point(Point::new(0.0, 0.0)), 1.5),
+        );
+        assert_eq!(d.result.len(), 4); // (0,0),(1,0),(0,1),(1,1)
+
+        let e = run_select(&s, &data, &SelectQuery::Knn(Point::new(0.0, 0.0), 3));
+        match &e.result {
+            QueryResult::Ranked(v) => {
+                assert_eq!(v.len(), 3);
+                assert_eq!(v[0].0, 0);
+            }
+            other => panic!("expected ranked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_variants_dispatch() {
+        let s = engine();
+        let pts = grid_points();
+        let polys = Dataset::from_polygons(
+            "tiles",
+            vec![
+                Polygon::rect(BBox::new(Point::new(-0.5, -0.5), Point::new(4.5, 4.5))),
+                Polygon::rect(BBox::new(Point::new(4.5, 4.5), Point::new(9.5, 9.5))),
+            ],
+        );
+        let j = run_join(&s, &polys, &pts, &JoinQuery::Intersects);
+        assert_eq!(j.result.len(), 25 + 25);
+
+        let d = run_join(&s, &pts, &pts, &JoinQuery::WithinDistance(0.5));
+        assert_eq!(d.result.len(), 100); // only self-pairs
+
+        let k = run_join(&s, &pts, &pts, &JoinQuery::Knn(1));
+        match &k.result {
+            QueryResult::RankedPairs(v) => {
+                assert_eq!(v.len(), 100);
+                assert!(v.iter().all(|(a, b, d)| a == b && *d == 0.0));
+            }
+            other => panic!("expected ranked pairs, got {other:?}"),
+        }
+
+        let c = run_join(&s, &polys, &pts, &JoinQuery::CountPoints);
+        match &c.result {
+            QueryResult::Counts(v) => {
+                assert_eq!(v.len(), 2);
+                assert_eq!(v[0].1 + v[1].1, 50);
+            }
+            other => panic!("expected counts, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn indexed_dispatch() {
+        let s = engine();
+        let data = grid_points();
+        let grid = spade_index::GridIndex::build(None, &data.objects, 5.0).unwrap();
+        let indexed =
+            IndexedDataset::new("g", crate::dataset::DatasetKind::Points, grid);
+        let poly = Polygon::circle(Point::new(4.5, 4.5), 2.0, 16);
+        let a = run_select_indexed(&s, &indexed, &SelectQuery::Intersects(poly.clone()));
+        let b = run_select(&s, &data, &SelectQuery::Intersects(poly));
+        let mut bs = b.result.ids().unwrap().to_vec();
+        bs.sort_unstable();
+        assert_eq!(a.result.ids().unwrap(), bs);
+        let r = run_select_indexed(
+            &s,
+            &indexed,
+            &SelectQuery::Range(BBox::new(Point::new(1.0, 1.0), Point::new(3.0, 3.0))),
+        );
+        assert_eq!(r.result.len(), 9);
+    }
+
+    #[test]
+    fn result_helpers() {
+        let r = QueryResult::Ids(vec![1, 2, 3]);
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+        assert!(QueryResult::Pairs(vec![]).is_empty());
+        assert!(QueryResult::Counts(vec![(1, 2)]).ids().is_none());
+    }
+}

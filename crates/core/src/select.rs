@@ -1,0 +1,808 @@
+//! Spatial selection queries (§5.2, Fig. 4).
+//!
+//! A selection finds all objects of a data set intersecting a polygonal
+//! constraint. The in-memory plan is the paper's fused pipeline: render the
+//! constraint canvas once (one pass + boundary pass), then draw the query
+//! data in a single pass whose fragment shader performs blend + mask —
+//! sampling the constraint texture, running the exact boundary test where
+//! needed — and Map stores survivors into the output list, which the
+//! parallel scan extracts.
+//!
+//! The out-of-core plan (§5.3) first runs the same selection over the grid
+//! index's *bounding polygons* (each cell's convex hull) to choose cells,
+//! then streams each chosen cell through the in-memory plan.
+
+use crate::dataset::{Dataset, DatasetKind, IndexedDataset};
+use crate::engine::{Constraint, Spade};
+use crate::optimizer;
+use crate::stats::QueryOutput;
+use spade_canvas::algebra;
+use spade_canvas::create::PreparedPolygon;
+use spade_geometry::{LineString, Point, Polygon, Segment, Triangle};
+use spade_gpu::{BlendMode, DrawCall, FnFragment, Primitive};
+use std::time::{Duration, Instant};
+
+/// Exact geometry of a candidate primitive, looked up by fragment shaders
+/// for boundary tests.
+pub(crate) enum CandidateGeom {
+    Tri(Triangle),
+    Seg(Segment),
+}
+
+/// Build the conservative rendering primitives for candidate polygons:
+/// interior triangles plus boundary edges, each indexing its exact
+/// geometry. `attrs = [object_id + 1, candidate_index, 0, 0]`.
+pub(crate) fn polygon_candidates(
+    polys: &[PreparedPolygon],
+) -> (Vec<Primitive>, Vec<CandidateGeom>) {
+    let mut prims = Vec::new();
+    let mut geoms = Vec::new();
+    for p in polys {
+        for t in &p.triangles {
+            let idx = geoms.len() as u32;
+            geoms.push(CandidateGeom::Tri(*t));
+            prims.push(Primitive::triangle(t.a, t.b, t.c, [p.id + 1, idx, 0, 0]));
+        }
+        for (e, _) in &p.edges {
+            let idx = geoms.len() as u32;
+            geoms.push(CandidateGeom::Seg(*e));
+            prims.push(Primitive::line(e.a, e.b, [p.id + 1, idx, 0, 0]));
+        }
+    }
+    (prims, geoms)
+}
+
+/// Candidate primitives for polyline data: the segments.
+pub(crate) fn line_candidates(
+    lines: &[(u32, &LineString)],
+) -> (Vec<Primitive>, Vec<CandidateGeom>) {
+    let mut prims = Vec::new();
+    let mut geoms = Vec::new();
+    for (id, l) in lines {
+        for seg in l.segments() {
+            let idx = geoms.len() as u32;
+            geoms.push(CandidateGeom::Seg(seg));
+            prims.push(Primitive::line(seg.a, seg.b, [*id + 1, idx, 0, 0]));
+        }
+    }
+    (prims, geoms)
+}
+
+/// In-memory point selection: ids of points intersecting the constraint.
+/// This is the fused blend+mask+map pass of Fig. 4, using the Map
+/// implementation the optimizer picks (§5.4: `n_max` = number of objects).
+pub fn select_points_mem(
+    spade: &Spade,
+    points: &[(u32, Point)],
+    constraint: &Constraint,
+) -> Vec<u32> {
+    let prims: Vec<Primitive> = points
+        .iter()
+        .enumerate()
+        .map(|(i, (id, p))| Primitive::point(*p, [*id + 1, i as u32, 0, 0]))
+        .collect();
+    let shader = FnFragment(|frag: &spade_gpu::Fragment, _: &spade_gpu::ShaderContext<'_>| {
+        let p = points[frag.attrs[1] as usize].1;
+        if constraint.match_point_any(p) {
+            Some([frag.attrs[0], 0, 0, 0])
+        } else {
+            None
+        }
+    });
+    let call = DrawCall {
+        fragment: &shader,
+        ..DrawCall::simple(constraint.viewport, BlendMode::Replace, false)
+    };
+    let n_max = points.len();
+    let result = optimizer::run_map(spade, &prims, &call, n_max);
+    result.values.into_iter().map(|v| v[0] - 1).collect()
+}
+
+/// In-memory polygon selection: ids of polygons intersecting the
+/// constraint (each candidate drawn conservatively; boundary pixels
+/// resolved with constant-time triangle tests through the boundary index).
+pub fn select_polygons_mem(
+    spade: &Spade,
+    polys: &[PreparedPolygon],
+    constraint: &Constraint,
+) -> Vec<u32> {
+    let (prims, geoms) = polygon_candidates(polys);
+    select_candidates(spade, &prims, &geoms, constraint)
+}
+
+/// In-memory polyline selection.
+pub fn select_lines_mem(
+    spade: &Spade,
+    lines: &[(u32, &LineString)],
+    constraint: &Constraint,
+) -> Vec<u32> {
+    let (prims, geoms) = line_candidates(lines);
+    select_candidates(spade, &prims, &geoms, constraint)
+}
+
+fn select_candidates(
+    spade: &Spade,
+    prims: &[Primitive],
+    geoms: &[CandidateGeom],
+    constraint: &Constraint,
+) -> Vec<u32> {
+    // Per-chunk state: a scratch match buffer plus the set of candidates
+    // already known to match — a matched candidate skips all further exact
+    // tests (selection only needs existence).
+    let result = algebra::map_emit_stateful(
+        &spade.pipeline,
+        prims,
+        constraint.viewport,
+        true,
+        || (Vec::<u32>::new(), std::collections::HashSet::<u32>::new()),
+        |(scratch, seen), frag, out| {
+            if seen.contains(&frag.attrs[0]) {
+                return;
+            }
+            let px = (frag.x, frag.y);
+            match &geoms[frag.attrs[1] as usize] {
+                CandidateGeom::Tri(t) => constraint.match_triangle_at(px, t, scratch),
+                CandidateGeom::Seg(s) => constraint.match_segment_at(px, *s, scratch),
+            }
+            if !scratch.is_empty() {
+                seen.insert(frag.attrs[0]);
+                out.push([frag.attrs[0], 0, 0, 0]);
+            }
+        },
+    );
+    let mut ids: Vec<u32> = result.values.into_iter().map(|v| v[0] - 1).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+/// Spatial selection over an in-memory data set with full statistics.
+pub fn select(
+    spade: &Spade,
+    data: &Dataset,
+    constraint_poly: &Polygon,
+) -> QueryOutput<Vec<u32>> {
+    let measure = spade.begin();
+
+    // Polygon processing: triangulate the constraint (boundary index
+    // entries are created during canvas rendering).
+    let t0 = Instant::now();
+    let prepared = vec![PreparedPolygon::prepare(0, constraint_poly)];
+    let polygon_time = t0.elapsed();
+
+    let constraint = Constraint::from_polygons(spade, &prepared);
+    let ids = select_mem_dispatch(spade, data, &constraint);
+
+    let n = ids.len() as u64;
+    let stats = measure.finish(spade, Duration::ZERO, 0, polygon_time, 0, n);
+    QueryOutput { result: ids, stats }
+}
+
+pub(crate) fn select_mem_dispatch(
+    spade: &Spade,
+    data: &Dataset,
+    constraint: &Constraint,
+) -> Vec<u32> {
+    match data.kind {
+        DatasetKind::Points => select_points_mem(spade, &data.as_points(), constraint),
+        DatasetKind::Polygons => {
+            let prepared = data.prepare_polygons();
+            select_polygons_mem(spade, &prepared, constraint)
+        }
+        DatasetKind::Lines => {
+            let lines: Vec<(u32, &LineString)> = data
+                .objects
+                .iter()
+                .filter_map(|(id, g)| match g {
+                    spade_geometry::Geometry::LineString(l) => Some((*id, l)),
+                    _ => None,
+                })
+                .collect();
+            select_lines_mem(spade, &lines, constraint)
+        }
+    }
+}
+
+/// Rectangular range selection — the fast path of §4.2: the rectangle is
+/// expanded into two triangles by a geometry shader (no triangulation, no
+/// per-edge boundary construction on the CPU).
+pub fn select_range(
+    spade: &Spade,
+    data: &Dataset,
+    range: spade_geometry::BBox,
+) -> QueryOutput<Vec<u32>> {
+    let measure = spade.begin();
+    let constraint = Constraint::from_rects(spade, &[(0, range)]);
+    let ids = select_mem_dispatch(spade, data, &constraint);
+    let n = ids.len() as u64;
+    let stats = measure.finish(spade, Duration::ZERO, 0, Duration::ZERO, 0, n);
+    QueryOutput { result: ids, stats }
+}
+
+/// Containment selection (`ST_CONTAINS`, §7): objects lying *entirely*
+/// inside the constraint polygon.
+///
+/// Following §7, lines and polygons are treated as collections of vertices
+/// whose containment is tested through the same point machinery; since
+/// all-vertices-inside does not imply containment for concave constraints,
+/// candidates whose boundary could cross the constraint rim get an exact
+/// edge-crossing refinement (for points, containment equals intersection).
+pub fn select_contained(
+    spade: &Spade,
+    data: &Dataset,
+    constraint_poly: &Polygon,
+) -> QueryOutput<Vec<u32>> {
+    let measure = spade.begin();
+    let t0 = Instant::now();
+    let prepared = vec![PreparedPolygon::prepare(0, constraint_poly)];
+    let polygon_time = t0.elapsed();
+    let constraint = Constraint::from_polygons(spade, &prepared);
+
+    let ids = match data.kind {
+        DatasetKind::Points => select_points_mem(spade, &data.as_points(), &constraint),
+        _ => {
+            // §7: test the vertex collection of each object. An object is a
+            // containment candidate iff *every* vertex matches.
+            let mut vertex_prims = Vec::new();
+            let mut vertex_counts: std::collections::BTreeMap<u32, (usize, usize)> =
+                std::collections::BTreeMap::new();
+            let mut coords: Vec<Point> = Vec::new();
+            for (id, g) in &data.objects {
+                let e = vertex_counts.entry(*id).or_insert((0, 0));
+                for p in object_vertices(g) {
+                    e.0 += 1;
+                    vertex_prims.push(Primitive::point(p, [*id, coords.len() as u32, 0, 0]));
+                    coords.push(p);
+                }
+            }
+            let result = algebra::map_emit(
+                &spade.pipeline,
+                &vertex_prims,
+                constraint.viewport,
+                false,
+                |frag, out| {
+                    if constraint.match_point_any(coords[frag.attrs[1] as usize]) {
+                        out.push([frag.attrs[0], 0, 0, 0]);
+                    }
+                },
+            );
+            for v in result.values {
+                vertex_counts.get_mut(&v[0]).expect("known id").1 += 1;
+            }
+            // Exact refinement: no object edge may cross the constraint
+            // boundary, and no constraint hole may cut into the object.
+            let rim = constraint_poly.boundary_edges();
+            let rim_bb = constraint_poly.bbox();
+            vertex_counts
+                .into_iter()
+                .filter(|(_, (total, inside))| *total > 0 && total == inside)
+                .map(|(id, _)| id)
+                .filter(|id| {
+                    let g = &data
+                        .objects
+                        .iter()
+                        .find(|(i, _)| i == id)
+                        .expect("object")
+                        .1;
+                    !object_edges(g).iter().any(|e| {
+                        e.bbox().intersects(&rim_bb)
+                            && rim
+                                .iter()
+                                .any(|r| spade_geometry::predicates::segments_intersect(*e, *r))
+                    }) && !constraint_hole_cuts(constraint_poly, g)
+                })
+                .collect()
+        }
+    };
+    let n = ids.len() as u64;
+    let stats = measure.finish(spade, Duration::ZERO, 0, polygon_time, 0, n);
+    QueryOutput { result: ids, stats }
+}
+
+/// Out-of-core containment selection: since every object is clustered into
+/// exactly one grid cell, per-cell containment results union losslessly;
+/// the filter stage is the same hull selection (an object contained in the
+/// constraint certainly intersects it).
+pub fn select_contained_indexed(
+    spade: &Spade,
+    data: &IndexedDataset,
+    constraint_poly: &Polygon,
+) -> QueryOutput<Vec<u32>> {
+    let measure = spade.begin();
+    let mut disk_time = Duration::ZERO;
+    let mut disk_bytes = 0u64;
+    let mut cells_loaded = 0u64;
+    let mut polygon_time = Duration::ZERO;
+
+    let t0 = Instant::now();
+    let prepared = vec![PreparedPolygon::prepare(0, constraint_poly)];
+    let hulls: Vec<PreparedPolygon> = data
+        .grid
+        .bounding_polygons()
+        .into_iter()
+        .map(|(i, h)| PreparedPolygon::prepare(i, &h))
+        .collect();
+    polygon_time += t0.elapsed();
+    let filter =
+        Constraint::from_polygons_res(spade, &prepared, spade.config.filter_resolution);
+    let candidates = select_polygons_mem(spade, &hulls, &filter);
+
+    let mut ids = Vec::new();
+    for cell_idx in candidates {
+        let cell = &data.grid.cells()[cell_idx as usize];
+        let t0 = Instant::now();
+        let cell_data = data.load_cell(cell_idx as usize).expect("cell load");
+        disk_time += t0.elapsed();
+        disk_bytes += cell.bytes;
+        cells_loaded += 1;
+        let _ = spade.device.upload(cell.bytes);
+        ids.extend(select_contained(spade, &cell_data, constraint_poly).result);
+        spade.device.free(cell.bytes);
+    }
+    ids.sort_unstable();
+    ids.dedup();
+    let n = ids.len() as u64;
+    let stats = measure.finish(spade, disk_time, disk_bytes, polygon_time, cells_loaded, n);
+    QueryOutput { result: ids, stats }
+}
+
+fn object_vertices(g: &spade_geometry::Geometry) -> Vec<Point> {
+    use spade_geometry::Geometry;
+    match g {
+        Geometry::Point(p) => vec![*p],
+        Geometry::LineString(l) => l.points.clone(),
+        Geometry::Polygon(p) => {
+            let mut v = p.exterior.points.clone();
+            for h in &p.holes {
+                v.extend_from_slice(&h.points);
+            }
+            v
+        }
+        Geometry::MultiPolygon(m) => m
+            .polygons
+            .iter()
+            .flat_map(|p| {
+                let mut v = p.exterior.points.clone();
+                for h in &p.holes {
+                    v.extend_from_slice(&h.points);
+                }
+                v
+            })
+            .collect(),
+    }
+}
+
+fn object_edges(g: &spade_geometry::Geometry) -> Vec<Segment> {
+    use spade_geometry::Geometry;
+    match g {
+        Geometry::Point(_) => Vec::new(),
+        Geometry::LineString(l) => l.segments().collect(),
+        Geometry::Polygon(p) => p.boundary_edges(),
+        Geometry::MultiPolygon(m) => m.polygons.iter().flat_map(|p| p.boundary_edges()).collect(),
+    }
+}
+
+/// True when a hole of `constraint` bites into `g` (all of g's vertices can
+/// be inside the exterior while a hole removes part of g's interior).
+fn constraint_hole_cuts(constraint: &Polygon, g: &spade_geometry::Geometry) -> bool {
+    if constraint.holes.is_empty() {
+        return false;
+    }
+    constraint.holes.iter().any(|h| {
+        let hole_poly = Polygon::new(h.points.clone());
+        g.polygons()
+            .iter()
+            .any(|p| spade_geometry::predicates::polygons_intersect(p, &hole_poly))
+            || match g {
+                spade_geometry::Geometry::LineString(l) => l.segments().any(|s| {
+                    spade_geometry::predicates::segment_intersects_polygon(s, &hole_poly)
+                }),
+                _ => false,
+            }
+    })
+}
+
+/// Out-of-core spatial selection (§5.3): filter the grid cells with a GPU
+/// selection over their bounding polygons, then refine cell by cell.
+pub fn select_indexed(
+    spade: &Spade,
+    data: &IndexedDataset,
+    constraint_poly: &Polygon,
+) -> QueryOutput<Vec<u32>> {
+    let measure = spade.begin();
+    let mut disk_time = Duration::ZERO;
+    let mut disk_bytes = 0u64;
+    let mut polygon_time = Duration::ZERO;
+
+    // Prepare the constraint once; the same canvas serves the filter and
+    // every refinement pass (it stays resident on the device).
+    let t0 = Instant::now();
+    let prepared = vec![PreparedPolygon::prepare(0, constraint_poly)];
+    polygon_time += t0.elapsed();
+    let constraint = Constraint::from_polygons(spade, &prepared);
+    let _ = spade.device.upload(constraint.byte_size());
+
+    // Index filtering: a polygon selection over the cells' hulls, run at
+    // the coarse filter resolution (a false positive only loads one extra
+    // cell).
+    let t0 = Instant::now();
+    let hull_prepared: Vec<PreparedPolygon> = data
+        .grid
+        .bounding_polygons()
+        .into_iter()
+        .map(|(i, hull)| PreparedPolygon::prepare(i, &hull))
+        .collect();
+    polygon_time += t0.elapsed();
+    let filter_constraint =
+        Constraint::from_polygons_res(spade, &prepared, spade.config.filter_resolution);
+    let candidate_cells = select_polygons_mem(spade, &hull_prepared, &filter_constraint);
+
+    // Refinement: stream each candidate cell through the in-memory plan.
+    let mut ids = Vec::new();
+    let mut cells_loaded = 0u64;
+    for cell_idx in &candidate_cells {
+        let cell = &data.grid.cells()[*cell_idx as usize];
+        let t0 = Instant::now();
+        let cell_data = match data.load_cell(*cell_idx as usize) {
+            Ok(d) => d,
+            Err(e) => panic!("cell load failed: {e}"),
+        };
+        disk_time += t0.elapsed();
+        disk_bytes += cell.bytes;
+        cells_loaded += 1;
+        // Ship the block to the device (accounted; OOM at this scale means
+        // the cell simply streams without residing).
+        let _ = spade.device.upload(cell.bytes);
+
+        let t0 = Instant::now();
+        let cell_prep_needed = matches!(cell_data.kind, DatasetKind::Polygons);
+        if cell_prep_needed {
+            polygon_time += t0.elapsed();
+        }
+        ids.extend(select_mem_dispatch(spade, &cell_data, &constraint));
+        spade.device.free(cell.bytes);
+    }
+    spade.device.free(constraint.byte_size());
+    ids.sort_unstable();
+    ids.dedup();
+
+    let n = ids.len() as u64;
+    let stats = measure.finish(spade, disk_time, disk_bytes, polygon_time, cells_loaded, n);
+    QueryOutput { result: ids, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use spade_geometry::predicates::{point_in_polygon, polygons_intersect};
+    use spade_geometry::BBox;
+    use spade_index::GridIndex;
+
+    fn engine() -> Spade {
+        Spade::new(EngineConfig::test_small())
+    }
+
+    fn scatter(n: usize, extent: f64) -> Vec<Point> {
+        let mut s = 42u64;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let x = ((s >> 33) % 1_000_000) as f64 / 1_000_000.0 * extent;
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let y = ((s >> 33) % 1_000_000) as f64 / 1_000_000.0 * extent;
+                Point::new(x, y)
+            })
+            .collect()
+    }
+
+    fn hexagon(cx: f64, cy: f64, r: f64) -> Polygon {
+        Polygon::circle(Point::new(cx, cy), r, 6)
+    }
+
+    #[test]
+    fn point_selection_matches_oracle() {
+        let s = engine();
+        let pts = scatter(2000, 100.0);
+        let data = Dataset::from_points("pts", pts.clone());
+        let poly = hexagon(50.0, 50.0, 22.0);
+        let out = select(&s, &data, &poly);
+        let oracle: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| point_in_polygon(**p, &poly))
+            .map(|(i, _)| i as u32)
+            .collect();
+        let mut got = out.result.clone();
+        got.sort_unstable();
+        assert_eq!(got, oracle);
+        assert_eq!(out.stats.result_count, oracle.len() as u64);
+        assert!(out.stats.passes >= 3); // constraint (2) + data pass
+    }
+
+    #[test]
+    fn point_selection_concave_constraint() {
+        let s = engine();
+        let pts = scatter(1500, 10.0);
+        let data = Dataset::from_points("pts", pts.clone());
+        // The U-shaped polygon: concavity stresses boundary handling.
+        let poly = Polygon::new(vec![
+            Point::new(1.0, 1.0),
+            Point::new(9.0, 1.0),
+            Point::new(9.0, 9.0),
+            Point::new(6.5, 9.0),
+            Point::new(6.5, 3.5),
+            Point::new(3.5, 3.5),
+            Point::new(3.5, 9.0),
+            Point::new(1.0, 9.0),
+        ]);
+        let out = select(&s, &data, &poly);
+        let oracle: std::collections::BTreeSet<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| point_in_polygon(**p, &poly))
+            .map(|(i, _)| i as u32)
+            .collect();
+        let got: std::collections::BTreeSet<u32> = out.result.into_iter().collect();
+        assert_eq!(got, oracle);
+    }
+
+    #[test]
+    fn polygon_selection_matches_oracle() {
+        let s = engine();
+        // A field of small boxes, some inside / crossing / outside.
+        let mut boxes = Vec::new();
+        for i in 0..15 {
+            for j in 0..15 {
+                let min = Point::new(i as f64 * 7.0, j as f64 * 7.0);
+                boxes.push(Polygon::rect(BBox::new(min, min + Point::new(4.0, 4.0))));
+            }
+        }
+        let data = Dataset::from_polygons("boxes", boxes.clone());
+        let constraint = hexagon(50.0, 50.0, 25.0);
+        let out = select(&s, &data, &constraint);
+        let oracle: Vec<u32> = boxes
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| polygons_intersect(b, &constraint))
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(out.result, oracle);
+    }
+
+    #[test]
+    fn line_selection_matches_oracle() {
+        let s = engine();
+        let lines: Vec<LineString> = (0..50)
+            .map(|i| {
+                let x = i as f64 * 2.0;
+                LineString::new(vec![
+                    Point::new(x, 0.0),
+                    Point::new(x + 1.5, 50.0),
+                    Point::new(x, 100.0),
+                ])
+            })
+            .collect();
+        let data = Dataset::from_lines("lines", lines.clone());
+        let constraint = hexagon(50.0, 50.0, 20.0);
+        let out = select(&s, &data, &constraint);
+        let oracle: Vec<u32> = lines
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| {
+                l.segments().any(|seg| {
+                    spade_geometry::predicates::segment_intersects_polygon(seg, &constraint)
+                })
+            })
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(out.result, oracle);
+    }
+
+    #[test]
+    fn empty_results() {
+        let s = engine();
+        let data = Dataset::from_points("pts", scatter(100, 10.0));
+        // Constraint far away from the data.
+        let poly = hexagon(500.0, 500.0, 5.0);
+        let out = select(&s, &data, &poly);
+        assert!(out.result.is_empty());
+        assert_eq!(out.stats.result_count, 0);
+    }
+
+    #[test]
+    fn out_of_core_selection_matches_in_memory() {
+        let s = engine();
+        let pts = scatter(3000, 100.0);
+        let data = Dataset::from_points("pts", pts.clone());
+        let grid = GridIndex::build(None, &data.objects, 20.0).unwrap();
+        let indexed = IndexedDataset::new("pts", DatasetKind::Points, grid);
+        let poly = hexagon(40.0, 60.0, 18.0);
+
+        let mem = select(&s, &data, &poly);
+        let ooc = select_indexed(&s, &indexed, &poly);
+        let mut a = mem.result.clone();
+        a.sort_unstable();
+        assert_eq!(a, ooc.result);
+        // The filter must have pruned at least one of the 25 cells.
+        assert!(ooc.stats.cells_loaded < indexed.grid.num_cells() as u64);
+        assert!(ooc.stats.cells_loaded > 0);
+        assert!(ooc.stats.bytes_from_disk > 0);
+        assert!(ooc.stats.bytes_to_device > 0);
+    }
+
+    #[test]
+    fn out_of_core_polygon_selection() {
+        let s = engine();
+        let mut boxes = Vec::new();
+        for i in 0..12 {
+            for j in 0..12 {
+                let min = Point::new(i as f64 * 8.0, j as f64 * 8.0);
+                boxes.push(Polygon::rect(BBox::new(min, min + Point::new(5.0, 5.0))));
+            }
+        }
+        let data = Dataset::from_polygons("boxes", boxes.clone());
+        let grid = GridIndex::build(None, &data.objects, 30.0).unwrap();
+        let indexed = IndexedDataset::new("boxes", DatasetKind::Polygons, grid);
+        let constraint = hexagon(48.0, 48.0, 20.0);
+        let ooc = select_indexed(&s, &indexed, &constraint);
+        let oracle: Vec<u32> = boxes
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| polygons_intersect(b, &constraint))
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(ooc.result, oracle);
+    }
+
+    #[test]
+    fn containment_selection_polygons() {
+        let s = engine();
+        // A concave (U-shaped) constraint: the vertex test alone would
+        // wrongly accept a box bridging the notch.
+        let constraint = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(30.0, 0.0),
+            Point::new(30.0, 30.0),
+            Point::new(20.0, 30.0),
+            Point::new(20.0, 10.0),
+            Point::new(10.0, 10.0),
+            Point::new(10.0, 30.0),
+            Point::new(0.0, 30.0),
+        ]);
+        let boxes = vec![
+            // Fully inside the left arm.
+            Polygon::rect(BBox::new(Point::new(2.0, 12.0), Point::new(8.0, 28.0))),
+            // Bridges the notch: all four vertices inside, middle outside.
+            Polygon::rect(BBox::new(Point::new(5.0, 2.0), Point::new(25.0, 8.0))),
+            // Crosses the outer rim.
+            Polygon::rect(BBox::new(Point::new(25.0, 25.0), Point::new(35.0, 35.0))),
+            // Fully outside.
+            Polygon::rect(BBox::new(Point::new(50.0, 50.0), Point::new(60.0, 60.0))),
+        ];
+        // Box 1 bridges the notch but its bottom edge stays in the base
+        // (y 2..8 is inside the U's base which spans y 0..10): actually
+        // contained. Shift a probe so part pokes into the notch instead.
+        let bridging = Polygon::rect(BBox::new(Point::new(5.0, 5.0), Point::new(25.0, 9.9)));
+        let mut all = boxes.clone();
+        all.push(bridging);
+        let data = Dataset::from_polygons("boxes", all.clone());
+        let out = select_contained(&s, &data, &constraint);
+        // Oracle: contained iff all vertices inside and no edge crossing.
+        let oracle: Vec<u32> = all
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| {
+                b.exterior
+                    .points
+                    .iter()
+                    .all(|&v| point_in_polygon(v, &constraint))
+                    && !b.boundary_edges().iter().any(|e| {
+                        constraint.boundary_edges().iter().any(|r| {
+                            spade_geometry::predicates::segments_intersect(*e, *r)
+                        })
+                    })
+            })
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(out.result, oracle);
+        assert!(out.result.contains(&0)); // the left-arm box
+        assert!(!out.result.contains(&3)); // the outside box
+    }
+
+    #[test]
+    fn containment_on_points_equals_intersection() {
+        let s = engine();
+        let pts = scatter(500, 50.0);
+        let data = Dataset::from_points("p", pts.clone());
+        let c = hexagon(25.0, 25.0, 12.0);
+        let mut contained = select_contained(&s, &data, &c).result;
+        contained.sort_unstable();
+        let mut intersecting = select(&s, &data, &c).result;
+        intersecting.sort_unstable();
+        assert_eq!(contained, intersecting);
+    }
+
+    #[test]
+    fn containment_with_holes() {
+        let s = engine();
+        let constraint = Polygon::with_holes(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(40.0, 0.0),
+                Point::new(40.0, 40.0),
+                Point::new(0.0, 40.0),
+            ],
+            vec![vec![
+                Point::new(15.0, 15.0),
+                Point::new(25.0, 15.0),
+                Point::new(25.0, 25.0),
+                Point::new(15.0, 25.0),
+            ]],
+        );
+        let boxes = vec![
+            // Clear of the hole: contained.
+            Polygon::rect(BBox::new(Point::new(2.0, 2.0), Point::new(10.0, 10.0))),
+            // Overlapping the hole: not contained.
+            Polygon::rect(BBox::new(Point::new(12.0, 12.0), Point::new(18.0, 18.0))),
+            // Surrounding the hole entirely: not contained either.
+            Polygon::rect(BBox::new(Point::new(10.0, 10.0), Point::new(30.0, 30.0))),
+        ];
+        let data = Dataset::from_polygons("boxes", boxes);
+        let out = select_contained(&s, &data, &constraint);
+        assert_eq!(out.result, vec![0]);
+    }
+
+    #[test]
+    fn out_of_core_containment_matches_in_memory() {
+        let s = engine();
+        let mut boxes = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                let min = Point::new(i as f64 * 10.0, j as f64 * 10.0);
+                boxes.push(Polygon::rect(BBox::new(min, min + Point::new(6.0, 6.0))));
+            }
+        }
+        let data = Dataset::from_polygons("boxes", boxes);
+        let constraint = hexagon(50.0, 50.0, 30.0);
+        let mem = select_contained(&s, &data, &constraint);
+        let grid = GridIndex::build(None, &data.objects, 35.0).unwrap();
+        let indexed = IndexedDataset::new("boxes", DatasetKind::Polygons, grid);
+        let ooc = select_contained_indexed(&s, &indexed, &constraint);
+        let mut mem_sorted = mem.result.clone();
+        mem_sorted.sort_unstable();
+        assert_eq!(ooc.result, mem_sorted);
+        assert!(!ooc.result.is_empty());
+    }
+
+    #[test]
+    fn containment_of_lines() {
+        let s = engine();
+        let c = hexagon(25.0, 25.0, 15.0);
+        let lines = vec![
+            LineString::new(vec![Point::new(20.0, 25.0), Point::new(30.0, 25.0)]), // inside
+            LineString::new(vec![Point::new(25.0, 25.0), Point::new(60.0, 25.0)]), // exits
+        ];
+        let data = Dataset::from_lines("lines", lines);
+        let out = select_contained(&s, &data, &c);
+        assert_eq!(out.result, vec![0]);
+    }
+
+    #[test]
+    fn selection_via_rect_constraint() {
+        let s = engine();
+        let pts = scatter(800, 50.0);
+        let bb = BBox::new(Point::new(10.0, 10.0), Point::new(30.0, 25.0));
+        let c = Constraint::from_rects(&s, &[(0, bb)]);
+        let got = select_points_mem(&s, &Dataset::from_points("p", pts.clone()).as_points(), &c);
+        let oracle: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| bb.contains(**p))
+            .map(|(i, _)| i as u32)
+            .collect();
+        let mut got = got;
+        got.sort_unstable();
+        assert_eq!(got, oracle);
+    }
+}

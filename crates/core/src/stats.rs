@@ -1,0 +1,159 @@
+//! Query statistics: the time breakdown of §6.2.
+//!
+//! The paper profiles every query into four components (Fig. 5 bottom):
+//! I/O time (disk→host and host→device combined), GPU time, polygon
+//! processing time (triangulation + boundary-index creation), and CPU time
+//! (everything else). [`QueryStats`] carries those components plus the
+//! transfer/pass counters the optimizer and the analysis sections reason
+//! about.
+
+use std::time::Duration;
+
+/// Statistics for one query execution.
+#[derive(Debug, Clone, Default)]
+pub struct QueryStats {
+    /// Disk→host plus host→device time (the paper reports them combined).
+    pub io_time: Duration,
+    /// Time spent executing pipeline passes.
+    pub gpu_time: Duration,
+    /// Time triangulating constraint polygons and building boundary data.
+    pub polygon_time: Duration,
+    /// Remaining CPU time (total − io − gpu − polygon).
+    pub cpu_time: Duration,
+    /// Wall-clock total.
+    pub total_time: Duration,
+    /// Bytes read from disk blocks.
+    pub bytes_from_disk: u64,
+    /// Bytes shipped host→device.
+    pub bytes_to_device: u64,
+    /// Rendering passes executed.
+    pub passes: u64,
+    /// Grid cells loaded (out-of-core queries).
+    pub cells_loaded: u64,
+    /// Result cardinality.
+    pub result_count: u64,
+}
+
+impl QueryStats {
+    /// Fill `cpu_time` as the residual of `total_time`.
+    pub fn finish(&mut self, total: Duration) {
+        self.total_time = total;
+        self.cpu_time = total
+            .saturating_sub(self.io_time)
+            .saturating_sub(self.gpu_time)
+            .saturating_sub(self.polygon_time);
+    }
+
+    /// Merge another stats record into this one (summing components).
+    pub fn absorb(&mut self, other: &QueryStats) {
+        self.io_time += other.io_time;
+        self.gpu_time += other.gpu_time;
+        self.polygon_time += other.polygon_time;
+        self.cpu_time += other.cpu_time;
+        self.total_time += other.total_time;
+        self.bytes_from_disk += other.bytes_from_disk;
+        self.bytes_to_device += other.bytes_to_device;
+        self.passes += other.passes;
+        self.cells_loaded += other.cells_loaded;
+        self.result_count += other.result_count;
+    }
+
+    /// Fraction of the total attributed to I/O (the paper observes ≥95%
+    /// for the Buildings workload, §6.2).
+    pub fn io_fraction(&self) -> f64 {
+        if self.total_time.is_zero() {
+            0.0
+        } else {
+            self.io_time.as_secs_f64() / self.total_time.as_secs_f64()
+        }
+    }
+
+    /// One-line breakdown for harness output.
+    pub fn breakdown(&self) -> String {
+        format!(
+            "total={:.3}s io={:.3}s gpu={:.3}s poly={:.3}s cpu={:.3}s passes={} cells={} disk={}B dev={}B",
+            self.total_time.as_secs_f64(),
+            self.io_time.as_secs_f64(),
+            self.gpu_time.as_secs_f64(),
+            self.polygon_time.as_secs_f64(),
+            self.cpu_time.as_secs_f64(),
+            self.passes,
+            self.cells_loaded,
+            self.bytes_from_disk,
+            self.bytes_to_device,
+        )
+    }
+}
+
+/// A query result: the payload plus its statistics.
+#[derive(Debug, Clone)]
+pub struct QueryOutput<T> {
+    pub result: T,
+    pub stats: QueryStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finish_computes_residual_cpu() {
+        let mut s = QueryStats {
+            io_time: Duration::from_millis(50),
+            gpu_time: Duration::from_millis(30),
+            polygon_time: Duration::from_millis(10),
+            ..Default::default()
+        };
+        s.finish(Duration::from_millis(100));
+        assert_eq!(s.cpu_time, Duration::from_millis(10));
+        assert_eq!(s.total_time, Duration::from_millis(100));
+    }
+
+    #[test]
+    fn finish_saturates() {
+        let mut s = QueryStats {
+            io_time: Duration::from_millis(500),
+            ..Default::default()
+        };
+        s.finish(Duration::from_millis(100));
+        assert_eq!(s.cpu_time, Duration::ZERO);
+    }
+
+    #[test]
+    fn absorb_sums() {
+        let mut a = QueryStats {
+            passes: 2,
+            bytes_from_disk: 100,
+            result_count: 5,
+            ..Default::default()
+        };
+        let b = QueryStats {
+            passes: 3,
+            bytes_from_disk: 50,
+            result_count: 7,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.passes, 5);
+        assert_eq!(a.bytes_from_disk, 150);
+        assert_eq!(a.result_count, 12);
+    }
+
+    #[test]
+    fn io_fraction() {
+        let mut s = QueryStats {
+            io_time: Duration::from_millis(75),
+            ..Default::default()
+        };
+        s.finish(Duration::from_millis(100));
+        assert!((s.io_fraction() - 0.75).abs() < 1e-9);
+        assert_eq!(QueryStats::default().io_fraction(), 0.0);
+    }
+
+    #[test]
+    fn breakdown_prints_components() {
+        let s = QueryStats::default();
+        let line = s.breakdown();
+        assert!(line.contains("io=") && line.contains("gpu=") && line.contains("poly="));
+    }
+}

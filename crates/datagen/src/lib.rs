@@ -1,0 +1,25 @@
+//! Synthetic spatial data generators.
+//!
+//! Two families, matching the paper's evaluation data (§6.1, §6.6):
+//!
+//! * [`spider`] — Spider-style generators (the paper uses the Spider
+//!   generator \[19\]): uniform/gaussian points, uniform/gaussian boxes, and
+//!   parcel sets (non-intersecting rectangles of varying sizes), all over
+//!   the unit square.
+//! * [`urban`] — distribution-shaped stand-ins for the real data sets of
+//!   Table 1: clustered city point clouds (taxi/tweet-like), admin-boundary
+//!   tessellations (neighborhood/census/county/zip-like, with controllable
+//!   vertex complexity), and building-like fields of small polygons.
+//!
+//! Every generator is deterministic in its seed.
+
+pub mod spider;
+pub mod urban;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The deterministic RNG used by all generators.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

@@ -1,0 +1,219 @@
+//! Spider-style synthetic generators (§6.6, Table 4).
+//!
+//! The paper generates four classes over the unit square — uniform points,
+//! gaussian points, uniform boxes, gaussian boxes — plus "parcel" data sets
+//! of non-intersecting rectangles used as the polygon side of synthetic
+//! joins. Box counts are chosen so a box data set carries the same number
+//! of vertices as a point data set of 4× the size, exactly as in Table 4.
+
+use rand::distributions::Distribution;
+use rand::Rng;
+use spade_geometry::{BBox, Point, Polygon};
+
+/// Uniformly distributed points over the unit square.
+pub fn uniform_points(n: usize, seed: u64) -> Vec<Point> {
+    let mut r = crate::rng(seed);
+    (0..n)
+        .map(|_| Point::new(r.gen::<f64>(), r.gen::<f64>()))
+        .collect()
+}
+
+/// Normally distributed points centered on the unit square's center
+/// (σ = 0.15, clamped to the square, matching Spider's gaussian preset).
+pub fn gaussian_points(n: usize, seed: u64) -> Vec<Point> {
+    let mut r = crate::rng(seed);
+    let normal = Normal { mean: 0.5, std: 0.15 };
+    (0..n)
+        .map(|_| {
+            Point::new(
+                normal.sample(&mut r).clamp(0.0, 1.0),
+                normal.sample(&mut r).clamp(0.0, 1.0),
+            )
+        })
+        .collect()
+}
+
+/// A tiny Box–Muller normal sampler (keeps the dependency surface to
+/// `rand` itself).
+struct Normal {
+    mean: f64,
+    std: f64,
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen::<f64>().max(1e-12);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mean + self.std * z
+    }
+}
+
+/// Axis-parallel rectangles of varying sizes, uniformly placed.
+/// `max_side` bounds the side length (Spider default ≈ 0.01–0.05 of the
+/// square; pass what the experiment needs).
+pub fn uniform_boxes(n: usize, max_side: f64, seed: u64) -> Vec<Polygon> {
+    let mut r = crate::rng(seed);
+    (0..n)
+        .map(|_| {
+            let w = r.gen::<f64>() * max_side;
+            let h = r.gen::<f64>() * max_side;
+            let x = r.gen::<f64>() * (1.0 - w);
+            let y = r.gen::<f64>() * (1.0 - h);
+            Polygon::rect(BBox::new(Point::new(x, y), Point::new(x + w, y + h)))
+        })
+        .collect()
+}
+
+/// Axis-parallel rectangles of varying sizes, normally placed.
+pub fn gaussian_boxes(n: usize, max_side: f64, seed: u64) -> Vec<Polygon> {
+    let mut r = crate::rng(seed);
+    let normal = Normal { mean: 0.5, std: 0.15 };
+    (0..n)
+        .map(|_| {
+            let w = r.gen::<f64>() * max_side;
+            let h = r.gen::<f64>() * max_side;
+            let x = normal.sample(&mut r).clamp(0.0, 1.0 - w);
+            let y = normal.sample(&mut r).clamp(0.0, 1.0 - h);
+            Polygon::rect(BBox::new(Point::new(x, y), Point::new(x + w, y + h)))
+        })
+        .collect()
+}
+
+/// Parcels: `n` *non-intersecting* rectangles of varying sizes tiling the
+/// unit square (Spider's parcel generator: recursive random splits, each
+/// leaf shrunk by a dither factor so neighbours never touch).
+pub fn parcels(n: usize, dither: f64, seed: u64) -> Vec<Polygon> {
+    let mut r = crate::rng(seed);
+    let mut regions = vec![BBox::new(Point::ZERO, Point::new(1.0, 1.0))];
+    while regions.len() < n {
+        // Split the largest region at a random position.
+        let (idx, _) = regions
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                a.1.area()
+                    .partial_cmp(&b.1.area())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("non-empty regions");
+        let region = regions.swap_remove(idx);
+        let t = 0.3 + 0.4 * r.gen::<f64>();
+        let (a, b) = if region.width() >= region.height() {
+            let x = region.min.x + region.width() * t;
+            (
+                BBox::new(region.min, Point::new(x, region.max.y)),
+                BBox::new(Point::new(x, region.min.y), region.max),
+            )
+        } else {
+            let y = region.min.y + region.height() * t;
+            (
+                BBox::new(region.min, Point::new(region.max.x, y)),
+                BBox::new(Point::new(region.min.x, y), region.max),
+            )
+        };
+        regions.push(a);
+        regions.push(b);
+    }
+    let shrink = dither.clamp(0.0, 0.49);
+    regions
+        .into_iter()
+        .take(n)
+        .map(|b| {
+            let dx = b.width() * shrink;
+            let dy = b.height() * shrink;
+            Polygon::rect(BBox::new(
+                b.min + Point::new(dx, dy),
+                b.max - Point::new(dx, dy),
+            ))
+        })
+        .collect()
+}
+
+/// Scale a unit-square geometry set to an arbitrary extent.
+pub fn scale_points(pts: &[Point], extent: &BBox) -> Vec<Point> {
+    pts.iter()
+        .map(|p| {
+            Point::new(
+                extent.min.x + p.x * extent.width(),
+                extent.min.y + p.y * extent.height(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spade_geometry::predicates::polygons_intersect;
+
+    #[test]
+    fn uniform_points_cover_square() {
+        let pts = uniform_points(5000, 1);
+        assert_eq!(pts.len(), 5000);
+        assert!(pts.iter().all(|p| (0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y)));
+        // Roughly uniform: each quadrant holds 15–35%.
+        let q1 = pts.iter().filter(|p| p.x < 0.5 && p.y < 0.5).count();
+        assert!((750..=1750).contains(&q1), "q1 = {q1}");
+    }
+
+    #[test]
+    fn gaussian_points_concentrate() {
+        let pts = gaussian_points(5000, 2);
+        let center = Point::new(0.5, 0.5);
+        let near = pts.iter().filter(|p| p.dist(center) < 0.2).count();
+        let far = pts.iter().filter(|p| p.dist(center) > 0.45).count();
+        assert!(near > far * 2, "near={near} far={far}");
+    }
+
+    #[test]
+    fn determinism() {
+        assert_eq!(uniform_points(100, 7), uniform_points(100, 7));
+        assert_ne!(uniform_points(100, 7), uniform_points(100, 8));
+    }
+
+    #[test]
+    fn boxes_inside_square() {
+        for b in uniform_boxes(500, 0.05, 3) {
+            let bb = b.bbox();
+            assert!(bb.min.x >= 0.0 && bb.max.x <= 1.0);
+            assert!(bb.min.y >= 0.0 && bb.max.y <= 1.0);
+            assert!(bb.width() <= 0.05 + 1e-12);
+        }
+        for b in gaussian_boxes(500, 0.05, 4) {
+            let bb = b.bbox();
+            assert!(bb.min.x >= 0.0 && bb.max.x <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn parcels_are_disjoint_and_complete() {
+        let ps = parcels(200, 0.05, 5);
+        assert_eq!(ps.len(), 200);
+        for i in 0..ps.len() {
+            for j in i + 1..ps.len() {
+                assert!(
+                    !polygons_intersect(&ps[i], &ps[j]),
+                    "parcels {i} and {j} intersect"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parcel_sizes_vary() {
+        let ps = parcels(100, 0.02, 6);
+        let areas: Vec<f64> = ps.iter().map(|p| p.area()).collect();
+        let max = areas.iter().fold(0.0f64, |a, &b| a.max(b));
+        let min = areas.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        assert!(max > min * 1.5);
+    }
+
+    #[test]
+    fn scaling_maps_extent() {
+        let pts = uniform_points(100, 9);
+        let extent = BBox::new(Point::new(-74.3, 40.5), Point::new(-73.7, 40.9));
+        let scaled = scale_points(&pts, &extent);
+        assert!(scaled.iter().all(|p| extent.contains(*p)));
+    }
+}

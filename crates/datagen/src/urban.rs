@@ -1,0 +1,338 @@
+//! Distribution-shaped stand-ins for the paper's real data sets (Table 1).
+//!
+//! The evaluation's real data sets are proprietary or huge (1.2 B taxi
+//! pickups, 2.3 B tweets, 114 M OSM buildings). These generators reproduce
+//! the properties the experiments exercise — clustered urban point
+//! densities, admin-boundary tessellations with high vertex counts, fields
+//! of small building polygons — at configurable scale (see DESIGN.md's
+//! substitution table).
+
+use rand::Rng;
+use spade_geometry::{BBox, Point, Polygon};
+
+/// A clustered urban point cloud (taxi-pickup / tweet-like): a mixture of
+/// gaussian hotspots over the extent plus a uniform background.
+///
+/// `hotspots` controls how many centers; density concentrates like urban
+/// activity (Fig. 5's selectivity spread comes from this skew).
+pub fn clustered_points(n: usize, extent: &BBox, hotspots: usize, seed: u64) -> Vec<Point> {
+    let mut r = crate::rng(seed);
+    let hotspots = hotspots.max(1);
+    let centers: Vec<(Point, f64, f64)> = (0..hotspots)
+        .map(|_| {
+            let c = Point::new(
+                extent.min.x + r.gen::<f64>() * extent.width(),
+                extent.min.y + r.gen::<f64>() * extent.height(),
+            );
+            let sigma = (0.01 + 0.05 * r.gen::<f64>()) * extent.width().max(extent.height());
+            let weight = r.gen::<f64>() + 0.2;
+            (c, sigma, weight)
+        })
+        .collect();
+    let total_w: f64 = centers.iter().map(|c| c.2).sum();
+
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        // 85% hotspot traffic, 15% background.
+        if r.gen::<f64>() < 0.85 {
+            let mut pick = r.gen::<f64>() * total_w;
+            let mut chosen = &centers[0];
+            for c in &centers {
+                if pick < c.2 {
+                    chosen = c;
+                    break;
+                }
+                pick -= c.2;
+            }
+            let (c, sigma, _) = chosen;
+            let p = Point::new(c.x + gauss(&mut r) * sigma, c.y + gauss(&mut r) * sigma);
+            if extent.contains(p) {
+                out.push(p);
+            }
+        } else {
+            out.push(Point::new(
+                extent.min.x + r.gen::<f64>() * extent.width(),
+                extent.min.y + r.gen::<f64>() * extent.height(),
+            ));
+        }
+    }
+    out
+}
+
+fn gauss<R: Rng>(r: &mut R) -> f64 {
+    let u1: f64 = r.gen::<f64>().max(1e-12);
+    let u2: f64 = r.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// An admin-boundary-like tessellation (neighborhood / census / county /
+/// zip-code analogue): a kd-tessellation of the extent into `n` convex
+/// cells, each boundary subdivided so every polygon carries
+/// ≈ `vertices_per_polygon` vertices — the paper's polygon-complexity
+/// analyses (counties average 5 183 points!) depend on this knob.
+pub fn admin_polygons(
+    n: usize,
+    extent: &BBox,
+    vertices_per_polygon: usize,
+    seed: u64,
+) -> Vec<Polygon> {
+    let mut r = crate::rng(seed);
+    let mut regions = vec![*extent];
+    while regions.len() < n {
+        let (idx, _) = regions
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                a.1.area()
+                    .partial_cmp(&b.1.area())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("regions");
+        let region = regions.swap_remove(idx);
+        let t = 0.35 + 0.3 * r.gen::<f64>();
+        let (a, b) = if region.width() >= region.height() {
+            let x = region.min.x + region.width() * t;
+            (
+                BBox::new(region.min, Point::new(x, region.max.y)),
+                BBox::new(Point::new(x, region.min.y), region.max),
+            )
+        } else {
+            let y = region.min.y + region.height() * t;
+            (
+                BBox::new(region.min, Point::new(region.max.x, y)),
+                BBox::new(Point::new(region.min.x, y), region.max),
+            )
+        };
+        regions.push(a);
+        regions.push(b);
+    }
+    regions
+        .into_iter()
+        .take(n)
+        .map(|bb| {
+            // Shrink slightly (admin boundaries rarely touch exactly in
+            // digitized data) and subdivide edges to the target complexity
+            // with a wobble that keeps the polygon simple.
+            let bb = bb.inflate(-0.008 * bb.width().min(bb.height()));
+            let corners = bb.corners();
+            let per_edge = (vertices_per_polygon / 4).max(1);
+            let mut pts = Vec::with_capacity(per_edge * 4);
+            // Wobble strictly perpendicular to each edge, inward, bounded
+            // well below the half-extent: along-edge ordering is preserved,
+            // so the ring stays simple (no self-intersections).
+            let wobble = 0.02 * bb.width().min(bb.height());
+            for i in 0..4 {
+                let a = corners[i];
+                let b = corners[(i + 1) % 4];
+                // Corners are CCW, so the inward normal is the left normal.
+                let inward = (b - a).perp().normalized().unwrap_or(Point::ZERO);
+                for k in 0..per_edge {
+                    let t = k as f64 / per_edge as f64;
+                    let mut p = a.lerp(b, t);
+                    if k != 0 {
+                        p = p + inward * (r.gen::<f64>() * wobble);
+                    }
+                    pts.push(p);
+                }
+            }
+            Polygon::new(pts)
+        })
+        .collect()
+}
+
+/// A building-like polygon field: many small quadrilaterals clustered into
+/// city blocks (OSM-buildings analogue: the worst case for SPADE's
+/// indexing when polygons approach pixel size, §6.2).
+pub fn building_polygons(n: usize, extent: &BBox, seed: u64) -> Vec<Polygon> {
+    let mut r = crate::rng(seed);
+    let blocks = ((n as f64).sqrt() as usize).clamp(1, 256);
+    let centers: Vec<Point> = (0..blocks)
+        .map(|_| {
+            Point::new(
+                extent.min.x + r.gen::<f64>() * extent.width(),
+                extent.min.y + r.gen::<f64>() * extent.height(),
+            )
+        })
+        .collect();
+    let block_size = extent.width().max(extent.height()) / blocks as f64 * 2.0;
+    let side = block_size / 12.0;
+    (0..n)
+        .map(|i| {
+            let c = centers[i % blocks];
+            let p = Point::new(
+                c.x + (r.gen::<f64>() - 0.5) * block_size,
+                c.y + (r.gen::<f64>() - 0.5) * block_size,
+            );
+            let w = side * (0.5 + r.gen::<f64>());
+            let h = side * (0.5 + r.gen::<f64>());
+            let angle = r.gen::<f64>() * std::f64::consts::FRAC_PI_2;
+            let (s, co) = angle.sin_cos();
+            let rot = |dx: f64, dy: f64| Point::new(p.x + dx * co - dy * s, p.y + dx * s + dy * co);
+            Polygon::new(vec![
+                rot(-w, -h),
+                rot(w, -h),
+                rot(w, h),
+                rot(-w, h),
+            ])
+        })
+        .collect()
+}
+
+/// Query constraint polygons resembling neighborhood/county/country
+/// boundaries: convex-ish blobs of controllable vertex count and radius,
+/// placed within the extent.
+pub fn constraint_polygons(
+    n: usize,
+    extent: &BBox,
+    radius_frac: f64,
+    vertices: usize,
+    seed: u64,
+) -> Vec<Polygon> {
+    let mut r = crate::rng(seed);
+    let base_r = radius_frac * extent.width().min(extent.height());
+    (0..n)
+        .map(|_| {
+            let c = Point::new(
+                extent.min.x + (0.2 + 0.6 * r.gen::<f64>()) * extent.width(),
+                extent.min.y + (0.2 + 0.6 * r.gen::<f64>()) * extent.height(),
+            );
+            let k = vertices.max(3);
+            // A star-convex blob: the radius varies smoothly around the
+            // loop via a few low-frequency harmonics, keeping the ring
+            // simple (no self-intersections) while far from circular.
+            let harmonics: Vec<(f64, f64, f64)> = (2..5)
+                .map(|h| {
+                    (
+                        h as f64,
+                        0.25 / (h - 1) as f64 * r.gen::<f64>(),
+                        r.gen::<f64>() * std::f64::consts::TAU,
+                    )
+                })
+                .collect();
+            let pts = (0..k)
+                .map(|i| {
+                    let t = std::f64::consts::TAU * i as f64 / k as f64;
+                    let mut rr = 1.0;
+                    for &(freq, amp, phase) in &harmonics {
+                        rr += amp * (freq * t + phase).sin();
+                    }
+                    Point::new(c.x + base_r * rr * t.cos(), c.y + base_r * rr * t.sin())
+                })
+                .collect();
+            Polygon::new(pts)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spade_geometry::predicates::polygons_intersect;
+
+    fn nyc() -> BBox {
+        BBox::new(Point::new(-74.3, 40.5), Point::new(-73.7, 40.95))
+    }
+
+    #[test]
+    fn clustered_points_in_extent_and_skewed() {
+        let e = nyc();
+        let pts = clustered_points(5000, &e, 6, 1);
+        assert_eq!(pts.len(), 5000);
+        assert!(pts.iter().all(|p| e.contains(*p)));
+        // Skew: split the extent into a 8×8 grid; the densest cell should
+        // hold far more than the uniform share.
+        let mut cells = [0usize; 64];
+        for p in &pts {
+            let cx = (((p.x - e.min.x) / e.width() * 8.0) as usize).min(7);
+            let cy = (((p.y - e.min.y) / e.height() * 8.0) as usize).min(7);
+            cells[cy * 8 + cx] += 1;
+        }
+        let max = *cells.iter().max().unwrap();
+        assert!(max > 5000 / 64 * 3, "max cell {max} not skewed");
+    }
+
+    #[test]
+    fn admin_polygons_are_simple() {
+        // No two non-adjacent edges of a generated polygon may intersect;
+        // a self-intersecting constraint would make the exact predicates
+        // (even-odd ray cast) and the triangulation disagree.
+        use spade_geometry::predicates::segments_intersect;
+        for seed in [2u64, 7, 99] {
+            for poly in admin_polygons(10, &nyc(), 64, seed) {
+                let edges = poly.boundary_edges();
+                let n = edges.len();
+                for i in 0..n {
+                    for j in i + 2..n {
+                        if i == 0 && j == n - 1 {
+                            continue; // adjacent around the loop
+                        }
+                        assert!(
+                            !segments_intersect(edges[i], edges[j]),
+                            "edges {i} and {j} cross (seed {seed})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn admin_polygons_tile_without_overlap() {
+        let e = nyc();
+        let polys = admin_polygons(40, &e, 32, 2);
+        assert_eq!(polys.len(), 40);
+        for p in &polys {
+            assert!(p.num_vertices() >= 16, "vertices = {}", p.num_vertices());
+            assert!(p.area() > 0.0);
+            // Simple polygon sanity: triangulation reproduces the area.
+            let tri_area: f64 = p.triangulate().iter().map(|t| t.area()).sum();
+            assert!((tri_area - p.area()).abs() < p.area() * 1e-6);
+        }
+        for i in 0..polys.len() {
+            for j in i + 1..polys.len() {
+                assert!(
+                    !polygons_intersect(&polys[i], &polys[j]),
+                    "admin polygons {i}, {j} overlap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn buildings_are_small_and_many() {
+        let e = nyc();
+        let polys = building_polygons(2000, &e, 3);
+        assert_eq!(polys.len(), 2000);
+        let total_area: f64 = polys.iter().map(|p| p.area()).sum();
+        assert!(total_area < e.area() * 0.5);
+        for p in &polys {
+            assert_eq!(p.exterior.len(), 4);
+        }
+    }
+
+    #[test]
+    fn constraint_polygons_are_valid() {
+        let e = nyc();
+        let cs = constraint_polygons(10, &e, 0.1, 48, 4);
+        assert_eq!(cs.len(), 10);
+        for c in &cs {
+            assert_eq!(c.exterior.len(), 48);
+            assert!(c.area() > 0.0);
+            let tri_area: f64 = c.triangulate().iter().map(|t| t.area()).sum();
+            assert!(
+                (tri_area - c.area()).abs() < c.area() * 1e-6,
+                "constraint not simple"
+            );
+        }
+    }
+
+    #[test]
+    fn generators_deterministic() {
+        let e = nyc();
+        assert_eq!(
+            clustered_points(50, &e, 3, 9),
+            clustered_points(50, &e, 3, 9)
+        );
+        assert_eq!(admin_polygons(5, &e, 16, 9), admin_polygons(5, &e, 16, 9));
+    }
+}

@@ -1,0 +1,262 @@
+//! Axis-aligned bounding boxes.
+
+use crate::point::Point;
+
+/// An axis-aligned bounding box, `[min, max]` inclusive on both ends.
+///
+/// Boxes are used for the viewport/clip region of the rasterization pipeline,
+/// rectangular range constraints (§4.2 "Optimizing for Rectangular Range
+/// Queries"), and coarse filtering everywhere.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BBox {
+    pub min: Point,
+    pub max: Point,
+}
+
+impl BBox {
+    /// A box from two corner points (any opposite pair, in any order).
+    pub fn new(a: Point, b: Point) -> Self {
+        BBox {
+            min: a.min(b),
+            max: a.max(b),
+        }
+    }
+
+    /// The "empty" box: inverted bounds that any point expands.
+    pub fn empty() -> Self {
+        BBox {
+            min: Point::new(f64::INFINITY, f64::INFINITY),
+            max: Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+        }
+    }
+
+    /// True when the box contains no points (never expanded).
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y
+    }
+
+    /// The tightest box around an iterator of points.
+    pub fn from_points<I: IntoIterator<Item = Point>>(pts: I) -> Self {
+        let mut b = BBox::empty();
+        for p in pts {
+            b.expand(p);
+        }
+        b
+    }
+
+    /// Grow to include `p`.
+    #[inline]
+    pub fn expand(&mut self, p: Point) {
+        self.min = self.min.min(p);
+        self.max = self.max.max(p);
+    }
+
+    /// Grow to include all of `other`.
+    pub fn union(&self, other: &BBox) -> BBox {
+        BBox {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Shrink/grow each side by `margin` (negative shrinks).
+    pub fn inflate(&self, margin: f64) -> BBox {
+        BBox {
+            min: Point::new(self.min.x - margin, self.min.y - margin),
+            max: Point::new(self.max.x + margin, self.max.y + margin),
+        }
+    }
+
+    #[inline]
+    pub fn width(&self) -> f64 {
+        (self.max.x - self.min.x).max(0.0)
+    }
+
+    #[inline]
+    pub fn height(&self) -> f64 {
+        (self.max.y - self.min.y).max(0.0)
+    }
+
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min.x + self.max.x) * 0.5,
+            (self.min.y + self.max.y) * 0.5,
+        )
+    }
+
+    /// Containment test, inclusive of the boundary.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// True when `other` lies entirely inside `self` (boundary inclusive).
+    pub fn contains_box(&self, other: &BBox) -> bool {
+        !other.is_empty()
+            && other.min.x >= self.min.x
+            && other.max.x <= self.max.x
+            && other.min.y >= self.min.y
+            && other.max.y <= self.max.y
+    }
+
+    /// Boundary-inclusive overlap test.
+    #[inline]
+    pub fn intersects(&self, other: &BBox) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+    }
+
+    /// The overlapping region, or `None` when disjoint.
+    pub fn intersection(&self, other: &BBox) -> Option<BBox> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(BBox {
+            min: self.min.max(other.min),
+            max: self.max.min(other.max),
+        })
+    }
+
+    /// The four corners in counter-clockwise order starting at `min`.
+    pub fn corners(&self) -> [Point; 4] {
+        [
+            self.min,
+            Point::new(self.max.x, self.min.y),
+            self.max,
+            Point::new(self.min.x, self.max.y),
+        ]
+    }
+
+    /// Minimum distance from `p` to the box (0 when inside).
+    pub fn dist_to_point(&self, p: Point) -> f64 {
+        let dx = (self.min.x - p.x).max(0.0).max(p.x - self.max.x);
+        let dy = (self.min.y - p.y).max(0.0).max(p.y - self.max.y);
+        dx.hypot(dy)
+    }
+
+    /// Maximum distance from `p` to any point of the box.
+    ///
+    /// Used by kNN queries to derive `r_max`, the largest circle radius
+    /// needed to cover the data set from the query point (§5.2).
+    pub fn max_dist_to_point(&self, p: Point) -> f64 {
+        self.corners()
+            .iter()
+            .map(|c| c.dist(p))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_normalizes_corner_order() {
+        let b = BBox::new(Point::new(5.0, 1.0), Point::new(2.0, 8.0));
+        assert_eq!(b.min, Point::new(2.0, 1.0));
+        assert_eq!(b.max, Point::new(5.0, 8.0));
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let e = BBox::empty();
+        assert!(e.is_empty());
+        assert!(!e.contains(Point::ZERO));
+        assert!(!e.intersects(&BBox::new(Point::ZERO, Point::new(1.0, 1.0))));
+        let mut e2 = BBox::empty();
+        e2.expand(Point::new(3.0, 4.0));
+        assert!(!e2.is_empty());
+        assert_eq!(e2.min, e2.max);
+    }
+
+    #[test]
+    fn from_points_is_tight() {
+        let b = BBox::from_points([
+            Point::new(1.0, 1.0),
+            Point::new(-2.0, 5.0),
+            Point::new(0.0, 0.0),
+        ]);
+        assert_eq!(b.min, Point::new(-2.0, 0.0));
+        assert_eq!(b.max, Point::new(1.0, 5.0));
+    }
+
+    #[test]
+    fn containment_and_intersection() {
+        let a = BBox::new(Point::ZERO, Point::new(10.0, 10.0));
+        let b = BBox::new(Point::new(5.0, 5.0), Point::new(15.0, 15.0));
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, BBox::new(Point::new(5.0, 5.0), Point::new(10.0, 10.0)));
+        assert!(a.contains(Point::new(10.0, 10.0))); // boundary inclusive
+        assert!(!a.contains(Point::new(10.0, 10.1)));
+        let c = BBox::new(Point::new(2.0, 2.0), Point::new(3.0, 3.0));
+        assert!(a.contains_box(&c));
+        assert!(!c.contains_box(&a));
+    }
+
+    #[test]
+    fn disjoint_boxes() {
+        let a = BBox::new(Point::ZERO, Point::new(1.0, 1.0));
+        let b = BBox::new(Point::new(2.0, 2.0), Point::new(3.0, 3.0));
+        assert!(!a.intersects(&b));
+        assert!(a.intersection(&b).is_none());
+    }
+
+    #[test]
+    fn touching_boxes_intersect() {
+        let a = BBox::new(Point::ZERO, Point::new(1.0, 1.0));
+        let b = BBox::new(Point::new(1.0, 0.0), Point::new(2.0, 1.0));
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection(&b).unwrap().area(), 0.0);
+    }
+
+    #[test]
+    fn measurements() {
+        let b = BBox::new(Point::ZERO, Point::new(4.0, 2.0));
+        assert_eq!(b.width(), 4.0);
+        assert_eq!(b.height(), 2.0);
+        assert_eq!(b.area(), 8.0);
+        assert_eq!(b.center(), Point::new(2.0, 1.0));
+    }
+
+    #[test]
+    fn inflate_grows_and_shrinks() {
+        let b = BBox::new(Point::ZERO, Point::new(4.0, 4.0));
+        let g = b.inflate(1.0);
+        assert_eq!(g.min, Point::new(-1.0, -1.0));
+        assert_eq!(g.max, Point::new(5.0, 5.0));
+        let s = b.inflate(-1.0);
+        assert_eq!(s.area(), 4.0);
+    }
+
+    #[test]
+    fn point_distances() {
+        let b = BBox::new(Point::ZERO, Point::new(2.0, 2.0));
+        assert_eq!(b.dist_to_point(Point::new(1.0, 1.0)), 0.0);
+        assert_eq!(b.dist_to_point(Point::new(5.0, 2.0)), 3.0);
+        assert!((b.dist_to_point(Point::new(5.0, 6.0)) - 5.0).abs() < 1e-12);
+        assert!((b.max_dist_to_point(Point::ZERO) - (8.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corners_are_ccw() {
+        let b = BBox::new(Point::ZERO, Point::new(1.0, 1.0));
+        let c = b.corners();
+        // shoelace area of the corner loop must be positive (CCW)
+        let mut area = 0.0;
+        for i in 0..4 {
+            let j = (i + 1) % 4;
+            area += c[i].cross(c[j]);
+        }
+        assert!(area > 0.0);
+    }
+}

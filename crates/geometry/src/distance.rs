@@ -1,0 +1,178 @@
+//! Distance computations.
+//!
+//! Distance-based selections/joins and kNN queries (§4.2, §5.2) need the
+//! minimum Euclidean distance from points to points, segments and polygons.
+//! SPADE answers these *accurately* with respect to the full geometry —
+//! unlike systems that approximate the distance to a line/polygon by the
+//! distance to its center (the paper calls this out for GeoSpark).
+
+use crate::point::Point;
+use crate::predicates::point_in_polygon;
+use crate::primitives::{LineString, Polygon, Segment};
+
+/// Minimum distance from `p` to segment `s`.
+pub fn point_segment_distance(p: Point, s: Segment) -> f64 {
+    let d = s.b - s.a;
+    let len_sq = d.norm_sq();
+    if len_sq <= f64::EPSILON {
+        return p.dist(s.a);
+    }
+    let t = ((p - s.a).dot(d) / len_sq).clamp(0.0, 1.0);
+    p.dist(s.a + d * t)
+}
+
+/// Minimum distance between two segments (0 when they intersect).
+pub fn segment_segment_distance(s1: Segment, s2: Segment) -> f64 {
+    if crate::predicates::segments_intersect(s1, s2) {
+        return 0.0;
+    }
+    point_segment_distance(s1.a, s2)
+        .min(point_segment_distance(s1.b, s2))
+        .min(point_segment_distance(s2.a, s1))
+        .min(point_segment_distance(s2.b, s1))
+}
+
+/// Minimum distance from `p` to a polyline.
+pub fn point_linestring_distance(p: Point, l: &LineString) -> f64 {
+    match l.points.len() {
+        0 => f64::INFINITY,
+        1 => p.dist(l.points[0]),
+        _ => l
+            .segments()
+            .map(|s| point_segment_distance(p, s))
+            .fold(f64::INFINITY, f64::min),
+    }
+}
+
+/// Minimum distance from `p` to a polygon (0 when inside or on the rim).
+pub fn point_polygon_distance(p: Point, poly: &Polygon) -> f64 {
+    if point_in_polygon(p, poly) {
+        return 0.0;
+    }
+    poly.boundary_edges()
+        .iter()
+        .map(|&e| point_segment_distance(p, e))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Minimum distance between a segment and a polygon.
+pub fn segment_polygon_distance(s: Segment, poly: &Polygon) -> f64 {
+    if crate::predicates::segment_intersects_polygon(s, poly) {
+        return 0.0;
+    }
+    poly.boundary_edges()
+        .iter()
+        .map(|&e| segment_segment_distance(s, e))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Minimum distance between two polygons.
+pub fn polygon_polygon_distance(p1: &Polygon, p2: &Polygon) -> f64 {
+    if crate::predicates::polygons_intersect(p1, p2) {
+        return 0.0;
+    }
+    let e2 = p2.boundary_edges();
+    p1.boundary_edges()
+        .iter()
+        .map(|&a| {
+            e2.iter()
+                .map(|&b| segment_segment_distance(a, b))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bbox::BBox;
+
+    fn square() -> Polygon {
+        Polygon::rect(BBox::new(Point::ZERO, Point::new(4.0, 4.0)))
+    }
+
+    #[test]
+    fn point_segment_perpendicular() {
+        let s = Segment::new(Point::ZERO, Point::new(4.0, 0.0));
+        assert!((point_segment_distance(Point::new(2.0, 3.0), s) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_segment_past_endpoints() {
+        let s = Segment::new(Point::ZERO, Point::new(4.0, 0.0));
+        assert!((point_segment_distance(Point::new(7.0, 4.0), s) - 5.0).abs() < 1e-12);
+        assert!((point_segment_distance(Point::new(-3.0, 4.0), s) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_degenerate_segment() {
+        let s = Segment::new(Point::new(1.0, 1.0), Point::new(1.0, 1.0));
+        assert!((point_segment_distance(Point::new(4.0, 5.0), s) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_on_segment_is_zero() {
+        let s = Segment::new(Point::ZERO, Point::new(4.0, 0.0));
+        assert_eq!(point_segment_distance(Point::new(2.0, 0.0), s), 0.0);
+    }
+
+    #[test]
+    fn segment_segment_cases() {
+        let s1 = Segment::new(Point::ZERO, Point::new(4.0, 0.0));
+        // Crossing → 0.
+        let s2 = Segment::new(Point::new(2.0, -1.0), Point::new(2.0, 1.0));
+        assert_eq!(segment_segment_distance(s1, s2), 0.0);
+        // Parallel at height 2.
+        let s3 = Segment::new(Point::new(0.0, 2.0), Point::new(4.0, 2.0));
+        assert!((segment_segment_distance(s1, s3) - 2.0).abs() < 1e-12);
+        // Endpoint to endpoint.
+        let s4 = Segment::new(Point::new(7.0, 4.0), Point::new(9.0, 4.0));
+        assert!((segment_segment_distance(s1, s4) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_linestring_cases() {
+        let l = LineString::new(vec![
+            Point::ZERO,
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+        ]);
+        assert!((point_linestring_distance(Point::new(6.0, 2.0), &l) - 2.0).abs() < 1e-12);
+        assert_eq!(
+            point_linestring_distance(Point::ZERO, &LineString::default()),
+            f64::INFINITY
+        );
+        let single = LineString::new(vec![Point::new(1.0, 1.0)]);
+        assert!((point_linestring_distance(Point::new(4.0, 5.0), &single) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_polygon_cases() {
+        let p = square();
+        assert_eq!(point_polygon_distance(Point::new(2.0, 2.0), &p), 0.0); // inside
+        assert_eq!(point_polygon_distance(Point::new(4.0, 2.0), &p), 0.0); // on rim
+        assert!((point_polygon_distance(Point::new(7.0, 2.0), &p) - 3.0).abs() < 1e-12);
+        assert!((point_polygon_distance(Point::new(7.0, 8.0), &p) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segment_polygon_cases() {
+        let p = square();
+        let crossing = Segment::new(Point::new(-1.0, 2.0), Point::new(5.0, 2.0));
+        assert_eq!(segment_polygon_distance(crossing, &p), 0.0);
+        let near = Segment::new(Point::new(6.0, 0.0), Point::new(6.0, 4.0));
+        assert!((segment_polygon_distance(near, &p) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polygon_polygon_cases() {
+        let a = square();
+        let b = Polygon::rect(BBox::new(Point::new(7.0, 0.0), Point::new(9.0, 4.0)));
+        assert!((polygon_polygon_distance(&a, &b) - 3.0).abs() < 1e-12);
+        let c = Polygon::rect(BBox::new(Point::new(2.0, 2.0), Point::new(9.0, 4.0)));
+        assert_eq!(polygon_polygon_distance(&a, &c), 0.0);
+        // Nested polygons intersect → distance 0.
+        let inner = Polygon::rect(BBox::new(Point::new(1.0, 1.0), Point::new(2.0, 2.0)));
+        assert_eq!(polygon_polygon_distance(&a, &inner), 0.0);
+    }
+}

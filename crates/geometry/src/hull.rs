@@ -1,0 +1,155 @@
+//! Convex hulls.
+//!
+//! SPADE's clustered grid index stores, for each cell, the *convex hull* of
+//! the geometries in the cell instead of a bounding box (§5.3) — the tighter
+//! bound lets the GPU-based index-filter stage discard more data. This module
+//! implements Andrew's monotone-chain hull.
+
+use crate::point::Point;
+use crate::primitives::Polygon;
+
+/// Convex hull of a point set, as a CCW ring without repeated endpoints.
+///
+/// Returns fewer than 3 points for degenerate inputs (empty, single point,
+/// or all-collinear sets return the extreme points).
+pub fn convex_hull(points: &[Point]) -> Vec<Point> {
+    let mut pts: Vec<Point> = points.iter().copied().filter(|p| p.is_finite()).collect();
+    if pts.len() < 3 {
+        pts.sort_by(cmp_xy);
+        pts.dedup();
+        return pts;
+    }
+    pts.sort_by(cmp_xy);
+    pts.dedup();
+    if pts.len() < 3 {
+        return pts;
+    }
+
+    let n = pts.len();
+    let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
+
+    // Lower hull.
+    for &p in &pts {
+        while hull.len() >= 2 && turns_right_or_straight(hull[hull.len() - 2], hull[hull.len() - 1], p)
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len
+            && turns_right_or_straight(hull[hull.len() - 2], hull[hull.len() - 1], p)
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // the first point is repeated at the end
+    hull
+}
+
+/// Convex hull wrapped as a [`Polygon`]; `None` for degenerate inputs.
+pub fn convex_hull_polygon(points: &[Point]) -> Option<Polygon> {
+    let h = convex_hull(points);
+    if h.len() < 3 {
+        None
+    } else {
+        Some(Polygon::new(h))
+    }
+}
+
+fn cmp_xy(a: &Point, b: &Point) -> std::cmp::Ordering {
+    a.x.partial_cmp(&b.x)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then(a.y.partial_cmp(&b.y).unwrap_or(std::cmp::Ordering::Equal))
+}
+
+fn turns_right_or_straight(a: Point, b: Point, c: Point) -> bool {
+    (b - a).cross(c - a) <= 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicates::point_in_polygon;
+    use crate::primitives::Ring;
+
+    #[test]
+    fn square_corners() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+            Point::new(2.0, 2.0), // interior point must be dropped
+            Point::new(1.0, 0.0), // collinear boundary point must be dropped
+        ];
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 4);
+        let r = Ring::new(h);
+        assert!(r.is_ccw());
+        assert!((r.area() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(convex_hull(&[]).is_empty());
+        assert_eq!(convex_hull(&[Point::new(1.0, 1.0)]).len(), 1);
+        // Duplicates collapse.
+        assert_eq!(
+            convex_hull(&[Point::new(1.0, 1.0), Point::new(1.0, 1.0)]).len(),
+            1
+        );
+        // Collinear points: only the two extremes survive.
+        let line = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+            Point::new(3.0, 3.0),
+        ];
+        let h = convex_hull(&line);
+        assert_eq!(h.len(), 2);
+        assert!(convex_hull_polygon(&line).is_none());
+    }
+
+    #[test]
+    fn hull_contains_all_inputs() {
+        // A deterministic pseudo-random scatter.
+        let mut pts = Vec::new();
+        let mut s = 123456789u64;
+        for _ in 0..200 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let x = ((s >> 33) as f64 / (1u64 << 31) as f64) * 10.0;
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let y = ((s >> 33) as f64 / (1u64 << 31) as f64) * 10.0;
+            pts.push(Point::new(x, y));
+        }
+        let poly = convex_hull_polygon(&pts).unwrap();
+        for &p in &pts {
+            assert!(point_in_polygon(p, &poly), "{p:?} outside its own hull");
+        }
+        // The hull ring must be convex: every turn CCW-or-straight.
+        let h = &poly.exterior.points;
+        let n = h.len();
+        for i in 0..n {
+            let a = h[i];
+            let b = h[(i + 1) % n];
+            let c = h[(i + 2) % n];
+            assert!((b - a).cross(c - a) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn hull_ignores_non_finite_points() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(0.0, 4.0),
+            Point::new(f64::NAN, 1.0),
+        ];
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 3);
+    }
+}

@@ -1,0 +1,227 @@
+//! 2-D points and vectors.
+
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A 2-D point (also used as a vector) with `f64` coordinates.
+///
+/// SPADE works in two coordinate systems: geographic degrees (EPSG:4326)
+/// and projected meters (EPSG:3857, used for distance and kNN queries).
+/// `Point` is agnostic; [`crate::project`] converts between them.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ZERO: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Dot product, treating both points as vectors.
+    #[inline]
+    pub fn dot(self, other: Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (z-component of the 3-D cross product).
+    #[inline]
+    pub fn cross(self, other: Point) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Euclidean length of the vector.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Squared Euclidean length; avoids the sqrt when only comparing.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn dist(self, other: Point) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Squared Euclidean distance to another point.
+    #[inline]
+    pub fn dist_sq(self, other: Point) -> f64 {
+        (self - other).norm_sq()
+    }
+
+    /// Unit vector in the same direction. Returns `None` for (near-)zero
+    /// vectors where the direction is undefined.
+    pub fn normalized(self) -> Option<Point> {
+        let n = self.norm();
+        if n <= f64::EPSILON {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// The vector rotated 90° counter-clockwise.
+    #[inline]
+    pub fn perp(self) -> Point {
+        Point::new(-self.y, self.x)
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    #[inline]
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        self + (other - self) * t
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, other: Point) -> Point {
+        Point::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, other: Point) -> Point {
+        Point::new(self.x.max(other.x), self.y.max(other.y))
+    }
+
+    /// True when both coordinates are finite (no NaN / infinity).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Div<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn div(self, rhs: f64) -> Point {
+        Point::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Point {
+    type Output = Point;
+    #[inline]
+    fn neg(self) -> Point {
+        Point::new(-self.x, -self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, -1.0);
+        assert_eq!(a + b, Point::new(4.0, 1.0));
+        assert_eq!(a - b, Point::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+        assert_eq!(b / 2.0, Point::new(1.5, -0.5));
+        assert_eq!(-a, Point::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let a = Point::new(1.0, 0.0);
+        let b = Point::new(0.0, 1.0);
+        assert_eq!(a.dot(b), 0.0);
+        assert_eq!(a.cross(b), 1.0);
+        assert_eq!(b.cross(a), -1.0);
+    }
+
+    #[test]
+    fn norms_and_distance() {
+        let a = Point::new(3.0, 4.0);
+        assert_eq!(a.norm(), 5.0);
+        assert_eq!(a.norm_sq(), 25.0);
+        assert_eq!(Point::ZERO.dist(a), 5.0);
+        assert_eq!(Point::ZERO.dist_sq(a), 25.0);
+    }
+
+    #[test]
+    fn normalized_unit_and_zero() {
+        let a = Point::new(3.0, 4.0).normalized().unwrap();
+        assert!((a.norm() - 1.0).abs() < 1e-12);
+        assert!(Point::ZERO.normalized().is_none());
+    }
+
+    #[test]
+    fn perp_is_ccw_rotation() {
+        let a = Point::new(1.0, 0.0);
+        assert_eq!(a.perp(), Point::new(0.0, 1.0));
+        // perp is orthogonal and preserves length
+        let b = Point::new(2.0, 5.0);
+        assert_eq!(b.dot(b.perp()), 0.0);
+        assert_eq!(b.perp().norm_sq(), b.norm_sq());
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, -2.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Point::new(5.0, -1.0));
+    }
+
+    #[test]
+    fn component_min_max() {
+        let a = Point::new(1.0, 5.0);
+        let b = Point::new(2.0, 3.0);
+        assert_eq!(a.min(b), Point::new(1.0, 3.0));
+        assert_eq!(a.max(b), Point::new(2.0, 5.0));
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 2.0).is_finite());
+        assert!(!Point::new(1.0, f64::INFINITY).is_finite());
+    }
+}

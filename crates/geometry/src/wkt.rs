@@ -1,0 +1,369 @@
+//! Well-Known Text (WKT) parsing and printing.
+//!
+//! The paper measures its polygonal data sets in WKT format (Table 1). This
+//! module supports the subset SPADE stores: `POINT`, `LINESTRING`, `POLYGON`
+//! (with holes) and `MULTIPOLYGON`.
+
+use crate::point::Point;
+use crate::primitives::{Geometry, LineString, MultiPolygon, Polygon};
+use std::fmt::Write as _;
+
+/// A WKT parse error with a human-readable description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WktError(pub String);
+
+impl std::fmt::Display for WktError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "WKT parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WktError {}
+
+/// Render a geometry as WKT.
+pub fn to_wkt(g: &Geometry) -> String {
+    let mut s = String::new();
+    match g {
+        Geometry::Point(p) => {
+            write!(s, "POINT ({} {})", fmt_f(p.x), fmt_f(p.y)).unwrap();
+        }
+        Geometry::LineString(l) => {
+            s.push_str("LINESTRING ");
+            write_coord_list(&mut s, &l.points);
+        }
+        Geometry::Polygon(p) => {
+            s.push_str("POLYGON ");
+            write_polygon_body(&mut s, p);
+        }
+        Geometry::MultiPolygon(m) => {
+            s.push_str("MULTIPOLYGON (");
+            for (i, p) in m.polygons.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                write_polygon_body(&mut s, p);
+            }
+            s.push(')');
+        }
+    }
+    s
+}
+
+fn fmt_f(v: f64) -> String {
+    // Trim trailing zeros for compactness while keeping full precision.
+    let s = format!("{v}");
+    s
+}
+
+fn write_coord_list(s: &mut String, pts: &[Point]) {
+    s.push('(');
+    for (i, p) in pts.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        write!(s, "{} {}", fmt_f(p.x), fmt_f(p.y)).unwrap();
+    }
+    s.push(')');
+}
+
+fn write_ring_closed(s: &mut String, pts: &[Point]) {
+    s.push('(');
+    for (i, p) in pts.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        write!(s, "{} {}", fmt_f(p.x), fmt_f(p.y)).unwrap();
+    }
+    // WKT rings repeat the first coordinate at the end.
+    if let Some(p) = pts.first() {
+        write!(s, ", {} {}", fmt_f(p.x), fmt_f(p.y)).unwrap();
+    }
+    s.push(')');
+}
+
+fn write_polygon_body(s: &mut String, p: &Polygon) {
+    s.push('(');
+    write_ring_closed(s, &p.exterior.points);
+    for h in &p.holes {
+        s.push_str(", ");
+        write_ring_closed(s, &h.points);
+    }
+    s.push(')');
+}
+
+/// Parse a WKT string into a geometry.
+pub fn from_wkt(input: &str) -> Result<Geometry, WktError> {
+    let mut p = Parser::new(input);
+    let g = p.parse_geometry()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(WktError(format!(
+            "trailing input at offset {}",
+            p.pos
+        )));
+    }
+    Ok(g)
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            src: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), WktError> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(WktError(format!(
+                "expected '{}' at offset {}",
+                c as char, self.pos
+            )))
+        }
+    }
+
+    fn keyword(&mut self) -> String {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_alphabetic() {
+            self.pos += 1;
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).to_ascii_uppercase()
+    }
+
+    fn number(&mut self) -> Result<f64, WktError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if start == self.pos {
+            return Err(WktError(format!("expected number at offset {}", self.pos)));
+        }
+        std::str::from_utf8(&self.src[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| WktError(format!("invalid number at offset {start}")))
+    }
+
+    fn coord(&mut self) -> Result<Point, WktError> {
+        let x = self.number()?;
+        let y = self.number()?;
+        Ok(Point::new(x, y))
+    }
+
+    fn coord_list(&mut self) -> Result<Vec<Point>, WktError> {
+        self.expect(b'(')?;
+        let mut out = vec![self.coord()?];
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                    out.push(self.coord()?);
+                }
+                Some(b')') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                _ => return Err(WktError(format!("expected ',' or ')' at {}", self.pos))),
+            }
+        }
+    }
+
+    fn ring_list(&mut self) -> Result<Vec<Vec<Point>>, WktError> {
+        self.expect(b'(')?;
+        let mut out = vec![self.coord_list()?];
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                    out.push(self.coord_list()?);
+                }
+                Some(b')') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                _ => return Err(WktError(format!("expected ',' or ')' at {}", self.pos))),
+            }
+        }
+    }
+
+    fn polygon_from_rings(rings: Vec<Vec<Point>>) -> Result<Polygon, WktError> {
+        let mut it = rings.into_iter();
+        let exterior = it.next().ok_or_else(|| WktError("empty polygon".into()))?;
+        Ok(Polygon::with_holes(exterior, it.collect()))
+    }
+
+    fn parse_geometry(&mut self) -> Result<Geometry, WktError> {
+        match self.keyword().as_str() {
+            "POINT" => {
+                self.expect(b'(')?;
+                let p = self.coord()?;
+                self.expect(b')')?;
+                Ok(Geometry::Point(p))
+            }
+            "LINESTRING" => Ok(Geometry::LineString(LineString::new(self.coord_list()?))),
+            "POLYGON" => Ok(Geometry::Polygon(Self::polygon_from_rings(
+                self.ring_list()?,
+            )?)),
+            "MULTIPOLYGON" => {
+                self.expect(b'(')?;
+                let mut polys = vec![Self::polygon_from_rings(self.ring_list()?)?];
+                loop {
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                            polys.push(Self::polygon_from_rings(self.ring_list()?)?);
+                        }
+                        Some(b')') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => {
+                            return Err(WktError(format!(
+                                "expected ',' or ')' at {}",
+                                self.pos
+                            )))
+                        }
+                    }
+                }
+                Ok(Geometry::MultiPolygon(MultiPolygon::new(polys)))
+            }
+            kw => Err(WktError(format!("unsupported geometry type '{kw}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_roundtrip() {
+        let g = Geometry::Point(Point::new(-74.5, 40.25));
+        let s = to_wkt(&g);
+        assert_eq!(s, "POINT (-74.5 40.25)");
+        assert_eq!(from_wkt(&s).unwrap(), g);
+    }
+
+    #[test]
+    fn linestring_roundtrip() {
+        let g = Geometry::LineString(LineString::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.5),
+            Point::new(2.0, 0.0),
+        ]));
+        let s = to_wkt(&g);
+        assert_eq!(s, "LINESTRING (0 0, 1 1.5, 2 0)");
+        assert_eq!(from_wkt(&s).unwrap(), g);
+    }
+
+    #[test]
+    fn polygon_roundtrip_with_hole() {
+        let g = Geometry::Polygon(Polygon::with_holes(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(10.0, 0.0),
+                Point::new(10.0, 10.0),
+                Point::new(0.0, 10.0),
+            ],
+            vec![vec![
+                Point::new(4.0, 4.0),
+                Point::new(6.0, 4.0),
+                Point::new(6.0, 6.0),
+                Point::new(4.0, 6.0),
+            ]],
+        ));
+        let s = to_wkt(&g);
+        let back = from_wkt(&s).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn multipolygon_roundtrip() {
+        let g = Geometry::MultiPolygon(MultiPolygon::new(vec![
+            Polygon::new(vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(0.0, 1.0),
+            ]),
+            Polygon::new(vec![
+                Point::new(5.0, 5.0),
+                Point::new(6.0, 5.0),
+                Point::new(5.0, 6.0),
+            ]),
+        ]));
+        let s = to_wkt(&g);
+        assert!(s.starts_with("MULTIPOLYGON ((("));
+        assert_eq!(from_wkt(&s).unwrap(), g);
+    }
+
+    #[test]
+    fn parses_case_insensitive_and_whitespace() {
+        let g = from_wkt("  point ( 1.0   2.0 ) ").unwrap();
+        assert_eq!(g, Geometry::Point(Point::new(1.0, 2.0)));
+    }
+
+    #[test]
+    fn parses_scientific_notation() {
+        let g = from_wkt("POINT (1e3 -2.5E-2)").unwrap();
+        assert_eq!(g, Geometry::Point(Point::new(1000.0, -0.025)));
+    }
+
+    #[test]
+    fn closed_ring_duplicate_dropped() {
+        let g = from_wkt("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))").unwrap();
+        match g {
+            Geometry::Polygon(p) => assert_eq!(p.exterior.len(), 4),
+            _ => panic!("not a polygon"),
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(from_wkt("").is_err());
+        assert!(from_wkt("CIRCLE (0 0)").is_err());
+        assert!(from_wkt("POINT (1)").is_err());
+        assert!(from_wkt("POINT (1 2").is_err());
+        assert!(from_wkt("POINT (1 2) garbage").is_err());
+        assert!(from_wkt("POLYGON (())").is_err());
+        assert!(from_wkt("LINESTRING (a b)").is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = from_wkt("NOPE").unwrap_err();
+        assert!(e.to_string().contains("unsupported"));
+    }
+}

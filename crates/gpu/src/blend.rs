@@ -1,0 +1,141 @@
+//! Post-fragment blending.
+//!
+//! The final pipeline stage merges fragment outputs into the framebuffer
+//! (§2.2 "Post Fragment Processing"). SPADE uses the API-provided additive
+//! blending for simple aggregation blends and programmable fragment-shader
+//! blending for everything else (§5.1 "Multiway Blend"); the fixed-function
+//! modes supported here cover both.
+
+use crate::texture::{PixelValue, NULL_PIXEL};
+
+/// Fixed-function blend modes applied when a fragment lands on a pixel.
+///
+/// All modes except [`BlendMode::Replace`] are commutative, so parallel
+/// banded blending is order-independent; `Replace` is resolved in primitive
+/// order (last primitive wins), matching GL's ordered semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlendMode {
+    /// Source overwrites destination (respecting primitive order).
+    Replace,
+    /// Source overwrites only null destination pixels ("first writer wins").
+    KeepFirst,
+    /// Per-channel saturating addition — the "alpha blending" aggregation
+    /// uses to count objects per pixel.
+    Add,
+    /// Per-channel maximum. The layer-index construction blends with "keep
+    /// the object with the higher identifier" (§5.5 Pass 1).
+    Max,
+    /// Per-channel minimum over non-null values.
+    Min,
+}
+
+impl BlendMode {
+    /// Blend fragment output `src` into destination pixel `dst`.
+    #[inline]
+    pub fn apply(self, dst: PixelValue, src: PixelValue) -> PixelValue {
+        match self {
+            BlendMode::Replace => src,
+            BlendMode::KeepFirst => {
+                if dst == NULL_PIXEL {
+                    src
+                } else {
+                    dst
+                }
+            }
+            BlendMode::Add => [
+                dst[0].saturating_add(src[0]),
+                dst[1].saturating_add(src[1]),
+                dst[2].saturating_add(src[2]),
+                dst[3].saturating_add(src[3]),
+            ],
+            BlendMode::Max => [
+                dst[0].max(src[0]),
+                dst[1].max(src[1]),
+                dst[2].max(src[2]),
+                dst[3].max(src[3]),
+            ],
+            BlendMode::Min => {
+                if dst == NULL_PIXEL {
+                    src
+                } else {
+                    [
+                        dst[0].min(src[0]),
+                        dst[1].min(src[1]),
+                        dst[2].min(src[2]),
+                        dst[3].min(src[3]),
+                    ]
+                }
+            }
+        }
+    }
+
+    /// True when the blend result does not depend on fragment order.
+    pub fn is_commutative(self) -> bool {
+        !matches!(self, BlendMode::Replace | BlendMode::KeepFirst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replace_takes_source() {
+        assert_eq!(
+            BlendMode::Replace.apply([1, 1, 1, 1], [2, 3, 4, 5]),
+            [2, 3, 4, 5]
+        );
+    }
+
+    #[test]
+    fn keep_first_only_fills_null() {
+        assert_eq!(
+            BlendMode::KeepFirst.apply(NULL_PIXEL, [2, 3, 4, 5]),
+            [2, 3, 4, 5]
+        );
+        assert_eq!(
+            BlendMode::KeepFirst.apply([1, 1, 1, 1], [2, 3, 4, 5]),
+            [1, 1, 1, 1]
+        );
+    }
+
+    #[test]
+    fn add_saturates() {
+        assert_eq!(
+            BlendMode::Add.apply([u32::MAX, 1, 0, 0], [1, 2, 3, 0]),
+            [u32::MAX, 3, 3, 0]
+        );
+    }
+
+    #[test]
+    fn max_and_min() {
+        assert_eq!(
+            BlendMode::Max.apply([5, 1, 9, 0], [3, 7, 2, 1]),
+            [5, 7, 9, 1]
+        );
+        assert_eq!(
+            BlendMode::Min.apply([5, 1, 9, 4], [3, 7, 2, 1]),
+            [3, 1, 2, 1]
+        );
+        // Min over a null destination takes the source (null is "no data",
+        // not the value zero).
+        assert_eq!(BlendMode::Min.apply(NULL_PIXEL, [3, 7, 2, 1]), [3, 7, 2, 1]);
+    }
+
+    #[test]
+    fn commutativity_flags() {
+        assert!(!BlendMode::Replace.is_commutative());
+        assert!(!BlendMode::KeepFirst.is_commutative());
+        assert!(BlendMode::Add.is_commutative());
+        assert!(BlendMode::Max.is_commutative());
+        assert!(BlendMode::Min.is_commutative());
+    }
+
+    #[test]
+    fn max_is_commutative_property() {
+        let a = [5, 1, 9, 0];
+        let b = [3, 7, 2, 1];
+        assert_eq!(BlendMode::Max.apply(a, b), BlendMode::Max.apply(b, a));
+        assert_eq!(BlendMode::Add.apply(a, b), BlendMode::Add.apply(b, a));
+    }
+}

@@ -1,0 +1,217 @@
+//! Device memory budget and host→device transfer accounting.
+//!
+//! On real hardware, GPU memory is limited (8 GB on the paper's laptop) and
+//! the PCIe transfer of data from host to device dominates query time —
+//! "the data transfer forms the primary bottleneck in query execution times"
+//! (§5.4). This module models both: a byte budget that out-of-core index
+//! construction tunes cell sizes against (§6.1), and a transfer ledger with
+//! a configurable modeled bandwidth that the query optimizer's cost model
+//! and the time-breakdown reporting read.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Accumulated transfer statistics.
+#[derive(Debug, Default)]
+pub struct TransferStats {
+    pub transfers: AtomicU64,
+    pub bytes: AtomicU64,
+    pub modeled_nanos: AtomicU64,
+}
+
+impl TransferStats {
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    pub fn transfers(&self) -> u64 {
+        self.transfers.load(Ordering::Relaxed)
+    }
+
+    /// Modeled time spent on the host→device bus.
+    pub fn modeled_time(&self) -> Duration {
+        Duration::from_nanos(self.modeled_nanos.load(Ordering::Relaxed))
+    }
+
+    pub fn reset(&self) {
+        self.transfers.store(0, Ordering::Relaxed);
+        self.bytes.store(0, Ordering::Relaxed);
+        self.modeled_nanos.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Errors from device allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// Allocation exceeds the remaining device memory.
+    OutOfMemory { requested: u64, available: u64 },
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "device out of memory: requested {requested} bytes, {available} available"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// A simulated GPU memory arena with a fixed capacity plus a transfer bus.
+#[derive(Debug)]
+pub struct DeviceMemory {
+    capacity: u64,
+    used: Mutex<u64>,
+    peak: AtomicU64,
+    /// Modeled host→device bandwidth, bytes per second.
+    bandwidth: f64,
+    pub transfer_stats: TransferStats,
+}
+
+/// Default modeled PCIe 3.0 ×16 bandwidth (≈ 12 GB/s effective).
+pub const DEFAULT_BANDWIDTH: f64 = 12.0e9;
+
+impl DeviceMemory {
+    /// A device with `capacity` bytes of memory and the default bandwidth.
+    pub fn new(capacity: u64) -> Self {
+        Self::with_bandwidth(capacity, DEFAULT_BANDWIDTH)
+    }
+
+    pub fn with_bandwidth(capacity: u64, bandwidth: f64) -> Self {
+        DeviceMemory {
+            capacity,
+            used: Mutex::new(0),
+            peak: AtomicU64::new(0),
+            bandwidth: bandwidth.max(1.0),
+            transfer_stats: TransferStats::default(),
+        }
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    pub fn used(&self) -> u64 {
+        *self.used.lock()
+    }
+
+    pub fn available(&self) -> u64 {
+        self.capacity.saturating_sub(self.used())
+    }
+
+    /// High-water mark of allocations.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Reserve `bytes` of device memory.
+    pub fn alloc(&self, bytes: u64) -> Result<(), DeviceError> {
+        let mut used = self.used.lock();
+        if *used + bytes > self.capacity {
+            return Err(DeviceError::OutOfMemory {
+                requested: bytes,
+                available: self.capacity - *used,
+            });
+        }
+        *used += bytes;
+        self.peak.fetch_max(*used, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Release `bytes` of device memory.
+    pub fn free(&self, bytes: u64) {
+        let mut used = self.used.lock();
+        *used = used.saturating_sub(bytes);
+    }
+
+    /// Record a host→device transfer of `bytes`; returns the modeled bus
+    /// time for the cost model and the I/O-time breakdown.
+    pub fn transfer_to_device(&self, bytes: u64) -> Duration {
+        let nanos = (bytes as f64 / self.bandwidth * 1e9) as u64;
+        self.transfer_stats.transfers.fetch_add(1, Ordering::Relaxed);
+        self.transfer_stats.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.transfer_stats
+            .modeled_nanos
+            .fetch_add(nanos, Ordering::Relaxed);
+        Duration::from_nanos(nanos)
+    }
+
+    /// Allocate and transfer in one step (loading a grid cell to the GPU).
+    pub fn upload(&self, bytes: u64) -> Result<Duration, DeviceError> {
+        self.alloc(bytes)?;
+        Ok(self.transfer_to_device(bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let dev = DeviceMemory::new(1000);
+        assert_eq!(dev.available(), 1000);
+        dev.alloc(400).unwrap();
+        assert_eq!(dev.used(), 400);
+        assert_eq!(dev.available(), 600);
+        dev.free(150);
+        assert_eq!(dev.used(), 250);
+        dev.free(10_000); // over-free saturates at zero
+        assert_eq!(dev.used(), 0);
+    }
+
+    #[test]
+    fn oom_is_reported() {
+        let dev = DeviceMemory::new(100);
+        dev.alloc(80).unwrap();
+        let err = dev.alloc(30).unwrap_err();
+        assert_eq!(
+            err,
+            DeviceError::OutOfMemory {
+                requested: 30,
+                available: 20
+            }
+        );
+        assert!(err.to_string().contains("out of memory"));
+        // The failed allocation must not consume memory.
+        assert_eq!(dev.used(), 80);
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let dev = DeviceMemory::new(1000);
+        dev.alloc(700).unwrap();
+        dev.free(700);
+        dev.alloc(100).unwrap();
+        assert_eq!(dev.peak(), 700);
+    }
+
+    #[test]
+    fn transfer_accounting_and_modeled_time() {
+        let dev = DeviceMemory::with_bandwidth(u64::MAX, 1e9); // 1 GB/s
+        let t = dev.transfer_to_device(500_000_000); // 0.5 GB
+        assert_eq!(t, Duration::from_millis(500));
+        dev.transfer_to_device(500_000_000);
+        assert_eq!(dev.transfer_stats.transfers(), 2);
+        assert_eq!(dev.transfer_stats.bytes(), 1_000_000_000);
+        assert_eq!(dev.transfer_stats.modeled_time(), Duration::from_secs(1));
+        dev.transfer_stats.reset();
+        assert_eq!(dev.transfer_stats.bytes(), 0);
+    }
+
+    #[test]
+    fn upload_allocates_and_transfers() {
+        let dev = DeviceMemory::new(1024);
+        let t = dev.upload(512).unwrap();
+        assert!(t > Duration::ZERO);
+        assert_eq!(dev.used(), 512);
+        assert!(dev.upload(1024).is_err());
+    }
+}

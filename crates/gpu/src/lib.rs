@@ -1,0 +1,52 @@
+//! A software implementation of the computer graphics (shader) pipeline.
+//!
+//! SPADE implements its spatial algebra with the *graphics pipeline* — vertex
+//! shaders, optional geometry shaders, clipping, rasterization, fragment
+//! shaders and blending (§2.2) — so that it runs on any GPU. This crate is
+//! the substitution this reproduction makes for OpenGL on physical GPU
+//! hardware (see DESIGN.md): a from-scratch software pipeline with the same
+//! stages and the same semantics, executed data-parallel on a worker pool.
+//!
+//! The important properties carried over from the real pipeline:
+//!
+//! * **Stage structure** — draw calls run vertex shader → geometry shader →
+//!   clipping → rasterization → fragment shader → blend, exactly as §2.2
+//!   describes; every SPADE operator is expressed as one or more passes.
+//! * **Conservative rasterization** — §4.2 relies on the hardware feature
+//!   that draws *every* pixel touched by a primitive; [`raster`] implements
+//!   both the default (center-sample) and conservative rules.
+//! * **Framebuffer objects** — rendering targets off-screen textures with
+//!   four 32-bit channels per pixel `[r, g, b, a]`, the representation the
+//!   discrete canvas maps its `(v0, v1, v2, vb)` tuples onto (§4.1).
+//! * **Blending** — fixed-function additive blending (used by aggregation)
+//!   plus programmable blending in the fragment shader.
+//! * **Parallel scan** — result extraction uses a prefix-scan compaction,
+//!   standing in for the CUDA scan of Harris et al. that the paper cites.
+//! * **Device memory accounting** — a configurable budget plus transfer
+//!   byte/time accounting stands in for GPU memory and the PCIe bus, so the
+//!   out-of-core machinery and the query optimizer's transfer-cost model
+//!   behave as on real hardware.
+
+pub mod blend;
+pub mod device;
+pub mod pipeline;
+pub mod pool;
+pub mod primitive;
+pub mod raster;
+pub mod scan;
+pub mod shader;
+pub mod stats;
+pub mod texture;
+pub mod viewport;
+
+pub use blend::BlendMode;
+pub use device::{DeviceMemory, TransferStats};
+pub use pipeline::{DrawCall, Pipeline};
+pub use primitive::{Primitive, Vertex};
+pub use shader::{
+    AffineVertex, FnFragment, FnVertex, Fragment, FragmentShader, GeometryShader, IdentityVertex,
+    NoGeometry, ShaderContext, VertexShader, WriteAttrs,
+};
+pub use stats::PipelineStats;
+pub use texture::{PixelValue, Texture, NULL_PIXEL};
+pub use viewport::Viewport;

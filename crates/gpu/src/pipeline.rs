@@ -1,0 +1,492 @@
+//! The draw-call driver: vertex → geometry → clip → rasterize → fragment →
+//! blend, executed data-parallel.
+//!
+//! A [`DrawCall`] bundles the programmable stages and fixed-function state
+//! of one rendering pass, mirroring a GL pipeline state object. [`Pipeline`]
+//! executes passes against a target [`Texture`]:
+//!
+//! 1. the vertex shader transforms primitive vertices (in parallel),
+//! 2. the geometry shader optionally expands primitives,
+//! 3. clipping drops primitives whose bounds miss the viewport,
+//! 4. the rasterizer enumerates covered pixels (default or conservative),
+//! 5. the fragment shader computes each fragment's output (or discards it),
+//! 6. fragments are blended into the target in primitive order.
+//!
+//! Parallelization is two-phase: workers rasterize disjoint chunks of the
+//! primitive stream into per-band fragment buffers, then bands of the target
+//! are blended concurrently (each band by one worker, applying fragments in
+//! primitive order, so results are deterministic for *every* blend mode and
+//! any worker count).
+
+use crate::blend::BlendMode;
+use crate::pool;
+use crate::primitive::Primitive;
+use crate::raster;
+use crate::shader::{
+    Fragment, FragmentShader, GeometryShader, IdentityVertex, ShaderContext, VertexShader,
+    WriteAttrs,
+};
+use crate::stats::PipelineStats;
+use crate::texture::{PixelValue, Texture};
+use crate::viewport::Viewport;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Instant;
+
+/// The state of one rendering pass.
+pub struct DrawCall<'a> {
+    pub viewport: Viewport,
+    pub vertex: &'a dyn VertexShader,
+    pub geometry: Option<&'a dyn GeometryShader>,
+    pub fragment: &'a dyn FragmentShader,
+    pub blend: BlendMode,
+    /// Use conservative rasterization (§4.2) for this pass.
+    pub conservative: bool,
+    /// Bound read-only textures (unit 0 first).
+    pub textures: &'a [&'a Texture],
+    pub uniforms_f: &'a [f64],
+    pub uniforms_u: &'a [u32],
+}
+
+impl<'a> DrawCall<'a> {
+    /// A minimal pass: identity vertex shader, no geometry shader, fragment
+    /// shader that writes the primitive attributes (canvas creation).
+    pub fn simple(viewport: Viewport, blend: BlendMode, conservative: bool) -> DrawCall<'static> {
+        static IDENTITY: IdentityVertex = IdentityVertex;
+        static WRITE: WriteAttrs = WriteAttrs;
+        DrawCall {
+            viewport,
+            vertex: &IDENTITY,
+            geometry: None,
+            fragment: &WRITE,
+            blend,
+            conservative,
+            textures: &[],
+            uniforms_f: &[],
+            uniforms_u: &[],
+        }
+    }
+}
+
+/// The pipeline executor. Holds the worker count and global statistics;
+/// cheap to share by reference between operators.
+pub struct Pipeline {
+    workers: usize,
+    pub stats: PipelineStats,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Pipeline {
+    pub fn new() -> Self {
+        Self::with_workers(pool::default_workers())
+    }
+
+    pub fn with_workers(workers: usize) -> Self {
+        Pipeline {
+            workers: workers.max(1),
+            stats: PipelineStats::new(),
+        }
+    }
+
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Execute one rendering pass against `target`, returning the final
+    /// value of the pass's atomic counter (used by the counting Map pass).
+    pub fn draw(&self, target: &mut Texture, prims: &[Primitive], call: &DrawCall<'_>) -> u32 {
+        let start = Instant::now();
+        self.stats.add_draw_call();
+        let counter = AtomicU32::new(0);
+
+        // --- Vertex + geometry stages (parallel over primitive chunks). ---
+        let shaded: Vec<Vec<Primitive>> = pool::parallel_map_chunks(prims, self.workers, |_, chunk| {
+            let mut out = Vec::with_capacity(chunk.len());
+            let mut expand_buf = Vec::new();
+            for prim in chunk {
+                let moved = prim.map_positions(|p| {
+                    self::shade_pos(call.vertex, p, prim.attrs())
+                });
+                match call.geometry {
+                    Some(gs) => {
+                        expand_buf.clear();
+                        gs.expand(&moved, &mut expand_buf);
+                        out.extend_from_slice(&expand_buf);
+                    }
+                    None => out.push(moved),
+                }
+            }
+            out
+        });
+        let assembled: Vec<Primitive> = shaded.into_iter().flatten().collect();
+        self.stats.add_primitives(assembled.len() as u64);
+
+        // --- Clip stage: drop primitives outside the viewport. ---
+        let world = call.viewport.world;
+        let visible: Vec<Primitive> = assembled
+            .iter()
+            .filter(|p| p.bbox().intersects(&world))
+            .copied()
+            .collect();
+        self.stats
+            .add_clipped((assembled.len() - visible.len()) as u64);
+
+        // --- Rasterize + fragment shade into per-band buffers. ---
+        let vp = call.viewport;
+        let bands = self.workers.clamp(1, vp.height as usize);
+        let rows_per_band = (vp.height as usize).div_ceil(bands) as u32;
+        let ctx = ShaderContext {
+            textures: call.textures,
+            uniforms_f: call.uniforms_f,
+            uniforms_u: call.uniforms_u,
+            counter: &counter,
+        };
+
+        // One buffer per (worker chunk, band): worker-major so the blend can
+        // walk chunks in primitive order.
+        let frag_count = std::sync::atomic::AtomicU64::new(0);
+        let disc_count = std::sync::atomic::AtomicU64::new(0);
+        let buffers: Vec<Vec<Vec<(u32, u32, PixelValue)>>> =
+            pool::parallel_map_chunks(&visible, self.workers, |_, chunk| {
+                let mut bands_out: Vec<Vec<(u32, u32, PixelValue)>> = vec![Vec::new(); bands];
+                let mut nfrag = 0u64;
+                let mut ndisc = 0u64;
+                for prim in chunk {
+                    let attrs = prim.attrs();
+                    raster::rasterize(prim, &vp, call.conservative, &mut |x, y| {
+                        nfrag += 1;
+                        let frag = Fragment {
+                            x,
+                            y,
+                            world: vp.pixel_center(x, y),
+                            attrs,
+                        };
+                        match call.fragment.shade(&frag, &ctx) {
+                            Some(v) => {
+                                let band = ((y / rows_per_band) as usize).min(bands - 1);
+                                bands_out[band].push((x, y, v));
+                            }
+                            None => ndisc += 1,
+                        }
+                    });
+                }
+                frag_count.fetch_add(nfrag, Ordering::Relaxed);
+                disc_count.fetch_add(ndisc, Ordering::Relaxed);
+                bands_out
+            });
+        self.stats.add_fragments(frag_count.load(Ordering::Relaxed));
+        self.stats.add_discarded(disc_count.load(Ordering::Relaxed));
+
+        // --- Blend bands in parallel; chunks applied in primitive order. ---
+        let width = target.width();
+        let blend = call.blend;
+        let mut band_slices = target.band_slices(bands);
+        crossbeam::thread::scope(|s| {
+            for (band_idx, (y0, slice)) in band_slices.iter_mut().enumerate() {
+                let buffers = &buffers;
+                let y0 = *y0;
+                s.spawn(move |_| {
+                    for chunk_bufs in buffers {
+                        for &(x, y, v) in &chunk_bufs[band_idx] {
+                            let i = ((y - y0) as usize) * (width as usize) + x as usize;
+                            slice[i] = blend.apply(slice[i], v);
+                        }
+                    }
+                });
+            }
+        })
+        .expect("blend worker panicked");
+
+        self.stats.add_gpu_time(start.elapsed());
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Run a pass that only counts shaded (non-discarded) fragments without
+    /// writing any pixels — the "simulated Map" first step of the 2-pass Map
+    /// implementation (§5.1).
+    pub fn count_pass(&self, prims: &[Primitive], call: &DrawCall<'_>) -> u64 {
+        let start = Instant::now();
+        self.stats.add_draw_call();
+        let counter = AtomicU32::new(0);
+        let vp = call.viewport;
+        let world = vp.world;
+        let ctx = ShaderContext {
+            textures: call.textures,
+            uniforms_f: call.uniforms_f,
+            uniforms_u: call.uniforms_u,
+            counter: &counter,
+        };
+        let counts = pool::parallel_map_chunks(prims, self.workers, |_, chunk| {
+            let mut n = 0u64;
+            for prim in chunk {
+                let moved = prim.map_positions(|p| shade_pos(call.vertex, p, prim.attrs()));
+                let expanded: Vec<Primitive> = match call.geometry {
+                    Some(gs) => {
+                        let mut buf = Vec::new();
+                        gs.expand(&moved, &mut buf);
+                        buf
+                    }
+                    None => vec![moved],
+                };
+                for prim in &expanded {
+                    if !prim.bbox().intersects(&world) {
+                        continue;
+                    }
+                    let attrs = prim.attrs();
+                    raster::rasterize(prim, &vp, call.conservative, &mut |x, y| {
+                        let frag = Fragment {
+                            x,
+                            y,
+                            world: vp.pixel_center(x, y),
+                            attrs,
+                        };
+                        if call.fragment.shade(&frag, &ctx).is_some() {
+                            n += 1;
+                        }
+                    });
+                }
+            }
+            n
+        });
+        self.stats.add_gpu_time(start.elapsed());
+        counts.into_iter().sum()
+    }
+}
+
+#[inline]
+fn shade_pos(
+    vs: &dyn VertexShader,
+    p: spade_geometry::Point,
+    attrs: [u32; 4],
+) -> spade_geometry::Point {
+    vs.shade(crate::primitive::Vertex::new(p, attrs)).pos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shader::{FnFragment, FnVertex, NoGeometry};
+    use spade_geometry::{BBox, Point};
+
+    fn vp10() -> Viewport {
+        Viewport::new(BBox::new(Point::ZERO, Point::new(10.0, 10.0)), 10, 10)
+    }
+
+    #[test]
+    fn draw_points_writes_ids() {
+        let pl = Pipeline::with_workers(4);
+        let mut tex = Texture::new(10, 10);
+        let prims: Vec<Primitive> = (0..5)
+            .map(|i| Primitive::point(Point::new(i as f64 + 0.5, 0.5), [i + 1, 0, 0, 0]))
+            .collect();
+        pl.draw(&mut tex, &prims, &DrawCall::simple(vp10(), BlendMode::Replace, false));
+        for i in 0..5u32 {
+            assert_eq!(tex.get(i, 0), [i + 1, 0, 0, 0]);
+        }
+        assert_eq!(tex.count_non_null(), 5);
+        let snap = pl.stats.snapshot();
+        assert_eq!(snap.draw_calls, 1);
+        assert_eq!(snap.primitives, 5);
+        assert_eq!(snap.fragments, 5);
+    }
+
+    #[test]
+    fn clipping_drops_outside_prims() {
+        let pl = Pipeline::with_workers(2);
+        let mut tex = Texture::new(10, 10);
+        let prims = vec![
+            Primitive::point(Point::new(0.5, 0.5), [1, 0, 0, 0]),
+            Primitive::point(Point::new(50.0, 50.0), [2, 0, 0, 0]),
+        ];
+        pl.draw(&mut tex, &prims, &DrawCall::simple(vp10(), BlendMode::Replace, false));
+        assert_eq!(tex.count_non_null(), 1);
+        assert_eq!(pl.stats.snapshot().clipped, 1);
+    }
+
+    #[test]
+    fn additive_blend_counts_overlaps() {
+        let pl = Pipeline::with_workers(4);
+        let mut tex = Texture::new(10, 10);
+        // 100 points into the same pixel: pixel value counts them.
+        let prims: Vec<Primitive> = (0..100)
+            .map(|_| Primitive::point(Point::new(3.3, 3.3), [1, 0, 0, 0]))
+            .collect();
+        pl.draw(&mut tex, &prims, &DrawCall::simple(vp10(), BlendMode::Add, false));
+        assert_eq!(tex.get(3, 3)[0], 100);
+    }
+
+    #[test]
+    fn replace_blend_is_primitive_ordered() {
+        // The last primitive in submission order must win regardless of the
+        // worker count.
+        for workers in [1, 2, 4, 8] {
+            let pl = Pipeline::with_workers(workers);
+            let mut tex = Texture::new(4, 4);
+            let prims: Vec<Primitive> = (0..64)
+                .map(|i| Primitive::point(Point::new(1.5, 1.5), [i + 1, 0, 0, 0]))
+                .collect();
+            let vp = Viewport::new(BBox::new(Point::ZERO, Point::new(4.0, 4.0)), 4, 4);
+            pl.draw(&mut tex, &prims, &DrawCall::simple(vp, BlendMode::Replace, false));
+            assert_eq!(tex.get(1, 1)[0], 64, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn results_identical_across_worker_counts() {
+        let vp = vp10();
+        let prims: Vec<Primitive> = (0..50)
+            .map(|i| {
+                let x = (i as f64 * 0.37) % 10.0;
+                let y = (i as f64 * 0.71) % 10.0;
+                Primitive::triangle(
+                    Point::new(x, y),
+                    Point::new(x + 2.0, y),
+                    Point::new(x, y + 2.0),
+                    [i + 1, 0, 0, 0],
+                )
+            })
+            .collect();
+        let mut reference: Option<Texture> = None;
+        for workers in [1, 3, 8] {
+            let pl = Pipeline::with_workers(workers);
+            let mut tex = Texture::new(10, 10);
+            pl.draw(&mut tex, &prims, &DrawCall::simple(vp, BlendMode::Max, true));
+            match &reference {
+                None => reference = Some(tex),
+                Some(r) => assert_eq!(&tex, r, "workers={workers}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fragment_shader_discard_counted() {
+        let pl = Pipeline::with_workers(2);
+        let mut tex = Texture::new(10, 10);
+        let frag = FnFragment(|f: &Fragment, _: &ShaderContext<'_>| {
+            if f.x % 2 == 0 {
+                Some(f.attrs)
+            } else {
+                None
+            }
+        });
+        let prims = vec![Primitive::line(
+            Point::new(0.5, 5.5),
+            Point::new(9.5, 5.5),
+            [1, 0, 0, 0],
+        )];
+        let call = DrawCall {
+            fragment: &frag,
+            ..DrawCall::simple(vp10(), BlendMode::Replace, false)
+        };
+        pl.draw(&mut tex, &prims, &call);
+        assert_eq!(tex.count_non_null(), 5); // x = 0, 2, 4, 6, 8
+        assert_eq!(pl.stats.snapshot().discarded, 5);
+    }
+
+    #[test]
+    fn vertex_shader_transforms_positions() {
+        let pl = Pipeline::with_workers(2);
+        let mut tex = Texture::new(10, 10);
+        let vs = FnVertex(|p: Point| p + Point::new(5.0, 0.0));
+        let prims = vec![Primitive::point(Point::new(0.5, 0.5), [1, 0, 0, 0])];
+        let call = DrawCall {
+            vertex: &vs,
+            ..DrawCall::simple(vp10(), BlendMode::Replace, false)
+        };
+        pl.draw(&mut tex, &prims, &call);
+        assert_eq!(tex.get(5, 0), [1, 0, 0, 0]);
+        assert_eq!(tex.get(0, 0), crate::texture::NULL_PIXEL);
+    }
+
+    #[test]
+    fn geometry_shader_expansion() {
+        // A geometry shader that turns one point into a plus-shape of
+        // 5 points.
+        struct Plus;
+        impl GeometryShader for Plus {
+            fn expand(&self, prim: &Primitive, out: &mut Vec<Primitive>) {
+                if let Primitive::Point { p, attrs } = prim {
+                    out.push(Primitive::point(*p, *attrs));
+                    for d in [
+                        Point::new(1.0, 0.0),
+                        Point::new(-1.0, 0.0),
+                        Point::new(0.0, 1.0),
+                        Point::new(0.0, -1.0),
+                    ] {
+                        out.push(Primitive::point(*p + d, *attrs));
+                    }
+                }
+            }
+        }
+        let pl = Pipeline::with_workers(2);
+        let mut tex = Texture::new(10, 10);
+        let gs = Plus;
+        let prims = vec![Primitive::point(Point::new(5.5, 5.5), [9, 0, 0, 0])];
+        let call = DrawCall {
+            geometry: Some(&gs),
+            ..DrawCall::simple(vp10(), BlendMode::Replace, false)
+        };
+        pl.draw(&mut tex, &prims, &call);
+        assert_eq!(tex.count_non_null(), 5);
+        assert_eq!(pl.stats.snapshot().primitives, 5);
+    }
+
+    #[test]
+    fn count_pass_counts_without_writing() {
+        let pl = Pipeline::with_workers(4);
+        let prims = vec![Primitive::triangle(
+            Point::new(1.0, 1.0),
+            Point::new(5.0, 1.0),
+            Point::new(1.0, 5.0),
+            [1, 0, 0, 0],
+        )];
+        let call = DrawCall::simple(vp10(), BlendMode::Replace, false);
+        let n = pl.count_pass(&prims, &call);
+        // Cross-check against an actual draw.
+        let mut tex = Texture::new(10, 10);
+        pl.draw(&mut tex, &prims, &call);
+        assert_eq!(n as usize, tex.count_non_null());
+    }
+
+    #[test]
+    fn draw_returns_counter_value() {
+        let pl = Pipeline::with_workers(4);
+        let mut tex = Texture::new(10, 10);
+        let frag = FnFragment(|f: &Fragment, ctx: &ShaderContext<'_>| {
+            ctx.count();
+            Some(f.attrs)
+        });
+        let prims = vec![Primitive::line(
+            Point::new(0.5, 2.5),
+            Point::new(9.5, 2.5),
+            [1, 0, 0, 0],
+        )];
+        let call = DrawCall {
+            fragment: &frag,
+            ..DrawCall::simple(vp10(), BlendMode::Replace, false)
+        };
+        let c = pl.draw(&mut tex, &prims, &call);
+        assert_eq!(c, 10);
+    }
+
+    #[test]
+    fn no_geometry_shader_equals_identity_expansion() {
+        let pl = Pipeline::with_workers(2);
+        let prims = vec![Primitive::point(Point::new(2.5, 2.5), [1, 0, 0, 0])];
+        let gs = NoGeometry;
+        let vp = vp10();
+        let mut a = Texture::new(10, 10);
+        let mut b = Texture::new(10, 10);
+        pl.draw(&mut a, &prims, &DrawCall::simple(vp, BlendMode::Replace, false));
+        let call = DrawCall {
+            geometry: Some(&gs),
+            ..DrawCall::simple(vp, BlendMode::Replace, false)
+        };
+        pl.draw(&mut b, &prims, &call);
+        assert_eq!(a, b);
+    }
+}

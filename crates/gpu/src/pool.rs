@@ -1,0 +1,158 @@
+//! The worker pool: the stand-in for the GPU's parallel execution units.
+//!
+//! GPU drivers schedule shader invocations across thousands of lanes; this
+//! module provides the equivalent data-parallel building blocks on CPU
+//! threads using `crossbeam` scoped threads. Work is partitioned into
+//! contiguous chunks so downstream stages can merge results in a
+//! deterministic order regardless of thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of workers used by the pipeline (defaults to available
+/// parallelism).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Split `len` items into at most `workers` contiguous ranges of
+/// near-equal size.
+pub fn chunk_ranges(len: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, len);
+    let base = len / workers;
+    let extra = len % workers;
+    let mut out = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let size = base + usize::from(w < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Apply `f` to each contiguous chunk of `items` in parallel, collecting the
+/// per-chunk outputs **in chunk order** (deterministic regardless of the
+/// scheduling order).
+pub fn parallel_map_chunks<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    let ranges = chunk_ranges(items.len(), workers);
+    if ranges.len() <= 1 {
+        return ranges
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| f(i, &items[r]))
+            .collect();
+    }
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(ranges.len(), || None);
+    crossbeam::thread::scope(|s| {
+        for ((i, range), slot) in ranges.iter().cloned().enumerate().zip(out.iter_mut()) {
+            let f = &f;
+            let chunk = &items[range];
+            s.spawn(move |_| {
+                *slot = Some(f(i, chunk));
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    out.into_iter().map(|r| r.expect("chunk result")).collect()
+}
+
+/// Run one closure per item of `tasks` in parallel with a shared atomic
+/// work-stealing cursor; results come back in task order.
+pub fn parallel_tasks<R, F>(num_tasks: usize, workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if num_tasks == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, num_tasks);
+    if workers == 1 {
+        return (0..num_tasks).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let results = parking_lot::Mutex::new(Vec::with_capacity(num_tasks));
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            let cursor = &cursor;
+            let f = &f;
+            let results = &results;
+            s.spawn(move |_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= num_tasks {
+                    break;
+                }
+                let r = f(i);
+                results.lock().push((i, r));
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    let mut v = results.into_inner();
+    v.sort_by_key(|(i, _)| *i);
+    v.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_everything() {
+        let r = chunk_ranges(10, 3);
+        assert_eq!(r, vec![0..4, 4..7, 7..10]);
+        assert_eq!(chunk_ranges(0, 3), vec![]);
+        assert_eq!(chunk_ranges(2, 8), vec![0..1, 1..2]);
+        assert_eq!(chunk_ranges(5, 1), vec![0..5]);
+    }
+
+    #[test]
+    fn parallel_map_chunks_is_deterministic() {
+        let items: Vec<u64> = (0..1000).collect();
+        let sums1 = parallel_map_chunks(&items, 4, |_, c| c.iter().sum::<u64>());
+        let sums8 = parallel_map_chunks(&items, 8, |_, c| c.iter().sum::<u64>());
+        assert_eq!(sums1.iter().sum::<u64>(), 499_500);
+        assert_eq!(sums8.iter().sum::<u64>(), 499_500);
+        // Chunk order preserved: first chunk holds the smallest items.
+        let firsts = parallel_map_chunks(&items, 4, |_, c| c[0]);
+        assert!(firsts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn parallel_map_empty() {
+        let items: Vec<u32> = vec![];
+        let out = parallel_map_chunks(&items, 4, |_, c| c.len());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_tasks_results_in_order() {
+        let out = parallel_tasks(100, 8, |i| i * i);
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn parallel_tasks_single_worker_and_empty() {
+        assert_eq!(parallel_tasks(3, 1, |i| i), vec![0, 1, 2]);
+        assert!(parallel_tasks(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn default_workers_positive() {
+        assert!(default_workers() >= 1);
+    }
+}

@@ -1,0 +1,207 @@
+//! Vertices and assembled primitives.
+//!
+//! The graphics pipeline supports three primitive types — points, lines and
+//! triangles (§2.2); polygons are rendered as triangle collections (§4.2).
+//! Each vertex carries the world position plus four 32-bit attributes that
+//! flow unchanged to the fragment shader (SPADE uses them for the object
+//! identifier and the boundary-index pointer).
+
+use spade_geometry::{BBox, Point, Segment, Triangle};
+
+/// A pipeline vertex: position plus four integer attributes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Vertex {
+    pub pos: Point,
+    pub attrs: [u32; 4],
+}
+
+impl Vertex {
+    pub fn new(pos: Point, attrs: [u32; 4]) -> Self {
+        Vertex { pos, attrs }
+    }
+
+    /// A vertex whose only attribute is an object identifier in channel 0.
+    pub fn with_id(pos: Point, id: u32) -> Self {
+        Vertex {
+            pos,
+            attrs: [id, 0, 0, 0],
+        }
+    }
+}
+
+/// An assembled primitive ready for rasterization. Attributes are flat
+/// (per-primitive): SPADE's shaders never interpolate them, they identify
+/// the geometric object the primitive belongs to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Primitive {
+    Point { p: Point, attrs: [u32; 4] },
+    Line { a: Point, b: Point, attrs: [u32; 4] },
+    Triangle { a: Point, b: Point, c: Point, attrs: [u32; 4] },
+}
+
+impl Primitive {
+    pub fn point(p: Point, attrs: [u32; 4]) -> Self {
+        Primitive::Point { p, attrs }
+    }
+
+    pub fn line(a: Point, b: Point, attrs: [u32; 4]) -> Self {
+        Primitive::Line { a, b, attrs }
+    }
+
+    pub fn triangle(a: Point, b: Point, c: Point, attrs: [u32; 4]) -> Self {
+        Primitive::Triangle { a, b, c, attrs }
+    }
+
+    pub fn attrs(&self) -> [u32; 4] {
+        match self {
+            Primitive::Point { attrs, .. }
+            | Primitive::Line { attrs, .. }
+            | Primitive::Triangle { attrs, .. } => *attrs,
+        }
+    }
+
+    pub fn set_attrs(&mut self, new: [u32; 4]) {
+        match self {
+            Primitive::Point { attrs, .. }
+            | Primitive::Line { attrs, .. }
+            | Primitive::Triangle { attrs, .. } => *attrs = new,
+        }
+    }
+
+    pub fn bbox(&self) -> BBox {
+        match self {
+            Primitive::Point { p, .. } => BBox::new(*p, *p),
+            Primitive::Line { a, b, .. } => BBox::new(*a, *b),
+            Primitive::Triangle { a, b, c, .. } => BBox::from_points([*a, *b, *c]),
+        }
+    }
+
+    /// Apply a position transform to every vertex (the vertex-shader stage).
+    pub fn map_positions(&self, f: impl Fn(Point) -> Point) -> Primitive {
+        match *self {
+            Primitive::Point { p, attrs } => Primitive::Point { p: f(p), attrs },
+            Primitive::Line { a, b, attrs } => Primitive::Line {
+                a: f(a),
+                b: f(b),
+                attrs,
+            },
+            Primitive::Triangle { a, b, c, attrs } => Primitive::Triangle {
+                a: f(a),
+                b: f(b),
+                c: f(c),
+                attrs,
+            },
+        }
+    }
+
+    /// View as a geometry segment, when applicable.
+    pub fn as_segment(&self) -> Option<Segment> {
+        match self {
+            Primitive::Line { a, b, .. } => Some(Segment::new(*a, *b)),
+            _ => None,
+        }
+    }
+
+    /// View as a geometry triangle, when applicable.
+    pub fn as_triangle(&self) -> Option<Triangle> {
+        match self {
+            Primitive::Triangle { a, b, c, .. } => Some(Triangle::new(*a, *b, *c)),
+            _ => None,
+        }
+    }
+}
+
+/// Assemble primitives from a vertex stream, mirroring the GL draw modes
+/// SPADE uses (`GL_POINTS`, `GL_LINES`, `GL_TRIANGLES`).
+pub fn assemble_points(vertices: &[Vertex]) -> Vec<Primitive> {
+    vertices
+        .iter()
+        .map(|v| Primitive::point(v.pos, v.attrs))
+        .collect()
+}
+
+/// Assemble a line list: every consecutive pair of vertices forms a line.
+/// A trailing unpaired vertex is ignored (GL semantics).
+pub fn assemble_lines(vertices: &[Vertex]) -> Vec<Primitive> {
+    vertices
+        .chunks_exact(2)
+        .map(|w| Primitive::line(w[0].pos, w[1].pos, w[0].attrs))
+        .collect()
+}
+
+/// Assemble a triangle list: every consecutive triple forms a triangle.
+pub fn assemble_triangles(vertices: &[Vertex]) -> Vec<Primitive> {
+    vertices
+        .chunks_exact(3)
+        .map(|w| Primitive::triangle(w[0].pos, w[1].pos, w[2].pos, w[0].attrs))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembly_modes() {
+        let vs: Vec<Vertex> = (0..7)
+            .map(|i| Vertex::with_id(Point::new(i as f64, 0.0), i))
+            .collect();
+        assert_eq!(assemble_points(&vs).len(), 7);
+        assert_eq!(assemble_lines(&vs).len(), 3); // trailing vertex dropped
+        assert_eq!(assemble_triangles(&vs).len(), 2); // trailing vertex dropped
+    }
+
+    #[test]
+    fn line_takes_first_vertex_attrs() {
+        let prims = assemble_lines(&[
+            Vertex::with_id(Point::ZERO, 42),
+            Vertex::with_id(Point::new(1.0, 0.0), 99),
+        ]);
+        assert_eq!(prims[0].attrs(), [42, 0, 0, 0]);
+    }
+
+    #[test]
+    fn bbox_per_kind() {
+        let t = Primitive::triangle(
+            Point::ZERO,
+            Point::new(4.0, 0.0),
+            Point::new(0.0, 3.0),
+            [0; 4],
+        );
+        assert_eq!(t.bbox().max, Point::new(4.0, 3.0));
+        let l = Primitive::line(Point::new(2.0, 5.0), Point::new(-1.0, 1.0), [0; 4]);
+        assert_eq!(l.bbox().min, Point::new(-1.0, 1.0));
+        let p = Primitive::point(Point::new(1.0, 1.0), [0; 4]);
+        assert_eq!(p.bbox().area(), 0.0);
+    }
+
+    #[test]
+    fn map_positions_applies_transform() {
+        let t = Primitive::triangle(
+            Point::ZERO,
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+            [7, 0, 0, 0],
+        );
+        let moved = t.map_positions(|p| p + Point::new(10.0, 0.0));
+        assert_eq!(moved.bbox().min, Point::new(10.0, 0.0));
+        assert_eq!(moved.attrs(), [7, 0, 0, 0]);
+    }
+
+    #[test]
+    fn attr_mutation() {
+        let mut p = Primitive::point(Point::ZERO, [0; 4]);
+        p.set_attrs([1, 2, 3, 4]);
+        assert_eq!(p.attrs(), [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn geometry_views() {
+        let l = Primitive::line(Point::ZERO, Point::new(1.0, 1.0), [0; 4]);
+        assert!(l.as_segment().is_some());
+        assert!(l.as_triangle().is_none());
+        let t = Primitive::triangle(Point::ZERO, Point::new(1.0, 0.0), Point::new(0.0, 1.0), [0; 4]);
+        assert!(t.as_triangle().is_some());
+        assert!(t.as_segment().is_none());
+    }
+}

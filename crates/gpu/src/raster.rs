@@ -1,0 +1,471 @@
+//! Rasterization: converting primitives into fragments.
+//!
+//! Hardware rasterizers offer two rules that SPADE depends on (§4.2):
+//!
+//! * **default** — a pixel is covered when its center satisfies the
+//!   primitive's coverage test (point sampling);
+//! * **conservative** — a pixel is covered when the primitive *touches* the
+//!   pixel's cell at all. SPADE renders polygon boundaries conservatively so
+//!   every boundary pixel is identified, which is what makes the boundary
+//!   index exact.
+//!
+//! Rasterization also performs clipping: fragments are only generated inside
+//! the viewport, mirroring the fixed-function vertex post-processing stage
+//! (§2.2).
+
+use crate::primitive::Primitive;
+use crate::viewport::Viewport;
+use spade_geometry::{BBox, Point, Triangle};
+
+/// Enumerate the pixels covered by a primitive, invoking `emit(x, y)` for
+/// each covered pixel inside the viewport. Pixels are emitted in a
+/// deterministic order (row-major for areal primitives, start-to-end for
+/// lines).
+pub fn rasterize(
+    prim: &Primitive,
+    vp: &Viewport,
+    conservative: bool,
+    emit: &mut impl FnMut(u32, u32),
+) {
+    match prim {
+        Primitive::Point { p, .. } => {
+            if let Some((x, y)) = vp.world_to_pixel(*p) {
+                emit(x, y);
+            }
+        }
+        Primitive::Line { a, b, .. } => {
+            if conservative {
+                raster_line_conservative(*a, *b, vp, emit);
+            } else {
+                raster_line_default(*a, *b, vp, emit);
+            }
+        }
+        Primitive::Triangle { a, b, c, .. } => {
+            let tri = Triangle::new(*a, *b, *c);
+            if conservative {
+                raster_tri_conservative(&tri, vp, emit);
+            } else {
+                raster_tri_default(&tri, vp, emit);
+            }
+        }
+    }
+}
+
+/// Count covered pixels without materializing them (used by the 2-pass Map
+/// operator's counting pass and by tests).
+pub fn coverage_count(prim: &Primitive, vp: &Viewport, conservative: bool) -> usize {
+    let mut n = 0usize;
+    rasterize(prim, vp, conservative, &mut |_, _| n += 1);
+    n
+}
+
+/// Liang–Barsky segment clipping against a box. Returns the clipped
+/// endpoints, or `None` when the segment misses the box entirely.
+pub fn clip_segment(a: Point, b: Point, clip: &BBox) -> Option<(Point, Point)> {
+    let d = b - a;
+    let mut t0 = 0.0f64;
+    let mut t1 = 1.0f64;
+    let checks = [
+        (-d.x, a.x - clip.min.x),
+        (d.x, clip.max.x - a.x),
+        (-d.y, a.y - clip.min.y),
+        (d.y, clip.max.y - a.y),
+    ];
+    for (p, q) in checks {
+        if p.abs() < 1e-300 {
+            if q < 0.0 {
+                return None; // parallel and outside
+            }
+        } else {
+            let r = q / p;
+            if p < 0.0 {
+                if r > t1 {
+                    return None;
+                }
+                if r > t0 {
+                    t0 = r;
+                }
+            } else {
+                if r < t0 {
+                    return None;
+                }
+                if r < t1 {
+                    t1 = r;
+                }
+            }
+        }
+    }
+    Some((a + d * t0, a + d * t1))
+}
+
+/// Default line rasterization: Bresenham between the endpoint pixels of the
+/// viewport-clipped segment.
+fn raster_line_default(a: Point, b: Point, vp: &Viewport, emit: &mut impl FnMut(u32, u32)) {
+    let Some((ca, cb)) = clip_segment(a, b, &vp.world) else {
+        return;
+    };
+    let pa = vp.world_to_pixel_f(ca);
+    let pb = vp.world_to_pixel_f(cb);
+    let clampx = |v: f64| (v as i64).clamp(0, vp.width as i64 - 1);
+    let clampy = |v: f64| (v as i64).clamp(0, vp.height as i64 - 1);
+    let (mut x0, mut y0) = (clampx(pa.x), clampy(pa.y));
+    let (x1, y1) = (clampx(pb.x), clampy(pb.y));
+
+    let dx = (x1 - x0).abs();
+    let dy = -(y1 - y0).abs();
+    let sx = if x0 < x1 { 1 } else { -1 };
+    let sy = if y0 < y1 { 1 } else { -1 };
+    let mut err = dx + dy;
+    loop {
+        emit(x0 as u32, y0 as u32);
+        if x0 == x1 && y0 == y1 {
+            break;
+        }
+        let e2 = 2 * err;
+        if e2 >= dy {
+            err += dy;
+            x0 += sx;
+        }
+        if e2 <= dx {
+            err += dx;
+            y0 += sy;
+        }
+    }
+}
+
+/// Conservative line rasterization: every cell the segment touches
+/// (Amanatides–Woo grid traversal on the clipped segment).
+fn raster_line_conservative(a: Point, b: Point, vp: &Viewport, emit: &mut impl FnMut(u32, u32)) {
+    let Some((ca, cb)) = clip_segment(a, b, &vp.world) else {
+        return;
+    };
+    let pa = vp.world_to_pixel_f(ca);
+    let pb = vp.world_to_pixel_f(cb);
+
+    let w = vp.width as i64;
+    let h = vp.height as i64;
+    let clamp_cell = |px: f64, lim: i64| -> i64 { (px.floor() as i64).clamp(0, lim - 1) };
+
+    let mut cx = clamp_cell(pa.x, w);
+    let mut cy = clamp_cell(pa.y, h);
+    let ex = clamp_cell(pb.x, w);
+    let ey = clamp_cell(pb.y, h);
+
+    let d = pb - pa;
+    let step_x: i64 = if d.x > 0.0 { 1 } else { -1 };
+    let step_y: i64 = if d.y > 0.0 { 1 } else { -1 };
+
+    // Parametric distance (in t along the segment) to the next vertical /
+    // horizontal cell boundary, and per-cell increments.
+    let (mut t_max_x, t_delta_x) = if d.x.abs() < 1e-300 {
+        (f64::INFINITY, f64::INFINITY)
+    } else {
+        let next_bx = if step_x > 0 { cx as f64 + 1.0 } else { cx as f64 };
+        ((next_bx - pa.x) / d.x, (1.0 / d.x).abs())
+    };
+    let (mut t_max_y, t_delta_y) = if d.y.abs() < 1e-300 {
+        (f64::INFINITY, f64::INFINITY)
+    } else {
+        let next_by = if step_y > 0 { cy as f64 + 1.0 } else { cy as f64 };
+        ((next_by - pa.y) / d.y, (1.0 / d.y).abs())
+    };
+
+    // Bound iterations defensively: a segment can touch at most w+h cells.
+    let max_steps = (w + h + 4) as usize;
+    for _ in 0..max_steps {
+        emit(cx as u32, cy as u32);
+        if cx == ex && cy == ey {
+            return;
+        }
+        if t_max_x < t_max_y {
+            t_max_x += t_delta_x;
+            cx += step_x;
+        } else if t_max_y < t_max_x {
+            t_max_y += t_delta_y;
+            cy += step_y;
+        } else {
+            // Exactly through a cell corner: conservative rasterization
+            // touches both neighbours of the corner.
+            let nx = cx + step_x;
+            if nx >= 0 && nx < w {
+                emit(nx as u32, cy as u32);
+            }
+            let ny = cy + step_y;
+            if ny >= 0 && ny < h {
+                emit(cx as u32, ny as u32);
+            }
+            t_max_x += t_delta_x;
+            t_max_y += t_delta_y;
+            cx += step_x;
+            cy += step_y;
+        }
+        if cx < 0 || cx >= w || cy < 0 || cy >= h {
+            return;
+        }
+    }
+}
+
+/// Default triangle rasterization: pixel-center coverage (inclusive edges).
+fn raster_tri_default(tri: &Triangle, vp: &Viewport, emit: &mut impl FnMut(u32, u32)) {
+    let Some((x0, y0, x1, y1)) = vp.pixel_range(&tri.bbox()) else {
+        return;
+    };
+    // Edge functions with inclusive boundary: the same sign convention for
+    // either winding (normalize to CCW).
+    let (a, b, c) = if tri.signed_area() >= 0.0 {
+        (tri.a, tri.b, tri.c)
+    } else {
+        (tri.a, tri.c, tri.b)
+    };
+    for y in y0..=y1 {
+        for x in x0..=x1 {
+            let p = vp.pixel_center(x, y);
+            let e0 = (b - a).cross(p - a);
+            let e1 = (c - b).cross(p - b);
+            let e2 = (a - c).cross(p - c);
+            if e0 >= 0.0 && e1 >= 0.0 && e2 >= 0.0 {
+                emit(x, y);
+            }
+        }
+    }
+}
+
+/// Conservative triangle rasterization: every cell whose box overlaps the
+/// triangle (separating-axis test).
+fn raster_tri_conservative(tri: &Triangle, vp: &Viewport, emit: &mut impl FnMut(u32, u32)) {
+    let Some((x0, y0, x1, y1)) = vp.pixel_range(&tri.bbox()) else {
+        return;
+    };
+    for y in y0..=y1 {
+        for x in x0..=x1 {
+            if triangle_overlaps_box(tri, &vp.pixel_box(x, y)) {
+                emit(x, y);
+            }
+        }
+    }
+}
+
+/// Separating-axis triangle/AABB overlap (boundary inclusive).
+pub fn triangle_overlaps_box(tri: &Triangle, b: &BBox) -> bool {
+    // Axis-aligned axes.
+    let tb = tri.bbox();
+    if !tb.intersects(b) {
+        return false;
+    }
+    // Triangle edge normals.
+    let verts = tri.vertices();
+    let corners = b.corners();
+    for i in 0..3 {
+        let e = verts[(i + 1) % 3] - verts[i];
+        let n = e.perp();
+        let (tmin, tmax) = project_range(&verts, n);
+        let (bmin, bmax) = project_range(&corners, n);
+        if tmax < bmin || bmax < tmin {
+            return false;
+        }
+    }
+    true
+}
+
+fn project_range(pts: &[Point], axis: Point) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for p in pts {
+        let v = p.dot(axis);
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn vp10() -> Viewport {
+        Viewport::new(BBox::new(Point::ZERO, Point::new(10.0, 10.0)), 10, 10)
+    }
+
+    fn collect(prim: &Primitive, vp: &Viewport, cons: bool) -> BTreeSet<(u32, u32)> {
+        let mut s = BTreeSet::new();
+        rasterize(prim, vp, cons, &mut |x, y| {
+            s.insert((x, y));
+        });
+        s
+    }
+
+    #[test]
+    fn point_inside_and_outside() {
+        let vp = vp10();
+        let inside = Primitive::point(Point::new(2.5, 3.5), [0; 4]);
+        assert_eq!(collect(&inside, &vp, false), BTreeSet::from([(2, 3)]));
+        let outside = Primitive::point(Point::new(12.0, 3.0), [0; 4]);
+        assert!(collect(&outside, &vp, false).is_empty());
+    }
+
+    #[test]
+    fn horizontal_line_covers_row() {
+        let vp = vp10();
+        let l = Primitive::line(Point::new(0.5, 4.5), Point::new(9.5, 4.5), [0; 4]);
+        let px = collect(&l, &vp, false);
+        assert_eq!(px.len(), 10);
+        assert!(px.iter().all(|&(_, y)| y == 4));
+    }
+
+    #[test]
+    fn diagonal_line_default_vs_conservative() {
+        let vp = vp10();
+        let l = Primitive::line(Point::new(0.5, 0.5), Point::new(9.5, 9.5), [0; 4]);
+        let std = collect(&l, &vp, false);
+        let cons = collect(&l, &vp, true);
+        // Conservative must be a superset of the default rule.
+        assert!(std.is_subset(&cons), "std={std:?} cons={cons:?}");
+        // The diagonal touches all 10 diagonal cells.
+        for i in 0..10 {
+            assert!(cons.contains(&(i, i)));
+        }
+    }
+
+    #[test]
+    fn line_clipped_to_viewport() {
+        let vp = vp10();
+        let l = Primitive::line(Point::new(-5.0, 5.5), Point::new(15.0, 5.5), [0; 4]);
+        let px = collect(&l, &vp, true);
+        assert_eq!(px.len(), 10);
+        let miss = Primitive::line(Point::new(-5.0, 20.0), Point::new(15.0, 20.0), [0; 4]);
+        assert!(collect(&miss, &vp, true).is_empty());
+    }
+
+    #[test]
+    fn steep_line_is_connected() {
+        let vp = vp10();
+        let l = Primitive::line(Point::new(2.5, 0.5), Point::new(3.5, 9.5), [0; 4]);
+        let px = collect(&l, &vp, true);
+        // Every row from 0..=9 must be present (the traversal never skips).
+        let rows: BTreeSet<u32> = px.iter().map(|&(_, y)| y).collect();
+        assert_eq!(rows.len(), 10);
+    }
+
+    #[test]
+    fn triangle_default_covers_centers_only() {
+        let vp = vp10();
+        let t = Primitive::triangle(
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(0.0, 10.0),
+            [0; 4],
+        );
+        let px = collect(&t, &vp, false);
+        // Pixel centers (x+0.5, y+0.5) strictly below the diagonal x+y=10.
+        assert!(px.contains(&(0, 0)));
+        assert!(px.contains(&(4, 4)));
+        assert!(!px.contains(&(9, 9)));
+        // 55 pixel centers lie on or under the diagonal: rows 10,9,...,1.
+        assert_eq!(px.len(), 55);
+    }
+
+    #[test]
+    fn triangle_conservative_superset_of_default() {
+        let vp = vp10();
+        let t = Primitive::triangle(
+            Point::new(1.2, 1.3),
+            Point::new(8.7, 2.4),
+            Point::new(4.1, 9.2),
+            [0; 4],
+        );
+        let std = collect(&t, &vp, false);
+        let cons = collect(&t, &vp, true);
+        assert!(std.is_subset(&cons));
+        assert!(cons.len() > std.len());
+    }
+
+    #[test]
+    fn sliver_triangle_visible_conservatively() {
+        let vp = vp10();
+        // A sliver thinner than a pixel that crosses several cells but may
+        // miss every pixel center.
+        let t = Primitive::triangle(
+            Point::new(1.0, 1.01),
+            Point::new(9.0, 1.02),
+            Point::new(9.0, 1.03),
+            [0; 4],
+        );
+        let cons = collect(&t, &vp, true);
+        assert!(!cons.is_empty());
+        assert!(cons.len() >= 8, "sliver should touch its whole row: {cons:?}");
+    }
+
+    #[test]
+    fn triangle_outside_viewport_clipped() {
+        let vp = vp10();
+        let t = Primitive::triangle(
+            Point::new(20.0, 20.0),
+            Point::new(30.0, 20.0),
+            Point::new(20.0, 30.0),
+            [0; 4],
+        );
+        assert!(collect(&t, &vp, true).is_empty());
+        // Partially outside: only inside pixels drawn.
+        let t2 = Primitive::triangle(
+            Point::new(8.0, 8.0),
+            Point::new(15.0, 8.0),
+            Point::new(8.0, 15.0),
+            [0; 4],
+        );
+        let px = collect(&t2, &vp, true);
+        assert!(px.iter().all(|&(x, y)| x < 10 && y < 10));
+        assert!(px.contains(&(8, 8)));
+    }
+
+    #[test]
+    fn clip_segment_cases() {
+        let b = BBox::new(Point::ZERO, Point::new(10.0, 10.0));
+        let (a, c) = clip_segment(Point::new(-5.0, 5.0), Point::new(15.0, 5.0), &b).unwrap();
+        assert_eq!(a, Point::new(0.0, 5.0));
+        assert_eq!(c, Point::new(10.0, 5.0));
+        assert!(clip_segment(Point::new(-5.0, -5.0), Point::new(-1.0, -1.0), &b).is_none());
+        // Fully inside unchanged.
+        let (a, c) = clip_segment(Point::new(1.0, 1.0), Point::new(2.0, 2.0), &b).unwrap();
+        assert_eq!((a, c), (Point::new(1.0, 1.0), Point::new(2.0, 2.0)));
+        // Vertical segment parallel to x-clip planes, outside.
+        assert!(clip_segment(Point::new(-1.0, 0.0), Point::new(-1.0, 10.0), &b).is_none());
+    }
+
+    #[test]
+    fn triangle_box_sat_cases() {
+        let t = Triangle::new(Point::ZERO, Point::new(4.0, 0.0), Point::new(0.0, 4.0));
+        assert!(triangle_overlaps_box(
+            &t,
+            &BBox::new(Point::new(1.0, 1.0), Point::new(2.0, 2.0))
+        ));
+        // Box beyond the hypotenuse but within the bbox of the triangle.
+        assert!(!triangle_overlaps_box(
+            &t,
+            &BBox::new(Point::new(3.5, 3.5), Point::new(4.0, 4.0))
+        ));
+        // Touching at a corner counts.
+        assert!(triangle_overlaps_box(
+            &t,
+            &BBox::new(Point::new(2.0, 2.0), Point::new(3.0, 3.0))
+        ));
+        // Box containing the whole triangle.
+        assert!(triangle_overlaps_box(
+            &t,
+            &BBox::new(Point::new(-1.0, -1.0), Point::new(5.0, 5.0))
+        ));
+    }
+
+    #[test]
+    fn coverage_count_matches_rasterize() {
+        let vp = vp10();
+        let t = Primitive::triangle(
+            Point::new(1.0, 1.0),
+            Point::new(8.0, 1.0),
+            Point::new(4.0, 8.0),
+            [0; 4],
+        );
+        assert_eq!(coverage_count(&t, &vp, false), collect(&t, &vp, false).len());
+        assert_eq!(coverage_count(&t, &vp, true), collect(&t, &vp, true).len());
+    }
+}

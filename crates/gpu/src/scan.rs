@@ -1,0 +1,189 @@
+//! Parallel prefix scan and stream compaction.
+//!
+//! SPADE extracts query results from the Map operator's output canvas with a
+//! GPU parallel scan (§5.1, citing Harris et al.'s CUDA scan). This module
+//! implements the same work-efficient chunked algorithm on the worker pool:
+//! per-chunk reduction, a serial scan over chunk totals, then a parallel
+//! down-sweep that places elements at their scanned offsets.
+
+use crate::pool;
+use crate::texture::{PixelValue, Texture, NULL_PIXEL};
+
+/// Exclusive prefix sum of `input` (`output[i] = sum of input[..i]`).
+pub fn exclusive_scan(input: &[u32], workers: usize) -> Vec<u64> {
+    if input.is_empty() {
+        return Vec::new();
+    }
+    let ranges = pool::chunk_ranges(input.len(), workers);
+    // Up-sweep: per-chunk totals.
+    let totals = pool::parallel_map_chunks(input, workers, |_, chunk| {
+        chunk.iter().map(|&v| v as u64).sum::<u64>()
+    });
+    // Serial exclusive scan of chunk totals.
+    let mut offsets = Vec::with_capacity(totals.len());
+    let mut acc = 0u64;
+    for t in &totals {
+        offsets.push(acc);
+        acc += t;
+    }
+    // Down-sweep: scan within each chunk starting at its offset.
+    let mut out = vec![0u64; input.len()];
+    let mut out_slices: Vec<&mut [u64]> = Vec::with_capacity(ranges.len());
+    {
+        let mut rest: &mut [u64] = &mut out;
+        for r in &ranges {
+            let (head, tail) = rest.split_at_mut(r.len());
+            out_slices.push(head);
+            rest = tail;
+        }
+    }
+    crossbeam::thread::scope(|s| {
+        for ((range, slice), base) in ranges.iter().zip(out_slices).zip(offsets.iter()) {
+            let input = &input[range.clone()];
+            let mut acc = *base;
+            s.spawn(move |_| {
+                for (o, &v) in slice.iter_mut().zip(input) {
+                    *o = acc;
+                    acc += v as u64;
+                }
+            });
+        }
+    })
+    .expect("scan worker panicked");
+    out
+}
+
+/// A compacted canvas entry: pixel coordinates plus the pixel value.
+pub type CompactEntry = (u32, u32, PixelValue);
+
+/// Compact the non-null pixels of a texture into a dense row-major list —
+/// "removing the null elements of the list" after the Map pass (§5.1).
+pub fn compact_non_null(tex: &Texture, workers: usize) -> Vec<CompactEntry> {
+    let pixels = tex.pixels();
+    if pixels.is_empty() {
+        return Vec::new();
+    }
+    let ranges = pool::chunk_ranges(pixels.len(), workers);
+    // Up-sweep: non-null count per chunk.
+    let counts = pool::parallel_map_chunks(pixels, workers, |_, chunk| {
+        chunk.iter().filter(|p| **p != NULL_PIXEL).count()
+    });
+    let total: usize = counts.iter().sum();
+    let mut out: Vec<CompactEntry> = vec![(0, 0, NULL_PIXEL); total];
+    // Carve the output into per-chunk windows at scanned offsets.
+    let mut out_slices: Vec<&mut [CompactEntry]> = Vec::with_capacity(counts.len());
+    {
+        let mut rest: &mut [CompactEntry] = &mut out;
+        for c in &counts {
+            let (head, tail) = rest.split_at_mut(*c);
+            out_slices.push(head);
+            rest = tail;
+        }
+    }
+    let w = tex.width() as usize;
+    crossbeam::thread::scope(|s| {
+        for (range, slice) in ranges.iter().zip(out_slices) {
+            let base = range.start;
+            let chunk = &pixels[range.clone()];
+            s.spawn(move |_| {
+                let mut k = 0;
+                for (i, &v) in chunk.iter().enumerate() {
+                    if v != NULL_PIXEL {
+                        let flat = base + i;
+                        slice[k] = ((flat % w) as u32, (flat / w) as u32, v);
+                        k += 1;
+                    }
+                }
+                debug_assert_eq!(k, slice.len());
+            });
+        }
+    })
+    .expect("compact worker panicked");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_matches_serial() {
+        let input: Vec<u32> = (0..1000).map(|i| (i % 7) as u32).collect();
+        let expected: Vec<u64> = {
+            let mut acc = 0u64;
+            input
+                .iter()
+                .map(|&v| {
+                    let o = acc;
+                    acc += v as u64;
+                    o
+                })
+                .collect()
+        };
+        for workers in [1, 2, 4, 16] {
+            assert_eq!(exclusive_scan(&input, workers), expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn scan_empty_and_single() {
+        assert!(exclusive_scan(&[], 4).is_empty());
+        assert_eq!(exclusive_scan(&[5], 4), vec![0]);
+    }
+
+    #[test]
+    fn scan_handles_large_values_without_overflow() {
+        let input = vec![u32::MAX; 8];
+        let out = exclusive_scan(&input, 2);
+        assert_eq!(out[7], 7 * (u32::MAX as u64));
+    }
+
+    #[test]
+    fn compact_preserves_row_major_order() {
+        let mut tex = Texture::new(8, 8);
+        tex.put(3, 1, [10, 0, 0, 0]);
+        tex.put(0, 0, [5, 0, 0, 0]);
+        tex.put(7, 7, [20, 0, 0, 0]);
+        tex.put(2, 1, [9, 0, 0, 0]);
+        for workers in [1, 2, 4] {
+            let out = compact_non_null(&tex, workers);
+            assert_eq!(
+                out,
+                vec![
+                    (0, 0, [5, 0, 0, 0]),
+                    (2, 1, [9, 0, 0, 0]),
+                    (3, 1, [10, 0, 0, 0]),
+                    (7, 7, [20, 0, 0, 0]),
+                ],
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn compact_empty_and_full() {
+        let tex = Texture::new(4, 4);
+        assert!(compact_non_null(&tex, 4).is_empty());
+        let mut full = Texture::new(4, 4);
+        for y in 0..4 {
+            for x in 0..4 {
+                full.put(x, y, [1, 0, 0, 0]);
+            }
+        }
+        assert_eq!(compact_non_null(&full, 3).len(), 16);
+    }
+
+    #[test]
+    fn compact_count_matches_texture() {
+        let mut tex = Texture::new(32, 32);
+        let mut seed = 42u64;
+        for _ in 0..300 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let x = ((seed >> 20) % 32) as u32;
+            let y = ((seed >> 40) % 32) as u32;
+            tex.put(x, y, [1, 2, 3, 4]);
+        }
+        let out = compact_non_null(&tex, 8);
+        assert_eq!(out.len(), tex.count_non_null());
+    }
+}

@@ -1,0 +1,152 @@
+//! Pipeline execution counters.
+//!
+//! The paper's evaluation breaks query time into I/O, GPU, polygon
+//! processing and CPU components and reasons about rendering passes and
+//! memory transfers (§6.2). These counters make the same quantities
+//! observable from the software pipeline.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Counters accumulated across draw calls. All methods are thread-safe.
+#[derive(Debug, Default)]
+pub struct PipelineStats {
+    /// Render passes executed (draw calls).
+    pub draw_calls: AtomicU64,
+    /// Primitives submitted (after geometry-shader expansion).
+    pub primitives: AtomicU64,
+    /// Primitives discarded by clipping (bbox fully outside the viewport).
+    pub clipped: AtomicU64,
+    /// Fragments produced by the rasterizer.
+    pub fragments: AtomicU64,
+    /// Fragments discarded by the fragment shader.
+    pub discarded: AtomicU64,
+    /// Nanoseconds spent inside draw calls ("GPU time").
+    pub gpu_nanos: AtomicU64,
+}
+
+impl PipelineStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add_draw_call(&self) {
+        self.draw_calls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_primitives(&self, n: u64) {
+        self.primitives.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_clipped(&self, n: u64) {
+        self.clipped.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_fragments(&self, n: u64) {
+        self.fragments.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_discarded(&self, n: u64) {
+        self.discarded.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_gpu_time(&self, d: Duration) {
+        self.gpu_nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub fn gpu_time(&self) -> Duration {
+        Duration::from_nanos(self.gpu_nanos.load(Ordering::Relaxed))
+    }
+
+    /// A point-in-time copy of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            draw_calls: self.draw_calls.load(Ordering::Relaxed),
+            primitives: self.primitives.load(Ordering::Relaxed),
+            clipped: self.clipped.load(Ordering::Relaxed),
+            fragments: self.fragments.load(Ordering::Relaxed),
+            discarded: self.discarded.load(Ordering::Relaxed),
+            gpu_nanos: self.gpu_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        self.draw_calls.store(0, Ordering::Relaxed);
+        self.primitives.store(0, Ordering::Relaxed);
+        self.clipped.store(0, Ordering::Relaxed);
+        self.fragments.store(0, Ordering::Relaxed);
+        self.discarded.store(0, Ordering::Relaxed);
+        self.gpu_nanos.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An immutable copy of [`PipelineStats`] counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    pub draw_calls: u64,
+    pub primitives: u64,
+    pub clipped: u64,
+    pub fragments: u64,
+    pub discarded: u64,
+    pub gpu_nanos: u64,
+}
+
+impl StatsSnapshot {
+    /// Counter-wise difference (`self` − `earlier`), for measuring a single
+    /// query's contribution.
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            draw_calls: self.draw_calls - earlier.draw_calls,
+            primitives: self.primitives - earlier.primitives,
+            clipped: self.clipped - earlier.clipped,
+            fragments: self.fragments - earlier.fragments,
+            discarded: self.discarded - earlier.discarded,
+            gpu_nanos: self.gpu_nanos - earlier.gpu_nanos,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = PipelineStats::new();
+        s.add_draw_call();
+        s.add_draw_call();
+        s.add_primitives(10);
+        s.add_clipped(2);
+        s.add_fragments(100);
+        s.add_discarded(40);
+        s.add_gpu_time(Duration::from_micros(5));
+        let snap = s.snapshot();
+        assert_eq!(snap.draw_calls, 2);
+        assert_eq!(snap.primitives, 10);
+        assert_eq!(snap.clipped, 2);
+        assert_eq!(snap.fragments, 100);
+        assert_eq!(snap.discarded, 40);
+        assert_eq!(s.gpu_time(), Duration::from_micros(5));
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = PipelineStats::new();
+        s.add_fragments(5);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_difference() {
+        let s = PipelineStats::new();
+        s.add_fragments(100);
+        let before = s.snapshot();
+        s.add_fragments(50);
+        s.add_draw_call();
+        let delta = s.snapshot().since(&before);
+        assert_eq!(delta.fragments, 50);
+        assert_eq!(delta.draw_calls, 1);
+    }
+}

@@ -1,0 +1,395 @@
+//! The clustered grid index (§5.3, tuning §6.1).
+
+use parking_lot::Mutex;
+use spade_geometry::hull::convex_hull_polygon;
+use spade_geometry::{BBox, Geometry, Point, Polygon};
+use spade_storage::geom::{geometry_table, read_geometry_table};
+use spade_storage::persist;
+use spade_storage::{Result, StorageError};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// One grid cell: its bounding polygon (a convex hull), the ids of the
+/// objects clustered into it, and the physical size of its data block.
+#[derive(Debug, Clone)]
+pub struct GridCell {
+    /// Discrete cell coordinates (before hull expansion).
+    pub coords: (i32, i32),
+    /// The bounding polygon: convex hull over the cell's geometries.
+    pub hull: Polygon,
+    /// Number of objects stored in the cell's block.
+    pub num_objects: usize,
+    /// Physical (serialized) size of the block in bytes — what a transfer
+    /// of this cell to the GPU costs.
+    pub bytes: u64,
+}
+
+impl GridCell {
+    pub fn bbox(&self) -> BBox {
+        self.hull.bbox()
+    }
+}
+
+/// Where cell blocks live.
+enum BlockStore {
+    /// One file per cell under a directory (the out-of-core path).
+    Disk(PathBuf),
+    /// Serialized blocks held in memory (tests and small benchmarks); reads
+    /// are still byte-accounted.
+    Memory(Vec<bytes::Bytes>),
+}
+
+/// The clustered grid index.
+pub struct GridIndex {
+    pub cell_size: f64,
+    /// Grid origin: cells are aligned to the data extent's minimum corner,
+    /// so a data set that fits one cell-size span occupies one cell.
+    pub origin: Point,
+    cells: Vec<GridCell>,
+    store: BlockStore,
+    /// Bytes read through [`GridIndex::load_cell`] since construction.
+    bytes_read: Mutex<u64>,
+}
+
+impl GridIndex {
+    /// Choose a cell size such that the expected block size stays under
+    /// `max_cell_bytes` (the paper restricts zoom levels so a cell is at
+    /// most ~2 GB for an 8 GB GPU, §6.1). Assumes roughly uniform density;
+    /// skewed data simply yields some larger cells, which is tolerated the
+    /// same way the paper's OSM zoom levels are.
+    pub fn cell_size_for_budget(
+        extent: &BBox,
+        total_bytes: u64,
+        max_cell_bytes: u64,
+    ) -> f64 {
+        let span = extent.width().max(extent.height()).max(1e-9);
+        if total_bytes <= max_cell_bytes {
+            return span; // a single cell suffices
+        }
+        // Halve the cell size (quadrupling the cell count) until the
+        // expected per-cell share fits — the OSM zoom-level progression.
+        let mut cells_per_axis = 1u64;
+        while total_bytes / (cells_per_axis * cells_per_axis) > max_cell_bytes
+            && cells_per_axis < (1 << 20)
+        {
+            cells_per_axis *= 2;
+        }
+        span / cells_per_axis as f64
+    }
+
+    /// Build the index over `(id, geometry)` pairs, writing one block per
+    /// cell into `dir` (pass `None` to keep blocks in memory).
+    pub fn build(
+        dir: Option<PathBuf>,
+        objects: &[(u32, Geometry)],
+        cell_size: f64,
+    ) -> Result<GridIndex> {
+        assert!(cell_size > 0.0, "cell size must be positive");
+        // Cluster objects by the cell containing their centroid, with the
+        // grid aligned to the data extent's minimum corner.
+        let mut extent = BBox::empty();
+        for (_, g) in objects {
+            extent = extent.union(&g.bbox());
+        }
+        let origin = if extent.is_empty() { Point::ZERO } else { extent.min };
+        let mut buckets: BTreeMap<(i32, i32), Vec<usize>> = BTreeMap::new();
+        for (i, (_, g)) in objects.iter().enumerate() {
+            let c = g.centroid();
+            let key = (
+                ((c.x - origin.x) / cell_size).floor() as i32,
+                ((c.y - origin.y) / cell_size).floor() as i32,
+            );
+            buckets.entry(key).or_default().push(i);
+        }
+        Self::from_partitions(
+            dir,
+            objects,
+            buckets.into_iter().collect(),
+            cell_size,
+            origin,
+        )
+    }
+
+    /// Build the index from an arbitrary partitioning — the §7 extension:
+    /// "other indexing strategies can be used in a similar fashion… the
+    /// index filtering simply performs selections/joins on the bounding
+    /// polygons". [`crate::rtree::str_partitions`] supplies the R-tree-leaf
+    /// partitioning variant.
+    pub fn from_partitions(
+        dir: Option<PathBuf>,
+        objects: &[(u32, Geometry)],
+        partitions: Vec<((i32, i32), Vec<usize>)>,
+        cell_size: f64,
+        origin: Point,
+    ) -> Result<GridIndex> {
+        if let Some(d) = &dir {
+            std::fs::create_dir_all(d)?;
+        }
+        let mut cells = Vec::with_capacity(partitions.len());
+        let mut blocks = Vec::with_capacity(partitions.len());
+        for (coords, members) in partitions {
+            // Bounding polygon: convex hull over all member geometry
+            // vertices (expands past the cell box for spanning objects).
+            let mut pts: Vec<Point> = Vec::new();
+            for &i in &members {
+                collect_vertices(&objects[i].1, &mut pts);
+            }
+            let hull = convex_hull_polygon(&pts).unwrap_or_else(|| {
+                // Degenerate cell (all collinear): fall back to an inflated
+                // bbox so the bound is still a polygon.
+                Polygon::rect(BBox::from_points(pts.iter().copied()).inflate(1e-9))
+            });
+
+            let items: Vec<(u32, Geometry)> = members
+                .iter()
+                .map(|&i| objects[i].clone())
+                .collect();
+            let table = geometry_table(&format!("cell_{}_{}", coords.0, coords.1), &items)?;
+            let encoded = persist::encode_table(&table);
+            let bytes = encoded.len() as u64;
+            match &dir {
+                Some(d) => {
+                    let path = cell_path(d, coords);
+                    std::fs::write(&path, &encoded)?;
+                }
+                None => blocks.push(encoded),
+            }
+            cells.push(GridCell {
+                coords,
+                hull,
+                num_objects: items.len(),
+                bytes,
+            });
+        }
+        Ok(GridIndex {
+            cell_size,
+            origin,
+            cells,
+            store: match dir {
+                Some(d) => BlockStore::Disk(d),
+                None => BlockStore::Memory(blocks),
+            },
+            bytes_read: Mutex::new(0),
+        })
+    }
+
+    pub fn cells(&self) -> &[GridCell] {
+        &self.cells
+    }
+
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Total bytes across all blocks.
+    pub fn total_bytes(&self) -> u64 {
+        self.cells.iter().map(|c| c.bytes).sum()
+    }
+
+    /// Total object count across all blocks.
+    pub fn num_objects(&self) -> usize {
+        self.cells.iter().map(|c| c.num_objects).sum()
+    }
+
+    /// The index itself as a polygonal data set: `(cell_index, hull)` pairs
+    /// that the GPU filter stage runs selections/joins against (§5.3).
+    pub fn bounding_polygons(&self) -> Vec<(u32, Polygon)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i as u32, c.hull.clone()))
+            .collect()
+    }
+
+    /// Load one cell's block, returning its objects and charging the block
+    /// bytes to the I/O ledger.
+    pub fn load_cell(&self, idx: usize) -> Result<Vec<(u32, Geometry)>> {
+        let cell = self
+            .cells
+            .get(idx)
+            .ok_or_else(|| StorageError::Io(format!("no cell {idx}")))?;
+        let table = match &self.store {
+            BlockStore::Disk(dir) => {
+                let (t, _) = persist::read_table(&cell_path(dir, cell.coords))?;
+                t
+            }
+            BlockStore::Memory(blocks) => persist::decode_table(&blocks[idx])?,
+        };
+        *self.bytes_read.lock() += cell.bytes;
+        read_geometry_table(&table)
+    }
+
+    /// Bytes read through [`GridIndex::load_cell`] so far.
+    pub fn bytes_read(&self) -> u64 {
+        *self.bytes_read.lock()
+    }
+
+    /// Reset the I/O ledger (per-query accounting).
+    pub fn reset_bytes_read(&self) {
+        *self.bytes_read.lock() = 0;
+    }
+}
+
+fn cell_path(dir: &std::path::Path, coords: (i32, i32)) -> PathBuf {
+    dir.join(format!("cell_{}_{}.blk", coords.0, coords.1))
+}
+
+fn collect_vertices(g: &Geometry, out: &mut Vec<Point>) {
+    match g {
+        Geometry::Point(p) => out.push(*p),
+        Geometry::LineString(l) => out.extend_from_slice(&l.points),
+        Geometry::Polygon(p) => {
+            out.extend_from_slice(&p.exterior.points);
+            for h in &p.holes {
+                out.extend_from_slice(&h.points);
+            }
+        }
+        Geometry::MultiPolygon(m) => {
+            for p in &m.polygons {
+                out.extend_from_slice(&p.exterior.points);
+                for h in &p.holes {
+                    out.extend_from_slice(&h.points);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spade_geometry::predicates::point_in_polygon;
+
+    fn point_set(n: usize) -> Vec<(u32, Geometry)> {
+        // Deterministic scatter over [0, 100)².
+        let mut s = 99u64;
+        (0..n)
+            .map(|i| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let x = ((s >> 33) % 10_000) as f64 / 100.0;
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let y = ((s >> 33) % 10_000) as f64 / 100.0;
+                (i as u32, Geometry::Point(Point::new(x, y)))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn build_covers_all_objects() {
+        let objects = point_set(500);
+        let idx = GridIndex::build(None, &objects, 25.0).unwrap();
+        assert_eq!(idx.num_objects(), 500);
+        assert!(idx.num_cells() <= 16);
+        assert!(idx.total_bytes() > 0);
+    }
+
+    #[test]
+    fn cells_load_back_their_objects() {
+        let objects = point_set(200);
+        let idx = GridIndex::build(None, &objects, 50.0).unwrap();
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..idx.num_cells() {
+            for (id, g) in idx.load_cell(i).unwrap() {
+                assert!(seen.insert(id), "object {id} in two cells");
+                // The object must be inside its cell's hull.
+                if let Geometry::Point(p) = g {
+                    assert!(point_in_polygon(p, &idx.cells()[i].hull));
+                }
+            }
+        }
+        assert_eq!(seen.len(), 200);
+        assert_eq!(idx.bytes_read(), idx.total_bytes());
+        idx.reset_bytes_read();
+        assert_eq!(idx.bytes_read(), 0);
+    }
+
+    #[test]
+    fn hull_expands_for_spanning_objects() {
+        // A polygon whose centroid is in one cell but spans two.
+        let long = Geometry::Polygon(Polygon::rect(BBox::new(
+            Point::new(1.0, 1.0),
+            Point::new(45.0, 5.0),
+        )));
+        let idx = GridIndex::build(None, &[(0, long)], 25.0).unwrap();
+        assert_eq!(idx.num_cells(), 1);
+        let hull_bb = idx.cells()[0].bbox();
+        assert!(hull_bb.max.x >= 45.0); // expanded past the 25-unit cell
+    }
+
+    #[test]
+    fn disk_backed_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("spade-grid-{}", std::process::id()));
+        let objects = point_set(100);
+        let idx = GridIndex::build(Some(dir.clone()), &objects, 50.0).unwrap();
+        let total: usize = (0..idx.num_cells())
+            .map(|i| idx.load_cell(i).unwrap().len())
+            .sum();
+        assert_eq!(total, 100);
+        // Files exist on disk.
+        let files = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(files, idx.num_cells());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cell_size_budget_progression() {
+        let extent = BBox::new(Point::ZERO, Point::new(100.0, 100.0));
+        // Fits in one cell.
+        assert_eq!(GridIndex::cell_size_for_budget(&extent, 1000, 2000), 100.0);
+        // Needs 2x2 cells.
+        assert_eq!(GridIndex::cell_size_for_budget(&extent, 8000, 2000), 50.0);
+        // Needs 4x4 cells.
+        assert_eq!(GridIndex::cell_size_for_budget(&extent, 32_000, 2000), 25.0);
+    }
+
+    #[test]
+    fn bounding_polygons_form_dataset() {
+        let objects = point_set(300);
+        let idx = GridIndex::build(None, &objects, 25.0).unwrap();
+        let polys = idx.bounding_polygons();
+        assert_eq!(polys.len(), idx.num_cells());
+        for (i, p) in &polys {
+            assert!(p.exterior.len() >= 3, "cell {i} hull degenerate");
+        }
+    }
+
+    #[test]
+    fn load_cell_out_of_range() {
+        let idx = GridIndex::build(None, &point_set(10), 100.0).unwrap();
+        assert!(idx.load_cell(99).is_err());
+    }
+
+    #[test]
+    fn corrupt_block_is_reported_not_panicking() {
+        let dir = std::env::temp_dir().join(format!("spade-corrupt-{}", std::process::id()));
+        let idx = GridIndex::build(Some(dir.clone()), &point_set(50), 100.0).unwrap();
+        // Truncate every block file on disk.
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let p = entry.unwrap().path();
+            let data = std::fs::read(&p).unwrap();
+            std::fs::write(&p, &data[..data.len() / 2]).unwrap();
+        }
+        let err = idx.load_cell(0).unwrap_err();
+        assert!(matches!(
+            err,
+            spade_storage::StorageError::Corrupt(_) | spade_storage::StorageError::Io(_)
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn aligned_grid_uses_single_cell_for_small_data() {
+        // Data spanning less than one cell size must land in exactly one
+        // cell thanks to origin alignment.
+        let objects: Vec<(u32, Geometry)> = (0..20)
+            .map(|i| {
+                (
+                    i,
+                    Geometry::Point(Point::new(500.0 + (i % 5) as f64, 777.0 + (i / 5) as f64)),
+                )
+            })
+            .collect();
+        let idx = GridIndex::build(None, &objects, 100.0).unwrap();
+        assert_eq!(idx.num_cells(), 1);
+    }
+}

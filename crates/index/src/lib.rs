@@ -1,0 +1,23 @@
+//! Disk-based spatial indexes for out-of-core query processing.
+//!
+//! SPADE stores the underlying spatial data in a *clustered grid index*
+//! (§3, §5.3): each grid cell owns a block of data on disk, sized so a cell
+//! fits in GPU memory (§6.1). Two departures from a classical grid index
+//! make it GPU-friendly:
+//!
+//! * each cell's bound is the **convex hull** of the geometries inside it —
+//!   a tighter "bounding polygon" than a bbox, affordable because index
+//!   filtering itself runs as a GPU selection/join over these polygons;
+//! * objects spanning several cells are assigned to the cell containing
+//!   their **centroid**, and the cell's hull *expands* to cover them — so
+//!   cells may overlap, which the filter-by-join strategy tolerates.
+//!
+//! The [`rtree`] module provides the alternative strategy sketched in §7
+//! (bounding polygons over R-tree leaves) and serves the cluster baseline's
+//! per-partition index.
+
+pub mod grid;
+pub mod rtree;
+
+pub use grid::{GridCell, GridIndex};
+pub use rtree::RTree;

@@ -1,0 +1,255 @@
+//! Typed columns: the unit of storage and I/O.
+
+use crate::value::Value;
+use crate::{Result, StorageError};
+
+/// Column data types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    Int,
+    Float,
+    Str,
+    Bytes,
+}
+
+impl DataType {
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Str => "TEXT",
+            DataType::Bytes => "BLOB",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<DataType> {
+        match s.to_ascii_uppercase().as_str() {
+            "INT" | "INTEGER" | "BIGINT" => Some(DataType::Int),
+            "FLOAT" | "DOUBLE" | "REAL" => Some(DataType::Float),
+            "TEXT" | "VARCHAR" | "STRING" => Some(DataType::Str),
+            "BLOB" | "BYTES" => Some(DataType::Bytes),
+            _ => None,
+        }
+    }
+}
+
+/// A typed column with a null bitmap. Values are stored densely (SoA), the
+/// layout a column store scans and serializes page-wise.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Str(Vec<String>),
+    Bytes(Vec<Vec<u8>>),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    pub name: String,
+    data: ColumnData,
+    nulls: Vec<bool>,
+}
+
+impl Column {
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        let data = match dtype {
+            DataType::Int => ColumnData::Int(Vec::new()),
+            DataType::Float => ColumnData::Float(Vec::new()),
+            DataType::Str => ColumnData::Str(Vec::new()),
+            DataType::Bytes => ColumnData::Bytes(Vec::new()),
+        };
+        Column {
+            name: name.into(),
+            data,
+            nulls: Vec::new(),
+        }
+    }
+
+    pub fn data_type(&self) -> DataType {
+        match &self.data {
+            ColumnData::Int(_) => DataType::Int,
+            ColumnData::Float(_) => DataType::Float,
+            ColumnData::Str(_) => DataType::Str,
+            ColumnData::Bytes(_) => DataType::Bytes,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.nulls.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nulls.is_empty()
+    }
+
+    /// Append a value, checking the type (nulls always allowed).
+    pub fn push(&mut self, v: Value) -> Result<()> {
+        let mismatch = StorageError::TypeMismatch {
+            column: self.name.clone(),
+            expected: self.data_type(),
+        };
+        match (&mut self.data, v) {
+            (_, Value::Null) => {
+                match &mut self.data {
+                    ColumnData::Int(d) => d.push(0),
+                    ColumnData::Float(d) => d.push(0.0),
+                    ColumnData::Str(d) => d.push(String::new()),
+                    ColumnData::Bytes(d) => d.push(Vec::new()),
+                }
+                self.nulls.push(true);
+                return Ok(());
+            }
+            (ColumnData::Int(d), Value::Int(v)) => d.push(v),
+            // Ints widen into float columns.
+            (ColumnData::Float(d), Value::Int(v)) => d.push(v as f64),
+            (ColumnData::Float(d), Value::Float(v)) => d.push(v),
+            (ColumnData::Str(d), Value::Str(v)) => d.push(v),
+            (ColumnData::Bytes(d), Value::Bytes(v)) => d.push(v),
+            _ => return Err(mismatch),
+        }
+        self.nulls.push(false);
+        Ok(())
+    }
+
+    /// Read the value at `row` (panics out of bounds, like slice indexing).
+    pub fn get(&self, row: usize) -> Value {
+        if self.nulls[row] {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Int(d) => Value::Int(d[row]),
+            ColumnData::Float(d) => Value::Float(d[row]),
+            ColumnData::Str(d) => Value::Str(d[row].clone()),
+            ColumnData::Bytes(d) => Value::Bytes(d[row].clone()),
+        }
+    }
+
+    /// Borrowing accessors for hot scan paths (no clone).
+    pub fn get_int(&self, row: usize) -> Option<i64> {
+        if self.nulls[row] {
+            return None;
+        }
+        match &self.data {
+            ColumnData::Int(d) => Some(d[row]),
+            _ => None,
+        }
+    }
+
+    pub fn get_float(&self, row: usize) -> Option<f64> {
+        if self.nulls[row] {
+            return None;
+        }
+        match &self.data {
+            ColumnData::Float(d) => Some(d[row]),
+            ColumnData::Int(d) => Some(d[row] as f64),
+            _ => None,
+        }
+    }
+
+    pub fn get_bytes(&self, row: usize) -> Option<&[u8]> {
+        if self.nulls[row] {
+            return None;
+        }
+        match &self.data {
+            ColumnData::Bytes(d) => Some(&d[row]),
+            _ => None,
+        }
+    }
+
+    pub fn get_str(&self, row: usize) -> Option<&str> {
+        if self.nulls[row] {
+            return None;
+        }
+        match &self.data {
+            ColumnData::Str(d) => Some(&d[row]),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self, row: usize) -> bool {
+        self.nulls[row]
+    }
+
+    /// Approximate in-memory byte size (used for block-size accounting).
+    pub fn byte_size(&self) -> usize {
+        let data = match &self.data {
+            ColumnData::Int(d) => d.len() * 8,
+            ColumnData::Float(d) => d.len() * 8,
+            ColumnData::Str(d) => d.iter().map(|s| s.len() + 8).sum(),
+            ColumnData::Bytes(d) => d.iter().map(|b| b.len() + 8).sum(),
+        };
+        data + self.nulls.len()
+    }
+
+    pub(crate) fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    pub(crate) fn nulls(&self) -> &[bool] {
+        &self.nulls
+    }
+
+    pub(crate) fn from_parts(name: String, data: ColumnData, nulls: Vec<bool>) -> Self {
+        Column { name, data, nulls }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datatype_parse_and_name() {
+        assert_eq!(DataType::parse("int"), Some(DataType::Int));
+        assert_eq!(DataType::parse("DOUBLE"), Some(DataType::Float));
+        assert_eq!(DataType::parse("varchar"), Some(DataType::Str));
+        assert_eq!(DataType::parse("blob"), Some(DataType::Bytes));
+        assert_eq!(DataType::parse("geometry"), None);
+        assert_eq!(DataType::Int.name(), "INT");
+    }
+
+    #[test]
+    fn push_and_get_roundtrip() {
+        let mut c = Column::new("a", DataType::Int);
+        c.push(Value::Int(1)).unwrap();
+        c.push(Value::Null).unwrap();
+        c.push(Value::Int(3)).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(0), Value::Int(1));
+        assert_eq!(c.get(1), Value::Null);
+        assert!(c.is_null(1));
+        assert_eq!(c.get_int(2), Some(3));
+        assert_eq!(c.get_int(1), None);
+    }
+
+    #[test]
+    fn type_checking() {
+        let mut c = Column::new("a", DataType::Int);
+        let err = c.push(Value::from("oops")).unwrap_err();
+        assert!(matches!(err, StorageError::TypeMismatch { .. }));
+        // Ints widen into float columns.
+        let mut f = Column::new("f", DataType::Float);
+        f.push(Value::Int(2)).unwrap();
+        assert_eq!(f.get(0), Value::Float(2.0));
+        assert_eq!(f.get_float(0), Some(2.0));
+    }
+
+    #[test]
+    fn string_and_bytes_columns() {
+        let mut s = Column::new("s", DataType::Str);
+        s.push(Value::from("hello")).unwrap();
+        assert_eq!(s.get_str(0), Some("hello"));
+        let mut b = Column::new("b", DataType::Bytes);
+        b.push(Value::from(vec![1u8, 2, 3])).unwrap();
+        assert_eq!(b.get_bytes(0), Some(&[1u8, 2, 3][..]));
+        assert_eq!(b.get_int(0), None);
+    }
+
+    #[test]
+    fn byte_size_tracks_content() {
+        let mut c = Column::new("b", DataType::Bytes);
+        let empty = c.byte_size();
+        c.push(Value::from(vec![0u8; 100])).unwrap();
+        assert!(c.byte_size() >= empty + 100);
+    }
+}

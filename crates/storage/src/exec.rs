@@ -1,0 +1,248 @@
+//! Scan / filter / project execution over tables.
+//!
+//! SPADE combines spatial constraints with relational ones ("linkage to
+//! relational data", §1); the relational side evaluates through this small
+//! expression executor.
+
+use crate::table::{Schema, Table};
+use crate::value::Value;
+use crate::{Result, StorageError};
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        matches!(
+            (self, ord),
+            (CmpOp::Eq, Equal)
+                | (CmpOp::Ne, Less)
+                | (CmpOp::Ne, Greater)
+                | (CmpOp::Lt, Less)
+                | (CmpOp::Le, Less)
+                | (CmpOp::Le, Equal)
+                | (CmpOp::Gt, Greater)
+                | (CmpOp::Ge, Greater)
+                | (CmpOp::Ge, Equal)
+        )
+    }
+}
+
+/// A scalar expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Column(String),
+    Literal(Value),
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+    IsNull(Box<Expr>),
+}
+
+impl Expr {
+    pub fn col(name: &str) -> Expr {
+        Expr::Column(name.to_string())
+    }
+
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    pub fn cmp(op: CmpOp, a: Expr, b: Expr) -> Expr {
+        Expr::Cmp(op, Box::new(a), Box::new(b))
+    }
+
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Evaluate to a value for table row `row`.
+    pub fn eval(&self, table: &Table, row: usize) -> Result<Value> {
+        Ok(match self {
+            Expr::Column(name) => table.column(name)?.get(row),
+            Expr::Literal(v) => v.clone(),
+            Expr::Cmp(op, a, b) => {
+                let av = a.eval(table, row)?;
+                let bv = b.eval(table, row)?;
+                match av.compare(&bv) {
+                    Some(ord) => Value::Int(op.eval(ord) as i64),
+                    None => Value::Null, // SQL three-valued logic
+                }
+            }
+            Expr::And(a, b) => match (a.eval(table, row)?, b.eval(table, row)?) {
+                (Value::Null, _) | (_, Value::Null) => Value::Null,
+                (x, y) => Value::Int((truthy(&x) && truthy(&y)) as i64),
+            },
+            Expr::Or(a, b) => match (a.eval(table, row)?, b.eval(table, row)?) {
+                (Value::Null, y) => {
+                    if truthy(&y) {
+                        Value::Int(1)
+                    } else {
+                        Value::Null
+                    }
+                }
+                (x, Value::Null) => {
+                    if truthy(&x) {
+                        Value::Int(1)
+                    } else {
+                        Value::Null
+                    }
+                }
+                (x, y) => Value::Int((truthy(&x) || truthy(&y)) as i64),
+            },
+            Expr::Not(a) => match a.eval(table, row)? {
+                Value::Null => Value::Null,
+                x => Value::Int(!truthy(&x) as i64),
+            },
+            Expr::IsNull(a) => Value::Int(a.eval(table, row)?.is_null() as i64),
+        })
+    }
+
+    /// Evaluate as a filter predicate (NULL ⇒ row rejected, SQL semantics).
+    pub fn matches(&self, table: &Table, row: usize) -> Result<bool> {
+        Ok(match self.eval(table, row)? {
+            Value::Null => false,
+            v => truthy(&v),
+        })
+    }
+}
+
+fn truthy(v: &Value) -> bool {
+    match v {
+        Value::Int(x) => *x != 0,
+        Value::Float(x) => *x != 0.0,
+        Value::Str(s) => !s.is_empty(),
+        Value::Bytes(b) => !b.is_empty(),
+        Value::Null => false,
+    }
+}
+
+/// Scan a table: project `columns` (empty = all) from rows passing `filter`.
+pub fn scan(table: &Table, columns: &[String], filter: Option<&Expr>) -> Result<Table> {
+    let proj: Vec<usize> = if columns.is_empty() {
+        (0..table.schema.len()).collect()
+    } else {
+        columns
+            .iter()
+            .map(|c| {
+                table
+                    .schema
+                    .field_index(c)
+                    .ok_or_else(|| StorageError::UnknownColumn(c.clone()))
+            })
+            .collect::<Result<_>>()?
+    };
+    let fields: Vec<_> = proj
+        .iter()
+        .map(|&i| table.schema.fields[i].clone())
+        .collect();
+    let mut out = Table::new(format!("{}_scan", table.name), Schema::new(fields));
+    for row in 0..table.num_rows() {
+        let keep = match filter {
+            Some(f) => f.matches(table, row)?,
+            None => true,
+        };
+        if keep {
+            out.insert(proj.iter().map(|&i| table.columns[i].get(row)).collect())?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::DataType;
+
+    fn sample() -> Table {
+        let mut t = Table::new(
+            "t",
+            Schema::new(vec![
+                ("id".into(), DataType::Int),
+                ("score".into(), DataType::Float),
+                ("tag".into(), DataType::Str),
+            ]),
+        );
+        t.insert(vec![1.into(), 0.5.into(), "a".into()]).unwrap();
+        t.insert(vec![2.into(), 1.5.into(), "b".into()]).unwrap();
+        t.insert(vec![3.into(), Value::Null, "a".into()]).unwrap();
+        t.insert(vec![4.into(), 2.5.into(), "c".into()]).unwrap();
+        t
+    }
+
+    #[test]
+    fn comparison_filters() {
+        let t = sample();
+        let f = Expr::cmp(CmpOp::Gt, Expr::col("score"), Expr::lit(1.0));
+        let out = scan(&t, &[], Some(&f)).unwrap();
+        assert_eq!(out.num_rows(), 2); // rows 2 and 4; NULL row rejected
+        assert_eq!(out.column("id").unwrap().get_int(0), Some(2));
+        assert_eq!(out.column("id").unwrap().get_int(1), Some(4));
+    }
+
+    #[test]
+    fn and_or_not() {
+        let t = sample();
+        let f = Expr::cmp(CmpOp::Eq, Expr::col("tag"), Expr::lit("a"))
+            .and(Expr::cmp(CmpOp::Lt, Expr::col("id"), Expr::lit(3i64)));
+        assert_eq!(scan(&t, &[], Some(&f)).unwrap().num_rows(), 1);
+        let g = Expr::cmp(CmpOp::Eq, Expr::col("tag"), Expr::lit("b"))
+            .or(Expr::cmp(CmpOp::Eq, Expr::col("tag"), Expr::lit("c")));
+        assert_eq!(scan(&t, &[], Some(&g)).unwrap().num_rows(), 2);
+        let n = Expr::Not(Box::new(Expr::cmp(
+            CmpOp::Eq,
+            Expr::col("tag"),
+            Expr::lit("a"),
+        )));
+        assert_eq!(scan(&t, &[], Some(&n)).unwrap().num_rows(), 2);
+    }
+
+    #[test]
+    fn null_semantics() {
+        let t = sample();
+        // score > 0 is NULL for row 3 → rejected.
+        let f = Expr::cmp(CmpOp::Gt, Expr::col("score"), Expr::lit(0.0));
+        assert_eq!(scan(&t, &[], Some(&f)).unwrap().num_rows(), 3);
+        // IS NULL finds it.
+        let isn = Expr::IsNull(Box::new(Expr::col("score")));
+        let out = scan(&t, &[], Some(&isn)).unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.column("id").unwrap().get_int(0), Some(3));
+        // NULL OR TRUE = TRUE.
+        let or_true = Expr::cmp(CmpOp::Gt, Expr::col("score"), Expr::lit(0.0))
+            .or(Expr::lit(1i64));
+        assert_eq!(scan(&t, &[], Some(&or_true)).unwrap().num_rows(), 4);
+    }
+
+    #[test]
+    fn projection() {
+        let t = sample();
+        let out = scan(&t, &["tag".into(), "id".into()], None).unwrap();
+        assert_eq!(out.schema.len(), 2);
+        assert_eq!(out.schema.fields[0].0, "tag");
+        assert_eq!(out.num_rows(), 4);
+        assert!(scan(&t, &["nope".into()], None).is_err());
+    }
+
+    #[test]
+    fn mixed_numeric_comparison() {
+        let t = sample();
+        // Int literal against float column.
+        let f = Expr::cmp(CmpOp::Ge, Expr::col("score"), Expr::lit(2i64));
+        assert_eq!(scan(&t, &[], Some(&f)).unwrap().num_rows(), 1);
+    }
+}

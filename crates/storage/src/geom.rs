@@ -1,0 +1,268 @@
+//! Geometry ⇄ relational encoding.
+//!
+//! SPADE stores spatial data sets as relational tables (§3): an `id`
+//! column, four bbox columns for coarse filtering, and the geometry itself
+//! in a compact WKB-like binary blob column. This module provides the codec
+//! and the table adapters.
+
+use crate::column::DataType;
+use crate::table::{Schema, Table};
+use crate::value::Value;
+use crate::{Result, StorageError};
+use bytes::{Buf, BufMut, BytesMut};
+use spade_geometry::{Geometry, LineString, MultiPolygon, Point, Polygon};
+
+const TAG_POINT: u8 = 1;
+const TAG_LINESTRING: u8 = 2;
+const TAG_POLYGON: u8 = 3;
+const TAG_MULTIPOLYGON: u8 = 4;
+
+/// Encode a geometry to its binary blob form.
+pub fn encode_geometry(g: &Geometry) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(16 + g.num_vertices() * 16);
+    match g {
+        Geometry::Point(p) => {
+            buf.put_u8(TAG_POINT);
+            put_point(&mut buf, *p);
+        }
+        Geometry::LineString(l) => {
+            buf.put_u8(TAG_LINESTRING);
+            put_points(&mut buf, &l.points);
+        }
+        Geometry::Polygon(p) => {
+            buf.put_u8(TAG_POLYGON);
+            put_polygon(&mut buf, p);
+        }
+        Geometry::MultiPolygon(m) => {
+            buf.put_u8(TAG_MULTIPOLYGON);
+            buf.put_u32_le(m.polygons.len() as u32);
+            for p in &m.polygons {
+                put_polygon(&mut buf, p);
+            }
+        }
+    }
+    buf.to_vec()
+}
+
+fn put_point(buf: &mut BytesMut, p: Point) {
+    buf.put_f64_le(p.x);
+    buf.put_f64_le(p.y);
+}
+
+fn put_points(buf: &mut BytesMut, pts: &[Point]) {
+    buf.put_u32_le(pts.len() as u32);
+    for p in pts {
+        put_point(buf, *p);
+    }
+}
+
+fn put_polygon(buf: &mut BytesMut, p: &Polygon) {
+    buf.put_u32_le(1 + p.holes.len() as u32);
+    put_points(buf, &p.exterior.points);
+    for h in &p.holes {
+        put_points(buf, &h.points);
+    }
+}
+
+/// Decode a geometry from its binary blob form.
+pub fn decode_geometry(mut buf: &[u8]) -> Result<Geometry> {
+    let corrupt = |m: &str| StorageError::Corrupt(format!("geometry: {m}"));
+    if buf.is_empty() {
+        return Err(corrupt("empty blob"));
+    }
+    let tag = buf.get_u8();
+    match tag {
+        TAG_POINT => Ok(Geometry::Point(get_point(&mut buf)?)),
+        TAG_LINESTRING => Ok(Geometry::LineString(LineString::new(get_points(&mut buf)?))),
+        TAG_POLYGON => Ok(Geometry::Polygon(get_polygon(&mut buf)?)),
+        TAG_MULTIPOLYGON => {
+            if buf.remaining() < 4 {
+                return Err(corrupt("truncated multipolygon"));
+            }
+            let n = buf.get_u32_le() as usize;
+            let mut polys = Vec::with_capacity(n);
+            for _ in 0..n {
+                polys.push(get_polygon(&mut buf)?);
+            }
+            Ok(Geometry::MultiPolygon(MultiPolygon::new(polys)))
+        }
+        t => Err(corrupt(&format!("unknown tag {t}"))),
+    }
+}
+
+fn get_point(buf: &mut &[u8]) -> Result<Point> {
+    if buf.remaining() < 16 {
+        return Err(StorageError::Corrupt("geometry: truncated point".into()));
+    }
+    let x = buf.get_f64_le();
+    let y = buf.get_f64_le();
+    Ok(Point::new(x, y))
+}
+
+fn get_points(buf: &mut &[u8]) -> Result<Vec<Point>> {
+    if buf.remaining() < 4 {
+        return Err(StorageError::Corrupt("geometry: truncated count".into()));
+    }
+    let n = buf.get_u32_le() as usize;
+    if buf.remaining() < n * 16 {
+        return Err(StorageError::Corrupt("geometry: truncated points".into()));
+    }
+    let mut pts = Vec::with_capacity(n);
+    for _ in 0..n {
+        pts.push(get_point(buf)?);
+    }
+    Ok(pts)
+}
+
+fn get_polygon(buf: &mut &[u8]) -> Result<Polygon> {
+    if buf.remaining() < 4 {
+        return Err(StorageError::Corrupt("geometry: truncated ring count".into()));
+    }
+    let nrings = buf.get_u32_le() as usize;
+    if nrings == 0 {
+        return Err(StorageError::Corrupt("geometry: polygon without rings".into()));
+    }
+    let exterior = get_points(buf)?;
+    let mut holes = Vec::with_capacity(nrings - 1);
+    for _ in 1..nrings {
+        holes.push(get_points(buf)?);
+    }
+    Ok(Polygon::with_holes(exterior, holes))
+}
+
+/// The canonical schema of a geometry table: `id`, bbox columns, blob.
+pub fn geometry_schema() -> Schema {
+    Schema::new(vec![
+        ("id".into(), DataType::Int),
+        ("minx".into(), DataType::Float),
+        ("miny".into(), DataType::Float),
+        ("maxx".into(), DataType::Float),
+        ("maxy".into(), DataType::Float),
+        ("geom".into(), DataType::Bytes),
+    ])
+}
+
+/// Build a geometry table from `(id, geometry)` pairs.
+pub fn geometry_table(name: &str, items: &[(u32, Geometry)]) -> Result<Table> {
+    let mut t = Table::new(name, geometry_schema());
+    for (id, g) in items {
+        let bb = g.bbox();
+        t.insert(vec![
+            Value::Int(*id as i64),
+            Value::Float(bb.min.x),
+            Value::Float(bb.min.y),
+            Value::Float(bb.max.x),
+            Value::Float(bb.max.y),
+            Value::Bytes(encode_geometry(g)),
+        ])?;
+    }
+    Ok(t)
+}
+
+/// Read all `(id, geometry)` pairs back from a geometry table.
+pub fn read_geometry_table(t: &Table) -> Result<Vec<(u32, Geometry)>> {
+    let ids = t.column("id")?;
+    let blobs = t.column("geom")?;
+    let mut out = Vec::with_capacity(t.num_rows());
+    for row in 0..t.num_rows() {
+        let id = ids
+            .get_int(row)
+            .ok_or_else(|| StorageError::Corrupt("null id".into()))? as u32;
+        let blob = blobs
+            .get_bytes(row)
+            .ok_or_else(|| StorageError::Corrupt("null geometry".into()))?;
+        out.push((id, decode_geometry(blob)?));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spade_geometry::BBox;
+
+    fn samples() -> Vec<Geometry> {
+        vec![
+            Geometry::Point(Point::new(1.5, -2.5)),
+            Geometry::LineString(LineString::new(vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 1.0),
+                Point::new(2.0, 0.0),
+            ])),
+            Geometry::Polygon(Polygon::with_holes(
+                vec![
+                    Point::new(0.0, 0.0),
+                    Point::new(10.0, 0.0),
+                    Point::new(10.0, 10.0),
+                    Point::new(0.0, 10.0),
+                ],
+                vec![vec![
+                    Point::new(4.0, 4.0),
+                    Point::new(6.0, 4.0),
+                    Point::new(6.0, 6.0),
+                    Point::new(4.0, 6.0),
+                ]],
+            )),
+            Geometry::MultiPolygon(MultiPolygon::new(vec![
+                Polygon::rect(BBox::new(Point::ZERO, Point::new(1.0, 1.0))),
+                Polygon::rect(BBox::new(Point::new(5.0, 5.0), Point::new(6.0, 6.0))),
+            ])),
+        ]
+    }
+
+    #[test]
+    fn codec_roundtrip_all_kinds() {
+        for g in samples() {
+            let blob = encode_geometry(&g);
+            let back = decode_geometry(&blob).unwrap();
+            assert_eq!(back, g);
+        }
+    }
+
+    #[test]
+    fn corrupt_blobs_rejected() {
+        assert!(decode_geometry(&[]).is_err());
+        assert!(decode_geometry(&[99]).is_err());
+        assert!(decode_geometry(&[TAG_POINT, 1, 2]).is_err());
+        let mut good = encode_geometry(&samples()[2]);
+        good.truncate(good.len() - 3);
+        assert!(decode_geometry(&good).is_err());
+    }
+
+    #[test]
+    fn geometry_table_roundtrip() {
+        let items: Vec<(u32, Geometry)> = samples()
+            .into_iter()
+            .enumerate()
+            .map(|(i, g)| (i as u32, g))
+            .collect();
+        let t = geometry_table("geoms", &items).unwrap();
+        assert_eq!(t.num_rows(), 4);
+        let back = read_geometry_table(&t).unwrap();
+        assert_eq!(back, items);
+    }
+
+    #[test]
+    fn bbox_columns_match_geometry() {
+        let items = vec![(7u32, samples()[2].clone())];
+        let t = geometry_table("g", &items).unwrap();
+        assert_eq!(t.column("minx").unwrap().get_float(0), Some(0.0));
+        assert_eq!(t.column("maxx").unwrap().get_float(0), Some(10.0));
+        assert_eq!(t.column("maxy").unwrap().get_float(0), Some(10.0));
+        assert_eq!(t.column("id").unwrap().get_int(0), Some(7));
+    }
+
+    #[test]
+    fn table_persists_through_storage() {
+        // End-to-end: geometry table → binary file → back.
+        let items: Vec<(u32, Geometry)> = samples()
+            .into_iter()
+            .enumerate()
+            .map(|(i, g)| (i as u32, g))
+            .collect();
+        let t = geometry_table("geoms", &items).unwrap();
+        let bytes = crate::persist::encode_table(&t);
+        let back = crate::persist::decode_table(&bytes).unwrap();
+        assert_eq!(read_geometry_table(&back).unwrap(), items);
+    }
+}

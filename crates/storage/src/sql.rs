@@ -1,0 +1,788 @@
+//! A small SQL subset.
+//!
+//! SPADE's integration contract with the relational store is "load and
+//! store data using SQL" (§3). The subset implemented here covers that
+//! surface:
+//!
+//! ```sql
+//! CREATE TABLE t (id INT, name TEXT, score FLOAT, payload BLOB);
+//! INSERT INTO t VALUES (1, 'a', 0.5, NULL);
+//! SELECT id, name FROM t WHERE score >= 0.5 AND name <> 'x';
+//! SELECT COUNT(*), AVG(score) FROM t WHERE name IS NOT NULL;
+//! SELECT name FROM t ORDER BY score DESC LIMIT 10;
+//! DROP TABLE t;
+//! ```
+
+use crate::catalog::Database;
+use crate::column::DataType;
+use crate::exec::{scan, CmpOp, Expr};
+use crate::table::{Schema, Table};
+use crate::value::Value;
+use crate::{Result, StorageError};
+
+/// Result of executing a statement.
+#[derive(Debug, PartialEq)]
+pub enum SqlResult {
+    /// DDL / DML statement: number of affected rows.
+    Affected(usize),
+    /// A query result table.
+    Rows(Table),
+}
+
+/// Parse and execute one SQL statement against a database.
+pub fn execute(db: &Database, sql: &str) -> Result<SqlResult> {
+    let mut toks = Lexer::new(sql).tokenize()?;
+    toks.retain(|t| !matches!(t, Tok::Semi));
+    let mut p = Parser { toks, pos: 0 };
+    match p.peek_keyword().as_deref() {
+        Some("CREATE") => p.create(db),
+        Some("DROP") => p.drop(db),
+        Some("INSERT") => p.insert(db),
+        Some("SELECT") => p.select(db),
+        other => Err(StorageError::Parse(format!(
+            "expected statement, found {other:?}"
+        ))),
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Num(f64),
+    Int(i64),
+    Punct(char),
+    Op(String),
+    Semi,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(s: &'a str) -> Self {
+        Lexer {
+            src: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn tokenize(&mut self) -> Result<Vec<Tok>> {
+        let mut out = Vec::new();
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            match c {
+                b' ' | b'\t' | b'\n' | b'\r' => self.pos += 1,
+                b';' => {
+                    out.push(Tok::Semi);
+                    self.pos += 1;
+                }
+                b'(' | b')' | b',' | b'*' => {
+                    out.push(Tok::Punct(c as char));
+                    self.pos += 1;
+                }
+                b'\'' => out.push(self.string()?),
+                b'<' | b'>' | b'=' | b'!' => out.push(self.operator()),
+                c if c.is_ascii_digit() || c == b'-' || c == b'+' || c == b'.' => {
+                    out.push(self.number()?)
+                }
+                c if c.is_ascii_alphabetic() || c == b'_' => out.push(self.ident()),
+                c => {
+                    return Err(StorageError::Parse(format!(
+                        "unexpected character '{}'",
+                        c as char
+                    )))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn string(&mut self) -> Result<Tok> {
+        self.pos += 1; // opening quote
+        let mut s = String::new();
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            self.pos += 1;
+            if c == b'\'' {
+                // Doubled quote is an escaped quote.
+                if self.src.get(self.pos) == Some(&b'\'') {
+                    s.push('\'');
+                    self.pos += 1;
+                } else {
+                    return Ok(Tok::Str(s));
+                }
+            } else {
+                s.push(c as char);
+            }
+        }
+        Err(StorageError::Parse("unterminated string literal".into()))
+    }
+
+    fn operator(&mut self) -> Tok {
+        let c = self.src[self.pos] as char;
+        self.pos += 1;
+        let next = self.src.get(self.pos).copied();
+        let two = match (c, next) {
+            ('<', Some(b'=')) => Some("<="),
+            ('>', Some(b'=')) => Some(">="),
+            ('<', Some(b'>')) => Some("<>"),
+            ('!', Some(b'=')) => Some("!="),
+            _ => None,
+        };
+        if let Some(op) = two {
+            self.pos += 1;
+            Tok::Op(op.to_string())
+        } else {
+            Tok::Op(c.to_string())
+        }
+    }
+
+    fn number(&mut self) -> Result<Tok> {
+        let start = self.pos;
+        if matches!(self.src[self.pos], b'-' | b'+') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.pos += 1;
+                    if matches!(self.src.get(self.pos), Some(b'-') | Some(b'+')) {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .map_err(|_| StorageError::Parse("bad number".into()))?;
+        if is_float {
+            text.parse()
+                .map(Tok::Num)
+                .map_err(|_| StorageError::Parse(format!("bad number '{text}'")))
+        } else {
+            text.parse()
+                .map(Tok::Int)
+                .map_err(|_| StorageError::Parse(format!("bad number '{text}'")))
+        }
+    }
+
+    fn ident(&mut self) -> Tok {
+        let start = self.pos;
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        Tok::Ident(String::from_utf8_lossy(&self.src[start..self.pos]).to_string())
+    }
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek_keyword(&self) -> Option<String> {
+        match self.peek() {
+            Some(Tok::Ident(s)) => Some(s.to_ascii_uppercase()),
+            _ => None,
+        }
+    }
+
+    fn next(&mut self) -> Result<Tok> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| StorageError::Parse("unexpected end of input".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        match self.next()? {
+            Tok::Ident(s) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            t => Err(StorageError::Parse(format!("expected {kw}, found {t:?}"))),
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<()> {
+        match self.next()? {
+            Tok::Punct(p) if p == c => Ok(()),
+            t => Err(StorageError::Parse(format!("expected '{c}', found {t:?}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next()? {
+            Tok::Ident(s) => Ok(s),
+            t => Err(StorageError::Parse(format!("expected identifier, found {t:?}"))),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn create(&mut self, db: &Database) -> Result<SqlResult> {
+        self.expect_keyword("CREATE")?;
+        self.expect_keyword("TABLE")?;
+        let name = self.ident()?;
+        self.expect_punct('(')?;
+        let mut fields = Vec::new();
+        loop {
+            let col = self.ident()?;
+            let ty_name = self.ident()?;
+            let ty = DataType::parse(&ty_name)
+                .ok_or_else(|| StorageError::Parse(format!("unknown type '{ty_name}'")))?;
+            fields.push((col, ty));
+            match self.next()? {
+                Tok::Punct(',') => continue,
+                Tok::Punct(')') => break,
+                t => return Err(StorageError::Parse(format!("expected ',' or ')', found {t:?}"))),
+            }
+        }
+        if !self.at_end() {
+            return Err(StorageError::Parse("trailing tokens after CREATE".into()));
+        }
+        db.create_table(&name, Schema::new(fields))?;
+        Ok(SqlResult::Affected(0))
+    }
+
+    fn drop(&mut self, db: &Database) -> Result<SqlResult> {
+        self.expect_keyword("DROP")?;
+        self.expect_keyword("TABLE")?;
+        let name = self.ident()?;
+        db.drop_table(&name)?;
+        Ok(SqlResult::Affected(0))
+    }
+
+    fn insert(&mut self, db: &Database) -> Result<SqlResult> {
+        self.expect_keyword("INSERT")?;
+        self.expect_keyword("INTO")?;
+        let name = self.ident()?;
+        self.expect_keyword("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_punct('(')?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.literal()?);
+                match self.next()? {
+                    Tok::Punct(',') => continue,
+                    Tok::Punct(')') => break,
+                    t => {
+                        return Err(StorageError::Parse(format!(
+                            "expected ',' or ')', found {t:?}"
+                        )))
+                    }
+                }
+            }
+            rows.push(row);
+            if matches!(self.peek(), Some(Tok::Punct(','))) {
+                self.pos += 1;
+                continue;
+            }
+            break;
+        }
+        let n = rows.len();
+        db.with_table_mut(&name, |t| -> Result<()> {
+            for row in rows {
+                t.insert(row)?;
+            }
+            Ok(())
+        })??;
+        Ok(SqlResult::Affected(n))
+    }
+
+    fn literal(&mut self) -> Result<Value> {
+        match self.next()? {
+            Tok::Int(v) => Ok(Value::Int(v)),
+            Tok::Num(v) => Ok(Value::Float(v)),
+            Tok::Str(s) => Ok(Value::Str(s)),
+            Tok::Ident(s) if s.eq_ignore_ascii_case("NULL") => Ok(Value::Null),
+            t => Err(StorageError::Parse(format!("expected literal, found {t:?}"))),
+        }
+    }
+
+    fn select(&mut self, db: &Database) -> Result<SqlResult> {
+        self.expect_keyword("SELECT")?;
+        let mut cols = Vec::new();
+        let mut aggs: Vec<(Agg, Option<String>)> = Vec::new();
+        if matches!(self.peek(), Some(Tok::Punct('*'))) {
+            self.pos += 1;
+        } else {
+            loop {
+                let ident = self.ident()?;
+                if let Some(agg) = Agg::parse(&ident) {
+                    if matches!(self.peek(), Some(Tok::Punct('('))) {
+                        self.pos += 1;
+                        let arg = match self.peek() {
+                            Some(Tok::Punct('*')) => {
+                                self.pos += 1;
+                                None
+                            }
+                            _ => Some(self.ident()?),
+                        };
+                        self.expect_punct(')')?;
+                        aggs.push((agg, arg));
+                    } else {
+                        cols.push(ident);
+                    }
+                } else {
+                    cols.push(ident);
+                }
+                if matches!(self.peek(), Some(Tok::Punct(','))) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        if !aggs.is_empty() && !cols.is_empty() {
+            return Err(StorageError::Parse(
+                "mixing aggregates and plain columns needs GROUP BY, which is unsupported".into(),
+            ));
+        }
+        self.expect_keyword("FROM")?;
+        let name = self.ident()?;
+        let filter = if self.peek_keyword().as_deref() == Some("WHERE") {
+            self.pos += 1;
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let order = if self.peek_keyword().as_deref() == Some("ORDER") {
+            self.pos += 1;
+            self.expect_keyword("BY")?;
+            let col = self.ident()?;
+            let desc = match self.peek_keyword().as_deref() {
+                Some("DESC") => {
+                    self.pos += 1;
+                    true
+                }
+                Some("ASC") => {
+                    self.pos += 1;
+                    false
+                }
+                _ => false,
+            };
+            Some((col, desc))
+        } else {
+            None
+        };
+        let limit = if self.peek_keyword().as_deref() == Some("LIMIT") {
+            self.pos += 1;
+            match self.next()? {
+                Tok::Int(n) if n >= 0 => Some(n as usize),
+                t => return Err(StorageError::Parse(format!("expected LIMIT count, found {t:?}"))),
+            }
+        } else {
+            None
+        };
+        if !self.at_end() {
+            return Err(StorageError::Parse("trailing tokens after SELECT".into()));
+        }
+
+        // Scan all columns first when ordering needs one outside the
+        // projection; project afterwards.
+        let scan_cols: Vec<String> = if order.is_some() { Vec::new() } else { cols.clone() };
+        let mut out = db.with_table(&name, |t| scan(t, &scan_cols, filter.as_ref()))??;
+
+        if !aggs.is_empty() {
+            return aggregate(&out, &aggs);
+        }
+
+        if let Some((col, desc)) = &order {
+            out = order_rows(&out, col, *desc)?;
+            if !cols.is_empty() {
+                out = scan(&out, &cols, None)?;
+            }
+        }
+        if let Some(n) = limit {
+            out = truncate_rows(&out, n)?;
+        }
+        Ok(SqlResult::Rows(out))
+    }
+
+    // (aggregate evaluation and row utilities live below the parser)
+
+    // expr := term (OR term)*
+    fn expr(&mut self) -> Result<Expr> {
+        let mut e = self.term()?;
+        while self.peek_keyword().as_deref() == Some("OR") {
+            self.pos += 1;
+            e = e.or(self.term()?);
+        }
+        Ok(e)
+    }
+
+    // term := factor (AND factor)*
+    fn term(&mut self) -> Result<Expr> {
+        let mut e = self.factor()?;
+        while self.peek_keyword().as_deref() == Some("AND") {
+            self.pos += 1;
+            e = e.and(self.factor()?);
+        }
+        Ok(e)
+    }
+
+    // factor := NOT factor | '(' expr ')' | operand [cmp operand | IS [NOT] NULL]
+    fn factor(&mut self) -> Result<Expr> {
+        if self.peek_keyword().as_deref() == Some("NOT") {
+            self.pos += 1;
+            return Ok(Expr::Not(Box::new(self.factor()?)));
+        }
+        if matches!(self.peek(), Some(Tok::Punct('('))) {
+            self.pos += 1;
+            let e = self.expr()?;
+            self.expect_punct(')')?;
+            return Ok(e);
+        }
+        let lhs = self.operand()?;
+        if self.peek_keyword().as_deref() == Some("IS") {
+            self.pos += 1;
+            let negate = if self.peek_keyword().as_deref() == Some("NOT") {
+                self.pos += 1;
+                true
+            } else {
+                false
+            };
+            self.expect_keyword("NULL")?;
+            let e = Expr::IsNull(Box::new(lhs));
+            return Ok(if negate { Expr::Not(Box::new(e)) } else { e });
+        }
+        let op = match self.next()? {
+            Tok::Op(op) => match op.as_str() {
+                "=" => CmpOp::Eq,
+                "<>" | "!=" => CmpOp::Ne,
+                "<" => CmpOp::Lt,
+                "<=" => CmpOp::Le,
+                ">" => CmpOp::Gt,
+                ">=" => CmpOp::Ge,
+                o => return Err(StorageError::Parse(format!("unknown operator '{o}'"))),
+            },
+            t => return Err(StorageError::Parse(format!("expected operator, found {t:?}"))),
+        };
+        let rhs = self.operand()?;
+        Ok(Expr::cmp(op, lhs, rhs))
+    }
+
+    fn operand(&mut self) -> Result<Expr> {
+        match self.next()? {
+            Tok::Ident(s) if s.eq_ignore_ascii_case("NULL") => Ok(Expr::Literal(Value::Null)),
+            Tok::Ident(s) => Ok(Expr::Column(s)),
+            Tok::Int(v) => Ok(Expr::Literal(Value::Int(v))),
+            Tok::Num(v) => Ok(Expr::Literal(Value::Float(v))),
+            Tok::Str(s) => Ok(Expr::Literal(Value::Str(s))),
+            t => Err(StorageError::Parse(format!("expected operand, found {t:?}"))),
+        }
+    }
+}
+
+/// Aggregate functions of the SELECT subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Agg {
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+impl Agg {
+    fn parse(s: &str) -> Option<Agg> {
+        match s.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(Agg::Count),
+            "SUM" => Some(Agg::Sum),
+            "MIN" => Some(Agg::Min),
+            "MAX" => Some(Agg::Max),
+            "AVG" => Some(Agg::Avg),
+            _ => None,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Agg::Count => "count",
+            Agg::Sum => "sum",
+            Agg::Min => "min",
+            Agg::Max => "max",
+            Agg::Avg => "avg",
+        }
+    }
+}
+
+/// Evaluate aggregates over the (already filtered) scan result.
+fn aggregate(rows: &Table, aggs: &[(Agg, Option<String>)]) -> Result<SqlResult> {
+    use crate::column::DataType;
+    let mut fields = Vec::new();
+    let mut values = Vec::new();
+    for (agg, arg) in aggs {
+        let label = match arg {
+            Some(c) => format!("{}_{}", agg.name(), c),
+            None => agg.name().to_string(),
+        };
+        let value = match (agg, arg) {
+            (Agg::Count, None) => Value::Int(rows.num_rows() as i64),
+            (Agg::Count, Some(col)) => {
+                let c = rows.column(col)?;
+                Value::Int((0..rows.num_rows()).filter(|&r| !c.is_null(r)).count() as i64)
+            }
+            (_, None) => {
+                return Err(StorageError::Parse(format!(
+                    "{}(*) is only valid for COUNT",
+                    agg.name().to_uppercase()
+                )))
+            }
+            (op, Some(col)) => {
+                let c = rows.column(col)?;
+                let nums: Vec<f64> = (0..rows.num_rows())
+                    .filter_map(|r| c.get_float(r))
+                    .collect();
+                if nums.is_empty() {
+                    Value::Null
+                } else {
+                    match op {
+                        Agg::Sum => Value::Float(nums.iter().sum()),
+                        Agg::Min => Value::Float(nums.iter().cloned().fold(f64::INFINITY, f64::min)),
+                        Agg::Max => {
+                            Value::Float(nums.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
+                        }
+                        Agg::Avg => Value::Float(nums.iter().sum::<f64>() / nums.len() as f64),
+                        Agg::Count => unreachable!(),
+                    }
+                }
+            }
+        };
+        let dtype = match value {
+            Value::Int(_) => DataType::Int,
+            _ => DataType::Float,
+        };
+        fields.push((label, dtype));
+        values.push(value);
+    }
+    let mut out = Table::new("agg", Schema::new(fields));
+    out.insert(values)?;
+    Ok(SqlResult::Rows(out))
+}
+
+/// Sort rows by a column (NULLs last), SQL-style.
+fn order_rows(rows: &Table, col: &str, desc: bool) -> Result<Table> {
+    let key = rows.column(col)?;
+    let mut order: Vec<usize> = (0..rows.num_rows()).collect();
+    order.sort_by(|&a, &b| {
+        use std::cmp::Ordering;
+        let cmp = match (key.is_null(a), key.is_null(b)) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Greater, // NULLs last
+            (false, true) => Ordering::Less,
+            (false, false) => key.get(a).compare(&key.get(b)).unwrap_or(Ordering::Equal),
+        };
+        if desc { cmp.reverse() } else { cmp }
+    });
+    let mut out = Table::new(rows.name.clone(), rows.schema.clone());
+    for r in order {
+        out.insert(rows.row(r))?;
+    }
+    Ok(out)
+}
+
+fn truncate_rows(rows: &Table, n: usize) -> Result<Table> {
+    let mut out = Table::new(rows.name.clone(), rows.schema.clone());
+    for r in 0..rows.num_rows().min(n) {
+        out.insert(rows.row(r))?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db_with_data() -> Database {
+        let db = Database::in_memory();
+        execute(
+            &db,
+            "CREATE TABLE pts (id INT, city TEXT, x FLOAT, y FLOAT)",
+        )
+        .unwrap();
+        execute(
+            &db,
+            "INSERT INTO pts VALUES (1, 'nyc', -74.0, 40.7), (2, 'sf', -122.4, 37.8), (3, 'nyc', -73.9, 40.8), (4, NULL, 0.0, 0.0)",
+        )
+        .unwrap();
+        db
+    }
+
+    fn rows(r: SqlResult) -> Table {
+        match r {
+            SqlResult::Rows(t) => t,
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn create_insert_select() {
+        let db = db_with_data();
+        let t = rows(execute(&db, "SELECT * FROM pts").unwrap());
+        assert_eq!(t.num_rows(), 4);
+        assert_eq!(t.schema.len(), 4);
+    }
+
+    #[test]
+    fn where_clause() {
+        let db = db_with_data();
+        let t = rows(execute(&db, "SELECT id FROM pts WHERE city = 'nyc'").unwrap());
+        assert_eq!(t.num_rows(), 2);
+        let t = rows(execute(&db, "SELECT id FROM pts WHERE x < -100").unwrap());
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.column("id").unwrap().get_int(0), Some(2));
+    }
+
+    #[test]
+    fn compound_predicates() {
+        let db = db_with_data();
+        let t = rows(
+            execute(
+                &db,
+                "SELECT id FROM pts WHERE city = 'nyc' AND y > 40.75",
+            )
+            .unwrap(),
+        );
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.column("id").unwrap().get_int(0), Some(3));
+        let t = rows(
+            execute(
+                &db,
+                "SELECT id FROM pts WHERE city = 'sf' OR (city = 'nyc' AND id = 1)",
+            )
+            .unwrap(),
+        );
+        assert_eq!(t.num_rows(), 2);
+        let t = rows(execute(&db, "SELECT id FROM pts WHERE NOT city = 'nyc'").unwrap());
+        assert_eq!(t.num_rows(), 1); // NULL city row is rejected too
+    }
+
+    #[test]
+    fn is_null() {
+        let db = db_with_data();
+        let t = rows(execute(&db, "SELECT id FROM pts WHERE city IS NULL").unwrap());
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.column("id").unwrap().get_int(0), Some(4));
+        let t = rows(execute(&db, "SELECT id FROM pts WHERE city IS NOT NULL").unwrap());
+        assert_eq!(t.num_rows(), 3);
+    }
+
+    #[test]
+    fn string_escape() {
+        let db = Database::in_memory();
+        execute(&db, "CREATE TABLE s (v TEXT)").unwrap();
+        execute(&db, "INSERT INTO s VALUES ('it''s')").unwrap();
+        let t = rows(execute(&db, "SELECT v FROM s").unwrap());
+        assert_eq!(t.column("v").unwrap().get_str(0), Some("it's"));
+    }
+
+    #[test]
+    fn drop_table_works() {
+        let db = db_with_data();
+        execute(&db, "DROP TABLE pts").unwrap();
+        assert!(execute(&db, "SELECT * FROM pts").is_err());
+    }
+
+    #[test]
+    fn operators_all_forms() {
+        let db = db_with_data();
+        for (sql, expected) in [
+            ("SELECT id FROM pts WHERE id <> 1", 3),
+            ("SELECT id FROM pts WHERE id != 1", 3),
+            ("SELECT id FROM pts WHERE id >= 3", 2),
+            ("SELECT id FROM pts WHERE id <= 2", 2),
+        ] {
+            assert_eq!(rows(execute(&db, sql).unwrap()).num_rows(), expected, "{sql}");
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        let db = db_with_data();
+        assert!(execute(&db, "").is_err());
+        assert!(execute(&db, "SELEC * FROM pts").is_err());
+        assert!(execute(&db, "SELECT FROM pts").is_err());
+        assert!(execute(&db, "SELECT * FROM pts WHERE").is_err());
+        assert!(execute(&db, "CREATE TABLE x (a GEOMETRY)").is_err());
+        assert!(execute(&db, "SELECT * FROM pts garbage").is_err());
+        assert!(execute(&db, "INSERT INTO pts VALUES (1)").is_err());
+    }
+
+    #[test]
+    fn aggregates() {
+        let db = db_with_data();
+        let t = rows(execute(&db, "SELECT COUNT(*) FROM pts").unwrap());
+        assert_eq!(t.row(0), vec![Value::Int(4)]);
+        let t = rows(execute(&db, "SELECT COUNT(city) FROM pts").unwrap());
+        assert_eq!(t.row(0), vec![Value::Int(3)]); // NULL city excluded
+        let t = rows(execute(&db, "SELECT COUNT(*) FROM pts WHERE city = 'nyc'").unwrap());
+        assert_eq!(t.row(0), vec![Value::Int(2)]);
+        let t = rows(execute(&db, "SELECT MIN(x), MAX(x), AVG(y), SUM(id) FROM pts").unwrap());
+        assert_eq!(t.schema.fields[0].0, "min_x");
+        assert_eq!(t.row(0)[0], Value::Float(-122.4));
+        assert_eq!(t.row(0)[1], Value::Float(0.0));
+        assert_eq!(t.row(0)[3], Value::Float(10.0));
+        // Aggregates over an empty filter → NULL (COUNT → 0).
+        let t = rows(execute(&db, "SELECT COUNT(*), SUM(x) FROM pts WHERE id > 100").unwrap());
+        assert_eq!(t.row(0), vec![Value::Int(0), Value::Null]);
+    }
+
+    #[test]
+    fn aggregates_cannot_mix_with_columns() {
+        let db = db_with_data();
+        assert!(execute(&db, "SELECT id, COUNT(*) FROM pts").is_err());
+        assert!(execute(&db, "SELECT SUM(*) FROM pts").is_err());
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let db = db_with_data();
+        let t = rows(execute(&db, "SELECT id FROM pts ORDER BY x").unwrap());
+        assert_eq!(t.column("id").unwrap().get_int(0), Some(2)); // x = -122.4
+        let t = rows(execute(&db, "SELECT id FROM pts ORDER BY x DESC LIMIT 2").unwrap());
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.column("id").unwrap().get_int(0), Some(4)); // x = 0.0
+        // ORDER BY a column not in the projection still works.
+        let t = rows(execute(&db, "SELECT city FROM pts WHERE city IS NOT NULL ORDER BY y ASC").unwrap());
+        assert_eq!(t.column("city").unwrap().get_str(0), Some("sf"));
+        // LIMIT alone.
+        let t = rows(execute(&db, "SELECT * FROM pts LIMIT 1").unwrap());
+        assert_eq!(t.num_rows(), 1);
+        assert!(execute(&db, "SELECT * FROM pts LIMIT -3").is_err());
+    }
+
+    #[test]
+    fn count_as_plain_identifier_still_allowed() {
+        // A column literally named "count" must not be mistaken for the
+        // aggregate when no parenthesis follows.
+        let db = Database::in_memory();
+        execute(&db, "CREATE TABLE t (count INT)").unwrap();
+        execute(&db, "INSERT INTO t VALUES (7)").unwrap();
+        let t = rows(execute(&db, "SELECT count FROM t").unwrap());
+        assert_eq!(t.row(0), vec![Value::Int(7)]);
+    }
+
+    #[test]
+    fn semicolons_tolerated() {
+        let db = db_with_data();
+        assert_eq!(rows(execute(&db, "SELECT * FROM pts;").unwrap()).num_rows(), 4);
+    }
+}

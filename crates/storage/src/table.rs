@@ -1,0 +1,168 @@
+//! Tables: a schema plus one column per field.
+
+use crate::column::{Column, DataType};
+use crate::value::Value;
+use crate::{Result, StorageError};
+
+/// A table schema: ordered `(name, type)` pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schema {
+    pub fields: Vec<(String, DataType)>,
+}
+
+impl Schema {
+    pub fn new(fields: Vec<(String, DataType)>) -> Self {
+        Schema { fields }
+    }
+
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.fields
+            .iter()
+            .position(|(n, _)| n.eq_ignore_ascii_case(name))
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+}
+
+/// A column-oriented table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    pub name: String,
+    pub schema: Schema,
+    pub columns: Vec<Column>,
+}
+
+impl Table {
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        let columns = schema
+            .fields
+            .iter()
+            .map(|(n, t)| Column::new(n.clone(), *t))
+            .collect();
+        Table {
+            name: name.into(),
+            schema,
+            columns,
+        }
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    /// Append a row; all columns advance together.
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(StorageError::Arity {
+                expected: self.columns.len(),
+                got: row.len(),
+            });
+        }
+        // Validate all values first so a failed insert leaves the table
+        // unchanged.
+        for (col, v) in self.columns.iter().zip(&row) {
+            if let Some(t) = v.data_type() {
+                let ok = t == col.data_type()
+                    || (col.data_type() == DataType::Float && t == DataType::Int);
+                if !ok {
+                    return Err(StorageError::TypeMismatch {
+                        column: col.name.clone(),
+                        expected: col.data_type(),
+                    });
+                }
+            }
+        }
+        for (col, v) in self.columns.iter_mut().zip(row) {
+            col.push(v)?;
+        }
+        Ok(())
+    }
+
+    pub fn column(&self, name: &str) -> Result<&Column> {
+        let idx = self
+            .schema
+            .field_index(name)
+            .ok_or_else(|| StorageError::UnknownColumn(name.to_string()))?;
+        Ok(&self.columns[idx])
+    }
+
+    /// Materialize one row (for small results and tests).
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.get(i)).collect()
+    }
+
+    /// Total byte footprint across columns.
+    pub fn byte_size(&self) -> usize {
+        self.columns.iter().map(Column::byte_size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ("id".into(), DataType::Int),
+            ("name".into(), DataType::Str),
+            ("score".into(), DataType::Float),
+        ])
+    }
+
+    #[test]
+    fn insert_and_read() {
+        let mut t = Table::new("t", schema());
+        t.insert(vec![1.into(), "a".into(), 0.5.into()]).unwrap();
+        t.insert(vec![2.into(), "b".into(), Value::Null]).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.row(0), vec![1.into(), "a".into(), 0.5.into()]);
+        assert_eq!(t.row(1)[2], Value::Null);
+        assert_eq!(t.column("name").unwrap().get_str(1), Some("b"));
+    }
+
+    #[test]
+    fn schema_lookup_is_case_insensitive() {
+        let t = Table::new("t", schema());
+        assert!(t.column("ID").is_ok());
+        assert!(matches!(
+            t.column("missing"),
+            Err(StorageError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn arity_and_type_checks_are_atomic() {
+        let mut t = Table::new("t", schema());
+        assert!(matches!(
+            t.insert(vec![1.into()]),
+            Err(StorageError::Arity { .. })
+        ));
+        // A type error in the last column must not partially insert.
+        let err = t.insert(vec![1.into(), "a".into(), "not a float".into()]);
+        assert!(matches!(err, Err(StorageError::TypeMismatch { .. })));
+        assert_eq!(t.num_rows(), 0);
+        for c in &t.columns {
+            assert_eq!(c.len(), 0);
+        }
+    }
+
+    #[test]
+    fn int_widens_to_float_column() {
+        let mut t = Table::new("t", schema());
+        t.insert(vec![1.into(), "a".into(), 3.into()]).unwrap();
+        assert_eq!(t.row(0)[2], Value::Float(3.0));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new("t", schema());
+        assert_eq!(t.num_rows(), 0);
+        assert!(t.byte_size() < 64);
+    }
+}

@@ -1,0 +1,24 @@
+//! SPADE — a spatial database engine built on a (software) graphics pipeline.
+//!
+//! This facade crate re-exports the public API of every subsystem:
+//!
+//! * [`geometry`] — vector geometry, predicates, triangulation, projections.
+//! * [`gpu`] — the software graphics pipeline (shaders, rasterization, FBOs).
+//! * [`canvas`] — the discrete canvas model, boundary/layer indexes and the
+//!   GPU-friendly spatial algebra operators.
+//! * [`storage`] — the embedded relational column store.
+//! * [`index`] — the clustered grid index and R-tree for out-of-core data.
+//! * [`engine`] — the SPADE query engine (planner, optimizer, executors).
+//! * [`baselines`] — S2-like, STIG-like and cluster (GeoSpark-like) baselines.
+//! * [`datagen`] — synthetic data generators used by examples and benches.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
+
+pub use spade_baselines as baselines;
+pub use spade_canvas as canvas;
+pub use spade_core as engine;
+pub use spade_datagen as datagen;
+pub use spade_geometry as geometry;
+pub use spade_gpu as gpu;
+pub use spade_index as index;
+pub use spade_storage as storage;

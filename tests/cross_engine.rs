@@ -1,0 +1,179 @@
+//! Cross-engine consistency: SPADE, the S2-like library, STIG, the cluster
+//! engine and the brute-force oracle must agree on every query class.
+//! (This mirrors the paper's evaluation setup, where all systems answer
+//! the same queries.)
+
+use spade::baselines::cluster::{ClusterConfig, PointRdd, PolygonRdd};
+use spade::baselines::s2like::PointIndex;
+use spade::baselines::stig::Stig;
+use spade::baselines::brute;
+use spade::datagen::{spider, urban};
+use spade::engine::dataset::Dataset;
+use spade::engine::{distance, join, knn, select, EngineConfig, Spade};
+use spade::geometry::{BBox, Point, Polygon};
+use std::time::Duration;
+
+fn engine() -> Spade {
+    Spade::new(EngineConfig::test_small())
+}
+
+fn cluster_cfg() -> ClusterConfig {
+    ClusterConfig {
+        partitions: 8,
+        workers: 4,
+        task_overhead: Duration::ZERO,
+    }
+}
+
+fn unit() -> BBox {
+    BBox::new(Point::ZERO, Point::new(1.0, 1.0))
+}
+
+#[test]
+fn selection_agrees_across_engines() {
+    let spade = engine();
+    let pts = spider::uniform_points(5_000, 11);
+    let data = Dataset::from_points("p", pts.clone());
+    let stig = Stig::build(pts.clone(), 256);
+    let rdd = PointRdd::build(pts.clone(), cluster_cfg());
+    let s2 = PointIndex::build(pts.clone());
+
+    for (i, c) in urban::constraint_polygons(5, &unit(), 0.15, 32, 3)
+        .into_iter()
+        .enumerate()
+    {
+        let truth = brute::select_points(&pts, &c);
+        let mut got = select::select(&spade, &data, &c).result;
+        got.sort_unstable();
+        assert_eq!(got, truth, "SPADE (constraint {i})");
+        assert_eq!(stig.select_polygon(&c, 4), truth, "STIG (constraint {i})");
+        assert_eq!(rdd.select_polygon(&c), truth, "cluster (constraint {i})");
+        assert_eq!(s2.select_polygon(&c), truth, "S2 (constraint {i})");
+    }
+}
+
+#[test]
+fn polygon_selection_agrees() {
+    let spade = engine();
+    let boxes = spider::uniform_boxes(800, 0.05, 13);
+    let data = Dataset::from_polygons("b", boxes.clone());
+    let rdd = PolygonRdd::build(boxes.clone(), cluster_cfg());
+    let c = urban::constraint_polygons(1, &unit(), 0.2, 24, 5).pop().unwrap();
+    let truth = brute::select_polygons(&boxes, &c);
+    assert_eq!(select::select(&spade, &data, &c).result, truth, "SPADE");
+    assert_eq!(rdd.select_polygon(&c), truth, "cluster");
+}
+
+#[test]
+fn point_polygon_join_agrees() {
+    let spade = engine();
+    let pts = spider::gaussian_points(3_000, 17);
+    let parcels = spider::parcels(150, 0.05, 19);
+    let d_pts = Dataset::from_points("p", pts.clone());
+    let d_par = Dataset::from_polygons("parcels", parcels.clone());
+
+    let mut truth = brute::join_polygon_point(&parcels, &pts);
+    truth.sort_unstable();
+
+    let got = join::join(&spade, &d_par, &d_pts).result;
+    assert_eq!(got, truth, "SPADE");
+
+    let rdd = PointRdd::build(pts, cluster_cfg());
+    let prdd = PolygonRdd::build(parcels, cluster_cfg());
+    assert_eq!(rdd.join_polygons(&prdd), truth, "cluster");
+}
+
+#[test]
+fn polygon_polygon_join_agrees() {
+    let spade = engine();
+    let a = spider::parcels(80, 0.04, 23);
+    let b = spider::uniform_boxes(300, 0.06, 29);
+    let mut truth = brute::join_polygon_polygon(&a, &b);
+    truth.sort_unstable();
+    let got = join::join(
+        &spade,
+        &Dataset::from_polygons("a", a.clone()),
+        &Dataset::from_polygons("b", b.clone()),
+    )
+    .result;
+    assert_eq!(got, truth, "SPADE");
+    let ra = PolygonRdd::build(a, cluster_cfg());
+    let rb = PolygonRdd::build(b, cluster_cfg());
+    assert_eq!(ra.join(&rb), truth, "cluster");
+}
+
+#[test]
+fn distance_join_agrees() {
+    let spade = engine();
+    let left = spider::uniform_points(80, 31);
+    let right = spider::uniform_points(2_000, 37);
+    let r = 0.04;
+    let mut truth = brute::distance_join(&left, &right, r);
+    truth.sort_unstable();
+
+    let got = distance::distance_join(
+        &spade,
+        &Dataset::from_points("l", left.clone()),
+        &Dataset::from_points("r", right.clone()),
+        r,
+    )
+    .result;
+    assert_eq!(got, truth, "SPADE");
+
+    let rl = PointRdd::build(left.clone(), cluster_cfg());
+    let rr = PointRdd::build(right.clone(), cluster_cfg());
+    assert_eq!(rr.distance_join(&rl, r), truth, "cluster");
+
+    let s2 = PointIndex::build(right);
+    let mut s2_pairs = Vec::new();
+    for (i, p) in left.iter().enumerate() {
+        for id in s2.within_distance(*p, r) {
+            s2_pairs.push((i as u32, id));
+        }
+    }
+    s2_pairs.sort_unstable();
+    assert_eq!(s2_pairs, truth, "S2");
+}
+
+#[test]
+fn knn_agrees_on_distances() {
+    let spade = engine();
+    let pts = spider::gaussian_points(2_000, 41);
+    let data = Dataset::from_points("p", pts.clone());
+    let s2 = PointIndex::build(pts.clone());
+    let rdd = PointRdd::build(pts.clone(), cluster_cfg());
+
+    for (qi, q) in [Point::new(0.5, 0.5), Point::new(0.1, 0.9), Point::new(0.8, 0.2)]
+        .into_iter()
+        .enumerate()
+    {
+        for k in [1usize, 7, 25] {
+            let truth = brute::knn(&pts, q, k);
+            let got = knn::knn_select(&spade, &data, q, k).result;
+            assert_eq!(got.len(), truth.len(), "SPADE k={k} q{qi}");
+            for (g, t) in got.iter().zip(&truth) {
+                assert!((g.1 - t.1).abs() < 1e-12, "SPADE k={k} q{qi}: {g:?} vs {t:?}");
+            }
+            let s2_got = s2.knn(q, k);
+            let cl_got = rdd.knn(q, k);
+            for ((s, c), t) in s2_got.iter().zip(&cl_got).zip(&truth) {
+                assert!((s.1 - t.1).abs() < 1e-12, "S2 k={k}");
+                assert!((c.1 - t.1).abs() < 1e-12, "cluster k={k}");
+            }
+        }
+    }
+}
+
+#[test]
+fn aggregation_agrees() {
+    let spade = engine();
+    let pts = spider::uniform_points(4_000, 43);
+    let parcels = spider::parcels(60, 0.05, 47);
+    let truth = brute::aggregate(&parcels, &pts);
+    let d_par = Dataset::from_polygons("parcels", parcels);
+    let d_pts = Dataset::from_points("p", pts);
+    let a = spade::engine::aggregate::aggregate_points(&spade, &d_par, &d_pts).result;
+    let b = spade::engine::aggregate::aggregate_via_join(&spade, &d_par, &d_pts).result;
+    assert_eq!(a, truth, "point-optimized plan");
+    assert_eq!(b, truth, "join plan");
+}

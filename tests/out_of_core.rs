@@ -1,0 +1,136 @@
+//! Out-of-core behaviour: disk-backed grid indexes, device-memory
+//! accounting, and equivalence between the in-memory and out-of-core
+//! query paths (§5.3).
+
+use spade::datagen::{spider, urban};
+use spade::engine::dataset::{Dataset, DatasetKind, IndexedDataset};
+use spade::engine::{join, select, EngineConfig, Spade};
+use spade::geometry::{BBox, Point};
+use spade::index::GridIndex;
+
+fn engine() -> Spade {
+    Spade::new(EngineConfig::test_small())
+}
+
+fn unit() -> BBox {
+    BBox::new(Point::ZERO, Point::new(1.0, 1.0))
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("spade-it-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn disk_backed_selection_equals_in_memory() {
+    let spade = engine();
+    let pts = spider::gaussian_points(20_000, 7);
+    let data = Dataset::from_points("p", pts);
+    let dir = tmpdir("sel");
+    let grid = GridIndex::build(Some(dir.clone()), &data.objects, 0.2).unwrap();
+    assert!(grid.num_cells() > 4);
+    let indexed = IndexedDataset::new("p", DatasetKind::Points, grid);
+
+    for c in urban::constraint_polygons(3, &unit(), 0.12, 24, 1) {
+        let mut mem = select::select(&spade, &data, &c).result;
+        mem.sort_unstable();
+        let ooc = select::select_indexed(&spade, &indexed, &c);
+        assert_eq!(ooc.result, mem);
+        // The hull filter must prune something for a 0.24-wide constraint.
+        assert!(ooc.stats.cells_loaded < indexed.grid.num_cells() as u64);
+        // Every disk byte crosses the bus, plus the constraint canvas and
+        // its boundary index (§6.3: SPADE ships indexes with the data).
+        assert!(ooc.stats.bytes_to_device >= ooc.stats.bytes_from_disk);
+    }
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn disk_backed_join_equals_in_memory() {
+    let spade = engine();
+    let pts = Dataset::from_points("p", spider::uniform_points(8_000, 9));
+    let parcels = Dataset::from_polygons("parcels", spider::parcels(100, 0.05, 11));
+    let mem = join::join(&spade, &parcels, &pts).result;
+
+    let dir = tmpdir("join");
+    let g1 = GridIndex::build(Some(dir.join("a")), &parcels.objects, 0.35).unwrap();
+    let g2 = GridIndex::build(Some(dir.join("b")), &pts.objects, 0.35).unwrap();
+    let i1 = IndexedDataset::new("parcels", DatasetKind::Polygons, g1);
+    let i2 = IndexedDataset::new("p", DatasetKind::Points, g2);
+    let ooc = join::join_indexed(&spade, &i1, &i2);
+    assert_eq!(ooc.result, mem);
+    assert!(ooc.stats.cells_loaded > 0);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn device_memory_is_balanced_after_queries() {
+    let spade = engine();
+    let data = Dataset::from_points("p", spider::uniform_points(10_000, 13));
+    let grid = GridIndex::build(None, &data.objects, 0.25).unwrap();
+    let indexed = IndexedDataset::new("p", DatasetKind::Points, grid);
+    let c = urban::constraint_polygons(1, &unit(), 0.2, 16, 2).pop().unwrap();
+    for _ in 0..3 {
+        let _ = select::select_indexed(&spade, &indexed, &c);
+    }
+    // All uploads must have been freed.
+    assert_eq!(spade.device.used(), 0);
+    assert!(spade.device.transfer_stats.bytes() > 0);
+    assert!(spade.device.peak() > 0);
+}
+
+#[test]
+fn transfer_time_counts_into_io() {
+    // With a very slow modeled bus, I/O must dominate the breakdown — the
+    // paper's central observation (§6.2).
+    let spade = Spade::new(EngineConfig {
+        bandwidth: 2.0e6, // 2 MB/s bus
+        ..EngineConfig::test_small()
+    });
+    let data = Dataset::from_points("p", spider::uniform_points(30_000, 17));
+    let grid = GridIndex::build(None, &data.objects, 0.2).unwrap();
+    let indexed = IndexedDataset::new("p", DatasetKind::Points, grid);
+    let c = urban::constraint_polygons(1, &unit(), 0.3, 16, 3).pop().unwrap();
+    let out = select::select_indexed(&spade, &indexed, &c);
+    assert!(
+        out.stats.io_fraction() > 0.5,
+        "io fraction {} with a 2 MB/s bus",
+        out.stats.io_fraction()
+    );
+}
+
+#[test]
+fn grid_cells_respect_byte_budget_heuristic() {
+    let data = Dataset::from_points("p", spider::uniform_points(50_000, 19));
+    let budget = 200 << 10; // 200 KiB
+    let cell = GridIndex::cell_size_for_budget(&data.extent, data.byte_size() as u64, budget);
+    let grid = GridIndex::build(None, &data.objects, cell).unwrap();
+    // Under a uniform distribution every cell should be within ~2× budget.
+    for c in grid.cells() {
+        assert!(
+            c.bytes < 2 * budget,
+            "cell of {} bytes exceeds twice the budget",
+            c.bytes
+        );
+    }
+}
+
+#[test]
+fn hull_bounds_are_tighter_than_bboxes() {
+    // The convex-hull cell bound (§5.3) must never exceed its own bbox and
+    // must cover every member geometry.
+    let pts = spider::gaussian_points(5_000, 23);
+    let data = Dataset::from_points("p", pts);
+    let grid = GridIndex::build(None, &data.objects, 0.25).unwrap();
+    let mut strictly_smaller = 0;
+    for cell in grid.cells() {
+        let hull_area = cell.hull.area();
+        let bbox_area = cell.bbox().area();
+        assert!(hull_area <= bbox_area + 1e-12);
+        if hull_area < bbox_area * 0.999 {
+            strictly_smaller += 1;
+        }
+    }
+    assert!(strictly_smaller > 0, "hulls never tighter than bboxes");
+}

@@ -1,0 +1,198 @@
+//! Property-based tests (proptest) on the system's core invariants:
+//!
+//! * canvas-based selection always equals the exact geometric oracle,
+//! * triangulation preserves area and stays inside the polygon,
+//! * layers never contain intersecting objects,
+//! * the grid index partitions the data,
+//! * WKT and the storage codec round-trip,
+//! * distance-canvas membership equals the exact distance comparison.
+
+use proptest::prelude::*;
+use spade::baselines::brute;
+use spade::engine::dataset::{Dataset, DatasetKind, IndexedDataset};
+use spade::engine::{select, EngineConfig, Spade};
+use spade::geometry::predicates::polygons_intersect;
+use spade::geometry::{wkt, BBox, Geometry, Point, Polygon};
+use spade::index::GridIndex;
+
+fn engine() -> Spade {
+    Spade::new(EngineConfig::test_small())
+}
+
+prop_compose! {
+    /// A random point in the unit square (finite, well-scaled).
+    fn unit_point()(x in 0.0f64..1.0, y in 0.0f64..1.0) -> Point {
+        Point::new(x, y)
+    }
+}
+
+prop_compose! {
+    /// A random star-convex polygon: sorted angles around a center with
+    /// varying radii — always simple, frequently concave.
+    fn blob_polygon()(
+        cx in 0.2f64..0.8,
+        cy in 0.2f64..0.8,
+        radii in prop::collection::vec(0.05f64..0.25, 5..12),
+        phase in 0.0f64..std::f64::consts::TAU,
+    ) -> Polygon {
+        let n = radii.len();
+        let pts = radii
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let t = phase + std::f64::consts::TAU * i as f64 / n as f64;
+                Point::new(cx + r * t.cos(), cy + r * t.sin())
+            })
+            .collect();
+        Polygon::new(pts)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn selection_matches_oracle(
+        pts in prop::collection::vec(unit_point(), 50..400),
+        constraint in blob_polygon(),
+    ) {
+        let spade = engine();
+        let data = Dataset::from_points("p", pts.clone());
+        let mut got = select::select(&spade, &data, &constraint).result;
+        got.sort_unstable();
+        let truth = brute::select_points(&pts, &constraint);
+        prop_assert_eq!(got, truth);
+    }
+
+    #[test]
+    fn out_of_core_selection_matches_in_memory(
+        pts in prop::collection::vec(unit_point(), 100..400),
+        constraint in blob_polygon(),
+        cell in 0.15f64..0.6,
+    ) {
+        let spade = engine();
+        let data = Dataset::from_points("p", pts);
+        let grid = GridIndex::build(None, &data.objects, cell).unwrap();
+        let indexed = IndexedDataset::new("p", DatasetKind::Points, grid);
+        let mut mem = select::select(&spade, &data, &constraint).result;
+        mem.sort_unstable();
+        let ooc = select::select_indexed(&spade, &indexed, &constraint).result;
+        prop_assert_eq!(ooc, mem);
+    }
+
+    #[test]
+    fn triangulation_preserves_area(poly in blob_polygon()) {
+        let tris = poly.triangulate();
+        let sum: f64 = tris.iter().map(|t| t.area()).sum();
+        prop_assert!((sum - poly.area()).abs() <= poly.area() * 1e-9);
+        // Every triangle centroid stays inside the polygon.
+        for t in &tris {
+            prop_assert!(spade::geometry::predicates::point_in_polygon(
+                t.centroid(),
+                &poly
+            ));
+        }
+    }
+
+    #[test]
+    fn layers_are_independent_sets(
+        boxes in prop::collection::vec((unit_point(), 0.02f64..0.2), 5..25),
+    ) {
+        let spade = engine();
+        let polys: Vec<Polygon> = boxes
+            .iter()
+            .map(|(p, s)| Polygon::rect(BBox::new(*p, Point::new(p.x + s, p.y + s))))
+            .collect();
+        let data = Dataset::from_polygons("b", polys.clone());
+        let set = spade::engine::dataset::PreparedPolygonSet::prepare(
+            &spade.pipeline,
+            &data,
+            128,
+        );
+        prop_assert_eq!(set.layers.num_objects(), polys.len());
+        for layer in &set.layers.layers {
+            for (i, &a) in layer.iter().enumerate() {
+                for &b in &layer[i + 1..] {
+                    prop_assert!(
+                        !polygons_intersect(&polys[a as usize], &polys[b as usize]),
+                        "layer holds intersecting objects {} and {}", a, b
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_index_partitions_objects(
+        pts in prop::collection::vec(unit_point(), 20..200),
+        cell in 0.1f64..0.7,
+    ) {
+        let data = Dataset::from_points("p", pts.clone());
+        let grid = GridIndex::build(None, &data.objects, cell).unwrap();
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..grid.num_cells() {
+            for (id, _) in grid.load_cell(i).unwrap() {
+                prop_assert!(seen.insert(id), "object {} stored twice", id);
+            }
+        }
+        prop_assert_eq!(seen.len(), pts.len());
+    }
+
+    #[test]
+    fn wkt_roundtrip(poly in blob_polygon(), pts in prop::collection::vec(unit_point(), 2..8)) {
+        for g in [
+            Geometry::Polygon(poly),
+            Geometry::Point(pts[0]),
+            Geometry::LineString(spade::geometry::LineString::new(pts.clone())),
+        ] {
+            let s = wkt::to_wkt(&g);
+            prop_assert_eq!(&wkt::from_wkt(&s).unwrap(), &g);
+        }
+    }
+
+    #[test]
+    fn storage_codec_roundtrip(poly in blob_polygon(), pts in prop::collection::vec(unit_point(), 1..6)) {
+        use spade::storage::geom::{decode_geometry, encode_geometry};
+        for g in [
+            Geometry::Polygon(poly),
+            Geometry::Point(pts[0]),
+            Geometry::MultiPolygon(spade::geometry::MultiPolygon::new(vec![])),
+        ] {
+            prop_assert_eq!(&decode_geometry(&encode_geometry(&g)).unwrap(), &g);
+        }
+    }
+
+    #[test]
+    fn distance_canvas_equals_exact_distance(
+        pts in prop::collection::vec(unit_point(), 30..200),
+        center in unit_point(),
+        r in 0.02f64..0.3,
+    ) {
+        let spade = engine();
+        let data = Dataset::from_points("p", pts.clone());
+        let out = spade::engine::distance::distance_select(
+            &spade,
+            &data,
+            &spade::engine::distance::DistanceConstraint::Point(center),
+            r,
+        );
+        let mut got = out.result;
+        got.sort_unstable();
+        let truth: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.dist(center) <= r)
+            .map(|(i, _)| i as u32)
+            .collect();
+        prop_assert_eq!(got, truth);
+    }
+
+    #[test]
+    fn convex_hull_contains_inputs(pts in prop::collection::vec(unit_point(), 3..100)) {
+        if let Some(hull) = spade::geometry::hull::convex_hull_polygon(&pts) {
+            for p in &pts {
+                prop_assert!(spade::geometry::predicates::point_in_polygon(*p, &hull));
+            }
+        }
+    }
+}
