@@ -113,20 +113,23 @@ mod tests {
         let poly = Polygon::rect(BBox::new(Point::ZERO, Point::new(2.0, 2.0)));
         let pts = vec![Point::new(1.0, 1.0), Point::new(5.0, 5.0)];
         assert_eq!(select_points(&pts, &poly), vec![0]);
-        assert_eq!(join_polygon_point(&[poly.clone()], &pts), vec![(0, 0)]);
-        assert_eq!(aggregate(&[poly.clone()], &pts), vec![(0, 1)]);
+        assert_eq!(
+            join_polygon_point(std::slice::from_ref(&poly), &pts),
+            vec![(0, 0)]
+        );
+        assert_eq!(aggregate(std::slice::from_ref(&poly), &pts), vec![(0, 1)]);
         assert_eq!(knn(&pts, Point::ZERO, 1)[0].0, 0);
         assert_eq!(distance_join(&pts, &pts, 0.1).len(), 2);
         assert_eq!(select_within_distance(&pts, &poly, 5.0).len(), 2);
         assert_eq!(
-            select_polygons(&[poly.clone()], &Polygon::rect(BBox::new(
-                Point::new(1.0, 1.0),
-                Point::new(3.0, 3.0)
-            ))),
+            select_polygons(
+                std::slice::from_ref(&poly),
+                &Polygon::rect(BBox::new(Point::new(1.0, 1.0), Point::new(3.0, 3.0)))
+            ),
             vec![0]
         );
         assert_eq!(
-            join_polygon_polygon(&[poly.clone()], &[poly]).len(),
+            join_polygon_polygon(std::slice::from_ref(&poly), std::slice::from_ref(&poly)).len(),
             1
         );
     }

@@ -77,7 +77,11 @@ impl PointRdd {
                         .map(|(id, p)| (*id, BBox::new(*p, *p)))
                         .collect(),
                 );
-                PointPartition { bbox, points, rtree }
+                PointPartition {
+                    bbox,
+                    points,
+                    rtree,
+                }
             })
             .collect();
         PointRdd { partitions, config }
@@ -203,12 +207,13 @@ fn point_of(part: &PointPartition, id: u32) -> Point {
     // the split, so binary search suffices.
     match part.points.binary_search_by_key(&id, |(i, _)| *i) {
         Ok(i) => part.points[i].1,
-        Err(_) => part
-            .points
-            .iter()
-            .find(|(i, _)| *i == id)
-            .expect("id in partition")
-            .1,
+        Err(_) => {
+            part.points
+                .iter()
+                .find(|(i, _)| *i == id)
+                .expect("id in partition")
+                .1
+        }
     }
 }
 
@@ -309,24 +314,20 @@ impl PolygonRdd {
 
 /// Run `n` partition tasks across the configured workers, charging the
 /// per-task coordination overhead.
-fn run_tasks<R: Send>(
-    config: &ClusterConfig,
-    n: usize,
-    f: impl Fn(usize) -> R + Sync,
-) -> Vec<R> {
+fn run_tasks<R: Send>(config: &ClusterConfig, n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
     if n == 0 {
         return Vec::new();
     }
     let workers = config.workers.clamp(1, n);
     let overhead = config.task_overhead;
     let cursor = std::sync::atomic::AtomicUsize::new(0);
-    let results = parking_lot::Mutex::new(Vec::with_capacity(n));
-    crossbeam::thread::scope(|s| {
+    let results = std::sync::Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|s| {
         for _ in 0..workers {
             let cursor = &cursor;
             let f = &f;
             let results = &results;
-            s.spawn(move |_| loop {
+            s.spawn(move || loop {
                 let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -335,12 +336,11 @@ fn run_tasks<R: Send>(
                     std::thread::sleep(overhead);
                 }
                 let r = f(i);
-                results.lock().push((i, r));
+                results.lock().unwrap().push((i, r));
             });
         }
-    })
-    .expect("cluster worker panicked");
-    let mut v = results.into_inner();
+    });
+    let mut v = results.into_inner().unwrap();
     v.sort_by_key(|(i, _)| *i);
     v.into_iter().map(|(_, r)| r).collect()
 }
@@ -358,11 +358,15 @@ fn kdb_split(
     let mid = pts.len() / 2;
     if depth.is_multiple_of(2) {
         pts.select_nth_unstable_by(mid, |a, b| {
-            a.1.x.partial_cmp(&b.1.x).unwrap_or(std::cmp::Ordering::Equal)
+            a.1.x
+                .partial_cmp(&b.1.x)
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
     } else {
         pts.select_nth_unstable_by(mid, |a, b| {
-            a.1.y.partial_cmp(&b.1.y).unwrap_or(std::cmp::Ordering::Equal)
+            a.1.y
+                .partial_cmp(&b.1.y)
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
     }
     let mut right: Vec<(u32, Point)> = pts.split_off(mid);
@@ -415,9 +419,13 @@ mod tests {
         let mut s = seed;
         (0..n)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let x = ((s >> 33) % 1_000_000) as f64 / 1_000_000.0 * extent;
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let y = ((s >> 33) % 1_000_000) as f64 / 1_000_000.0 * extent;
                 Point::new(x, y)
             })

@@ -48,7 +48,11 @@ impl PointIndex {
             .map(|(i, p)| (cell_of(&extent, *p), i as u32))
             .collect();
         entries.sort_unstable();
-        PointIndex { extent, entries, points }
+        PointIndex {
+            extent,
+            entries,
+            points,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -72,19 +76,26 @@ impl PointIndex {
         }
         let edges = poly.boundary_edges();
         let bb = poly.bbox();
-        self.visit(0, 0, 0, &mut |cell_box, prefix, level| {
-            if !cell_box.intersects(&bb) {
-                return Visit::Prune;
-            }
-            if box_inside_polygon(&cell_box, poly, &edges) {
-                return Visit::TakeAll;
-            }
-            if level == MAX_LEVEL {
-                return Visit::TestEach;
-            }
-            let _ = prefix;
-            Visit::Recurse
-        }, &mut |p| point_in_polygon(p, poly), &mut out);
+        self.visit(
+            0,
+            0,
+            0,
+            &mut |cell_box, prefix, level| {
+                if !cell_box.intersects(&bb) {
+                    return Visit::Prune;
+                }
+                if box_inside_polygon(&cell_box, poly, &edges) {
+                    return Visit::TakeAll;
+                }
+                if level == MAX_LEVEL {
+                    return Visit::TestEach;
+                }
+                let _ = prefix;
+                Visit::Recurse
+            },
+            &mut |p| point_in_polygon(p, poly),
+            &mut out,
+        );
         out.sort_unstable();
         out
     }
@@ -96,18 +107,25 @@ impl PointIndex {
         if self.points.is_empty() {
             return out;
         }
-        self.visit(0, 0, 0, &mut |cell_box, _, level| {
-            if cell_box.dist_to_point(q) > r {
-                return Visit::Prune;
-            }
-            if cell_box.max_dist_to_point(q) <= r {
-                return Visit::TakeAll;
-            }
-            if level == MAX_LEVEL {
-                return Visit::TestEach;
-            }
-            Visit::Recurse
-        }, &mut |p| p.dist(q) <= r, &mut out);
+        self.visit(
+            0,
+            0,
+            0,
+            &mut |cell_box, _, level| {
+                if cell_box.dist_to_point(q) > r {
+                    return Visit::Prune;
+                }
+                if cell_box.max_dist_to_point(q) <= r {
+                    return Visit::TakeAll;
+                }
+                if level == MAX_LEVEL {
+                    return Visit::TestEach;
+                }
+                Visit::Recurse
+            },
+            &mut |p| p.dist(q) <= r,
+            &mut out,
+        );
         out.sort_unstable();
         out
     }
@@ -133,7 +151,9 @@ impl PointIndex {
         }
         impl Ord for Cand {
             fn cmp(&self, o: &Self) -> std::cmp::Ordering {
-                self.dist.partial_cmp(&o.dist).unwrap_or(std::cmp::Ordering::Equal)
+                self.dist
+                    .partial_cmp(&o.dist)
+                    .unwrap_or(std::cmp::Ordering::Equal)
             }
         }
         let mut heap = BinaryHeap::new();
@@ -141,7 +161,12 @@ impl PointIndex {
         if self.points.is_empty() || k == 0 {
             return out;
         }
-        heap.push(Reverse(Cand { dist: 0.0, prefix: 0, level: 0, point: u32::MAX }));
+        heap.push(Reverse(Cand {
+            dist: 0.0,
+            prefix: 0,
+            level: 0,
+            point: u32::MAX,
+        }));
         while let Some(Reverse(c)) = heap.pop() {
             if c.point != u32::MAX {
                 out.push((c.point, c.dist));
@@ -154,7 +179,12 @@ impl PointIndex {
                 let (lo, hi) = self.range(c.prefix, c.level);
                 for &(_, id) in &self.entries[lo..hi] {
                     let d = self.points[id as usize].dist(q);
-                    heap.push(Reverse(Cand { dist: d, prefix: 0, level: 0, point: id }));
+                    heap.push(Reverse(Cand {
+                        dist: d,
+                        prefix: 0,
+                        level: 0,
+                        point: id,
+                    }));
                 }
                 continue;
             }
@@ -296,7 +326,13 @@ impl ShapeIndex {
                 grid[(cy * nx + cx) as usize].push(i as u32);
             }
         }
-        ShapeIndex { polygons, grid, extent, nx, ny }
+        ShapeIndex {
+            polygons,
+            grid,
+            extent,
+            nx,
+            ny,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -368,9 +404,13 @@ mod tests {
         let mut s = seed;
         (0..n)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let x = ((s >> 33) % 1_000_000) as f64 / 1_000_000.0 * extent;
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let y = ((s >> 33) % 1_000_000) as f64 / 1_000_000.0 * extent;
                 Point::new(x, y)
             })

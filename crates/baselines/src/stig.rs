@@ -81,15 +81,15 @@ impl Stig {
         gather(root, &bb, &mut blocks);
         // Parallel refinement over the gathered blocks.
         let workers = workers.clamp(1, blocks.len().max(1));
-        let results = parking_lot::Mutex::new(Vec::new());
+        let results = std::sync::Mutex::new(Vec::new());
         let cursor = std::sync::atomic::AtomicUsize::new(0);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..workers {
                 let cursor = &cursor;
                 let blocks = &blocks;
                 let results = &results;
                 let points = &self.points;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut local = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -102,12 +102,11 @@ impl Stig {
                             }
                         }
                     }
-                    results.lock().extend(local);
+                    results.lock().unwrap().extend(local);
                 });
             }
-        })
-        .expect("stig worker panicked");
-        let mut out = results.into_inner();
+        });
+        let mut out = results.into_inner().unwrap();
         out.sort_unstable();
         out
     }
@@ -142,11 +141,15 @@ fn build_node(
     let mid = slice.len() / 2;
     if depth.is_multiple_of(2) {
         slice.select_nth_unstable_by(mid, |a, b| {
-            a.1.x.partial_cmp(&b.1.x).unwrap_or(std::cmp::Ordering::Equal)
+            a.1.x
+                .partial_cmp(&b.1.x)
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
     } else {
         slice.select_nth_unstable_by(mid, |a, b| {
-            a.1.y.partial_cmp(&b.1.y).unwrap_or(std::cmp::Ordering::Equal)
+            a.1.y
+                .partial_cmp(&b.1.y)
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
     }
     let left = build_node(pts, lo, lo + mid, depth + 1, leaf_size);
@@ -180,9 +183,13 @@ mod tests {
         let mut s = seed;
         (0..n)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let x = ((s >> 33) % 1_000_000) as f64 / 1_000_000.0 * extent;
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let y = ((s >> 33) % 1_000_000) as f64 / 1_000_000.0 * extent;
                 Point::new(x, y)
             })
@@ -197,7 +204,10 @@ mod tests {
             Polygon::circle(Point::new(30.0, 70.0), 15.0, 12),
             Polygon::rect(BBox::new(Point::new(60.0, 5.0), Point::new(90.0, 45.0))),
         ] {
-            assert_eq!(stig.select_polygon(&poly, 4), brute::select_points(&pts, &poly));
+            assert_eq!(
+                stig.select_polygon(&poly, 4),
+                brute::select_points(&pts, &poly)
+            );
         }
     }
 

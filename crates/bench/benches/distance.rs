@@ -41,9 +41,14 @@ fn bench_distance_select(c: &mut Criterion) {
     ]);
     g.bench_function("spade_polyline_200m", |b| {
         b.iter(|| {
-            distance::distance_select(&spade, &taxi, &DistanceConstraint::Line(line.clone()), 200.0)
-                .result
-                .len()
+            distance::distance_select(
+                &spade,
+                &taxi,
+                &DistanceConstraint::Line(line.clone()),
+                200.0,
+            )
+            .result
+            .len()
         })
     });
     g.finish();
@@ -59,7 +64,11 @@ fn bench_distance_join(c: &mut Criterion) {
         spider::scale_points(&spider::uniform_points(500, 5), &taxi.extent),
     );
     g.bench_function("spade_500x30k_r20", |b| {
-        b.iter(|| distance::distance_join(&spade, &random, &taxi, 20.0).result.len())
+        b.iter(|| {
+            distance::distance_join(&spade, &random, &taxi, 20.0)
+                .result
+                .len()
+        })
     });
     let s2 = PointIndex::build(taxi.as_points().into_iter().map(|(_, p)| p).collect());
     let left: Vec<Point> = random.as_points().into_iter().map(|(_, p)| p).collect();

@@ -88,7 +88,9 @@ fn bench_scan(c: &mut Criterion) {
     for i in (0..tex.len()).step_by(7) {
         tex.put_linear(i, [1, 0, 0, 0]);
     }
-    g.bench_function("compact_1Mpx", |b| b.iter(|| scan::compact_non_null(&tex, 8)));
+    g.bench_function("compact_1Mpx", |b| {
+        b.iter(|| scan::compact_non_null(&tex, 8))
+    });
     g.finish();
 }
 

@@ -21,14 +21,25 @@ fn bench_point_selection(c: &mut Criterion) {
     });
     let indexed = wl::index(&spade, &data);
     g.bench_function("spade_ooc", |b| {
-        b.iter(|| select::select_indexed(&spade, &indexed, &constraint).result.len())
+        b.iter(|| {
+            select::select_indexed(&spade, &indexed, &constraint)
+                .expect("indexed select")
+                .result
+                .len()
+        })
     });
     let stig = Stig::build(pts.clone(), 1024);
-    g.bench_function("stig", |b| b.iter(|| stig.select_polygon(&constraint, 8).len()));
+    g.bench_function("stig", |b| {
+        b.iter(|| stig.select_polygon(&constraint, 8).len())
+    });
     let rdd = PointRdd::build(pts.clone(), ClusterConfig::default());
-    g.bench_function("cluster", |b| b.iter(|| rdd.select_polygon(&constraint).len()));
+    g.bench_function("cluster", |b| {
+        b.iter(|| rdd.select_polygon(&constraint).len())
+    });
     let s2 = PointIndex::build(pts);
-    g.bench_function("s2like", |b| b.iter(|| s2.select_polygon(&constraint).len()));
+    g.bench_function("s2like", |b| {
+        b.iter(|| s2.select_polygon(&constraint).len())
+    });
     g.finish();
 }
 
@@ -43,9 +54,7 @@ fn bench_selectivity_sweep(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::from_parameter(extent),
             &constraint,
-            |b, constraint| {
-                b.iter(|| select::select(&spade, &data, constraint).result.len())
-            },
+            |b, constraint| b.iter(|| select::select(&spade, &data, constraint).result.len()),
         );
     }
     g.finish();

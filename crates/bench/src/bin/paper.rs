@@ -27,7 +27,10 @@ fn main() {
             for (id, f) in ALL {
                 run(id, *f);
             }
-            println!("\nall experiments done in {:.1}s", t0.elapsed().as_secs_f64());
+            println!(
+                "\nall experiments done in {:.1}s",
+                t0.elapsed().as_secs_f64()
+            );
         }
         id => {
             let Some((_, f)) = ALL.iter().find(|(name, _)| name == &id) else {

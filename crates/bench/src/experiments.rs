@@ -41,7 +41,10 @@ fn points_of(d: &Dataset) -> Vec<Point> {
 }
 
 fn polys_of(d: &Dataset) -> Vec<Polygon> {
-    d.as_polygons().into_iter().map(|(_, p)| p.clone()).collect()
+    d.as_polygons()
+        .into_iter()
+        .map(|(_, p)| p.clone())
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -78,7 +81,7 @@ fn selection_figure(title: &str, data: Dataset, mut constraints: Vec<Polygon>) -
     // Order constraints by SPADE query time, as the paper plots them.
     let mut measured: Vec<(Polygon, spade_core::QueryStats)> = Vec::new();
     for c in constraints.drain(..) {
-        let out = select::select_indexed(&spade, &indexed, &c);
+        let out = select::select_indexed(&spade, &indexed, &c).expect("indexed select");
         measured.push((c, out.stats));
     }
     measured.sort_by_key(|a| a.1.total_time);
@@ -128,7 +131,7 @@ pub fn fig5c() -> Vec<Table> {
 
     let mut measured: Vec<(Polygon, spade_core::QueryStats)> = Vec::new();
     for c in constraints {
-        let out = select::select_indexed(&spade, &indexed, &c);
+        let out = select::select_indexed(&spade, &indexed, &c).expect("indexed select");
         measured.push((c, out.stats));
     }
     measured.sort_by_key(|a| a.1.total_time);
@@ -170,7 +173,11 @@ pub fn fig5c() -> Vec<Table> {
 pub fn tab2() -> Vec<Table> {
     let spade = bench_engine();
     let cases = [
-        ("taxi ⋈ neighborhoods", wl::taxi(150_000), wl::neighborhoods()),
+        (
+            "taxi ⋈ neighborhoods",
+            wl::taxi(150_000),
+            wl::neighborhoods(),
+        ),
         ("taxi ⋈ census", wl::taxi(150_000), wl::census()),
         ("tweets ⋈ counties", wl::tweets(200_000), wl::counties()),
         ("tweets ⋈ zipcodes", wl::tweets(200_000), wl::zipcodes()),
@@ -182,7 +189,7 @@ pub fn tab2() -> Vec<Table> {
     for (name, pts, polys) in cases {
         let ipts = wl::index(&spade, &pts);
         let ipolys = wl::index(&spade, &polys);
-        let out = spade_core::join::join_indexed(&spade, &ipolys, &ipts);
+        let out = spade_core::join::join_indexed(&spade, &ipolys, &ipts).expect("indexed join");
 
         let rdd = PointRdd::build(points_of(&pts), cluster_cfg());
         let prdd = PolygonRdd::build(polys_of(&polys), cluster_cfg());
@@ -219,8 +226,16 @@ pub fn tab3() -> Vec<Table> {
     let cases = [
         ("neighborhoods ⋈ census", wl::neighborhoods(), wl::census()),
         ("zipcodes ⋈ counties", wl::zipcodes(), wl::counties()),
-        ("buildings ⋈ counties*", buildings.clone(), scale_to(&wl::counties(), &buildings)),
-        ("buildings ⋈ zipcodes*", buildings.clone(), scale_to(&wl::zipcodes(), &buildings)),
+        (
+            "buildings ⋈ counties*",
+            buildings.clone(),
+            scale_to(&wl::counties(), &buildings),
+        ),
+        (
+            "buildings ⋈ zipcodes*",
+            buildings.clone(),
+            scale_to(&wl::zipcodes(), &buildings),
+        ),
         ("buildings ⋈ countries", buildings.clone(), wl::countries()),
     ];
     let mut t = Table::new(
@@ -230,7 +245,7 @@ pub fn tab3() -> Vec<Table> {
     for (name, d1, d2) in cases {
         let i1 = wl::index(&spade, &d1);
         let i2 = wl::index(&spade, &d2);
-        let out = spade_core::join::join_indexed(&spade, &i1, &i2);
+        let out = spade_core::join::join_indexed(&spade, &i1, &i2).expect("indexed join");
         let r1 = PolygonRdd::build(polys_of(&d1), cluster_cfg());
         let r2 = PolygonRdd::build(polys_of(&d2), cluster_cfg());
         let (r_cl, t_cl) = timed(|| r1.join(&r2));
@@ -277,7 +292,7 @@ pub fn fig6() -> Vec<Table> {
         let pts = wl::tweets(n);
         let ipts = wl::index(&spade, &pts);
         let ipolys = wl::index(&spade, &zips);
-        let out = spade_core::join::join_indexed(&spade, &ipolys, &ipts);
+        let out = spade_core::join::join_indexed(&spade, &ipolys, &ipts).expect("indexed join");
         let rdd = PointRdd::build(points_of(&pts), cluster_cfg());
         let prdd = PolygonRdd::build(polys_of(&zips), cluster_cfg());
         let (r_cl, t_cl) = timed(|| rdd.join_polygons(&prdd));
@@ -488,8 +503,8 @@ pub fn fig10() -> Vec<Table> {
     let igau = wl::index(&spade, &gau);
     for e in [0.1, 0.2, 0.3, 0.4, 0.5] {
         let c = wl::unit_square_constraint(e);
-        let u = select::select_indexed(&spade, &iuni, &c);
-        let g = select::select_indexed(&spade, &igau, &c);
+        let u = select::select_indexed(&spade, &iuni, &c).expect("indexed select");
+        let g = select::select_indexed(&spade, &igau, &c).expect("indexed select");
         left.row(vec![
             format!("{e:.1}"),
             fmt_dur(u.stats.total_time),
@@ -509,8 +524,8 @@ pub fn fig10() -> Vec<Table> {
         let gau = wl::spider_points(m, true, 2);
         let iuni = wl::index(&spade, &uni);
         let igau = wl::index(&spade, &gau);
-        let u = select::select_indexed(&spade, &iuni, &c);
-        let g = select::select_indexed(&spade, &igau, &c);
+        let u = select::select_indexed(&spade, &iuni, &c).expect("indexed select");
+        let g = select::select_indexed(&spade, &igau, &c).expect("indexed select");
         right.row(vec![
             uni.len().to_string(),
             fmt_dur(u.stats.total_time),
@@ -533,8 +548,8 @@ pub fn fig11() -> Vec<Table> {
     let igau = wl::index(&spade, &gau);
     for e in [0.1, 0.2, 0.3, 0.4, 0.5] {
         let c = wl::unit_square_constraint(e);
-        let u = select::select_indexed(&spade, &iuni, &c);
-        let g = select::select_indexed(&spade, &igau, &c);
+        let u = select::select_indexed(&spade, &iuni, &c).expect("indexed select");
+        let g = select::select_indexed(&spade, &igau, &c).expect("indexed select");
         left.row(vec![
             format!("{e:.1}"),
             fmt_dur(u.stats.total_time),
@@ -551,8 +566,8 @@ pub fn fig11() -> Vec<Table> {
         let gau = wl::spider_boxes(m, true, 4);
         let iuni = wl::index(&spade, &uni);
         let igau = wl::index(&spade, &gau);
-        let u = select::select_indexed(&spade, &iuni, &c);
-        let g = select::select_indexed(&spade, &igau, &c);
+        let u = select::select_indexed(&spade, &iuni, &c).expect("indexed select");
+        let g = select::select_indexed(&spade, &igau, &c).expect("indexed select");
         right.row(vec![
             uni.len().to_string(),
             fmt_dur(u.stats.total_time),
@@ -576,8 +591,8 @@ pub fn fig12() -> Vec<Table> {
         let ip = wl::index(&spade, &parcels);
         let iu = wl::index(&spade, &uni);
         let ig = wl::index(&spade, &gau);
-        let u = spade_core::join::join_indexed(&spade, &ip, &iu);
-        let g = spade_core::join::join_indexed(&spade, &ip, &ig);
+        let u = spade_core::join::join_indexed(&spade, &ip, &iu).expect("indexed join");
+        let g = spade_core::join::join_indexed(&spade, &ip, &ig).expect("indexed join");
         left.row(vec![
             n.to_string(),
             fmt_dur(u.stats.total_time),
@@ -595,8 +610,8 @@ pub fn fig12() -> Vec<Table> {
         let gau = wl::spider_points(m, true, 6);
         let iu = wl::index(&spade, &uni);
         let ig = wl::index(&spade, &gau);
-        let u = spade_core::join::join_indexed(&spade, &ip, &iu);
-        let g = spade_core::join::join_indexed(&spade, &ip, &ig);
+        let u = spade_core::join::join_indexed(&spade, &ip, &iu).expect("indexed join");
+        let g = spade_core::join::join_indexed(&spade, &ip, &ig).expect("indexed join");
         right.row(vec![
             uni.len().to_string(),
             fmt_dur(u.stats.total_time),
@@ -620,8 +635,8 @@ pub fn fig13() -> Vec<Table> {
         let ip = wl::index(&spade, &parcels);
         let iu = wl::index(&spade, &uni);
         let ig = wl::index(&spade, &gau);
-        let u = spade_core::join::join_indexed(&spade, &ip, &iu);
-        let g = spade_core::join::join_indexed(&spade, &ip, &ig);
+        let u = spade_core::join::join_indexed(&spade, &ip, &iu).expect("indexed join");
+        let g = spade_core::join::join_indexed(&spade, &ip, &ig).expect("indexed join");
         left.row(vec![
             n.to_string(),
             fmt_dur(u.stats.total_time),
@@ -639,8 +654,8 @@ pub fn fig13() -> Vec<Table> {
         let gau = wl::spider_boxes(m, true, 8);
         let iu = wl::index(&spade, &uni);
         let ig = wl::index(&spade, &gau);
-        let u = spade_core::join::join_indexed(&spade, &ip, &iu);
-        let g = spade_core::join::join_indexed(&spade, &ip, &ig);
+        let u = spade_core::join::join_indexed(&spade, &ip, &iu).expect("indexed join");
+        let g = spade_core::join::join_indexed(&spade, &ip, &ig).expect("indexed join");
         right.row(vec![
             uni.len().to_string(),
             fmt_dur(u.stats.total_time),
@@ -693,10 +708,7 @@ pub fn ablate_boundary() -> Vec<Table> {
     sorted_full.sort_unstable();
     assert_eq!(sorted_full, oracle, "exact path must match the oracle");
     assert_eq!(pip, oracle, "PIP fallback must match the oracle");
-    let wrong = primary
-        .iter()
-        .filter(|id| !oracle.contains(id))
-        .count()
+    let wrong = primary.iter().filter(|id| !oracle.contains(id)).count()
         + oracle.iter().filter(|id| !primary.contains(id)).count();
 
     let mut t = Table::new(
@@ -817,7 +829,13 @@ pub fn ablate_conservative() -> Vec<Table> {
 
     let mut t = Table::new(
         "Ablation: conservative rasterization (true-member buildings visible per rule)",
-        &["canvas", "members", "default rule", "conservative", "lost w/o conservative"],
+        &[
+            "canvas",
+            "members",
+            "default rule",
+            "conservative",
+            "lost w/o conservative",
+        ],
     );
     for resolution in [32u32, 64, 128, 256, 1024] {
         let pad = constraint.bbox().width().max(constraint.bbox().height()) * 1e-6;
@@ -864,7 +882,10 @@ pub fn ablate_hull() -> Vec<Table> {
         "Ablation: grid-cell bounding polygons (hull vs bbox filter)",
         &["query", "cells total", "hull-filtered", "bbox-filtered"],
     );
-    for (i, c) in wl::constraints(&wl::nyc_extent(), 48, 0xd).iter().enumerate() {
+    for (i, c) in wl::constraints(&wl::nyc_extent(), 48, 0xd)
+        .iter()
+        .enumerate()
+    {
         // Hull filter: the engine's own GPU selection over hulls.
         let hulls: Vec<PreparedPolygon> = indexed
             .grid
@@ -920,11 +941,20 @@ pub fn ablate_rtree() -> Vec<Table> {
 
     let mut t = Table::new(
         "Ablation: indexing strategy (grid vs R-tree leaves, 100K points)",
-        &["query", "grid cells", "grid time", "rtree cells", "rtree time"],
+        &[
+            "query",
+            "grid cells",
+            "grid time",
+            "rtree cells",
+            "rtree time",
+        ],
     );
-    for (i, c) in wl::constraints(&wl::nyc_extent(), 48, 0xf).iter().enumerate() {
-        let a = select::select_indexed(&spade, &ig, c);
-        let b = select::select_indexed(&spade, &ir, c);
+    for (i, c) in wl::constraints(&wl::nyc_extent(), 48, 0xf)
+        .iter()
+        .enumerate()
+    {
+        let a = select::select_indexed(&spade, &ig, c).expect("indexed select");
+        let b = select::select_indexed(&spade, &ir, c).expect("indexed select");
         assert_eq!(a.result, b.result, "strategies disagree on P{}", i + 1);
         t.row(vec![
             format!("P{}", i + 1),

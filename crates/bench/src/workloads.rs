@@ -235,7 +235,11 @@ mod tests {
     fn unit_square_constraint_scales() {
         for f in [0.1, 0.3, 0.5] {
             let c = unit_square_constraint(f);
-            assert!((c.bbox().width() - f).abs() < 1e-9, "width {}", c.bbox().width());
+            assert!(
+                (c.bbox().width() - f).abs() < 1e-9,
+                "width {}",
+                c.bbox().width()
+            );
             assert!(c.bbox().center().dist(Point::new(0.5, 0.5)) < 1e-9);
         }
     }

@@ -21,7 +21,7 @@ use spade_gpu::pool;
 use spade_gpu::raster;
 use spade_gpu::scan;
 use spade_gpu::shader::{Fragment, ShaderContext};
-use spade_gpu::{DrawCall, PixelValue, Pipeline, Primitive, Texture, NULL_PIXEL};
+use spade_gpu::{DrawCall, Pipeline, PixelValue, Primitive, Texture, NULL_PIXEL};
 use std::sync::atomic::AtomicU32;
 
 /// Standalone geometric transform: apply `f` to every primitive vertex
@@ -49,10 +49,10 @@ pub fn value_transform(
         slices.push(head);
         rest = tail;
     }
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for slice in slices {
             let f = &f;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for px in slice.iter_mut() {
                     if *px != NULL_PIXEL {
                         *px = f(*px);
@@ -60,8 +60,7 @@ pub fn value_transform(
                 }
             });
         }
-    })
-    .expect("value transform worker panicked");
+    });
 }
 
 /// Mask: null out every pixel that fails `keep(x, y, value)`, in parallel.
@@ -76,10 +75,10 @@ pub fn mask(tex: &mut Texture, workers: usize, keep: impl Fn(u32, u32, PixelValu
         slices.push((r.start, head));
         rest = tail;
     }
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (base, slice) in slices {
             let keep = &keep;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (i, px) in slice.iter_mut().enumerate() {
                     if *px != NULL_PIXEL {
                         let flat = base + i;
@@ -91,8 +90,7 @@ pub fn mask(tex: &mut Texture, workers: usize, keep: impl Fn(u32, u32, PixelValu
                 }
             });
         }
-    })
-    .expect("mask worker panicked");
+    });
 }
 
 /// Binary blend: merge `src` into `dst` pixel-wise, skipping null source
@@ -109,9 +107,9 @@ pub fn blend(dst: &mut Texture, src: &Texture, mode: spade_gpu::BlendMode, worke
         slices.push((r.start, head));
         rest = tail;
     }
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (base, slice) in slices {
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (i, px) in slice.iter_mut().enumerate() {
                     let sv = src_pixels[base + i];
                     if sv != NULL_PIXEL {
@@ -120,8 +118,7 @@ pub fn blend(dst: &mut Texture, src: &Texture, mode: spade_gpu::BlendMode, worke
                 }
             });
         }
-    })
-    .expect("blend worker panicked");
+    });
 }
 
 /// Multiway blend: fold many canvases into one with a single pass per
@@ -189,10 +186,7 @@ pub fn map_1pass(
 ) -> Result<MapResult, MapOverflow> {
     let (chunks, produced) = shade_chunks(pipe, prims, call);
     if produced > n_max {
-        return Err(MapOverflow {
-            n_max,
-            produced,
-        });
+        return Err(MapOverflow { n_max, produced });
     }
     // Materialize the list canvas: a square-ish texture of ≥ n_max slots,
     // entries placed at their scanned offsets.
@@ -239,9 +233,14 @@ pub fn map_emit(
     conservative: bool,
     emit: impl Fn(&Fragment, &mut Vec<PixelValue>) + Sync,
 ) -> MapResult {
-    map_emit_stateful(pipe, prims, viewport, conservative, || (), |_, frag, out| {
-        emit(frag, out)
-    })
+    map_emit_stateful(
+        pipe,
+        prims,
+        viewport,
+        conservative,
+        || (),
+        |_, frag, out| emit(frag, out),
+    )
 }
 
 /// [`map_emit`] with per-worker-chunk scratch state — the equivalent of
@@ -307,40 +306,41 @@ fn shade_chunks(
         counter: &counter,
     };
     let start = std::time::Instant::now();
-    let chunks: Vec<Vec<PixelValue>> = pool::parallel_map_chunks(prims, pipe.workers(), |_, chunk| {
-        let mut out = Vec::new();
-        let mut expand = Vec::new();
-        for prim in chunk {
-            let moved = prim.map_positions(|p| {
-                call.vertex
-                    .shade(spade_gpu::Vertex::new(p, prim.attrs()))
-                    .pos
-            });
-            expand.clear();
-            match call.geometry {
-                Some(gs) => gs.expand(&moved, &mut expand),
-                None => expand.push(moved),
-            }
-            for prim in &expand {
-                if !prim.bbox().intersects(&world) {
-                    continue;
-                }
-                let attrs = prim.attrs();
-                raster::rasterize(prim, &vp, call.conservative, &mut |x, y| {
-                    let frag = Fragment {
-                        x,
-                        y,
-                        world: vp.pixel_center(x, y),
-                        attrs,
-                    };
-                    if let Some(v) = call.fragment.shade(&frag, &ctx) {
-                        out.push(v);
-                    }
+    let chunks: Vec<Vec<PixelValue>> =
+        pool::parallel_map_chunks(prims, pipe.workers(), |_, chunk| {
+            let mut out = Vec::new();
+            let mut expand = Vec::new();
+            for prim in chunk {
+                let moved = prim.map_positions(|p| {
+                    call.vertex
+                        .shade(spade_gpu::Vertex::new(p, prim.attrs()))
+                        .pos
                 });
+                expand.clear();
+                match call.geometry {
+                    Some(gs) => gs.expand(&moved, &mut expand),
+                    None => expand.push(moved),
+                }
+                for prim in &expand {
+                    if !prim.bbox().intersects(&world) {
+                        continue;
+                    }
+                    let attrs = prim.attrs();
+                    raster::rasterize(prim, &vp, call.conservative, &mut |x, y| {
+                        let frag = Fragment {
+                            x,
+                            y,
+                            world: vp.pixel_center(x, y),
+                            attrs,
+                        };
+                        if let Some(v) = call.fragment.shade(&frag, &ctx) {
+                            out.push(v);
+                        }
+                    });
+                }
             }
-        }
-        out
-    });
+            out
+        });
     pipe.stats.add_gpu_time(start.elapsed());
     let total = chunks.iter().map(Vec::len).sum();
     pipe.stats.add_fragments(total as u64);
@@ -350,8 +350,8 @@ fn shade_chunks(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spade_gpu::{BlendMode, Viewport};
     use spade_geometry::{BBox, Point};
+    use spade_gpu::{BlendMode, Viewport};
 
     fn vp10() -> Viewport {
         Viewport::new(BBox::new(Point::ZERO, Point::new(10.0, 10.0)), 10, 10)
@@ -425,17 +425,19 @@ mod tests {
     fn dissect_yields_non_null_pixels() {
         let t = tex_with(&[(3, 1, [9, 0, 0, 0]), (1, 0, [2, 0, 0, 0])]);
         let parts = dissect(&t, 2);
-        assert_eq!(
-            parts,
-            vec![(1, 0, [2, 0, 0, 0]), (3, 1, [9, 0, 0, 0])]
-        );
+        assert_eq!(parts, vec![(1, 0, [2, 0, 0, 0]), (3, 1, [9, 0, 0, 0])]);
     }
 
     #[test]
     fn map_1pass_collects_values() {
         let pipe = Pipeline::with_workers(4);
         let prims: Vec<Primitive> = (0..20)
-            .map(|i| Primitive::point(Point::new((i % 10) as f64 + 0.5, (i / 10) as f64 + 0.5), [i + 1, 0, 0, 0]))
+            .map(|i| {
+                Primitive::point(
+                    Point::new((i % 10) as f64 + 0.5, (i / 10) as f64 + 0.5),
+                    [i + 1, 0, 0, 0],
+                )
+            })
             .collect();
         let call = DrawCall::simple(vp10(), BlendMode::Replace, false);
         let r = map_1pass(&pipe, &prims, &call, 64).unwrap();
@@ -463,7 +465,12 @@ mod tests {
     fn map_2pass_equals_1pass() {
         let pipe = Pipeline::with_workers(4);
         let prims: Vec<Primitive> = (0..30)
-            .map(|i| Primitive::point(Point::new((i % 10) as f64 + 0.5, (i % 7) as f64 + 0.5), [i + 1, 0, 0, 0]))
+            .map(|i| {
+                Primitive::point(
+                    Point::new((i % 10) as f64 + 0.5, (i % 7) as f64 + 0.5),
+                    [i + 1, 0, 0, 0],
+                )
+            })
             .collect();
         let call = DrawCall::simple(vp10(), BlendMode::Replace, false);
         let one = map_1pass(&pipe, &prims, &call, 100).unwrap();
@@ -476,7 +483,7 @@ mod tests {
     fn map_respects_fragment_discard() {
         let pipe = Pipeline::with_workers(2);
         let frag = spade_gpu::FnFragment(|f: &Fragment, _: &ShaderContext<'_>| {
-            if f.attrs[0] % 2 == 0 {
+            if f.attrs[0].is_multiple_of(2) {
                 Some(f.attrs)
             } else {
                 None

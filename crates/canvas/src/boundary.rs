@@ -83,9 +83,7 @@ impl BoundaryEntry {
             BoundaryGeom::Point(q) => point_in_triangle(*q, t),
             BoundaryGeom::Segment(s) => segment_intersects_triangle(*s, t),
             BoundaryGeom::Triangle(u) => triangles_intersect(u, t),
-            BoundaryGeom::PointDist { center, r } => {
-                point_triangle_distance(*center, t) <= *r
-            }
+            BoundaryGeom::PointDist { center, r } => point_triangle_distance(*center, t) <= *r,
             BoundaryGeom::SegmentDist { seg, r } => {
                 let poly = spade_geometry::Polygon::new(vec![t.a, t.b, t.c]);
                 segment_polygon_distance(*seg, &poly) <= *r

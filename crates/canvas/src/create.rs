@@ -139,11 +139,7 @@ pub fn render_lines(pipe: &Pipeline, vp: Viewport, lines: &[(u32, &LineString)])
 /// Render polygon objects into a polygon-class canvas layer with the
 /// two-pass scheme of §4.2: interior triangles first, then conservative
 /// boundary edges carrying `vb` pointers.
-pub fn render_polygons(
-    pipe: &Pipeline,
-    vp: Viewport,
-    polys: &[PreparedPolygon],
-) -> CanvasLayer {
+pub fn render_polygons(pipe: &Pipeline, vp: Viewport, polys: &[PreparedPolygon]) -> CanvasLayer {
     let mut layer = CanvasLayer::new(vp.width, vp.height);
 
     // Pass 1: interiors (default rasterization — pixel centers inside).
@@ -440,7 +436,7 @@ mod tests {
         ]);
         let layer = render_lines(&pipe, vp(10), &[(3, &line)]);
         assert_eq!(layer.boundary.len(), 2); // two segments
-        // A pixel on the first segment is boundary class with a vb pointer.
+                                             // A pixel on the first segment is boundary class with a vb pointer.
         let v = layer.texture.get(5, 0);
         assert_eq!(classify(v), PixelClass::Boundary);
         let vb = pixel_bound(v).unwrap();
@@ -528,14 +524,14 @@ mod tests {
         // Two polygons whose boundaries cross the same pixels at a coarse
         // resolution must produce overflow entries.
         let pipe = Pipeline::with_workers(2);
-        let a = PreparedPolygon::prepare(0, &Polygon::rect(BBox::new(
-            Point::new(1.0, 1.0),
-            Point::new(5.0, 5.0),
-        )));
-        let b = PreparedPolygon::prepare(1, &Polygon::rect(BBox::new(
-            Point::new(1.2, 1.2),
-            Point::new(5.2, 5.2),
-        )));
+        let a = PreparedPolygon::prepare(
+            0,
+            &Polygon::rect(BBox::new(Point::new(1.0, 1.0), Point::new(5.0, 5.0))),
+        );
+        let b = PreparedPolygon::prepare(
+            1,
+            &Polygon::rect(BBox::new(Point::new(1.2, 1.2), Point::new(5.2, 5.2))),
+        );
         let layer = render_polygons(&pipe, vp(10), &[a, b]);
         assert!(layer.boundary.overflow_pixels() > 0);
     }
@@ -570,7 +566,11 @@ mod tests {
         let v = layer.texture.get(2, 5); // left rim pixel
         assert_eq!(classify(v), PixelClass::Boundary);
         let vb = pixel_bound(v).unwrap();
-        assert!(layer.boundary.test_point_at((2, 5), vb, Point::new(2.1, 5.5)));
-        assert!(!layer.boundary.test_point_at((2, 5), vb, Point::new(1.9, 5.5)));
+        assert!(layer
+            .boundary
+            .test_point_at((2, 5), vb, Point::new(2.1, 5.5)));
+        assert!(!layer
+            .boundary
+            .test_point_at((2, 5), vb, Point::new(1.9, 5.5)));
     }
 }

@@ -22,8 +22,8 @@ use spade_geometry::distance::point_segment_distance;
 use spade_geometry::predicates::point_in_triangle;
 use spade_geometry::{Point, Segment};
 use spade_gpu::{
-    BlendMode, DrawCall, FnFragment, Fragment, GeometryShader, Pipeline, Primitive,
-    ShaderContext, Viewport,
+    BlendMode, DrawCall, FnFragment, Fragment, GeometryShader, Pipeline, Primitive, ShaderContext,
+    Viewport,
 };
 
 /// The source primitive a distance fragment measures against.
@@ -78,8 +78,7 @@ impl GeometryShader for CapsuleExpand {
                 Some(u) => (u, d.norm()),
                 None => {
                     // Degenerate segment: fall back to a square around `a`.
-                    SquareExpand { half: self.pad }
-                        .expand(&Primitive::point(*a, *attrs), out);
+                    SquareExpand { half: self.pad }.expand(&Primitive::point(*a, *attrs), out);
                     return;
                 }
             };
@@ -119,14 +118,12 @@ pub fn distance_canvas_points(
     let gs = SquareExpand {
         half: r + half_diag(&vp),
     };
-    render_distance(pipe, vp, &prims, &gs, &sources, &radii, |i| {
-        BoundaryEntry {
-            object: centers[i].0,
-            geom: BoundaryGeom::PointDist {
-                center: centers[i].1,
-                r,
-            },
-        }
+    render_distance(pipe, vp, &prims, &gs, &sources, &radii, |i| BoundaryEntry {
+        object: centers[i].0,
+        geom: BoundaryGeom::PointDist {
+            center: centers[i].1,
+            r,
+        },
     })
 }
 
@@ -406,9 +403,7 @@ fn record_distance_coverage(layer: &mut CanvasLayer, vp: &Viewport, workers: usi
                     BoundaryGeom::PointDist { center, r } => {
                         spade_geometry::BBox::new(*center, *center).inflate(r + hd)
                     }
-                    BoundaryGeom::SegmentDist { seg, r } => {
-                        seg.bbox().inflate(r + hd)
-                    }
+                    BoundaryGeom::SegmentDist { seg, r } => seg.bbox().inflate(r + hd),
                     BoundaryGeom::Triangle(t) => t.bbox().inflate(hd),
                     BoundaryGeom::Segment(s) => s.bbox().inflate(hd),
                     BoundaryGeom::Point(p) => spade_geometry::BBox::new(*p, *p).inflate(hd),
@@ -425,9 +420,7 @@ fn record_distance_coverage(layer: &mut CanvasLayer, vp: &Viewport, workers: usi
                         // Could any point of this pixel satisfy the entry?
                         let center = vp.pixel_center(x, y);
                         let possible = match &e.geom {
-                            BoundaryGeom::PointDist { center: c, r } => {
-                                center.dist(*c) <= r + hd
-                            }
+                            BoundaryGeom::PointDist { center: c, r } => center.dist(*c) <= r + hd,
                             BoundaryGeom::SegmentDist { seg, r } => {
                                 point_segment_distance(center, *seg) <= r + hd
                             }

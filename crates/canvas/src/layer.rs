@@ -90,10 +90,8 @@ pub fn build_layer_index(
 
         // Pass 2: blend + mask — an object is intact iff every pixel it
         // covers still carries its id.
-        let intact: Vec<bool> = spade_gpu::pool::parallel_tasks(
-            remaining.len(),
-            pipe.workers(),
-            |i| {
+        let intact: Vec<bool> =
+            spade_gpu::pool::parallel_tasks(remaining.len(), pipe.workers(), |i| {
                 let p = remaining[i];
                 let mut ok = true;
                 for prim in coverage_prims(&[p]) {
@@ -107,8 +105,7 @@ pub fn build_layer_index(
                     });
                 }
                 ok
-            },
-        );
+            });
 
         let mut layer = Vec::new();
         let mut next = Vec::with_capacity(remaining.len());
@@ -203,9 +200,13 @@ mod tests {
         let mut polys = Vec::new();
         let mut s = 7u64;
         for _ in 0..30 {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let x = ((s >> 33) % 80) as f64;
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let y = ((s >> 33) % 80) as f64;
             polys.push(rect(x, y, x + 15.0, y + 15.0));
         }
@@ -240,7 +241,7 @@ mod tests {
             }
         }
         assert_eq!(seen.len(), 3);
-        assert_eq!(idx.layer_of(0).is_some(), true);
+        assert!(idx.layer_of(0).is_some());
         assert_eq!(idx.layer_of(99), None);
     }
 

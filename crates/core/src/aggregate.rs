@@ -32,11 +32,8 @@ pub fn aggregate_points(spade: &Spade, polys: &Dataset, points: &Dataset) -> Que
     let polygon_time = t0.elapsed();
     let pts = points.as_points();
 
-    let mut totals: std::collections::BTreeMap<u32, u64> = polys
-        .objects
-        .iter()
-        .map(|(id, _)| (*id, 0u64))
-        .collect();
+    let mut totals: std::collections::BTreeMap<u32, u64> =
+        polys.objects.iter().map(|(id, _)| (*id, 0u64)).collect();
 
     for layer in 0..set.layers.len() {
         let layer_polys = set.layer_polygons(layer);
@@ -111,11 +108,7 @@ pub fn aggregate_points(spade: &Spade, polys: &Dataset, points: &Dataset) -> Que
 
 /// The generic plan (§5.2, plan 1): join, then geometric transform each
 /// result pair to a unique slot and count with an additive multiway blend.
-pub fn aggregate_via_join(
-    spade: &Spade,
-    polys: &Dataset,
-    points: &Dataset,
-) -> QueryOutput<Counts> {
+pub fn aggregate_via_join(spade: &Spade, polys: &Dataset, points: &Dataset) -> QueryOutput<Counts> {
     let measure = spade.begin();
     let join_out = crate::join::join(spade, polys, points);
 
@@ -205,12 +198,7 @@ pub fn aggregate_indexed(
             ),
             polygons: hulls2,
         };
-        crate::join::join_polygon_polygon_mem_res(
-            spade,
-            &s1,
-            &s2,
-            spade.config.filter_resolution,
-        )
+        crate::join::join_polygon_polygon_mem_res(spade, &s1, &s2, spade.config.filter_resolution)
     };
     let mut ordered = filter_pairs;
     crate::optimizer::order_cell_pairs(&mut ordered);
@@ -298,9 +286,13 @@ mod tests {
         let mut s = seed;
         (0..n)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let x = ((s >> 33) % 1_000_000) as f64 / 1_000_000.0 * extent;
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let y = ((s >> 33) % 1_000_000) as f64 / 1_000_000.0 * extent;
                 Point::new(x, y)
             })
@@ -379,16 +371,9 @@ mod tests {
 
         let g1 = spade_index::GridIndex::build(None, &d_polys.objects, 40.0).unwrap();
         let g2 = spade_index::GridIndex::build(None, &d_pts.objects, 40.0).unwrap();
-        let i1 = crate::dataset::IndexedDataset::new(
-            "n",
-            crate::dataset::DatasetKind::Polygons,
-            g1,
-        );
-        let i2 = crate::dataset::IndexedDataset::new(
-            "p",
-            crate::dataset::DatasetKind::Points,
-            g2,
-        );
+        let i1 =
+            crate::dataset::IndexedDataset::new("n", crate::dataset::DatasetKind::Polygons, g1);
+        let i2 = crate::dataset::IndexedDataset::new("p", crate::dataset::DatasetKind::Points, g2);
         let ooc = aggregate_indexed(&s, &i1, &i2);
         assert_eq!(ooc.result, mem.result);
     }

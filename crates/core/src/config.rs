@@ -33,6 +33,16 @@ pub struct EngineConfig {
     /// Grid cells should serialize under this many bytes (the "≤ 2 GB per
     /// cell" rule of §6.1, scaled).
     pub max_cell_bytes: u64,
+    /// Out-of-core pipelining: how many upcoming grid cells the background
+    /// I/O thread may read and decode ahead of the refinement stage.
+    /// `0` disables the prefetch thread (fully synchronous loads); results
+    /// and load counts are identical at any depth — only overlap changes.
+    pub prefetch_depth: usize,
+    /// Byte budget of the host-side decoded-cell LRU cache each
+    /// [`crate::dataset::IndexedDataset`] keeps, so optimizer orderings
+    /// that revisit cells reuse loaded data instead of re-hitting disk.
+    /// Sized relative to device memory by default; `0` disables caching.
+    pub cell_cache_bytes: u64,
 }
 
 impl Default for EngineConfig {
@@ -49,6 +59,8 @@ impl Default for EngineConfig {
             filter_resolution: 256,
             distance_resolution: 512,
             max_cell_bytes: 16 << 20,
+            prefetch_depth: 2,
+            cell_cache_bytes: 32 << 20, // half the scaled device memory
         }
     }
 }
@@ -64,6 +76,7 @@ impl EngineConfig {
             filter_resolution: 128,
             distance_resolution: 256,
             knn_circles: 32,
+            cell_cache_bytes: 4 << 20,
             ..Default::default()
         }
     }
@@ -88,6 +101,15 @@ mod tests {
         assert!(c.knn_alpha > 1.0);
         assert!(c.device_memory > c.max_cell_bytes);
         assert!(c.effective_workers() >= 1);
+    }
+
+    #[test]
+    fn ooc_knobs_default_on() {
+        let c = EngineConfig::default();
+        assert!(c.prefetch_depth > 0);
+        assert!(c.cell_cache_bytes > 0 && c.cell_cache_bytes <= c.device_memory);
+        let t = EngineConfig::test_small();
+        assert!(t.cell_cache_bytes <= t.device_memory);
     }
 
     #[test]

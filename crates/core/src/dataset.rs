@@ -4,6 +4,8 @@ use spade_canvas::create::PreparedPolygon;
 use spade_canvas::LayerIndex;
 use spade_geometry::{BBox, Geometry, LineString, Point, Polygon};
 use spade_index::GridIndex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
 
 /// The primitive class of a data set (mixed sets are supported through
 /// [`Geometry`], but the engine's planners specialize on the common
@@ -120,11 +122,16 @@ impl Dataset {
 }
 
 /// An out-of-core data set: a clustered grid index over disk blocks, plus
-/// the metadata the planner needs.
+/// the metadata the planner needs and a host-side decoded-cell cache.
 pub struct IndexedDataset {
     pub name: String,
     pub kind: DatasetKind,
     pub grid: GridIndex,
+    /// Decoded-cell LRU cache. Host-side by design: cached cells still pay
+    /// the modeled host→device transfer on every use (so device-balance
+    /// and `bytes_to_device ≥ bytes_from_disk` invariants hold), but skip
+    /// the disk read and decode.
+    pub cache: CellCache,
 }
 
 impl IndexedDataset {
@@ -133,10 +140,11 @@ impl IndexedDataset {
             name: name.into(),
             kind,
             grid,
+            cache: CellCache::new(),
         }
     }
 
-    /// Load one cell as an in-memory [`Dataset`].
+    /// Load one cell as an in-memory [`Dataset`], bypassing the cache.
     pub fn load_cell(&self, idx: usize) -> spade_storage::Result<Dataset> {
         let objects = self.grid.load_cell(idx)?;
         Ok(Dataset::from_objects(
@@ -144,6 +152,120 @@ impl IndexedDataset {
             self.kind,
             objects,
         ))
+    }
+
+    /// Load one cell through the LRU cache under `budget` bytes. Returns
+    /// the decoded cell and whether it was served from cache.
+    pub fn load_cell_cached(
+        &self,
+        idx: usize,
+        budget: u64,
+    ) -> spade_storage::Result<(Arc<Dataset>, bool)> {
+        if budget == 0 {
+            return Ok((Arc::new(self.load_cell(idx)?), false));
+        }
+        if let Some(hit) = self.cache.get(idx) {
+            return Ok((hit, true));
+        }
+        let data = Arc::new(self.load_cell(idx)?);
+        let bytes = self.grid.cells()[idx].bytes;
+        self.cache.insert(idx, Arc::clone(&data), bytes, budget);
+        Ok((data, false))
+    }
+}
+
+/// A byte-budgeted LRU cache of decoded cells, keyed by cell index.
+///
+/// Charged at each cell's *encoded block size* (the same figure the I/O
+/// accounting uses), evicting least-recently-used entries once the budget
+/// set by [`crate::config::EngineConfig::cell_cache_bytes`] is exceeded.
+/// Deterministic: identical access sequences produce identical hit/miss
+/// patterns regardless of thread count or prefetch depth.
+#[derive(Default)]
+pub struct CellCache {
+    inner: Mutex<CacheInner>,
+}
+
+#[derive(Default)]
+struct CacheInner {
+    map: HashMap<usize, (Arc<Dataset>, u64)>,
+    /// LRU order, least recent first.
+    order: VecDeque<usize>,
+    bytes: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl CellCache {
+    pub fn new() -> Self {
+        CellCache::default()
+    }
+
+    /// Look up a cell, refreshing its LRU position on hit.
+    pub fn get(&self, idx: usize) -> Option<Arc<Dataset>> {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some((data, _)) = inner.map.get(&idx) {
+            let data = Arc::clone(data);
+            inner.order.retain(|&i| i != idx);
+            inner.order.push_back(idx);
+            inner.hits += 1;
+            Some(data)
+        } else {
+            inner.misses += 1;
+            None
+        }
+    }
+
+    /// Insert a decoded cell charged at `bytes`, evicting LRU entries to
+    /// stay within `budget`. Cells larger than the whole budget are not
+    /// cached at all.
+    pub fn insert(&self, idx: usize, data: Arc<Dataset>, bytes: u64, budget: u64) {
+        if bytes > budget {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        if inner.map.contains_key(&idx) {
+            return;
+        }
+        while inner.bytes + bytes > budget {
+            let Some(victim) = inner.order.pop_front() else {
+                break;
+            };
+            if let Some((_, b)) = inner.map.remove(&victim) {
+                inner.bytes -= b;
+            }
+        }
+        inner.map.insert(idx, (data, bytes));
+        inner.order.push_back(idx);
+        inner.bytes += bytes;
+    }
+
+    /// Number of cached cells.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes currently charged to the cache.
+    pub fn bytes(&self) -> u64 {
+        self.inner.lock().unwrap().bytes
+    }
+
+    /// Lifetime (hits, misses) counters.
+    pub fn counters(&self) -> (u64, u64) {
+        let inner = self.inner.lock().unwrap();
+        (inner.hits, inner.misses)
+    }
+
+    /// Drop every cached cell (counters survive).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.map.clear();
+        inner.order.clear();
+        inner.bytes = 0;
     }
 }
 
@@ -155,11 +277,7 @@ pub struct PreparedPolygonSet {
 }
 
 impl PreparedPolygonSet {
-    pub fn prepare(
-        pipe: &spade_gpu::Pipeline,
-        dataset: &Dataset,
-        layer_resolution: u32,
-    ) -> Self {
+    pub fn prepare(pipe: &spade_gpu::Pipeline, dataset: &Dataset, layer_resolution: u32) -> Self {
         let polygons = dataset.prepare_polygons();
         let layers = spade_canvas::layer::build_layer_index(pipe, &polygons, layer_resolution);
         PreparedPolygonSet { polygons, layers }
@@ -239,6 +357,46 @@ mod tests {
         assert_eq!(set.layers.len(), 2); // two overlapping rects split
         let l0 = set.layer_polygons(0);
         assert!(!l0.is_empty());
+    }
+
+    #[test]
+    fn cell_cache_lru_eviction() {
+        let cache = CellCache::new();
+        let d = |n: &str| Arc::new(Dataset::from_points(n, vec![Point::ZERO]));
+        cache.insert(0, d("a"), 40, 100);
+        cache.insert(1, d("b"), 40, 100);
+        assert_eq!(cache.len(), 2);
+        // Touch 0 so 1 becomes LRU, then overflow.
+        assert!(cache.get(0).is_some());
+        cache.insert(2, d("c"), 40, 100);
+        assert!(cache.get(1).is_none(), "LRU entry should have been evicted");
+        assert!(cache.get(0).is_some() && cache.get(2).is_some());
+        assert!(cache.bytes() <= 100);
+        // Oversized entries are not cached.
+        cache.insert(9, d("big"), 1000, 100);
+        assert!(cache.get(9).is_none());
+        let (hits, misses) = cache.counters();
+        assert!(hits >= 3 && misses >= 2);
+    }
+
+    #[test]
+    fn load_cell_cached_hits_on_reuse() {
+        let pts: Vec<Point> = (0..50)
+            .map(|i| Point::new((i % 10) as f64, (i / 10) as f64))
+            .collect();
+        let d = Dataset::from_points("p", pts);
+        let grid = GridIndex::build(None, &d.objects, 5.0).unwrap();
+        let idx = IndexedDataset::new("p", DatasetKind::Points, grid);
+        let (first, hit) = idx.load_cell_cached(0, 1 << 20).unwrap();
+        assert!(!hit);
+        let (second, hit) = idx.load_cell_cached(0, 1 << 20).unwrap();
+        assert!(hit);
+        assert_eq!(first.len(), second.len());
+        // Budget 0 disables caching entirely.
+        let (_, hit) = idx.load_cell_cached(1, 0).unwrap();
+        assert!(!hit);
+        let (_, hit) = idx.load_cell_cached(1, 0).unwrap();
+        assert!(!hit);
     }
 
     #[test]

@@ -63,10 +63,8 @@ fn build_distance_constraint(
 ) -> Constraint {
     let region = constraint.bbox().inflate(r);
     let pad = (region.width().max(region.height()) * 1e-6).max(1e-9);
-    let vp = spade_gpu::Viewport::square_pixels(
-        region.inflate(pad),
-        spade.config.distance_resolution,
-    );
+    let vp =
+        spade_gpu::Viewport::square_pixels(region.inflate(pad), spade.config.distance_resolution);
     match constraint {
         DistanceConstraint::Point(p) => {
             let layer = dcanvas::distance_canvas_points(&spade.pipeline, vp, &[(0, *p)], r);
@@ -113,12 +111,9 @@ pub fn distance_select_indexed(
     data: &crate::dataset::IndexedDataset,
     constraint: &DistanceConstraint,
     r: f64,
-) -> QueryOutput<Vec<u32>> {
+) -> spade_storage::Result<QueryOutput<Vec<u32>>> {
     let measure = spade.begin();
     let mut polygon_time = Duration::ZERO;
-    let mut disk_time = Duration::ZERO;
-    let mut disk_bytes = 0u64;
-    let mut cells_loaded = 0u64;
 
     let c = build_distance_constraint(spade, constraint, r, &mut polygon_time);
     let _ = spade.device.upload(c.byte_size());
@@ -134,28 +129,40 @@ pub fn distance_select_indexed(
     polygon_time += t0.elapsed();
     let candidates = crate::select::select_polygons_mem(spade, &hulls, &c);
 
+    // Refinement, pipelined through the prefetcher + cell cache.
+    let sequence: Vec<(usize, usize)> = candidates.iter().map(|&i| (0, i as usize)).collect();
     let mut ids = Vec::new();
-    for cell_idx in candidates {
-        let cell = &data.grid.cells()[cell_idx as usize];
-        let t0 = Instant::now();
-        let cell_data = data.load_cell(cell_idx as usize).expect("cell load");
-        disk_time += t0.elapsed();
-        disk_bytes += cell.bytes;
-        cells_loaded += 1;
-        let _ = spade.device.upload(cell.bytes);
-        ids.extend(crate::select::select_points_mem(
-            spade,
-            &cell_data.as_points(),
-            &c,
-        ));
-        spade.device.free(cell.bytes);
-    }
+    let stream_res = crate::prefetch::stream_cells(
+        spade.config.prefetch_depth,
+        spade.config.cell_cache_bytes,
+        &[data],
+        &sequence,
+        |cell| {
+            let _ = spade.device.upload(cell.bytes);
+            ids.extend(crate::select::select_points_mem(
+                spade,
+                &cell.data.as_points(),
+                &c,
+            ));
+            spade.device.free(cell.bytes);
+            Ok(())
+        },
+    );
     spade.device.free(c.byte_size());
+    let stream = stream_res?;
     ids.sort_unstable();
     ids.dedup();
     let n = ids.len() as u64;
-    let stats = measure.finish(spade, disk_time, disk_bytes, polygon_time, cells_loaded, n);
-    QueryOutput { result: ids, stats }
+    let mut stats = measure.finish(
+        spade,
+        stream.io_time,
+        stream.bytes_from_disk,
+        polygon_time,
+        stream.cells,
+        n,
+    );
+    stream.charge(&mut stats);
+    Ok(QueryOutput { result: ids, stats })
 }
 
 /// Pack disks into layers so no two disks in a layer overlap — the
@@ -207,12 +214,7 @@ pub fn disk_layers(disks: &[(Point, f64)]) -> Vec<Vec<usize>> {
 /// `distance(x, y) ≤ r`, both sides point sets. Constraint canvases are
 /// created from `d1` (the paper uses the smaller side; callers pass it
 /// first).
-pub fn distance_join(
-    spade: &Spade,
-    d1: &Dataset,
-    d2: &Dataset,
-    r: f64,
-) -> QueryOutput<Pairs> {
+pub fn distance_join(spade: &Spade, d1: &Dataset, d2: &Dataset, r: f64) -> QueryOutput<Pairs> {
     let constraints: Vec<(u32, Point, f64)> = d1
         .as_points()
         .into_iter()
@@ -277,9 +279,13 @@ mod tests {
         let mut s = seed;
         (0..n)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let x = ((s >> 33) % 1_000_000) as f64 / 1_000_000.0 * extent;
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let y = ((s >> 33) % 1_000_000) as f64 / 1_000_000.0 * extent;
                 Point::new(x, y)
             })
@@ -421,16 +427,13 @@ mod tests {
         let pts = scatter(1200, 100.0, 91);
         let data = Dataset::from_points("p", pts);
         let grid = spade_index::GridIndex::build(None, &data.objects, 30.0).unwrap();
-        let indexed = crate::dataset::IndexedDataset::new(
-            "p",
-            crate::dataset::DatasetKind::Points,
-            grid,
-        );
+        let indexed =
+            crate::dataset::IndexedDataset::new("p", crate::dataset::DatasetKind::Points, grid);
         let q = DistanceConstraint::Point(Point::new(42.0, 58.0));
         for r in [5.0, 15.0, 40.0] {
             let mut mem = distance_select(&s, &data, &q, r).result;
             mem.sort_unstable();
-            let ooc = distance_select_indexed(&s, &indexed, &q, r);
+            let ooc = distance_select_indexed(&s, &indexed, &q, r).unwrap();
             assert_eq!(ooc.result, mem, "r={r}");
             // Small radii must prune cells.
             if r <= 5.0 {

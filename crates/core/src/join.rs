@@ -151,7 +151,12 @@ pub fn join_polygon_line_mem(
             continue;
         }
         let constraint = Constraint::from_polygons(spade, &layer_polys);
-        pairs.extend(scan_candidates_for_pairs(spade, &constraint, &prims, &geoms));
+        pairs.extend(scan_candidates_for_pairs(
+            spade,
+            &constraint,
+            &prims,
+            &geoms,
+        ));
     }
     pairs.sort_unstable();
     pairs.dedup();
@@ -168,10 +173,15 @@ fn scan_candidates_for_pairs(
     // this chunk is skipped without repeating the exact test.
     let result = algebra::map_emit_stateful(
         &spade.pipeline,
-        &prims,
+        prims,
         constraint.viewport,
         true,
-        || (Vec::<u32>::new(), std::collections::HashSet::<(u32, u32)>::new()),
+        || {
+            (
+                Vec::<u32>::new(),
+                std::collections::HashSet::<(u32, u32)>::new(),
+            )
+        },
         |(scratch, seen), frag, out| {
             let px = (frag.x, frag.y);
             match &geoms[frag.attrs[1] as usize] {
@@ -197,15 +207,14 @@ pub fn join(spade: &Spade, d1: &Dataset, d2: &Dataset) -> QueryOutput<Pairs> {
     let t0 = Instant::now();
     let (pairs, polygon_time) = match (d1.kind, d2.kind) {
         (DatasetKind::Polygons, DatasetKind::Points) => {
-            let set = PreparedPolygonSet::prepare(&spade.pipeline, d1, spade.config.layer_resolution);
+            let set =
+                PreparedPolygonSet::prepare(&spade.pipeline, d1, spade.config.layer_resolution);
             let prep = t0.elapsed();
-            (
-                join_polygon_point_mem(spade, &set, &d2.as_points()),
-                prep,
-            )
+            (join_polygon_point_mem(spade, &set, &d2.as_points()), prep)
         }
         (DatasetKind::Points, DatasetKind::Polygons) => {
-            let set = PreparedPolygonSet::prepare(&spade.pipeline, d2, spade.config.layer_resolution);
+            let set =
+                PreparedPolygonSet::prepare(&spade.pipeline, d2, spade.config.layer_resolution);
             let prep = t0.elapsed();
             let mut pairs = join_polygon_point_mem(spade, &set, &d1.as_points());
             for p in &mut pairs {
@@ -215,18 +224,22 @@ pub fn join(spade: &Spade, d1: &Dataset, d2: &Dataset) -> QueryOutput<Pairs> {
             (pairs, prep)
         }
         (DatasetKind::Polygons, DatasetKind::Polygons) => {
-            let s1 = PreparedPolygonSet::prepare(&spade.pipeline, d1, spade.config.layer_resolution);
-            let s2 = PreparedPolygonSet::prepare(&spade.pipeline, d2, spade.config.layer_resolution);
+            let s1 =
+                PreparedPolygonSet::prepare(&spade.pipeline, d1, spade.config.layer_resolution);
+            let s2 =
+                PreparedPolygonSet::prepare(&spade.pipeline, d2, spade.config.layer_resolution);
             let prep = t0.elapsed();
             (join_polygon_polygon_mem(spade, &s1, &s2), prep)
         }
         (DatasetKind::Polygons, DatasetKind::Lines) => {
-            let set = PreparedPolygonSet::prepare(&spade.pipeline, d1, spade.config.layer_resolution);
+            let set =
+                PreparedPolygonSet::prepare(&spade.pipeline, d1, spade.config.layer_resolution);
             let prep = t0.elapsed();
             (join_polygon_line_mem(spade, &set, &lines_of(d2)), prep)
         }
         (DatasetKind::Lines, DatasetKind::Polygons) => {
-            let set = PreparedPolygonSet::prepare(&spade.pipeline, d2, spade.config.layer_resolution);
+            let set =
+                PreparedPolygonSet::prepare(&spade.pipeline, d2, spade.config.layer_resolution);
             let prep = t0.elapsed();
             let mut pairs = join_polygon_line_mem(spade, &set, &lines_of(d1));
             for p in &mut pairs {
@@ -252,11 +265,8 @@ pub fn join_indexed(
     spade: &Spade,
     d1: &IndexedDataset,
     d2: &IndexedDataset,
-) -> QueryOutput<Pairs> {
+) -> spade_storage::Result<QueryOutput<Pairs>> {
     let measure = spade.begin();
-    let mut disk_time = Duration::ZERO;
-    let mut disk_bytes = 0u64;
-    let mut cells_loaded = 0u64;
     let mut polygon_time = Duration::ZERO;
 
     // Filter phase: Polygon ⋈ Polygon join over the bounding polygons of
@@ -308,69 +318,104 @@ pub fn join_indexed(
         }
         m.into_values().collect()
     };
-    let naive_est = optimizer::estimate_naive_bytes(&per_object, &right_bytes)
-        + left_bytes.iter().sum::<u64>();
+    let naive_est =
+        optimizer::estimate_naive_bytes(&per_object, &right_bytes) + left_bytes.iter().sum::<u64>();
     let strategy = optimizer::choose_join_strategy(layer_est, naive_est);
 
     // Identify the order of join operations: share resident cells.
     optimizer::order_cell_pairs(&mut cell_pairs);
 
+    // Precompute the exact load sequence the single-cell-residency walk
+    // below will need: one entry per residency change, in pair order. The
+    // prefetcher can then read ahead while the current pair refines, and
+    // the consumer replays the identical residency logic in lockstep.
+    let mut sequence: Vec<(usize, usize)> = Vec::new();
+    {
+        let (mut r1, mut r2) = (None, None);
+        for &(c1, c2) in &cell_pairs {
+            if r1 != Some(c1) {
+                sequence.push((0, c1 as usize));
+                r1 = Some(c1);
+            }
+            if r2 != Some(c2) {
+                sequence.push((1, c2 as usize));
+                r2 = Some(c2);
+            }
+        }
+    }
+
     // Refinement with single-cell residency per side. A resident cell
     // carries its *prepared* form (points list, or triangulated polygons
     // plus layer index), so preparation is shared across the consecutive
-    // cell pairs the join order puts together.
+    // cell pairs the join order puts together. A pair refines as soon as
+    // both its cells are resident; the shared cache means a cell revisited
+    // by a later residency change skips the disk.
     let mut pairs = Vec::new();
     let mut resident1: Option<(u32, Resident)> = None;
     let mut resident2: Option<(u32, Resident)> = None;
-    for (c1, c2) in cell_pairs {
-        if resident1.as_ref().map(|(i, _)| *i) != Some(c1) {
-            if let Some((i, _)) = resident1.take() {
-                spade.device.free(d1.grid.cells()[i as usize].bytes);
+    let mut pair_idx = 0usize;
+    let stream_res = crate::prefetch::stream_cells(
+        spade.config.prefetch_depth,
+        spade.config.cell_cache_bytes,
+        &[d1, d2],
+        &sequence,
+        |cell| {
+            let (source, resident) = if cell.source == 0 {
+                (d1, &mut resident1)
+            } else {
+                (d2, &mut resident2)
+            };
+            if let Some((i, _)) = resident.take() {
+                spade.device.free(source.grid.cells()[i as usize].bytes);
             }
-            let t0 = Instant::now();
-            let data = d1.load_cell(c1 as usize).expect("cell load");
-            disk_time += t0.elapsed();
-            disk_bytes += d1.grid.cells()[c1 as usize].bytes;
-            cells_loaded += 1;
-            let _ = spade.device.upload(d1.grid.cells()[c1 as usize].bytes);
-            resident1 = Some((c1, Resident::prepare(spade, data, &mut polygon_time)));
-        }
-        if resident2.as_ref().map(|(i, _)| *i) != Some(c2) {
-            if let Some((i, _)) = resident2.take() {
-                spade.device.free(d2.grid.cells()[i as usize].bytes);
+            let _ = spade.device.upload(cell.bytes);
+            *resident = Some((
+                cell.cell as u32,
+                Resident::prepare(spade, (*cell.data).clone(), &mut polygon_time),
+            ));
+            // Refine every pair now satisfied by the resident cells.
+            while pair_idx < cell_pairs.len() {
+                let (c1, c2) = cell_pairs[pair_idx];
+                let (Some((i1, left)), Some((i2, right))) = (&resident1, &resident2) else {
+                    break;
+                };
+                if *i1 != c1 || *i2 != c2 {
+                    break;
+                }
+                pairs.extend(match strategy {
+                    JoinStrategy::LayerIndex => join_cells_layered(spade, left, right),
+                    JoinStrategy::NaiveSelects => join_cells_naive(spade, left, right),
+                });
+                pair_idx += 1;
             }
-            let t0 = Instant::now();
-            let data = d2.load_cell(c2 as usize).expect("cell load");
-            disk_time += t0.elapsed();
-            disk_bytes += d2.grid.cells()[c2 as usize].bytes;
-            cells_loaded += 1;
-            let _ = spade.device.upload(d2.grid.cells()[c2 as usize].bytes);
-            resident2 = Some((c2, Resident::prepare(spade, data, &mut polygon_time)));
-        }
-        let left = &resident1.as_ref().expect("resident left").1;
-        let right = &resident2.as_ref().expect("resident right").1;
-
-        let cell_pairs = match strategy {
-            JoinStrategy::LayerIndex => join_cells_layered(spade, left, right),
-            JoinStrategy::NaiveSelects => join_cells_naive(spade, left, right),
-        };
-        pairs.extend(cell_pairs);
-    }
+            Ok(())
+        },
+    );
     if let Some((i, _)) = resident1 {
         spade.device.free(d1.grid.cells()[i as usize].bytes);
     }
     if let Some((i, _)) = resident2 {
         spade.device.free(d2.grid.cells()[i as usize].bytes);
     }
+    let stream = stream_res?;
+    debug_assert_eq!(pair_idx, cell_pairs.len(), "all cell pairs refined");
     pairs.sort_unstable();
     pairs.dedup();
 
     let n = pairs.len() as u64;
-    let stats = measure.finish(spade, disk_time, disk_bytes, polygon_time, cells_loaded, n);
-    QueryOutput {
+    let mut stats = measure.finish(
+        spade,
+        stream.io_time,
+        stream.bytes_from_disk,
+        polygon_time,
+        stream.cells,
+        n,
+    );
+    stream.charge(&mut stats);
+    Ok(QueryOutput {
         result: pairs,
         stats,
-    }
+    })
 }
 
 fn lines_of(d: &Dataset) -> Vec<(u32, &spade_geometry::LineString)> {
@@ -421,9 +466,7 @@ impl Resident {
 fn join_cells_layered(spade: &Spade, left: &Resident, right: &Resident) -> Pairs {
     let flip = |pairs: Pairs| -> Pairs { pairs.into_iter().map(|(a, b)| (b, a)).collect() };
     match (left, right) {
-        (Resident::Polys(set), Resident::Points(pts)) => {
-            join_polygon_point_mem(spade, set, pts)
-        }
+        (Resident::Polys(set), Resident::Points(pts)) => join_polygon_point_mem(spade, set, pts),
         (Resident::Points(pts), Resident::Polys(set)) => {
             flip(join_polygon_point_mem(spade, set, pts))
         }
@@ -468,8 +511,7 @@ fn join_cells_naive(spade: &Spade, left: &Resident, right: &Resident) -> Pairs {
                 let refs: Vec<(u32, &spade_geometry::LineString)> =
                     lines.iter().map(|(id, l)| (*id, l)).collect();
                 let (prims, geoms) = crate::select::line_candidates(&refs);
-                for (_, pid) in scan_candidates_for_pairs(spade, &constraint, &prims, &geoms)
-                {
+                for (_, pid) in scan_candidates_for_pairs(spade, &constraint, &prims, &geoms) {
                     pairs.push((poly.id, pid));
                 }
             }
@@ -494,9 +536,13 @@ mod tests {
         let mut s = seed;
         (0..n)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let x = ((s >> 33) % 1_000_000) as f64 / 1_000_000.0 * extent;
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let y = ((s >> 33) % 1_000_000) as f64 / 1_000_000.0 * extent;
                 Point::new(x, y)
             })
@@ -605,7 +651,7 @@ mod tests {
         let g2 = GridIndex::build(None, &d2m.objects, 40.0).unwrap();
         let i1 = IndexedDataset::new("polys", DatasetKind::Polygons, g1);
         let i2 = IndexedDataset::new("pts", DatasetKind::Points, g2);
-        let ooc = join_indexed(&s, &i1, &i2);
+        let ooc = join_indexed(&s, &i1, &i2).unwrap();
         assert_eq!(ooc.result, mem.result);
         assert!(ooc.stats.cells_loaded > 0);
         assert!(ooc.stats.bytes_from_disk > 0);
@@ -631,7 +677,7 @@ mod tests {
         let g2 = GridIndex::build(None, &d2m.objects, 50.0).unwrap();
         let i1 = IndexedDataset::new("a", DatasetKind::Polygons, g1);
         let i2 = IndexedDataset::new("b", DatasetKind::Polygons, g2);
-        let ooc = join_indexed(&s, &i1, &i2);
+        let ooc = join_indexed(&s, &i1, &i2).unwrap();
         assert_eq!(ooc.result, mem.result);
     }
 
@@ -664,9 +710,10 @@ mod tests {
         let mut oracle = Vec::new();
         for (i, poly) in polys.iter().enumerate() {
             for (j, line) in lines.iter().enumerate() {
-                if line.segments().any(|seg| {
-                    spade_geometry::predicates::segment_intersects_polygon(seg, poly)
-                }) {
+                if line
+                    .segments()
+                    .any(|seg| spade_geometry::predicates::segment_intersects_polygon(seg, poly))
+                {
                     oracle.push((i as u32, j as u32));
                 }
             }
@@ -700,7 +747,7 @@ mod tests {
         let g2 = GridIndex::build(None, &d2.objects, 40.0).unwrap();
         let i1 = IndexedDataset::new("polys", DatasetKind::Polygons, g1);
         let i2 = IndexedDataset::new("lines", DatasetKind::Lines, g2);
-        let ooc = join_indexed(&s, &i1, &i2);
+        let ooc = join_indexed(&s, &i1, &i2).unwrap();
         assert_eq!(ooc.result, mem.result);
     }
 
@@ -708,7 +755,10 @@ mod tests {
     fn touching_polygons_join() {
         // Adjacent tiles sharing an edge must join (boundary inclusive).
         let s = engine();
-        let a = vec![Polygon::rect(BBox::new(Point::ZERO, Point::new(10.0, 10.0)))];
+        let a = vec![Polygon::rect(BBox::new(
+            Point::ZERO,
+            Point::new(10.0, 10.0),
+        ))];
         let b = vec![Polygon::rect(BBox::new(
             Point::new(10.0, 0.0),
             Point::new(20.0, 10.0),

@@ -125,8 +125,7 @@ fn emit_buckets(
         let bucket = if d <= 0.0 {
             circles - 1
         } else {
-            (((r_max / d).ln() / alpha.ln()).floor() as i64)
-                .clamp(0, circles as i64 - 1) as usize
+            (((r_max / d).ln() / alpha.ln()).floor() as i64).clamp(0, circles as i64 - 1) as usize
         };
         out.push([bucket as u32, 0, 0, 0]);
     });
@@ -142,14 +141,14 @@ pub fn knn_select_indexed(
     data: &crate::dataset::IndexedDataset,
     q: Point,
     k: usize,
-) -> QueryOutput<Vec<(u32, f64)>> {
+) -> spade_storage::Result<QueryOutput<Vec<(u32, f64)>>> {
     let measure = spade.begin();
     if k == 0 || data.grid.num_objects() == 0 {
         let stats = measure.finish(spade, Duration::ZERO, 0, Duration::ZERO, 0, 0);
-        return QueryOutput {
+        return Ok(QueryOutput {
             result: Vec::new(),
             stats,
-        };
+        });
     }
     let mut extent = spade_geometry::BBox::empty();
     for cell in data.grid.cells() {
@@ -161,33 +160,33 @@ pub fn knn_select_indexed(
     let region = spade_geometry::BBox::new(q, q).inflate(r_max);
     let vp = spade.viewport_for(&region);
 
-    // Per-cell histogram accumulation (one streaming pass over the data).
-    let mut disk_time = Duration::ZERO;
-    let mut disk_bytes = 0u64;
+    // Per-cell histogram accumulation: one pipelined pass over every cell.
+    // The pass also warms the cell cache, so the distance selection below
+    // re-reads its candidate cells from memory instead of disk.
+    let sequence: Vec<(usize, usize)> = (0..data.grid.num_cells()).map(|i| (0, i)).collect();
     let mut hist = vec![0u64; circles];
-    let mut cells_loaded = 0u64;
     let mut positions: std::collections::HashMap<u32, Point> = std::collections::HashMap::new();
-    for i in 0..data.grid.num_cells() {
-        let t0 = Duration::ZERO;
-        let _ = t0;
-        let t = std::time::Instant::now();
-        let cell = data.load_cell(i).expect("cell load");
-        disk_time += t.elapsed();
-        disk_bytes += data.grid.cells()[i].bytes;
-        cells_loaded += 1;
-        let _ = spade.device.upload(data.grid.cells()[i].bytes);
-        let pts = cell.as_points();
-        let prims: Vec<Primitive> = pts
-            .iter()
-            .enumerate()
-            .map(|(j, (_, p))| Primitive::point(*p, [1, j as u32, 0, 0]))
-            .collect();
-        for b in emit_buckets(spade, &prims, &pts, q, r_max, alpha, circles, vp) {
-            hist[b as usize] += 1;
-        }
-        positions.extend(pts);
-        spade.device.free(data.grid.cells()[i].bytes);
-    }
+    let stream = crate::prefetch::stream_cells(
+        spade.config.prefetch_depth,
+        spade.config.cell_cache_bytes,
+        &[data],
+        &sequence,
+        |cell| {
+            let _ = spade.device.upload(cell.bytes);
+            let pts = cell.data.as_points();
+            let prims: Vec<Primitive> = pts
+                .iter()
+                .enumerate()
+                .map(|(j, (_, p))| Primitive::point(*p, [1, j as u32, 0, 0]))
+                .collect();
+            for b in emit_buckets(spade, &prims, &pts, q, r_max, alpha, circles, vp) {
+                hist[b as usize] += 1;
+            }
+            positions.extend(pts);
+            spade.device.free(cell.bytes);
+            Ok(())
+        },
+    )?;
     let mut cum = 0u64;
     let mut radius = r_max;
     for i in (0..circles).rev() {
@@ -204,7 +203,7 @@ pub fn knn_select_indexed(
         data,
         &crate::distance::DistanceConstraint::Point(q),
         radius,
-    );
+    )?;
     let mut with_dist: Vec<(u32, f64)> = sel
         .result
         .into_iter()
@@ -214,12 +213,25 @@ pub fn knn_select_indexed(
     with_dist.truncate(k);
 
     let n = with_dist.len() as u64;
-    let mut stats = measure.finish(spade, disk_time, disk_bytes, Duration::ZERO, cells_loaded, n);
+    let mut stats = measure.finish(
+        spade,
+        stream.io_time,
+        stream.bytes_from_disk,
+        Duration::ZERO,
+        stream.cells,
+        n,
+    );
+    stream.charge(&mut stats);
     stats.cells_loaded += sel.stats.cells_loaded;
-    QueryOutput {
+    stats.bytes_from_disk += sel.stats.bytes_from_disk;
+    stats.prefetch_hits += sel.stats.prefetch_hits;
+    stats.prefetch_misses += sel.stats.prefetch_misses;
+    stats.cache_hits += sel.stats.cache_hits;
+    stats.io_hidden += sel.stats.io_hidden;
+    Ok(QueryOutput {
         result: with_dist,
         stats,
-    }
+    })
 }
 
 /// kNN join: for each point of `d1`, its `k` nearest neighbours in `d2`.
@@ -288,9 +300,13 @@ mod tests {
         let mut s = seed;
         (0..n)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let x = ((s >> 33) % 1_000_000) as f64 / 1_000_000.0 * extent;
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let y = ((s >> 33) % 1_000_000) as f64 / 1_000_000.0 * extent;
                 Point::new(x, y)
             })
@@ -381,15 +397,12 @@ mod tests {
         let pts = scatter(800, 100.0, 89);
         let data = Dataset::from_points("p", pts.clone());
         let grid = spade_index::GridIndex::build(None, &data.objects, 30.0).unwrap();
-        let indexed = crate::dataset::IndexedDataset::new(
-            "p",
-            crate::dataset::DatasetKind::Points,
-            grid,
-        );
+        let indexed =
+            crate::dataset::IndexedDataset::new("p", crate::dataset::DatasetKind::Points, grid);
         let q = Point::new(37.0, 63.0);
         for k in [1usize, 8, 30] {
             let mem = knn_select(&s, &data, q, k);
-            let ooc = knn_select_indexed(&s, &indexed, q, k);
+            let ooc = knn_select_indexed(&s, &indexed, q, k).unwrap();
             assert_eq!(ooc.result.len(), mem.result.len(), "k={k}");
             for (a, b) in ooc.result.iter().zip(&mem.result) {
                 assert!((a.1 - b.1).abs() < 1e-9, "k={k}: {a:?} vs {b:?}");

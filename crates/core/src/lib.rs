@@ -29,6 +29,10 @@
 //! * [`optimizer`] — the query optimizer (§5.4): Map implementation
 //!   choice, out-of-core join strategy choice by estimated transfer bytes,
 //!   and join-order selection that shares cell loads.
+//! * [`prefetch`] — the pipelined out-of-core executor: a bounded
+//!   background prefetcher that reads and decodes upcoming grid cells
+//!   (through each data set's LRU cell cache) while the current cell
+//!   refines on the device.
 
 pub mod aggregate;
 pub mod config;
@@ -38,6 +42,7 @@ pub mod engine;
 pub mod join;
 pub mod knn;
 pub mod optimizer;
+pub mod prefetch;
 pub mod query;
 pub mod select;
 pub mod stats;

@@ -36,12 +36,7 @@ pub fn choose_map_impl(spade: &Spade, n_max: usize) -> MapImpl {
 /// Execute a Map with the chosen implementation, falling back to 2-pass if
 /// a 1-pass estimate proves wrong (cannot happen for the paper's estimates,
 /// which are upper bounds, but the engine stays robust).
-pub fn run_map(
-    spade: &Spade,
-    prims: &[Primitive],
-    call: &DrawCall<'_>,
-    n_max: usize,
-) -> MapResult {
+pub fn run_map(spade: &Spade, prims: &[Primitive], call: &DrawCall<'_>, n_max: usize) -> MapResult {
     match choose_map_impl(spade, n_max) {
         MapImpl::OnePass => match algebra::map_1pass(&spade.pipeline, prims, call, n_max) {
             Ok(r) => r,
@@ -95,11 +90,7 @@ pub fn order_cell_pairs(pairs: &mut [(u32, u32)]) {
 /// Estimated bytes transferred by the layer-index strategy: each cell pair
 /// moves both blocks, minus what order-sharing saves (a resident cell is
 /// not re-transferred).
-pub fn estimate_layer_bytes(
-    pairs: &[(u32, u32)],
-    left_bytes: &[u64],
-    right_bytes: &[u64],
-) -> u64 {
+pub fn estimate_layer_bytes(pairs: &[(u32, u32)], left_bytes: &[u64], right_bytes: &[u64]) -> u64 {
     let mut ordered: Vec<(u32, u32)> = pairs.to_vec();
     order_cell_pairs(&mut ordered);
     let mut total = 0u64;

@@ -1,0 +1,292 @@
+//! Pipelined out-of-core cell streaming.
+//!
+//! The paper's out-of-core executor (§5.3) walks grid cells one at a time:
+//! read + decode a block, ship it to the device, refine, repeat — so disk
+//! I/O and GPU work never overlap. This module overlaps them: a bounded
+//! background producer thread reads and decodes upcoming cells (through
+//! the per-dataset LRU cell cache) while the caller refines the current
+//! one. The channel depth is [`crate::config::EngineConfig::prefetch_depth`];
+//! depth 0 degrades to the fully synchronous loop.
+//!
+//! Determinism: the caller supplies the complete load *sequence* up front
+//! and cells are delivered strictly in that order, so query results and
+//! `cells_loaded` counts are identical at every prefetch depth and worker
+//! count — only the overlap accounting (`prefetch_hits`, `io_hidden`)
+//! changes with timing.
+//!
+//! The bounded channel is `std::sync::mpsc::sync_channel` inside
+//! `std::thread::scope` (the original crossbeam dependency is unavailable
+//! offline; std scoped threads cover the same need).
+
+use crate::dataset::{Dataset, IndexedDataset};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One cell delivered to the refinement stage.
+pub struct FetchedCell {
+    /// Index into the `sources` slice this cell belongs to.
+    pub source: usize,
+    /// Cell index within the source's grid.
+    pub cell: usize,
+    /// The decoded cell data.
+    pub data: Arc<Dataset>,
+    /// Encoded block size — the device-transfer charge for this cell.
+    pub bytes: u64,
+    /// Whether the bytes came from the LRU cache rather than disk.
+    pub cache_hit: bool,
+}
+
+/// Accounting for one streamed sequence.
+#[derive(Debug, Clone, Default)]
+pub struct StreamStats {
+    /// Producer-side load + decode time (full, including overlapped).
+    pub io_time: Duration,
+    /// Time the consumer actually stalled waiting for a cell.
+    pub recv_wait: Duration,
+    /// `io_time − recv_wait`: I/O hidden behind refinement work.
+    pub io_hidden: Duration,
+    /// Bytes actually read from disk (cache hits excluded).
+    pub bytes_from_disk: u64,
+    /// Cells delivered to the consumer.
+    pub cells: u64,
+    /// Cells already decoded and waiting when the consumer asked.
+    pub prefetch_hits: u64,
+    /// Cells the consumer had to wait for (always the full count when
+    /// prefetching is disabled).
+    pub prefetch_misses: u64,
+    /// Cells served from the LRU cache instead of disk.
+    pub cache_hits: u64,
+}
+
+impl StreamStats {
+    /// Fold this stream's accounting into a query's stats record.
+    pub fn charge(&self, stats: &mut crate::stats::QueryStats) {
+        stats.prefetch_hits += self.prefetch_hits;
+        stats.prefetch_misses += self.prefetch_misses;
+        stats.cache_hits += self.cache_hits;
+        stats.io_hidden += self.io_hidden;
+    }
+}
+
+/// Stream `sequence` — `(source, cell)` pairs — to `consumer`, loading
+/// through each source's cell cache, prefetching up to `depth` cells ahead
+/// on a background I/O thread. Errors from the load path or the consumer
+/// abort the stream and propagate.
+pub fn stream_cells<F>(
+    depth: usize,
+    cache_budget: u64,
+    sources: &[&IndexedDataset],
+    sequence: &[(usize, usize)],
+    mut consumer: F,
+) -> spade_storage::Result<StreamStats>
+where
+    F: FnMut(FetchedCell) -> spade_storage::Result<()>,
+{
+    if sequence.is_empty() {
+        return Ok(StreamStats::default());
+    }
+    if depth == 0 {
+        // Synchronous: every load is a consumer-side stall.
+        let mut stats = StreamStats::default();
+        for &(src, cell) in sequence {
+            let t = Instant::now();
+            let (data, cache_hit) = sources[src].load_cell_cached(cell, cache_budget)?;
+            let io = t.elapsed();
+            stats.io_time += io;
+            stats.recv_wait += io;
+            let bytes = sources[src].grid.cells()[cell].bytes;
+            if cache_hit {
+                stats.cache_hits += 1;
+            } else {
+                stats.bytes_from_disk += bytes;
+            }
+            stats.prefetch_misses += 1;
+            stats.cells += 1;
+            consumer(FetchedCell {
+                source: src,
+                cell,
+                data,
+                bytes,
+                cache_hit,
+            })?;
+        }
+        return Ok(stats);
+    }
+
+    type Produced = (Duration, u64, u64);
+    let mut stats = StreamStats::default();
+    let mut outcome: spade_storage::Result<()> = Ok(());
+    let (io_time, bytes_from_disk, cache_hits): Produced = std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::sync_channel::<spade_storage::Result<FetchedCell>>(depth);
+        let producer = scope.spawn(move || {
+            let mut io_time = Duration::ZERO;
+            let mut bytes_from_disk = 0u64;
+            let mut cache_hits = 0u64;
+            for &(src, cell) in sequence {
+                let t = Instant::now();
+                let loaded = sources[src].load_cell_cached(cell, cache_budget);
+                io_time += t.elapsed();
+                match loaded {
+                    Ok((data, cache_hit)) => {
+                        let bytes = sources[src].grid.cells()[cell].bytes;
+                        if cache_hit {
+                            cache_hits += 1;
+                        } else {
+                            bytes_from_disk += bytes;
+                        }
+                        let cell = FetchedCell {
+                            source: src,
+                            cell,
+                            data,
+                            bytes,
+                            cache_hit,
+                        };
+                        if tx.send(Ok(cell)).is_err() {
+                            break; // consumer bailed out
+                        }
+                    }
+                    Err(e) => {
+                        let _ = tx.send(Err(e));
+                        break;
+                    }
+                }
+            }
+            (io_time, bytes_from_disk, cache_hits)
+        });
+
+        for _ in 0..sequence.len() {
+            // Non-blocking first: a ready cell is a prefetch hit (its I/O
+            // was fully hidden behind the previous refinement).
+            let msg = match rx.try_recv() {
+                Ok(m) => {
+                    stats.prefetch_hits += 1;
+                    m
+                }
+                Err(mpsc::TryRecvError::Empty) => {
+                    let t = Instant::now();
+                    match rx.recv() {
+                        Ok(m) => {
+                            stats.recv_wait += t.elapsed();
+                            stats.prefetch_misses += 1;
+                            m
+                        }
+                        Err(_) => break, // producer gone without a message
+                    }
+                }
+                Err(mpsc::TryRecvError::Disconnected) => break,
+            };
+            match msg {
+                Ok(cell) => {
+                    stats.cells += 1;
+                    if let Err(e) = consumer(cell) {
+                        outcome = Err(e);
+                        break;
+                    }
+                }
+                Err(e) => {
+                    outcome = Err(e);
+                    break;
+                }
+            }
+        }
+        drop(rx); // unblocks a producer parked on a full channel
+        match producer.join() {
+            Ok(v) => v,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    });
+    outcome?;
+    stats.io_time = io_time;
+    stats.bytes_from_disk = bytes_from_disk;
+    stats.cache_hits = cache_hits;
+    stats.io_hidden = io_time.saturating_sub(stats.recv_wait);
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DatasetKind, IndexedDataset};
+    use spade_geometry::Point;
+
+    fn indexed(n: usize, seed: u64) -> IndexedDataset {
+        let pts: Vec<Point> = (0..n)
+            .map(|i| {
+                let k = (i as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(seed);
+                Point::new((k % 100) as f64, ((k >> 8) % 100) as f64)
+            })
+            .collect();
+        let data = crate::dataset::Dataset::from_points("p", pts);
+        let grid = spade_index::GridIndex::build(None, &data.objects, 25.0).unwrap();
+        IndexedDataset::new("p", DatasetKind::Points, grid)
+    }
+
+    #[test]
+    fn stream_delivers_sequence_in_order_at_every_depth() {
+        let d = indexed(400, 7);
+        let sources = [&d];
+        let sequence: Vec<(usize, usize)> = (0..d.grid.num_cells()).map(|c| (0usize, c)).collect();
+        let mut baseline: Option<Vec<(usize, usize, usize)>> = None;
+        for depth in [0usize, 1, 4] {
+            let mut seen = Vec::new();
+            let stats = stream_cells(depth, 0, &sources, &sequence, |cell| {
+                seen.push((cell.source, cell.cell, cell.data.len()));
+                Ok(())
+            })
+            .unwrap();
+            assert_eq!(stats.cells as usize, sequence.len(), "depth={depth}");
+            assert_eq!(
+                stats.prefetch_hits + stats.prefetch_misses,
+                stats.cells,
+                "depth={depth}"
+            );
+            match &baseline {
+                None => baseline = Some(seen),
+                Some(b) => assert_eq!(&seen, b, "depth={depth}"),
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_cells_hit_the_cache() {
+        let d = indexed(200, 11);
+        let sources = [&d];
+        let sequence: Vec<(usize, usize)> = vec![(0, 0), (0, 0), (0, 0)];
+        let stats = stream_cells(0, 1 << 20, &sources, &sequence, |_| Ok(())).unwrap();
+        assert_eq!(stats.cache_hits, 2);
+        assert_eq!(
+            stats.bytes_from_disk,
+            d.grid.cells()[0].bytes,
+            "only the first touch reads disk"
+        );
+    }
+
+    #[test]
+    fn consumer_error_aborts_stream() {
+        let d = indexed(300, 13);
+        let sources = [&d];
+        let sequence: Vec<(usize, usize)> = (0..d.grid.num_cells()).map(|c| (0usize, c)).collect();
+        for depth in [0usize, 2] {
+            let mut delivered = 0;
+            let err = stream_cells(depth, 0, &sources, &sequence, |_| {
+                delivered += 1;
+                if delivered == 1 {
+                    Err(spade_storage::StorageError::Io("boom".into()))
+                } else {
+                    Ok(())
+                }
+            });
+            assert!(err.is_err(), "depth={depth}");
+        }
+    }
+
+    #[test]
+    fn empty_sequence_is_a_no_op() {
+        let d = indexed(50, 17);
+        let stats = stream_cells(4, 0, &[&d], &[], |_| Ok(())).unwrap();
+        assert_eq!(stats.cells, 0);
+    }
+}

@@ -97,33 +97,37 @@ pub fn run_select(spade: &Spade, data: &Dataset, q: &SelectQuery) -> QueryOutput
 }
 
 /// Execute a selection query against an out-of-core data set: every query
-/// class streams through the grid filter (§5.3).
+/// class streams through the grid filter (§5.3). Out-of-core execution can
+/// fail on a corrupt or unreadable block, so the storage error surfaces
+/// here instead of panicking mid-query.
 pub fn run_select_indexed(
     spade: &Spade,
     data: &IndexedDataset,
     q: &SelectQuery,
-) -> QueryOutput<QueryResult> {
-    match q {
+) -> spade_storage::Result<QueryOutput<QueryResult>> {
+    Ok(match q {
         SelectQuery::Intersects(poly) => {
-            wrap_ids(crate::select::select_indexed(spade, data, poly))
+            wrap_ids(crate::select::select_indexed(spade, data, poly)?)
         }
-        SelectQuery::Range(bb) => {
-            wrap_ids(crate::select::select_indexed(spade, data, &Polygon::rect(*bb)))
-        }
-        SelectQuery::WithinDistance(c, r) => {
-            wrap_ids(crate::distance::distance_select_indexed(spade, data, c, *r))
-        }
+        SelectQuery::Range(bb) => wrap_ids(crate::select::select_indexed(
+            spade,
+            data,
+            &Polygon::rect(*bb),
+        )?),
+        SelectQuery::WithinDistance(c, r) => wrap_ids(crate::distance::distance_select_indexed(
+            spade, data, c, *r,
+        )?),
         SelectQuery::Knn(p, k) => {
-            let out = crate::knn::knn_select_indexed(spade, data, *p, *k);
+            let out = crate::knn::knn_select_indexed(spade, data, *p, *k)?;
             QueryOutput {
                 result: QueryResult::Ranked(out.result),
                 stats: out.stats,
             }
         }
         SelectQuery::Contained(poly) => {
-            wrap_ids(crate::select::select_contained_indexed(spade, data, poly))
+            wrap_ids(crate::select::select_contained_indexed(spade, data, poly)?)
         }
-    }
+    })
 }
 
 /// Execute a join query over two in-memory data sets.
@@ -270,10 +274,9 @@ mod tests {
         let s = engine();
         let data = grid_points();
         let grid = spade_index::GridIndex::build(None, &data.objects, 5.0).unwrap();
-        let indexed =
-            IndexedDataset::new("g", crate::dataset::DatasetKind::Points, grid);
+        let indexed = IndexedDataset::new("g", crate::dataset::DatasetKind::Points, grid);
         let poly = Polygon::circle(Point::new(4.5, 4.5), 2.0, 16);
-        let a = run_select_indexed(&s, &indexed, &SelectQuery::Intersects(poly.clone()));
+        let a = run_select_indexed(&s, &indexed, &SelectQuery::Intersects(poly.clone())).unwrap();
         let b = run_select(&s, &data, &SelectQuery::Intersects(poly));
         let mut bs = b.result.ids().unwrap().to_vec();
         bs.sort_unstable();
@@ -282,7 +285,8 @@ mod tests {
             &s,
             &indexed,
             &SelectQuery::Range(BBox::new(Point::new(1.0, 1.0), Point::new(3.0, 3.0))),
-        );
+        )
+        .unwrap();
         assert_eq!(r.result.len(), 9);
     }
 

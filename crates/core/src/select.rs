@@ -81,14 +81,16 @@ pub fn select_points_mem(
         .enumerate()
         .map(|(i, (id, p))| Primitive::point(*p, [*id + 1, i as u32, 0, 0]))
         .collect();
-    let shader = FnFragment(|frag: &spade_gpu::Fragment, _: &spade_gpu::ShaderContext<'_>| {
-        let p = points[frag.attrs[1] as usize].1;
-        if constraint.match_point_any(p) {
-            Some([frag.attrs[0], 0, 0, 0])
-        } else {
-            None
-        }
-    });
+    let shader = FnFragment(
+        |frag: &spade_gpu::Fragment, _: &spade_gpu::ShaderContext<'_>| {
+            let p = points[frag.attrs[1] as usize].1;
+            if constraint.match_point_any(p) {
+                Some([frag.attrs[0], 0, 0, 0])
+            } else {
+                None
+            }
+        },
+    );
     let call = DrawCall {
         fragment: &shader,
         ..DrawCall::simple(constraint.viewport, BlendMode::Replace, false)
@@ -157,11 +159,7 @@ fn select_candidates(
 }
 
 /// Spatial selection over an in-memory data set with full statistics.
-pub fn select(
-    spade: &Spade,
-    data: &Dataset,
-    constraint_poly: &Polygon,
-) -> QueryOutput<Vec<u32>> {
+pub fn select(spade: &Spade, data: &Dataset, constraint_poly: &Polygon) -> QueryOutput<Vec<u32>> {
     let measure = spade.begin();
 
     // Polygon processing: triangulate the constraint (boundary index
@@ -307,11 +305,8 @@ pub fn select_contained_indexed(
     spade: &Spade,
     data: &IndexedDataset,
     constraint_poly: &Polygon,
-) -> QueryOutput<Vec<u32>> {
+) -> spade_storage::Result<QueryOutput<Vec<u32>>> {
     let measure = spade.begin();
-    let mut disk_time = Duration::ZERO;
-    let mut disk_bytes = 0u64;
-    let mut cells_loaded = 0u64;
     let mut polygon_time = Duration::ZERO;
 
     let t0 = Instant::now();
@@ -323,27 +318,36 @@ pub fn select_contained_indexed(
         .map(|(i, h)| PreparedPolygon::prepare(i, &h))
         .collect();
     polygon_time += t0.elapsed();
-    let filter =
-        Constraint::from_polygons_res(spade, &prepared, spade.config.filter_resolution);
+    let filter = Constraint::from_polygons_res(spade, &prepared, spade.config.filter_resolution);
     let candidates = select_polygons_mem(spade, &hulls, &filter);
 
+    let sequence: Vec<(usize, usize)> = candidates.iter().map(|&c| (0, c as usize)).collect();
     let mut ids = Vec::new();
-    for cell_idx in candidates {
-        let cell = &data.grid.cells()[cell_idx as usize];
-        let t0 = Instant::now();
-        let cell_data = data.load_cell(cell_idx as usize).expect("cell load");
-        disk_time += t0.elapsed();
-        disk_bytes += cell.bytes;
-        cells_loaded += 1;
-        let _ = spade.device.upload(cell.bytes);
-        ids.extend(select_contained(spade, &cell_data, constraint_poly).result);
-        spade.device.free(cell.bytes);
-    }
+    let stream = crate::prefetch::stream_cells(
+        spade.config.prefetch_depth,
+        spade.config.cell_cache_bytes,
+        &[data],
+        &sequence,
+        |cell| {
+            let _ = spade.device.upload(cell.bytes);
+            ids.extend(select_contained(spade, &cell.data, constraint_poly).result);
+            spade.device.free(cell.bytes);
+            Ok(())
+        },
+    )?;
     ids.sort_unstable();
     ids.dedup();
     let n = ids.len() as u64;
-    let stats = measure.finish(spade, disk_time, disk_bytes, polygon_time, cells_loaded, n);
-    QueryOutput { result: ids, stats }
+    let mut stats = measure.finish(
+        spade,
+        stream.io_time,
+        stream.bytes_from_disk,
+        polygon_time,
+        stream.cells,
+        n,
+    );
+    stream.charge(&mut stats);
+    Ok(QueryOutput { result: ids, stats })
 }
 
 fn object_vertices(g: &spade_geometry::Geometry) -> Vec<Point> {
@@ -394,24 +398,25 @@ fn constraint_hole_cuts(constraint: &Polygon, g: &spade_geometry::Geometry) -> b
             .iter()
             .any(|p| spade_geometry::predicates::polygons_intersect(p, &hole_poly))
             || match g {
-                spade_geometry::Geometry::LineString(l) => l.segments().any(|s| {
-                    spade_geometry::predicates::segment_intersects_polygon(s, &hole_poly)
-                }),
+                spade_geometry::Geometry::LineString(l) => l
+                    .segments()
+                    .any(|s| spade_geometry::predicates::segment_intersects_polygon(s, &hole_poly)),
                 _ => false,
             }
     })
 }
 
 /// Out-of-core spatial selection (§5.3): filter the grid cells with a GPU
-/// selection over their bounding polygons, then refine cell by cell.
+/// selection over their bounding polygons, then refine cell by cell. The
+/// refinement loop is pipelined: upcoming cells are read and decoded on a
+/// background I/O thread (through the cell cache) while the current one
+/// refines on the device.
 pub fn select_indexed(
     spade: &Spade,
     data: &IndexedDataset,
     constraint_poly: &Polygon,
-) -> QueryOutput<Vec<u32>> {
+) -> spade_storage::Result<QueryOutput<Vec<u32>>> {
     let measure = spade.begin();
-    let mut disk_time = Duration::ZERO;
-    let mut disk_bytes = 0u64;
     let mut polygon_time = Duration::ZERO;
 
     // Prepare the constraint once; the same canvas serves the filter and
@@ -437,38 +442,40 @@ pub fn select_indexed(
         Constraint::from_polygons_res(spade, &prepared, spade.config.filter_resolution);
     let candidate_cells = select_polygons_mem(spade, &hull_prepared, &filter_constraint);
 
-    // Refinement: stream each candidate cell through the in-memory plan.
+    // Refinement: stream each candidate cell through the in-memory plan,
+    // prefetching ahead. Cell bytes are shipped to the device per use
+    // (accounted; OOM at this scale means the cell streams without
+    // residing).
+    let sequence: Vec<(usize, usize)> = candidate_cells.iter().map(|&c| (0, c as usize)).collect();
     let mut ids = Vec::new();
-    let mut cells_loaded = 0u64;
-    for cell_idx in &candidate_cells {
-        let cell = &data.grid.cells()[*cell_idx as usize];
-        let t0 = Instant::now();
-        let cell_data = match data.load_cell(*cell_idx as usize) {
-            Ok(d) => d,
-            Err(e) => panic!("cell load failed: {e}"),
-        };
-        disk_time += t0.elapsed();
-        disk_bytes += cell.bytes;
-        cells_loaded += 1;
-        // Ship the block to the device (accounted; OOM at this scale means
-        // the cell simply streams without residing).
-        let _ = spade.device.upload(cell.bytes);
-
-        let t0 = Instant::now();
-        let cell_prep_needed = matches!(cell_data.kind, DatasetKind::Polygons);
-        if cell_prep_needed {
-            polygon_time += t0.elapsed();
-        }
-        ids.extend(select_mem_dispatch(spade, &cell_data, &constraint));
-        spade.device.free(cell.bytes);
-    }
+    let stream_res = crate::prefetch::stream_cells(
+        spade.config.prefetch_depth,
+        spade.config.cell_cache_bytes,
+        &[data],
+        &sequence,
+        |cell| {
+            let _ = spade.device.upload(cell.bytes);
+            ids.extend(select_mem_dispatch(spade, &cell.data, &constraint));
+            spade.device.free(cell.bytes);
+            Ok(())
+        },
+    );
     spade.device.free(constraint.byte_size());
+    let stream = stream_res?;
     ids.sort_unstable();
     ids.dedup();
 
     let n = ids.len() as u64;
-    let stats = measure.finish(spade, disk_time, disk_bytes, polygon_time, cells_loaded, n);
-    QueryOutput { result: ids, stats }
+    let mut stats = measure.finish(
+        spade,
+        stream.io_time,
+        stream.bytes_from_disk,
+        polygon_time,
+        stream.cells,
+        n,
+    );
+    stream.charge(&mut stats);
+    Ok(QueryOutput { result: ids, stats })
 }
 
 #[cfg(test)]
@@ -487,9 +494,13 @@ mod tests {
         let mut s = 42u64;
         (0..n)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let x = ((s >> 33) % 1_000_000) as f64 / 1_000_000.0 * extent;
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let y = ((s >> 33) % 1_000_000) as f64 / 1_000_000.0 * extent;
                 Point::new(x, y)
             })
@@ -620,7 +631,7 @@ mod tests {
         let poly = hexagon(40.0, 60.0, 18.0);
 
         let mem = select(&s, &data, &poly);
-        let ooc = select_indexed(&s, &indexed, &poly);
+        let ooc = select_indexed(&s, &indexed, &poly).unwrap();
         let mut a = mem.result.clone();
         a.sort_unstable();
         assert_eq!(a, ooc.result);
@@ -645,7 +656,7 @@ mod tests {
         let grid = GridIndex::build(None, &data.objects, 30.0).unwrap();
         let indexed = IndexedDataset::new("boxes", DatasetKind::Polygons, grid);
         let constraint = hexagon(48.0, 48.0, 20.0);
-        let ooc = select_indexed(&s, &indexed, &constraint);
+        let ooc = select_indexed(&s, &indexed, &constraint).unwrap();
         let oracle: Vec<u32> = boxes
             .iter()
             .enumerate()
@@ -698,9 +709,10 @@ mod tests {
                     .iter()
                     .all(|&v| point_in_polygon(v, &constraint))
                     && !b.boundary_edges().iter().any(|e| {
-                        constraint.boundary_edges().iter().any(|r| {
-                            spade_geometry::predicates::segments_intersect(*e, *r)
-                        })
+                        constraint
+                            .boundary_edges()
+                            .iter()
+                            .any(|r| spade_geometry::predicates::segments_intersect(*e, *r))
                     })
             })
             .map(|(i, _)| i as u32)
@@ -768,7 +780,7 @@ mod tests {
         let mem = select_contained(&s, &data, &constraint);
         let grid = GridIndex::build(None, &data.objects, 35.0).unwrap();
         let indexed = IndexedDataset::new("boxes", DatasetKind::Polygons, grid);
-        let ooc = select_contained_indexed(&s, &indexed, &constraint);
+        let ooc = select_contained_indexed(&s, &indexed, &constraint).unwrap();
         let mut mem_sorted = mem.result.clone();
         mem_sorted.sort_unstable();
         assert_eq!(ooc.result, mem_sorted);

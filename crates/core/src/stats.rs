@@ -28,10 +28,25 @@ pub struct QueryStats {
     pub bytes_to_device: u64,
     /// Rendering passes executed.
     pub passes: u64,
-    /// Grid cells loaded (out-of-core queries).
+    /// Grid cells loaded (out-of-core queries). Counts cells delivered to
+    /// the refinement stage — whether the bytes came from disk or the cell
+    /// cache — so the count is deterministic across prefetch depths,
+    /// worker counts, and cache states.
     pub cells_loaded: u64,
     /// Result cardinality.
     pub result_count: u64,
+    /// Out-of-core pipelining: cells whose data was already decoded and
+    /// waiting in the prefetch channel when the refinement stage asked.
+    pub prefetch_hits: u64,
+    /// Out-of-core pipelining: cells the refinement stage had to wait for
+    /// (or load synchronously with prefetching disabled).
+    pub prefetch_misses: u64,
+    /// Cells served from the host-side decoded-cell LRU cache instead of
+    /// disk.
+    pub cache_hits: u64,
+    /// Disk/decode time that overlapped GPU refinement work — producer I/O
+    /// time minus the time the consumer actually stalled waiting on it.
+    pub io_hidden: Duration,
 }
 
 impl QueryStats {
@@ -56,6 +71,10 @@ impl QueryStats {
         self.passes += other.passes;
         self.cells_loaded += other.cells_loaded;
         self.result_count += other.result_count;
+        self.prefetch_hits += other.prefetch_hits;
+        self.prefetch_misses += other.prefetch_misses;
+        self.cache_hits += other.cache_hits;
+        self.io_hidden += other.io_hidden;
     }
 
     /// Fraction of the total attributed to I/O (the paper observes ≥95%
@@ -71,7 +90,7 @@ impl QueryStats {
     /// One-line breakdown for harness output.
     pub fn breakdown(&self) -> String {
         format!(
-            "total={:.3}s io={:.3}s gpu={:.3}s poly={:.3}s cpu={:.3}s passes={} cells={} disk={}B dev={}B",
+            "total={:.3}s io={:.3}s gpu={:.3}s poly={:.3}s cpu={:.3}s passes={} cells={} disk={}B dev={}B prefetch={}h/{}m cache={}h hidden={:.3}s",
             self.total_time.as_secs_f64(),
             self.io_time.as_secs_f64(),
             self.gpu_time.as_secs_f64(),
@@ -81,6 +100,10 @@ impl QueryStats {
             self.cells_loaded,
             self.bytes_from_disk,
             self.bytes_to_device,
+            self.prefetch_hits,
+            self.prefetch_misses,
+            self.cache_hits,
+            self.io_hidden.as_secs_f64(),
         )
     }
 }
@@ -125,18 +148,27 @@ mod tests {
             passes: 2,
             bytes_from_disk: 100,
             result_count: 5,
+            cache_hits: 1,
             ..Default::default()
         };
         let b = QueryStats {
             passes: 3,
             bytes_from_disk: 50,
             result_count: 7,
+            cache_hits: 4,
+            prefetch_hits: 2,
+            prefetch_misses: 1,
+            io_hidden: Duration::from_millis(5),
             ..Default::default()
         };
         a.absorb(&b);
         assert_eq!(a.passes, 5);
         assert_eq!(a.bytes_from_disk, 150);
         assert_eq!(a.result_count, 12);
+        assert_eq!(a.cache_hits, 5);
+        assert_eq!(a.prefetch_hits, 2);
+        assert_eq!(a.prefetch_misses, 1);
+        assert_eq!(a.io_hidden, Duration::from_millis(5));
     }
 
     #[test]
@@ -155,5 +187,6 @@ mod tests {
         let s = QueryStats::default();
         let line = s.breakdown();
         assert!(line.contains("io=") && line.contains("gpu=") && line.contains("poly="));
+        assert!(line.contains("prefetch=") && line.contains("cache="));
     }
 }

@@ -11,15 +11,88 @@
 //!   tessellations (neighborhood/census/county/zip-like, with controllable
 //!   vertex complexity), and building-like fields of small polygons.
 //!
-//! Every generator is deterministic in its seed.
+//! Every generator is deterministic in its seed. The RNG is a local
+//! SplitMix64 (no external dependency — the build must work offline);
+//! its uniform-`f64` API mirrors the slice of `rand` the generators use.
 
 pub mod spider;
 pub mod urban;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+/// The uniform-sampling interface the generators draw from.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform in [0, 1) with 53 bits of precision — the `r.gen::<f64>()`
+    /// shape the generators were originally written against.
+    fn gen<T: SampleUniform>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_from(self)
+    }
+}
+
+/// Types that can be drawn uniformly from an [`Rng`].
+pub trait SampleUniform {
+    fn sample_from<R: Rng>(r: &mut R) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_from<R: Rng>(r: &mut R) -> f64 {
+        (r.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleUniform for u64 {
+    fn sample_from<R: Rng>(r: &mut R) -> u64 {
+        r.next_u64()
+    }
+}
+
+/// SplitMix64: tiny, fast, and plenty for synthetic data shaping.
+pub struct StdRng(u64);
+
+impl StdRng {
+    pub fn seed_from_u64(seed: u64) -> Self {
+        StdRng(seed)
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
 
 /// The deterministic RNG used by all generators.
 pub fn rng(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        let a: Vec<f64> = {
+            let mut r = rng(7);
+            (0..8).map(|_| r.gen::<f64>()).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = rng(7);
+            (0..8).map(|_| r.gen::<f64>()).collect()
+        };
+        let c: Vec<f64> = {
+            let mut r = rng(8);
+            (0..8).map(|_| r.gen::<f64>()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().all(|x| (0.0..1.0).contains(x)));
+    }
 }

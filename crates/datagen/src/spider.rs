@@ -6,8 +6,7 @@
 //! joins. Box counts are chosen so a box data set carries the same number
 //! of vertices as a point data set of 4× the size, exactly as in Table 4.
 
-use rand::distributions::Distribution;
-use rand::Rng;
+use crate::Rng;
 use spade_geometry::{BBox, Point, Polygon};
 
 /// Uniformly distributed points over the unit square.
@@ -22,7 +21,10 @@ pub fn uniform_points(n: usize, seed: u64) -> Vec<Point> {
 /// (σ = 0.15, clamped to the square, matching Spider's gaussian preset).
 pub fn gaussian_points(n: usize, seed: u64) -> Vec<Point> {
     let mut r = crate::rng(seed);
-    let normal = Normal { mean: 0.5, std: 0.15 };
+    let normal = Normal {
+        mean: 0.5,
+        std: 0.15,
+    };
     (0..n)
         .map(|_| {
             Point::new(
@@ -33,15 +35,14 @@ pub fn gaussian_points(n: usize, seed: u64) -> Vec<Point> {
         .collect()
 }
 
-/// A tiny Box–Muller normal sampler (keeps the dependency surface to
-/// `rand` itself).
+/// A tiny Box–Muller normal sampler over the local RNG.
 struct Normal {
     mean: f64,
     std: f64,
 }
 
-impl Distribution<f64> for Normal {
-    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+impl Normal {
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
         let u1: f64 = rng.gen::<f64>().max(1e-12);
         let u2: f64 = rng.gen();
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
@@ -68,7 +69,10 @@ pub fn uniform_boxes(n: usize, max_side: f64, seed: u64) -> Vec<Polygon> {
 /// Axis-parallel rectangles of varying sizes, normally placed.
 pub fn gaussian_boxes(n: usize, max_side: f64, seed: u64) -> Vec<Polygon> {
     let mut r = crate::rng(seed);
-    let normal = Normal { mean: 0.5, std: 0.15 };
+    let normal = Normal {
+        mean: 0.5,
+        std: 0.15,
+    };
     (0..n)
         .map(|_| {
             let w = r.gen::<f64>() * max_side;
@@ -151,7 +155,9 @@ mod tests {
     fn uniform_points_cover_square() {
         let pts = uniform_points(5000, 1);
         assert_eq!(pts.len(), 5000);
-        assert!(pts.iter().all(|p| (0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y)));
+        assert!(pts
+            .iter()
+            .all(|p| (0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y)));
         // Roughly uniform: each quadrant holds 15–35%.
         let q1 = pts.iter().filter(|p| p.x < 0.5 && p.y < 0.5).count();
         assert!((750..=1750).contains(&q1), "q1 = {q1}");

@@ -7,7 +7,7 @@
 //! of small building polygons — at configurable scale (see DESIGN.md's
 //! substitution table).
 
-use rand::Rng;
+use crate::Rng;
 use spade_geometry::{BBox, Point, Polygon};
 
 /// A clustered urban point cloud (taxi-pickup / tweet-like): a mixture of
@@ -168,12 +168,7 @@ pub fn building_polygons(n: usize, extent: &BBox, seed: u64) -> Vec<Polygon> {
             let angle = r.gen::<f64>() * std::f64::consts::FRAC_PI_2;
             let (s, co) = angle.sin_cos();
             let rot = |dx: f64, dy: f64| Point::new(p.x + dx * co - dy * s, p.y + dx * s + dy * co);
-            Polygon::new(vec![
-                rot(-w, -h),
-                rot(w, -h),
-                rot(w, h),
-                rot(-w, h),
-            ])
+            Polygon::new(vec![rot(-w, -h), rot(w, -h), rot(w, h), rot(-w, h)])
         })
         .collect()
 }

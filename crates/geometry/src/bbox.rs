@@ -147,10 +147,7 @@ impl BBox {
     /// Used by kNN queries to derive `r_max`, the largest circle radius
     /// needed to cover the data set from the query point (§5.2).
     pub fn max_dist_to_point(&self, p: Point) -> f64 {
-        self.corners()
-            .iter()
-            .map(|c| c.dist(p))
-            .fold(0.0, f64::max)
+        self.corners().iter().map(|c| c.dist(p)).fold(0.0, f64::max)
     }
 }
 

@@ -400,8 +400,7 @@ mod tests {
         assert!(triangulate_polygon(&Polygon::new(vec![])).is_empty());
         assert!(triangulate_polygon(&Polygon::new(vec![Point::ZERO])).is_empty());
         assert!(
-            triangulate_polygon(&Polygon::new(vec![Point::ZERO, Point::new(1.0, 1.0)]))
-                .is_empty()
+            triangulate_polygon(&Polygon::new(vec![Point::ZERO, Point::new(1.0, 1.0)])).is_empty()
         );
         // Collinear "polygon" has zero area.
         let flat = Polygon::new(vec![

@@ -30,7 +30,8 @@ pub fn convex_hull(points: &[Point]) -> Vec<Point> {
 
     // Lower hull.
     for &p in &pts {
-        while hull.len() >= 2 && turns_right_or_straight(hull[hull.len() - 2], hull[hull.len() - 1], p)
+        while hull.len() >= 2
+            && turns_right_or_straight(hull[hull.len() - 2], hull[hull.len() - 1], p)
         {
             hull.pop();
         }
@@ -120,9 +121,13 @@ mod tests {
         let mut pts = Vec::new();
         let mut s = 123456789u64;
         for _ in 0..200 {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let x = ((s >> 33) as f64 / (1u64 << 31) as f64) * 10.0;
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let y = ((s >> 33) as f64 / (1u64 << 31) as f64) * 10.0;
             pts.push(Point::new(x, y));
         }

@@ -193,20 +193,10 @@ pub fn polygons_intersect(p1: &Polygon, p2: &Polygon) -> bool {
         return false;
     }
     // Vertex containment either way.
-    if p1
-        .exterior
-        .points
-        .iter()
-        .any(|&v| point_in_polygon(v, p2))
-    {
+    if p1.exterior.points.iter().any(|&v| point_in_polygon(v, p2)) {
         return true;
     }
-    if p2
-        .exterior
-        .points
-        .iter()
-        .any(|&v| point_in_polygon(v, p1))
-    {
+    if p2.exterior.points.iter().any(|&v| point_in_polygon(v, p1)) {
         return true;
     }
     // Edge crossings.

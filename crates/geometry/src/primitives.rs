@@ -181,10 +181,7 @@ impl Ring {
         let a = self.signed_area();
         if a.abs() < 1e-30 {
             // Degenerate ring: fall back to the vertex mean.
-            let sum = self
-                .points
-                .iter()
-                .fold(Point::ZERO, |acc, &p| acc + p);
+            let sum = self.points.iter().fold(Point::ZERO, |acc, &p| acc + p);
             return sum / n as f64;
         }
         let mut cx = 0.0;

@@ -28,7 +28,8 @@ pub fn lonlat_to_mercator(p: Point) -> Point {
 /// Inverse projection: EPSG:3857 meters back to longitude/latitude degrees.
 pub fn mercator_to_lonlat(p: Point) -> Point {
     let lon = (p.x / EARTH_RADIUS_M).to_degrees();
-    let lat = (2.0 * (p.y / EARTH_RADIUS_M).exp().atan() - std::f64::consts::FRAC_PI_2).to_degrees();
+    let lat =
+        (2.0 * (p.y / EARTH_RADIUS_M).exp().atan() - std::f64::consts::FRAC_PI_2).to_degrees();
     Point::new(lon, lat)
 }
 
@@ -41,9 +42,9 @@ pub fn geometry_to_mercator(g: &Geometry) -> Geometry {
 pub fn map_geometry(g: &Geometry, f: impl Fn(Point) -> Point + Copy) -> Geometry {
     match g {
         Geometry::Point(p) => Geometry::Point(f(*p)),
-        Geometry::LineString(l) => Geometry::LineString(LineString::new(
-            l.points.iter().map(|&p| f(p)).collect(),
-        )),
+        Geometry::LineString(l) => {
+            Geometry::LineString(LineString::new(l.points.iter().map(|&p| f(p)).collect()))
+        }
         Geometry::Polygon(p) => Geometry::Polygon(map_polygon(p, f)),
         Geometry::MultiPolygon(m) => Geometry::MultiPolygon(MultiPolygon::new(
             m.polygons.iter().map(|p| map_polygon(p, f)).collect(),

@@ -97,10 +97,7 @@ pub fn from_wkt(input: &str) -> Result<Geometry, WktError> {
     let g = p.parse_geometry()?;
     p.skip_ws();
     if !p.at_end() {
-        return Err(WktError(format!(
-            "trailing input at offset {}",
-            p.pos
-        )));
+        return Err(WktError(format!("trailing input at offset {}", p.pos)));
     }
     Ok(g)
 }
@@ -250,12 +247,7 @@ impl<'a> Parser<'a> {
                             self.pos += 1;
                             break;
                         }
-                        _ => {
-                            return Err(WktError(format!(
-                                "expected ',' or ')' at {}",
-                                self.pos
-                            )))
-                        }
+                        _ => return Err(WktError(format!("expected ',' or ')' at {}", self.pos))),
                     }
                 }
                 Ok(Geometry::MultiPolygon(MultiPolygon::new(polys)))

@@ -8,8 +8,8 @@
 //! a configurable modeled bandwidth that the query optimizer's cost model
 //! and the time-breakdown reporting read.
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// Accumulated transfer statistics.
@@ -99,7 +99,7 @@ impl DeviceMemory {
     }
 
     pub fn used(&self) -> u64 {
-        *self.used.lock()
+        *self.used.lock().unwrap()
     }
 
     pub fn available(&self) -> u64 {
@@ -113,7 +113,7 @@ impl DeviceMemory {
 
     /// Reserve `bytes` of device memory.
     pub fn alloc(&self, bytes: u64) -> Result<(), DeviceError> {
-        let mut used = self.used.lock();
+        let mut used = self.used.lock().unwrap();
         if *used + bytes > self.capacity {
             return Err(DeviceError::OutOfMemory {
                 requested: bytes,
@@ -127,7 +127,7 @@ impl DeviceMemory {
 
     /// Release `bytes` of device memory.
     pub fn free(&self, bytes: u64) {
-        let mut used = self.used.lock();
+        let mut used = self.used.lock().unwrap();
         *used = used.saturating_sub(bytes);
     }
 
@@ -135,8 +135,12 @@ impl DeviceMemory {
     /// time for the cost model and the I/O-time breakdown.
     pub fn transfer_to_device(&self, bytes: u64) -> Duration {
         let nanos = (bytes as f64 / self.bandwidth * 1e9) as u64;
-        self.transfer_stats.transfers.fetch_add(1, Ordering::Relaxed);
-        self.transfer_stats.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.transfer_stats
+            .transfers
+            .fetch_add(1, Ordering::Relaxed);
+        self.transfer_stats
+            .bytes
+            .fetch_add(bytes, Ordering::Relaxed);
         self.transfer_stats
             .modeled_nanos
             .fetch_add(nanos, Ordering::Relaxed);

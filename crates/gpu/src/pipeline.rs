@@ -104,24 +104,24 @@ impl Pipeline {
         let counter = AtomicU32::new(0);
 
         // --- Vertex + geometry stages (parallel over primitive chunks). ---
-        let shaded: Vec<Vec<Primitive>> = pool::parallel_map_chunks(prims, self.workers, |_, chunk| {
-            let mut out = Vec::with_capacity(chunk.len());
-            let mut expand_buf = Vec::new();
-            for prim in chunk {
-                let moved = prim.map_positions(|p| {
-                    self::shade_pos(call.vertex, p, prim.attrs())
-                });
-                match call.geometry {
-                    Some(gs) => {
-                        expand_buf.clear();
-                        gs.expand(&moved, &mut expand_buf);
-                        out.extend_from_slice(&expand_buf);
+        let shaded: Vec<Vec<Primitive>> =
+            pool::parallel_map_chunks(prims, self.workers, |_, chunk| {
+                let mut out = Vec::with_capacity(chunk.len());
+                let mut expand_buf = Vec::new();
+                for prim in chunk {
+                    let moved =
+                        prim.map_positions(|p| self::shade_pos(call.vertex, p, prim.attrs()));
+                    match call.geometry {
+                        Some(gs) => {
+                            expand_buf.clear();
+                            gs.expand(&moved, &mut expand_buf);
+                            out.extend_from_slice(&expand_buf);
+                        }
+                        None => out.push(moved),
                     }
-                    None => out.push(moved),
                 }
-            }
-            out
-        });
+                out
+            });
         let assembled: Vec<Primitive> = shaded.into_iter().flatten().collect();
         self.stats.add_primitives(assembled.len() as u64);
 
@@ -185,11 +185,11 @@ impl Pipeline {
         let width = target.width();
         let blend = call.blend;
         let mut band_slices = target.band_slices(bands);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for (band_idx, (y0, slice)) in band_slices.iter_mut().enumerate() {
                 let buffers = &buffers;
                 let y0 = *y0;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for chunk_bufs in buffers {
                         for &(x, y, v) in &chunk_bufs[band_idx] {
                             let i = ((y - y0) as usize) * (width as usize) + x as usize;
@@ -198,8 +198,7 @@ impl Pipeline {
                     }
                 });
             }
-        })
-        .expect("blend worker panicked");
+        });
 
         self.stats.add_gpu_time(start.elapsed());
         counter.load(Ordering::Relaxed)
@@ -283,7 +282,11 @@ mod tests {
         let prims: Vec<Primitive> = (0..5)
             .map(|i| Primitive::point(Point::new(i as f64 + 0.5, 0.5), [i + 1, 0, 0, 0]))
             .collect();
-        pl.draw(&mut tex, &prims, &DrawCall::simple(vp10(), BlendMode::Replace, false));
+        pl.draw(
+            &mut tex,
+            &prims,
+            &DrawCall::simple(vp10(), BlendMode::Replace, false),
+        );
         for i in 0..5u32 {
             assert_eq!(tex.get(i, 0), [i + 1, 0, 0, 0]);
         }
@@ -302,7 +305,11 @@ mod tests {
             Primitive::point(Point::new(0.5, 0.5), [1, 0, 0, 0]),
             Primitive::point(Point::new(50.0, 50.0), [2, 0, 0, 0]),
         ];
-        pl.draw(&mut tex, &prims, &DrawCall::simple(vp10(), BlendMode::Replace, false));
+        pl.draw(
+            &mut tex,
+            &prims,
+            &DrawCall::simple(vp10(), BlendMode::Replace, false),
+        );
         assert_eq!(tex.count_non_null(), 1);
         assert_eq!(pl.stats.snapshot().clipped, 1);
     }
@@ -315,7 +322,11 @@ mod tests {
         let prims: Vec<Primitive> = (0..100)
             .map(|_| Primitive::point(Point::new(3.3, 3.3), [1, 0, 0, 0]))
             .collect();
-        pl.draw(&mut tex, &prims, &DrawCall::simple(vp10(), BlendMode::Add, false));
+        pl.draw(
+            &mut tex,
+            &prims,
+            &DrawCall::simple(vp10(), BlendMode::Add, false),
+        );
         assert_eq!(tex.get(3, 3)[0], 100);
     }
 
@@ -330,7 +341,11 @@ mod tests {
                 .map(|i| Primitive::point(Point::new(1.5, 1.5), [i + 1, 0, 0, 0]))
                 .collect();
             let vp = Viewport::new(BBox::new(Point::ZERO, Point::new(4.0, 4.0)), 4, 4);
-            pl.draw(&mut tex, &prims, &DrawCall::simple(vp, BlendMode::Replace, false));
+            pl.draw(
+                &mut tex,
+                &prims,
+                &DrawCall::simple(vp, BlendMode::Replace, false),
+            );
             assert_eq!(tex.get(1, 1)[0], 64, "workers={workers}");
         }
     }
@@ -354,7 +369,11 @@ mod tests {
         for workers in [1, 3, 8] {
             let pl = Pipeline::with_workers(workers);
             let mut tex = Texture::new(10, 10);
-            pl.draw(&mut tex, &prims, &DrawCall::simple(vp, BlendMode::Max, true));
+            pl.draw(
+                &mut tex,
+                &prims,
+                &DrawCall::simple(vp, BlendMode::Max, true),
+            );
             match &reference {
                 None => reference = Some(tex),
                 Some(r) => assert_eq!(&tex, r, "workers={workers}"),
@@ -367,7 +386,7 @@ mod tests {
         let pl = Pipeline::with_workers(2);
         let mut tex = Texture::new(10, 10);
         let frag = FnFragment(|f: &Fragment, _: &ShaderContext<'_>| {
-            if f.x % 2 == 0 {
+            if f.x.is_multiple_of(2) {
                 Some(f.attrs)
             } else {
                 None
@@ -481,7 +500,11 @@ mod tests {
         let vp = vp10();
         let mut a = Texture::new(10, 10);
         let mut b = Texture::new(10, 10);
-        pl.draw(&mut a, &prims, &DrawCall::simple(vp, BlendMode::Replace, false));
+        pl.draw(
+            &mut a,
+            &prims,
+            &DrawCall::simple(vp, BlendMode::Replace, false),
+        );
         let call = DrawCall {
             geometry: Some(&gs),
             ..DrawCall::simple(vp, BlendMode::Replace, false)

@@ -2,7 +2,7 @@
 //!
 //! GPU drivers schedule shader invocations across thousands of lanes; this
 //! module provides the equivalent data-parallel building blocks on CPU
-//! threads using `crossbeam` scoped threads. Work is partitioned into
+//! threads using `std::thread` scoped threads. Work is partitioned into
 //! contiguous chunks so downstream stages can merge results in a
 //! deterministic order regardless of thread count.
 
@@ -54,16 +54,15 @@ where
     }
     let mut out: Vec<Option<R>> = Vec::new();
     out.resize_with(ranges.len(), || None);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for ((i, range), slot) in ranges.iter().cloned().enumerate().zip(out.iter_mut()) {
             let f = &f;
             let chunk = &items[range];
-            s.spawn(move |_| {
+            s.spawn(move || {
                 *slot = Some(f(i, chunk));
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     out.into_iter().map(|r| r.expect("chunk result")).collect()
 }
 
@@ -82,24 +81,23 @@ where
         return (0..num_tasks).map(f).collect();
     }
     let cursor = AtomicUsize::new(0);
-    let results = parking_lot::Mutex::new(Vec::with_capacity(num_tasks));
-    crossbeam::thread::scope(|s| {
+    let results = std::sync::Mutex::new(Vec::with_capacity(num_tasks));
+    std::thread::scope(|s| {
         for _ in 0..workers {
             let cursor = &cursor;
             let f = &f;
             let results = &results;
-            s.spawn(move |_| loop {
+            s.spawn(move || loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= num_tasks {
                     break;
                 }
                 let r = f(i);
-                results.lock().push((i, r));
+                results.lock().unwrap().push((i, r));
             });
         }
-    })
-    .expect("worker thread panicked");
-    let mut v = results.into_inner();
+    });
+    let mut v = results.into_inner().unwrap();
     v.sort_by_key(|(i, _)| *i);
     v.into_iter().map(|(_, r)| r).collect()
 }

@@ -34,9 +34,21 @@ impl Vertex {
 /// the geometric object the primitive belongs to.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Primitive {
-    Point { p: Point, attrs: [u32; 4] },
-    Line { a: Point, b: Point, attrs: [u32; 4] },
-    Triangle { a: Point, b: Point, c: Point, attrs: [u32; 4] },
+    Point {
+        p: Point,
+        attrs: [u32; 4],
+    },
+    Line {
+        a: Point,
+        b: Point,
+        attrs: [u32; 4],
+    },
+    Triangle {
+        a: Point,
+        b: Point,
+        c: Point,
+        attrs: [u32; 4],
+    },
 }
 
 impl Primitive {
@@ -200,7 +212,12 @@ mod tests {
         let l = Primitive::line(Point::ZERO, Point::new(1.0, 1.0), [0; 4]);
         assert!(l.as_segment().is_some());
         assert!(l.as_triangle().is_none());
-        let t = Primitive::triangle(Point::ZERO, Point::new(1.0, 0.0), Point::new(0.0, 1.0), [0; 4]);
+        let t = Primitive::triangle(
+            Point::ZERO,
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+            [0; 4],
+        );
         assert!(t.as_triangle().is_some());
         assert!(t.as_segment().is_none());
     }

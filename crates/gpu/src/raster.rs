@@ -160,13 +160,21 @@ fn raster_line_conservative(a: Point, b: Point, vp: &Viewport, emit: &mut impl F
     let (mut t_max_x, t_delta_x) = if d.x.abs() < 1e-300 {
         (f64::INFINITY, f64::INFINITY)
     } else {
-        let next_bx = if step_x > 0 { cx as f64 + 1.0 } else { cx as f64 };
+        let next_bx = if step_x > 0 {
+            cx as f64 + 1.0
+        } else {
+            cx as f64
+        };
         ((next_bx - pa.x) / d.x, (1.0 / d.x).abs())
     };
     let (mut t_max_y, t_delta_y) = if d.y.abs() < 1e-300 {
         (f64::INFINITY, f64::INFINITY)
     } else {
-        let next_by = if step_y > 0 { cy as f64 + 1.0 } else { cy as f64 };
+        let next_by = if step_y > 0 {
+            cy as f64 + 1.0
+        } else {
+            cy as f64
+        };
         ((next_by - pa.y) / d.y, (1.0 / d.y).abs())
     };
 
@@ -393,7 +401,10 @@ mod tests {
         );
         let cons = collect(&t, &vp, true);
         assert!(!cons.is_empty());
-        assert!(cons.len() >= 8, "sliver should touch its whole row: {cons:?}");
+        assert!(
+            cons.len() >= 8,
+            "sliver should touch its whole row: {cons:?}"
+        );
     }
 
     #[test]
@@ -465,7 +476,10 @@ mod tests {
             Point::new(4.0, 8.0),
             [0; 4],
         );
-        assert_eq!(coverage_count(&t, &vp, false), collect(&t, &vp, false).len());
+        assert_eq!(
+            coverage_count(&t, &vp, false),
+            collect(&t, &vp, false).len()
+        );
         assert_eq!(coverage_count(&t, &vp, true), collect(&t, &vp, true).len());
     }
 }

@@ -37,19 +37,18 @@ pub fn exclusive_scan(input: &[u32], workers: usize) -> Vec<u64> {
             rest = tail;
         }
     }
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for ((range, slice), base) in ranges.iter().zip(out_slices).zip(offsets.iter()) {
             let input = &input[range.clone()];
             let mut acc = *base;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (o, &v) in slice.iter_mut().zip(input) {
                     *o = acc;
                     acc += v as u64;
                 }
             });
         }
-    })
-    .expect("scan worker panicked");
+    });
     out
 }
 
@@ -81,11 +80,11 @@ pub fn compact_non_null(tex: &Texture, workers: usize) -> Vec<CompactEntry> {
         }
     }
     let w = tex.width() as usize;
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (range, slice) in ranges.iter().zip(out_slices) {
             let base = range.start;
             let chunk = &pixels[range.clone()];
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut k = 0;
                 for (i, &v) in chunk.iter().enumerate() {
                     if v != NULL_PIXEL {
@@ -97,8 +96,7 @@ pub fn compact_non_null(tex: &Texture, workers: usize) -> Vec<CompactEntry> {
                 debug_assert_eq!(k, slice.len());
             });
         }
-    })
-    .expect("compact worker panicked");
+    });
     out
 }
 
@@ -121,7 +119,11 @@ mod tests {
                 .collect()
         };
         for workers in [1, 2, 4, 16] {
-            assert_eq!(exclusive_scan(&input, workers), expected, "workers={workers}");
+            assert_eq!(
+                exclusive_scan(&input, workers),
+                expected,
+                "workers={workers}"
+            );
         }
     }
 

@@ -92,7 +92,10 @@ pub struct AffineVertex {
 impl VertexShader for AffineVertex {
     fn shade(&self, v: Vertex) -> Vertex {
         Vertex {
-            pos: Point::new(v.pos.x * self.scale.x + self.offset.x, v.pos.y * self.scale.y + self.offset.y),
+            pos: Point::new(
+                v.pos.x * self.scale.x + self.offset.x,
+                v.pos.y * self.scale.y + self.offset.y,
+            ),
             attrs: v.attrs,
         }
     }
@@ -168,7 +171,10 @@ mod tests {
     #[test]
     fn fn_vertex_projection() {
         let sh = FnVertex(|p: Point| Point::new(p.x * 10.0, p.y));
-        assert_eq!(sh.shade(Vertex::with_id(Point::new(2.0, 5.0), 0)).pos.x, 20.0);
+        assert_eq!(
+            sh.shade(Vertex::with_id(Point::new(2.0, 5.0), 0)).pos.x,
+            20.0
+        );
     }
 
     #[test]

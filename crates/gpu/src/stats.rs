@@ -51,7 +51,8 @@ impl PipelineStats {
     }
 
     pub fn add_gpu_time(&self, d: Duration) {
-        self.gpu_nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        self.gpu_nanos
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
     }
 
     pub fn gpu_time(&self) -> Duration {

@@ -1,6 +1,5 @@
 //! The clustered grid index (§5.3, tuning §6.1).
 
-use parking_lot::Mutex;
 use spade_geometry::hull::convex_hull_polygon;
 use spade_geometry::{BBox, Geometry, Point, Polygon};
 use spade_storage::geom::{geometry_table, read_geometry_table};
@@ -8,6 +7,7 @@ use spade_storage::persist;
 use spade_storage::{Result, StorageError};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::sync::Mutex;
 
 /// One grid cell: its bounding polygon (a convex hull), the ids of the
 /// objects clustered into it, and the physical size of its data block.
@@ -36,7 +36,7 @@ enum BlockStore {
     Disk(PathBuf),
     /// Serialized blocks held in memory (tests and small benchmarks); reads
     /// are still byte-accounted.
-    Memory(Vec<bytes::Bytes>),
+    Memory(Vec<Vec<u8>>),
 }
 
 /// The clustered grid index.
@@ -57,11 +57,7 @@ impl GridIndex {
     /// most ~2 GB for an 8 GB GPU, §6.1). Assumes roughly uniform density;
     /// skewed data simply yields some larger cells, which is tolerated the
     /// same way the paper's OSM zoom levels are.
-    pub fn cell_size_for_budget(
-        extent: &BBox,
-        total_bytes: u64,
-        max_cell_bytes: u64,
-    ) -> f64 {
+    pub fn cell_size_for_budget(extent: &BBox, total_bytes: u64, max_cell_bytes: u64) -> f64 {
         let span = extent.width().max(extent.height()).max(1e-9);
         if total_bytes <= max_cell_bytes {
             return span; // a single cell suffices
@@ -91,7 +87,11 @@ impl GridIndex {
         for (_, g) in objects {
             extent = extent.union(&g.bbox());
         }
-        let origin = if extent.is_empty() { Point::ZERO } else { extent.min };
+        let origin = if extent.is_empty() {
+            Point::ZERO
+        } else {
+            extent.min
+        };
         let mut buckets: BTreeMap<(i32, i32), Vec<usize>> = BTreeMap::new();
         for (i, (_, g)) in objects.iter().enumerate() {
             let c = g.centroid();
@@ -140,10 +140,7 @@ impl GridIndex {
                 Polygon::rect(BBox::from_points(pts.iter().copied()).inflate(1e-9))
             });
 
-            let items: Vec<(u32, Geometry)> = members
-                .iter()
-                .map(|&i| objects[i].clone())
-                .collect();
+            let items: Vec<(u32, Geometry)> = members.iter().map(|&i| objects[i].clone()).collect();
             let table = geometry_table(&format!("cell_{}_{}", coords.0, coords.1), &items)?;
             let encoded = persist::encode_table(&table);
             let bytes = encoded.len() as u64;
@@ -215,18 +212,18 @@ impl GridIndex {
             }
             BlockStore::Memory(blocks) => persist::decode_table(&blocks[idx])?,
         };
-        *self.bytes_read.lock() += cell.bytes;
+        *self.bytes_read.lock().unwrap() += cell.bytes;
         read_geometry_table(&table)
     }
 
     /// Bytes read through [`GridIndex::load_cell`] so far.
     pub fn bytes_read(&self) -> u64 {
-        *self.bytes_read.lock()
+        *self.bytes_read.lock().unwrap()
     }
 
     /// Reset the I/O ledger (per-query accounting).
     pub fn reset_bytes_read(&self) {
-        *self.bytes_read.lock() = 0;
+        *self.bytes_read.lock().unwrap() = 0;
     }
 }
 
@@ -265,9 +262,13 @@ mod tests {
         let mut s = 99u64;
         (0..n)
             .map(|i| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let x = ((s >> 33) % 10_000) as f64 / 100.0;
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let y = ((s >> 33) % 10_000) as f64 / 100.0;
                 (i as u32, Geometry::Point(Point::new(x, y)))
             })

@@ -68,9 +68,7 @@ impl RTree {
                     .unwrap_or(std::cmp::Ordering::Equal)
             });
             for run in strip.chunks(NODE_CAPACITY) {
-                let bbox = run
-                    .iter()
-                    .fold(BBox::empty(), |acc, (_, b)| acc.union(b));
+                let bbox = run.iter().fold(BBox::empty(), |acc, (_, b)| acc.union(b));
                 leaves.push(Node::Leaf {
                     bbox,
                     entries: run.to_vec(),
@@ -88,9 +86,7 @@ impl RTree {
                     .partial_cmp(&b.bbox().center().x)
                     .unwrap_or(std::cmp::Ordering::Equal)
             });
-            for run in std::mem::take(&mut level)
-                .chunks_mut(NODE_CAPACITY)
-            {
+            for run in std::mem::take(&mut level).chunks_mut(NODE_CAPACITY) {
                 let children: Vec<Node> = run.iter_mut().map(std::mem::take).collect();
                 let bbox = children
                     .iter()
@@ -359,7 +355,10 @@ mod tests {
             dists.len() < 20
         });
         assert_eq!(dists.len(), 20);
-        assert!(dists.windows(2).all(|w| w[0] <= w[1]), "not sorted: {dists:?}");
+        assert!(
+            dists.windows(2).all(|w| w[0] <= w[1]),
+            "not sorted: {dists:?}"
+        );
         assert_eq!(dists[0], 0.0); // the box containing p
     }
 

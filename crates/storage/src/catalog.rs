@@ -3,9 +3,9 @@
 use crate::persist;
 use crate::table::{Schema, Table};
 use crate::{Result, StorageError};
-use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::sync::RwLock;
 
 /// An embedded database: a catalog of tables, optionally backed by a
 /// directory on disk (one file per table, as [`persist`] encodes them).
@@ -33,7 +33,7 @@ impl Database {
     }
 
     pub fn create_table(&self, name: &str, schema: Schema) -> Result<()> {
-        let mut tables = self.tables.write();
+        let mut tables = self.tables.write().unwrap();
         if tables.contains_key(name) {
             return Err(StorageError::DuplicateTable(name.to_string()));
         }
@@ -42,7 +42,7 @@ impl Database {
     }
 
     pub fn drop_table(&self, name: &str) -> Result<()> {
-        let removed = self.tables.write().remove(name);
+        let removed = self.tables.write().unwrap().remove(name);
         if removed.is_none() {
             return Err(StorageError::UnknownTable(name.to_string()));
         }
@@ -53,16 +53,16 @@ impl Database {
     }
 
     pub fn has_table(&self, name: &str) -> bool {
-        self.tables.read().contains_key(name)
+        self.tables.read().unwrap().contains_key(name)
     }
 
     pub fn table_names(&self) -> Vec<String> {
-        self.tables.read().keys().cloned().collect()
+        self.tables.read().unwrap().keys().cloned().collect()
     }
 
     /// Run `f` with shared access to a table.
     pub fn with_table<R>(&self, name: &str, f: impl FnOnce(&Table) -> R) -> Result<R> {
-        let tables = self.tables.read();
+        let tables = self.tables.read().unwrap();
         let t = tables
             .get(name)
             .ok_or_else(|| StorageError::UnknownTable(name.to_string()))?;
@@ -71,7 +71,7 @@ impl Database {
 
     /// Run `f` with exclusive access to a table.
     pub fn with_table_mut<R>(&self, name: &str, f: impl FnOnce(&mut Table) -> R) -> Result<R> {
-        let mut tables = self.tables.write();
+        let mut tables = self.tables.write().unwrap();
         let t = tables
             .get_mut(name)
             .ok_or_else(|| StorageError::UnknownTable(name.to_string()))?;
@@ -80,13 +80,17 @@ impl Database {
 
     /// Register an already-built table (replacing any same-named one).
     pub fn put_table(&self, table: Table) {
-        self.tables.write().insert(table.name.clone(), table);
+        self.tables
+            .write()
+            .unwrap()
+            .insert(table.name.clone(), table);
     }
 
     /// Take a table out of the catalog.
     pub fn take_table(&self, name: &str) -> Result<Table> {
         self.tables
             .write()
+            .unwrap()
             .remove(name)
             .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
     }
@@ -111,7 +115,7 @@ impl Database {
             .table_path(name)
             .ok_or_else(|| StorageError::Io("database is in-memory".into()))?;
         let (table, bytes) = persist::read_table(&path)?;
-        self.tables.write().insert(name.to_string(), table);
+        self.tables.write().unwrap().insert(name.to_string(), table);
         Ok(bytes)
     }
 }

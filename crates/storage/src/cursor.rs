@@ -1,0 +1,114 @@
+//! Little-endian byte-cursor helpers.
+//!
+//! The codec modules ([`crate::persist`], [`crate::geom`]) write into plain
+//! `Vec<u8>` buffers and read from advancing `&[u8]` cursors. Every reader
+//! is bounds-checked and returns `None` on underrun, so decoding truncated
+//! or corrupted input can never panic — the codecs turn `None` into
+//! [`crate::StorageError::Corrupt`].
+
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+pub fn put_u16_le(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_u32_le(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_u64_le(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_i64_le(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_f64_le(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_slice(buf: &mut Vec<u8>, s: &[u8]) {
+    buf.extend_from_slice(s);
+}
+
+/// Length-prefixed (u32 LE) string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32_le(buf, s.len() as u32);
+    put_slice(buf, s.as_bytes());
+}
+
+/// Take the next `n` bytes off the cursor, or `None` if fewer remain.
+pub fn get_bytes<'a>(buf: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+    if buf.len() < n {
+        return None;
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Some(head)
+}
+
+pub fn get_u8(buf: &mut &[u8]) -> Option<u8> {
+    get_bytes(buf, 1).map(|b| b[0])
+}
+
+pub fn get_u16_le(buf: &mut &[u8]) -> Option<u16> {
+    get_bytes(buf, 2).map(|b| u16::from_le_bytes(b.try_into().unwrap()))
+}
+
+pub fn get_u32_le(buf: &mut &[u8]) -> Option<u32> {
+    get_bytes(buf, 4).map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+}
+
+pub fn get_u64_le(buf: &mut &[u8]) -> Option<u64> {
+    get_bytes(buf, 8).map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+}
+
+pub fn get_i64_le(buf: &mut &[u8]) -> Option<i64> {
+    get_bytes(buf, 8).map(|b| i64::from_le_bytes(b.try_into().unwrap()))
+}
+
+pub fn get_f64_le(buf: &mut &[u8]) -> Option<f64> {
+    get_bytes(buf, 8).map(|b| f64::from_le_bytes(b.try_into().unwrap()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_u16_le(&mut buf, 0xbeef);
+        put_u32_le(&mut buf, 0xdead_beef);
+        put_u64_le(&mut buf, u64::MAX - 1);
+        put_i64_le(&mut buf, -42);
+        put_f64_le(&mut buf, -1.25);
+        put_slice(&mut buf, b"xyz");
+        let mut cur: &[u8] = &buf;
+        assert_eq!(get_u8(&mut cur), Some(7));
+        assert_eq!(get_u16_le(&mut cur), Some(0xbeef));
+        assert_eq!(get_u32_le(&mut cur), Some(0xdead_beef));
+        assert_eq!(get_u64_le(&mut cur), Some(u64::MAX - 1));
+        assert_eq!(get_i64_le(&mut cur), Some(-42));
+        assert_eq!(get_f64_le(&mut cur), Some(-1.25));
+        assert_eq!(get_bytes(&mut cur, 3), Some(&b"xyz"[..]));
+        assert!(cur.is_empty());
+    }
+
+    #[test]
+    fn underrun_returns_none_and_keeps_cursor() {
+        let data = [1u8, 2, 3];
+        let mut cur: &[u8] = &data;
+        assert_eq!(get_u64_le(&mut cur), None);
+        // A failed read must not consume anything.
+        assert_eq!(cur.len(), 3);
+        assert_eq!(get_u16_le(&mut cur), Some(0x0201));
+        assert_eq!(get_u16_le(&mut cur), None);
+        assert_eq!(get_u8(&mut cur), Some(3));
+        assert_eq!(get_u8(&mut cur), None);
+    }
+}

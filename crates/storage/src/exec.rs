@@ -197,11 +197,17 @@ mod tests {
     #[test]
     fn and_or_not() {
         let t = sample();
-        let f = Expr::cmp(CmpOp::Eq, Expr::col("tag"), Expr::lit("a"))
-            .and(Expr::cmp(CmpOp::Lt, Expr::col("id"), Expr::lit(3i64)));
+        let f = Expr::cmp(CmpOp::Eq, Expr::col("tag"), Expr::lit("a")).and(Expr::cmp(
+            CmpOp::Lt,
+            Expr::col("id"),
+            Expr::lit(3i64),
+        ));
         assert_eq!(scan(&t, &[], Some(&f)).unwrap().num_rows(), 1);
-        let g = Expr::cmp(CmpOp::Eq, Expr::col("tag"), Expr::lit("b"))
-            .or(Expr::cmp(CmpOp::Eq, Expr::col("tag"), Expr::lit("c")));
+        let g = Expr::cmp(CmpOp::Eq, Expr::col("tag"), Expr::lit("b")).or(Expr::cmp(
+            CmpOp::Eq,
+            Expr::col("tag"),
+            Expr::lit("c"),
+        ));
         assert_eq!(scan(&t, &[], Some(&g)).unwrap().num_rows(), 2);
         let n = Expr::Not(Box::new(Expr::cmp(
             CmpOp::Eq,
@@ -223,8 +229,7 @@ mod tests {
         assert_eq!(out.num_rows(), 1);
         assert_eq!(out.column("id").unwrap().get_int(0), Some(3));
         // NULL OR TRUE = TRUE.
-        let or_true = Expr::cmp(CmpOp::Gt, Expr::col("score"), Expr::lit(0.0))
-            .or(Expr::lit(1i64));
+        let or_true = Expr::cmp(CmpOp::Gt, Expr::col("score"), Expr::lit(0.0)).or(Expr::lit(1i64));
         assert_eq!(scan(&t, &[], Some(&or_true)).unwrap().num_rows(), 4);
     }
 

@@ -6,10 +6,10 @@
 //! and the table adapters.
 
 use crate::column::DataType;
+use crate::cursor;
 use crate::table::{Schema, Table};
 use crate::value::Value;
 use crate::{Result, StorageError};
-use bytes::{Buf, BufMut, BytesMut};
 use spade_geometry::{Geometry, LineString, MultiPolygon, Point, Polygon};
 
 const TAG_POINT: u8 = 1;
@@ -19,45 +19,45 @@ const TAG_MULTIPOLYGON: u8 = 4;
 
 /// Encode a geometry to its binary blob form.
 pub fn encode_geometry(g: &Geometry) -> Vec<u8> {
-    let mut buf = BytesMut::with_capacity(16 + g.num_vertices() * 16);
+    let mut buf = Vec::with_capacity(16 + g.num_vertices() * 16);
     match g {
         Geometry::Point(p) => {
-            buf.put_u8(TAG_POINT);
+            cursor::put_u8(&mut buf, TAG_POINT);
             put_point(&mut buf, *p);
         }
         Geometry::LineString(l) => {
-            buf.put_u8(TAG_LINESTRING);
+            cursor::put_u8(&mut buf, TAG_LINESTRING);
             put_points(&mut buf, &l.points);
         }
         Geometry::Polygon(p) => {
-            buf.put_u8(TAG_POLYGON);
+            cursor::put_u8(&mut buf, TAG_POLYGON);
             put_polygon(&mut buf, p);
         }
         Geometry::MultiPolygon(m) => {
-            buf.put_u8(TAG_MULTIPOLYGON);
-            buf.put_u32_le(m.polygons.len() as u32);
+            cursor::put_u8(&mut buf, TAG_MULTIPOLYGON);
+            cursor::put_u32_le(&mut buf, m.polygons.len() as u32);
             for p in &m.polygons {
                 put_polygon(&mut buf, p);
             }
         }
     }
-    buf.to_vec()
+    buf
 }
 
-fn put_point(buf: &mut BytesMut, p: Point) {
-    buf.put_f64_le(p.x);
-    buf.put_f64_le(p.y);
+fn put_point(buf: &mut Vec<u8>, p: Point) {
+    cursor::put_f64_le(buf, p.x);
+    cursor::put_f64_le(buf, p.y);
 }
 
-fn put_points(buf: &mut BytesMut, pts: &[Point]) {
-    buf.put_u32_le(pts.len() as u32);
+fn put_points(buf: &mut Vec<u8>, pts: &[Point]) {
+    cursor::put_u32_le(buf, pts.len() as u32);
     for p in pts {
         put_point(buf, *p);
     }
 }
 
-fn put_polygon(buf: &mut BytesMut, p: &Polygon) {
-    buf.put_u32_le(1 + p.holes.len() as u32);
+fn put_polygon(buf: &mut Vec<u8>, p: &Polygon) {
+    cursor::put_u32_le(buf, 1 + p.holes.len() as u32);
     put_points(buf, &p.exterior.points);
     for h in &p.holes {
         put_points(buf, &h.points);
@@ -67,20 +67,17 @@ fn put_polygon(buf: &mut BytesMut, p: &Polygon) {
 /// Decode a geometry from its binary blob form.
 pub fn decode_geometry(mut buf: &[u8]) -> Result<Geometry> {
     let corrupt = |m: &str| StorageError::Corrupt(format!("geometry: {m}"));
-    if buf.is_empty() {
+    let Some(tag) = cursor::get_u8(&mut buf) else {
         return Err(corrupt("empty blob"));
-    }
-    let tag = buf.get_u8();
+    };
     match tag {
         TAG_POINT => Ok(Geometry::Point(get_point(&mut buf)?)),
         TAG_LINESTRING => Ok(Geometry::LineString(LineString::new(get_points(&mut buf)?))),
         TAG_POLYGON => Ok(Geometry::Polygon(get_polygon(&mut buf)?)),
         TAG_MULTIPOLYGON => {
-            if buf.remaining() < 4 {
-                return Err(corrupt("truncated multipolygon"));
-            }
-            let n = buf.get_u32_le() as usize;
-            let mut polys = Vec::with_capacity(n);
+            let n = cursor::get_u32_le(&mut buf).ok_or_else(|| corrupt("truncated multipolygon"))?
+                as usize;
+            let mut polys = Vec::with_capacity(n.min(buf.len()));
             for _ in 0..n {
                 polys.push(get_polygon(&mut buf)?);
             }
@@ -91,20 +88,17 @@ pub fn decode_geometry(mut buf: &[u8]) -> Result<Geometry> {
 }
 
 fn get_point(buf: &mut &[u8]) -> Result<Point> {
-    if buf.remaining() < 16 {
-        return Err(StorageError::Corrupt("geometry: truncated point".into()));
-    }
-    let x = buf.get_f64_le();
-    let y = buf.get_f64_le();
+    let truncated = || StorageError::Corrupt("geometry: truncated point".into());
+    let x = cursor::get_f64_le(buf).ok_or_else(truncated)?;
+    let y = cursor::get_f64_le(buf).ok_or_else(truncated)?;
     Ok(Point::new(x, y))
 }
 
 fn get_points(buf: &mut &[u8]) -> Result<Vec<Point>> {
-    if buf.remaining() < 4 {
-        return Err(StorageError::Corrupt("geometry: truncated count".into()));
-    }
-    let n = buf.get_u32_le() as usize;
-    if buf.remaining() < n * 16 {
+    let n = cursor::get_u32_le(buf)
+        .ok_or_else(|| StorageError::Corrupt("geometry: truncated count".into()))?
+        as usize;
+    if buf.len() < n * 16 {
         return Err(StorageError::Corrupt("geometry: truncated points".into()));
     }
     let mut pts = Vec::with_capacity(n);
@@ -115,12 +109,13 @@ fn get_points(buf: &mut &[u8]) -> Result<Vec<Point>> {
 }
 
 fn get_polygon(buf: &mut &[u8]) -> Result<Polygon> {
-    if buf.remaining() < 4 {
-        return Err(StorageError::Corrupt("geometry: truncated ring count".into()));
-    }
-    let nrings = buf.get_u32_le() as usize;
+    let nrings = cursor::get_u32_le(buf)
+        .ok_or_else(|| StorageError::Corrupt("geometry: truncated ring count".into()))?
+        as usize;
     if nrings == 0 {
-        return Err(StorageError::Corrupt("geometry: polygon without rings".into()));
+        return Err(StorageError::Corrupt(
+            "geometry: polygon without rings".into(),
+        ));
     }
     let exterior = get_points(buf)?;
     let mut holes = Vec::with_capacity(nrings - 1);

@@ -19,6 +19,7 @@
 
 pub mod catalog;
 pub mod column;
+pub mod cursor;
 pub mod exec;
 pub mod geom;
 pub mod persist;
@@ -50,7 +51,10 @@ impl std::fmt::Display for StorageError {
             StorageError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
             StorageError::UnknownColumn(c) => write!(f, "unknown column '{c}'"),
             StorageError::TypeMismatch { column, expected } => {
-                write!(f, "type mismatch for column '{column}': expected {expected:?}")
+                write!(
+                    f,
+                    "type mismatch for column '{column}': expected {expected:?}"
+                )
             }
             StorageError::Arity { expected, got } => {
                 write!(f, "arity mismatch: expected {expected} values, got {got}")

@@ -7,9 +7,12 @@
 //! of the paper's time breakdown (§6.2).
 
 use crate::column::{Column, ColumnData, DataType};
+use crate::cursor::{
+    get_bytes, get_f64_le, get_i64_le, get_u32_le, get_u64_le, get_u8, put_f64_le, put_i64_le,
+    put_slice, put_str, put_u16_le, put_u32_le, put_u64_le, put_u8,
+};
 use crate::table::{Schema, Table};
 use crate::{Result, StorageError};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::io::{Read, Write};
 use std::path::Path;
 
@@ -36,29 +39,24 @@ fn tag_dtype(tag: u8) -> Result<DataType> {
 }
 
 /// Encode a table into a byte buffer.
-pub fn encode_table(table: &Table) -> Bytes {
-    let mut buf = BytesMut::with_capacity(table.byte_size() + 256);
-    buf.put_u32_le(MAGIC);
-    buf.put_u16_le(VERSION);
+pub fn encode_table(table: &Table) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(table.byte_size() + 256);
+    put_u32_le(&mut buf, MAGIC);
+    put_u16_le(&mut buf, VERSION);
     put_str(&mut buf, &table.name);
-    buf.put_u32_le(table.columns.len() as u32);
-    buf.put_u64_le(table.num_rows() as u64);
+    put_u32_le(&mut buf, table.columns.len() as u32);
+    put_u64_le(&mut buf, table.num_rows() as u64);
     for c in &table.columns {
         put_str(&mut buf, &c.name);
-        buf.put_u8(dtype_tag(c.data_type()));
+        put_u8(&mut buf, dtype_tag(c.data_type()));
     }
     for c in &table.columns {
         encode_column(&mut buf, c);
     }
-    buf.freeze()
+    buf
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
-    buf.put_u32_le(s.len() as u32);
-    buf.put_slice(s.as_bytes());
-}
-
-fn encode_column(buf: &mut BytesMut, c: &Column) {
+fn encode_column(buf: &mut Vec<u8>, c: &Column) {
     // Null bitmap, packed.
     let nulls = c.nulls();
     let nbytes = nulls.len().div_ceil(8);
@@ -68,28 +66,28 @@ fn encode_column(buf: &mut BytesMut, c: &Column) {
             bitmap[i / 8] |= 1 << (i % 8);
         }
     }
-    buf.put_slice(&bitmap);
+    put_slice(buf, &bitmap);
     match c.data() {
         ColumnData::Int(d) => {
             for v in d {
-                buf.put_i64_le(*v);
+                put_i64_le(buf, *v);
             }
         }
         ColumnData::Float(d) => {
             for v in d {
-                buf.put_f64_le(*v);
+                put_f64_le(buf, *v);
             }
         }
         ColumnData::Str(d) => {
             for s in d {
-                buf.put_u32_le(s.len() as u32);
-                buf.put_slice(s.as_bytes());
+                put_u32_le(buf, s.len() as u32);
+                put_slice(buf, s.as_bytes());
             }
         }
         ColumnData::Bytes(d) => {
             for b in d {
-                buf.put_u32_le(b.len() as u32);
-                buf.put_slice(b);
+                put_u32_le(buf, b.len() as u32);
+                put_slice(buf, b);
             }
         }
     }
@@ -98,26 +96,25 @@ fn encode_column(buf: &mut BytesMut, c: &Column) {
 /// Decode a table from bytes.
 pub fn decode_table(mut buf: &[u8]) -> Result<Table> {
     let corrupt = |m: &str| StorageError::Corrupt(m.to_string());
-    if buf.remaining() < 6 || buf.get_u32_le() != MAGIC {
+    if get_u32_le(&mut buf) != Some(MAGIC) {
         return Err(corrupt("bad magic"));
     }
-    let version = buf.get_u16_le();
-    if version != VERSION {
-        return Err(StorageError::Corrupt(format!("bad version {version}")));
+    match crate::cursor::get_u16_le(&mut buf) {
+        Some(VERSION) => {}
+        Some(version) => return Err(StorageError::Corrupt(format!("bad version {version}"))),
+        None => return Err(corrupt("truncated header")),
     }
     let name = get_str(&mut buf)?;
-    if buf.remaining() < 12 {
-        return Err(corrupt("truncated header"));
+    let ncols = get_u32_le(&mut buf).ok_or_else(|| corrupt("truncated header"))? as usize;
+    let nrows = get_u64_le(&mut buf).ok_or_else(|| corrupt("truncated header"))? as usize;
+    if ncols > buf.len() {
+        return Err(corrupt("column count exceeds buffer"));
     }
-    let ncols = buf.get_u32_le() as usize;
-    let nrows = buf.get_u64_le() as usize;
     let mut fields = Vec::with_capacity(ncols);
     for _ in 0..ncols {
         let cname = get_str(&mut buf)?;
-        if buf.remaining() < 1 {
-            return Err(corrupt("truncated column header"));
-        }
-        let dt = tag_dtype(buf.get_u8())?;
+        let tag = get_u8(&mut buf).ok_or_else(|| corrupt("truncated column header"))?;
+        let dt = tag_dtype(tag)?;
         fields.push((cname, dt));
     }
     let schema = Schema::new(fields.clone());
@@ -133,48 +130,32 @@ pub fn decode_table(mut buf: &[u8]) -> Result<Table> {
 }
 
 fn get_str(buf: &mut &[u8]) -> Result<String> {
-    if buf.remaining() < 4 {
-        return Err(StorageError::Corrupt("truncated string".into()));
-    }
-    let len = buf.get_u32_le() as usize;
-    if buf.remaining() < len {
-        return Err(StorageError::Corrupt("truncated string body".into()));
-    }
-    let s = String::from_utf8(buf[..len].to_vec())
-        .map_err(|_| StorageError::Corrupt("invalid utf8".into()))?;
-    buf.advance(len);
-    Ok(s)
+    let len = get_u32_le(buf).ok_or_else(|| StorageError::Corrupt("truncated string".into()))?;
+    let body = get_bytes(buf, len as usize)
+        .ok_or_else(|| StorageError::Corrupt("truncated string body".into()))?;
+    String::from_utf8(body.to_vec()).map_err(|_| StorageError::Corrupt("invalid utf8".into()))
 }
 
 fn decode_column(buf: &mut &[u8], name: String, dt: DataType, nrows: usize) -> Result<Column> {
     let corrupt = |m: &str| StorageError::Corrupt(m.to_string());
     let nbytes = nrows.div_ceil(8);
-    if buf.remaining() < nbytes {
-        return Err(corrupt("truncated null bitmap"));
-    }
+    let bitmap = get_bytes(buf, nbytes).ok_or_else(|| corrupt("truncated null bitmap"))?;
     let mut nulls = Vec::with_capacity(nrows);
     for i in 0..nrows {
-        nulls.push(buf[i / 8] & (1 << (i % 8)) != 0);
+        nulls.push(bitmap[i / 8] & (1 << (i % 8)) != 0);
     }
-    buf.advance(nbytes);
     let data = match dt {
         DataType::Int => {
-            if buf.remaining() < nrows * 8 {
-                return Err(corrupt("truncated int column"));
-            }
             let mut d = Vec::with_capacity(nrows);
             for _ in 0..nrows {
-                d.push(buf.get_i64_le());
+                d.push(get_i64_le(buf).ok_or_else(|| corrupt("truncated int column"))?);
             }
             ColumnData::Int(d)
         }
         DataType::Float => {
-            if buf.remaining() < nrows * 8 {
-                return Err(corrupt("truncated float column"));
-            }
             let mut d = Vec::with_capacity(nrows);
             for _ in 0..nrows {
-                d.push(buf.get_f64_le());
+                d.push(get_f64_le(buf).ok_or_else(|| corrupt("truncated float column"))?);
             }
             ColumnData::Float(d)
         }
@@ -188,15 +169,10 @@ fn decode_column(buf: &mut &[u8], name: String, dt: DataType, nrows: usize) -> R
         DataType::Bytes => {
             let mut d = Vec::with_capacity(nrows);
             for _ in 0..nrows {
-                if buf.remaining() < 4 {
-                    return Err(corrupt("truncated blob length"));
-                }
-                let len = buf.get_u32_le() as usize;
-                if buf.remaining() < len {
-                    return Err(corrupt("truncated blob body"));
-                }
-                d.push(buf[..len].to_vec());
-                buf.advance(len);
+                let len = get_u32_le(buf).ok_or_else(|| corrupt("truncated blob length"))?;
+                let body =
+                    get_bytes(buf, len as usize).ok_or_else(|| corrupt("truncated blob body"))?;
+                d.push(body.to_vec());
             }
             ColumnData::Bytes(d)
         }
@@ -261,10 +237,7 @@ mod tests {
 
     #[test]
     fn empty_table_roundtrip() {
-        let t = Table::new(
-            "empty",
-            Schema::new(vec![("id".into(), DataType::Int)]),
-        );
+        let t = Table::new("empty", Schema::new(vec![("id".into(), DataType::Int)]));
         let back = decode_table(&encode_table(&t)).unwrap();
         assert_eq!(back.num_rows(), 0);
         assert_eq!(back.name, "empty");
@@ -274,9 +247,72 @@ mod tests {
     fn corrupt_inputs_rejected() {
         assert!(decode_table(&[]).is_err());
         assert!(decode_table(&[0xde, 0xad, 0xbe, 0xef, 0, 0]).is_err());
-        let mut good = encode_table(&sample()).to_vec();
+        let mut good = encode_table(&sample());
         good.truncate(good.len() / 2);
         assert!(decode_table(&good).is_err());
+    }
+
+    /// One-column roundtrip for each supported column type, with nulls and
+    /// boundary values.
+    #[test]
+    fn per_type_roundtrip() {
+        let cases: Vec<(DataType, Vec<Value>)> = vec![
+            (
+                DataType::Int,
+                vec![i64::MIN.into(), 0.into(), i64::MAX.into(), Value::Null],
+            ),
+            (
+                DataType::Float,
+                vec![f64::MIN.into(), (-0.0).into(), f64::MAX.into(), Value::Null],
+            ),
+            (
+                DataType::Str,
+                vec!["".into(), "αβγ — utf8".into(), Value::Null, "x".into()],
+            ),
+            (
+                DataType::Bytes,
+                vec![
+                    Vec::new().into(),
+                    vec![0u8, 255, 42].into(),
+                    Value::Null,
+                    vec![7u8; 100].into(),
+                ],
+            ),
+        ];
+        for (dt, values) in cases {
+            let mut t = Table::new("one", Schema::new(vec![("c".into(), dt)]));
+            for v in values {
+                t.insert(vec![v]).unwrap();
+            }
+            let back = decode_table(&encode_table(&t)).unwrap();
+            assert_eq!(back, t, "{dt:?} roundtrip");
+        }
+    }
+
+    /// Every strict prefix of a valid encoding must decode to `Err` —
+    /// never panic, never return a partial table.
+    #[test]
+    fn every_truncation_errors_without_panic() {
+        let bytes = encode_table(&sample());
+        for len in 0..bytes.len() {
+            assert!(
+                decode_table(&bytes[..len]).is_err(),
+                "prefix of {len}/{} bytes decoded",
+                bytes.len()
+            );
+        }
+    }
+
+    /// Flipping any single byte must not panic (decoding may legitimately
+    /// succeed with different data when the flip hits a value byte).
+    #[test]
+    fn flipped_bytes_never_panic() {
+        let bytes = encode_table(&sample());
+        for i in 0..bytes.len() {
+            let mut mutated = bytes.clone();
+            mutated[i] ^= 0xff;
+            let _ = decode_table(&mutated);
+        }
     }
 
     #[test]
@@ -297,7 +333,11 @@ mod tests {
         // More than 8 rows exercises multi-byte bitmaps.
         let mut t = Table::new("n", Schema::new(vec![("v".into(), DataType::Int)]));
         for i in 0..20 {
-            let v = if i % 3 == 0 { Value::Null } else { Value::Int(i) };
+            let v = if i % 3 == 0 {
+                Value::Null
+            } else {
+                Value::Int(i)
+            };
             t.insert(vec![v]).unwrap();
         }
         let back = decode_table(&encode_table(&t)).unwrap();

@@ -227,7 +227,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String> {
         match self.next()? {
             Tok::Ident(s) => Ok(s),
-            t => Err(StorageError::Parse(format!("expected identifier, found {t:?}"))),
+            t => Err(StorageError::Parse(format!(
+                "expected identifier, found {t:?}"
+            ))),
         }
     }
 
@@ -250,7 +252,11 @@ impl Parser {
             match self.next()? {
                 Tok::Punct(',') => continue,
                 Tok::Punct(')') => break,
-                t => return Err(StorageError::Parse(format!("expected ',' or ')', found {t:?}"))),
+                t => {
+                    return Err(StorageError::Parse(format!(
+                        "expected ',' or ')', found {t:?}"
+                    )))
+                }
             }
         }
         if !self.at_end() {
@@ -312,7 +318,9 @@ impl Parser {
             Tok::Num(v) => Ok(Value::Float(v)),
             Tok::Str(s) => Ok(Value::Str(s)),
             Tok::Ident(s) if s.eq_ignore_ascii_case("NULL") => Ok(Value::Null),
-            t => Err(StorageError::Parse(format!("expected literal, found {t:?}"))),
+            t => Err(StorageError::Parse(format!(
+                "expected literal, found {t:?}"
+            ))),
         }
     }
 
@@ -386,7 +394,11 @@ impl Parser {
             self.pos += 1;
             match self.next()? {
                 Tok::Int(n) if n >= 0 => Some(n as usize),
-                t => return Err(StorageError::Parse(format!("expected LIMIT count, found {t:?}"))),
+                t => {
+                    return Err(StorageError::Parse(format!(
+                        "expected LIMIT count, found {t:?}"
+                    )))
+                }
             }
         } else {
             None
@@ -397,7 +409,11 @@ impl Parser {
 
         // Scan all columns first when ordering needs one outside the
         // projection; project afterwards.
-        let scan_cols: Vec<String> = if order.is_some() { Vec::new() } else { cols.clone() };
+        let scan_cols: Vec<String> = if order.is_some() {
+            Vec::new()
+        } else {
+            cols.clone()
+        };
         let mut out = db.with_table(&name, |t| scan(t, &scan_cols, filter.as_ref()))??;
 
         if !aggs.is_empty() {
@@ -473,7 +489,11 @@ impl Parser {
                 ">=" => CmpOp::Ge,
                 o => return Err(StorageError::Parse(format!("unknown operator '{o}'"))),
             },
-            t => return Err(StorageError::Parse(format!("expected operator, found {t:?}"))),
+            t => {
+                return Err(StorageError::Parse(format!(
+                    "expected operator, found {t:?}"
+                )))
+            }
         };
         let rhs = self.operand()?;
         Ok(Expr::cmp(op, lhs, rhs))
@@ -486,7 +506,9 @@ impl Parser {
             Tok::Int(v) => Ok(Expr::Literal(Value::Int(v))),
             Tok::Num(v) => Ok(Expr::Literal(Value::Float(v))),
             Tok::Str(s) => Ok(Expr::Literal(Value::Str(s))),
-            t => Err(StorageError::Parse(format!("expected operand, found {t:?}"))),
+            t => Err(StorageError::Parse(format!(
+                "expected operand, found {t:?}"
+            ))),
         }
     }
 }
@@ -556,7 +578,9 @@ fn aggregate(rows: &Table, aggs: &[(Agg, Option<String>)]) -> Result<SqlResult> 
                 } else {
                     match op {
                         Agg::Sum => Value::Float(nums.iter().sum()),
-                        Agg::Min => Value::Float(nums.iter().cloned().fold(f64::INFINITY, f64::min)),
+                        Agg::Min => {
+                            Value::Float(nums.iter().cloned().fold(f64::INFINITY, f64::min))
+                        }
                         Agg::Max => {
                             Value::Float(nums.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
                         }
@@ -590,7 +614,11 @@ fn order_rows(rows: &Table, col: &str, desc: bool) -> Result<Table> {
             (false, true) => Ordering::Less,
             (false, false) => key.get(a).compare(&key.get(b)).unwrap_or(Ordering::Equal),
         };
-        if desc { cmp.reverse() } else { cmp }
+        if desc {
+            cmp.reverse()
+        } else {
+            cmp
+        }
     });
     let mut out = Table::new(rows.name.clone(), rows.schema.clone());
     for r in order {
@@ -654,13 +682,7 @@ mod tests {
     #[test]
     fn compound_predicates() {
         let db = db_with_data();
-        let t = rows(
-            execute(
-                &db,
-                "SELECT id FROM pts WHERE city = 'nyc' AND y > 40.75",
-            )
-            .unwrap(),
-        );
+        let t = rows(execute(&db, "SELECT id FROM pts WHERE city = 'nyc' AND y > 40.75").unwrap());
         assert_eq!(t.num_rows(), 1);
         assert_eq!(t.column("id").unwrap().get_int(0), Some(3));
         let t = rows(
@@ -710,7 +732,11 @@ mod tests {
             ("SELECT id FROM pts WHERE id >= 3", 2),
             ("SELECT id FROM pts WHERE id <= 2", 2),
         ] {
-            assert_eq!(rows(execute(&db, sql).unwrap()).num_rows(), expected, "{sql}");
+            assert_eq!(
+                rows(execute(&db, sql).unwrap()).num_rows(),
+                expected,
+                "{sql}"
+            );
         }
     }
 
@@ -760,8 +786,14 @@ mod tests {
         let t = rows(execute(&db, "SELECT id FROM pts ORDER BY x DESC LIMIT 2").unwrap());
         assert_eq!(t.num_rows(), 2);
         assert_eq!(t.column("id").unwrap().get_int(0), Some(4)); // x = 0.0
-        // ORDER BY a column not in the projection still works.
-        let t = rows(execute(&db, "SELECT city FROM pts WHERE city IS NOT NULL ORDER BY y ASC").unwrap());
+                                                                 // ORDER BY a column not in the projection still works.
+        let t = rows(
+            execute(
+                &db,
+                "SELECT city FROM pts WHERE city IS NOT NULL ORDER BY y ASC",
+            )
+            .unwrap(),
+        );
         assert_eq!(t.column("city").unwrap().get_str(0), Some("sf"));
         // LIMIT alone.
         let t = rows(execute(&db, "SELECT * FROM pts LIMIT 1").unwrap());
@@ -783,6 +815,9 @@ mod tests {
     #[test]
     fn semicolons_tolerated() {
         let db = db_with_data();
-        assert_eq!(rows(execute(&db, "SELECT * FROM pts;").unwrap()).num_rows(), 4);
+        assert_eq!(
+            rows(execute(&db, "SELECT * FROM pts;").unwrap()).num_rows(),
+            4
+        );
     }
 }

@@ -148,10 +148,7 @@ mod tests {
 
     #[test]
     fn comparisons() {
-        assert_eq!(
-            Value::Int(1).compare(&Value::Int(2)),
-            Some(Ordering::Less)
-        );
+        assert_eq!(Value::Int(1).compare(&Value::Int(2)), Some(Ordering::Less));
         // Mixed numeric comparison widens.
         assert_eq!(
             Value::Int(2).compare(&Value::Float(1.5)),
@@ -171,6 +168,8 @@ mod tests {
         assert_eq!(Value::Int(3).to_string(), "3");
         assert_eq!(Value::from("x").to_string(), "'x'");
         assert_eq!(Value::Null.to_string(), "NULL");
-        assert!(Value::from(vec![0xABu8; 10]).to_string().contains("10 bytes"));
+        assert!(Value::from(vec![0xABu8; 10])
+            .to_string()
+            .contains("10 bytes"));
     }
 }

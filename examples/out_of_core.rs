@@ -14,8 +14,8 @@ use spade::index::GridIndex;
 fn main() {
     // A deliberately tiny device so the data cannot fit at once.
     let engine = Spade::new(EngineConfig {
-        device_memory: 4 << 20,   // 4 MiB "GPU"
-        max_cell_bytes: 1 << 20,  // ≤ 1 MiB per grid cell (§6.1 rule)
+        device_memory: 4 << 20,  // 4 MiB "GPU"
+        max_cell_bytes: 1 << 20, // ≤ 1 MiB per grid cell (§6.1 rule)
         ..EngineConfig::default()
     });
 
@@ -50,11 +50,8 @@ fn main() {
     // the cells' hull polygons, then only matching blocks stream through
     // device memory.
     let constraint = Polygon::circle(Point::new(0.3, 0.6), 0.2, 24);
-    let out = select::select_indexed(&engine, &indexed, &constraint);
-    println!(
-        "\nselection: {} points in constraint",
-        out.result.len()
-    );
+    let out = select::select_indexed(&engine, &indexed, &constraint).expect("indexed select");
+    println!("\nselection: {} points in constraint", out.result.len());
     println!(
         "cells loaded: {} of {} (hull filter pruned the rest)",
         out.stats.cells_loaded,
@@ -69,7 +66,7 @@ fn main() {
 
     // A second, smaller query touches fewer cells.
     let small = Polygon::rect(BBox::new(Point::new(0.8, 0.8), Point::new(0.9, 0.9)));
-    let out2 = select::select_indexed(&engine, &indexed, &small);
+    let out2 = select::select_indexed(&engine, &indexed, &small).expect("indexed select");
     println!(
         "\nsmall query: {} points, {} cells loaded, {} KiB moved",
         out2.result.len(),

@@ -48,18 +48,16 @@ fn main() {
         println!("  neighborhood #{id}: {count} pickups");
     }
     let total: u64 = agg.result.iter().map(|(_, c)| c).sum();
-    println!("  (total matched: {total}, stats: {})", agg.stats.breakdown());
+    println!(
+        "  (total matched: {total}, stats: {})",
+        agg.stats.breakdown()
+    );
 
     // 3. Distance query: pickups within ~300 m of a point of interest
     //    (0.003° ≈ 300 m at this latitude). SPADE answers this accurately
     //    through a circle canvas plus distance boundary entries.
     let poi = Point::new(-73.99, 40.75);
-    let near = distance::distance_select(
-        &engine,
-        &pickups,
-        &DistanceConstraint::Point(poi),
-        0.003,
-    );
+    let near = distance::distance_select(&engine, &pickups, &DistanceConstraint::Point(poi), 0.003);
     println!(
         "\ndistance: {} pickups within ~300m of the POI ({})",
         near.result.len(),

@@ -3,14 +3,15 @@
 //! (This mirrors the paper's evaluation setup, where all systems answer
 //! the same queries.)
 
+use spade::baselines::brute;
 use spade::baselines::cluster::{ClusterConfig, PointRdd, PolygonRdd};
 use spade::baselines::s2like::PointIndex;
 use spade::baselines::stig::Stig;
-use spade::baselines::brute;
 use spade::datagen::{spider, urban};
-use spade::engine::dataset::Dataset;
+use spade::engine::dataset::{Dataset, DatasetKind, IndexedDataset};
 use spade::engine::{distance, join, knn, select, EngineConfig, Spade};
-use spade::geometry::{BBox, Point, Polygon};
+use spade::geometry::{BBox, Point};
+use spade::index::GridIndex;
 use std::time::Duration;
 
 fn engine() -> Spade {
@@ -58,7 +59,9 @@ fn polygon_selection_agrees() {
     let boxes = spider::uniform_boxes(800, 0.05, 13);
     let data = Dataset::from_polygons("b", boxes.clone());
     let rdd = PolygonRdd::build(boxes.clone(), cluster_cfg());
-    let c = urban::constraint_polygons(1, &unit(), 0.2, 24, 5).pop().unwrap();
+    let c = urban::constraint_polygons(1, &unit(), 0.2, 24, 5)
+        .pop()
+        .unwrap();
     let truth = brute::select_polygons(&boxes, &c);
     assert_eq!(select::select(&spade, &data, &c).result, truth, "SPADE");
     assert_eq!(rdd.select_polygon(&c), truth, "cluster");
@@ -143,16 +146,23 @@ fn knn_agrees_on_distances() {
     let s2 = PointIndex::build(pts.clone());
     let rdd = PointRdd::build(pts.clone(), cluster_cfg());
 
-    for (qi, q) in [Point::new(0.5, 0.5), Point::new(0.1, 0.9), Point::new(0.8, 0.2)]
-        .into_iter()
-        .enumerate()
+    for (qi, q) in [
+        Point::new(0.5, 0.5),
+        Point::new(0.1, 0.9),
+        Point::new(0.8, 0.2),
+    ]
+    .into_iter()
+    .enumerate()
     {
         for k in [1usize, 7, 25] {
             let truth = brute::knn(&pts, q, k);
             let got = knn::knn_select(&spade, &data, q, k).result;
             assert_eq!(got.len(), truth.len(), "SPADE k={k} q{qi}");
             for (g, t) in got.iter().zip(&truth) {
-                assert!((g.1 - t.1).abs() < 1e-12, "SPADE k={k} q{qi}: {g:?} vs {t:?}");
+                assert!(
+                    (g.1 - t.1).abs() < 1e-12,
+                    "SPADE k={k} q{qi}: {g:?} vs {t:?}"
+                );
             }
             let s2_got = s2.knn(q, k);
             let cl_got = rdd.knn(q, k);
@@ -161,6 +171,101 @@ fn knn_agrees_on_distances() {
                 assert!((c.1 - t.1).abs() < 1e-12, "cluster k={k}");
             }
         }
+    }
+}
+
+fn ooc_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("spade-xe-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// The pipelined out-of-core selection path must agree with the in-memory
+/// path and the brute-force oracle on seeded random workloads.
+#[test]
+fn pipelined_selection_agrees_across_seeds() {
+    let spade = engine();
+    for seed in [3u64, 11, 27] {
+        let pts = spider::gaussian_points(6_000, seed);
+        let data = Dataset::from_points("p", pts.clone());
+        let dir = ooc_dir(&format!("sel{seed}"));
+        let grid = GridIndex::build(Some(dir.clone()), &data.objects, 0.2).unwrap();
+        let indexed = IndexedDataset::new("p", DatasetKind::Points, grid);
+        for (i, c) in urban::constraint_polygons(2, &unit(), 0.15, 24, seed)
+            .into_iter()
+            .enumerate()
+        {
+            let truth = brute::select_points(&pts, &c);
+            let mut mem = select::select(&spade, &data, &c).result;
+            mem.sort_unstable();
+            let ooc = select::select_indexed(&spade, &indexed, &c).unwrap().result;
+            assert_eq!(mem, truth, "in-memory vs oracle (seed {seed}, c{i})");
+            assert_eq!(ooc, truth, "pipelined OOC vs oracle (seed {seed}, c{i})");
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+}
+
+/// The pipelined out-of-core join must agree with the in-memory join and
+/// the brute-force oracle on seeded random workloads.
+#[test]
+fn pipelined_join_agrees_across_seeds() {
+    let spade = engine();
+    for seed in [5u64, 13, 31] {
+        let pts = spider::uniform_points(4_000, seed);
+        let parcels = spider::parcels(60, 0.05, seed + 1);
+        let mut truth = brute::join_polygon_point(&parcels, &pts);
+        truth.sort_unstable();
+
+        let d_par = Dataset::from_polygons("parcels", parcels);
+        let d_pts = Dataset::from_points("p", pts);
+        let mem = join::join(&spade, &d_par, &d_pts).result;
+        assert_eq!(mem, truth, "in-memory vs oracle (seed {seed})");
+
+        let dir = ooc_dir(&format!("join{seed}"));
+        let g1 = GridIndex::build(Some(dir.join("a")), &d_par.objects, 0.35).unwrap();
+        let g2 = GridIndex::build(Some(dir.join("b")), &d_pts.objects, 0.35).unwrap();
+        let i1 = IndexedDataset::new("parcels", DatasetKind::Polygons, g1);
+        let i2 = IndexedDataset::new("p", DatasetKind::Points, g2);
+        let mut ooc = join::join_indexed(&spade, &i1, &i2).unwrap().result;
+        ooc.sort_unstable();
+        assert_eq!(ooc, truth, "pipelined OOC vs oracle (seed {seed})");
+        std::fs::remove_dir_all(dir).ok();
+    }
+}
+
+/// The pipelined out-of-core kNN must match the in-memory path and the
+/// brute-force oracle on result distances across seeded workloads.
+#[test]
+fn pipelined_knn_agrees_across_seeds() {
+    let spade = engine();
+    for seed in [7u64, 17, 37] {
+        let pts = spider::gaussian_points(3_000, seed);
+        let data = Dataset::from_points("p", pts.clone());
+        let dir = ooc_dir(&format!("knn{seed}"));
+        let grid = GridIndex::build(Some(dir.clone()), &data.objects, 0.2).unwrap();
+        let indexed = IndexedDataset::new("p", DatasetKind::Points, grid);
+        let q = Point::new(0.25 + 0.05 * (seed % 5) as f64, 0.6);
+        for k in [1usize, 10, 40] {
+            let truth = brute::knn(&pts, q, k);
+            let mem = knn::knn_select(&spade, &data, q, k).result;
+            let ooc = knn::knn_select_indexed(&spade, &indexed, q, k)
+                .unwrap()
+                .result;
+            assert_eq!(mem.len(), truth.len(), "in-memory k={k} seed {seed}");
+            assert_eq!(ooc.len(), truth.len(), "OOC k={k} seed {seed}");
+            for ((m, o), t) in mem.iter().zip(&ooc).zip(&truth) {
+                assert!(
+                    (m.1 - t.1).abs() < 1e-12,
+                    "in-memory k={k} seed {seed}: {m:?} vs {t:?}"
+                );
+                assert!(
+                    (o.1 - t.1).abs() < 1e-12,
+                    "OOC k={k} seed {seed}: {o:?} vs {t:?}"
+                );
+            }
+        }
+        std::fs::remove_dir_all(dir).ok();
     }
 }
 

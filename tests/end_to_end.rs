@@ -71,7 +71,10 @@ fn geometry_tables_survive_disk_roundtrip() {
                 .unwrap(),
         ),
         (8, wkt::from_wkt("LINESTRING (0 0, 5 5, 10 0)").unwrap()),
-        (9, wkt::from_wkt("MULTIPOLYGON (((0 0, 1 0, 0 1, 0 0)))").unwrap()),
+        (
+            9,
+            wkt::from_wkt("MULTIPOLYGON (((0 0, 1 0, 0 1, 0 0)))").unwrap(),
+        ),
     ];
     db.put_table(geometry_table("g", &geoms).unwrap());
     let written = db.save_table("g").unwrap();
@@ -101,8 +104,10 @@ fn mixed_geometry_dataset_selection() {
         ),
         (
             1,
-            wkt::from_wkt("MULTIPOLYGON (((5 5, 6 5, 6 6, 5 6, 5 5)), ((9 9, 10 9, 10 10, 9 10, 9 9)))")
-                .unwrap(),
+            wkt::from_wkt(
+                "MULTIPOLYGON (((5 5, 6 5, 6 6, 5 6, 5 5)), ((9 9, 10 9, 10 10, 9 10, 9 9)))",
+            )
+            .unwrap(),
         ),
         (
             2,

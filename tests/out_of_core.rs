@@ -35,7 +35,7 @@ fn disk_backed_selection_equals_in_memory() {
     for c in urban::constraint_polygons(3, &unit(), 0.12, 24, 1) {
         let mut mem = select::select(&spade, &data, &c).result;
         mem.sort_unstable();
-        let ooc = select::select_indexed(&spade, &indexed, &c);
+        let ooc = select::select_indexed(&spade, &indexed, &c).unwrap();
         assert_eq!(ooc.result, mem);
         // The hull filter must prune something for a 0.24-wide constraint.
         assert!(ooc.stats.cells_loaded < indexed.grid.num_cells() as u64);
@@ -58,7 +58,7 @@ fn disk_backed_join_equals_in_memory() {
     let g2 = GridIndex::build(Some(dir.join("b")), &pts.objects, 0.35).unwrap();
     let i1 = IndexedDataset::new("parcels", DatasetKind::Polygons, g1);
     let i2 = IndexedDataset::new("p", DatasetKind::Points, g2);
-    let ooc = join::join_indexed(&spade, &i1, &i2);
+    let ooc = join::join_indexed(&spade, &i1, &i2).unwrap();
     assert_eq!(ooc.result, mem);
     assert!(ooc.stats.cells_loaded > 0);
     std::fs::remove_dir_all(dir).ok();
@@ -70,9 +70,11 @@ fn device_memory_is_balanced_after_queries() {
     let data = Dataset::from_points("p", spider::uniform_points(10_000, 13));
     let grid = GridIndex::build(None, &data.objects, 0.25).unwrap();
     let indexed = IndexedDataset::new("p", DatasetKind::Points, grid);
-    let c = urban::constraint_polygons(1, &unit(), 0.2, 16, 2).pop().unwrap();
+    let c = urban::constraint_polygons(1, &unit(), 0.2, 16, 2)
+        .pop()
+        .unwrap();
     for _ in 0..3 {
-        let _ = select::select_indexed(&spade, &indexed, &c);
+        let _ = select::select_indexed(&spade, &indexed, &c).unwrap();
     }
     // All uploads must have been freed.
     assert_eq!(spade.device.used(), 0);
@@ -91,13 +93,84 @@ fn transfer_time_counts_into_io() {
     let data = Dataset::from_points("p", spider::uniform_points(30_000, 17));
     let grid = GridIndex::build(None, &data.objects, 0.2).unwrap();
     let indexed = IndexedDataset::new("p", DatasetKind::Points, grid);
-    let c = urban::constraint_polygons(1, &unit(), 0.3, 16, 3).pop().unwrap();
-    let out = select::select_indexed(&spade, &indexed, &c);
+    let c = urban::constraint_polygons(1, &unit(), 0.3, 16, 3)
+        .pop()
+        .unwrap();
+    let out = select::select_indexed(&spade, &indexed, &c).unwrap();
     assert!(
         out.stats.io_fraction() > 0.5,
         "io fraction {} with a 2 MB/s bus",
         out.stats.io_fraction()
     );
+}
+
+/// Pipelining must not change what a query computes: identical results and
+/// an identical `cells_loaded` count for every worker count × prefetch
+/// depth combination (depth 0 is the synchronous fallback path).
+#[test]
+fn pipelined_execution_is_deterministic() {
+    let pts = spider::gaussian_points(15_000, 29);
+    let data = Dataset::from_points("p", pts);
+    let dir = tmpdir("det");
+    let grid = GridIndex::build(Some(dir.clone()), &data.objects, 0.2).unwrap();
+    let indexed = IndexedDataset::new("p", DatasetKind::Points, grid);
+    let c = urban::constraint_polygons(1, &unit(), 0.25, 24, 4)
+        .pop()
+        .unwrap();
+
+    let mut reference: Option<(Vec<u32>, u64)> = None;
+    for workers in [1usize, 2, 8] {
+        for depth in [0usize, 1, 4] {
+            let spade = Spade::new(EngineConfig {
+                workers,
+                prefetch_depth: depth,
+                ..EngineConfig::test_small()
+            });
+            let out = select::select_indexed(&spade, &indexed, &c).unwrap();
+            match &reference {
+                None => reference = Some((out.result, out.stats.cells_loaded)),
+                Some((ids, cells)) => {
+                    assert_eq!(&out.result, ids, "workers={workers} depth={depth}");
+                    assert_eq!(
+                        out.stats.cells_loaded, *cells,
+                        "workers={workers} depth={depth}"
+                    );
+                }
+            }
+        }
+    }
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// A join whose optimizer-ordered cell pairs revisit cells must be served
+/// from the cell cache on revisits, and the prefetcher must account every
+/// cell touch as either a hit or a miss.
+#[test]
+fn shared_cell_join_hits_the_cache() {
+    let spade = engine();
+    let parcels = Dataset::from_polygons("parcels", spider::parcels(120, 0.08, 33));
+    let pts = Dataset::from_points("p", spider::uniform_points(12_000, 35));
+    let dir = tmpdir("cache");
+    let g1 = GridIndex::build(Some(dir.join("a")), &parcels.objects, 0.3).unwrap();
+    let g2 = GridIndex::build(Some(dir.join("b")), &pts.objects, 0.3).unwrap();
+    let i1 = IndexedDataset::new("parcels", DatasetKind::Polygons, g1);
+    let i2 = IndexedDataset::new("p", DatasetKind::Points, g2);
+
+    let out = join::join_indexed(&spade, &i1, &i2).unwrap();
+    assert!(
+        out.stats.cache_hits > 0,
+        "shared-cell join order produced no cache hits: {:?}",
+        out.stats
+    );
+    // Every delivered cell is either prefetched ahead of time or waited on.
+    assert_eq!(
+        out.stats.prefetch_hits + out.stats.prefetch_misses,
+        out.stats.cells_loaded,
+        "prefetch accounting must cover every cell touch"
+    );
+    // Cached cells skip the disk but still cross the modeled bus.
+    assert!(out.stats.bytes_to_device >= out.stats.bytes_from_disk);
+    std::fs::remove_dir_all(dir).ok();
 }
 
 #[test]

@@ -76,7 +76,7 @@ proptest! {
         let indexed = IndexedDataset::new("p", DatasetKind::Points, grid);
         let mut mem = select::select(&spade, &data, &constraint).result;
         mem.sort_unstable();
-        let ooc = select::select_indexed(&spade, &indexed, &constraint).result;
+        let ooc = select::select_indexed(&spade, &indexed, &constraint).unwrap().result;
         prop_assert_eq!(ooc, mem);
     }
 

@@ -1,0 +1,375 @@
+//! A minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build must work fully offline, so the workspace vendors the small
+//! slice of the proptest API its test suites use: `prop_compose!`,
+//! `proptest!` with `ProptestConfig::with_cases`, range and tuple
+//! strategies, `prop::collection::vec`, and the `prop_assert*` family.
+//!
+//! Semantics deliberately kept from the real crate:
+//! * deterministic generation — every case derives its RNG from the fully
+//!   qualified test name plus the case index, so failures reproduce;
+//! * `prop_assume!` rejects a case without failing the test;
+//! * assertion macros return an `Err` through the case closure (so cleanup
+//!   runs) and the runner panics with the formatted message.
+//!
+//! Shrinking is intentionally not implemented: a failing case prints its
+//! seed inputs via the assertion message instead.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A value generator. The real crate's `Strategy` is a shrink tree;
+    /// here it is just "something that can produce a value from an RNG".
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Wraps a closure as a strategy (used by `prop_compose!`).
+    pub struct FnStrategy<F>(pub F);
+
+    impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<F> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::Range<usize> {
+        type Value = usize;
+        fn generate(&self, rng: &mut TestRng) -> usize {
+            self.start + (rng.next_u64() as usize) % (self.end - self.start).max(1)
+        }
+    }
+
+    impl Strategy for std::ops::Range<u32> {
+        type Value = u32;
+        fn generate(&self, rng: &mut TestRng) -> u32 {
+            self.start + (rng.next_u64() as u32) % (self.end - self.start).max(1)
+        }
+    }
+
+    impl Strategy for std::ops::Range<u64> {
+        type Value = u64;
+        fn generate(&self, rng: &mut TestRng) -> u64 {
+            self.start + rng.next_u64() % (self.end - self.start).max(1)
+        }
+    }
+
+    impl Strategy for std::ops::Range<i32> {
+        type Value = i32;
+        fn generate(&self, rng: &mut TestRng) -> i32 {
+            let span = (self.end - self.start) as u64;
+            self.start + (rng.next_u64() % span.max(1)) as i32
+        }
+    }
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+            )
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+        type Value = (A::Value, B::Value, C::Value, D::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+                self.3.generate(rng),
+            )
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// `prop::collection::vec(strategy, len_range)`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.len.end - self.len.start).max(1);
+            let n = self.len.start + (rng.next_u64() as usize) % span;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Per-test configuration; only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// How a single generated case ended short of success.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed; the runner panics with this message.
+        Fail(String),
+        /// `prop_assume!` filtered the case out; the runner skips it.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// SplitMix64 seeded from the test path and case index: deterministic
+    /// across runs, machines, and thread counts.
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        pub fn for_case(test_path: &str, case: u32) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_path.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng(h ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in [0, 1) with 53 bits of precision.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_compose, proptest};
+
+    /// The `prop::` paths the real prelude exposes.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// `prop_compose! { fn name()(arg in strategy, ...) -> T { body } }`
+/// expands to `fn name() -> impl Strategy<Value = T>`.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident()($($arg:ident in $strat:expr),+ $(,)?) -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name() -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::FnStrategy(move |rng: &mut $crate::test_runner::TestRng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), rng);)+
+                $body
+            })
+        }
+    };
+}
+
+/// The test-runner macro: each contained `#[test] fn` runs `cases`
+/// deterministic generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("proptest case {case} failed: {msg}");
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    // Without a config block: default 256 cases.
+    (
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])+
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        let cond: bool = $cond;
+        if !cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            a,
+            b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            a,
+            b,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn pair()(a in 0.0f64..1.0, b in 1.0f64..2.0) -> (f64, f64) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 0.25f64..0.75, n in 3usize..9, k in 0u32..100) {
+            prop_assert!((0.25..0.75).contains(&x));
+            prop_assert!((3..9).contains(&n));
+            prop_assert!(k < 100);
+        }
+
+        #[test]
+        fn vec_strategy_respects_length(v in prop::collection::vec(0.0f64..1.0, 5..12)) {
+            prop_assert!(v.len() >= 5 && v.len() < 12);
+            for x in &v {
+                prop_assert!((0.0..1.0).contains(x), "out of range: {}", x);
+            }
+        }
+
+        #[test]
+        fn composed_and_tuple_strategies(p in pair(), q in (0.0f64..1.0, 1usize..4)) {
+            prop_assert!(p.0 < p.1);
+            prop_assert_eq!(q.1.min(3), q.1);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let mut a = crate::test_runner::TestRng::for_case("t", 3);
+        let mut b = crate::test_runner::TestRng::for_case("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_runner::TestRng::for_case("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}
