@@ -1,0 +1,94 @@
+//! Service-level concurrency benchmark: queries per second through the
+//! [`QueryService`] at 1, 4, and 16 sessions against one shared engine.
+//!
+//! Transfers are *paced* (`EngineConfig::pace_transfers`): uploads occupy
+//! wall-clock time at the modeled bus bandwidth, reproducing §5.4's
+//! bottleneck physically. Sequential sessions stall on every transfer;
+//! concurrent sessions overlap their stalls, so throughput should scale
+//! well past 1.5× at 4 sessions (the acceptance bar) even on one CPU.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spade_core::dataset::{Dataset, DatasetKind, IndexedDataset};
+use spade_core::query::SelectQuery;
+use spade_core::EngineConfig;
+use spade_geometry::{BBox, Point, Polygon};
+use spade_index::GridIndex;
+use spade_server::{QueryRequest, QueryService, ServiceConfig};
+use std::sync::Arc;
+
+const QUERIES_PER_SAMPLE: usize = 16;
+
+fn paced_engine() -> EngineConfig {
+    let mut c = EngineConfig::test_small();
+    c.pace_transfers = true;
+    c.bandwidth = 2.0e8; // 200 MB/s: ~5 ms per 1 MB constraint canvas
+    c
+}
+
+fn service(sessions: usize) -> Arc<QueryService> {
+    let svc = QueryService::new(ServiceConfig {
+        engine: paced_engine(),
+        workers: sessions.clamp(1, 8),
+        fairness_cap: 2,
+    });
+    let pts = Dataset::from_points(
+        "pts",
+        spade_datagen::spider::scale_points(
+            &spade_datagen::spider::uniform_points(4_000, 11),
+            &BBox::new(Point::ZERO, Point::new(100.0, 100.0)),
+        ),
+    );
+    let grid = GridIndex::build(None, &pts.objects, 25.0).expect("grid build");
+    svc.register_indexed("pts", IndexedDataset::new("pts", DatasetKind::Points, grid));
+    Arc::new(svc)
+}
+
+fn request() -> QueryRequest {
+    QueryRequest::Select {
+        dataset: "pts".into(),
+        query: SelectQuery::Intersects(Polygon::new(vec![
+            Point::new(10.0, 15.0),
+            Point::new(85.0, 25.0),
+            Point::new(70.0, 80.0),
+            Point::new(20.0, 70.0),
+        ])),
+    }
+}
+
+/// Run `QUERIES_PER_SAMPLE` queries split across `sessions` concurrent
+/// sessions, each session strictly sequential (submit, wait, repeat).
+fn run_batch(svc: &Arc<QueryService>, sessions: usize) {
+    let per_session = QUERIES_PER_SAMPLE / sessions;
+    std::thread::scope(|s| {
+        for _ in 0..sessions {
+            let svc = Arc::clone(svc);
+            s.spawn(move || {
+                let session = svc.session();
+                for _ in 0..per_session {
+                    session
+                        .submit(request())
+                        .wait()
+                        .expect("benchmark query succeeds");
+                }
+            });
+        }
+    });
+}
+
+fn bench_service_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("service_throughput");
+    g.sample_size(10);
+    for sessions in [1usize, 4, 16] {
+        let svc = service(sessions);
+        // One sample = QUERIES_PER_SAMPLE queries; divide the reported
+        // per-iteration time by 16 for per-query latency, or invert for
+        // qps. The interesting number is the ratio across session counts.
+        g.bench_function(format!("sessions/{sessions}"), |b| {
+            b.iter(|| run_batch(&svc, sessions))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_service_throughput);
+criterion_main!(benches);

@@ -164,6 +164,20 @@ pub fn aggregate_indexed(
     polys: &crate::dataset::IndexedDataset,
     points: &crate::dataset::IndexedDataset,
 ) -> QueryOutput<Counts> {
+    aggregate_indexed_with(spade, polys, points, &crate::cancel::CancelToken::new())
+        .expect("aggregate")
+}
+
+/// [`aggregate_indexed`] with cooperative cancellation, polled at every
+/// cell-pair boundary (where no upload is in flight, so the device ledger
+/// is balanced when `Cancelled` propagates). Load errors surface as `Err`
+/// instead of panicking.
+pub fn aggregate_indexed_with(
+    spade: &Spade,
+    polys: &crate::dataset::IndexedDataset,
+    points: &crate::dataset::IndexedDataset,
+    cancel: &crate::cancel::CancelToken,
+) -> spade_storage::Result<QueryOutput<Counts>> {
     let measure = spade.begin();
     let mut totals: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
     let mut inner = crate::stats::QueryStats::default();
@@ -205,14 +219,18 @@ pub fn aggregate_indexed(
 
     // Zero-initialize every polygon id so empty polygons report 0.
     for i in 0..polys.grid.num_cells() {
-        for (id, _) in polys.load_cell(i).expect("cell load").objects {
+        cancel.check()?;
+        for (id, _) in polys.load_cell(i)?.objects {
             totals.entry(id).or_insert(0);
         }
     }
 
     for (pc, tc) in ordered {
-        let poly_cell = polys.load_cell(pc as usize).expect("cell load");
-        let point_cell = points.load_cell(tc as usize).expect("cell load");
+        // Pair boundary: nothing is uploaded here, so a cancellation
+        // unwinds with the ledger balanced.
+        cancel.check()?;
+        let poly_cell = polys.load_cell(pc as usize)?;
+        let point_cell = points.load_cell(tc as usize)?;
         let _ = spade.device.upload(polys.grid.cells()[pc as usize].bytes);
         let _ = spade.device.upload(points.grid.cells()[tc as usize].bytes);
         let partial = aggregate_points(spade, &poly_cell, &point_cell);
@@ -235,7 +253,7 @@ pub fn aggregate_indexed(
         n,
     );
     stats.cells_loaded = inner.cells_loaded;
-    QueryOutput { result, stats }
+    Ok(QueryOutput { result, stats })
 }
 
 /// A heatmap: per-pixel point counts over a region — the pure multiway

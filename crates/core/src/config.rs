@@ -43,6 +43,13 @@ pub struct EngineConfig {
     /// that revisit cells reuse loaded data instead of re-hitting disk.
     /// Sized relative to device memory by default; `0` disables caching.
     pub cell_cache_bytes: u64,
+    /// When enabled, every modeled host→device transfer occupies real wall
+    /// time on the calling thread (a sleep of the modeled bus duration), so
+    /// the transfer bottleneck of §5.4 is physically reproduced. Off by
+    /// default — tests and single-query use want accounting, not latency;
+    /// service benchmarks turn it on to study how concurrent sessions
+    /// overlap bus stalls.
+    pub pace_transfers: bool,
 }
 
 impl Default for EngineConfig {
@@ -61,6 +68,7 @@ impl Default for EngineConfig {
             max_cell_bytes: 16 << 20,
             prefetch_depth: 2,
             cell_cache_bytes: 32 << 20, // half the scaled device memory
+            pace_transfers: false,
         }
     }
 }

@@ -112,6 +112,25 @@ pub fn distance_select_indexed(
     constraint: &DistanceConstraint,
     r: f64,
 ) -> spade_storage::Result<QueryOutput<Vec<u32>>> {
+    distance_select_indexed_with(
+        spade,
+        data,
+        constraint,
+        r,
+        &crate::cancel::CancelToken::new(),
+    )
+}
+
+/// [`distance_select_indexed`] with cooperative cancellation, polled at
+/// every cell boundary. The distance canvas is freed before a cancellation
+/// propagates, keeping the device ledger balanced.
+pub fn distance_select_indexed_with(
+    spade: &Spade,
+    data: &crate::dataset::IndexedDataset,
+    constraint: &DistanceConstraint,
+    r: f64,
+    cancel: &crate::cancel::CancelToken,
+) -> spade_storage::Result<QueryOutput<Vec<u32>>> {
     let measure = spade.begin();
     let mut polygon_time = Duration::ZERO;
 
@@ -132,11 +151,12 @@ pub fn distance_select_indexed(
     // Refinement, pipelined through the prefetcher + cell cache.
     let sequence: Vec<(usize, usize)> = candidates.iter().map(|&i| (0, i as usize)).collect();
     let mut ids = Vec::new();
-    let stream_res = crate::prefetch::stream_cells(
+    let stream_res = crate::prefetch::stream_cells_with(
         spade.config.prefetch_depth,
         spade.config.cell_cache_bytes,
         &[data],
         &sequence,
+        cancel,
         |cell| {
             let _ = spade.device.upload(cell.bytes);
             ids.extend(crate::select::select_points_mem(

@@ -20,7 +20,8 @@ pub struct Spade {
 impl Spade {
     pub fn new(config: EngineConfig) -> Self {
         let pipeline = Pipeline::with_workers(config.effective_workers());
-        let device = DeviceMemory::with_bandwidth(config.device_memory, config.bandwidth);
+        let device = DeviceMemory::with_bandwidth(config.device_memory, config.bandwidth)
+            .paced(config.pace_transfers);
         Spade {
             config,
             pipeline,
@@ -41,31 +42,36 @@ impl Spade {
         Viewport::square_pixels(region.inflate(pad), self.config.resolution)
     }
 
-    /// Begin measuring a query: returns the timers' start state.
+    /// Begin measuring a query. Opens a per-query recording frame on the
+    /// calling thread ([`spade_gpu::record`]), so the measurement sees only
+    /// this query's pipeline and transfer work even when other queries run
+    /// concurrently against the same engine.
     pub(crate) fn begin(&self) -> Measure {
+        spade_gpu::record::begin();
         Measure {
             start: Instant::now(),
-            gpu: self.pipeline.stats.snapshot(),
-            dev_bytes: self.device.transfer_stats.bytes(),
-            dev_time: self.device.transfer_stats.modeled_time(),
+            open: true,
         }
     }
 }
 
-/// Snapshot-based per-query measurement.
+/// Per-query measurement backed by a thread-local recording frame, so
+/// overlapping queries on a shared engine never see each other's counters.
+/// If a query unwinds early (an error or cancellation propagating with `?`
+/// before `finish`), the `Drop` impl closes the frame so the thread's frame
+/// stack stays balanced.
 pub(crate) struct Measure {
     start: Instant,
-    gpu: spade_gpu::stats::StatsSnapshot,
-    dev_bytes: u64,
-    dev_time: std::time::Duration,
+    open: bool,
 }
 
 impl Measure {
     /// Close the measurement into a stats record. `disk_io` is the wall
     /// time spent in block loads, `disk_bytes` the bytes read, both
-    /// tracked by the caller; device transfers are read from the ledger.
+    /// tracked by the caller; device transfers come from this query's own
+    /// recording frame, not the global ledger.
     pub(crate) fn finish(
-        self,
+        mut self,
         spade: &Spade,
         disk_io: std::time::Duration,
         disk_bytes: u64,
@@ -73,25 +79,40 @@ impl Measure {
         cells_loaded: u64,
         result_count: u64,
     ) -> QueryStats {
-        let gpu_delta = spade.pipeline.stats.snapshot().since(&self.gpu);
-        let dev_bytes = spade.device.transfer_stats.bytes() - self.dev_bytes;
-        let dev_time = spade.device.transfer_stats.modeled_time() - self.dev_time;
+        self.open = false;
+        let frame = spade_gpu::record::finish();
+        let dev_time = frame.transfer_time();
         let mut stats = QueryStats {
             io_time: disk_io + dev_time,
-            gpu_time: std::time::Duration::from_nanos(gpu_delta.gpu_nanos),
+            gpu_time: std::time::Duration::from_nanos(frame.gpu.gpu_nanos),
             polygon_time,
             bytes_from_disk: disk_bytes,
-            bytes_to_device: dev_bytes,
-            passes: gpu_delta.draw_calls,
+            bytes_to_device: frame.transfer_bytes,
+            passes: frame.gpu.draw_calls,
             cells_loaded,
             result_count,
             ..Default::default()
         };
         // Include modeled device-transfer time in the wall total: on real
         // hardware the bus transfer is wall time; in simulation it is
-        // accounting, so it is added on top of the measured elapsed time.
-        stats.finish(self.start.elapsed() + dev_time);
+        // accounting, so it is added on top of the measured elapsed time —
+        // unless transfers are paced, in which case the sleep already
+        // occupied wall time and adding it again would double-count.
+        let extra = if spade.device.is_paced() {
+            std::time::Duration::ZERO
+        } else {
+            dev_time
+        };
+        stats.finish(self.start.elapsed() + extra);
         stats
+    }
+}
+
+impl Drop for Measure {
+    fn drop(&mut self) {
+        if self.open {
+            let _ = spade_gpu::record::finish();
+        }
     }
 }
 
@@ -315,5 +336,77 @@ mod tests {
         assert_eq!(stats.bytes_from_disk, 123);
         assert_eq!(stats.result_count, 42);
         assert!(stats.io_time >= std::time::Duration::from_millis(1));
+    }
+
+    /// Overlapping queries on one shared engine must each see only their
+    /// own pipeline work: per-query deltas, not global diffs.
+    #[test]
+    fn concurrent_measurements_do_not_double_count() {
+        let s = engine();
+        let poly = Polygon::rect(BBox::new(Point::ZERO, Point::new(4.0, 4.0)));
+
+        // Reference: the work one constraint render performs, run alone.
+        let m = s.begin();
+        let _ = Constraint::from_polygons(&s, &[PreparedPolygon::prepare(0, &poly)]);
+        let alone = m.finish(
+            &s,
+            std::time::Duration::ZERO,
+            0,
+            std::time::Duration::ZERO,
+            0,
+            0,
+        );
+
+        // 4 threads run the same query concurrently against the same
+        // engine; every one must report exactly the solo pass count and
+        // byte volume even though the global counters see 4× the work.
+        let stats: Vec<crate::stats::QueryStats> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let m = s.begin();
+                        let _ = s.device.upload(64);
+                        let _ =
+                            Constraint::from_polygons(&s, &[PreparedPolygon::prepare(0, &poly)]);
+                        s.device.free(64);
+                        m.finish(
+                            &s,
+                            std::time::Duration::ZERO,
+                            0,
+                            std::time::Duration::ZERO,
+                            0,
+                            0,
+                        )
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for st in &stats {
+            assert_eq!(st.passes, alone.passes, "pipeline passes leaked");
+            assert_eq!(st.bytes_to_device, 64, "transfers leaked across queries");
+        }
+    }
+
+    /// A measurement abandoned by an early error (`?` before `finish`)
+    /// must not leave its frame on the thread stack and corrupt the next
+    /// query's attribution.
+    #[test]
+    fn dropped_measure_closes_its_frame() {
+        let s = engine();
+        {
+            let _m = s.begin(); // dropped without finish, as on an error path
+            s.pipeline.stats.add_draw_call();
+        }
+        let m = s.begin();
+        let stats = m.finish(
+            &s,
+            std::time::Duration::ZERO,
+            0,
+            std::time::Duration::ZERO,
+            0,
+            0,
+        );
+        assert_eq!(stats.passes, 0, "stale frame leaked into next query");
     }
 }

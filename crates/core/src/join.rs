@@ -266,6 +266,18 @@ pub fn join_indexed(
     d1: &IndexedDataset,
     d2: &IndexedDataset,
 ) -> spade_storage::Result<QueryOutput<Pairs>> {
+    join_indexed_with(spade, d1, d2, &crate::cancel::CancelToken::new())
+}
+
+/// [`join_indexed`] with cooperative cancellation, polled at every
+/// residency change of the refinement walk. Resident cells are freed
+/// before a cancellation propagates, keeping the device ledger balanced.
+pub fn join_indexed_with(
+    spade: &Spade,
+    d1: &IndexedDataset,
+    d2: &IndexedDataset,
+    cancel: &crate::cancel::CancelToken,
+) -> spade_storage::Result<QueryOutput<Pairs>> {
     let measure = spade.begin();
     let mut polygon_time = Duration::ZERO;
 
@@ -354,11 +366,12 @@ pub fn join_indexed(
     let mut resident1: Option<(u32, Resident)> = None;
     let mut resident2: Option<(u32, Resident)> = None;
     let mut pair_idx = 0usize;
-    let stream_res = crate::prefetch::stream_cells(
+    let stream_res = crate::prefetch::stream_cells_with(
         spade.config.prefetch_depth,
         spade.config.cell_cache_bytes,
         &[d1, d2],
         &sequence,
+        cancel,
         |cell| {
             let (source, resident) = if cell.source == 0 {
                 (d1, &mut resident1)

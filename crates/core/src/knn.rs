@@ -142,6 +142,19 @@ pub fn knn_select_indexed(
     q: Point,
     k: usize,
 ) -> spade_storage::Result<QueryOutput<Vec<(u32, f64)>>> {
+    knn_select_indexed_with(spade, data, q, k, &crate::cancel::CancelToken::new())
+}
+
+/// [`knn_select_indexed`] with cooperative cancellation, polled at every
+/// cell boundary of both the histogram pass and the nested distance
+/// selection.
+pub fn knn_select_indexed_with(
+    spade: &Spade,
+    data: &crate::dataset::IndexedDataset,
+    q: Point,
+    k: usize,
+    cancel: &crate::cancel::CancelToken,
+) -> spade_storage::Result<QueryOutput<Vec<(u32, f64)>>> {
     let measure = spade.begin();
     if k == 0 || data.grid.num_objects() == 0 {
         let stats = measure.finish(spade, Duration::ZERO, 0, Duration::ZERO, 0, 0);
@@ -166,11 +179,12 @@ pub fn knn_select_indexed(
     let sequence: Vec<(usize, usize)> = (0..data.grid.num_cells()).map(|i| (0, i)).collect();
     let mut hist = vec![0u64; circles];
     let mut positions: std::collections::HashMap<u32, Point> = std::collections::HashMap::new();
-    let stream = crate::prefetch::stream_cells(
+    let stream = crate::prefetch::stream_cells_with(
         spade.config.prefetch_depth,
         spade.config.cell_cache_bytes,
         &[data],
         &sequence,
+        cancel,
         |cell| {
             let _ = spade.device.upload(cell.bytes);
             let pts = cell.data.as_points();
@@ -198,11 +212,12 @@ pub fn knn_select_indexed(
     }
 
     // Indexed distance selection with the chosen radius, then exact sort.
-    let sel = crate::distance::distance_select_indexed(
+    let sel = crate::distance::distance_select_indexed_with(
         spade,
         data,
         &crate::distance::DistanceConstraint::Point(q),
         radius,
+        cancel,
     )?;
     let mut with_dist: Vec<(u32, f64)> = sel
         .result

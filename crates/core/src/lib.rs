@@ -33,8 +33,11 @@
 //!   background prefetcher that reads and decodes upcoming grid cells
 //!   (through each data set's LRU cell cache) while the current cell
 //!   refines on the device.
+//! * [`cancel`] — cooperative cancellation tokens and deadlines, polled at
+//!   the cell boundaries of every out-of-core loop.
 
 pub mod aggregate;
+pub mod cancel;
 pub mod config;
 pub mod dataset;
 pub mod distance;
@@ -47,6 +50,7 @@ pub mod query;
 pub mod select;
 pub mod stats;
 
+pub use cancel::CancelToken;
 pub use config::EngineConfig;
 pub use dataset::{Dataset, IndexedDataset};
 pub use engine::Spade;

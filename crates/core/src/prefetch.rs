@@ -18,6 +18,7 @@
 //! `std::thread::scope` (the original crossbeam dependency is unavailable
 //! offline; std scoped threads cover the same need).
 
+use crate::cancel::CancelToken;
 use crate::dataset::{Dataset, IndexedDataset};
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -78,6 +79,31 @@ pub fn stream_cells<F>(
     cache_budget: u64,
     sources: &[&IndexedDataset],
     sequence: &[(usize, usize)],
+    consumer: F,
+) -> spade_storage::Result<StreamStats>
+where
+    F: FnMut(FetchedCell) -> spade_storage::Result<()>,
+{
+    stream_cells_with(
+        depth,
+        cache_budget,
+        sources,
+        sequence,
+        &CancelToken::default(),
+        consumer,
+    )
+}
+
+/// [`stream_cells`] with a cancellation token, polled at every cell
+/// boundary: the consumer side checks before refining each cell (and
+/// propagates `Cancelled`), and the background producer checks before each
+/// load so it stops reading ahead for a dead query.
+pub fn stream_cells_with<F>(
+    depth: usize,
+    cache_budget: u64,
+    sources: &[&IndexedDataset],
+    sequence: &[(usize, usize)],
+    cancel: &CancelToken,
     mut consumer: F,
 ) -> spade_storage::Result<StreamStats>
 where
@@ -90,6 +116,7 @@ where
         // Synchronous: every load is a consumer-side stall.
         let mut stats = StreamStats::default();
         for &(src, cell) in sequence {
+            cancel.check()?;
             let t = Instant::now();
             let (data, cache_hit) = sources[src].load_cell_cached(cell, cache_budget)?;
             let io = t.elapsed();
@@ -124,6 +151,9 @@ where
             let mut bytes_from_disk = 0u64;
             let mut cache_hits = 0u64;
             for &(src, cell) in sequence {
+                if cancel.is_cancelled() {
+                    break; // stop reading ahead for a dead query
+                }
                 let t = Instant::now();
                 let loaded = sources[src].load_cell_cached(cell, cache_budget);
                 io_time += t.elapsed();
@@ -156,6 +186,10 @@ where
         });
 
         for _ in 0..sequence.len() {
+            if let Err(e) = cancel.check() {
+                outcome = Err(e);
+                break;
+            }
             // Non-blocking first: a ready cell is a prefetch hit (its I/O
             // was fully hidden behind the previous refinement).
             let msg = match rx.try_recv() {
@@ -280,6 +314,31 @@ mod tests {
                 }
             });
             assert!(err.is_err(), "depth={depth}");
+        }
+    }
+
+    #[test]
+    fn cancellation_aborts_stream_at_cell_boundary() {
+        let d = indexed(300, 19);
+        let sources = [&d];
+        let sequence: Vec<(usize, usize)> = (0..d.grid.num_cells()).map(|c| (0usize, c)).collect();
+        assert!(sequence.len() > 1);
+        for depth in [0usize, 2] {
+            let cancel = crate::cancel::CancelToken::new();
+            let mut delivered = 0;
+            let res = stream_cells_with(depth, 0, &sources, &sequence, &cancel, |_| {
+                delivered += 1;
+                if delivered == 1 {
+                    cancel.cancel(); // cancel mid-stream, from the consumer
+                }
+                Ok(())
+            });
+            assert_eq!(
+                res.unwrap_err(),
+                spade_storage::StorageError::Cancelled,
+                "depth={depth}"
+            );
+            assert_eq!(delivered, 1, "depth={depth}");
         }
     }
 

@@ -105,29 +105,104 @@ pub fn run_select_indexed(
     data: &IndexedDataset,
     q: &SelectQuery,
 ) -> spade_storage::Result<QueryOutput<QueryResult>> {
+    run_select_indexed_with(spade, data, q, &crate::cancel::CancelToken::new())
+}
+
+/// [`run_select_indexed`] with cooperative cancellation: the token reaches
+/// every executor's cell-boundary polls, so a cancel or expired deadline
+/// surfaces as [`spade_storage::StorageError::Cancelled`].
+pub fn run_select_indexed_with(
+    spade: &Spade,
+    data: &IndexedDataset,
+    q: &SelectQuery,
+    cancel: &crate::cancel::CancelToken,
+) -> spade_storage::Result<QueryOutput<QueryResult>> {
     Ok(match q {
-        SelectQuery::Intersects(poly) => {
-            wrap_ids(crate::select::select_indexed(spade, data, poly)?)
-        }
-        SelectQuery::Range(bb) => wrap_ids(crate::select::select_indexed(
+        SelectQuery::Intersects(poly) => wrap_ids(crate::select::select_indexed_with(
+            spade, data, poly, cancel,
+        )?),
+        SelectQuery::Range(bb) => wrap_ids(crate::select::select_indexed_with(
             spade,
             data,
             &Polygon::rect(*bb),
+            cancel,
         )?),
-        SelectQuery::WithinDistance(c, r) => wrap_ids(crate::distance::distance_select_indexed(
-            spade, data, c, *r,
-        )?),
+        SelectQuery::WithinDistance(c, r) => wrap_ids(
+            crate::distance::distance_select_indexed_with(spade, data, c, *r, cancel)?,
+        ),
         SelectQuery::Knn(p, k) => {
-            let out = crate::knn::knn_select_indexed(spade, data, *p, *k)?;
+            let out = crate::knn::knn_select_indexed_with(spade, data, *p, *k, cancel)?;
             QueryOutput {
                 result: QueryResult::Ranked(out.result),
                 stats: out.stats,
             }
         }
-        SelectQuery::Contained(poly) => {
-            wrap_ids(crate::select::select_contained_indexed(spade, data, poly)?)
+        SelectQuery::Contained(poly) => wrap_ids(crate::select::select_contained_indexed_with(
+            spade, data, poly, cancel,
+        )?),
+    })
+}
+
+/// Execute a join query over two out-of-core data sets. `Intersects` runs
+/// the optimizer-driven indexed join, `CountPoints` the indexed
+/// aggregation; distance and kNN joins have no out-of-core plan yet, so
+/// they are answered by materializing both sides (their cells stream
+/// through the cache) and running the in-memory executor.
+pub fn run_join_indexed(
+    spade: &Spade,
+    d1: &IndexedDataset,
+    d2: &IndexedDataset,
+    q: &JoinQuery,
+) -> spade_storage::Result<QueryOutput<QueryResult>> {
+    run_join_indexed_with(spade, d1, d2, q, &crate::cancel::CancelToken::new())
+}
+
+/// [`run_join_indexed`] with cooperative cancellation.
+pub fn run_join_indexed_with(
+    spade: &Spade,
+    d1: &IndexedDataset,
+    d2: &IndexedDataset,
+    q: &JoinQuery,
+    cancel: &crate::cancel::CancelToken,
+) -> spade_storage::Result<QueryOutput<QueryResult>> {
+    Ok(match q {
+        JoinQuery::Intersects => {
+            let out = crate::join::join_indexed_with(spade, d1, d2, cancel)?;
+            QueryOutput {
+                result: QueryResult::Pairs(out.result),
+                stats: out.stats,
+            }
+        }
+        JoinQuery::CountPoints => {
+            let out = crate::aggregate::aggregate_indexed_with(spade, d1, d2, cancel)?;
+            QueryOutput {
+                result: QueryResult::Counts(out.result),
+                stats: out.stats,
+            }
+        }
+        JoinQuery::WithinDistance(_) | JoinQuery::Knn(_) => {
+            let left = materialize(d1, cancel)?;
+            let right = materialize(d2, cancel)?;
+            cancel.check()?;
+            run_join(spade, &left, &right, q)
         }
     })
+}
+
+/// Assemble a full in-memory data set from an indexed one, cell by cell
+/// (cancellable between cells). Fallback path for join classes without an
+/// out-of-core plan.
+fn materialize(
+    d: &IndexedDataset,
+    cancel: &crate::cancel::CancelToken,
+) -> spade_storage::Result<Dataset> {
+    let mut objects = Vec::new();
+    for i in 0..d.grid.num_cells() {
+        cancel.check()?;
+        objects.extend(d.load_cell(i)?.objects);
+    }
+    objects.sort_by_key(|(id, _)| *id);
+    Ok(Dataset::from_objects(d.name.clone(), d.kind, objects))
 }
 
 /// Execute a join query over two in-memory data sets.

@@ -306,6 +306,22 @@ pub fn select_contained_indexed(
     data: &IndexedDataset,
     constraint_poly: &Polygon,
 ) -> spade_storage::Result<QueryOutput<Vec<u32>>> {
+    select_contained_indexed_with(
+        spade,
+        data,
+        constraint_poly,
+        &crate::cancel::CancelToken::new(),
+    )
+}
+
+/// [`select_contained_indexed`] with cooperative cancellation, polled at
+/// every cell boundary of the refinement stream.
+pub fn select_contained_indexed_with(
+    spade: &Spade,
+    data: &IndexedDataset,
+    constraint_poly: &Polygon,
+    cancel: &crate::cancel::CancelToken,
+) -> spade_storage::Result<QueryOutput<Vec<u32>>> {
     let measure = spade.begin();
     let mut polygon_time = Duration::ZERO;
 
@@ -323,11 +339,12 @@ pub fn select_contained_indexed(
 
     let sequence: Vec<(usize, usize)> = candidates.iter().map(|&c| (0, c as usize)).collect();
     let mut ids = Vec::new();
-    let stream = crate::prefetch::stream_cells(
+    let stream = crate::prefetch::stream_cells_with(
         spade.config.prefetch_depth,
         spade.config.cell_cache_bytes,
         &[data],
         &sequence,
+        cancel,
         |cell| {
             let _ = spade.device.upload(cell.bytes);
             ids.extend(select_contained(spade, &cell.data, constraint_poly).result);
@@ -416,6 +433,23 @@ pub fn select_indexed(
     data: &IndexedDataset,
     constraint_poly: &Polygon,
 ) -> spade_storage::Result<QueryOutput<Vec<u32>>> {
+    select_indexed_with(
+        spade,
+        data,
+        constraint_poly,
+        &crate::cancel::CancelToken::new(),
+    )
+}
+
+/// [`select_indexed`] with cooperative cancellation, polled at every cell
+/// boundary. On cancellation the constraint canvas is freed before the
+/// error propagates, so the device ledger stays balanced.
+pub fn select_indexed_with(
+    spade: &Spade,
+    data: &IndexedDataset,
+    constraint_poly: &Polygon,
+    cancel: &crate::cancel::CancelToken,
+) -> spade_storage::Result<QueryOutput<Vec<u32>>> {
     let measure = spade.begin();
     let mut polygon_time = Duration::ZERO;
 
@@ -448,11 +482,12 @@ pub fn select_indexed(
     // residing).
     let sequence: Vec<(usize, usize)> = candidate_cells.iter().map(|&c| (0, c as usize)).collect();
     let mut ids = Vec::new();
-    let stream_res = crate::prefetch::stream_cells(
+    let stream_res = crate::prefetch::stream_cells_with(
         spade.config.prefetch_depth,
         spade.config.cell_cache_bytes,
         &[data],
         &sequence,
+        cancel,
         |cell| {
             let _ = spade.device.upload(cell.bytes);
             ids.extend(select_mem_dispatch(spade, &cell.data, &constraint));

@@ -7,10 +7,17 @@
 //! construction tunes cell sizes against (§6.1), and a transfer ledger with
 //! a configurable modeled bandwidth that the query optimizer's cost model
 //! and the time-breakdown reporting read.
+//!
+//! The ledger is lock-free so many concurrent queries can allocate and free
+//! against the same device: `alloc` is an atomic reserve-then-commit
+//! (compare-and-swap on the `used` counter), and `peak` is maintained with a
+//! `fetch_max` against the committed value, so it can never under-report the
+//! true high-water mark even when allocations race.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::Duration;
+
+use crate::record;
 
 /// Accumulated transfer statistics.
 #[derive(Debug, Default)]
@@ -68,10 +75,14 @@ impl std::error::Error for DeviceError {}
 #[derive(Debug)]
 pub struct DeviceMemory {
     capacity: u64,
-    used: Mutex<u64>,
+    used: AtomicU64,
     peak: AtomicU64,
     /// Modeled host→device bandwidth, bytes per second.
     bandwidth: f64,
+    /// When set, `transfer_to_device` occupies real wall time equal to the
+    /// modeled bus time, so the transfer bottleneck of §5.4 is physically
+    /// reproduced and overlapping queries genuinely contend for the bus.
+    paced: bool,
     pub transfer_stats: TransferStats,
 }
 
@@ -87,11 +98,22 @@ impl DeviceMemory {
     pub fn with_bandwidth(capacity: u64, bandwidth: f64) -> Self {
         DeviceMemory {
             capacity,
-            used: Mutex::new(0),
+            used: AtomicU64::new(0),
             peak: AtomicU64::new(0),
             bandwidth: bandwidth.max(1.0),
+            paced: false,
             transfer_stats: TransferStats::default(),
         }
+    }
+
+    /// Enable or disable paced transfers (builder-style).
+    pub fn paced(mut self, paced: bool) -> Self {
+        self.paced = paced;
+        self
+    }
+
+    pub fn is_paced(&self) -> bool {
+        self.paced
     }
 
     pub fn capacity(&self) -> u64 {
@@ -99,7 +121,7 @@ impl DeviceMemory {
     }
 
     pub fn used(&self) -> u64 {
-        *self.used.lock().unwrap()
+        self.used.load(Ordering::Acquire)
     }
 
     pub fn available(&self) -> u64 {
@@ -108,31 +130,60 @@ impl DeviceMemory {
 
     /// High-water mark of allocations.
     pub fn peak(&self) -> u64 {
-        self.peak.load(Ordering::Relaxed)
+        self.peak.load(Ordering::Acquire)
     }
 
     /// Reserve `bytes` of device memory.
+    ///
+    /// Reserve-then-commit: a CAS loop moves `used` from `cur` to
+    /// `cur + bytes` only if the sum stays within capacity, so two racing
+    /// callers can never jointly overshoot the budget, and a failed
+    /// allocation leaves the ledger untouched. After the commit the peak is
+    /// raised to at least the committed value with `fetch_max`, which keeps
+    /// `peak` monotone and never under-reported under contention.
     pub fn alloc(&self, bytes: u64) -> Result<(), DeviceError> {
-        let mut used = self.used.lock().unwrap();
-        if *used + bytes > self.capacity {
-            return Err(DeviceError::OutOfMemory {
-                requested: bytes,
-                available: self.capacity - *used,
-            });
+        let mut cur = self.used.load(Ordering::Acquire);
+        loop {
+            let new = match cur.checked_add(bytes) {
+                Some(n) if n <= self.capacity => n,
+                _ => {
+                    return Err(DeviceError::OutOfMemory {
+                        requested: bytes,
+                        available: self.capacity.saturating_sub(cur),
+                    });
+                }
+            };
+            match self
+                .used
+                .compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => {
+                    self.peak.fetch_max(new, Ordering::AcqRel);
+                    return Ok(());
+                }
+                Err(actual) => cur = actual,
+            }
         }
-        *used += bytes;
-        self.peak.fetch_max(*used, Ordering::Relaxed);
-        Ok(())
     }
 
-    /// Release `bytes` of device memory.
+    /// Release `bytes` of device memory (saturating at zero).
     pub fn free(&self, bytes: u64) {
-        let mut used = self.used.lock().unwrap();
-        *used = used.saturating_sub(bytes);
+        let mut cur = self.used.load(Ordering::Acquire);
+        loop {
+            let new = cur.saturating_sub(bytes);
+            match self
+                .used
+                .compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
     }
 
     /// Record a host→device transfer of `bytes`; returns the modeled bus
-    /// time for the cost model and the I/O-time breakdown.
+    /// time for the cost model and the I/O-time breakdown. With pacing
+    /// enabled the calling thread also sleeps for the modeled time.
     pub fn transfer_to_device(&self, bytes: u64) -> Duration {
         let nanos = (bytes as f64 / self.bandwidth * 1e9) as u64;
         self.transfer_stats
@@ -144,7 +195,12 @@ impl DeviceMemory {
         self.transfer_stats
             .modeled_nanos
             .fetch_add(nanos, Ordering::Relaxed);
-        Duration::from_nanos(nanos)
+        record::add_transfer(bytes, nanos);
+        let modeled = Duration::from_nanos(nanos);
+        if self.paced && !modeled.is_zero() {
+            std::thread::sleep(modeled);
+        }
+        modeled
     }
 
     /// Allocate and transfer in one step (loading a grid cell to the GPU).
@@ -217,5 +273,79 @@ mod tests {
         assert!(t > Duration::ZERO);
         assert_eq!(dev.used(), 512);
         assert!(dev.upload(1024).is_err());
+    }
+
+    #[test]
+    fn paced_transfer_occupies_wall_time() {
+        let dev = DeviceMemory::with_bandwidth(u64::MAX, 1e9).paced(true);
+        let start = std::time::Instant::now();
+        dev.transfer_to_device(20_000_000); // 20 ms at 1 GB/s
+        assert!(start.elapsed() >= Duration::from_millis(15));
+    }
+
+    /// Satellite: hammer the ledger from 8 threads. Invariants under
+    /// concurrency: `used` never exceeds capacity, every successful alloc is
+    /// matched by a free so the ledger drains to zero, and `peak` is at
+    /// least the largest single committed allocation while never exceeding
+    /// capacity.
+    #[test]
+    fn concurrent_alloc_free_hammer() {
+        use std::sync::atomic::AtomicBool;
+
+        let dev = DeviceMemory::new(8_000);
+        let violated = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let dev = &dev;
+                let violated = &violated;
+                s.spawn(move || {
+                    // Deterministic per-thread pseudo-random sizes.
+                    let mut state = 0x9e37_79b9_u64.wrapping_mul(t as u64 + 1);
+                    for _ in 0..2_000 {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let bytes = 1 + (state >> 33) % 1_500;
+                        if dev.alloc(bytes).is_ok() {
+                            if dev.used() > dev.capacity() {
+                                violated.store(true, Ordering::Relaxed);
+                            }
+                            dev.free(bytes);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(!violated.load(Ordering::Relaxed), "used exceeded capacity");
+        assert_eq!(dev.used(), 0, "ledger must drain to zero");
+        assert!(dev.peak() <= dev.capacity());
+        assert!(dev.peak() > 0);
+    }
+
+    /// Satellite: `peak` must never under-report when two allocations race.
+    /// Two threads repeatedly hold 400 bytes each; whenever both overlap the
+    /// committed total is 800, and the CAS + fetch_max pair guarantees the
+    /// recorded peak covers the joint maximum, not just each thread's own.
+    #[test]
+    fn concurrent_peak_never_under_reports() {
+        use std::sync::Barrier;
+
+        let dev = DeviceMemory::new(1_000);
+        let barrier = Barrier::new(2);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let dev = &dev;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    for _ in 0..500 {
+                        barrier.wait();
+                        dev.alloc(400).unwrap();
+                        barrier.wait();
+                        // Both threads hold 400 here: committed total is 800.
+                        dev.free(400);
+                    }
+                });
+            }
+        });
+        assert_eq!(dev.used(), 0);
+        assert_eq!(dev.peak(), 800, "peak must cover racing allocations");
     }
 }

@@ -33,6 +33,7 @@ pub mod pipeline;
 pub mod pool;
 pub mod primitive;
 pub mod raster;
+pub mod record;
 pub mod scan;
 pub mod shader;
 pub mod stats;
@@ -43,6 +44,7 @@ pub use blend::BlendMode;
 pub use device::{DeviceMemory, TransferStats};
 pub use pipeline::{DrawCall, Pipeline};
 pub use primitive::{Primitive, Vertex};
+pub use record::FrameTotals;
 pub use shader::{
     AffineVertex, FnFragment, FnVertex, Fragment, FragmentShader, GeometryShader, IdentityVertex,
     NoGeometry, ShaderContext, VertexShader, WriteAttrs,

@@ -8,6 +8,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use crate::record;
+
 /// Counters accumulated across draw calls. All methods are thread-safe.
 #[derive(Debug, Default)]
 pub struct PipelineStats {
@@ -32,27 +34,33 @@ impl PipelineStats {
 
     pub fn add_draw_call(&self) {
         self.draw_calls.fetch_add(1, Ordering::Relaxed);
+        record::add_draw_call();
     }
 
     pub fn add_primitives(&self, n: u64) {
         self.primitives.fetch_add(n, Ordering::Relaxed);
+        record::add_primitives(n);
     }
 
     pub fn add_clipped(&self, n: u64) {
         self.clipped.fetch_add(n, Ordering::Relaxed);
+        record::add_clipped(n);
     }
 
     pub fn add_fragments(&self, n: u64) {
         self.fragments.fetch_add(n, Ordering::Relaxed);
+        record::add_fragments(n);
     }
 
     pub fn add_discarded(&self, n: u64) {
         self.discarded.fetch_add(n, Ordering::Relaxed);
+        record::add_discarded(n);
     }
 
     pub fn add_gpu_time(&self, d: Duration) {
-        self.gpu_nanos
-            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        let nanos = d.as_nanos() as u64;
+        self.gpu_nanos.fetch_add(nanos, Ordering::Relaxed);
+        record::add_gpu_nanos(nanos);
     }
 
     pub fn gpu_time(&self) -> Duration {

@@ -1,0 +1,129 @@
+//! GPU-memory admission control.
+//!
+//! A query that starts while the device is full doesn't fail — the
+//! executors tolerate OOM by streaming cells without residency — but it
+//! thrashes: every cell it touches re-crosses the bus, and it evicts the
+//! residency of the queries that *were* fitting. The controller therefore
+//! gates query *start* on an estimated device footprint: a query runs only
+//! once its estimate fits next to the estimates of every running query,
+//! otherwise it waits in the service queue.
+//!
+//! The controller keeps its own reservation ledger (reserve-then-commit on
+//! an atomic, exactly like [`spade_gpu::DeviceMemory::alloc`]) instead of
+//! allocating on the real device ledger: the executors' internal uploads
+//! already account there, and double-charging would halve the usable
+//! device. The invariant the property tests pin down: the sum of admitted
+//! estimates never exceeds the device capacity.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Reservation ledger gating admission against the device byte capacity.
+#[derive(Debug)]
+pub struct AdmissionController {
+    capacity: u64,
+    reserved: AtomicU64,
+}
+
+impl AdmissionController {
+    pub fn new(capacity: u64) -> Self {
+        AdmissionController {
+            capacity,
+            reserved: AtomicU64::new(0),
+        }
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Currently reserved estimate bytes across running queries.
+    pub fn reserved(&self) -> u64 {
+        self.reserved.load(Ordering::Acquire)
+    }
+
+    /// Can this footprint *ever* be admitted? Estimates beyond the whole
+    /// device are rejected outright rather than queued forever.
+    pub fn admissible(&self, bytes: u64) -> bool {
+        bytes <= self.capacity
+    }
+
+    /// Atomically reserve `bytes` if the total stays within capacity.
+    /// Queries whose reservation fails stay queued and retry when a
+    /// running query releases.
+    pub fn try_reserve(&self, bytes: u64) -> bool {
+        let mut cur = self.reserved.load(Ordering::Acquire);
+        loop {
+            let new = match cur.checked_add(bytes) {
+                Some(n) if n <= self.capacity => n,
+                _ => return false,
+            };
+            match self
+                .reserved
+                .compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return true,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Release a reservation made by [`AdmissionController::try_reserve`].
+    pub fn release(&self, bytes: u64) {
+        let mut cur = self.reserved.load(Ordering::Acquire);
+        loop {
+            let new = cur.saturating_sub(bytes);
+            match self
+                .reserved
+                .compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_release_cycle() {
+        let a = AdmissionController::new(100);
+        assert!(a.try_reserve(60));
+        assert!(!a.try_reserve(50), "would exceed capacity");
+        assert!(a.try_reserve(40));
+        assert_eq!(a.reserved(), 100);
+        a.release(60);
+        assert_eq!(a.reserved(), 40);
+    }
+
+    #[test]
+    fn oversized_footprints_are_inadmissible() {
+        let a = AdmissionController::new(100);
+        assert!(a.admissible(100));
+        assert!(!a.admissible(101));
+    }
+
+    #[test]
+    fn concurrent_reservations_never_exceed_capacity() {
+        let a = AdmissionController::new(1_000);
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let a = &a;
+                s.spawn(move || {
+                    let mut state = 0x5851_f42d_u64.wrapping_mul(t + 1);
+                    for _ in 0..2_000 {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let bytes = 1 + (state >> 33) % 300;
+                        if a.try_reserve(bytes) {
+                            assert!(a.reserved() <= a.capacity());
+                            a.release(bytes);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(a.reserved(), 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Typed query requests and responses of the service layer.
+
+use spade_core::query::{JoinQuery, QueryResult, SelectQuery};
+use spade_core::QueryStats;
+use spade_storage::sql::SqlResult;
+use std::time::Duration;
+
+/// A query a session submits to the [`crate::QueryService`]. Dataset names
+/// refer to the service's catalog ([`crate::QueryService::register`] /
+/// [`crate::QueryService::register_indexed`]); selection and join classes
+/// reuse the engine's query AST. Name resolution prefers the grid-indexed
+/// (out-of-core) form of a dataset when both are registered.
+#[derive(Debug, Clone)]
+pub enum QueryRequest {
+    /// A selection (intersects / range / containment / distance / kNN)
+    /// over one dataset.
+    Select { dataset: String, query: SelectQuery },
+    /// A join (intersects / distance / kNN / count-points aggregation)
+    /// over two datasets.
+    Join {
+        left: String,
+        right: String,
+        query: JoinQuery,
+    },
+    /// A SQL statement against the service's embedded relational store.
+    Sql(String),
+}
+
+impl QueryRequest {
+    /// Short class label for logs and stats breakdowns.
+    pub fn class(&self) -> &'static str {
+        match self {
+            QueryRequest::Select { query, .. } => match query {
+                SelectQuery::Intersects(_) => "select",
+                SelectQuery::Range(_) => "range",
+                SelectQuery::Contained(_) => "contained",
+                SelectQuery::WithinDistance(..) => "distance",
+                SelectQuery::Knn(..) => "knn",
+            },
+            QueryRequest::Join { query, .. } => match query {
+                JoinQuery::Intersects => "join",
+                JoinQuery::WithinDistance(_) => "distance-join",
+                JoinQuery::Knn(_) => "knn-join",
+                JoinQuery::CountPoints => "aggregate",
+            },
+            QueryRequest::Sql(_) => "sql",
+        }
+    }
+}
+
+/// What a completed query returns.
+#[derive(Debug, PartialEq)]
+pub enum ResponsePayload {
+    /// A spatial query result.
+    Query(QueryResult),
+    /// A SQL statement result.
+    Sql(SqlResult),
+}
+
+impl ResponsePayload {
+    /// The spatial result, when the payload is one.
+    pub fn query(&self) -> Option<&QueryResult> {
+        match self {
+            ResponsePayload::Query(q) => Some(q),
+            ResponsePayload::Sql(_) => None,
+        }
+    }
+}
+
+/// A completed query: its payload, the engine's per-query stats, and the
+/// service-side wall split between time spent queued (admission) and time
+/// spent executing.
+#[derive(Debug)]
+pub struct QueryResponse {
+    pub payload: ResponsePayload,
+    /// Engine-side breakdown (I/O / GPU / polygon / CPU, transfer bytes,
+    /// passes). Zeroed for SQL statements, which bypass the engine.
+    pub stats: QueryStats,
+    /// Time between submission and admission to a worker.
+    pub queue_wait: Duration,
+    /// Time between admission and completion.
+    pub exec_time: Duration,
+}
+
+/// Why a query did not produce a result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The admission controller rejected the query outright: its estimated
+    /// device footprint can never fit the device.
+    Rejected { estimated: u64, capacity: u64 },
+    /// The query was cancelled (by its token) before or during execution.
+    Cancelled,
+    /// The query's deadline expired before or during execution.
+    DeadlineExceeded,
+    /// The request referenced a dataset the catalog does not know.
+    UnknownDataset(String),
+    /// The service is shutting down; the query will not run.
+    Shutdown,
+    /// The engine or storage layer failed.
+    Storage(spade_storage::StorageError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Rejected {
+                estimated,
+                capacity,
+            } => write!(
+                f,
+                "rejected: estimated footprint {estimated} B exceeds device capacity {capacity} B"
+            ),
+            ServiceError::Cancelled => write!(f, "cancelled"),
+            ServiceError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ServiceError::UnknownDataset(n) => write!(f, "unknown dataset '{n}'"),
+            ServiceError::Shutdown => write!(f, "service shut down"),
+            ServiceError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<spade_storage::StorageError> for ServiceError {
+    fn from(e: spade_storage::StorageError) -> Self {
+        match e {
+            spade_storage::StorageError::Cancelled => ServiceError::Cancelled,
+            other => ServiceError::Storage(other),
+        }
+    }
+}

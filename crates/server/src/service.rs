@@ -1,0 +1,511 @@
+//! The concurrent query service.
+//!
+//! One shared [`Spade`] engine behind a worker pool. Sessions submit typed
+//! [`QueryRequest`]s and get [`Ticket`]s; workers admit queued queries
+//! through the [`AdmissionController`] (FIFO, with a per-session fairness
+//! cap), execute them with a per-query [`CancelToken`] threaded into the
+//! engine's out-of-core loops, and reply over the ticket's channel.
+//!
+//! Admission order: the queue is scanned front to back. Entries whose
+//! token is cancelled or whose deadline has passed are purged in place.
+//! Entries of sessions already running `fairness_cap` queries are skipped
+//! (bypassing them is the fairness mechanism — one session cannot occupy
+//! every worker while others wait). The first remaining entry must also
+//! fit the device-memory reservation; if it does not, the scan *stops*
+//! rather than skipping it, so memory admission is strictly FIFO and a
+//! large query cannot be starved by a stream of small ones.
+
+use crate::admission::AdmissionController;
+use crate::request::{QueryRequest, QueryResponse, ResponsePayload, ServiceError};
+use crate::stats::{ServiceSnapshot, ServiceStats};
+use spade_core::cancel::CancelToken;
+use spade_core::dataset::{Dataset, IndexedDataset};
+use spade_core::query::{self, QueryResult, SelectQuery};
+use spade_core::{EngineConfig, QueryStats, Spade};
+use spade_storage::Database;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+use std::time::{Duration, Instant};
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Engine configuration for the shared [`Spade`] instance.
+    pub engine: EngineConfig,
+    /// Worker threads executing queries (the concurrency level).
+    pub workers: usize,
+    /// Maximum queries of one session running at once; further queries of
+    /// that session wait even when workers and memory are free.
+    pub fairness_cap: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            engine: EngineConfig::default(),
+            workers: 4,
+            fairness_cap: 2,
+        }
+    }
+}
+
+type Reply = Result<QueryResponse, ServiceError>;
+
+struct Pending {
+    session: u64,
+    request: QueryRequest,
+    cancel: CancelToken,
+    footprint: u64,
+    enqueued: Instant,
+    reply: mpsc::Sender<Reply>,
+}
+
+#[derive(Default)]
+struct Queue {
+    pending: VecDeque<Pending>,
+    running_per_session: HashMap<u64, usize>,
+    running: usize,
+}
+
+struct Shared {
+    spade: Arc<Spade>,
+    db: Mutex<Database>,
+    datasets: RwLock<HashMap<String, Arc<Dataset>>>,
+    indexed: RwLock<HashMap<String, Arc<IndexedDataset>>>,
+    admission: AdmissionController,
+    queue: Mutex<Queue>,
+    work_ready: Condvar,
+    stats: ServiceStats,
+    fairness_cap: usize,
+    shutdown: AtomicBool,
+    next_session: AtomicU64,
+}
+
+/// A query service over one shared engine. Dropping the service shuts the
+/// worker pool down; queued queries reply [`ServiceError::Shutdown`].
+pub struct QueryService {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl QueryService {
+    /// Build a service owning a freshly configured engine.
+    pub fn new(config: ServiceConfig) -> Self {
+        let engine = Arc::new(Spade::new(config.engine.clone()));
+        Self::with_engine(engine, config)
+    }
+
+    /// Build a service over an existing (shareable) engine. The admission
+    /// controller gates on the engine's device capacity.
+    pub fn with_engine(engine: Arc<Spade>, config: ServiceConfig) -> Self {
+        let shared = Arc::new(Shared {
+            admission: AdmissionController::new(engine.device.capacity()),
+            spade: engine,
+            db: Mutex::new(Database::in_memory()),
+            datasets: RwLock::new(HashMap::new()),
+            indexed: RwLock::new(HashMap::new()),
+            queue: Mutex::new(Queue::default()),
+            work_ready: Condvar::new(),
+            stats: ServiceStats::default(),
+            fairness_cap: config.fairness_cap.max(1),
+            shutdown: AtomicBool::new(false),
+            next_session: AtomicU64::new(1),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("spade-svc-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        QueryService { shared, workers }
+    }
+
+    /// The shared engine (for inspection: device ledger, config).
+    pub fn engine(&self) -> &Arc<Spade> {
+        &self.shared.spade
+    }
+
+    /// The embedded relational store, for direct setup/loading. SQL
+    /// requests submitted through sessions execute against the same
+    /// database.
+    pub fn database(&self) -> MutexGuard<'_, Database> {
+        self.shared.db.lock().unwrap()
+    }
+
+    /// Register an in-memory dataset under `name`.
+    pub fn register(&self, name: impl Into<String>, data: Dataset) {
+        self.shared
+            .datasets
+            .write()
+            .unwrap()
+            .insert(name.into(), Arc::new(data));
+    }
+
+    /// Register a grid-indexed (out-of-core) dataset under `name`. Name
+    /// resolution prefers the indexed form when both are registered.
+    pub fn register_indexed(&self, name: impl Into<String>, data: IndexedDataset) {
+        self.shared
+            .indexed
+            .write()
+            .unwrap()
+            .insert(name.into(), Arc::new(data));
+    }
+
+    /// Open a new session. Sessions are cheap id-carrying handles; the
+    /// fairness cap applies per session id.
+    pub fn session(&self) -> Session {
+        Session {
+            shared: Arc::clone(&self.shared),
+            id: self.shared.next_session.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// A point-in-time view of the service counters.
+    pub fn stats(&self) -> ServiceSnapshot {
+        let (depth, running) = {
+            let q = self.shared.queue.lock().unwrap();
+            (q.pending.len(), q.running)
+        };
+        self.shared.stats.snapshot(depth, running)
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.work_ready.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// A client handle submitting queries under one session id.
+pub struct Session {
+    shared: Arc<Shared>,
+    id: u64,
+}
+
+impl Session {
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Submit a query with no deadline.
+    pub fn submit(&self, request: QueryRequest) -> Ticket {
+        self.submit_with_token(request, CancelToken::new())
+    }
+
+    /// Submit a query that cancels automatically `deadline` from now —
+    /// while queued or at the next cell boundary once running.
+    pub fn submit_with_deadline(&self, request: QueryRequest, deadline: Duration) -> Ticket {
+        self.submit_with_token(request, CancelToken::deadline_in(deadline))
+    }
+
+    /// Submit with a caller-controlled token (cancel it any time; clones
+    /// observe the same flag).
+    pub fn submit_with_token(&self, request: QueryRequest, cancel: CancelToken) -> Ticket {
+        let (tx, rx) = mpsc::channel();
+        let ticket = Ticket {
+            cancel: cancel.clone(),
+            rx,
+        };
+        self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            let _ = tx.send(Err(ServiceError::Shutdown));
+            return ticket;
+        }
+        // Resolve names and estimate the device footprint up front:
+        // unknown datasets and can-never-fit queries fail fast instead of
+        // occupying the queue.
+        let footprint = match estimate_footprint(&self.shared, &request) {
+            Ok(f) => f,
+            Err(e) => {
+                let _ = tx.send(Err(e));
+                return ticket;
+            }
+        };
+        if !self.shared.admission.admissible(footprint) {
+            self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            let _ = tx.send(Err(ServiceError::Rejected {
+                estimated: footprint,
+                capacity: self.shared.admission.capacity(),
+            }));
+            return ticket;
+        }
+
+        let mut q = self.shared.queue.lock().unwrap();
+        q.pending.push_back(Pending {
+            session: self.id,
+            request,
+            cancel,
+            footprint,
+            enqueued: Instant::now(),
+            reply: tx,
+        });
+        drop(q);
+        self.shared.work_ready.notify_one();
+        ticket
+    }
+}
+
+/// The handle to one submitted query.
+pub struct Ticket {
+    cancel: CancelToken,
+    rx: mpsc::Receiver<Reply>,
+}
+
+impl Ticket {
+    /// This query's cancellation token.
+    pub fn token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Request cancellation: a queued query is purged; a running one stops
+    /// at its next cell boundary with the device ledger balanced.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// Block until the query resolves.
+    pub fn wait(self) -> Reply {
+        self.rx.recv().unwrap_or(Err(ServiceError::Shutdown))
+    }
+
+    /// Non-blocking poll; `None` while the query is still queued/running.
+    pub fn try_wait(&self) -> Option<Reply> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Estimated device-memory footprint of a request, in bytes. Canvas terms
+/// are `resolution² × 16` (four 32-bit channels per pixel); out-of-core
+/// requests add the largest grid cell per streamed side, since the
+/// executors hold at most one cell per side resident. SQL runs on the
+/// host, so its device footprint is zero.
+fn estimate_footprint(shared: &Shared, request: &QueryRequest) -> Result<u64, ServiceError> {
+    let cfg = &shared.spade.config;
+    let canvas = |res: u32| (res as u64) * (res as u64) * 16;
+    let max_cell = |d: &IndexedDataset| d.grid.cells().iter().map(|c| c.bytes).max().unwrap_or(0);
+    match request {
+        QueryRequest::Select { dataset, query } => {
+            if let Some(idx) = shared.indexed.read().unwrap().get(dataset) {
+                let constraint = match query {
+                    SelectQuery::WithinDistance(..) | SelectQuery::Knn(..) => {
+                        canvas(cfg.distance_resolution)
+                    }
+                    _ => canvas(cfg.resolution),
+                };
+                Ok(constraint + canvas(cfg.filter_resolution) + max_cell(idx))
+            } else if shared.datasets.read().unwrap().contains_key(dataset) {
+                // In-memory plans render but never allocate device memory;
+                // the constraint canvas is still a fair working-set proxy.
+                Ok(canvas(cfg.resolution))
+            } else {
+                Err(ServiceError::UnknownDataset(dataset.clone()))
+            }
+        }
+        QueryRequest::Join { left, right, query } => {
+            let idx = shared.indexed.read().unwrap();
+            let mem = shared.datasets.read().unwrap();
+            let side = |name: &String| -> Result<u64, ServiceError> {
+                if let Some(d) = idx.get(name) {
+                    Ok(max_cell(d))
+                } else if mem.contains_key(name) {
+                    Ok(0)
+                } else {
+                    Err(ServiceError::UnknownDataset(name.clone()))
+                }
+            };
+            let base = side(left)? + side(right)?;
+            let constraint = match query {
+                spade_core::query::JoinQuery::WithinDistance(_)
+                | spade_core::query::JoinQuery::Knn(_) => canvas(cfg.distance_resolution),
+                _ => canvas(cfg.filter_resolution),
+            };
+            Ok(base + constraint)
+        }
+        QueryRequest::Sql(_) => Ok(0),
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    // Drain: every queued query learns the service is gone.
+                    for p in q.pending.drain(..) {
+                        let _ = p.reply.send(Err(ServiceError::Shutdown));
+                    }
+                    return;
+                }
+                match admit_next(shared, &mut q) {
+                    Some(p) => break p,
+                    None => {
+                        // Timed wait so queued deadlines are re-checked
+                        // even when no submit/complete event fires.
+                        let (guard, _) = shared
+                            .work_ready
+                            .wait_timeout(q, Duration::from_millis(5))
+                            .unwrap();
+                        q = guard;
+                    }
+                }
+            }
+        };
+
+        let queue_wait = job.enqueued.elapsed();
+        shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
+        shared
+            .stats
+            .queue_wait_nanos
+            .fetch_add(queue_wait.as_nanos() as u64, Ordering::Relaxed);
+
+        let t0 = Instant::now();
+        let outcome = execute(shared, &job);
+        let exec_time = t0.elapsed();
+
+        shared.admission.release(job.footprint);
+        {
+            let mut q = shared.queue.lock().unwrap();
+            q.running -= 1;
+            if let Some(n) = q.running_per_session.get_mut(&job.session) {
+                *n -= 1;
+                if *n == 0 {
+                    q.running_per_session.remove(&job.session);
+                }
+            }
+        }
+        // A released reservation (and session slot) may unblock queued
+        // queries: wake the pool.
+        shared.work_ready.notify_all();
+
+        shared
+            .stats
+            .exec_nanos
+            .fetch_add(exec_time.as_nanos() as u64, Ordering::Relaxed);
+        shared.stats.record_latency(queue_wait + exec_time);
+        let reply = match outcome {
+            Ok((payload, stats)) => {
+                shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                Ok(QueryResponse {
+                    payload,
+                    stats,
+                    queue_wait,
+                    exec_time,
+                })
+            }
+            Err(e) => {
+                let e = refine_cancel(e, &job.cancel);
+                match e {
+                    ServiceError::Cancelled | ServiceError::DeadlineExceeded => {
+                        shared.stats.cancelled.fetch_add(1, Ordering::Relaxed)
+                    }
+                    _ => shared.stats.failed.fetch_add(1, Ordering::Relaxed),
+                };
+                Err(e)
+            }
+        };
+        let _ = job.reply.send(reply);
+    }
+}
+
+/// Pick the next admissible queued query. See the module docs for the
+/// scan's fairness and FIFO rules. Expired/cancelled entries are purged
+/// (replied to) in place.
+fn admit_next(shared: &Shared, q: &mut Queue) -> Option<Pending> {
+    let mut i = 0;
+    while i < q.pending.len() {
+        if q.pending[i].cancel.is_cancelled() {
+            let p = q.pending.remove(i).expect("index in bounds");
+            let err = refine_cancel(ServiceError::Cancelled, &p.cancel);
+            shared.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+            let _ = p.reply.send(Err(err));
+            continue;
+        }
+        let session = q.pending[i].session;
+        let session_running = q.running_per_session.get(&session).copied().unwrap_or(0);
+        if session_running >= shared.fairness_cap {
+            i += 1; // fairness: bypass a session already at its cap
+            continue;
+        }
+        if !shared.admission.try_reserve(q.pending[i].footprint) {
+            // Memory admission is strictly FIFO: stop, don't starve the
+            // head with later small queries.
+            return None;
+        }
+        let p = q.pending.remove(i).expect("index in bounds");
+        *q.running_per_session.entry(p.session).or_insert(0) += 1;
+        q.running += 1;
+        return Some(p);
+    }
+    None
+}
+
+/// Distinguish an expired deadline from an explicit cancel in the reply.
+fn refine_cancel(e: ServiceError, cancel: &CancelToken) -> ServiceError {
+    match e {
+        ServiceError::Cancelled => match cancel.deadline() {
+            Some(d) if Instant::now() >= d => ServiceError::DeadlineExceeded,
+            _ => ServiceError::Cancelled,
+        },
+        other => other,
+    }
+}
+
+fn execute(shared: &Shared, job: &Pending) -> Result<(ResponsePayload, QueryStats), ServiceError> {
+    job.cancel.check().map_err(ServiceError::from)?;
+    match &job.request {
+        QueryRequest::Select { dataset, query } => {
+            let indexed = shared.indexed.read().unwrap().get(dataset).cloned();
+            if let Some(idx) = indexed {
+                let out = query::run_select_indexed_with(&shared.spade, &idx, query, &job.cancel)?;
+                return Ok((ResponsePayload::Query(out.result), out.stats));
+            }
+            let mem = shared.datasets.read().unwrap().get(dataset).cloned();
+            match mem {
+                Some(d) => {
+                    let out = query::run_select(&shared.spade, &d, query);
+                    Ok((ResponsePayload::Query(out.result), out.stats))
+                }
+                None => Err(ServiceError::UnknownDataset(dataset.clone())),
+            }
+        }
+        QueryRequest::Join { left, right, query } => {
+            let idx = shared.indexed.read().unwrap();
+            let (l_idx, r_idx) = (idx.get(left).cloned(), idx.get(right).cloned());
+            drop(idx);
+            if let (Some(l), Some(r)) = (l_idx, r_idx) {
+                let out = query::run_join_indexed_with(&shared.spade, &l, &r, query, &job.cancel)?;
+                return Ok((ResponsePayload::Query(out.result), out.stats));
+            }
+            let mem = shared.datasets.read().unwrap();
+            let resolve = |name: &String| -> Result<Arc<Dataset>, ServiceError> {
+                mem.get(name)
+                    .cloned()
+                    .ok_or_else(|| ServiceError::UnknownDataset(name.clone()))
+            };
+            let (l, r) = (resolve(left)?, resolve(right)?);
+            drop(mem);
+            let out = query::run_join(&shared.spade, &l, &r, query);
+            Ok((ResponsePayload::Query(out.result), out.stats))
+        }
+        QueryRequest::Sql(stmt) => {
+            let db = shared.db.lock().unwrap();
+            let result = spade_storage::sql::execute(&db, stmt)?;
+            Ok((ResponsePayload::Sql(result), QueryStats::default()))
+        }
+    }
+}
+
+/// Results of spatial queries are plain data and compare bytewise through
+/// `PartialEq`; re-exported here so differential tests read naturally.
+pub type SpatialResult = QueryResult;

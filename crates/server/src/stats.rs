@@ -1,0 +1,148 @@
+//! Service-level statistics.
+//!
+//! The engine's [`spade_core::QueryStats`] describes one query; the service
+//! aggregates across queries and sessions: queue depth, admission counters,
+//! the queue-vs-execution wall split, and latency quantiles over a sliding
+//! window of recent completions.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How many recent query latencies the p50/p95 window keeps.
+const WINDOW: usize = 256;
+
+/// Shared counters, updated lock-free except for the latency window.
+#[derive(Debug, Default)]
+pub(crate) struct ServiceStats {
+    pub submitted: AtomicU64,
+    pub admitted: AtomicU64,
+    pub rejected: AtomicU64,
+    pub cancelled: AtomicU64,
+    pub completed: AtomicU64,
+    pub failed: AtomicU64,
+    pub queue_wait_nanos: AtomicU64,
+    pub exec_nanos: AtomicU64,
+    latencies: Mutex<VecDeque<u64>>,
+}
+
+impl ServiceStats {
+    pub fn record_latency(&self, total: Duration) {
+        let mut w = self.latencies.lock().unwrap();
+        if w.len() == WINDOW {
+            w.pop_front();
+        }
+        w.push_back(total.as_nanos() as u64);
+    }
+
+    pub fn snapshot(&self, queue_depth: usize, running: usize) -> ServiceSnapshot {
+        let (p50, p95) = {
+            let w = self.latencies.lock().unwrap();
+            let mut sorted: Vec<u64> = w.iter().copied().collect();
+            sorted.sort_unstable();
+            let q = |p: f64| -> Duration {
+                if sorted.is_empty() {
+                    return Duration::ZERO;
+                }
+                let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+                Duration::from_nanos(sorted[idx])
+            };
+            (q(0.50), q(0.95))
+        };
+        ServiceSnapshot {
+            queue_depth,
+            running,
+            submitted: self.submitted.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            total_queue_wait: Duration::from_nanos(self.queue_wait_nanos.load(Ordering::Relaxed)),
+            total_exec: Duration::from_nanos(self.exec_nanos.load(Ordering::Relaxed)),
+            p50_latency: p50,
+            p95_latency: p95,
+        }
+    }
+}
+
+/// A point-in-time view of the service counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceSnapshot {
+    /// Queries waiting for admission right now.
+    pub queue_depth: usize,
+    /// Queries executing right now.
+    pub running: usize,
+    /// Queries ever submitted (including rejected ones).
+    pub submitted: u64,
+    /// Queries admitted to a worker.
+    pub admitted: u64,
+    /// Queries rejected outright (footprint beyond device capacity).
+    pub rejected: u64,
+    /// Queries cancelled or expired, queued or mid-flight.
+    pub cancelled: u64,
+    /// Queries that completed with a result.
+    pub completed: u64,
+    /// Queries that failed with a storage/engine error.
+    pub failed: u64,
+    /// Sum of all time queries spent waiting in the admission queue.
+    pub total_queue_wait: Duration,
+    /// Sum of all time queries spent executing.
+    pub total_exec: Duration,
+    /// Median end-to-end latency over the recent-completion window.
+    pub p50_latency: Duration,
+    /// 95th-percentile end-to-end latency over the window.
+    pub p95_latency: Duration,
+}
+
+impl ServiceSnapshot {
+    /// Every submitted query is accounted exactly once when idle:
+    /// completed + failed + cancelled + rejected + queued + running.
+    pub fn accounted(&self) -> u64 {
+        self.completed
+            + self.failed
+            + self.cancelled
+            + self.rejected
+            + self.queue_depth as u64
+            + self.running as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_over_window() {
+        let s = ServiceStats::default();
+        for ms in 1..=100u64 {
+            s.record_latency(Duration::from_millis(ms));
+        }
+        let snap = s.snapshot(0, 0);
+        assert_eq!(snap.p50_latency, Duration::from_millis(51));
+        assert_eq!(snap.p95_latency, Duration::from_millis(95));
+    }
+
+    #[test]
+    fn window_slides() {
+        let s = ServiceStats::default();
+        for _ in 0..WINDOW {
+            s.record_latency(Duration::from_millis(1));
+        }
+        for _ in 0..WINDOW {
+            s.record_latency(Duration::from_millis(9));
+        }
+        let snap = s.snapshot(0, 0);
+        assert_eq!(snap.p50_latency, Duration::from_millis(9));
+    }
+
+    #[test]
+    fn empty_window_is_zero() {
+        let s = ServiceStats::default();
+        let snap = s.snapshot(3, 1);
+        assert_eq!(snap.p50_latency, Duration::ZERO);
+        assert_eq!(snap.queue_depth, 3);
+        assert_eq!(snap.running, 1);
+    }
+}

@@ -1,0 +1,499 @@
+//! Integration tests of the concurrent query service.
+//!
+//! The differential tests pin down the service's core guarantee: routing a
+//! query through sessions, admission, and the worker pool changes *when*
+//! it runs, never *what* it returns — results are byte-identical
+//! (`PartialEq` over [`QueryResult`]) to a fresh single-threaded engine.
+//! The property tests pin down the admission/cancellation invariants:
+//! reservations never exceed device capacity, every submitted query
+//! resolves (no deadlock), and cancellation mid-join leaves the device
+//! ledger balanced.
+
+use proptest::prelude::*;
+use spade_core::dataset::{Dataset, DatasetKind, IndexedDataset};
+use spade_core::query::{self, JoinQuery, QueryResult, SelectQuery};
+use spade_core::{CancelToken, EngineConfig, Spade};
+use spade_geometry::{BBox, Point, Polygon};
+use spade_index::GridIndex;
+use spade_server::{QueryRequest, QueryService, ResponsePayload, ServiceConfig, ServiceError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// `test_small` with the canvases shrunk further: these tests run many
+/// queries through the software rasterizer in debug builds, and both sides
+/// of every differential comparison share the config, so resolution only
+/// costs time. The throughput test keeps `test_small` proper.
+fn tiny_config() -> EngineConfig {
+    let mut c = EngineConfig::test_small();
+    c.resolution = 128;
+    c.layer_resolution = 128;
+    c.filter_resolution = 64;
+    c.distance_resolution = 128;
+    c.knn_circles = 16;
+    c
+}
+
+fn scatter(n: usize, extent: f64, seed: u64) -> Vec<Point> {
+    let unit = spade_datagen::spider::uniform_points(n, seed);
+    spade_datagen::spider::scale_points(&unit, &BBox::new(Point::ZERO, Point::new(extent, extent)))
+}
+
+fn polygon_field() -> Vec<Polygon> {
+    (0..5)
+        .flat_map(|i| {
+            (0..5).map(move |j| {
+                let min = Point::new(i as f64 * 20.0 + 1.5, j as f64 * 20.0 + 1.5);
+                Polygon::rect(BBox::new(min, min + Point::new(16.0, 16.0)))
+            })
+        })
+        .collect()
+}
+
+fn constraint() -> Polygon {
+    Polygon::new(vec![
+        Point::new(10.0, 15.0),
+        Point::new(85.0, 25.0),
+        Point::new(70.0, 80.0),
+        Point::new(20.0, 70.0),
+    ])
+}
+
+fn indexed_points(cell: f64) -> IndexedDataset {
+    let d = Dataset::from_points("pts", scatter(800, 100.0, 11));
+    let grid = GridIndex::build(None, &d.objects, cell).unwrap();
+    IndexedDataset::new("pts", DatasetKind::Points, grid)
+}
+
+fn indexed_polys(cell: f64) -> IndexedDataset {
+    let d = Dataset::from_polygons("polys", polygon_field());
+    let grid = GridIndex::build(None, &d.objects, cell).unwrap();
+    IndexedDataset::new("polys", DatasetKind::Polygons, grid)
+}
+
+/// The mixed workload every differential test replays.
+fn workload() -> Vec<QueryRequest> {
+    let r = |a: (f64, f64), b: (f64, f64)| BBox::new(Point::new(a.0, a.1), Point::new(b.0, b.1));
+    vec![
+        QueryRequest::Select {
+            dataset: "pts".into(),
+            query: SelectQuery::Range(r((20.0, 20.0), (60.0, 55.0))),
+        },
+        QueryRequest::Select {
+            dataset: "pts".into(),
+            query: SelectQuery::Intersects(constraint()),
+        },
+        QueryRequest::Select {
+            dataset: "pts".into(),
+            query: SelectQuery::WithinDistance(
+                spade_core::distance::DistanceConstraint::Point(Point::new(50.0, 50.0)),
+                12.5,
+            ),
+        },
+        QueryRequest::Select {
+            dataset: "pts".into(),
+            query: SelectQuery::Knn(Point::new(33.0, 66.0), 10),
+        },
+        QueryRequest::Select {
+            dataset: "polys".into(),
+            query: SelectQuery::Intersects(constraint()),
+        },
+        QueryRequest::Select {
+            dataset: "polys".into(),
+            query: SelectQuery::Contained(constraint()),
+        },
+        QueryRequest::Join {
+            left: "polys".into(),
+            right: "pts".into(),
+            query: JoinQuery::Intersects,
+        },
+        QueryRequest::Join {
+            left: "polys".into(),
+            right: "pts".into(),
+            query: JoinQuery::CountPoints,
+        },
+    ]
+}
+
+/// What a fresh, single-threaded engine says each workload entry returns.
+fn baseline(config: &EngineConfig) -> Vec<QueryResult> {
+    let spade = Spade::new(config.clone());
+    let pts = indexed_points(25.0);
+    let polys = indexed_polys(25.0);
+    workload()
+        .iter()
+        .map(|req| match req {
+            QueryRequest::Select { dataset, query } => {
+                let d = if dataset == "pts" { &pts } else { &polys };
+                query::run_select_indexed(&spade, d, query).unwrap().result
+            }
+            QueryRequest::Join { query, .. } => {
+                query::run_join_indexed(&spade, &polys, &pts, query)
+                    .unwrap()
+                    .result
+            }
+            QueryRequest::Sql(_) => unreachable!("workload has no SQL"),
+        })
+        .collect()
+}
+
+fn service(config: ServiceConfig) -> QueryService {
+    let svc = QueryService::new(config);
+    svc.register_indexed("pts", indexed_points(25.0));
+    svc.register_indexed("polys", indexed_polys(25.0));
+    svc
+}
+
+fn expect_query(payload: ResponsePayload) -> QueryResult {
+    match payload {
+        ResponsePayload::Query(q) => q,
+        ResponsePayload::Sql(other) => panic!("expected spatial result, got {other:?}"),
+    }
+}
+
+#[test]
+fn differential_one_session() {
+    let config = tiny_config();
+    let expected = baseline(&config);
+    let svc = service(ServiceConfig {
+        engine: config,
+        workers: 2,
+        fairness_cap: 2,
+    });
+    let session = svc.session();
+    for (req, want) in workload().into_iter().zip(&expected) {
+        let resp = session.submit(req).wait().expect("query succeeds");
+        assert_eq!(&expect_query(resp.payload), want);
+    }
+    let snap = svc.stats();
+    assert_eq!(snap.completed, expected.len() as u64);
+    assert_eq!(snap.failed + snap.rejected + snap.cancelled, 0);
+}
+
+#[test]
+fn differential_sixteen_sessions() {
+    let config = tiny_config();
+    let expected = Arc::new(baseline(&config));
+    let svc = Arc::new(service(ServiceConfig {
+        engine: config,
+        workers: 4,
+        fairness_cap: 2,
+    }));
+    std::thread::scope(|s| {
+        for t in 0..16u64 {
+            let svc = Arc::clone(&svc);
+            let expected = Arc::clone(&expected);
+            s.spawn(move || {
+                let session = svc.session();
+                // Each session walks the workload at a different offset so
+                // distinct query classes overlap in flight.
+                let reqs = workload();
+                let n = reqs.len();
+                // Each session runs half the workload; the rotation covers
+                // every workload entry (and overlaps every pair of query
+                // classes) across the 16 sessions.
+                let tickets: Vec<_> = (0..n / 2)
+                    .map(|i| (i + t as usize) % n)
+                    .map(|i| (i, session.submit(reqs[i].clone())))
+                    .collect();
+                for (i, ticket) in tickets {
+                    let resp = ticket.wait().expect("query succeeds");
+                    assert_eq!(&expect_query(resp.payload), &expected[i]);
+                }
+            });
+        }
+    });
+    let snap = svc.stats();
+    assert_eq!(snap.failed + snap.rejected, 0);
+    assert_eq!(snap.completed, snap.submitted);
+    // All device memory and reservations returned.
+    assert_eq!(svc.engine().device.used(), 0);
+}
+
+#[test]
+fn sql_round_trips_through_sessions() {
+    let svc = QueryService::new(ServiceConfig {
+        engine: tiny_config(),
+        workers: 2,
+        fairness_cap: 2,
+    });
+    let session = svc.session();
+    for stmt in [
+        "CREATE TABLE t (id INT, score FLOAT)",
+        "INSERT INTO t VALUES (1, 0.25)",
+        "INSERT INTO t VALUES (2, 0.75)",
+        "INSERT INTO t VALUES (3, 0.5)",
+    ] {
+        session
+            .submit(QueryRequest::Sql(stmt.into()))
+            .wait()
+            .expect("statement succeeds");
+    }
+    let resp = session
+        .submit(QueryRequest::Sql(
+            "SELECT id FROM t WHERE score >= 0.5 ORDER BY score DESC".into(),
+        ))
+        .wait()
+        .expect("select succeeds");
+
+    // The same statements against a standalone database give the same rows.
+    let reference = spade_storage::Database::in_memory();
+    for stmt in [
+        "CREATE TABLE t (id INT, score FLOAT)",
+        "INSERT INTO t VALUES (1, 0.25)",
+        "INSERT INTO t VALUES (2, 0.75)",
+        "INSERT INTO t VALUES (3, 0.5)",
+    ] {
+        spade_storage::sql::execute(&reference, stmt).unwrap();
+    }
+    let want = spade_storage::sql::execute(
+        &reference,
+        "SELECT id FROM t WHERE score >= 0.5 ORDER BY score DESC",
+    )
+    .unwrap();
+    match resp.payload {
+        ResponsePayload::Sql(got) => assert_eq!(got, want),
+        other => panic!("expected SQL result, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_dataset_fails_fast() {
+    let svc = service(ServiceConfig {
+        engine: tiny_config(),
+        workers: 1,
+        fairness_cap: 1,
+    });
+    let err = svc
+        .session()
+        .submit(QueryRequest::Select {
+            dataset: "nope".into(),
+            query: SelectQuery::Range(BBox::new(Point::ZERO, Point::new(1.0, 1.0))),
+        })
+        .wait()
+        .unwrap_err();
+    assert_eq!(err, ServiceError::UnknownDataset("nope".into()));
+}
+
+#[test]
+fn oversized_footprint_is_rejected() {
+    // A device smaller than one constraint canvas can never admit an
+    // indexed query: the estimate exceeds capacity, so the service rejects
+    // at submit instead of queueing forever.
+    let mut engine = tiny_config();
+    engine.device_memory = 64 << 10;
+    let svc = service(ServiceConfig {
+        engine,
+        workers: 1,
+        fairness_cap: 1,
+    });
+    let err = svc
+        .session()
+        .submit(QueryRequest::Select {
+            dataset: "pts".into(),
+            query: SelectQuery::Intersects(constraint()),
+        })
+        .wait()
+        .unwrap_err();
+    match err {
+        ServiceError::Rejected {
+            estimated,
+            capacity,
+        } => assert!(estimated > capacity),
+        other => panic!("expected rejection, got {other:?}"),
+    }
+    assert_eq!(svc.stats().rejected, 1);
+}
+
+#[test]
+fn cancelled_mid_join_leaves_ledger_balanced() {
+    // Pace transfers at a very low modeled bandwidth so the join reliably
+    // spans many cell boundaries in wall time, then cancel mid-flight.
+    let mut engine = tiny_config();
+    engine.pace_transfers = true;
+    engine.bandwidth = 2.0e6; // 2 MB/s: the constraint canvas alone takes ~130 ms
+    let svc = service(ServiceConfig {
+        engine,
+        workers: 1,
+        fairness_cap: 1,
+    });
+    let session = svc.session();
+    let token = CancelToken::new();
+    let ticket = session.submit_with_token(
+        QueryRequest::Join {
+            left: "polys".into(),
+            right: "pts".into(),
+            query: JoinQuery::Intersects,
+        },
+        token.clone(),
+    );
+    std::thread::sleep(Duration::from_millis(40));
+    token.cancel();
+    let err = ticket.wait().unwrap_err();
+    assert_eq!(err, ServiceError::Cancelled);
+    assert_eq!(
+        svc.engine().device.used(),
+        0,
+        "cancellation must free every device allocation"
+    );
+    assert_eq!(svc.stats().cancelled, 1);
+}
+
+#[test]
+fn deadline_expires_queued_or_running() {
+    let svc = service(ServiceConfig {
+        engine: tiny_config(),
+        workers: 1,
+        fairness_cap: 1,
+    });
+    let session = svc.session();
+    let ticket = session.submit_with_deadline(
+        QueryRequest::Join {
+            left: "polys".into(),
+            right: "pts".into(),
+            query: JoinQuery::Intersects,
+        },
+        Duration::ZERO,
+    );
+    let err = ticket.wait().unwrap_err();
+    assert_eq!(err, ServiceError::DeadlineExceeded);
+    assert_eq!(svc.engine().device.used(), 0);
+}
+
+#[test]
+fn snapshot_accounts_for_every_submission() {
+    let svc = service(ServiceConfig {
+        engine: tiny_config(),
+        workers: 2,
+        fairness_cap: 2,
+    });
+    let session = svc.session();
+    let mut tickets = Vec::new();
+    for _ in 0..3 {
+        for req in workload() {
+            tickets.push(session.submit(req));
+        }
+    }
+    for t in tickets {
+        t.wait().expect("query succeeds");
+    }
+    let snap = svc.stats();
+    assert_eq!(snap.queue_depth, 0);
+    assert_eq!(snap.running, 0);
+    assert_eq!(snap.accounted(), snap.submitted);
+    assert_eq!(snap.admitted, snap.submitted);
+    assert!(snap.total_exec > Duration::ZERO);
+    assert!(snap.p50_latency > Duration::ZERO);
+    assert!(snap.p95_latency >= snap.p50_latency);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Random mixes of queries, deadlines, and cancels: every ticket
+    /// resolves (no deadlock), reservations never exceed device capacity,
+    /// and the idle service holds no device memory or reservations.
+    #[test]
+    fn admission_invariants_under_random_load(
+        seeds in prop::collection::vec(0u64..1_000, 8..16),
+        workers in 1usize..4,
+        cap in 1usize..3,
+    ) {
+        let svc = Arc::new(service(ServiceConfig {
+            engine: tiny_config(),
+            workers,
+            fairness_cap: cap,
+        }));
+        let reqs = workload();
+        let capacity = svc.engine().device.capacity();
+        let tickets: Vec<_> = seeds
+            .iter()
+            .map(|&s| {
+                let session = svc.session();
+                let req = reqs[(s as usize) % reqs.len()].clone();
+                match s % 3 {
+                    0 => session.submit(req),
+                    1 => session.submit_with_deadline(req, Duration::from_millis(s % 7)),
+                    _ => {
+                        let t = session.submit(req);
+                        if s % 2 == 0 {
+                            t.cancel();
+                        }
+                        t
+                    }
+                }
+            })
+            .collect();
+        for t in tickets {
+            match t.wait() {
+                Ok(_)
+                | Err(ServiceError::Cancelled)
+                | Err(ServiceError::DeadlineExceeded) => {}
+                Err(other) => {
+                    prop_assert!(false, "unexpected error: {other}");
+                }
+            }
+            prop_assert!(svc.engine().device.used() <= capacity);
+        }
+        let snap = svc.stats();
+        prop_assert_eq!(snap.queue_depth, 0);
+        prop_assert_eq!(snap.running, 0);
+        prop_assert_eq!(snap.accounted(), snap.submitted);
+        prop_assert_eq!(svc.engine().device.used(), 0);
+    }
+}
+
+/// Acceptance: concurrency must buy wall-clock. With paced transfers the
+/// device bus is the modeled bottleneck (§5.4), and four sessions overlap
+/// their transfer stalls. Release-only: the CI concurrency job runs it.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "timing-sensitive; run in release")]
+fn four_sessions_beat_one_by_1_5x() {
+    let mut engine = EngineConfig::test_small();
+    engine.pace_transfers = true;
+    engine.bandwidth = 2.0e8; // 200 MB/s: ~5 ms per constraint canvas
+    let make = |engine: EngineConfig| {
+        service(ServiceConfig {
+            engine,
+            workers: 4,
+            fairness_cap: 2,
+        })
+    };
+    let req = || QueryRequest::Select {
+        dataset: "pts".into(),
+        query: SelectQuery::Intersects(constraint()),
+    };
+    const PER_SESSION: usize = 12;
+
+    // One session, strictly sequential.
+    let svc = make(engine.clone());
+    let session = svc.session();
+    let t0 = Instant::now();
+    for _ in 0..4 * PER_SESSION {
+        session.submit(req()).wait().expect("query succeeds");
+    }
+    let solo = t0.elapsed();
+    drop(svc);
+
+    // Four sessions, each sequential, running concurrently.
+    let svc = Arc::new(make(engine));
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let svc = Arc::clone(&svc);
+            s.spawn(move || {
+                let session = svc.session();
+                for _ in 0..PER_SESSION {
+                    session.submit(req()).wait().expect("query succeeds");
+                }
+            });
+        }
+    });
+    let four = t0.elapsed();
+
+    let speedup = solo.as_secs_f64() / four.as_secs_f64();
+    assert!(
+        speedup > 1.5,
+        "expected >1.5x throughput at 4 sessions, got {speedup:.2}x \
+         (solo {solo:?}, four sessions {four:?})"
+    );
+}

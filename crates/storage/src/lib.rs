@@ -37,12 +37,21 @@ pub use value::Value;
 pub enum StorageError {
     UnknownTable(String),
     UnknownColumn(String),
-    TypeMismatch { column: String, expected: DataType },
-    Arity { expected: usize, got: usize },
+    TypeMismatch {
+        column: String,
+        expected: DataType,
+    },
+    Arity {
+        expected: usize,
+        got: usize,
+    },
     DuplicateTable(String),
     Parse(String),
     Io(String),
     Corrupt(String),
+    /// The operation was cooperatively cancelled (explicit cancel or an
+    /// expired deadline) before completing.
+    Cancelled,
 }
 
 impl std::fmt::Display for StorageError {
@@ -63,6 +72,7 @@ impl std::fmt::Display for StorageError {
             StorageError::Parse(m) => write!(f, "SQL parse error: {m}"),
             StorageError::Io(m) => write!(f, "I/O error: {m}"),
             StorageError::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            StorageError::Cancelled => write!(f, "operation cancelled"),
         }
     }
 }

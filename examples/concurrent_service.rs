@@ -1,0 +1,139 @@
+//! Sixteen concurrent sessions against one shared engine.
+//!
+//! Demonstrates the service layer: a [`spade::server::QueryService`] wraps
+//! one `Spade` instance behind a worker pool; sessions submit a mixed
+//! select / kNN / join workload, some with deadlines, and the service
+//! admits queries against the device-memory ledger instead of letting them
+//! thrash residency (§5.4: the host–device bus is the bottleneck).
+//!
+//! ```text
+//! cargo run --release --example concurrent_service
+//! ```
+
+use spade::engine::dataset::{Dataset, DatasetKind, IndexedDataset};
+use spade::engine::query::{JoinQuery, SelectQuery};
+use spade::engine::EngineConfig;
+use spade::geometry::{BBox, Point, Polygon};
+use spade::index::GridIndex;
+use spade::server::{QueryRequest, QueryService, ServiceConfig, ServiceError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn indexed(name: &str, d: &Dataset, kind: DatasetKind, cell: f64) -> IndexedDataset {
+    let grid = GridIndex::build(None, &d.objects, cell).expect("grid build");
+    IndexedDataset::new(name, kind, grid)
+}
+
+fn main() {
+    let service = QueryService::new(ServiceConfig {
+        engine: EngineConfig::default(),
+        workers: 4,
+        fairness_cap: 2,
+    });
+
+    // One shared catalog: taxi-like clustered pickups and an admin-polygon
+    // overlay, both grid-indexed for out-of-core streaming.
+    let extent = BBox::new(Point::ZERO, Point::new(1_000.0, 1_000.0));
+    let pickups = Dataset::from_points(
+        "pickups",
+        spade::datagen::urban::clustered_points(20_000, &extent, 12, 42),
+    );
+    let districts = Dataset::from_polygons(
+        "districts",
+        spade::datagen::urban::admin_polygons(16, &extent, 12, 7),
+    );
+    service.register_indexed(
+        "pickups",
+        indexed("pickups", &pickups, DatasetKind::Points, 250.0),
+    );
+    service.register_indexed(
+        "districts",
+        indexed("districts", &districts, DatasetKind::Polygons, 500.0),
+    );
+
+    let hotspot = Polygon::new(vec![
+        Point::new(200.0, 150.0),
+        Point::new(820.0, 240.0),
+        Point::new(700.0, 860.0),
+        Point::new(180.0, 700.0),
+    ]);
+
+    // Sixteen sessions, each submitting a mixed workload. Even-numbered
+    // sessions put a deadline on their (expensive) aggregate; under full
+    // load those expire cleanly — `DeadlineExceeded` at the next grid-cell
+    // boundary, ledger balanced — while the odd sessions wait it out.
+    let service = Arc::new(service);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for sid in 0..16u64 {
+            let service = Arc::clone(&service);
+            let hotspot = hotspot.clone();
+            s.spawn(move || {
+                let session = service.session();
+                let workload = [
+                    QueryRequest::Select {
+                        dataset: "pickups".into(),
+                        query: SelectQuery::Intersects(hotspot.clone()),
+                    },
+                    QueryRequest::Select {
+                        dataset: "pickups".into(),
+                        query: SelectQuery::Knn(
+                            Point::new(37.0 * (sid + 1) as f64, 53.0 * (sid + 1) as f64),
+                            8,
+                        ),
+                    },
+                    QueryRequest::Join {
+                        left: "districts".into(),
+                        right: "pickups".into(),
+                        query: JoinQuery::CountPoints,
+                    },
+                ];
+                for (i, req) in workload.into_iter().enumerate() {
+                    let class = req.class();
+                    let ticket = if i % 3 == 2 && sid % 2 == 0 {
+                        session.submit_with_deadline(req, Duration::from_secs(5))
+                    } else {
+                        session.submit(req)
+                    };
+                    match ticket.wait() {
+                        Ok(resp) => println!(
+                            "session {sid:2} {class:9} ok: queued {:5.1} ms, ran {:6.1} ms",
+                            resp.queue_wait.as_secs_f64() * 1e3,
+                            resp.exec_time.as_secs_f64() * 1e3,
+                        ),
+                        Err(ServiceError::DeadlineExceeded) => {
+                            println!("session {sid:2} {class:9} missed its 5 s deadline")
+                        }
+                        Err(e) => println!("session {sid:2} {class:9} failed: {e}"),
+                    }
+                }
+            });
+        }
+    });
+
+    let snap = service.stats();
+    println!(
+        "\n{} queries in {:.2} s",
+        snap.submitted,
+        t0.elapsed().as_secs_f64()
+    );
+    println!(
+        "admitted {}, completed {}, cancelled/expired {}, rejected {}",
+        snap.admitted, snap.completed, snap.cancelled, snap.rejected
+    );
+    println!(
+        "wall split: {:.2} s queued vs {:.2} s executing (workers overlap)",
+        snap.total_queue_wait.as_secs_f64(),
+        snap.total_exec.as_secs_f64()
+    );
+    println!(
+        "latency p50 {:.1} ms, p95 {:.1} ms",
+        snap.p50_latency.as_secs_f64() * 1e3,
+        snap.p95_latency.as_secs_f64() * 1e3
+    );
+    println!(
+        "device: {} B used after drain (ledger balanced), peak {} B",
+        service.engine().device.used(),
+        service.engine().device.peak()
+    );
+}

@@ -9,6 +9,8 @@
 //! * [`storage`] — the embedded relational column store.
 //! * [`index`] — the clustered grid index and R-tree for out-of-core data.
 //! * [`engine`] — the SPADE query engine (planner, optimizer, executors).
+//! * [`server`] — the concurrent query service (sessions, GPU-memory
+//!   admission control, cancellation, service-level stats).
 //! * [`baselines`] — S2-like, STIG-like and cluster (GeoSpark-like) baselines.
 //! * [`datagen`] — synthetic data generators used by examples and benches.
 //!
@@ -21,4 +23,5 @@ pub use spade_datagen as datagen;
 pub use spade_geometry as geometry;
 pub use spade_gpu as gpu;
 pub use spade_index as index;
+pub use spade_server as server;
 pub use spade_storage as storage;
