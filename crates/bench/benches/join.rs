@@ -118,7 +118,7 @@ fn bench_ooc_pipelining(c: &mut Criterion) {
         })
     });
 
-    let pipelined = Spade::new(base);
+    let pipelined = Spade::new(base.clone());
     g.bench_function("pipelined", |b| {
         b.iter(|| {
             join::join_indexed(&pipelined, &i1, &i2)
@@ -127,6 +127,26 @@ fn bench_ooc_pipelining(c: &mut Criterion) {
                 .len()
         })
     });
+
+    // The observability ablation: the same pipelined join with tracing
+    // spans armed. The delta against "pipelined" is the live tracing cost;
+    // the acceptance bar (disabled tracing within 10% of untraced) is
+    // enforced by the `tracing_overhead_within_ten_percent` test.
+    let traced = Spade::new(EngineConfig {
+        tracing: true,
+        ..base
+    });
+    g.bench_function("pipelined_traced", |b| {
+        b.iter(|| {
+            let n = join::join_indexed(&traced, &i1, &i2)
+                .expect("indexed join")
+                .result
+                .len();
+            spade_core::trace::drain();
+            n
+        })
+    });
+    spade_core::trace::set_enabled(false);
     g.finish();
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -26,6 +26,7 @@ pub type Counts = Vec<(u32, u64)>;
 
 /// The point-optimized aggregation plan (§5.2, plan 2).
 pub fn aggregate_points(spade: &Spade, polys: &Dataset, points: &Dataset) -> QueryOutput<Counts> {
+    let mut qspan = crate::trace::span("query.aggregate");
     let measure = spade.begin();
     let t0 = Instant::now();
     let set = PreparedPolygonSet::prepare(&spade.pipeline, polys, spade.config.layer_resolution);
@@ -102,6 +103,7 @@ pub fn aggregate_points(spade: &Spade, polys: &Dataset, points: &Dataset) -> Que
 
     let result: Counts = totals.into_iter().collect();
     let n = result.len() as u64;
+    qspan.attr("polygons", n);
     let stats = measure.finish(spade, Duration::ZERO, 0, polygon_time, 0, n);
     QueryOutput { result, stats }
 }
@@ -178,6 +180,7 @@ pub fn aggregate_indexed_with(
     points: &crate::dataset::IndexedDataset,
     cancel: &crate::cancel::CancelToken,
 ) -> spade_storage::Result<QueryOutput<Counts>> {
+    let mut qspan = crate::trace::span("query.aggregate.indexed");
     let measure = spade.begin();
     let mut totals: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
     let mut inner = crate::stats::QueryStats::default();
@@ -244,6 +247,8 @@ pub fn aggregate_indexed_with(
 
     let result: Counts = totals.into_iter().collect();
     let n = result.len() as u64;
+    qspan.attr("polygons", n);
+    qspan.attr("cells", inner.cells_loaded);
     let mut stats = measure.finish(
         spade,
         Duration::ZERO,

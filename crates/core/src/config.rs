@@ -50,6 +50,11 @@ pub struct EngineConfig {
     /// service benchmarks turn it on to study how concurrent sessions
     /// overlap bus stalls.
     pub pace_transfers: bool,
+    /// Arm the engine-wide span recorder ([`crate::trace`]) when this
+    /// engine is constructed. Tracing is process-global and ring-buffer
+    /// backed; with the flag off (the default) every span site reduces to
+    /// one relaxed atomic load, so queries pay nothing.
+    pub tracing: bool,
 }
 
 impl Default for EngineConfig {
@@ -69,6 +74,7 @@ impl Default for EngineConfig {
             prefetch_depth: 2,
             cell_cache_bytes: 32 << 20, // half the scaled device memory
             pace_transfers: false,
+            tracing: false,
         }
     }
 }

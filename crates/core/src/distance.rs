@@ -93,11 +93,13 @@ pub fn distance_select(
     constraint: &DistanceConstraint,
     r: f64,
 ) -> QueryOutput<Vec<u32>> {
+    let mut qspan = crate::trace::span("query.distance");
     let measure = spade.begin();
     let mut polygon_time = Duration::ZERO;
     let c = build_distance_constraint(spade, constraint, r, &mut polygon_time);
     let ids = crate::select::select_points_mem(spade, &data.as_points(), &c);
     let n = ids.len() as u64;
+    qspan.attr("results", n);
     let stats = measure.finish(spade, Duration::ZERO, 0, polygon_time, 0, n);
     QueryOutput { result: ids, stats }
 }
@@ -131,6 +133,7 @@ pub fn distance_select_indexed_with(
     r: f64,
     cancel: &crate::cancel::CancelToken,
 ) -> spade_storage::Result<QueryOutput<Vec<u32>>> {
+    let mut qspan = crate::trace::span("query.distance.indexed");
     let measure = spade.begin();
     let mut polygon_time = Duration::ZERO;
 
@@ -173,6 +176,8 @@ pub fn distance_select_indexed_with(
     ids.sort_unstable();
     ids.dedup();
     let n = ids.len() as u64;
+    qspan.attr("cells", stream.cells);
+    qspan.attr("results", n);
     let mut stats = measure.finish(
         spade,
         stream.io_time,
@@ -250,6 +255,7 @@ pub fn distance_join_multi(
     constraints: &[(u32, Point, f64)],
     d2: &Dataset,
 ) -> QueryOutput<Pairs> {
+    let mut qspan = crate::trace::span("query.distance_join");
     let measure = spade.begin();
     let points = d2.as_points();
 
@@ -279,6 +285,8 @@ pub fn distance_join_multi(
     pairs.dedup();
 
     let n = pairs.len() as u64;
+    qspan.attr("layers", layers.len() as u64);
+    qspan.attr("pairs", n);
     let stats = measure.finish(spade, Duration::ZERO, 0, Duration::ZERO, 0, n);
     QueryOutput {
         result: pairs,

@@ -19,6 +19,11 @@ pub struct Spade {
 
 impl Spade {
     pub fn new(config: EngineConfig) -> Self {
+        if config.tracing {
+            // One-way arming: tracing is process-global, and an untraced
+            // engine must not silence a traced one sharing the process.
+            crate::trace::set_enabled(true);
+        }
         let pipeline = Pipeline::with_workers(config.effective_workers());
         let device = DeviceMemory::with_bandwidth(config.device_memory, config.bandwidth)
             .paced(config.pace_transfers);

@@ -1,0 +1,264 @@
+//! Plan reports: what the optimizer decided, and why.
+//!
+//! The optimizer (§5.4) makes silent cost-based choices — 1-pass vs
+//! 2-pass Map by the result-size estimate `n_max`, layer-index vs naive
+//! join by estimated transfer bytes, boustrophedon cell-pair ordering.
+//! `EXPLAIN ANALYZE` needs those decisions *and* their inputs back out of
+//! a query execution, so estimated values can be printed next to actuals.
+//!
+//! Like [`spade_gpu::record`], collection is thread-local and nestable: a
+//! caller opens a report with [`begin`], runs the query on the same
+//! thread, and closes it with [`finish`]. Decision sites inside the engine
+//! call the `note_*` hooks, which are no-ops when no report is open —
+//! ordinary queries pay one thread-local check per decision.
+
+use crate::optimizer::{JoinStrategy, MapImpl};
+use crate::stats::QueryStats;
+use std::cell::RefCell;
+
+/// Summary of the Map implementation choices one query made. Out-of-core
+/// queries run one Map per refined cell, so choices are aggregated:
+/// per-implementation counts plus the largest estimate seen.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MapDecisions {
+    /// Maps run with the 1-pass implementation.
+    pub one_pass: u64,
+    /// Maps run with the 2-pass implementation.
+    pub two_pass: u64,
+    /// 1-pass attempts whose estimate proved wrong (fell back to 2-pass).
+    pub fallbacks: u64,
+    /// Largest result-size estimate (`n_max`) any Map saw.
+    pub max_n_max: u64,
+    /// The list-canvas slot budget the estimates were compared against.
+    pub slots: u64,
+}
+
+/// The out-of-core join strategy decision (§5.4), with both estimates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinDecision {
+    /// Strategy chosen (least estimated transfer volume; ties → layer).
+    pub strategy: JoinStrategy,
+    /// Estimated bytes moved by the layer-index strategy.
+    pub layer_est_bytes: u64,
+    /// Estimated bytes moved by the naive per-object strategy.
+    pub naive_est_bytes: u64,
+    /// Cell pairs that survived the filter stage.
+    pub cell_pairs: u64,
+    /// Residency changes in the boustrophedon-ordered load sequence.
+    pub sequence_len: u64,
+}
+
+/// Everything a query reported about its planning.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlanReport {
+    /// Map implementation choices (None when the query ran no Map).
+    pub map: Option<MapDecisions>,
+    /// Join strategy decision (None for non-join queries).
+    pub join: Option<JoinDecision>,
+}
+
+impl PlanReport {
+    fn absorb(&mut self, other: &PlanReport) {
+        if let Some(m) = &other.map {
+            let mine = self.map.get_or_insert_with(MapDecisions::default);
+            mine.one_pass += m.one_pass;
+            mine.two_pass += m.two_pass;
+            mine.fallbacks += m.fallbacks;
+            mine.max_n_max = mine.max_n_max.max(m.max_n_max);
+            mine.slots = mine.slots.max(m.slots);
+        }
+        if other.join.is_some() && self.join.is_none() {
+            self.join = other.join;
+        }
+    }
+
+    /// Render the report as indented plan lines. With `actual` (an
+    /// `EXPLAIN ANALYZE` run), estimated values print next to actuals.
+    pub fn render(&self, actual: Option<&QueryStats>) -> String {
+        let mut out = String::new();
+        if let Some(j) = &self.join {
+            out.push_str(&format!(
+                "  strategy: {:?} (est layer {} B vs naive {} B",
+                j.strategy, j.layer_est_bytes, j.naive_est_bytes
+            ));
+            match actual {
+                Some(s) => out.push_str(&format!("; actual to-device {} B)\n", s.bytes_to_device)),
+                None => out.push_str(")\n"),
+            }
+            out.push_str(&format!(
+                "  cell pairs: {} ({} loads after boustrophedon ordering)\n",
+                j.cell_pairs, j.sequence_len
+            ));
+        }
+        if let Some(m) = &self.map {
+            out.push_str(&format!(
+                "  map: {} 1-pass, {} 2-pass (max n_max {} vs {} slots",
+                m.one_pass, m.two_pass, m.max_n_max, m.slots
+            ));
+            if m.fallbacks > 0 {
+                out.push_str(&format!(", {} fallbacks", m.fallbacks));
+            }
+            match actual {
+                Some(s) => out.push_str(&format!("; actual results {})\n", s.result_count)),
+                None => out.push_str(")\n"),
+            }
+        }
+        if let Some(s) = actual {
+            out.push_str(&format!("  actual: {}\n", s.breakdown()));
+        }
+        out
+    }
+}
+
+thread_local! {
+    static REPORTS: RefCell<Vec<PlanReport>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Open a plan report on the current thread. Reports nest LIFO; an inner
+/// report folds into its parent on [`finish`], mirroring
+/// [`spade_gpu::record`].
+pub fn begin() {
+    REPORTS.with(|r| r.borrow_mut().push(PlanReport::default()));
+}
+
+/// Close the innermost report and return it (inclusive of nested reports).
+/// Returns an empty report if none is open.
+pub fn finish() -> PlanReport {
+    REPORTS.with(|r| {
+        let mut reports = r.borrow_mut();
+        let report = reports.pop().unwrap_or_default();
+        if let Some(parent) = reports.last_mut() {
+            parent.absorb(&report);
+        }
+        report
+    })
+}
+
+fn with_top(apply: impl FnOnce(&mut PlanReport)) {
+    REPORTS.with(|r| {
+        if let Some(top) = r.borrow_mut().last_mut() {
+            apply(top);
+        }
+    });
+}
+
+/// Record one Map execution (called by [`crate::optimizer::run_map`]).
+pub(crate) fn note_map(chosen: MapImpl, n_max: u64, slots: u64, fell_back: bool) {
+    with_top(|t| {
+        let m = t.map.get_or_insert_with(MapDecisions::default);
+        match chosen {
+            MapImpl::OnePass => m.one_pass += 1,
+            MapImpl::TwoPass => m.two_pass += 1,
+        }
+        if fell_back {
+            m.fallbacks += 1;
+        }
+        m.max_n_max = m.max_n_max.max(n_max);
+        m.slots = m.slots.max(slots);
+    });
+}
+
+/// Record the out-of-core join strategy decision (called by
+/// [`crate::join::join_indexed_with`]). The first decision wins; nested
+/// sub-queries do not overwrite the outer join's decision.
+pub(crate) fn note_join(decision: JoinDecision) {
+    with_top(|t| {
+        if t.join.is_none() {
+            t.join = Some(decision);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn notes_without_open_report_are_dropped() {
+        note_map(MapImpl::OnePass, 10, 100, false);
+        assert_eq!(finish(), PlanReport::default());
+    }
+
+    #[test]
+    fn map_decisions_aggregate() {
+        begin();
+        note_map(MapImpl::OnePass, 10, 100, false);
+        note_map(MapImpl::OnePass, 50, 100, false);
+        note_map(MapImpl::TwoPass, 500, 100, false);
+        note_map(MapImpl::TwoPass, 20, 100, true);
+        let r = finish();
+        let m = r.map.unwrap();
+        assert_eq!(m.one_pass, 2);
+        assert_eq!(m.two_pass, 2);
+        assert_eq!(m.fallbacks, 1);
+        assert_eq!(m.max_n_max, 500);
+        assert_eq!(m.slots, 100);
+    }
+
+    #[test]
+    fn nested_reports_fold_into_parent() {
+        begin();
+        note_map(MapImpl::OnePass, 5, 100, false);
+        begin();
+        note_map(MapImpl::OnePass, 7, 100, false);
+        let inner = finish();
+        let outer = finish();
+        assert_eq!(inner.map.unwrap().one_pass, 1);
+        assert_eq!(outer.map.unwrap().one_pass, 2);
+        assert_eq!(outer.map.unwrap().max_n_max, 7);
+    }
+
+    #[test]
+    fn first_join_decision_wins() {
+        begin();
+        let first = JoinDecision {
+            strategy: JoinStrategy::LayerIndex,
+            layer_est_bytes: 100,
+            naive_est_bytes: 200,
+            cell_pairs: 4,
+            sequence_len: 6,
+        };
+        note_join(first);
+        note_join(JoinDecision {
+            strategy: JoinStrategy::NaiveSelects,
+            layer_est_bytes: 1,
+            naive_est_bytes: 1,
+            cell_pairs: 1,
+            sequence_len: 1,
+        });
+        assert_eq!(finish().join, Some(first));
+    }
+
+    #[test]
+    fn render_prints_estimates_and_actuals() {
+        let report = PlanReport {
+            map: Some(MapDecisions {
+                one_pass: 3,
+                two_pass: 0,
+                fallbacks: 0,
+                max_n_max: 1000,
+                slots: 4096,
+            }),
+            join: Some(JoinDecision {
+                strategy: JoinStrategy::LayerIndex,
+                layer_est_bytes: 1234,
+                naive_est_bytes: 5678,
+                cell_pairs: 9,
+                sequence_len: 12,
+            }),
+        };
+        let plain = report.render(None);
+        assert!(plain.contains("LayerIndex"));
+        assert!(plain.contains("est layer 1234 B vs naive 5678 B"));
+        assert!(!plain.contains("actual"));
+        let stats = QueryStats {
+            bytes_to_device: 1300,
+            result_count: 987,
+            ..Default::default()
+        };
+        let analyzed = report.render(Some(&stats));
+        assert!(analyzed.contains("actual to-device 1300 B"));
+        assert!(analyzed.contains("actual results 987"));
+        assert!(analyzed.contains("total="));
+    }
+}

@@ -203,6 +203,7 @@ fn scan_candidates_for_pairs(
 
 /// Full in-memory join with statistics; dispatches on data-set kinds.
 pub fn join(spade: &Spade, d1: &Dataset, d2: &Dataset) -> QueryOutput<Pairs> {
+    let mut qspan = crate::trace::span("query.join");
     let measure = spade.begin();
     let t0 = Instant::now();
     let (pairs, polygon_time) = match (d1.kind, d2.kind) {
@@ -251,6 +252,7 @@ pub fn join(spade: &Spade, d1: &Dataset, d2: &Dataset) -> QueryOutput<Pairs> {
         (a, b) => unimplemented!("join between {a:?} and {b:?}"),
     };
     let n = pairs.len() as u64;
+    qspan.attr("pairs", n);
     let stats = measure.finish(spade, Duration::ZERO, 0, polygon_time, 0, n);
     QueryOutput {
         result: pairs,
@@ -278,6 +280,7 @@ pub fn join_indexed_with(
     d2: &IndexedDataset,
     cancel: &crate::cancel::CancelToken,
 ) -> spade_storage::Result<QueryOutput<Pairs>> {
+    let mut qspan = crate::trace::span("query.join.indexed");
     let measure = spade.begin();
     let mut polygon_time = Duration::ZERO;
 
@@ -355,6 +358,13 @@ pub fn join_indexed_with(
             }
         }
     }
+    crate::explain::note_join(crate::explain::JoinDecision {
+        strategy,
+        layer_est_bytes: layer_est,
+        naive_est_bytes: naive_est,
+        cell_pairs: cell_pairs.len() as u64,
+        sequence_len: sequence.len() as u64,
+    });
 
     // Refinement with single-cell residency per side. A resident cell
     // carries its *prepared* form (points list, or triangulated polygons
@@ -416,6 +426,8 @@ pub fn join_indexed_with(
     pairs.dedup();
 
     let n = pairs.len() as u64;
+    qspan.attr("cells", stream.cells);
+    qspan.attr("pairs", n);
     let mut stats = measure.finish(
         spade,
         stream.io_time,

@@ -24,6 +24,8 @@ pub fn knn_select(
     q: Point,
     k: usize,
 ) -> QueryOutput<Vec<(u32, f64)>> {
+    let mut qspan = crate::trace::span("query.knn");
+    qspan.attr("k", k as u64);
     let measure = spade.begin();
     let pts = data.as_points();
     if pts.is_empty() || k == 0 {
@@ -54,6 +56,7 @@ pub fn knn_select(
     with_dist.truncate(k);
 
     let n = with_dist.len() as u64;
+    qspan.attr("results", n);
     let stats = measure.finish(spade, Duration::ZERO, 0, Duration::ZERO, 0, n);
     QueryOutput {
         result: with_dist,
@@ -155,6 +158,8 @@ pub fn knn_select_indexed_with(
     k: usize,
     cancel: &crate::cancel::CancelToken,
 ) -> spade_storage::Result<QueryOutput<Vec<(u32, f64)>>> {
+    let mut qspan = crate::trace::span("query.knn.indexed");
+    qspan.attr("k", k as u64);
     let measure = spade.begin();
     if k == 0 || data.grid.num_objects() == 0 {
         let stats = measure.finish(spade, Duration::ZERO, 0, Duration::ZERO, 0, 0);
@@ -243,6 +248,11 @@ pub fn knn_select_indexed_with(
     stats.prefetch_misses += sel.stats.prefetch_misses;
     stats.cache_hits += sel.stats.cache_hits;
     stats.io_hidden += sel.stats.io_hidden;
+    // The nested selection contributed more hidden I/O: recompute the
+    // residual so the components stay consistent with the wall total.
+    stats.recompute_cpu();
+    qspan.attr("cells", stats.cells_loaded);
+    qspan.attr("results", n);
     Ok(QueryOutput {
         result: with_dist,
         stats,
@@ -257,6 +267,8 @@ pub fn knn_join(
     d2: &Dataset,
     k: usize,
 ) -> QueryOutput<Vec<(u32, u32, f64)>> {
+    let mut qspan = crate::trace::span("query.knn_join");
+    qspan.attr("k", k as u64);
     let measure = spade.begin();
     let left = d1.as_points();
     let right = d2.as_points();
@@ -298,6 +310,7 @@ pub fn knn_join(
         }
     }
     let n = result.len() as u64;
+    qspan.attr("results", n);
     let stats = measure.finish(spade, Duration::ZERO, 0, Duration::ZERO, 0, n);
     QueryOutput { result, stats }
 }

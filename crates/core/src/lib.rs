@@ -35,6 +35,12 @@
 //!   refines on the device.
 //! * [`cancel`] — cooperative cancellation tokens and deadlines, polled at
 //!   the cell boundaries of every out-of-core loop.
+//! * [`trace`] — engine-wide tracing spans (ring-buffer backed, zero-cost
+//!   when disabled), threaded through every query family, the prefetch
+//!   producer and each pipeline pass.
+//! * [`explain`] — plan reports: the optimizer decisions a query made,
+//!   with estimated values to compare against the actuals in
+//!   [`stats::QueryStats`] (`EXPLAIN ANALYZE`).
 
 pub mod aggregate;
 pub mod cancel;
@@ -42,6 +48,7 @@ pub mod config;
 pub mod dataset;
 pub mod distance;
 pub mod engine;
+pub mod explain;
 pub mod join;
 pub mod knn;
 pub mod optimizer;
@@ -49,9 +56,11 @@ pub mod prefetch;
 pub mod query;
 pub mod select;
 pub mod stats;
+pub mod trace;
 
 pub use cancel::CancelToken;
 pub use config::EngineConfig;
 pub use dataset::{Dataset, IndexedDataset};
 pub use engine::Spade;
+pub use explain::PlanReport;
 pub use stats::QueryStats;

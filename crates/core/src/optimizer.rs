@@ -37,12 +37,22 @@ pub fn choose_map_impl(spade: &Spade, n_max: usize) -> MapImpl {
 /// a 1-pass estimate proves wrong (cannot happen for the paper's estimates,
 /// which are upper bounds, but the engine stays robust).
 pub fn run_map(spade: &Spade, prims: &[Primitive], call: &DrawCall<'_>, n_max: usize) -> MapResult {
+    let slots = spade.config.max_map_slots as u64;
     match choose_map_impl(spade, n_max) {
         MapImpl::OnePass => match algebra::map_1pass(&spade.pipeline, prims, call, n_max) {
-            Ok(r) => r,
-            Err(_) => algebra::map_2pass(&spade.pipeline, prims, call),
+            Ok(r) => {
+                crate::explain::note_map(MapImpl::OnePass, n_max as u64, slots, false);
+                r
+            }
+            Err(_) => {
+                crate::explain::note_map(MapImpl::TwoPass, n_max as u64, slots, true);
+                algebra::map_2pass(&spade.pipeline, prims, call)
+            }
         },
-        MapImpl::TwoPass => algebra::map_2pass(&spade.pipeline, prims, call),
+        MapImpl::TwoPass => {
+            crate::explain::note_map(MapImpl::TwoPass, n_max as u64, slots, false);
+            algebra::map_2pass(&spade.pipeline, prims, call)
+        }
     }
 }
 

@@ -62,11 +62,19 @@ pub struct StreamStats {
 
 impl StreamStats {
     /// Fold this stream's accounting into a query's stats record.
+    ///
+    /// Every indexed query path closes its wall clock (`Measure::finish`)
+    /// *before* charging the stream, so the overlap (`io_hidden`) arrives
+    /// after the CPU residual was first computed — recompute it here so
+    /// hidden I/O is not double-subtracted from the total.
     pub fn charge(&self, stats: &mut crate::stats::QueryStats) {
         stats.prefetch_hits += self.prefetch_hits;
         stats.prefetch_misses += self.prefetch_misses;
         stats.cache_hits += self.cache_hits;
         stats.io_hidden += self.io_hidden;
+        if !stats.total_time.is_zero() {
+            stats.recompute_cpu();
+        }
     }
 }
 
@@ -117,12 +125,18 @@ where
         let mut stats = StreamStats::default();
         for &(src, cell) in sequence {
             cancel.check()?;
+            let mut load_span = crate::trace::span("prefetch.load");
             let t = Instant::now();
             let (data, cache_hit) = sources[src].load_cell_cached(cell, cache_budget)?;
             let io = t.elapsed();
             stats.io_time += io;
             stats.recv_wait += io;
             let bytes = sources[src].grid.cells()[cell].bytes;
+            load_span.attr("source", src as u64);
+            load_span.attr("cell", cell as u64);
+            load_span.attr("bytes", bytes);
+            load_span.attr("cache_hit", cache_hit as u64);
+            drop(load_span);
             if cache_hit {
                 stats.cache_hits += 1;
             } else {
@@ -154,12 +168,18 @@ where
                 if cancel.is_cancelled() {
                     break; // stop reading ahead for a dead query
                 }
+                let mut load_span = crate::trace::span("prefetch.load");
                 let t = Instant::now();
                 let loaded = sources[src].load_cell_cached(cell, cache_budget);
                 io_time += t.elapsed();
+                load_span.attr("source", src as u64);
+                load_span.attr("cell", cell as u64);
                 match loaded {
                     Ok((data, cache_hit)) => {
                         let bytes = sources[src].grid.cells()[cell].bytes;
+                        load_span.attr("bytes", bytes);
+                        load_span.attr("cache_hit", cache_hit as u64);
+                        drop(load_span);
                         if cache_hit {
                             cache_hits += 1;
                         } else {
@@ -198,6 +218,7 @@ where
                     m
                 }
                 Err(mpsc::TryRecvError::Empty) => {
+                    let _wait_span = crate::trace::span("prefetch.wait");
                     let t = Instant::now();
                     match rx.recv() {
                         Ok(m) => {

@@ -160,6 +160,7 @@ fn select_candidates(
 
 /// Spatial selection over an in-memory data set with full statistics.
 pub fn select(spade: &Spade, data: &Dataset, constraint_poly: &Polygon) -> QueryOutput<Vec<u32>> {
+    let mut qspan = crate::trace::span("query.select");
     let measure = spade.begin();
 
     // Polygon processing: triangulate the constraint (boundary index
@@ -172,6 +173,7 @@ pub fn select(spade: &Spade, data: &Dataset, constraint_poly: &Polygon) -> Query
     let ids = select_mem_dispatch(spade, data, &constraint);
 
     let n = ids.len() as u64;
+    qspan.attr("results", n);
     let stats = measure.finish(spade, Duration::ZERO, 0, polygon_time, 0, n);
     QueryOutput { result: ids, stats }
 }
@@ -209,10 +211,12 @@ pub fn select_range(
     data: &Dataset,
     range: spade_geometry::BBox,
 ) -> QueryOutput<Vec<u32>> {
+    let mut qspan = crate::trace::span("query.range");
     let measure = spade.begin();
     let constraint = Constraint::from_rects(spade, &[(0, range)]);
     let ids = select_mem_dispatch(spade, data, &constraint);
     let n = ids.len() as u64;
+    qspan.attr("results", n);
     let stats = measure.finish(spade, Duration::ZERO, 0, Duration::ZERO, 0, n);
     QueryOutput { result: ids, stats }
 }
@@ -230,6 +234,7 @@ pub fn select_contained(
     data: &Dataset,
     constraint_poly: &Polygon,
 ) -> QueryOutput<Vec<u32>> {
+    let mut qspan = crate::trace::span("query.contained");
     let measure = spade.begin();
     let t0 = Instant::now();
     let prepared = vec![PreparedPolygon::prepare(0, constraint_poly)];
@@ -293,6 +298,7 @@ pub fn select_contained(
         }
     };
     let n = ids.len() as u64;
+    qspan.attr("results", n);
     let stats = measure.finish(spade, Duration::ZERO, 0, polygon_time, 0, n);
     QueryOutput { result: ids, stats }
 }
@@ -322,6 +328,7 @@ pub fn select_contained_indexed_with(
     constraint_poly: &Polygon,
     cancel: &crate::cancel::CancelToken,
 ) -> spade_storage::Result<QueryOutput<Vec<u32>>> {
+    let mut qspan = crate::trace::span("query.contained.indexed");
     let measure = spade.begin();
     let mut polygon_time = Duration::ZERO;
 
@@ -355,6 +362,8 @@ pub fn select_contained_indexed_with(
     ids.sort_unstable();
     ids.dedup();
     let n = ids.len() as u64;
+    qspan.attr("cells", stream.cells);
+    qspan.attr("results", n);
     let mut stats = measure.finish(
         spade,
         stream.io_time,
@@ -450,6 +459,7 @@ pub fn select_indexed_with(
     constraint_poly: &Polygon,
     cancel: &crate::cancel::CancelToken,
 ) -> spade_storage::Result<QueryOutput<Vec<u32>>> {
+    let mut qspan = crate::trace::span("query.select.indexed");
     let measure = spade.begin();
     let mut polygon_time = Duration::ZERO;
 
@@ -501,6 +511,8 @@ pub fn select_indexed_with(
     ids.dedup();
 
     let n = ids.len() as u64;
+    qspan.attr("cells", stream.cells);
+    qspan.attr("results", n);
     let mut stats = measure.finish(
         spade,
         stream.io_time,

@@ -53,8 +53,23 @@ impl QueryStats {
     /// Fill `cpu_time` as the residual of `total_time`.
     pub fn finish(&mut self, total: Duration) {
         self.total_time = total;
-        self.cpu_time = total
-            .saturating_sub(self.io_time)
+        self.recompute_cpu();
+    }
+
+    /// Recompute the residual `cpu_time` from the current components.
+    ///
+    /// With pipelined prefetch, `io_hidden` of the producer's I/O time
+    /// overlapped GPU refinement — that share occupied no extra wall time,
+    /// so only the *visible* I/O (`io_time − io_hidden`) is subtracted.
+    /// Subtracting the full `io_time` would let components sum past the
+    /// total and saturate `cpu_time` to zero misleadingly. Called again by
+    /// [`crate::prefetch::StreamStats::charge`], which learns the overlap
+    /// only after the query's wall clock has been closed.
+    pub fn recompute_cpu(&mut self) {
+        let visible_io = self.io_time.saturating_sub(self.io_hidden);
+        self.cpu_time = self
+            .total_time
+            .saturating_sub(visible_io)
             .saturating_sub(self.gpu_time)
             .saturating_sub(self.polygon_time);
     }
@@ -87,12 +102,16 @@ impl QueryStats {
         }
     }
 
-    /// One-line breakdown for harness output.
+    /// One-line breakdown for harness output. The I/O component shows the
+    /// prefetch overlap explicitly: `io=` is the full producer-side I/O
+    /// time, `hidden=` the share of it that overlapped GPU refinement and
+    /// therefore occupied no wall time of its own.
     pub fn breakdown(&self) -> String {
         format!(
-            "total={:.3}s io={:.3}s gpu={:.3}s poly={:.3}s cpu={:.3}s passes={} cells={} disk={}B dev={}B prefetch={}h/{}m cache={}h hidden={:.3}s",
+            "total={:.3}s io={:.3}s (hidden={:.3}s overlapped) gpu={:.3}s poly={:.3}s cpu={:.3}s passes={} cells={} disk={}B dev={}B prefetch={}h/{}m cache={}h",
             self.total_time.as_secs_f64(),
             self.io_time.as_secs_f64(),
+            self.io_hidden.as_secs_f64(),
             self.gpu_time.as_secs_f64(),
             self.polygon_time.as_secs_f64(),
             self.cpu_time.as_secs_f64(),
@@ -103,7 +122,6 @@ impl QueryStats {
             self.prefetch_hits,
             self.prefetch_misses,
             self.cache_hits,
-            self.io_hidden.as_secs_f64(),
         )
     }
 }
@@ -188,5 +206,50 @@ mod tests {
         let line = s.breakdown();
         assert!(line.contains("io=") && line.contains("gpu=") && line.contains("poly="));
         assert!(line.contains("prefetch=") && line.contains("cache="));
+        assert!(line.contains("hidden="), "overlap must print explicitly");
+    }
+
+    /// Regression: with pipelined prefetch, producer I/O overlaps GPU time.
+    /// io(60) + gpu(50) + poly(10) = 120ms > total(100ms), but 40ms of the
+    /// I/O was hidden behind the GPU — the residual must subtract only the
+    /// visible 20ms, not saturate to zero.
+    #[test]
+    fn overlapped_io_does_not_zero_cpu_residual() {
+        let mut s = QueryStats {
+            io_time: Duration::from_millis(60),
+            gpu_time: Duration::from_millis(50),
+            polygon_time: Duration::from_millis(10),
+            io_hidden: Duration::from_millis(40),
+            ..Default::default()
+        };
+        s.finish(Duration::from_millis(100));
+        assert_eq!(s.cpu_time, Duration::from_millis(20));
+    }
+
+    /// Regression for the call ordering in every indexed query path:
+    /// `Measure::finish` closes the wall clock *before*
+    /// `StreamStats::charge` delivers the overlap, so the residual must be
+    /// recomputed when `io_hidden` arrives.
+    #[test]
+    fn charge_after_finish_recomputes_residual() {
+        let mut s = QueryStats {
+            io_time: Duration::from_millis(60),
+            gpu_time: Duration::from_millis(50),
+            polygon_time: Duration::from_millis(10),
+            ..Default::default()
+        };
+        s.finish(Duration::from_millis(100));
+        assert_eq!(
+            s.cpu_time,
+            Duration::ZERO,
+            "without overlap info: saturated"
+        );
+        let stream = crate::prefetch::StreamStats {
+            io_hidden: Duration::from_millis(40),
+            ..Default::default()
+        };
+        stream.charge(&mut s);
+        assert_eq!(s.io_hidden, Duration::from_millis(40));
+        assert_eq!(s.cpu_time, Duration::from_millis(20));
     }
 }

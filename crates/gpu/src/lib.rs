@@ -38,6 +38,7 @@ pub mod scan;
 pub mod shader;
 pub mod stats;
 pub mod texture;
+pub mod trace;
 pub mod viewport;
 
 pub use blend::BlendMode;

@@ -99,6 +99,7 @@ impl Pipeline {
     /// Execute one rendering pass against `target`, returning the final
     /// value of the pass's atomic counter (used by the counting Map pass).
     pub fn draw(&self, target: &mut Texture, prims: &[Primitive], call: &DrawCall<'_>) -> u32 {
+        let mut pass_span = crate::trace::span("gpu.draw");
         let start = Instant::now();
         self.stats.add_draw_call();
         let counter = AtomicU32::new(0);
@@ -201,6 +202,9 @@ impl Pipeline {
         });
 
         self.stats.add_gpu_time(start.elapsed());
+        pass_span.attr("primitives", assembled.len() as u64);
+        pass_span.attr("visible", visible.len() as u64);
+        pass_span.attr("fragments", frag_count.load(Ordering::Relaxed));
         counter.load(Ordering::Relaxed)
     }
 
@@ -208,6 +212,7 @@ impl Pipeline {
     /// writing any pixels — the "simulated Map" first step of the 2-pass Map
     /// implementation (§5.1).
     pub fn count_pass(&self, prims: &[Primitive], call: &DrawCall<'_>) -> u64 {
+        let mut pass_span = crate::trace::span("gpu.count_pass");
         let start = Instant::now();
         self.stats.add_draw_call();
         let counter = AtomicU32::new(0);
@@ -252,7 +257,10 @@ impl Pipeline {
             n
         });
         self.stats.add_gpu_time(start.elapsed());
-        counts.into_iter().sum()
+        let total: u64 = counts.into_iter().sum();
+        pass_span.attr("primitives", prims.len() as u64);
+        pass_span.attr("counted", total);
+        total
     }
 }
 

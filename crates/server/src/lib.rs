@@ -49,6 +49,7 @@
 //! ```
 
 pub mod admission;
+pub mod metrics;
 pub mod request;
 pub mod service;
 pub mod stats;

@@ -24,6 +24,15 @@ pub enum QueryRequest {
     },
     /// A SQL statement against the service's embedded relational store.
     Sql(String),
+    /// An `EXPLAIN` / `EXPLAIN ANALYZE` of another request: the response is
+    /// the plan text instead of the result. Spatial requests execute to
+    /// discover the plan either way (the optimizer decides in-flight);
+    /// `analyze` additionally prints actual runtime numbers next to the
+    /// estimates. SQL requests are forwarded with an `EXPLAIN` prefix.
+    Explain {
+        analyze: bool,
+        request: Box<QueryRequest>,
+    },
 }
 
 impl QueryRequest {
@@ -44,6 +53,7 @@ impl QueryRequest {
                 JoinQuery::CountPoints => "aggregate",
             },
             QueryRequest::Sql(_) => "sql",
+            QueryRequest::Explain { .. } => "explain",
         }
     }
 }
@@ -55,6 +65,8 @@ pub enum ResponsePayload {
     Query(QueryResult),
     /// A SQL statement result.
     Sql(SqlResult),
+    /// The rendered plan of an `EXPLAIN` / `EXPLAIN ANALYZE` request.
+    Explain(String),
 }
 
 impl ResponsePayload {
@@ -62,7 +74,15 @@ impl ResponsePayload {
     pub fn query(&self) -> Option<&QueryResult> {
         match self {
             ResponsePayload::Query(q) => Some(q),
-            ResponsePayload::Sql(_) => None,
+            _ => None,
+        }
+    }
+
+    /// The plan text, when the payload is an `EXPLAIN` response.
+    pub fn explain(&self) -> Option<&str> {
+        match self {
+            ResponsePayload::Explain(t) => Some(t),
+            _ => None,
         }
     }
 }

@@ -16,6 +16,7 @@
 //! large query cannot be starved by a stream of small ones.
 
 use crate::admission::AdmissionController;
+use crate::metrics::{render_counter, render_gauge, MetricsRegistry};
 use crate::request::{QueryRequest, QueryResponse, ResponsePayload, ServiceError};
 use crate::stats::{ServiceSnapshot, ServiceStats};
 use spade_core::cancel::CancelToken;
@@ -78,6 +79,7 @@ struct Shared {
     queue: Mutex<Queue>,
     work_ready: Condvar,
     stats: ServiceStats,
+    metrics: MetricsRegistry,
     fairness_cap: usize,
     shutdown: AtomicBool,
     next_session: AtomicU64,
@@ -109,6 +111,7 @@ impl QueryService {
             queue: Mutex::new(Queue::default()),
             work_ready: Condvar::new(),
             stats: ServiceStats::default(),
+            metrics: MetricsRegistry::default(),
             fairness_cap: config.fairness_cap.max(1),
             shutdown: AtomicBool::new(false),
             next_session: AtomicU64::new(1),
@@ -172,6 +175,135 @@ impl QueryService {
             (q.pending.len(), q.running)
         };
         self.shared.stats.snapshot(depth, running)
+    }
+
+    /// A Prometheus-text snapshot of every service metric: admission
+    /// counters, the queue-vs-execution wall split as histograms, and the
+    /// engine totals (bytes moved, passes, cells, prefetch/cache hit
+    /// counters, time components) aggregated across completed queries.
+    pub fn metrics_text(&self) -> String {
+        let snap = self.stats();
+        let m = &self.shared.metrics;
+        let mut out = String::new();
+        render_counter(
+            &mut out,
+            "spade_queries_submitted_total",
+            "Queries ever submitted (including rejected ones).",
+            snap.submitted,
+        );
+        render_counter(
+            &mut out,
+            "spade_queries_admitted_total",
+            "Queries admitted to a worker.",
+            snap.admitted,
+        );
+        render_counter(
+            &mut out,
+            "spade_queries_rejected_total",
+            "Queries rejected outright by admission control.",
+            snap.rejected,
+        );
+        render_counter(
+            &mut out,
+            "spade_queries_cancelled_total",
+            "Queries cancelled or expired, queued or mid-flight.",
+            snap.cancelled,
+        );
+        render_counter(
+            &mut out,
+            "spade_queries_completed_total",
+            "Queries that completed with a result.",
+            snap.completed,
+        );
+        render_counter(
+            &mut out,
+            "spade_queries_failed_total",
+            "Queries that failed with a storage/engine error.",
+            snap.failed,
+        );
+        render_gauge(
+            &mut out,
+            "spade_queue_depth",
+            "Queries waiting for admission right now.",
+            snap.queue_depth as u64,
+        );
+        render_gauge(
+            &mut out,
+            "spade_queries_running",
+            "Queries executing right now.",
+            snap.running as u64,
+        );
+        m.queue_wait.render(
+            &mut out,
+            "spade_queue_wait_seconds",
+            "Time between submission and admission to a worker.",
+        );
+        m.exec.render(
+            &mut out,
+            "spade_exec_seconds",
+            "Time between admission and completion.",
+        );
+        render_counter(
+            &mut out,
+            "spade_bytes_from_disk_total",
+            "Bytes read from disk blocks by completed queries.",
+            m.bytes_from_disk.get(),
+        );
+        render_counter(
+            &mut out,
+            "spade_bytes_to_device_total",
+            "Bytes shipped host to device by completed queries.",
+            m.bytes_to_device.get(),
+        );
+        render_counter(
+            &mut out,
+            "spade_passes_total",
+            "Rendering passes executed by completed queries.",
+            m.passes.get(),
+        );
+        render_counter(
+            &mut out,
+            "spade_cells_loaded_total",
+            "Grid cells delivered to refinement by completed queries.",
+            m.cells_loaded.get(),
+        );
+        render_counter(
+            &mut out,
+            "spade_prefetch_hits_total",
+            "Cells already decoded in the prefetch channel when asked.",
+            m.prefetch_hits.get(),
+        );
+        render_counter(
+            &mut out,
+            "spade_prefetch_misses_total",
+            "Cells the refinement stage had to wait for.",
+            m.prefetch_misses.get(),
+        );
+        render_counter(
+            &mut out,
+            "spade_cache_hits_total",
+            "Cells served from the decoded-cell cache instead of disk.",
+            m.cache_hits.get(),
+        );
+        render_counter(
+            &mut out,
+            "spade_io_nanoseconds_total",
+            "Producer-side I/O time of completed queries, in nanoseconds.",
+            m.io_nanos.get(),
+        );
+        render_counter(
+            &mut out,
+            "spade_io_hidden_nanoseconds_total",
+            "I/O time that overlapped GPU refinement, in nanoseconds.",
+            m.io_hidden_nanos.get(),
+        );
+        render_counter(
+            &mut out,
+            "spade_gpu_nanoseconds_total",
+            "Pipeline-pass time of completed queries, in nanoseconds.",
+            m.gpu_nanos.get(),
+        );
+        out
     }
 }
 
@@ -332,6 +464,9 @@ fn estimate_footprint(shared: &Shared, request: &QueryRequest) -> Result<u64, Se
             Ok(base + constraint)
         }
         QueryRequest::Sql(_) => Ok(0),
+        // Spatial requests execute to discover their plan, so an EXPLAIN
+        // needs the same reservation as the request it wraps.
+        QueryRequest::Explain { request, .. } => estimate_footprint(shared, request),
     }
 }
 
@@ -370,7 +505,7 @@ fn worker_loop(shared: &Shared) {
             .fetch_add(queue_wait.as_nanos() as u64, Ordering::Relaxed);
 
         let t0 = Instant::now();
-        let outcome = execute(shared, &job);
+        let outcome = execute(shared, &job.request, &job.cancel);
         let exec_time = t0.elapsed();
 
         shared.admission.release(job.footprint);
@@ -393,9 +528,12 @@ fn worker_loop(shared: &Shared) {
             .exec_nanos
             .fetch_add(exec_time.as_nanos() as u64, Ordering::Relaxed);
         shared.stats.record_latency(queue_wait + exec_time);
+        shared.metrics.queue_wait.observe(queue_wait);
+        shared.metrics.exec.observe(exec_time);
         let reply = match outcome {
             Ok((payload, stats)) => {
                 shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.record_query(&stats);
                 Ok(QueryResponse {
                     payload,
                     stats,
@@ -461,13 +599,17 @@ fn refine_cancel(e: ServiceError, cancel: &CancelToken) -> ServiceError {
     }
 }
 
-fn execute(shared: &Shared, job: &Pending) -> Result<(ResponsePayload, QueryStats), ServiceError> {
-    job.cancel.check().map_err(ServiceError::from)?;
-    match &job.request {
+fn execute(
+    shared: &Shared,
+    request: &QueryRequest,
+    cancel: &CancelToken,
+) -> Result<(ResponsePayload, QueryStats), ServiceError> {
+    cancel.check().map_err(ServiceError::from)?;
+    match request {
         QueryRequest::Select { dataset, query } => {
             let indexed = shared.indexed.read().unwrap().get(dataset).cloned();
             if let Some(idx) = indexed {
-                let out = query::run_select_indexed_with(&shared.spade, &idx, query, &job.cancel)?;
+                let out = query::run_select_indexed_with(&shared.spade, &idx, query, cancel)?;
                 return Ok((ResponsePayload::Query(out.result), out.stats));
             }
             let mem = shared.datasets.read().unwrap().get(dataset).cloned();
@@ -484,7 +626,7 @@ fn execute(shared: &Shared, job: &Pending) -> Result<(ResponsePayload, QueryStat
             let (l_idx, r_idx) = (idx.get(left).cloned(), idx.get(right).cloned());
             drop(idx);
             if let (Some(l), Some(r)) = (l_idx, r_idx) {
-                let out = query::run_join_indexed_with(&shared.spade, &l, &r, query, &job.cancel)?;
+                let out = query::run_join_indexed_with(&shared.spade, &l, &r, query, cancel)?;
                 return Ok((ResponsePayload::Query(out.result), out.stats));
             }
             let mem = shared.datasets.read().unwrap();
@@ -503,6 +645,65 @@ fn execute(shared: &Shared, job: &Pending) -> Result<(ResponsePayload, QueryStat
             let result = spade_storage::sql::execute(&db, stmt)?;
             Ok((ResponsePayload::Sql(result), QueryStats::default()))
         }
+        QueryRequest::Explain { analyze, request } => explain(shared, *analyze, request, cancel),
+    }
+}
+
+/// Execute an `EXPLAIN` / `EXPLAIN ANALYZE` request. SQL forwards to the
+/// SQL layer's own `EXPLAIN` (which plans without executing unless
+/// `ANALYZE`); spatial requests run inside a [`spade_core::explain`] plan
+/// report — the optimizer decides in-flight, so execution *is* planning —
+/// and render the decisions, with actual runtime numbers when `analyze`.
+fn explain(
+    shared: &Shared,
+    analyze: bool,
+    request: &QueryRequest,
+    cancel: &CancelToken,
+) -> Result<(ResponsePayload, QueryStats), ServiceError> {
+    if let QueryRequest::Sql(stmt) = request {
+        let prefixed = format!("EXPLAIN {}{stmt}", if analyze { "ANALYZE " } else { "" });
+        let db = shared.db.lock().unwrap();
+        let result = spade_storage::sql::execute(&db, &prefixed)?;
+        let text = match &result {
+            spade_storage::sql::SqlResult::Rows(table) => (0..table.num_rows())
+                .filter_map(|i| table.row(i).into_iter().next())
+                .map(|v| match v {
+                    spade_storage::Value::Str(s) => format!("{s}\n"),
+                    v => format!("{v}\n"),
+                })
+                .collect(),
+            other => format!("{other:?}\n"),
+        };
+        return Ok((ResponsePayload::Explain(text), QueryStats::default()));
+    }
+    spade_core::explain::begin();
+    let outcome = execute(shared, request, cancel);
+    let report = spade_core::explain::finish();
+    let (_, stats) = outcome?;
+    let mut text = format!(
+        "{} {}\n",
+        if analyze {
+            "EXPLAIN ANALYZE"
+        } else {
+            "EXPLAIN"
+        },
+        describe(request),
+    );
+    text.push_str(&report.render(if analyze { Some(&stats) } else { None }));
+    Ok((ResponsePayload::Explain(text), stats))
+}
+
+/// One-line description of a request for the plan header.
+fn describe(request: &QueryRequest) -> String {
+    match request {
+        QueryRequest::Select { dataset, .. } => {
+            format!("{} on \"{dataset}\"", request.class())
+        }
+        QueryRequest::Join { left, right, .. } => {
+            format!("{} on \"{left}\" x \"{right}\"", request.class())
+        }
+        QueryRequest::Sql(stmt) => format!("sql: {stmt}"),
+        QueryRequest::Explain { request, .. } => format!("explain of {}", describe(request)),
     }
 }
 

@@ -45,8 +45,12 @@ impl ServiceStats {
                 if sorted.is_empty() {
                     return Duration::ZERO;
                 }
-                let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-                Duration::from_nanos(sorted[idx])
+                // Nearest-rank: the smallest sample whose cumulative
+                // frequency is ≥ p — 1-indexed rank ⌈p·n⌉. The previous
+                // rounded-linear index overshot by one on even windows
+                // (p50 of 1..=100 gave the 51st sample, not the 50th).
+                let rank = (p * sorted.len() as f64).ceil() as usize;
+                Duration::from_nanos(sorted[rank.clamp(1, sorted.len()) - 1])
             };
             (q(0.50), q(0.95))
         };
@@ -120,8 +124,64 @@ mod tests {
             s.record_latency(Duration::from_millis(ms));
         }
         let snap = s.snapshot(0, 0);
-        assert_eq!(snap.p50_latency, Duration::from_millis(51));
+        // Nearest-rank over 1..=100 ms: p50 is the 50th sample, p95 the
+        // 95th (the old rounded-linear index off-by-one gave 51 ms).
+        assert_eq!(snap.p50_latency, Duration::from_millis(50));
         assert_eq!(snap.p95_latency, Duration::from_millis(95));
+    }
+
+    /// Warm-up: with one sample both percentiles are that sample; with two,
+    /// p50 is the smaller and p95 the larger.
+    #[test]
+    fn warmup_windows() {
+        let s = ServiceStats::default();
+        s.record_latency(Duration::from_millis(7));
+        let snap = s.snapshot(0, 0);
+        assert_eq!(snap.p50_latency, Duration::from_millis(7));
+        assert_eq!(snap.p95_latency, Duration::from_millis(7));
+
+        s.record_latency(Duration::from_millis(3));
+        let snap = s.snapshot(0, 0);
+        assert_eq!(snap.p50_latency, Duration::from_millis(3));
+        assert_eq!(snap.p95_latency, Duration::from_millis(7));
+    }
+
+    /// Property test against the exact oracle: for every window size the
+    /// reported percentile must be the smallest sample whose cumulative
+    /// frequency reaches p·n.
+    #[test]
+    fn percentiles_match_nearest_rank_oracle() {
+        fn oracle(samples: &[u64], p: f64) -> u64 {
+            let mut sorted = samples.to_vec();
+            sorted.sort_unstable();
+            let need = ((p * sorted.len() as f64).ceil() as usize).max(1);
+            *sorted
+                .iter()
+                .find(|&&v| sorted.iter().filter(|&&x| x <= v).count() >= need)
+                .expect("some sample reaches the rank")
+        }
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        for n in 1..=80usize {
+            let s = ServiceStats::default();
+            let mut samples = Vec::new();
+            for _ in 0..n {
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let ms = (seed >> 33) % 40 + 1; // duplicates are likely
+                samples.push(Duration::from_millis(ms).as_nanos() as u64);
+                s.record_latency(Duration::from_millis(ms));
+            }
+            let snap = s.snapshot(0, 0);
+            for (p, got) in [(0.50, snap.p50_latency), (0.95, snap.p95_latency)] {
+                assert_eq!(
+                    got.as_nanos() as u64,
+                    oracle(&samples, p),
+                    "p{} over window of {n}",
+                    (p * 100.0) as u32
+                );
+            }
+        }
     }
 
     #[test]

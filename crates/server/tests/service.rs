@@ -131,7 +131,9 @@ fn baseline(config: &EngineConfig) -> Vec<QueryResult> {
                     .unwrap()
                     .result
             }
-            QueryRequest::Sql(_) => unreachable!("workload has no SQL"),
+            QueryRequest::Sql(_) | QueryRequest::Explain { .. } => {
+                unreachable!("workload has no SQL or EXPLAIN")
+            }
         })
         .collect()
 }
@@ -146,7 +148,7 @@ fn service(config: ServiceConfig) -> QueryService {
 fn expect_query(payload: ResponsePayload) -> QueryResult {
     match payload {
         ResponsePayload::Query(q) => q,
-        ResponsePayload::Sql(other) => panic!("expected spatial result, got {other:?}"),
+        other => panic!("expected spatial result, got {other:?}"),
     }
 }
 
@@ -496,4 +498,150 @@ fn four_sessions_beat_one_by_1_5x() {
         "expected >1.5x throughput at 4 sessions, got {speedup:.2}x \
          (solo {solo:?}, four sessions {four:?})"
     );
+}
+
+/// `metrics_text()` must expose the admission counters, the queue/exec
+/// wall-split histograms, and the engine transfer/cache counters in
+/// Prometheus text exposition format after real queries ran.
+#[test]
+fn metrics_text_exposes_service_and_engine_counters() {
+    let svc = service(ServiceConfig {
+        engine: tiny_config(),
+        workers: 2,
+        fairness_cap: 4,
+    });
+    let session = svc.session();
+    for req in workload() {
+        session.submit(req).wait().expect("query succeeds");
+    }
+    let text = svc.metrics_text();
+
+    let value_of = |metric: &str| -> u64 {
+        text.lines()
+            .find(|l| l.starts_with(metric) && l.split_whitespace().count() == 2)
+            .unwrap_or_else(|| panic!("metric '{metric}' missing:\n{text}"))
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse::<f64>()
+            .unwrap() as u64
+    };
+    let n = workload().len() as u64;
+    assert_eq!(value_of("spade_queries_submitted_total"), n);
+    assert_eq!(value_of("spade_queries_completed_total"), n);
+    assert_eq!(value_of("spade_queries_rejected_total"), 0);
+    assert_eq!(value_of("spade_queue_wait_seconds_count"), n);
+    assert_eq!(value_of("spade_exec_seconds_count"), n);
+    // The out-of-core workload moved bytes and ran pipeline passes.
+    assert!(value_of("spade_bytes_to_device_total") > 0);
+    assert!(value_of("spade_passes_total") > 0);
+    assert!(value_of("spade_cells_loaded_total") > 0);
+    // Exposition format: every metric carries HELP/TYPE headers, and the
+    // histograms end in a +Inf bucket that equals their count.
+    assert!(text.contains("# HELP spade_exec_seconds "));
+    assert!(text.contains("# TYPE spade_exec_seconds histogram"));
+    assert!(text.contains("spade_exec_seconds_bucket{le=\"+Inf\"}"));
+    assert!(text.contains("# TYPE spade_queries_submitted_total counter"));
+    assert!(text.contains("# TYPE spade_queue_depth gauge"));
+}
+
+/// EXPLAIN of a spatial join prints the optimizer's strategy decision with
+/// its byte estimates; ANALYZE adds the measured numbers next to them.
+#[test]
+fn explain_analyze_reports_join_decisions() {
+    let svc = service(ServiceConfig {
+        engine: tiny_config(),
+        workers: 1,
+        fairness_cap: 4,
+    });
+    let session = svc.session();
+    let join = QueryRequest::Join {
+        left: "polys".into(),
+        right: "pts".into(),
+        query: JoinQuery::Intersects,
+    };
+
+    let resp = session
+        .submit(QueryRequest::Explain {
+            analyze: false,
+            request: Box::new(join.clone()),
+        })
+        .wait()
+        .expect("explain succeeds");
+    let plain = resp.payload.explain().expect("explain payload").to_string();
+    assert!(plain.starts_with("EXPLAIN join"), "{plain}");
+    assert!(plain.contains("strategy:"), "{plain}");
+    assert!(plain.contains("est layer"), "{plain}");
+    assert!(plain.contains("cell pairs:"), "{plain}");
+    assert!(
+        !plain.contains("actual"),
+        "plain EXPLAIN has actuals: {plain}"
+    );
+
+    let resp = session
+        .submit(QueryRequest::Explain {
+            analyze: true,
+            request: Box::new(join),
+        })
+        .wait()
+        .expect("explain analyze succeeds");
+    let analyzed = resp.payload.explain().expect("explain payload").to_string();
+    assert!(analyzed.starts_with("EXPLAIN ANALYZE join"), "{analyzed}");
+    assert!(analyzed.contains("actual to-device"), "{analyzed}");
+    assert!(analyzed.contains("total="), "{analyzed}");
+}
+
+/// EXPLAIN of a selection reports the Map implementation choice (1-pass vs
+/// 2-pass) with `n_max` against the slot budget.
+#[test]
+fn explain_select_reports_map_choice() {
+    let svc = service(ServiceConfig {
+        engine: tiny_config(),
+        workers: 1,
+        fairness_cap: 4,
+    });
+    let session = svc.session();
+    let resp = session
+        .submit(QueryRequest::Explain {
+            analyze: true,
+            request: Box::new(QueryRequest::Select {
+                dataset: "pts".into(),
+                query: SelectQuery::Intersects(constraint()),
+            }),
+        })
+        .wait()
+        .expect("explain succeeds");
+    let text = resp.payload.explain().expect("explain payload").to_string();
+    assert!(text.contains("map:"), "{text}");
+    assert!(text.contains("1-pass"), "{text}");
+    assert!(text.contains("slots"), "{text}");
+    assert!(text.contains("actual results"), "{text}");
+}
+
+/// EXPLAIN of a SQL request forwards to the SQL layer's planner.
+#[test]
+fn explain_sql_forwards_to_sql_planner() {
+    let svc = QueryService::new(ServiceConfig {
+        engine: tiny_config(),
+        workers: 1,
+        fairness_cap: 4,
+    });
+    let session = svc.session();
+    session
+        .submit(QueryRequest::Sql("CREATE TABLE t (id INT)".into()))
+        .wait()
+        .expect("create succeeds");
+    let resp = session
+        .submit(QueryRequest::Explain {
+            analyze: false,
+            request: Box::new(QueryRequest::Sql(
+                "SELECT id FROM t WHERE id > 3 LIMIT 2".into(),
+            )),
+        })
+        .wait()
+        .expect("explain succeeds");
+    let text = resp.payload.explain().expect("explain payload").to_string();
+    assert!(text.contains("Limit 2"), "{text}");
+    assert!(text.contains("Filter"), "{text}");
+    assert!(text.contains("Scan t"), "{text}");
 }

@@ -112,6 +112,8 @@ impl Column {
     }
 
     /// Read the value at `row` (panics out of bounds, like slice indexing).
+    /// Prefer [`Column::try_get`] when the row index comes from decoded or
+    /// otherwise untrusted input.
     pub fn get(&self, row: usize) -> Value {
         if self.nulls[row] {
             return Value::Null;
@@ -122,6 +124,20 @@ impl Column {
             ColumnData::Str(d) => Value::Str(d[row].clone()),
             ColumnData::Bytes(d) => Value::Bytes(d[row].clone()),
         }
+    }
+
+    /// Checked read: like [`Column::get`] but an out-of-bounds row is a
+    /// [`StorageError::Corrupt`] instead of a panic, so read paths over
+    /// decoded blocks can propagate instead of aborting the query thread.
+    pub fn try_get(&self, row: usize) -> Result<Value> {
+        if row >= self.nulls.len() {
+            return Err(StorageError::Corrupt(format!(
+                "row {row} out of bounds for column '{}' of {} rows",
+                self.name,
+                self.nulls.len()
+            )));
+        }
+        Ok(self.get(row))
     }
 
     /// Borrowing accessors for hot scan paths (no clone).
@@ -220,6 +236,21 @@ mod tests {
         assert!(c.is_null(1));
         assert_eq!(c.get_int(2), Some(3));
         assert_eq!(c.get_int(1), None);
+    }
+
+    /// `try_get` mirrors `get` in bounds but propagates instead of
+    /// panicking past the end — the contract read paths over decoded
+    /// blocks rely on.
+    #[test]
+    fn try_get_checks_bounds() {
+        let mut c = Column::new("a", DataType::Int);
+        c.push(Value::Int(5)).unwrap();
+        c.push(Value::Null).unwrap();
+        assert_eq!(c.try_get(0), Ok(Value::Int(5)));
+        assert_eq!(c.try_get(1), Ok(Value::Null));
+        let err = c.try_get(2).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)), "{err:?}");
+        assert!(err.to_string().contains("out of bounds"));
     }
 
     #[test]

@@ -50,28 +50,38 @@ pub fn get_bytes<'a>(buf: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
     Some(head)
 }
 
+/// Take the next `N` bytes as a fixed-size array, or `None` on underrun.
+/// Keeps the fixed-width readers below unwrap-free: `get_bytes` already
+/// guarantees the length, and `try_into` on the slice would re-check it.
+fn get_array<const N: usize>(buf: &mut &[u8]) -> Option<[u8; N]> {
+    let head = get_bytes(buf, N)?;
+    let mut out = [0u8; N];
+    out.copy_from_slice(head);
+    Some(out)
+}
+
 pub fn get_u8(buf: &mut &[u8]) -> Option<u8> {
     get_bytes(buf, 1).map(|b| b[0])
 }
 
 pub fn get_u16_le(buf: &mut &[u8]) -> Option<u16> {
-    get_bytes(buf, 2).map(|b| u16::from_le_bytes(b.try_into().unwrap()))
+    get_array(buf).map(u16::from_le_bytes)
 }
 
 pub fn get_u32_le(buf: &mut &[u8]) -> Option<u32> {
-    get_bytes(buf, 4).map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    get_array(buf).map(u32::from_le_bytes)
 }
 
 pub fn get_u64_le(buf: &mut &[u8]) -> Option<u64> {
-    get_bytes(buf, 8).map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    get_array(buf).map(u64::from_le_bytes)
 }
 
 pub fn get_i64_le(buf: &mut &[u8]) -> Option<i64> {
-    get_bytes(buf, 8).map(|b| i64::from_le_bytes(b.try_into().unwrap()))
+    get_array(buf).map(i64::from_le_bytes)
 }
 
 pub fn get_f64_le(buf: &mut &[u8]) -> Option<f64> {
-    get_bytes(buf, 8).map(|b| f64::from_le_bytes(b.try_into().unwrap()))
+    get_array(buf).map(f64::from_le_bytes)
 }
 
 #[cfg(test)]

@@ -117,6 +117,25 @@ pub fn decode_table(mut buf: &[u8]) -> Result<Table> {
         let dt = tag_dtype(tag)?;
         fields.push((cname, dt));
     }
+    // A corrupt header can claim billions of rows; every column decode
+    // below pre-allocates `nrows` slots, so reject row counts whose
+    // *minimum* encoding (null bitmap + the narrowest per-row payload)
+    // cannot fit the remaining bytes before allocating anything.
+    let min_bytes: u64 = fields
+        .iter()
+        .map(|(_, dt)| {
+            let per_row: u64 = match dt {
+                DataType::Int | DataType::Float => 8,
+                DataType::Str | DataType::Bytes => 4, // length prefix
+            };
+            (nrows as u64)
+                .div_ceil(8)
+                .saturating_add((nrows as u64).saturating_mul(per_row))
+        })
+        .fold(0u64, u64::saturating_add);
+    if min_bytes > buf.len() as u64 {
+        return Err(corrupt("row count exceeds buffer"));
+    }
     let schema = Schema::new(fields.clone());
     let mut columns = Vec::with_capacity(ncols);
     for (cname, dt) in fields {
@@ -250,6 +269,29 @@ mod tests {
         let mut good = encode_table(&sample());
         good.truncate(good.len() / 2);
         assert!(decode_table(&good).is_err());
+    }
+
+    /// Regression for the pre-allocation guard: a header claiming a huge
+    /// row count must be rejected from the byte budget alone, before any
+    /// `Vec::with_capacity(nrows)` tries to reserve terabytes.
+    #[test]
+    fn absurd_row_count_rejected_before_allocation() {
+        let t = sample();
+        let mut bytes = encode_table(&t);
+        // Header layout: magic u32, version u16, name (u32 len + body),
+        // ncols u32, nrows u64.
+        let nrows_at = 4 + 2 + (4 + t.name.len()) + 4;
+        for claimed in [u64::MAX, 1u64 << 60, (t.num_rows() as u64) + 1] {
+            bytes[nrows_at..nrows_at + 8].copy_from_slice(&claimed.to_le_bytes());
+            let err = decode_table(&bytes).unwrap_err();
+            assert!(
+                matches!(err, StorageError::Corrupt(_)),
+                "claimed {claimed} rows: {err:?}"
+            );
+        }
+        // Restoring the real count decodes again.
+        bytes[nrows_at..nrows_at + 8].copy_from_slice(&(t.num_rows() as u64).to_le_bytes());
+        assert_eq!(decode_table(&bytes).unwrap(), t);
     }
 
     /// One-column roundtrip for each supported column type, with nulls and

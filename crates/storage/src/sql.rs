@@ -10,8 +10,14 @@
 //! SELECT id, name FROM t WHERE score >= 0.5 AND name <> 'x';
 //! SELECT COUNT(*), AVG(score) FROM t WHERE name IS NOT NULL;
 //! SELECT name FROM t ORDER BY score DESC LIMIT 10;
+//! EXPLAIN ANALYZE SELECT COUNT(*) FROM t;
 //! DROP TABLE t;
 //! ```
+//!
+//! `EXPLAIN [ANALYZE] SELECT ...` returns the plan as a one-column table
+//! of indented operator lines (outermost first). Plain `EXPLAIN` only
+//! plans; `ANALYZE` also executes the statement and appends actual row
+//! count and wall time.
 
 use crate::catalog::Database;
 use crate::column::DataType;
@@ -39,6 +45,7 @@ pub fn execute(db: &Database, sql: &str) -> Result<SqlResult> {
         Some("DROP") => p.drop(db),
         Some("INSERT") => p.insert(db),
         Some("SELECT") => p.select(db),
+        Some("EXPLAIN") => p.explain(db),
         other => Err(StorageError::Parse(format!(
             "expected statement, found {other:?}"
         ))),
@@ -325,6 +332,46 @@ impl Parser {
     }
 
     fn select(&mut self, db: &Database) -> Result<SqlResult> {
+        let stmt = self.parse_select()?;
+        run_select(db, &stmt)
+    }
+
+    fn explain(&mut self, db: &Database) -> Result<SqlResult> {
+        self.expect_keyword("EXPLAIN")?;
+        let analyze = if self.peek_keyword().as_deref() == Some("ANALYZE") {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        if self.peek_keyword().as_deref() != Some("SELECT") {
+            return Err(StorageError::Parse(
+                "EXPLAIN supports SELECT statements only".into(),
+            ));
+        }
+        let stmt = self.parse_select()?;
+        let mut lines = plan_lines(&stmt);
+        if analyze {
+            let t0 = std::time::Instant::now();
+            let result = run_select(db, &stmt)?;
+            let elapsed = t0.elapsed();
+            let n = match &result {
+                SqlResult::Rows(t) => t.num_rows(),
+                SqlResult::Affected(n) => *n,
+            };
+            lines.push(format!("actual rows: {n}"));
+            lines.push(format!("actual time: {:.6}s", elapsed.as_secs_f64()));
+        }
+        let mut out = Table::new("plan", Schema::new(vec![("plan".into(), DataType::Str)]));
+        for line in lines {
+            out.insert(vec![Value::Str(line)])?;
+        }
+        Ok(SqlResult::Rows(out))
+    }
+
+    /// Parse a full SELECT statement (the `SELECT` keyword included) into
+    /// its clauses without executing it.
+    fn parse_select(&mut self) -> Result<SelectStmt> {
         self.expect_keyword("SELECT")?;
         let mut cols = Vec::new();
         let mut aggs: Vec<(Agg, Option<String>)> = Vec::new();
@@ -406,33 +453,18 @@ impl Parser {
         if !self.at_end() {
             return Err(StorageError::Parse("trailing tokens after SELECT".into()));
         }
-
-        // Scan all columns first when ordering needs one outside the
-        // projection; project afterwards.
-        let scan_cols: Vec<String> = if order.is_some() {
-            Vec::new()
-        } else {
-            cols.clone()
-        };
-        let mut out = db.with_table(&name, |t| scan(t, &scan_cols, filter.as_ref()))??;
-
-        if !aggs.is_empty() {
-            return aggregate(&out, &aggs);
-        }
-
-        if let Some((col, desc)) = &order {
-            out = order_rows(&out, col, *desc)?;
-            if !cols.is_empty() {
-                out = scan(&out, &cols, None)?;
-            }
-        }
-        if let Some(n) = limit {
-            out = truncate_rows(&out, n)?;
-        }
-        Ok(SqlResult::Rows(out))
+        Ok(SelectStmt {
+            cols,
+            aggs,
+            table: name,
+            filter,
+            order,
+            limit,
+        })
     }
 
-    // (aggregate evaluation and row utilities live below the parser)
+    // (statement execution, aggregate evaluation and row utilities live
+    // below the parser)
 
     // expr := term (OR term)*
     fn expr(&mut self) -> Result<Expr> {
@@ -513,6 +545,78 @@ impl Parser {
     }
 }
 
+/// A parsed SELECT statement: the clauses, unexecuted.
+#[derive(Debug, Clone)]
+struct SelectStmt {
+    cols: Vec<String>,
+    aggs: Vec<(Agg, Option<String>)>,
+    table: String,
+    filter: Option<Expr>,
+    order: Option<(String, bool)>,
+    limit: Option<usize>,
+}
+
+/// Execute a parsed SELECT against the database.
+fn run_select(db: &Database, stmt: &SelectStmt) -> Result<SqlResult> {
+    // Scan all columns first when ordering needs one outside the
+    // projection; project afterwards.
+    let scan_cols: Vec<String> = if stmt.order.is_some() {
+        Vec::new()
+    } else {
+        stmt.cols.clone()
+    };
+    let mut out = db.with_table(&stmt.table, |t| scan(t, &scan_cols, stmt.filter.as_ref()))??;
+
+    if !stmt.aggs.is_empty() {
+        return aggregate(&out, &stmt.aggs);
+    }
+
+    if let Some((col, desc)) = &stmt.order {
+        out = order_rows(&out, col, *desc)?;
+        if !stmt.cols.is_empty() {
+            out = scan(&out, &stmt.cols, None)?;
+        }
+    }
+    if let Some(n) = stmt.limit {
+        out = truncate_rows(&out, n)?;
+    }
+    Ok(SqlResult::Rows(out))
+}
+
+/// Render a parsed SELECT as indented plan operator lines, outermost
+/// operator first (mirroring the execution order of [`run_select`] read
+/// bottom-up).
+fn plan_lines(stmt: &SelectStmt) -> Vec<String> {
+    let mut ops: Vec<String> = Vec::new();
+    if let Some(n) = stmt.limit {
+        ops.push(format!("Limit {n}"));
+    }
+    if let Some((col, desc)) = &stmt.order {
+        ops.push(format!("Sort {col} {}", if *desc { "DESC" } else { "ASC" }));
+    }
+    if !stmt.aggs.is_empty() {
+        let labels: Vec<String> = stmt
+            .aggs
+            .iter()
+            .map(|(a, arg)| match arg {
+                Some(c) => format!("{}({c})", a.name()),
+                None => format!("{}(*)", a.name()),
+            })
+            .collect();
+        ops.push(format!("Aggregate {}", labels.join(", ")));
+    } else if !stmt.cols.is_empty() {
+        ops.push(format!("Project [{}]", stmt.cols.join(", ")));
+    }
+    if let Some(f) = &stmt.filter {
+        ops.push(format!("Filter {f:?}"));
+    }
+    ops.push(format!("Scan {}", stmt.table));
+    ops.iter()
+        .enumerate()
+        .map(|(i, op)| format!("{}{op}", "  ".repeat(i)))
+        .collect()
+}
+
 /// Aggregate functions of the SELECT subset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Agg {
@@ -547,6 +651,13 @@ impl Agg {
 }
 
 /// Evaluate aggregates over the (already filtered) scan result.
+///
+/// Result typing comes from the *operator and source column*, not from the
+/// computed value: SUM/MIN/MAX preserve an INT source's type, AVG and any
+/// FLOAT source yield FLOAT, COUNT is always INT. Deriving the type from
+/// the value would mistype an empty or all-NULL input — the NULL result
+/// used to fall through to FLOAT even when `MIN(id)` was taken over an INT
+/// column.
 fn aggregate(rows: &Table, aggs: &[(Agg, Option<String>)]) -> Result<SqlResult> {
     use crate::column::DataType;
     let mut fields = Vec::new();
@@ -556,11 +667,14 @@ fn aggregate(rows: &Table, aggs: &[(Agg, Option<String>)]) -> Result<SqlResult> 
             Some(c) => format!("{}_{}", agg.name(), c),
             None => agg.name().to_string(),
         };
-        let value = match (agg, arg) {
-            (Agg::Count, None) => Value::Int(rows.num_rows() as i64),
+        let (value, dtype) = match (agg, arg) {
+            (Agg::Count, None) => (Value::Int(rows.num_rows() as i64), DataType::Int),
             (Agg::Count, Some(col)) => {
                 let c = rows.column(col)?;
-                Value::Int((0..rows.num_rows()).filter(|&r| !c.is_null(r)).count() as i64)
+                (
+                    Value::Int((0..rows.num_rows()).filter(|&r| !c.is_null(r)).count() as i64),
+                    DataType::Int,
+                )
             }
             (_, None) => {
                 return Err(StorageError::Parse(format!(
@@ -570,29 +684,36 @@ fn aggregate(rows: &Table, aggs: &[(Agg, Option<String>)]) -> Result<SqlResult> 
             }
             (op, Some(col)) => {
                 let c = rows.column(col)?;
+                let idx = rows
+                    .schema
+                    .field_index(col)
+                    .ok_or_else(|| StorageError::UnknownColumn(col.clone()))?;
+                let src = rows.schema.fields[idx].1;
+                let dtype = match (op, src) {
+                    (Agg::Avg, _) => DataType::Float,
+                    (_, DataType::Int) => DataType::Int,
+                    _ => DataType::Float,
+                };
                 let nums: Vec<f64> = (0..rows.num_rows())
                     .filter_map(|r| c.get_float(r))
                     .collect();
-                if nums.is_empty() {
+                let value = if nums.is_empty() {
                     Value::Null
                 } else {
-                    match op {
-                        Agg::Sum => Value::Float(nums.iter().sum()),
-                        Agg::Min => {
-                            Value::Float(nums.iter().cloned().fold(f64::INFINITY, f64::min))
-                        }
-                        Agg::Max => {
-                            Value::Float(nums.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
-                        }
-                        Agg::Avg => Value::Float(nums.iter().sum::<f64>() / nums.len() as f64),
+                    let v = match op {
+                        Agg::Sum => nums.iter().sum(),
+                        Agg::Min => nums.iter().cloned().fold(f64::INFINITY, f64::min),
+                        Agg::Max => nums.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+                        Agg::Avg => nums.iter().sum::<f64>() / nums.len() as f64,
                         Agg::Count => unreachable!(),
+                    };
+                    match dtype {
+                        DataType::Int => Value::Int(v as i64),
+                        _ => Value::Float(v),
                     }
-                }
+                };
+                (value, dtype)
             }
-        };
-        let dtype = match value {
-            Value::Int(_) => DataType::Int,
-            _ => DataType::Float,
         };
         fields.push((label, dtype));
         values.push(value);
@@ -622,7 +743,7 @@ fn order_rows(rows: &Table, col: &str, desc: bool) -> Result<Table> {
     });
     let mut out = Table::new(rows.name.clone(), rows.schema.clone());
     for r in order {
-        out.insert(rows.row(r))?;
+        out.insert(rows.try_row(r)?)?;
     }
     Ok(out)
 }
@@ -630,7 +751,7 @@ fn order_rows(rows: &Table, col: &str, desc: bool) -> Result<Table> {
 fn truncate_rows(rows: &Table, n: usize) -> Result<Table> {
     let mut out = Table::new(rows.name.clone(), rows.schema.clone());
     for r in 0..rows.num_rows().min(n) {
-        out.insert(rows.row(r))?;
+        out.insert(rows.try_row(r)?)?;
     }
     Ok(out)
 }
@@ -765,10 +886,114 @@ mod tests {
         assert_eq!(t.schema.fields[0].0, "min_x");
         assert_eq!(t.row(0)[0], Value::Float(-122.4));
         assert_eq!(t.row(0)[1], Value::Float(0.0));
-        assert_eq!(t.row(0)[3], Value::Float(10.0));
+        // SUM over an INT column stays INT.
+        assert_eq!(t.row(0)[3], Value::Int(10));
+        assert_eq!(t.schema.fields[3].1, DataType::Int);
         // Aggregates over an empty filter → NULL (COUNT → 0).
         let t = rows(execute(&db, "SELECT COUNT(*), SUM(x) FROM pts WHERE id > 100").unwrap());
         assert_eq!(t.row(0), vec![Value::Int(0), Value::Null]);
+    }
+
+    /// Regression: a NULL aggregate result must carry the type the
+    /// aggregate *would* produce from its source column, not fall through
+    /// to FLOAT. Empty-after-filter and all-NULL inputs both hit this.
+    #[test]
+    fn null_aggregates_typed_from_source_column() {
+        let db = db_with_data();
+        // Empty after filter: MIN/MAX/SUM over INT id → NULL typed INT;
+        // AVG is always FLOAT; over FLOAT x everything stays FLOAT.
+        let t = rows(
+            execute(
+                &db,
+                "SELECT MIN(id), MAX(id), SUM(id), AVG(id), MIN(x) FROM pts WHERE id > 100",
+            )
+            .unwrap(),
+        );
+        assert_eq!(t.row(0), vec![Value::Null; 5]);
+        assert_eq!(t.schema.fields[0].1, DataType::Int, "min_id");
+        assert_eq!(t.schema.fields[1].1, DataType::Int, "max_id");
+        assert_eq!(t.schema.fields[2].1, DataType::Int, "sum_id");
+        assert_eq!(t.schema.fields[3].1, DataType::Float, "avg_id");
+        assert_eq!(t.schema.fields[4].1, DataType::Float, "min_x");
+
+        // All-NULL column: same typing.
+        let db = Database::in_memory();
+        execute(&db, "CREATE TABLE n (a INT, b FLOAT)").unwrap();
+        execute(&db, "INSERT INTO n VALUES (NULL, NULL), (NULL, NULL)").unwrap();
+        let t = rows(execute(&db, "SELECT MIN(a), MAX(a), AVG(a), SUM(b) FROM n").unwrap());
+        assert_eq!(t.row(0), vec![Value::Null; 4]);
+        assert_eq!(t.schema.fields[0].1, DataType::Int);
+        assert_eq!(t.schema.fields[1].1, DataType::Int);
+        assert_eq!(t.schema.fields[2].1, DataType::Float);
+        assert_eq!(t.schema.fields[3].1, DataType::Float);
+    }
+
+    #[test]
+    fn int_aggregates_preserve_int_type() {
+        let db = db_with_data();
+        let t = rows(execute(&db, "SELECT MIN(id), MAX(id) FROM pts").unwrap());
+        assert_eq!(t.row(0), vec![Value::Int(1), Value::Int(4)]);
+        // AVG over INT promotes to FLOAT.
+        let t = rows(execute(&db, "SELECT AVG(id) FROM pts").unwrap());
+        assert_eq!(t.row(0), vec![Value::Float(2.5)]);
+    }
+
+    #[test]
+    fn explain_renders_plan_without_executing() {
+        let db = db_with_data();
+        let t = rows(
+            execute(
+                &db,
+                "EXPLAIN SELECT id FROM pts WHERE city = 'nyc' ORDER BY x DESC LIMIT 2",
+            )
+            .unwrap(),
+        );
+        let plan: Vec<String> = (0..t.num_rows())
+            .map(|i| t.column("plan").unwrap().get_str(i).unwrap().to_string())
+            .collect();
+        assert_eq!(plan[0], "Limit 2");
+        assert!(plan[1].contains("Sort x DESC"));
+        assert!(plan[2].contains("Project [id]"));
+        assert!(plan[3].contains("Filter"));
+        assert!(plan[4].contains("Scan pts"));
+        // Indentation deepens per operator.
+        assert!(plan[4].starts_with("        "));
+        // No "actual" lines without ANALYZE.
+        assert!(!plan.iter().any(|l| l.contains("actual")));
+    }
+
+    #[test]
+    fn explain_analyze_appends_actuals() {
+        let db = db_with_data();
+        let t = rows(
+            execute(
+                &db,
+                "EXPLAIN ANALYZE SELECT COUNT(*) FROM pts WHERE city = 'nyc'",
+            )
+            .unwrap(),
+        );
+        let plan: Vec<String> = (0..t.num_rows())
+            .map(|i| t.column("plan").unwrap().get_str(i).unwrap().to_string())
+            .collect();
+        assert!(plan.iter().any(|l| l.contains("Aggregate count(*)")));
+        assert!(plan.iter().any(|l| l == "actual rows: 1"));
+        assert!(plan.iter().any(|l| l.starts_with("actual time: ")));
+    }
+
+    #[test]
+    fn explain_rejects_non_select() {
+        let db = db_with_data();
+        assert!(execute(&db, "EXPLAIN DROP TABLE pts").is_err());
+        assert!(execute(
+            &db,
+            "EXPLAIN ANALYZE INSERT INTO pts VALUES (9, 'x', 0.0, 0.0)"
+        )
+        .is_err());
+        // The rejected EXPLAIN must not have executed anything.
+        assert_eq!(
+            rows(execute(&db, "SELECT * FROM pts").unwrap()).num_rows(),
+            4
+        );
     }
 
     #[test]

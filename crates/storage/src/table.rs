@@ -97,6 +97,13 @@ impl Table {
         self.columns.iter().map(|c| c.get(i)).collect()
     }
 
+    /// Checked row materialization: an out-of-bounds index (or a column
+    /// shorter than its siblings, as a corrupt block can produce) is a
+    /// [`StorageError::Corrupt`] instead of a panic.
+    pub fn try_row(&self, i: usize) -> Result<Vec<Value>> {
+        self.columns.iter().map(|c| c.try_get(i)).collect()
+    }
+
     /// Total byte footprint across columns.
     pub fn byte_size(&self) -> usize {
         self.columns.iter().map(Column::byte_size).sum()
@@ -150,6 +157,23 @@ mod tests {
         for c in &t.columns {
             assert_eq!(c.len(), 0);
         }
+    }
+
+    /// `try_row` propagates on an out-of-bounds index and on a column
+    /// shorter than its siblings (the shape a corrupt block produces),
+    /// where `row` would panic mid-query.
+    #[test]
+    fn try_row_checks_bounds_and_ragged_columns() {
+        let mut t = Table::new("t", schema());
+        t.insert(vec![1.into(), "a".into(), 0.5.into()]).unwrap();
+        assert_eq!(t.try_row(0).unwrap(), t.row(0));
+        assert!(matches!(t.try_row(1), Err(StorageError::Corrupt(_))));
+
+        // Ragged: grow only the first column, so num_rows() advances past
+        // the length of the others.
+        t.columns[0].push(2.into()).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert!(matches!(t.try_row(1), Err(StorageError::Corrupt(_))));
     }
 
     #[test]

@@ -136,4 +136,9 @@ fn main() {
         service.engine().device.used(),
         service.engine().device.peak()
     );
+
+    // The same counters, as a Prometheus text snapshot a scrape endpoint
+    // would serve.
+    println!("\n--- metrics_text() ---");
+    print!("{}", service.metrics_text());
 }

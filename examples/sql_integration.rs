@@ -74,4 +74,21 @@ fn main() {
             );
         }
     }
+
+    // 5. EXPLAIN ANALYZE: the SQL layer prints the plan it would run —
+    //    outermost operator first — and, with ANALYZE, the measured row
+    //    count and wall time of the actual execution.
+    println!("\nEXPLAIN ANALYZE SELECT name FROM restaurants WHERE rating >= 4.5 LIMIT 3:");
+    let plan = match execute(
+        &db,
+        "EXPLAIN ANALYZE SELECT name FROM restaurants WHERE rating >= 4.5 LIMIT 3",
+    )
+    .unwrap()
+    {
+        SqlResult::Rows(t) => t,
+        _ => unreachable!(),
+    };
+    for r in 0..plan.num_rows() {
+        println!("  {}", plan.column("plan").unwrap().get_str(r).unwrap());
+    }
 }

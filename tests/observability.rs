@@ -1,0 +1,197 @@
+//! Observability must be free of observable effects: enabling tracing may
+//! not change any query result, and the disabled-path cost (one relaxed
+//! atomic load per span site) must stay within noise of an untraced run.
+
+use spade::datagen::{spider, urban};
+use spade::engine::dataset::{Dataset, DatasetKind, IndexedDataset};
+use spade::engine::distance::DistanceConstraint;
+use spade::engine::{aggregate, distance, join, knn, select, trace, EngineConfig, Spade};
+use spade::geometry::{BBox, Point};
+use spade::index::GridIndex;
+use std::sync::Mutex;
+
+/// The trace flag and ring buffer are process-global; tests that flip the
+/// flag must not interleave.
+fn gate() -> std::sync::MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn unit() -> BBox {
+    BBox::new(Point::ZERO, Point::new(1.0, 1.0))
+}
+
+/// One run of all five query families (select / join / distance / kNN /
+/// aggregation) against fresh engine state, returning every result.
+#[allow(clippy::type_complexity)]
+fn run_families(
+    pts: &Dataset,
+    polys: &Dataset,
+    constraint: &spade::geometry::Polygon,
+) -> (
+    Vec<u32>,
+    Vec<(u32, u32)>,
+    Vec<u32>,
+    Vec<(u32, f64)>,
+    Vec<(u32, u64)>,
+) {
+    let spade = Spade::new(EngineConfig::test_small());
+    let sel = select::select(&spade, pts, constraint).result;
+    let joined = join::join(&spade, polys, pts).result;
+    let dist = distance::distance_select(
+        &spade,
+        pts,
+        &DistanceConstraint::Point(Point::new(0.5, 0.5)),
+        0.1,
+    )
+    .result;
+    let nearest = knn::knn_select(&spade, pts, Point::new(0.3, 0.7), 16).result;
+    let agg = aggregate::aggregate_points(&spade, polys, pts).result;
+    (sel, joined, dist, nearest, agg)
+}
+
+/// Differential: tracing on vs off yields byte-identical results across
+/// the five query families, and the traced run records one span per
+/// family (plus GPU pipeline passes underneath).
+#[test]
+fn tracing_does_not_change_results() {
+    let _g = gate();
+    let pts = Dataset::from_points("p", spider::uniform_points(20_000, 7));
+    let polys = Dataset::from_polygons("parcels", spider::parcels(40, 0.08, 11));
+    let constraint = urban::constraint_polygons(1, &unit(), 0.2, 24, 3)
+        .pop()
+        .unwrap();
+
+    trace::set_enabled(false);
+    trace::drain();
+    let untraced = run_families(&pts, &polys, &constraint);
+    assert!(trace::drain().is_empty(), "disabled tracing recorded spans");
+
+    // Arm through the engine's own config path rather than set_enabled.
+    let _armed = Spade::new(EngineConfig {
+        tracing: true,
+        ..EngineConfig::test_small()
+    });
+    assert!(trace::enabled());
+    let traced = run_families(&pts, &polys, &constraint);
+    trace::set_enabled(false);
+    let spans = trace::drain();
+
+    assert_eq!(untraced, traced, "tracing changed a query result");
+    for name in [
+        "query.select",
+        "query.join",
+        "query.distance",
+        "query.knn",
+        "query.aggregate",
+        "gpu.draw",
+    ] {
+        assert!(
+            spans.iter().any(|s| s.name == name),
+            "missing span '{name}' in {:?}",
+            spans.iter().map(|s| s.name).collect::<Vec<_>>()
+        );
+    }
+    // The family spans carry their result cardinality.
+    let sel_span = spans.iter().find(|s| s.name == "query.select").unwrap();
+    assert_eq!(sel_span.attr("results"), Some(untraced.0.len() as u64));
+}
+
+/// Same differential over the out-of-core (grid-indexed, disk-backed)
+/// paths, which thread spans through streaming and prefetch.
+#[test]
+fn tracing_does_not_change_out_of_core_results() {
+    let _g = gate();
+    let pts = Dataset::from_points("p", spider::uniform_points(12_000, 9));
+    let polys = Dataset::from_polygons("parcels", spider::parcels(60, 0.06, 13));
+    let constraint = urban::constraint_polygons(1, &unit(), 0.22, 24, 5)
+        .pop()
+        .unwrap();
+    let dir = std::env::temp_dir().join(format!("spade-obs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let gp = GridIndex::build(Some(dir.join("p")), &pts.objects, 0.3).unwrap();
+    let ga = GridIndex::build(Some(dir.join("a")), &polys.objects, 0.3).unwrap();
+    let ipts = IndexedDataset::new("p", DatasetKind::Points, gp);
+    let ipolys = IndexedDataset::new("parcels", DatasetKind::Polygons, ga);
+
+    let run = || {
+        let spade = Spade::new(EngineConfig::test_small());
+        let sel = select::select_indexed(&spade, &ipts, &constraint)
+            .unwrap()
+            .result;
+        let joined = join::join_indexed(&spade, &ipolys, &ipts).unwrap().result;
+        (sel, joined)
+    };
+
+    trace::set_enabled(false);
+    trace::drain();
+    let untraced = run();
+    assert!(trace::drain().is_empty());
+
+    trace::set_enabled(true);
+    let traced = run();
+    trace::set_enabled(false);
+    let spans = trace::drain();
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(untraced, traced, "tracing changed an out-of-core result");
+    for name in ["query.select.indexed", "query.join.indexed"] {
+        assert!(
+            spans.iter().any(|s| s.name == name),
+            "missing span '{name}'"
+        );
+    }
+    let join_span = spans
+        .iter()
+        .find(|s| s.name == "query.join.indexed")
+        .unwrap();
+    assert_eq!(join_span.attr("pairs"), Some(untraced.1.len() as u64));
+    assert!(join_span.attr("cells").unwrap_or(0) > 0);
+}
+
+/// Overhead guard on the `join_out_of_core` bench workload shape: with
+/// tracing *enabled* the run must stay within 10% of the untraced run
+/// (the disabled path is a single atomic load and is covered a fortiori).
+/// Timing-sensitive: release builds only.
+#[test]
+#[cfg_attr(debug_assertions, ignore)]
+fn tracing_overhead_within_ten_percent() {
+    let _g = gate();
+    let polys = Dataset::from_polygons("parcels", spider::parcels(12, 0.25, 5));
+    let pts = Dataset::from_points("p", spider::uniform_points(200_000, 7));
+    let dir = std::env::temp_dir().join(format!("spade-obs-ovh-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ga = GridIndex::build(Some(dir.join("a")), &polys.objects, 0.25).unwrap();
+    let gp = GridIndex::build(Some(dir.join("p")), &pts.objects, 0.25).unwrap();
+    let ipolys = IndexedDataset::new("parcels", DatasetKind::Polygons, ga);
+    let ipts = IndexedDataset::new("p", DatasetKind::Points, gp);
+
+    let time_run = || {
+        let spade = Spade::new(EngineConfig::test_small());
+        let t0 = std::time::Instant::now();
+        let out = join::join_indexed(&spade, &ipolys, &ipts).unwrap();
+        (t0.elapsed(), out.result.len())
+    };
+
+    // Interleave traced/untraced runs and keep the minimum of each, the
+    // measurement least polluted by scheduler noise. One warm-up first.
+    trace::set_enabled(false);
+    let _ = time_run();
+    let mut untraced = std::time::Duration::MAX;
+    let mut traced = std::time::Duration::MAX;
+    for _ in 0..4 {
+        trace::set_enabled(false);
+        untraced = untraced.min(time_run().0);
+        trace::set_enabled(true);
+        trace::drain();
+        traced = traced.min(time_run().0);
+    }
+    trace::set_enabled(false);
+    trace::drain();
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert!(
+        traced <= untraced.mul_f64(1.10) + std::time::Duration::from_millis(5),
+        "traced {traced:?} exceeds untraced {untraced:?} by more than 10%"
+    );
+}
