@@ -1,0 +1,188 @@
+//! Per-draw-call dispatch overhead: the persistent render executor plus
+//! framebuffer arena versus the previous spawn-per-call strategy.
+//!
+//! `spawn_per_call` replicates the engine's former draw loop verbatim:
+//! every parallel stage spawns fresh scoped threads, every pass allocates
+//! a fresh framebuffer, and shading materializes `Vec<Vec<Primitive>>`
+//! before clipping. `persistent_executor` is the current `Pipeline::draw`
+//! (parked worker threads, fused shade+clip+raster chunks) rendering into
+//! arena-recycled textures. The workload — many small passes over few
+//! primitives — is the shape SPADE's kNN and distance operators emit, where
+//! per-call overhead dominates actual rasterization work.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spade_geometry::{BBox, Point};
+use spade_gpu::{
+    raster, BlendMode, DrawCall, Fragment, Pipeline, PixelValue, Primitive, ShaderContext, Texture,
+    Viewport,
+};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+const WORKERS: usize = 4;
+const CANVAS: u32 = 64;
+const CALLS_PER_ITER: usize = 32;
+
+fn vp() -> Viewport {
+    Viewport::new(BBox::new(Point::ZERO, Point::new(1.0, 1.0)), CANVAS, CANVAS)
+}
+
+/// A handful of small triangles: the per-pass payload of an iterative
+/// operator (kNN circles, distance disks), small enough that dispatch
+/// overhead — not rasterization — dominates the pass.
+fn small_batch(seed: usize) -> Vec<Primitive> {
+    (0..8)
+        .map(|i| {
+            let x = ((seed * 7 + i * 13) % 90) as f64 / 100.0;
+            let y = ((seed * 11 + i * 17) % 90) as f64 / 100.0;
+            Primitive::triangle(
+                Point::new(x, y),
+                Point::new(x + 0.04, y),
+                Point::new(x, y + 0.04),
+                [i as u32 + 1, 0, 0, 0],
+            )
+        })
+        .collect()
+}
+
+/// The old `pool::parallel_map_chunks`: scoped threads spawned per call.
+fn spawn_map_chunks<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    let ranges = spade_gpu::pool::chunk_ranges(items.len(), workers);
+    if ranges.len() <= 1 {
+        return ranges
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| f(i, &items[r]))
+            .collect();
+    }
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(ranges.len(), || None);
+    std::thread::scope(|s| {
+        for ((i, range), slot) in ranges.iter().cloned().enumerate().zip(out.iter_mut()) {
+            let f = &f;
+            let chunk = &items[range];
+            s.spawn(move || {
+                *slot = Some(f(i, chunk));
+            });
+        }
+    });
+    out.into_iter().map(|r| r.expect("chunk result")).collect()
+}
+
+/// The engine's former `Pipeline::draw`, reproduced stage for stage:
+/// spawn-per-stage threading, materialized shade output, fresh threads for
+/// the blend bands.
+fn draw_spawn(workers: usize, target: &mut Texture, prims: &[Primitive], call: &DrawCall<'_>) {
+    let counter = AtomicU32::new(0);
+
+    let shaded: Vec<Vec<Primitive>> = spawn_map_chunks(prims, workers, |_, chunk| {
+        chunk
+            .iter()
+            .map(|prim| {
+                prim.map_positions(|p| {
+                    call.vertex
+                        .shade(spade_gpu::Vertex::new(p, prim.attrs()))
+                        .pos
+                })
+            })
+            .collect()
+    });
+    let assembled: Vec<Primitive> = shaded.into_iter().flatten().collect();
+
+    let world = call.viewport.world;
+    let visible: Vec<Primitive> = assembled
+        .iter()
+        .filter(|p| p.bbox().intersects(&world))
+        .copied()
+        .collect();
+
+    let vp = call.viewport;
+    let bands = workers.clamp(1, vp.height as usize);
+    let rows_per_band = (vp.height as usize).div_ceil(bands) as u32;
+    let ctx = ShaderContext {
+        textures: call.textures,
+        uniforms_f: call.uniforms_f,
+        uniforms_u: call.uniforms_u,
+        counter: &counter,
+    };
+
+    let buffers: Vec<Vec<Vec<(u32, u32, PixelValue)>>> =
+        spawn_map_chunks(&visible, workers, |_, chunk| {
+            let mut bands_out: Vec<Vec<(u32, u32, PixelValue)>> = vec![Vec::new(); bands];
+            for prim in chunk {
+                let attrs = prim.attrs();
+                raster::rasterize(prim, &vp, call.conservative, &mut |x, y| {
+                    let frag = Fragment {
+                        x,
+                        y,
+                        world: vp.pixel_center(x, y),
+                        attrs,
+                    };
+                    if let Some(v) = call.fragment.shade(&frag, &ctx) {
+                        let band = ((y / rows_per_band) as usize).min(bands - 1);
+                        bands_out[band].push((x, y, v));
+                    }
+                });
+            }
+            bands_out
+        });
+
+    let width = target.width();
+    let blend = call.blend;
+    let mut band_slices = target.band_slices(bands);
+    std::thread::scope(|s| {
+        for (band_idx, (y0, slice)) in band_slices.iter_mut().enumerate() {
+            let buffers = &buffers;
+            let y0 = *y0;
+            s.spawn(move || {
+                for chunk_bufs in buffers {
+                    for &(x, y, v) in &chunk_bufs[band_idx] {
+                        let i = ((y - y0) as usize) * (width as usize) + x as usize;
+                        slice[i] = blend.apply(slice[i], v);
+                    }
+                }
+            });
+        }
+    });
+    let _ = counter.load(Ordering::Relaxed);
+}
+
+fn bench_draw_call_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("draw_call_overhead");
+    g.sample_size(30);
+    let batches: Vec<Vec<Primitive>> = (0..CALLS_PER_ITER).map(small_batch).collect();
+    let call = DrawCall::simple(vp(), BlendMode::Replace, false);
+
+    g.bench_function("spawn_per_call", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for prims in &batches {
+                let mut tex = Texture::new(CANVAS, CANVAS);
+                draw_spawn(WORKERS, &mut tex, prims, &call);
+                acc += tex.count_non_null() as u64;
+            }
+            acc
+        })
+    });
+
+    let pipe = Pipeline::with_workers(WORKERS);
+    g.bench_function("persistent_executor", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for prims in &batches {
+                let mut tex = pipe.arena().checkout(CANVAS, CANVAS);
+                pipe.draw(&mut tex, prims, &call);
+                acc += tex.count_non_null() as u64;
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_draw_call_overhead);
+criterion_main!(benches);

@@ -17,11 +17,10 @@
 //!   needs an upper bound `n_max` on the result count, and a 2-pass version
 //!   that first counts (the "simulated Map") and then materializes.
 
-use spade_gpu::pool;
 use spade_gpu::raster;
 use spade_gpu::scan;
 use spade_gpu::shader::{Fragment, ShaderContext};
-use spade_gpu::{DrawCall, Pipeline, PixelValue, Primitive, Texture, NULL_PIXEL};
+use spade_gpu::{DrawCall, Pipeline, PixelValue, Primitive, Texture, WorkerPool, NULL_PIXEL};
 use std::sync::atomic::AtomicU32;
 
 /// Standalone geometric transform: apply `f` to every primitive vertex
@@ -34,89 +33,53 @@ pub fn geometric_transform(
     prims.iter().map(|p| p.map_positions(&f)).collect()
 }
 
-/// Value transform: rewrite every non-null pixel with `f`, in parallel.
+/// Value transform: rewrite every non-null pixel with `f`, in parallel on
+/// the persistent executor.
 pub fn value_transform(
     tex: &mut Texture,
-    workers: usize,
+    pool: &WorkerPool,
     f: impl Fn(PixelValue) -> PixelValue + Sync,
 ) {
-    let pixels = tex.pixels_mut();
-    let ranges = pool::chunk_ranges(pixels.len(), workers);
-    let mut slices: Vec<&mut [PixelValue]> = Vec::with_capacity(ranges.len());
-    let mut rest = pixels;
-    for r in &ranges {
-        let (head, tail) = rest.split_at_mut(r.len());
-        slices.push(head);
-        rest = tail;
-    }
-    std::thread::scope(|s| {
-        for slice in slices {
-            let f = &f;
-            s.spawn(move || {
-                for px in slice.iter_mut() {
-                    if *px != NULL_PIXEL {
-                        *px = f(*px);
-                    }
-                }
-            });
+    pool.for_each_chunk_mut(tex.pixels_mut(), |_, _, slice| {
+        for px in slice.iter_mut() {
+            if *px != NULL_PIXEL {
+                *px = f(*px);
+            }
         }
     });
 }
 
 /// Mask: null out every pixel that fails `keep(x, y, value)`, in parallel.
-pub fn mask(tex: &mut Texture, workers: usize, keep: impl Fn(u32, u32, PixelValue) -> bool + Sync) {
+pub fn mask(
+    tex: &mut Texture,
+    pool: &WorkerPool,
+    keep: impl Fn(u32, u32, PixelValue) -> bool + Sync,
+) {
     let width = tex.width() as usize;
-    let pixels = tex.pixels_mut();
-    let ranges = pool::chunk_ranges(pixels.len(), workers);
-    let mut slices: Vec<(usize, &mut [PixelValue])> = Vec::with_capacity(ranges.len());
-    let mut rest = pixels;
-    for r in &ranges {
-        let (head, tail) = rest.split_at_mut(r.len());
-        slices.push((r.start, head));
-        rest = tail;
-    }
-    std::thread::scope(|s| {
-        for (base, slice) in slices {
-            let keep = &keep;
-            s.spawn(move || {
-                for (i, px) in slice.iter_mut().enumerate() {
-                    if *px != NULL_PIXEL {
-                        let flat = base + i;
-                        let (x, y) = ((flat % width) as u32, (flat / width) as u32);
-                        if !keep(x, y, *px) {
-                            *px = NULL_PIXEL;
-                        }
-                    }
+    pool.for_each_chunk_mut(tex.pixels_mut(), |_, base, slice| {
+        for (i, px) in slice.iter_mut().enumerate() {
+            if *px != NULL_PIXEL {
+                let flat = base + i;
+                let (x, y) = ((flat % width) as u32, (flat / width) as u32);
+                if !keep(x, y, *px) {
+                    *px = NULL_PIXEL;
                 }
-            });
+            }
         }
     });
 }
 
 /// Binary blend: merge `src` into `dst` pixel-wise, skipping null source
 /// pixels (a null source pixel means "no geometry here", not "value 0").
-pub fn blend(dst: &mut Texture, src: &Texture, mode: spade_gpu::BlendMode, workers: usize) {
+pub fn blend(dst: &mut Texture, src: &Texture, mode: spade_gpu::BlendMode, pool: &WorkerPool) {
     assert_eq!(dst.len(), src.len(), "blend requires equal-size canvases");
     let src_pixels = src.pixels();
-    let pixels = dst.pixels_mut();
-    let ranges = pool::chunk_ranges(pixels.len(), workers);
-    let mut slices: Vec<(usize, &mut [PixelValue])> = Vec::with_capacity(ranges.len());
-    let mut rest = pixels;
-    for r in &ranges {
-        let (head, tail) = rest.split_at_mut(r.len());
-        slices.push((r.start, head));
-        rest = tail;
-    }
-    std::thread::scope(|s| {
-        for (base, slice) in slices {
-            s.spawn(move || {
-                for (i, px) in slice.iter_mut().enumerate() {
-                    let sv = src_pixels[base + i];
-                    if sv != NULL_PIXEL {
-                        *px = mode.apply(*px, sv);
-                    }
-                }
-            });
+    pool.for_each_chunk_mut(dst.pixels_mut(), |_, base, slice| {
+        for (i, px) in slice.iter_mut().enumerate() {
+            let sv = src_pixels[base + i];
+            if sv != NULL_PIXEL {
+                *px = mode.apply(*px, sv);
+            }
         }
     });
 }
@@ -127,20 +90,20 @@ pub fn blend(dst: &mut Texture, src: &Texture, mode: spade_gpu::BlendMode, worke
 pub fn multiway_blend(
     canvases: &[&Texture],
     mode: spade_gpu::BlendMode,
-    workers: usize,
+    pool: &WorkerPool,
 ) -> Option<Texture> {
     let first = canvases.first()?;
     let mut out = (*first).clone();
     for src in &canvases[1..] {
-        blend(&mut out, src, mode, workers);
+        blend(&mut out, src, mode, pool);
     }
     Some(out)
 }
 
 /// Dissect: split a canvas into its non-null pixels (each conceptually a
 /// single-point canvas). Returns `(x, y, value)` entries in row-major order.
-pub fn dissect(tex: &Texture, workers: usize) -> Vec<scan::CompactEntry> {
-    scan::compact_non_null(tex, workers)
+pub fn dissect(tex: &Texture, pool: &WorkerPool) -> Vec<scan::CompactEntry> {
+    scan::compact_non_null(tex, pool)
 }
 
 /// The result of a Map operation: the emitted values, in deterministic
@@ -189,10 +152,12 @@ pub fn map_1pass(
         return Err(MapOverflow { n_max, produced });
     }
     // Materialize the list canvas: a square-ish texture of ≥ n_max slots,
-    // entries placed at their scanned offsets.
+    // entries placed at their scanned offsets. Checked out of the
+    // framebuffer arena — queries issue one list canvas per Map call, so
+    // reuse is what keeps small out-of-core passes cheap.
     let width = (n_max.max(1) as f64).sqrt().ceil() as u32;
     let height = (n_max.max(1) as u32).div_ceil(width);
-    let mut list = Texture::new(width, height);
+    let mut list = pipe.arena().checkout(width, height);
     let mut slot = 0usize;
     for chunk in &chunks {
         for &v in chunk {
@@ -201,7 +166,7 @@ pub fn map_1pass(
         }
     }
     // Scan-compact the list canvas (removes the trailing nulls).
-    let compacted = scan::compact_non_null(&list, pipe.workers());
+    let compacted = scan::compact_non_null(&list, pipe.pool());
     Ok(MapResult {
         values: compacted.into_iter().map(|(_, _, v)| v).collect(),
         passes: 1,
@@ -261,27 +226,26 @@ where
     pipe.stats.add_draw_call();
     let world = viewport.world;
     let start = std::time::Instant::now();
-    let chunks: Vec<Vec<PixelValue>> =
-        pool::parallel_map_chunks(prims, pipe.workers(), |_, chunk| {
-            let mut out = Vec::new();
-            let mut state = init();
-            for prim in chunk {
-                if !prim.bbox().intersects(&world) {
-                    continue;
-                }
-                let attrs = prim.attrs();
-                raster::rasterize(prim, &viewport, conservative, &mut |x, y| {
-                    let frag = Fragment {
-                        x,
-                        y,
-                        world: viewport.pixel_center(x, y),
-                        attrs,
-                    };
-                    emit(&mut state, &frag, &mut out);
-                });
+    let chunks: Vec<Vec<PixelValue>> = pipe.pool().parallel_map_chunks(prims, |_, chunk| {
+        let mut out = Vec::new();
+        let mut state = init();
+        for prim in chunk {
+            if !prim.bbox().intersects(&world) {
+                continue;
             }
-            out
-        });
+            let attrs = prim.attrs();
+            raster::rasterize(prim, &viewport, conservative, &mut |x, y| {
+                let frag = Fragment {
+                    x,
+                    y,
+                    world: viewport.pixel_center(x, y),
+                    attrs,
+                };
+                emit(&mut state, &frag, &mut out);
+            });
+        }
+        out
+    });
     pipe.stats.add_gpu_time(start.elapsed());
     let values: Vec<PixelValue> = chunks.into_iter().flatten().collect();
     pipe.stats.add_fragments(values.len() as u64);
@@ -306,41 +270,40 @@ fn shade_chunks(
         counter: &counter,
     };
     let start = std::time::Instant::now();
-    let chunks: Vec<Vec<PixelValue>> =
-        pool::parallel_map_chunks(prims, pipe.workers(), |_, chunk| {
-            let mut out = Vec::new();
-            let mut expand = Vec::new();
-            for prim in chunk {
-                let moved = prim.map_positions(|p| {
-                    call.vertex
-                        .shade(spade_gpu::Vertex::new(p, prim.attrs()))
-                        .pos
-                });
-                expand.clear();
-                match call.geometry {
-                    Some(gs) => gs.expand(&moved, &mut expand),
-                    None => expand.push(moved),
-                }
-                for prim in &expand {
-                    if !prim.bbox().intersects(&world) {
-                        continue;
-                    }
-                    let attrs = prim.attrs();
-                    raster::rasterize(prim, &vp, call.conservative, &mut |x, y| {
-                        let frag = Fragment {
-                            x,
-                            y,
-                            world: vp.pixel_center(x, y),
-                            attrs,
-                        };
-                        if let Some(v) = call.fragment.shade(&frag, &ctx) {
-                            out.push(v);
-                        }
-                    });
-                }
+    let chunks: Vec<Vec<PixelValue>> = pipe.pool().parallel_map_chunks(prims, |_, chunk| {
+        let mut out = Vec::new();
+        let mut expand = Vec::new();
+        for prim in chunk {
+            let moved = prim.map_positions(|p| {
+                call.vertex
+                    .shade(spade_gpu::Vertex::new(p, prim.attrs()))
+                    .pos
+            });
+            expand.clear();
+            match call.geometry {
+                Some(gs) => gs.expand(&moved, &mut expand),
+                None => expand.push(moved),
             }
-            out
-        });
+            for prim in &expand {
+                if !prim.bbox().intersects(&world) {
+                    continue;
+                }
+                let attrs = prim.attrs();
+                raster::rasterize(prim, &vp, call.conservative, &mut |x, y| {
+                    let frag = Fragment {
+                        x,
+                        y,
+                        world: vp.pixel_center(x, y),
+                        attrs,
+                    };
+                    if let Some(v) = call.fragment.shade(&frag, &ctx) {
+                        out.push(v);
+                    }
+                });
+            }
+        }
+        out
+    });
     pipe.stats.add_gpu_time(start.elapsed());
     let total = chunks.iter().map(Vec::len).sum();
     pipe.stats.add_fragments(total as u64);
@@ -352,6 +315,10 @@ mod tests {
     use super::*;
     use spade_geometry::{BBox, Point};
     use spade_gpu::{BlendMode, Viewport};
+
+    fn pool(workers: usize) -> WorkerPool {
+        WorkerPool::new(workers)
+    }
 
     fn vp10() -> Viewport {
         Viewport::new(BBox::new(Point::ZERO, Point::new(10.0, 10.0)), 10, 10)
@@ -375,7 +342,7 @@ mod tests {
     #[test]
     fn value_transform_skips_null() {
         let mut t = tex_with(&[(1, 1, [5, 0, 0, 0])]);
-        value_transform(&mut t, 4, |v| [v[0] * 10, v[1], v[2], v[3]]);
+        value_transform(&mut t, &pool(4), |v| [v[0] * 10, v[1], v[2], v[3]]);
         assert_eq!(t.get(1, 1), [50, 0, 0, 0]);
         assert_eq!(t.get(0, 0), NULL_PIXEL); // nulls untouched
         assert_eq!(t.count_non_null(), 1);
@@ -388,7 +355,7 @@ mod tests {
             (2, 2, [6, 0, 0, 0]),
             (3, 3, [7, 0, 0, 0]),
         ]);
-        mask(&mut t, 2, |_, _, v| v[0] % 2 == 0);
+        mask(&mut t, &pool(2), |_, _, v| v[0] % 2 == 0);
         assert_eq!(t.count_non_null(), 1);
         assert_eq!(t.get(2, 2), [6, 0, 0, 0]);
     }
@@ -396,7 +363,7 @@ mod tests {
     #[test]
     fn mask_receives_coordinates() {
         let mut t = tex_with(&[(1, 1, [5, 0, 0, 0]), (7, 3, [6, 0, 0, 0])]);
-        mask(&mut t, 3, |x, y, _| x == 7 && y == 3);
+        mask(&mut t, &pool(3), |x, y, _| x == 7 && y == 3);
         assert_eq!(t.count_non_null(), 1);
         assert_eq!(t.get(7, 3)[0], 6);
     }
@@ -405,7 +372,7 @@ mod tests {
     fn blend_merges_non_null_source() {
         let mut dst = tex_with(&[(1, 1, [5, 0, 0, 0])]);
         let src = tex_with(&[(1, 1, [3, 0, 0, 0]), (2, 2, [9, 0, 0, 0])]);
-        blend(&mut dst, &src, BlendMode::Add, 2);
+        blend(&mut dst, &src, BlendMode::Add, &pool(2));
         assert_eq!(dst.get(1, 1), [8, 0, 0, 0]);
         assert_eq!(dst.get(2, 2), [9, 0, 0, 0]);
         assert_eq!(dst.count_non_null(), 2);
@@ -416,15 +383,15 @@ mod tests {
         let a = tex_with(&[(0, 0, [1, 0, 0, 0])]);
         let b = tex_with(&[(0, 0, [2, 0, 0, 0])]);
         let c = tex_with(&[(0, 0, [4, 0, 0, 0])]);
-        let out = multiway_blend(&[&a, &b, &c], BlendMode::Add, 2).unwrap();
+        let out = multiway_blend(&[&a, &b, &c], BlendMode::Add, &pool(2)).unwrap();
         assert_eq!(out.get(0, 0), [7, 0, 0, 0]);
-        assert!(multiway_blend(&[], BlendMode::Add, 2).is_none());
+        assert!(multiway_blend(&[], BlendMode::Add, &pool(2)).is_none());
     }
 
     #[test]
     fn dissect_yields_non_null_pixels() {
         let t = tex_with(&[(3, 1, [9, 0, 0, 0]), (1, 0, [2, 0, 0, 0])]);
-        let parts = dissect(&t, 2);
+        let parts = dissect(&t, &pool(2));
         assert_eq!(parts, vec![(1, 0, [2, 0, 0, 0]), (3, 1, [9, 0, 0, 0])]);
     }
 

@@ -18,9 +18,8 @@ use crate::boundary::{BoundaryEntry, BoundaryGeom, BoundaryIndex};
 use crate::canvas::{pack, CanvasLayer, FLAG_BOUNDARY, FLAG_INTERIOR};
 use spade_geometry::predicates::point_in_triangle;
 use spade_geometry::{BBox, LineString, Point, Polygon, Segment, Triangle};
-use spade_gpu::pool;
 use spade_gpu::raster;
-use spade_gpu::{BlendMode, DrawCall, GeometryShader, Pipeline, Primitive, Viewport};
+use spade_gpu::{BlendMode, DrawCall, GeometryShader, Pipeline, Primitive, Viewport, WorkerPool};
 
 /// A polygon prepared for rendering: triangulation plus the edge → incident
 /// triangle mapping the boundary index stores (§4.3, Fig. 4).
@@ -104,7 +103,7 @@ pub fn render_points(
         &DrawCall::simple(vp, BlendMode::Replace, false),
     );
     if record_boundary {
-        record_coverage(&mut layer.boundary, &prims, &vp, false, pipe.workers());
+        record_coverage(&mut layer.boundary, &prims, &vp, false, pipe.pool());
     }
     layer
 }
@@ -132,7 +131,7 @@ pub fn render_lines(pipe: &Pipeline, vp: Viewport, lines: &[(u32, &LineString)])
         &prims,
         &DrawCall::simple(vp, BlendMode::Replace, true),
     );
-    record_coverage(&mut layer.boundary, &prims, &vp, true, pipe.workers());
+    record_coverage(&mut layer.boundary, &prims, &vp, true, pipe.pool());
     layer
 }
 
@@ -187,7 +186,7 @@ pub fn render_polygons(pipe: &Pipeline, vp: Viewport, polys: &[PreparedPolygon])
         &boundary,
         &DrawCall::simple(vp, BlendMode::Replace, true),
     );
-    record_coverage_no_finalize(&mut layer.boundary, &boundary, &vp, true, pipe.workers());
+    record_coverage_no_finalize(&mut layer.boundary, &boundary, &vp, true, pipe.pool());
 
     // Exactness pass: a boundary pixel may also be touched by *interior*
     // triangles (of this or an adjacent object) whose coverage the single
@@ -198,7 +197,7 @@ pub fn render_polygons(pipe: &Pipeline, vp: Viewport, polys: &[PreparedPolygon])
         .iter()
         .flat_map(|p| p.triangles.iter().map(move |t| (p.id, *t)))
         .collect();
-    record_triangles_at_boundary(&mut layer, &all_tris, &vp, pipe.workers());
+    record_triangles_at_boundary(&mut layer, &all_tris, &vp, pipe.pool());
     layer
 }
 
@@ -208,7 +207,7 @@ fn record_triangles_at_boundary(
     layer: &mut CanvasLayer,
     tris: &[(u32, Triangle)],
     vp: &Viewport,
-    workers: usize,
+    pool: &WorkerPool,
 ) {
     // Boundary pixels are sparse (≈ perimeter); index them per row so each
     // triangle only visits boundary pixels inside its bbox instead of
@@ -224,29 +223,29 @@ fn record_triangles_at_boundary(
         r.sort_unstable();
     }
     let rows = &rows;
-    let hits: Vec<Vec<((u32, u32), usize)>> =
-        pool::parallel_map_chunks(tris, workers, |chunk_idx, chunk| {
-            let base = pool::chunk_ranges(tris.len(), workers)[chunk_idx].start;
-            let mut out = Vec::new();
-            for (k, (_, t)) in chunk.iter().enumerate() {
-                let Some((x0, y0, x1, y1)) = vp.pixel_range(&t.bbox()) else {
-                    continue;
-                };
-                for y in y0..=y1 {
-                    let row = &rows[y as usize];
-                    let lo = row.partition_point(|&x| x < x0);
-                    for &x in &row[lo..] {
-                        if x > x1 {
-                            break;
-                        }
-                        if raster::triangle_overlaps_box(t, &vp.pixel_box(x, y)) {
-                            out.push(((x, y), base + k));
-                        }
+    let ranges = spade_gpu::pool::chunk_ranges(tris.len(), pool.workers());
+    let hits: Vec<Vec<((u32, u32), usize)>> = pool.parallel_map_chunks(tris, |chunk_idx, chunk| {
+        let base = ranges[chunk_idx].start;
+        let mut out = Vec::new();
+        for (k, (_, t)) in chunk.iter().enumerate() {
+            let Some((x0, y0, x1, y1)) = vp.pixel_range(&t.bbox()) else {
+                continue;
+            };
+            for y in y0..=y1 {
+                let row = &rows[y as usize];
+                let lo = row.partition_point(|&x| x < x0);
+                for &x in &row[lo..] {
+                    if x > x1 {
+                        break;
+                    }
+                    if raster::triangle_overlaps_box(t, &vp.pixel_box(x, y)) {
+                        out.push(((x, y), base + k));
                     }
                 }
             }
-            out
-        });
+        }
+        out
+    });
     // Push one boundary entry per triangle that actually hit a boundary
     // pixel, then record its pixels.
     let mut entry_of: Vec<Option<u32>> = vec![None; tris.len()];
@@ -325,7 +324,7 @@ pub fn render_rects(pipe: &Pipeline, vp: Viewport, rects: &[(u32, BBox)]) -> Can
         &boundary,
         &DrawCall::simple(vp, BlendMode::Replace, true),
     );
-    record_coverage_no_finalize(&mut layer.boundary, &boundary, &vp, true, pipe.workers());
+    record_coverage_no_finalize(&mut layer.boundary, &boundary, &vp, true, pipe.pool());
     let all_tris: Vec<(u32, Triangle)> = rects
         .iter()
         .flat_map(|(id, b)| {
@@ -336,7 +335,7 @@ pub fn render_rects(pipe: &Pipeline, vp: Viewport, rects: &[(u32, BBox)]) -> Can
             ]
         })
         .collect();
-    record_triangles_at_boundary(&mut layer, &all_tris, &vp, pipe.workers());
+    record_triangles_at_boundary(&mut layer, &all_tris, &vp, pipe.pool());
     layer
 }
 
@@ -348,9 +347,9 @@ pub(crate) fn record_coverage(
     prims: &[Primitive],
     vp: &Viewport,
     conservative: bool,
-    workers: usize,
+    pool: &WorkerPool,
 ) {
-    record_coverage_no_finalize(boundary, prims, vp, conservative, workers);
+    record_coverage_no_finalize(boundary, prims, vp, conservative, pool);
     boundary.finalize_overflow();
 }
 
@@ -359,22 +358,21 @@ fn record_coverage_no_finalize(
     prims: &[Primitive],
     vp: &Viewport,
     conservative: bool,
-    workers: usize,
+    pool: &WorkerPool,
 ) {
-    let per_chunk: Vec<Vec<((u32, u32), u32)>> =
-        pool::parallel_map_chunks(prims, workers, |_, chunk| {
-            let mut out = Vec::new();
-            for prim in chunk {
-                let vb = prim.attrs()[3];
-                if vb == 0 {
-                    continue;
-                }
-                raster::rasterize(prim, vp, conservative, &mut |x, y| {
-                    out.push(((x, y), vb - 1));
-                });
+    let per_chunk: Vec<Vec<((u32, u32), u32)>> = pool.parallel_map_chunks(prims, |_, chunk| {
+        let mut out = Vec::new();
+        for prim in chunk {
+            let vb = prim.attrs()[3];
+            if vb == 0 {
+                continue;
             }
-            out
-        });
+            raster::rasterize(prim, vp, conservative, &mut |x, y| {
+                out.push(((x, y), vb - 1));
+            });
+        }
+        out
+    });
     for list in per_chunk {
         for (px, entry) in list {
             boundary.record_pixel(px, entry);

@@ -299,7 +299,7 @@ pub fn distance_canvas_polygon(
     );
 
     // Record full coverage at boundary pixels for exact union tests.
-    record_distance_coverage(&mut layer, &vp, pipe.workers());
+    record_distance_coverage(&mut layer, &vp, pipe.pool());
     layer
 }
 
@@ -327,7 +327,7 @@ fn render_distance(
         entry_ids.push(layer.boundary.push(make_entry(i)));
     }
     draw_distance_passes(pipe, vp, &mut layer, prims, gs, sources, radii, &entry_ids);
-    record_distance_coverage(&mut layer, &vp, pipe.workers());
+    record_distance_coverage(&mut layer, &vp, pipe.pool());
     layer
 }
 
@@ -389,14 +389,14 @@ fn draw_distance_passes(
 
 /// Record, at every boundary-classified pixel, all entries whose region
 /// could cover it, so union tests are exact across overlapping constraints.
-fn record_distance_coverage(layer: &mut CanvasLayer, vp: &Viewport, workers: usize) {
-    use spade_gpu::pool;
+fn record_distance_coverage(layer: &mut CanvasLayer, vp: &Viewport, pool: &spade_gpu::WorkerPool) {
     let texture = &layer.texture;
     let entries = layer.boundary.entries().to_vec();
     let hd = half_diag(vp);
+    let ranges = spade_gpu::pool::chunk_ranges(entries.len(), pool.workers());
     let hits: Vec<Vec<((u32, u32), u32)>> =
-        pool::parallel_map_chunks(&entries, workers, |chunk_idx, chunk| {
-            let base = pool::chunk_ranges(entries.len(), workers)[chunk_idx].start;
+        pool.parallel_map_chunks(&entries, |chunk_idx, chunk| {
+            let base = ranges[chunk_idx].start;
             let mut out = Vec::new();
             for (k, e) in chunk.iter().enumerate() {
                 let reach = match &e.geom {

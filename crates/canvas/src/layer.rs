@@ -22,7 +22,7 @@
 //! resolution.
 
 use crate::create::PreparedPolygon;
-use spade_gpu::{BlendMode, DrawCall, Pipeline, Primitive, Texture, Viewport};
+use spade_gpu::{BlendMode, DrawCall, Pipeline, Primitive, Viewport};
 
 /// The layer index: object ids per layer, plus the construction resolution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,8 +79,11 @@ pub fn build_layer_index(
     let mut layers = Vec::new();
 
     while !remaining.is_empty() {
-        // Pass 1: multiway blend keeping the higher id per pixel.
-        let mut cmax = Texture::new(vp.width, vp.height);
+        // Pass 1: multiway blend keeping the higher id per pixel. The
+        // scratch canvas comes from the framebuffer arena: construction
+        // iterates passes at one resolution, so every round after the first
+        // reuses the same buffer.
+        let mut cmax = pipe.arena().checkout(vp.width, vp.height);
         let prims = coverage_prims(&remaining);
         pipe.draw(
             &mut cmax,
@@ -90,22 +93,21 @@ pub fn build_layer_index(
 
         // Pass 2: blend + mask — an object is intact iff every pixel it
         // covers still carries its id.
-        let intact: Vec<bool> =
-            spade_gpu::pool::parallel_tasks(remaining.len(), pipe.workers(), |i| {
-                let p = remaining[i];
-                let mut ok = true;
-                for prim in coverage_prims(&[p]) {
-                    if !ok {
-                        break;
-                    }
-                    spade_gpu::raster::rasterize(&prim, &vp, true, &mut |x, y| {
-                        if cmax.get(x, y)[0] != p.id + 1 {
-                            ok = false;
-                        }
-                    });
+        let intact: Vec<bool> = pipe.pool().parallel_tasks(remaining.len(), |i| {
+            let p = remaining[i];
+            let mut ok = true;
+            for prim in coverage_prims(&[p]) {
+                if !ok {
+                    break;
                 }
-                ok
-            });
+                spade_gpu::raster::rasterize(&prim, &vp, true, &mut |x, y| {
+                    if cmax.get(x, y)[0] != p.id + 1 {
+                        ok = false;
+                    }
+                });
+            }
+            ok
+        });
 
         let mut layer = Vec::new();
         let mut next = Vec::with_capacity(remaining.len());

@@ -18,7 +18,7 @@ use crate::stats::QueryOutput;
 use spade_canvas::algebra;
 use spade_canvas::canvas::{classify, pixel_bound, pixel_id, PixelClass};
 use spade_geometry::Point;
-use spade_gpu::{BlendMode, DrawCall, Primitive, Texture};
+use spade_gpu::{BlendMode, DrawCall, Primitive};
 use std::time::{Duration, Instant};
 
 /// Aggregation result: `(polygon id, point count)` in polygon-id order.
@@ -48,7 +48,10 @@ pub fn aggregate_points(spade: &Spade, polys: &Dataset, points: &Dataset) -> Que
             .iter()
             .map(|(_, p)| Primitive::point(*p, [1, 1, 0, 0]))
             .collect();
-        let mut count_tex = Texture::new(constraint.viewport.width, constraint.viewport.height);
+        let mut count_tex = spade
+            .pipeline
+            .arena()
+            .checkout(constraint.viewport.width, constraint.viewport.height);
         spade.pipeline.draw(
             &mut count_tex,
             &prims,
@@ -57,7 +60,7 @@ pub fn aggregate_points(spade: &Spade, polys: &Dataset, points: &Dataset) -> Que
 
         // Mask + map over the constraint canvas: interior pixels add their
         // partials to their polygon.
-        let parts = algebra::dissect(&constraint.layer.texture, spade.pipeline.workers());
+        let parts = algebra::dissect(&constraint.layer.texture, spade.pipeline.pool());
         for (x, y, v) in parts {
             if classify(v) == PixelClass::Interior {
                 if let Some(id) = pixel_id(v) {
@@ -133,7 +136,7 @@ pub fn aggregate_via_join(spade: &Spade, polys: &Dataset, points: &Dataset) -> Q
             Primitive::point(Point::new(x, y), [pid + 1, 1, 0, 0])
         })
         .collect();
-    let mut slots = Texture::new(width, height);
+    let mut slots = spade.pipeline.arena().checkout(width, height);
     spade.pipeline.draw(
         &mut slots,
         &prims,
@@ -279,7 +282,7 @@ pub fn heatmap(
         .iter()
         .map(|(_, p)| Primitive::point(*p, [1, 1, 0, 0]))
         .collect();
-    let mut tex = Texture::new(vp.width, vp.height);
+    let mut tex = spade.pipeline.arena().checkout(vp.width, vp.height);
     spade.pipeline.draw(
         &mut tex,
         &prims,

@@ -55,6 +55,11 @@ pub struct EngineConfig {
     /// backed; with the flag off (the default) every span site reduces to
     /// one relaxed atomic load, so queries pay nothing.
     pub tracing: bool,
+    /// Byte cap on the framebuffer arena's free lists — released transient
+    /// render targets (Map list canvases, aggregation scratch, layer
+    /// construction buffers) are pooled for reuse up to this many bytes and
+    /// dropped beyond it. `0` disables pooling entirely.
+    pub texture_pool_bytes: u64,
 }
 
 impl Default for EngineConfig {
@@ -75,6 +80,7 @@ impl Default for EngineConfig {
             cell_cache_bytes: 32 << 20, // half the scaled device memory
             pace_transfers: false,
             tracing: false,
+            texture_pool_bytes: 32 << 20,
         }
     }
 }
@@ -91,6 +97,7 @@ impl EngineConfig {
             distance_resolution: 256,
             knn_circles: 32,
             cell_cache_bytes: 4 << 20,
+            texture_pool_bytes: 4 << 20,
             ..Default::default()
         }
     }

@@ -6,6 +6,7 @@ use spade_canvas::canvas::CanvasLayer;
 use spade_canvas::create::{self, PreparedPolygon};
 use spade_geometry::{BBox, Point, Segment, Triangle};
 use spade_gpu::{DeviceMemory, Pipeline, Viewport};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The SPADE engine: the software pipeline, the simulated device, and the
@@ -14,7 +15,9 @@ use std::time::Instant;
 pub struct Spade {
     pub config: EngineConfig,
     pub pipeline: Pipeline,
-    pub device: DeviceMemory,
+    /// Shared with the pipeline's framebuffer arena, which charges
+    /// checked-out render targets against the same ledger as data cells.
+    pub device: Arc<DeviceMemory>,
 }
 
 impl Spade {
@@ -25,8 +28,12 @@ impl Spade {
             crate::trace::set_enabled(true);
         }
         let pipeline = Pipeline::with_workers(config.effective_workers());
-        let device = DeviceMemory::with_bandwidth(config.device_memory, config.bandwidth)
-            .paced(config.pace_transfers);
+        let device = Arc::new(
+            DeviceMemory::with_bandwidth(config.device_memory, config.bandwidth)
+                .paced(config.pace_transfers),
+        );
+        pipeline.arena().bind_ledger(Arc::clone(&device));
+        pipeline.arena().set_retain_limit(config.texture_pool_bytes);
         Spade {
             config,
             pipeline,

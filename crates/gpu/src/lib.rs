@@ -27,6 +27,7 @@
 //!   out-of-core machinery and the query optimizer's transfer-cost model
 //!   behave as on real hardware.
 
+pub mod arena;
 pub mod blend;
 pub mod device;
 pub mod pipeline;
@@ -41,9 +42,11 @@ pub mod texture;
 pub mod trace;
 pub mod viewport;
 
+pub use arena::{ArenaStats, PooledTexture, TexturePool};
 pub use blend::BlendMode;
 pub use device::{DeviceMemory, TransferStats};
 pub use pipeline::{DrawCall, Pipeline};
+pub use pool::{PoolStats, WorkerPool};
 pub use primitive::{Primitive, Vertex};
 pub use record::FrameTotals;
 pub use shader::{

@@ -12,14 +12,20 @@
 //! 5. the fragment shader computes each fragment's output (or discards it),
 //! 6. fragments are blended into the target in primitive order.
 //!
-//! Parallelization is two-phase: workers rasterize disjoint chunks of the
-//! primitive stream into per-band fragment buffers, then bands of the target
-//! are blended concurrently (each band by one worker, applying fragments in
-//! primitive order, so results are deterministic for *every* blend mode and
-//! any worker count).
+//! Parallelization is two-phase: workers shade, clip and rasterize disjoint
+//! chunks of the primitive stream into per-band fragment buffers (one fused
+//! stage — no intermediate shaded-primitive materialization), then bands of
+//! the target are blended concurrently (each band by one worker, applying
+//! fragments in primitive order, so results are deterministic for *every*
+//! blend mode and any worker count).
+//!
+//! Both phases run on a persistent [`WorkerPool`] owned by the pipeline —
+//! launching a pass costs a queue push, not thread spawns — and transient
+//! framebuffers are checked out of the pipeline's [`TexturePool`] arena.
 
+use crate::arena::TexturePool;
 use crate::blend::BlendMode;
-use crate::pool;
+use crate::pool::{self, WorkerPool};
 use crate::primitive::Primitive;
 use crate::raster;
 use crate::shader::{
@@ -67,10 +73,12 @@ impl<'a> DrawCall<'a> {
     }
 }
 
-/// The pipeline executor. Holds the worker count and global statistics;
-/// cheap to share by reference between operators.
+/// The pipeline executor: a persistent render executor ([`WorkerPool`]),
+/// a framebuffer arena ([`TexturePool`]) and global statistics; shared by
+/// reference between operators and across concurrent queries.
 pub struct Pipeline {
-    workers: usize,
+    pool: WorkerPool,
+    arena: TexturePool,
     pub stats: PipelineStats,
 }
 
@@ -87,13 +95,24 @@ impl Pipeline {
 
     pub fn with_workers(workers: usize) -> Self {
         Pipeline {
-            workers: workers.max(1),
+            pool: WorkerPool::new(workers),
+            arena: TexturePool::new(),
             stats: PipelineStats::new(),
         }
     }
 
     pub fn workers(&self) -> usize {
-        self.workers
+        self.pool.workers()
+    }
+
+    /// The persistent executor every pass of this pipeline dispatches to.
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// The framebuffer arena transient render targets come from.
+    pub fn arena(&self) -> &TexturePool {
+        &self.arena
     }
 
     /// Execute one rendering pass against `target`, returning the final
@@ -104,41 +123,9 @@ impl Pipeline {
         self.stats.add_draw_call();
         let counter = AtomicU32::new(0);
 
-        // --- Vertex + geometry stages (parallel over primitive chunks). ---
-        let shaded: Vec<Vec<Primitive>> =
-            pool::parallel_map_chunks(prims, self.workers, |_, chunk| {
-                let mut out = Vec::with_capacity(chunk.len());
-                let mut expand_buf = Vec::new();
-                for prim in chunk {
-                    let moved =
-                        prim.map_positions(|p| self::shade_pos(call.vertex, p, prim.attrs()));
-                    match call.geometry {
-                        Some(gs) => {
-                            expand_buf.clear();
-                            gs.expand(&moved, &mut expand_buf);
-                            out.extend_from_slice(&expand_buf);
-                        }
-                        None => out.push(moved),
-                    }
-                }
-                out
-            });
-        let assembled: Vec<Primitive> = shaded.into_iter().flatten().collect();
-        self.stats.add_primitives(assembled.len() as u64);
-
-        // --- Clip stage: drop primitives outside the viewport. ---
-        let world = call.viewport.world;
-        let visible: Vec<Primitive> = assembled
-            .iter()
-            .filter(|p| p.bbox().intersects(&world))
-            .copied()
-            .collect();
-        self.stats
-            .add_clipped((assembled.len() - visible.len()) as u64);
-
-        // --- Rasterize + fragment shade into per-band buffers. ---
         let vp = call.viewport;
-        let bands = self.workers.clamp(1, vp.height as usize);
+        let world = vp.world;
+        let bands = self.workers().clamp(1, vp.height as usize);
         let rows_per_band = (vp.height as usize).div_ceil(bands) as u32;
         let ctx = ShaderContext {
             textures: call.textures,
@@ -147,38 +134,65 @@ impl Pipeline {
             counter: &counter,
         };
 
-        // One buffer per (worker chunk, band): worker-major so the blend can
-        // walk chunks in primitive order.
+        // --- Fused vertex + geometry + clip + rasterize + fragment stage.
+        // Each chunk of the *input* stream shades, expands, clips and
+        // rasterizes in one pass — the shaded primitive stream is never
+        // materialized. One buffer per (worker chunk, band), worker-major,
+        // so the blend can walk chunks in primitive order.
+        let prim_count = std::sync::atomic::AtomicU64::new(0);
+        let clip_count = std::sync::atomic::AtomicU64::new(0);
         let frag_count = std::sync::atomic::AtomicU64::new(0);
         let disc_count = std::sync::atomic::AtomicU64::new(0);
         let buffers: Vec<Vec<Vec<(u32, u32, PixelValue)>>> =
-            pool::parallel_map_chunks(&visible, self.workers, |_, chunk| {
+            self.pool.parallel_map_chunks(prims, |_, chunk| {
                 let mut bands_out: Vec<Vec<(u32, u32, PixelValue)>> = vec![Vec::new(); bands];
+                let mut expand_buf: Vec<Primitive> = Vec::new();
+                let mut nprim = 0u64;
+                let mut nclip = 0u64;
                 let mut nfrag = 0u64;
                 let mut ndisc = 0u64;
                 for prim in chunk {
-                    let attrs = prim.attrs();
-                    raster::rasterize(prim, &vp, call.conservative, &mut |x, y| {
-                        nfrag += 1;
-                        let frag = Fragment {
-                            x,
-                            y,
-                            world: vp.pixel_center(x, y),
-                            attrs,
-                        };
-                        match call.fragment.shade(&frag, &ctx) {
-                            Some(v) => {
-                                let band = ((y / rows_per_band) as usize).min(bands - 1);
-                                bands_out[band].push((x, y, v));
-                            }
-                            None => ndisc += 1,
+                    let moved =
+                        prim.map_positions(|p| self::shade_pos(call.vertex, p, prim.attrs()));
+                    expand_buf.clear();
+                    match call.geometry {
+                        Some(gs) => gs.expand(&moved, &mut expand_buf),
+                        None => expand_buf.push(moved),
+                    }
+                    nprim += expand_buf.len() as u64;
+                    for prim in &expand_buf {
+                        if !prim.bbox().intersects(&world) {
+                            nclip += 1;
+                            continue;
                         }
-                    });
+                        let attrs = prim.attrs();
+                        raster::rasterize(prim, &vp, call.conservative, &mut |x, y| {
+                            nfrag += 1;
+                            let frag = Fragment {
+                                x,
+                                y,
+                                world: vp.pixel_center(x, y),
+                                attrs,
+                            };
+                            match call.fragment.shade(&frag, &ctx) {
+                                Some(v) => {
+                                    let band = ((y / rows_per_band) as usize).min(bands - 1);
+                                    bands_out[band].push((x, y, v));
+                                }
+                                None => ndisc += 1,
+                            }
+                        });
+                    }
                 }
+                prim_count.fetch_add(nprim, Ordering::Relaxed);
+                clip_count.fetch_add(nclip, Ordering::Relaxed);
                 frag_count.fetch_add(nfrag, Ordering::Relaxed);
                 disc_count.fetch_add(ndisc, Ordering::Relaxed);
                 bands_out
             });
+        self.stats
+            .add_primitives(prim_count.load(Ordering::Relaxed));
+        self.stats.add_clipped(clip_count.load(Ordering::Relaxed));
         self.stats.add_fragments(frag_count.load(Ordering::Relaxed));
         self.stats.add_discarded(disc_count.load(Ordering::Relaxed));
 
@@ -186,24 +200,22 @@ impl Pipeline {
         let width = target.width();
         let blend = call.blend;
         let mut band_slices = target.band_slices(bands);
-        std::thread::scope(|s| {
-            for (band_idx, (y0, slice)) in band_slices.iter_mut().enumerate() {
-                let buffers = &buffers;
-                let y0 = *y0;
-                s.spawn(move || {
-                    for chunk_bufs in buffers {
-                        for &(x, y, v) in &chunk_bufs[band_idx] {
-                            let i = ((y - y0) as usize) * (width as usize) + x as usize;
-                            slice[i] = blend.apply(slice[i], v);
-                        }
-                    }
-                });
+        self.pool.for_each_mut(&mut band_slices, |band_idx, band| {
+            let (y0, slice) = band;
+            for chunk_bufs in &buffers {
+                for &(x, y, v) in &chunk_bufs[band_idx] {
+                    let i = ((y - *y0) as usize) * (width as usize) + x as usize;
+                    slice[i] = blend.apply(slice[i], v);
+                }
             }
         });
 
         self.stats.add_gpu_time(start.elapsed());
-        pass_span.attr("primitives", assembled.len() as u64);
-        pass_span.attr("visible", visible.len() as u64);
+        pass_span.attr("primitives", prim_count.load(Ordering::Relaxed));
+        pass_span.attr(
+            "visible",
+            prim_count.load(Ordering::Relaxed) - clip_count.load(Ordering::Relaxed),
+        );
         pass_span.attr("fragments", frag_count.load(Ordering::Relaxed));
         counter.load(Ordering::Relaxed)
     }
@@ -224,20 +236,26 @@ impl Pipeline {
             uniforms_u: call.uniforms_u,
             counter: &counter,
         };
-        let counts = pool::parallel_map_chunks(prims, self.workers, |_, chunk| {
+        // Shaders that emit unconditionally (e.g. `WriteAttrs`) let the
+        // counting pass count coverage directly — the rasterizer's scanline
+        // fast path — instead of enumerating every pixel through a closure.
+        let count_coverage = call.fragment.always_emits();
+        let counts = self.pool.parallel_map_chunks(prims, |_, chunk| {
             let mut n = 0u64;
+            let mut expand_buf: Vec<Primitive> = Vec::new();
             for prim in chunk {
                 let moved = prim.map_positions(|p| shade_pos(call.vertex, p, prim.attrs()));
-                let expanded: Vec<Primitive> = match call.geometry {
-                    Some(gs) => {
-                        let mut buf = Vec::new();
-                        gs.expand(&moved, &mut buf);
-                        buf
-                    }
-                    None => vec![moved],
-                };
-                for prim in &expanded {
+                expand_buf.clear();
+                match call.geometry {
+                    Some(gs) => gs.expand(&moved, &mut expand_buf),
+                    None => expand_buf.push(moved),
+                }
+                for prim in &expand_buf {
                     if !prim.bbox().intersects(&world) {
+                        continue;
+                    }
+                    if count_coverage {
+                        n += raster::coverage_count(prim, &vp, call.conservative) as u64;
                         continue;
                     }
                     let attrs = prim.attrs();

@@ -53,10 +53,162 @@ pub fn rasterize(
 
 /// Count covered pixels without materializing them (used by the 2-pass Map
 /// operator's counting pass and by tests).
+///
+/// Points are O(1) and triangles use a per-row scanline interval search
+/// instead of enumerating every pixel of the bounding box through a closure;
+/// the counts are guaranteed identical to [`rasterize`]'s emission count
+/// because every pixel that decides the count is tested with the exact same
+/// floating-point predicate the enumerating rasterizer uses.
 pub fn coverage_count(prim: &Primitive, vp: &Viewport, conservative: bool) -> usize {
-    let mut n = 0usize;
-    rasterize(prim, vp, conservative, &mut |_, _| n += 1);
-    n
+    match prim {
+        Primitive::Point { p, .. } => usize::from(vp.world_to_pixel(*p).is_some()),
+        Primitive::Line { .. } => {
+            let mut n = 0usize;
+            rasterize(prim, vp, conservative, &mut |_, _| n += 1);
+            n
+        }
+        Primitive::Triangle { a, b, c, .. } => {
+            let tri = Triangle::new(*a, *b, *c);
+            coverage_count_tri(&tri, vp, conservative)
+        }
+    }
+}
+
+/// Scanline triangle coverage count. Within one row, each coverage rule is
+/// an *interval* in x: every individual comparison in the per-pixel
+/// predicate is monotone in x even under floating point (pixel coordinates
+/// are monotone in x, fp multiplication by a row-constant and fp addition
+/// are monotone, and min/max/comparison preserve monotonicity), and a
+/// conjunction of monotone threshold tests is a contiguous run. So per row
+/// we locate one covered pixel near an analytic hint, then binary-search
+/// both ends of the run — all probes use the exact per-pixel predicate. If
+/// the hint finds no covered pixel the row falls back to a linear scan,
+/// which can never be wrong.
+fn coverage_count_tri(tri: &Triangle, vp: &Viewport, conservative: bool) -> usize {
+    let Some((x0, y0, x1, y1)) = vp.pixel_range(&tri.bbox()) else {
+        return 0;
+    };
+    // Same winding normalization as the enumerating rasterizer.
+    let (a, b, c) = if tri.signed_area() >= 0.0 {
+        (tri.a, tri.b, tri.c)
+    } else {
+        (tri.a, tri.c, tri.b)
+    };
+    let mut total = 0usize;
+    for y in y0..=y1 {
+        // Row-constant pixel-center y, computed with the exact expression
+        // `pixel_center` uses.
+        let py = vp.pixel_center(x0, y).y;
+        // Analytic row interval in world-x from the three half-plane
+        // constraints e = (v-u)×(p-u) ≥ 0, rewritten as s·px ≤ t with
+        // s = v.y-u.y and t = (v.x-u.x)·(py-u.y) + s·u.x. Approximate —
+        // it only seeds the exact search below — except the s == 0 case:
+        // there the per-pixel edge value is exactly the row constant
+        // (v.x-u.x)·(py-u.y) (the px term is ±0), so t < 0 proves the
+        // whole row uncovered under the default rule.
+        let mut wlo = f64::NEG_INFINITY;
+        let mut whi = f64::INFINITY;
+        let mut row_empty = false;
+        for (u, v) in [(a, b), (b, c), (c, a)] {
+            let s = v.y - u.y;
+            let t = (v.x - u.x) * (py - u.y) + s * u.x;
+            if s > 0.0 {
+                whi = whi.min(t / s);
+            } else if s < 0.0 {
+                wlo = wlo.max(t / s);
+            } else if t < 0.0 {
+                row_empty = true;
+            }
+        }
+        if row_empty && !conservative {
+            continue;
+        }
+        let wmid = if wlo.is_finite() && whi.is_finite() {
+            0.5 * (wlo + whi)
+        } else if wlo.is_finite() {
+            wlo
+        } else if whi.is_finite() {
+            whi
+        } else {
+            vp.pixel_center((x0 + x1) / 2, y).x
+        };
+        let hx = vp.world_to_pixel_f(Point::new(wmid, py)).x;
+        let hint = if hx.is_finite() {
+            (hx.floor() as i64).clamp(x0 as i64, x1 as i64) as u32
+        } else {
+            (x0 + x1) / 2
+        };
+        // Exact per-pixel predicates: bit-identical expressions to
+        // `raster_tri_default` / `raster_tri_conservative`.
+        total += if conservative {
+            row_interval_count(x0, x1, hint, &|x| {
+                triangle_overlaps_box(tri, &vp.pixel_box(x, y))
+            })
+        } else {
+            row_interval_count(x0, x1, hint, &|x| {
+                let p = vp.pixel_center(x, y);
+                let e0 = (b - a).cross(p - a);
+                let e1 = (c - b).cross(p - b);
+                let e2 = (a - c).cross(p - c);
+                e0 >= 0.0 && e1 >= 0.0 && e2 >= 0.0
+            })
+        };
+    }
+    total
+}
+
+/// Count the covered run of an interval-shaped row predicate on
+/// `[x0, x1]`. Probes `hint` and its neighbours; on a seed, binary-searches
+/// both run ends; otherwise linear-scans the row (never wrong).
+fn row_interval_count(x0: u32, x1: u32, hint: u32, inside: &impl Fn(u32) -> bool) -> usize {
+    let h = hint.clamp(x0, x1);
+    let seed = if inside(h) {
+        Some(h)
+    } else if h > x0 && inside(h - 1) {
+        Some(h - 1)
+    } else if h < x1 && inside(h + 1) {
+        Some(h + 1)
+    } else {
+        None
+    };
+    match seed {
+        Some(s) => {
+            let first = bisect_first(x0, s, inside);
+            let last = bisect_last(s, x1, inside);
+            (last - first + 1) as usize
+        }
+        None => (x0..=x1).filter(|&x| inside(x)).count(),
+    }
+}
+
+/// Smallest covered x in `[lo, s]`; requires `inside(s)` and a
+/// false-then-true predicate on that range.
+fn bisect_first(lo: u32, s: u32, inside: &impl Fn(u32) -> bool) -> u32 {
+    let (mut lo, mut hi) = (lo, s);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if inside(mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    hi
+}
+
+/// Largest covered x in `[s, hi]`; requires `inside(s)` and a
+/// true-then-false predicate on that range.
+fn bisect_last(s: u32, hi: u32, inside: &impl Fn(u32) -> bool) -> u32 {
+    let (mut lo, mut hi) = (s, hi);
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if inside(mid) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo
 }
 
 /// Liang–Barsky segment clipping against a box. Returns the clipped
@@ -465,6 +617,90 @@ mod tests {
             &t,
             &BBox::new(Point::new(-1.0, -1.0), Point::new(5.0, 5.0))
         ));
+    }
+
+    fn lcg(seed: &mut u64) -> f64 {
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((*seed >> 11) as f64) / ((1u64 << 53) as f64)
+    }
+
+    #[test]
+    fn coverage_count_matches_enumeration_randomized() {
+        // The scanline fast path must agree with pixel enumeration exactly,
+        // for both rules, across random triangles including slivers,
+        // degenerates and shapes spilling outside the viewport — and at a
+        // resolution high enough that the binary search actually runs.
+        let vps = [
+            vp10(),
+            Viewport::new(BBox::new(Point::ZERO, Point::new(10.0, 10.0)), 256, 256),
+        ];
+        let mut seed = 12345u64;
+        for case in 0..200u32 {
+            let mut pts = [Point::ZERO; 3];
+            for p in &mut pts {
+                *p = Point::new(lcg(&mut seed) * 14.0 - 2.0, lcg(&mut seed) * 14.0 - 2.0);
+            }
+            if case % 4 == 0 {
+                // Sliver thinner than a pixel.
+                pts[1].y = pts[0].y + 0.013;
+                pts[2].y = pts[0].y + 0.021;
+            }
+            if case % 7 == 0 {
+                // Collinear (zero-area) triangle.
+                pts[2] = Point::new((pts[0].x + pts[1].x) * 0.5, (pts[0].y + pts[1].y) * 0.5);
+            }
+            let t = Primitive::triangle(pts[0], pts[1], pts[2], [0; 4]);
+            for vp in &vps {
+                for cons in [false, true] {
+                    let mut n = 0usize;
+                    rasterize(&t, vp, cons, &mut |_, _| n += 1);
+                    assert_eq!(
+                        coverage_count(&t, vp, cons),
+                        n,
+                        "case={case} cons={cons} pts={pts:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_count_axis_aligned_rect_halves() {
+        // Axis-aligned rectangles reach the rasterizer as right-triangle
+        // pairs; the scanline path must count both halves exactly,
+        // including edges landing on pixel boundaries.
+        let vp = vp10();
+        let (lo, hi) = (Point::new(2.0, 3.0), Point::new(7.0, 6.0));
+        let t1 = Primitive::triangle(lo, Point::new(hi.x, lo.y), hi, [0; 4]);
+        let t2 = Primitive::triangle(lo, hi, Point::new(lo.x, hi.y), [0; 4]);
+        for cons in [false, true] {
+            for t in [&t1, &t2] {
+                let mut n = 0usize;
+                rasterize(t, &vp, cons, &mut |_, _| n += 1);
+                assert_eq!(coverage_count(t, &vp, cons), n, "cons={cons}");
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_count_point_and_line() {
+        let vp = vp10();
+        assert_eq!(
+            coverage_count(&Primitive::point(Point::new(2.5, 3.5), [0; 4]), &vp, false),
+            1
+        );
+        assert_eq!(
+            coverage_count(&Primitive::point(Point::new(12.0, 3.0), [0; 4]), &vp, true),
+            0
+        );
+        let l = Primitive::line(Point::new(0.5, 0.5), Point::new(9.5, 9.5), [0; 4]);
+        for cons in [false, true] {
+            let mut n = 0usize;
+            rasterize(&l, &vp, cons, &mut |_, _| n += 1);
+            assert_eq!(coverage_count(&l, &vp, cons), n);
+        }
     }
 
     #[test]

@@ -2,21 +2,20 @@
 //!
 //! SPADE extracts query results from the Map operator's output canvas with a
 //! GPU parallel scan (§5.1, citing Harris et al.'s CUDA scan). This module
-//! implements the same work-efficient chunked algorithm on the worker pool:
-//! per-chunk reduction, a serial scan over chunk totals, then a parallel
-//! down-sweep that places elements at their scanned offsets.
+//! implements the same work-efficient chunked algorithm on the persistent
+//! worker pool: per-chunk reduction, a serial scan over chunk totals, then a
+//! parallel down-sweep that places elements at their scanned offsets.
 
-use crate::pool;
+use crate::pool::WorkerPool;
 use crate::texture::{PixelValue, Texture, NULL_PIXEL};
 
 /// Exclusive prefix sum of `input` (`output[i] = sum of input[..i]`).
-pub fn exclusive_scan(input: &[u32], workers: usize) -> Vec<u64> {
+pub fn exclusive_scan(input: &[u32], pool: &WorkerPool) -> Vec<u64> {
     if input.is_empty() {
         return Vec::new();
     }
-    let ranges = pool::chunk_ranges(input.len(), workers);
     // Up-sweep: per-chunk totals.
-    let totals = pool::parallel_map_chunks(input, workers, |_, chunk| {
+    let totals = pool.parallel_map_chunks(input, |_, chunk| {
         chunk.iter().map(|&v| v as u64).sum::<u64>()
     });
     // Serial exclusive scan of chunk totals.
@@ -26,27 +25,15 @@ pub fn exclusive_scan(input: &[u32], workers: usize) -> Vec<u64> {
         offsets.push(acc);
         acc += t;
     }
-    // Down-sweep: scan within each chunk starting at its offset.
+    // Down-sweep: scan within each chunk starting at its offset. The pool
+    // chunks `out` exactly like the up-sweep chunked `input` (same length,
+    // same lane count).
     let mut out = vec![0u64; input.len()];
-    let mut out_slices: Vec<&mut [u64]> = Vec::with_capacity(ranges.len());
-    {
-        let mut rest: &mut [u64] = &mut out;
-        for r in &ranges {
-            let (head, tail) = rest.split_at_mut(r.len());
-            out_slices.push(head);
-            rest = tail;
-        }
-    }
-    std::thread::scope(|s| {
-        for ((range, slice), base) in ranges.iter().zip(out_slices).zip(offsets.iter()) {
-            let input = &input[range.clone()];
-            let mut acc = *base;
-            s.spawn(move || {
-                for (o, &v) in slice.iter_mut().zip(input) {
-                    *o = acc;
-                    acc += v as u64;
-                }
-            });
+    pool.for_each_chunk_mut(&mut out, |chunk_idx, start, slice| {
+        let mut acc = offsets[chunk_idx];
+        for (o, &v) in slice.iter_mut().zip(&input[start..]) {
+            *o = acc;
+            acc += v as u64;
         }
     });
     out
@@ -57,14 +44,14 @@ pub type CompactEntry = (u32, u32, PixelValue);
 
 /// Compact the non-null pixels of a texture into a dense row-major list —
 /// "removing the null elements of the list" after the Map pass (§5.1).
-pub fn compact_non_null(tex: &Texture, workers: usize) -> Vec<CompactEntry> {
+pub fn compact_non_null(tex: &Texture, pool: &WorkerPool) -> Vec<CompactEntry> {
     let pixels = tex.pixels();
     if pixels.is_empty() {
         return Vec::new();
     }
-    let ranges = pool::chunk_ranges(pixels.len(), workers);
+    let ranges = crate::pool::chunk_ranges(pixels.len(), pool.workers());
     // Up-sweep: non-null count per chunk.
-    let counts = pool::parallel_map_chunks(pixels, workers, |_, chunk| {
+    let counts = pool.parallel_map_chunks(pixels, |_, chunk| {
         chunk.iter().filter(|p| **p != NULL_PIXEL).count()
     });
     let total: usize = counts.iter().sum();
@@ -80,22 +67,19 @@ pub fn compact_non_null(tex: &Texture, workers: usize) -> Vec<CompactEntry> {
         }
     }
     let w = tex.width() as usize;
-    std::thread::scope(|s| {
-        for (range, slice) in ranges.iter().zip(out_slices) {
-            let base = range.start;
-            let chunk = &pixels[range.clone()];
-            s.spawn(move || {
-                let mut k = 0;
-                for (i, &v) in chunk.iter().enumerate() {
-                    if v != NULL_PIXEL {
-                        let flat = base + i;
-                        slice[k] = ((flat % w) as u32, (flat / w) as u32, v);
-                        k += 1;
-                    }
-                }
-                debug_assert_eq!(k, slice.len());
-            });
+    pool.for_each_mut(&mut out_slices, |chunk_idx, slice| {
+        let range = &ranges[chunk_idx];
+        let base = range.start;
+        let chunk = &pixels[range.clone()];
+        let mut k = 0;
+        for (i, &v) in chunk.iter().enumerate() {
+            if v != NULL_PIXEL {
+                let flat = base + i;
+                slice[k] = ((flat % w) as u32, (flat / w) as u32, v);
+                k += 1;
+            }
         }
+        debug_assert_eq!(k, slice.len());
     });
     out
 }
@@ -119,24 +103,23 @@ mod tests {
                 .collect()
         };
         for workers in [1, 2, 4, 16] {
-            assert_eq!(
-                exclusive_scan(&input, workers),
-                expected,
-                "workers={workers}"
-            );
+            let pool = WorkerPool::new(workers);
+            assert_eq!(exclusive_scan(&input, &pool), expected, "workers={workers}");
         }
     }
 
     #[test]
     fn scan_empty_and_single() {
-        assert!(exclusive_scan(&[], 4).is_empty());
-        assert_eq!(exclusive_scan(&[5], 4), vec![0]);
+        let pool = WorkerPool::new(4);
+        assert!(exclusive_scan(&[], &pool).is_empty());
+        assert_eq!(exclusive_scan(&[5], &pool), vec![0]);
     }
 
     #[test]
     fn scan_handles_large_values_without_overflow() {
         let input = vec![u32::MAX; 8];
-        let out = exclusive_scan(&input, 2);
+        let pool = WorkerPool::new(2);
+        let out = exclusive_scan(&input, &pool);
         assert_eq!(out[7], 7 * (u32::MAX as u64));
     }
 
@@ -148,7 +131,8 @@ mod tests {
         tex.put(7, 7, [20, 0, 0, 0]);
         tex.put(2, 1, [9, 0, 0, 0]);
         for workers in [1, 2, 4] {
-            let out = compact_non_null(&tex, workers);
+            let pool = WorkerPool::new(workers);
+            let out = compact_non_null(&tex, &pool);
             assert_eq!(
                 out,
                 vec![
@@ -164,15 +148,17 @@ mod tests {
 
     #[test]
     fn compact_empty_and_full() {
+        let pool = WorkerPool::new(4);
         let tex = Texture::new(4, 4);
-        assert!(compact_non_null(&tex, 4).is_empty());
+        assert!(compact_non_null(&tex, &pool).is_empty());
         let mut full = Texture::new(4, 4);
         for y in 0..4 {
             for x in 0..4 {
                 full.put(x, y, [1, 0, 0, 0]);
             }
         }
-        assert_eq!(compact_non_null(&full, 3).len(), 16);
+        let pool3 = WorkerPool::new(3);
+        assert_eq!(compact_non_null(&full, &pool3).len(), 16);
     }
 
     #[test]
@@ -185,7 +171,8 @@ mod tests {
             let y = ((seed >> 40) % 32) as u32;
             tex.put(x, y, [1, 2, 3, 4]);
         }
-        let out = compact_non_null(&tex, 8);
+        let pool = WorkerPool::new(8);
+        let out = compact_non_null(&tex, &pool);
         assert_eq!(out.len(), tex.count_non_null());
     }
 }

@@ -71,6 +71,14 @@ pub trait GeometryShader: Sync {
 /// The per-fragment stage. Returning `None` discards the fragment.
 pub trait FragmentShader: Sync {
     fn shade(&self, frag: &Fragment, ctx: &ShaderContext<'_>) -> Option<PixelValue>;
+
+    /// `true` when this shader emits for *every* fragment without reading
+    /// the context (no discard, no counter, no texture sampling). Lets the
+    /// counting pass of the 2-pass Map operator count coverage directly
+    /// instead of invoking the shader per pixel.
+    fn always_emits(&self) -> bool {
+        false
+    }
 }
 
 /// The identity vertex shader (positions already in screen space).
@@ -121,6 +129,10 @@ pub struct WriteAttrs;
 impl FragmentShader for WriteAttrs {
     fn shade(&self, frag: &Fragment, _ctx: &ShaderContext<'_>) -> Option<PixelValue> {
         Some(frag.attrs)
+    }
+
+    fn always_emits(&self) -> bool {
+        true
     }
 }
 

@@ -111,7 +111,8 @@ proptest! {
 
     #[test]
     fn scan_matches_serial_prefix_sum(input in prop::collection::vec(0u32..100, 0..500)) {
-        let parallel = spade_gpu::scan::exclusive_scan(&input, 7);
+        let pool = spade_gpu::WorkerPool::new(7);
+        let parallel = spade_gpu::scan::exclusive_scan(&input, &pool);
         let mut acc = 0u64;
         let serial: Vec<u64> = input
             .iter()

@@ -303,6 +303,59 @@ impl QueryService {
             "Pipeline-pass time of completed queries, in nanoseconds.",
             m.gpu_nanos.get(),
         );
+        // Persistent render executor and framebuffer arena, shared by every
+        // session of this service (sized once at construction, not per
+        // query — see DESIGN.md on executor/admission interaction).
+        let pool = self.shared.spade.pipeline.pool().stats();
+        render_gauge(
+            &mut out,
+            "spade_pool_workers",
+            "Parallel lanes of the shared render executor.",
+            pool.workers as u64,
+        );
+        render_gauge(
+            &mut out,
+            "spade_pool_busy",
+            "Executor lanes running pipeline tasks right now.",
+            pool.busy as u64,
+        );
+        render_counter(
+            &mut out,
+            "spade_pool_jobs_total",
+            "Jobs (parallel pipeline stages) dispatched to the executor.",
+            pool.jobs,
+        );
+        render_counter(
+            &mut out,
+            "spade_pool_tasks_total",
+            "Executor tasks run across all jobs.",
+            pool.tasks,
+        );
+        let arena = self.shared.spade.pipeline.arena().stats();
+        render_counter(
+            &mut out,
+            "spade_arena_hits_total",
+            "Framebuffer checkouts served from the arena free lists.",
+            arena.hits,
+        );
+        render_counter(
+            &mut out,
+            "spade_arena_misses_total",
+            "Framebuffer checkouts that had to allocate a new texture.",
+            arena.misses,
+        );
+        render_gauge(
+            &mut out,
+            "spade_arena_pooled_bytes",
+            "Bytes held in the arena free lists right now.",
+            arena.pooled_bytes,
+        );
+        render_gauge(
+            &mut out,
+            "spade_arena_live_bytes",
+            "Bytes of arena textures currently checked out.",
+            arena.live_bytes,
+        );
         out
     }
 }

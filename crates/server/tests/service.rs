@@ -543,6 +543,71 @@ fn metrics_text_exposes_service_and_engine_counters() {
     assert!(text.contains("spade_exec_seconds_bucket{le=\"+Inf\"}"));
     assert!(text.contains("# TYPE spade_queries_submitted_total counter"));
     assert!(text.contains("# TYPE spade_queue_depth gauge"));
+    // The shared render executor and framebuffer arena report through the
+    // same endpoint: the workload dispatched parallel pipeline stages and
+    // recycled transient render targets.
+    assert!(value_of("spade_pool_workers") >= 1);
+    assert_eq!(value_of("spade_pool_busy"), 0);
+    assert!(value_of("spade_pool_jobs_total") > 0);
+    assert!(value_of("spade_pool_tasks_total") >= value_of("spade_pool_jobs_total"));
+    assert!(value_of("spade_arena_misses_total") > 0);
+    assert!(
+        value_of("spade_arena_hits_total") > 0,
+        "workload re-renders same-size canvases; arena should hit:\n{text}"
+    );
+    // Nothing checked out between queries; retained bytes respect the cap.
+    assert_eq!(value_of("spade_arena_live_bytes"), 0);
+    assert!(text.contains("# TYPE spade_pool_jobs_total counter"));
+    assert!(text.contains("# TYPE spade_arena_pooled_bytes gauge"));
+}
+
+/// Sixteen sessions hammer one shared executor + arena with draw calls of
+/// wildly different sizes (tiny knn circles next to full-canvas joins).
+/// Every result must still match the sequential baseline and the arena must
+/// end fully returned — the CI concurrency-stress job picks this up by name.
+#[test]
+fn concurrent_mixed_draw_sizes_share_executor_and_arena() {
+    let config = tiny_config();
+    let expected = Arc::new(baseline(&config));
+    let svc = Arc::new(service(ServiceConfig {
+        engine: config,
+        workers: 4,
+        fairness_cap: 2,
+    }));
+    // Mixed draw-call sizes: knn (few small circles), range (no canvas),
+    // distance (medium circle canvas), polygon joins (full-resolution
+    // two-pass Map). Each session interleaves them in a different order.
+    std::thread::scope(|s| {
+        for t in 0..16u64 {
+            let svc = Arc::clone(&svc);
+            let expected = Arc::clone(&expected);
+            s.spawn(move || {
+                let session = svc.session();
+                let reqs = workload();
+                let n = reqs.len();
+                let order: Vec<usize> = (0..n).map(|i| (i * 3 + t as usize) % n).collect();
+                for &i in &order {
+                    let resp = session
+                        .submit(reqs[i].clone())
+                        .wait()
+                        .expect("query succeeds");
+                    assert_eq!(&expect_query(resp.payload), &expected[i]);
+                }
+            });
+        }
+    });
+    let snap = svc.stats();
+    assert_eq!(snap.failed + snap.rejected + snap.cancelled, 0);
+    assert_eq!(snap.completed, snap.submitted);
+    // The shared executor processed jobs from every session; the arena has
+    // no texture still checked out and its free lists honour the byte cap.
+    let pool = svc.engine().pipeline.pool().stats();
+    assert!(pool.jobs > 0);
+    assert_eq!(pool.busy, 0);
+    let arena = svc.engine().pipeline.arena().stats();
+    assert_eq!(arena.live_bytes, 0);
+    assert!(arena.pooled_bytes <= svc.engine().config.texture_pool_bytes);
+    assert_eq!(svc.engine().device.used(), 0);
 }
 
 /// EXPLAIN of a spatial join prints the optimizer's strategy decision with
