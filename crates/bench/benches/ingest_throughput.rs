@@ -1,0 +1,124 @@
+//! Ingest throughput: inserts/sec through the write path at each WAL
+//! durability policy.
+//!
+//! Two layers are measured. `wal_append` times the raw log — frame
+//! encoding, CRC, buffered write, and the policy's fsync schedule — which
+//! isolates what durability itself costs: `Always` pays one fsync per
+//! record, `GroupCommit` amortizes it over [`GROUP_COMMIT_WINDOW`] records,
+//! `Never` is the lost-on-crash upper bound. `service_insert` times the
+//! full path a client sees: session submit → admission → WAL append →
+//! delta staging → ack. The acceptance gate (`ingest_gate` test, release
+//! mode) requires GroupCommit ≥ 3× Always on the raw layer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spade_core::dataset::{Dataset, DatasetKind, IndexedDataset};
+use spade_core::EngineConfig;
+use spade_geometry::{BBox, Geometry, Point};
+use spade_index::GridIndex;
+use spade_server::{QueryRequest, QueryService, ServiceConfig};
+use spade_storage::wal::{Wal, WalOp, WalSync};
+use std::path::PathBuf;
+
+const BATCH: u32 = 256;
+
+fn tmp(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("spade-ingestbench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn bench_wal_append(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ingest_throughput/wal_append");
+    g.sample_size(20);
+    for (label, sync) in [
+        ("always", WalSync::Always),
+        ("group_commit", WalSync::GroupCommit),
+        ("never", WalSync::Never),
+    ] {
+        let dir = tmp(label);
+        let (mut wal, _) = Wal::open(&dir, sync).expect("open wal");
+        let mut id = 0u32;
+        // One iteration = BATCH appends; invert for inserts/sec.
+        g.bench_function(format!("{label}/{BATCH}"), |b| {
+            b.iter(|| {
+                for _ in 0..BATCH {
+                    id = id.wrapping_add(1);
+                    wal.append(
+                        "bench",
+                        WalOp::Insert {
+                            id,
+                            geom: Geometry::Point(Point::new((id % 100) as f64, (id % 97) as f64)),
+                        },
+                    )
+                    .expect("append");
+                }
+            })
+        });
+        drop(wal);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    g.finish();
+}
+
+fn service_with(sync: WalSync, wal_dir: PathBuf) -> QueryService {
+    let mut engine = EngineConfig::test_small();
+    engine.wal_sync = sync;
+    // Never compact during the measurement: the bench isolates the
+    // append+stage path (compaction amortization is the paper experiment).
+    engine.compact_trigger_bytes = u64::MAX;
+    engine.delta_max_bytes = u64::MAX;
+    let svc = QueryService::new(ServiceConfig {
+        engine,
+        workers: 2,
+        fairness_cap: 2,
+        wal_dir: Some(wal_dir),
+    });
+    let pts = Dataset::from_points(
+        "pts",
+        spade_datagen::spider::scale_points(
+            &spade_datagen::spider::uniform_points(4_000, 11),
+            &BBox::new(Point::ZERO, Point::new(100.0, 100.0)),
+        ),
+    );
+    let grid = GridIndex::build(None, &pts.objects, 25.0).expect("grid build");
+    svc.register_indexed("pts", IndexedDataset::new("pts", DatasetKind::Points, grid));
+    svc
+}
+
+fn bench_service_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ingest_throughput/service_insert");
+    g.sample_size(10);
+    for (label, sync) in [
+        ("always", WalSync::Always),
+        ("group_commit", WalSync::GroupCommit),
+    ] {
+        let dir = tmp(&format!("svc-{label}"));
+        let svc = service_with(sync, dir.clone());
+        let session = svc.session();
+        let mut id = 100_000u32;
+        g.bench_function(format!("{label}/{BATCH}"), |b| {
+            b.iter(|| {
+                for _ in 0..BATCH {
+                    id = id.wrapping_add(1);
+                    session
+                        .submit(QueryRequest::Insert {
+                            dataset: "pts".into(),
+                            id,
+                            geometry: Geometry::Point(Point::new(
+                                (id % 100) as f64,
+                                (id % 97) as f64,
+                            )),
+                        })
+                        .wait()
+                        .expect("insert");
+                }
+            })
+        });
+        drop(svc);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_wal_append, bench_service_insert);
+criterion_main!(benches);

@@ -30,6 +30,7 @@ fn service(sessions: usize) -> Arc<QueryService> {
         engine: paced_engine(),
         workers: sessions.clamp(1, 8),
         fairness_cap: 2,
+        wal_dir: None,
     });
     let pts = Dataset::from_points(
         "pts",

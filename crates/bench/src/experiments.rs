@@ -888,7 +888,7 @@ pub fn ablate_hull() -> Vec<Table> {
     {
         // Hull filter: the engine's own GPU selection over hulls.
         let hulls: Vec<PreparedPolygon> = indexed
-            .grid
+            .grid()
             .bounding_polygons()
             .into_iter()
             .map(|(j, h)| PreparedPolygon::prepare(j, &h))
@@ -898,14 +898,14 @@ pub fn ablate_hull() -> Vec<Table> {
         // BBox filter.
         let cb = c.bbox();
         let bbox_cells = indexed
-            .grid
+            .grid()
             .cells()
             .iter()
             .filter(|cell| cell.bbox().intersects(&cb))
             .count();
         t.row(vec![
             format!("P{}", i + 1),
-            indexed.grid.num_cells().to_string(),
+            indexed.grid().num_cells().to_string(),
             hull_cells.to_string(),
             bbox_cells.to_string(),
         ]);
@@ -958,9 +958,9 @@ pub fn ablate_rtree() -> Vec<Table> {
         assert_eq!(a.result, b.result, "strategies disagree on P{}", i + 1);
         t.row(vec![
             format!("P{}", i + 1),
-            format!("{}/{}", a.stats.cells_loaded, ig.grid.num_cells()),
+            format!("{}/{}", a.stats.cells_loaded, ig.grid().num_cells()),
             fmt_dur(a.stats.total_time),
-            format!("{}/{}", b.stats.cells_loaded, ir.grid.num_cells()),
+            format!("{}/{}", b.stats.cells_loaded, ir.grid().num_cells()),
             fmt_dur(b.stats.total_time),
         ]);
     }

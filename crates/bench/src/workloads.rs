@@ -227,8 +227,8 @@ mod tests {
         });
         let data = taxi(5000);
         let idx = index(&spade, &data);
-        assert!(idx.grid.num_cells() > 1);
-        assert_eq!(idx.grid.num_objects(), data.len());
+        assert!(idx.grid().num_cells() > 1);
+        assert_eq!(idx.grid().num_objects(), data.len());
     }
 
     #[test]

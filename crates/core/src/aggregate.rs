@@ -185,18 +185,22 @@ pub fn aggregate_indexed_with(
 ) -> spade_storage::Result<QueryOutput<Counts>> {
     let mut qspan = crate::trace::span("query.aggregate.indexed");
     let measure = spade.begin();
+    let pview = polys.read_view();
+    let tview = points.read_view();
+    crate::explain::note_view(&pview);
+    crate::explain::note_view(&tview);
     let mut totals: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
     let mut inner = crate::stats::QueryStats::default();
 
     // Reuse the join driver's filter: pairs of intersecting cell hulls.
     let filter_pairs = {
-        let hulls1: Vec<spade_canvas::create::PreparedPolygon> = polys
+        let hulls1: Vec<spade_canvas::create::PreparedPolygon> = pview
             .grid
             .bounding_polygons()
             .into_iter()
             .map(|(i, h)| spade_canvas::create::PreparedPolygon::prepare(i, &h))
             .collect();
-        let hulls2: Vec<spade_canvas::create::PreparedPolygon> = points
+        let hulls2: Vec<spade_canvas::create::PreparedPolygon> = tview
             .grid
             .bounding_polygons()
             .into_iter()
@@ -223,29 +227,69 @@ pub fn aggregate_indexed_with(
     let mut ordered = filter_pairs;
     crate::optimizer::order_cell_pairs(&mut ordered);
 
-    // Zero-initialize every polygon id so empty polygons report 0.
-    for i in 0..polys.grid.num_cells() {
+    // Zero-initialize every polygon id so empty polygons report 0 —
+    // masked base cells plus the staged polygons.
+    for i in 0..pview.grid.num_cells() {
         cancel.check()?;
-        for (id, _) in polys.load_cell(i)?.objects {
+        for (id, _) in pview.load_cell(i)?.objects {
             totals.entry(id).or_insert(0);
         }
+    }
+    for (id, _) in &pview.delta.staged {
+        totals.entry(*id).or_insert(0);
     }
 
     for (pc, tc) in ordered {
         // Pair boundary: nothing is uploaded here, so a cancellation
         // unwinds with the ledger balanced.
         cancel.check()?;
-        let poly_cell = polys.load_cell(pc as usize)?;
-        let point_cell = points.load_cell(tc as usize)?;
-        let _ = spade.device.upload(polys.grid.cells()[pc as usize].bytes);
-        let _ = spade.device.upload(points.grid.cells()[tc as usize].bytes);
+        let poly_cell = pview.load_cell(pc as usize)?;
+        let point_cell = tview.load_cell(tc as usize)?;
+        let _ = spade.device.upload(pview.cell_bytes(pc as usize));
+        let _ = spade.device.upload(tview.cell_bytes(tc as usize));
         let partial = aggregate_points(spade, &poly_cell, &point_cell);
         inner.absorb(&partial.stats);
         for (id, c) in partial.result {
             *totals.entry(id).or_insert(0) += c;
         }
-        spade.device.free(polys.grid.cells()[pc as usize].bytes);
-        spade.device.free(points.grid.cells()[tc as usize].bytes);
+        spade.device.free(pview.cell_bytes(pc as usize));
+        spade.device.free(tview.cell_bytes(tc as usize));
+    }
+
+    // Delta cross terms: each side's staged writes are one extra "cell"
+    // and run through the same point-optimized plan against every cell of
+    // the other side (the delta is small; hull filtering buys little).
+    let delta_polys = pview.has_delta().then(|| pview.delta_dataset());
+    let delta_points = tview.has_delta().then(|| tview.delta_dataset());
+    if let Some(dp) = &delta_polys {
+        for tc in 0..tview.grid.num_cells() {
+            cancel.check()?;
+            let point_cell = tview.load_cell(tc)?;
+            let partial = aggregate_points(spade, dp, &point_cell);
+            inner.absorb(&partial.stats);
+            for (id, c) in partial.result {
+                *totals.entry(id).or_insert(0) += c;
+            }
+        }
+    }
+    if let Some(dt) = &delta_points {
+        for pc in 0..pview.grid.num_cells() {
+            cancel.check()?;
+            let poly_cell = pview.load_cell(pc)?;
+            let partial = aggregate_points(spade, &poly_cell, dt);
+            inner.absorb(&partial.stats);
+            for (id, c) in partial.result {
+                *totals.entry(id).or_insert(0) += c;
+            }
+        }
+    }
+    if let (Some(dp), Some(dt)) = (&delta_polys, &delta_points) {
+        cancel.check()?;
+        let partial = aggregate_points(spade, dp, dt);
+        inner.absorb(&partial.stats);
+        for (id, c) in partial.result {
+            *totals.entry(id).or_insert(0) += c;
+        }
     }
 
     let result: Counts = totals.into_iter().collect();
@@ -255,7 +299,7 @@ pub fn aggregate_indexed_with(
     let mut stats = measure.finish(
         spade,
         Duration::ZERO,
-        polys.grid.bytes_read() + points.grid.bytes_read(),
+        pview.grid.bytes_read() + tview.grid.bytes_read(),
         inner.polygon_time,
         0,
         n,

@@ -1,5 +1,7 @@
 //! Engine configuration.
 
+pub use spade_storage::wal::WalSync;
+
 /// Tuning knobs of the engine, mirroring the paper's setup in §6.1.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -60,6 +62,16 @@ pub struct EngineConfig {
     /// construction buffers) are pooled for reuse up to this many bytes and
     /// dropped beyond it. `0` disables pooling entirely.
     pub texture_pool_bytes: u64,
+    /// WAL durability mode for live writes: fsync per record (`Always`),
+    /// one fsync per batch window (`GroupCommit`, the default), or leave
+    /// flushing to the OS (`Never`).
+    pub wal_sync: WalSync,
+    /// Hard ceiling on a dataset's staged delta bytes: a write that would
+    /// exceed it compacts synchronously first (writer backpressure).
+    pub delta_max_bytes: u64,
+    /// Background compaction starts once a dataset's staged delta exceeds
+    /// this many bytes (`0` compacts after every write batch).
+    pub compact_trigger_bytes: u64,
 }
 
 impl Default for EngineConfig {
@@ -81,6 +93,9 @@ impl Default for EngineConfig {
             pace_transfers: false,
             tracing: false,
             texture_pool_bytes: 32 << 20,
+            wal_sync: WalSync::GroupCommit,
+            delta_max_bytes: 8 << 20,
+            compact_trigger_bytes: 1 << 20,
         }
     }
 }
@@ -98,6 +113,8 @@ impl EngineConfig {
             knn_circles: 32,
             cell_cache_bytes: 4 << 20,
             texture_pool_bytes: 4 << 20,
+            delta_max_bytes: 1 << 20,
+            compact_trigger_bytes: 64 << 10,
             ..Default::default()
         }
     }
@@ -131,6 +148,15 @@ mod tests {
         assert!(c.cell_cache_bytes > 0 && c.cell_cache_bytes <= c.device_memory);
         let t = EngineConfig::test_small();
         assert!(t.cell_cache_bytes <= t.device_memory);
+    }
+
+    #[test]
+    fn ingest_knobs_default_sane() {
+        let c = EngineConfig::default();
+        assert_eq!(c.wal_sync, WalSync::GroupCommit);
+        assert!(c.compact_trigger_bytes <= c.delta_max_bytes);
+        let t = EngineConfig::test_small();
+        assert!(t.compact_trigger_bytes <= t.delta_max_bytes);
     }
 
     #[test]

@@ -141,8 +141,10 @@ pub fn distance_select_indexed_with(
     let _ = spade.device.upload(c.byte_size());
 
     // Index filtering: hull polygons against the distance canvas.
+    let view = data.read_view();
+    crate::explain::note_view(&view);
     let t0 = Instant::now();
-    let hulls: Vec<PreparedPolygon> = data
+    let hulls: Vec<PreparedPolygon> = view
         .grid
         .bounding_polygons()
         .into_iter()
@@ -157,7 +159,7 @@ pub fn distance_select_indexed_with(
     let stream_res = crate::prefetch::stream_cells_with(
         spade.config.prefetch_depth,
         spade.config.cell_cache_bytes,
-        &[data],
+        &[&view],
         &sequence,
         cancel,
         |cell| {
@@ -171,6 +173,15 @@ pub fn distance_select_indexed_with(
             Ok(())
         },
     );
+    // Staged writes refine against the same distance canvas, so merged
+    // results match a cold rebuild.
+    if stream_res.is_ok() && view.has_delta() {
+        ids.extend(crate::select::select_points_mem(
+            spade,
+            &view.delta_dataset().as_points(),
+            &c,
+        ));
+    }
     spade.device.free(c.byte_size());
     let stream = stream_res?;
     ids.sort_unstable();
@@ -465,7 +476,7 @@ mod tests {
             assert_eq!(ooc.result, mem, "r={r}");
             // Small radii must prune cells.
             if r <= 5.0 {
-                assert!(ooc.stats.cells_loaded < indexed.grid.num_cells() as u64);
+                assert!(ooc.stats.cells_loaded < indexed.grid().num_cells() as u64);
             }
         }
     }

@@ -48,6 +48,23 @@ pub struct JoinDecision {
     pub sequence_len: u64,
 }
 
+/// Live-ingestion state one dataset contributed to a query: how much
+/// uncompacted delta the merge had to fold in, and which index
+/// generation the base results came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaInfo {
+    /// Dataset the delta belongs to.
+    pub dataset: String,
+    /// Grid-index generation the query's base results were read from.
+    pub generation: u64,
+    /// Staged (not yet compacted) inserts merged into the result.
+    pub staged: u64,
+    /// Staged deletes masking base results.
+    pub tombstones: u64,
+    /// Approximate staged bytes — the compaction debt for this dataset.
+    pub bytes: u64,
+}
+
 /// Everything a query reported about its planning.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PlanReport {
@@ -55,6 +72,8 @@ pub struct PlanReport {
     pub map: Option<MapDecisions>,
     /// Join strategy decision (None for non-join queries).
     pub join: Option<JoinDecision>,
+    /// Per-dataset delta merges (empty when every input was compacted).
+    pub deltas: Vec<DeltaInfo>,
 }
 
 impl PlanReport {
@@ -69,6 +88,11 @@ impl PlanReport {
         }
         if other.join.is_some() && self.join.is_none() {
             self.join = other.join;
+        }
+        for d in &other.deltas {
+            if !self.deltas.iter().any(|mine| mine.dataset == d.dataset) {
+                self.deltas.push(d.clone());
+            }
         }
     }
 
@@ -102,6 +126,12 @@ impl PlanReport {
                 Some(s) => out.push_str(&format!("; actual results {})\n", s.result_count)),
                 None => out.push_str(")\n"),
             }
+        }
+        for d in &self.deltas {
+            out.push_str(&format!(
+                "  delta[{}]: generation {}, {} staged + {} tombstones merged ({} B debt)\n",
+                d.dataset, d.generation, d.staged, d.tombstones, d.bytes
+            ));
         }
         if let Some(s) = actual {
             out.push_str(&format!("  actual: {}\n", s.breakdown()));
@@ -167,6 +197,31 @@ pub(crate) fn note_join(decision: JoinDecision) {
             t.join = Some(decision);
         }
     });
+}
+
+/// Record one dataset's delta-merge contribution (called by the indexed
+/// executors when the read view carries uncompacted writes). One entry
+/// per dataset; repeats are dropped.
+pub(crate) fn note_delta(info: DeltaInfo) {
+    with_top(|t| {
+        if !t.deltas.iter().any(|d| d.dataset == info.dataset) {
+            t.deltas.push(info);
+        }
+    });
+}
+
+/// [`note_delta`] from a dataset read view — no-op when the view carries
+/// no uncompacted writes.
+pub(crate) fn note_view(view: &crate::dataset::ReadView<'_>) {
+    if view.has_delta() {
+        note_delta(DeltaInfo {
+            dataset: view.name().to_string(),
+            generation: view.grid.generation,
+            staged: view.delta.staged.len() as u64,
+            tombstones: view.delta.tombstones.len() as u64,
+            bytes: view.delta.bytes,
+        });
+    }
 }
 
 #[cfg(test)]
@@ -246,6 +301,13 @@ mod tests {
                 cell_pairs: 9,
                 sequence_len: 12,
             }),
+            deltas: vec![DeltaInfo {
+                dataset: "live".into(),
+                generation: 3,
+                staged: 17,
+                tombstones: 2,
+                bytes: 4096,
+            }],
         };
         let plain = report.render(None);
         assert!(plain.contains("LayerIndex"));
@@ -260,5 +322,41 @@ mod tests {
         assert!(analyzed.contains("actual to-device 1300 B"));
         assert!(analyzed.contains("actual results 987"));
         assert!(analyzed.contains("total="));
+        assert!(analyzed.contains("delta[live]: generation 3"));
+        assert!(analyzed.contains("17 staged + 2 tombstones"));
+    }
+
+    #[test]
+    fn delta_notes_dedupe_and_fold() {
+        begin();
+        note_delta(DeltaInfo {
+            dataset: "a".into(),
+            generation: 1,
+            staged: 4,
+            tombstones: 1,
+            bytes: 64,
+        });
+        // A second note for the same dataset (e.g. a nested sub-query)
+        // must not duplicate the line.
+        note_delta(DeltaInfo {
+            dataset: "a".into(),
+            generation: 1,
+            staged: 4,
+            tombstones: 1,
+            bytes: 64,
+        });
+        begin();
+        note_delta(DeltaInfo {
+            dataset: "b".into(),
+            generation: 2,
+            staged: 9,
+            tombstones: 0,
+            bytes: 128,
+        });
+        let inner = finish();
+        let outer = finish();
+        assert_eq!(inner.deltas.len(), 1);
+        assert_eq!(outer.deltas.len(), 2);
+        assert!(outer.render(None).contains("delta[b]: generation 2"));
     }
 }

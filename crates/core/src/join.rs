@@ -283,17 +283,21 @@ pub fn join_indexed_with(
     let mut qspan = crate::trace::span("query.join.indexed");
     let measure = spade.begin();
     let mut polygon_time = Duration::ZERO;
+    let view1 = d1.read_view();
+    let view2 = d2.read_view();
+    crate::explain::note_view(&view1);
+    crate::explain::note_view(&view2);
 
     // Filter phase: Polygon ⋈ Polygon join over the bounding polygons of
     // the two grid indexes.
     let t0 = Instant::now();
-    let hulls1: Vec<PreparedPolygon> = d1
+    let hulls1: Vec<PreparedPolygon> = view1
         .grid
         .bounding_polygons()
         .into_iter()
         .map(|(i, h)| PreparedPolygon::prepare(i, &h))
         .collect();
-    let hulls2: Vec<PreparedPolygon> = d2
+    let hulls2: Vec<PreparedPolygon> = view2
         .grid
         .bounding_polygons()
         .into_iter()
@@ -323,8 +327,8 @@ pub fn join_indexed_with(
     // strategy's per-object filtering is approximated at cell granularity
     // for the estimate; its execution below is per cell pair as well, so
     // the estimates compare the *order* benefit.
-    let left_bytes: Vec<u64> = d1.grid.cells().iter().map(|c| c.bytes).collect();
-    let right_bytes: Vec<u64> = d2.grid.cells().iter().map(|c| c.bytes).collect();
+    let left_bytes: Vec<u64> = view1.grid.cells().iter().map(|c| c.bytes).collect();
+    let right_bytes: Vec<u64> = view2.grid.cells().iter().map(|c| c.bytes).collect();
     let layer_est = optimizer::estimate_layer_bytes(&cell_pairs, &left_bytes, &right_bytes);
     let per_object: Vec<Vec<u32>> = {
         let mut m = std::collections::BTreeMap::<u32, Vec<u32>>::new();
@@ -379,17 +383,17 @@ pub fn join_indexed_with(
     let stream_res = crate::prefetch::stream_cells_with(
         spade.config.prefetch_depth,
         spade.config.cell_cache_bytes,
-        &[d1, d2],
+        &[&view1, &view2],
         &sequence,
         cancel,
         |cell| {
             let (source, resident) = if cell.source == 0 {
-                (d1, &mut resident1)
+                (&view1, &mut resident1)
             } else {
-                (d2, &mut resident2)
+                (&view2, &mut resident2)
             };
             if let Some((i, _)) = resident.take() {
-                spade.device.free(source.grid.cells()[i as usize].bytes);
+                spade.device.free(source.cell_bytes(i as usize));
             }
             let _ = spade.device.upload(cell.bytes);
             *resident = Some((
@@ -415,13 +419,41 @@ pub fn join_indexed_with(
         },
     );
     if let Some((i, _)) = resident1 {
-        spade.device.free(d1.grid.cells()[i as usize].bytes);
+        spade.device.free(view1.cell_bytes(i as usize));
     }
     if let Some((i, _)) = resident2 {
-        spade.device.free(d2.grid.cells()[i as usize].bytes);
+        spade.device.free(view2.cell_bytes(i as usize));
     }
     let stream = stream_res?;
     debug_assert_eq!(pair_idx, cell_pairs.len(), "all cell pairs refined");
+
+    // Delta cross terms: each side's staged writes behave as one extra
+    // cell and join against every cell of the other side through the same
+    // refinement kernels, so merged pairs match a cold rebuild. The cell
+    // cache is warm from the walk above.
+    let delta1 = (!view1.delta.staged.is_empty())
+        .then(|| Resident::prepare(spade, view1.delta_dataset(), &mut polygon_time));
+    let delta2 = (!view2.delta.staged.is_empty())
+        .then(|| Resident::prepare(spade, view2.delta_dataset(), &mut polygon_time));
+    if let Some(dl) = &delta1 {
+        for i in 0..view2.grid.num_cells() {
+            cancel.check()?;
+            let (cell, _) = view2.load_cell_cached(i, spade.config.cell_cache_bytes)?;
+            let right = Resident::prepare(spade, (*cell).clone(), &mut polygon_time);
+            pairs.extend(join_cells_layered(spade, dl, &right));
+        }
+    }
+    if let Some(dr) = &delta2 {
+        for i in 0..view1.grid.num_cells() {
+            cancel.check()?;
+            let (cell, _) = view1.load_cell_cached(i, spade.config.cell_cache_bytes)?;
+            let left = Resident::prepare(spade, (*cell).clone(), &mut polygon_time);
+            pairs.extend(join_cells_layered(spade, &left, dr));
+        }
+    }
+    if let (Some(dl), Some(dr)) = (&delta1, &delta2) {
+        pairs.extend(join_cells_layered(spade, dl, dr));
+    }
     pairs.sort_unstable();
     pairs.dedup();
 

@@ -161,15 +161,19 @@ pub fn knn_select_indexed_with(
     let mut qspan = crate::trace::span("query.knn.indexed");
     qspan.attr("k", k as u64);
     let measure = spade.begin();
-    if k == 0 || data.grid.num_objects() == 0 {
+    let view = data.read_view();
+    crate::explain::note_view(&view);
+    if k == 0 || (view.grid.num_objects() == 0 && view.delta.staged.is_empty()) {
         let stats = measure.finish(spade, Duration::ZERO, 0, Duration::ZERO, 0, 0);
         return Ok(QueryOutput {
             result: Vec::new(),
             stats,
         });
     }
-    let mut extent = spade_geometry::BBox::empty();
-    for cell in data.grid.cells() {
+    // r_max must cover the staged writes too — a freshly inserted point
+    // can lie outside every cell's bbox.
+    let mut extent = view.delta.bbox();
+    for cell in view.grid.cells() {
         extent = extent.union(&cell.bbox());
     }
     let r_max = extent.max_dist_to_point(q).max(1e-12);
@@ -181,13 +185,13 @@ pub fn knn_select_indexed_with(
     // Per-cell histogram accumulation: one pipelined pass over every cell.
     // The pass also warms the cell cache, so the distance selection below
     // re-reads its candidate cells from memory instead of disk.
-    let sequence: Vec<(usize, usize)> = (0..data.grid.num_cells()).map(|i| (0, i)).collect();
+    let sequence: Vec<(usize, usize)> = (0..view.grid.num_cells()).map(|i| (0, i)).collect();
     let mut hist = vec![0u64; circles];
     let mut positions: std::collections::HashMap<u32, Point> = std::collections::HashMap::new();
     let stream = crate::prefetch::stream_cells_with(
         spade.config.prefetch_depth,
         spade.config.cell_cache_bytes,
-        &[data],
+        &[&view],
         &sequence,
         cancel,
         |cell| {
@@ -206,6 +210,19 @@ pub fn knn_select_indexed_with(
             Ok(())
         },
     )?;
+    // The staged writes are one more "cell" of the distributive histogram.
+    if view.has_delta() {
+        let pts = view.delta_dataset().as_points();
+        let prims: Vec<Primitive> = pts
+            .iter()
+            .enumerate()
+            .map(|(j, (_, p))| Primitive::point(*p, [1, j as u32, 0, 0]))
+            .collect();
+        for b in emit_buckets(spade, &prims, &pts, q, r_max, alpha, circles, vp) {
+            hist[b as usize] += 1;
+        }
+        positions.extend(pts);
+    }
     let mut cum = 0u64;
     let mut radius = r_max;
     for i in (0..circles).rev() {
@@ -224,10 +241,13 @@ pub fn knn_select_indexed_with(
         radius,
         cancel,
     )?;
+    // Ids without a recorded position belong to writes that landed after
+    // the histogram snapshot (the nested selection reads its own view);
+    // dropping them keeps the answer consistent with our snapshot.
     let mut with_dist: Vec<(u32, f64)> = sel
         .result
         .into_iter()
-        .map(|id| (id, positions[&id].dist(q)))
+        .filter_map(|id| positions.get(&id).map(|p| (id, p.dist(q))))
         .collect();
     with_dist.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
     with_dist.truncate(k);

@@ -19,7 +19,7 @@
 //! offline; std scoped threads cover the same need).
 
 use crate::cancel::CancelToken;
-use crate::dataset::{Dataset, IndexedDataset};
+use crate::dataset::{Dataset, ReadView};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -85,7 +85,7 @@ impl StreamStats {
 pub fn stream_cells<F>(
     depth: usize,
     cache_budget: u64,
-    sources: &[&IndexedDataset],
+    sources: &[&ReadView<'_>],
     sequence: &[(usize, usize)],
     consumer: F,
 ) -> spade_storage::Result<StreamStats>
@@ -109,7 +109,7 @@ where
 pub fn stream_cells_with<F>(
     depth: usize,
     cache_budget: u64,
-    sources: &[&IndexedDataset],
+    sources: &[&ReadView<'_>],
     sequence: &[(usize, usize)],
     cancel: &CancelToken,
     mut consumer: F,
@@ -131,7 +131,7 @@ where
             let io = t.elapsed();
             stats.io_time += io;
             stats.recv_wait += io;
-            let bytes = sources[src].grid.cells()[cell].bytes;
+            let bytes = sources[src].cell_bytes(cell);
             load_span.attr("source", src as u64);
             load_span.attr("cell", cell as u64);
             load_span.attr("bytes", bytes);
@@ -176,7 +176,7 @@ where
                 load_span.attr("cell", cell as u64);
                 match loaded {
                     Ok((data, cache_hit)) => {
-                        let bytes = sources[src].grid.cells()[cell].bytes;
+                        let bytes = sources[src].cell_bytes(cell);
                         load_span.attr("bytes", bytes);
                         load_span.attr("cache_hit", cache_hit as u64);
                         drop(load_span);
@@ -282,8 +282,10 @@ mod tests {
     #[test]
     fn stream_delivers_sequence_in_order_at_every_depth() {
         let d = indexed(400, 7);
-        let sources = [&d];
-        let sequence: Vec<(usize, usize)> = (0..d.grid.num_cells()).map(|c| (0usize, c)).collect();
+        let view = d.read_view();
+        let sources = [&view];
+        let sequence: Vec<(usize, usize)> =
+            (0..view.grid.num_cells()).map(|c| (0usize, c)).collect();
         let mut baseline: Option<Vec<(usize, usize, usize)>> = None;
         for depth in [0usize, 1, 4] {
             let mut seen = Vec::new();
@@ -308,13 +310,14 @@ mod tests {
     #[test]
     fn repeated_cells_hit_the_cache() {
         let d = indexed(200, 11);
-        let sources = [&d];
+        let view = d.read_view();
+        let sources = [&view];
         let sequence: Vec<(usize, usize)> = vec![(0, 0), (0, 0), (0, 0)];
         let stats = stream_cells(0, 1 << 20, &sources, &sequence, |_| Ok(())).unwrap();
         assert_eq!(stats.cache_hits, 2);
         assert_eq!(
             stats.bytes_from_disk,
-            d.grid.cells()[0].bytes,
+            view.cell_bytes(0),
             "only the first touch reads disk"
         );
     }
@@ -322,8 +325,10 @@ mod tests {
     #[test]
     fn consumer_error_aborts_stream() {
         let d = indexed(300, 13);
-        let sources = [&d];
-        let sequence: Vec<(usize, usize)> = (0..d.grid.num_cells()).map(|c| (0usize, c)).collect();
+        let view = d.read_view();
+        let sources = [&view];
+        let sequence: Vec<(usize, usize)> =
+            (0..view.grid.num_cells()).map(|c| (0usize, c)).collect();
         for depth in [0usize, 2] {
             let mut delivered = 0;
             let err = stream_cells(depth, 0, &sources, &sequence, |_| {
@@ -341,8 +346,10 @@ mod tests {
     #[test]
     fn cancellation_aborts_stream_at_cell_boundary() {
         let d = indexed(300, 19);
-        let sources = [&d];
-        let sequence: Vec<(usize, usize)> = (0..d.grid.num_cells()).map(|c| (0usize, c)).collect();
+        let view = d.read_view();
+        let sources = [&view];
+        let sequence: Vec<(usize, usize)> =
+            (0..view.grid.num_cells()).map(|c| (0usize, c)).collect();
         assert!(sequence.len() > 1);
         for depth in [0usize, 2] {
             let cancel = crate::cancel::CancelToken::new();
@@ -366,7 +373,8 @@ mod tests {
     #[test]
     fn empty_sequence_is_a_no_op() {
         let d = indexed(50, 17);
-        let stats = stream_cells(4, 0, &[&d], &[], |_| Ok(())).unwrap();
+        let view = d.read_view();
+        let stats = stream_cells(4, 0, &[&view], &[], |_| Ok(())).unwrap();
         assert_eq!(stats.cells, 0);
     }
 }

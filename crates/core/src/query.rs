@@ -196,11 +196,16 @@ fn materialize(
     d: &IndexedDataset,
     cancel: &crate::cancel::CancelToken,
 ) -> spade_storage::Result<Dataset> {
+    let view = d.read_view();
+    crate::explain::note_view(&view);
     let mut objects = Vec::new();
-    for i in 0..d.grid.num_cells() {
+    for i in 0..view.grid.num_cells() {
         cancel.check()?;
-        objects.extend(d.load_cell(i)?.objects);
+        objects.extend(view.load_cell(i)?.objects);
     }
+    // Staged writes are part of the logical dataset (the cells above are
+    // already masked by the view).
+    objects.extend(view.delta.staged.iter().cloned());
     objects.sort_by_key(|(id, _)| *id);
     Ok(Dataset::from_objects(d.name.clone(), d.kind, objects))
 }

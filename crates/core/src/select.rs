@@ -332,9 +332,11 @@ pub fn select_contained_indexed_with(
     let measure = spade.begin();
     let mut polygon_time = Duration::ZERO;
 
+    let view = data.read_view();
+    crate::explain::note_view(&view);
     let t0 = Instant::now();
     let prepared = vec![PreparedPolygon::prepare(0, constraint_poly)];
-    let hulls: Vec<PreparedPolygon> = data
+    let hulls: Vec<PreparedPolygon> = view
         .grid
         .bounding_polygons()
         .into_iter()
@@ -349,7 +351,7 @@ pub fn select_contained_indexed_with(
     let stream = crate::prefetch::stream_cells_with(
         spade.config.prefetch_depth,
         spade.config.cell_cache_bytes,
-        &[data],
+        &[&view],
         &sequence,
         cancel,
         |cell| {
@@ -359,6 +361,11 @@ pub fn select_contained_indexed_with(
             Ok(())
         },
     )?;
+    // Merge staged writes through the same refinement: the delta is one
+    // extra in-memory "cell", so merged results match a cold rebuild.
+    if view.has_delta() {
+        ids.extend(select_contained(spade, &view.delta_dataset(), constraint_poly).result);
+    }
     ids.sort_unstable();
     ids.dedup();
     let n = ids.len() as u64;
@@ -474,8 +481,10 @@ pub fn select_indexed_with(
     // Index filtering: a polygon selection over the cells' hulls, run at
     // the coarse filter resolution (a false positive only loads one extra
     // cell).
+    let view = data.read_view();
+    crate::explain::note_view(&view);
     let t0 = Instant::now();
-    let hull_prepared: Vec<PreparedPolygon> = data
+    let hull_prepared: Vec<PreparedPolygon> = view
         .grid
         .bounding_polygons()
         .into_iter()
@@ -495,7 +504,7 @@ pub fn select_indexed_with(
     let stream_res = crate::prefetch::stream_cells_with(
         spade.config.prefetch_depth,
         spade.config.cell_cache_bytes,
-        &[data],
+        &[&view],
         &sequence,
         cancel,
         |cell| {
@@ -505,6 +514,15 @@ pub fn select_indexed_with(
             Ok(())
         },
     );
+    // Staged writes refine against the same resident constraint canvas,
+    // so the merged result is identical to a fully-compacted run.
+    if stream_res.is_ok() && view.has_delta() {
+        ids.extend(select_mem_dispatch(
+            spade,
+            &view.delta_dataset(),
+            &constraint,
+        ));
+    }
     spade.device.free(constraint.byte_size());
     let stream = stream_res?;
     ids.sort_unstable();
@@ -683,7 +701,7 @@ mod tests {
         a.sort_unstable();
         assert_eq!(a, ooc.result);
         // The filter must have pruned at least one of the 25 cells.
-        assert!(ooc.stats.cells_loaded < indexed.grid.num_cells() as u64);
+        assert!(ooc.stats.cells_loaded < indexed.grid().num_cells() as u64);
         assert!(ooc.stats.cells_loaded > 0);
         assert!(ooc.stats.bytes_from_disk > 0);
         assert!(ooc.stats.bytes_to_device > 0);

@@ -1,19 +1,28 @@
 //! The clustered grid index (§5.3, tuning §6.1).
+//!
+//! A `GridIndex` is immutable once built: live writes stage in a
+//! [`crate::delta::DeltaStore`] and [`crate::compact`] folds them into a
+//! **new** index with `generation + 1`, sharing unchanged blocks with its
+//! predecessor. In-flight readers holding the old index keep a fully
+//! consistent view — nothing they reference is ever rewritten in place.
 
 use spade_geometry::hull::convex_hull_polygon;
 use spade_geometry::{BBox, Geometry, Point, Polygon};
-use spade_storage::geom::{geometry_table, read_geometry_table};
+use spade_storage::geom::{decode_geometry, encode_geometry, geometry_table, read_geometry_table};
 use spade_storage::persist;
-use spade_storage::{Result, StorageError};
+use spade_storage::wal::crc32;
+use spade_storage::{cursor, Result, StorageError};
 use std::collections::BTreeMap;
-use std::path::PathBuf;
-use std::sync::Mutex;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 /// One grid cell: its bounding polygon (a convex hull), the ids of the
 /// objects clustered into it, and the physical size of its data block.
 #[derive(Debug, Clone)]
 pub struct GridCell {
-    /// Discrete cell coordinates (before hull expansion).
+    /// Discrete cell coordinates (before hull expansion). Not necessarily
+    /// unique: compaction may split one overfull cell into several cells
+    /// sharing coordinates.
     pub coords: (i32, i32),
     /// The bounding polygon: convex hull over the cell's geometries.
     pub hull: Polygon,
@@ -22,21 +31,34 @@ pub struct GridCell {
     /// Physical (serialized) size of the block in bytes — what a transfer
     /// of this cell to the GPU costs.
     pub bytes: u64,
+    /// Smallest object id stored in the block — with `id_max`, lets
+    /// compaction skip cells that cannot contain a deleted/replaced id.
+    pub id_min: u32,
+    /// Largest object id stored in the block.
+    pub id_max: u32,
 }
 
 impl GridCell {
     pub fn bbox(&self) -> BBox {
         self.hull.bbox()
     }
+
+    /// Whether any id in `ids` (sorted set semantics) could live here.
+    pub fn id_range_hits(&self, ids: &std::collections::BTreeSet<u32>) -> bool {
+        ids.range(self.id_min..=self.id_max).next().is_some()
+    }
 }
 
 /// Where cell blocks live.
-enum BlockStore {
-    /// One file per cell under a directory (the out-of-core path).
-    Disk(PathBuf),
-    /// Serialized blocks held in memory (tests and small benchmarks); reads
-    /// are still byte-accounted.
-    Memory(Vec<Vec<u8>>),
+pub(crate) enum BlockStore {
+    /// One file per cell under a directory (the out-of-core path). The
+    /// file name of cell `i` is `files[i]`; generations share unchanged
+    /// files, so names carry the generation that wrote them.
+    Disk { dir: PathBuf, files: Vec<String> },
+    /// Serialized blocks held in memory (tests and small benchmarks);
+    /// reads are still byte-accounted. `Arc` so successive generations
+    /// share unchanged blocks instead of copying them.
+    Memory(Vec<Arc<Vec<u8>>>),
 }
 
 /// The clustered grid index.
@@ -45,10 +67,16 @@ pub struct GridIndex {
     /// Grid origin: cells are aligned to the data extent's minimum corner,
     /// so a data set that fits one cell-size span occupies one cell.
     pub origin: Point,
-    cells: Vec<GridCell>,
-    store: BlockStore,
+    /// Compaction epoch: 0 for a freshly built index, incremented every
+    /// time [`crate::compact::compact`] folds a delta in.
+    pub generation: u64,
+    pub(crate) cells: Vec<GridCell>,
+    pub(crate) store: BlockStore,
     /// Bytes read through [`GridIndex::load_cell`] since construction.
     bytes_read: Mutex<u64>,
+    /// Bytes read by compaction ([`GridIndex::load_cell_compact`]) —
+    /// kept apart so maintenance I/O never shows up as query I/O.
+    compact_bytes_read: Mutex<u64>,
 }
 
 impl GridIndex {
@@ -94,11 +122,7 @@ impl GridIndex {
         };
         let mut buckets: BTreeMap<(i32, i32), Vec<usize>> = BTreeMap::new();
         for (i, (_, g)) in objects.iter().enumerate() {
-            let c = g.centroid();
-            let key = (
-                ((c.x - origin.x) / cell_size).floor() as i32,
-                ((c.y - origin.y) / cell_size).floor() as i32,
-            );
+            let key = bucket_of(g.centroid(), origin, cell_size);
             buckets.entry(key).or_default().push(i);
         }
         Self::from_partitions(
@@ -127,47 +151,52 @@ impl GridIndex {
         }
         let mut cells = Vec::with_capacity(partitions.len());
         let mut blocks = Vec::with_capacity(partitions.len());
+        let mut files = Vec::with_capacity(partitions.len());
         for (coords, members) in partitions {
-            // Bounding polygon: convex hull over all member geometry
-            // vertices (expands past the cell box for spanning objects).
-            let mut pts: Vec<Point> = Vec::new();
-            for &i in &members {
-                collect_vertices(&objects[i].1, &mut pts);
-            }
-            let hull = convex_hull_polygon(&pts).unwrap_or_else(|| {
-                // Degenerate cell (all collinear): fall back to an inflated
-                // bbox so the bound is still a polygon.
-                Polygon::rect(BBox::from_points(pts.iter().copied()).inflate(1e-9))
-            });
-
             let items: Vec<(u32, Geometry)> = members.iter().map(|&i| objects[i].clone()).collect();
-            let table = geometry_table(&format!("cell_{}_{}", coords.0, coords.1), &items)?;
-            let encoded = persist::encode_table(&table);
-            let bytes = encoded.len() as u64;
+            let (cell, encoded) = encode_cell(coords, &items)?;
             match &dir {
                 Some(d) => {
-                    let path = cell_path(d, coords);
-                    std::fs::write(&path, &encoded)?;
+                    let name = format!("cell_{}_{}.blk", coords.0, coords.1);
+                    std::fs::write(d.join(&name), &encoded)?;
+                    files.push(name);
                 }
-                None => blocks.push(encoded),
+                None => blocks.push(Arc::new(encoded)),
             }
-            cells.push(GridCell {
-                coords,
-                hull,
-                num_objects: items.len(),
-                bytes,
-            });
+            cells.push(cell);
         }
         Ok(GridIndex {
             cell_size,
             origin,
+            generation: 0,
             cells,
             store: match dir {
-                Some(d) => BlockStore::Disk(d),
+                Some(d) => BlockStore::Disk { dir: d, files },
                 None => BlockStore::Memory(blocks),
             },
             bytes_read: Mutex::new(0),
+            compact_bytes_read: Mutex::new(0),
         })
+    }
+
+    /// Assemble an index from already-encoded parts (compaction and
+    /// manifest recovery use this).
+    pub(crate) fn from_parts(
+        cell_size: f64,
+        origin: Point,
+        generation: u64,
+        cells: Vec<GridCell>,
+        store: BlockStore,
+    ) -> GridIndex {
+        GridIndex {
+            cell_size,
+            origin,
+            generation,
+            cells,
+            store,
+            bytes_read: Mutex::new(0),
+            compact_bytes_read: Mutex::new(0),
+        }
     }
 
     pub fn cells(&self) -> &[GridCell] {
@@ -198,37 +227,236 @@ impl GridIndex {
             .collect()
     }
 
+    /// The directory blocks live under, for disk-backed indexes.
+    pub fn dir(&self) -> Option<&Path> {
+        match &self.store {
+            BlockStore::Disk { dir, .. } => Some(dir),
+            BlockStore::Memory(_) => None,
+        }
+    }
+
+    fn read_block(&self, idx: usize) -> Result<Vec<(u32, Geometry)>> {
+        let table = match &self.store {
+            BlockStore::Disk { dir, files } => {
+                let (t, _) = persist::read_table(&dir.join(&files[idx]))?;
+                t
+            }
+            BlockStore::Memory(blocks) => persist::decode_table(&blocks[idx])?,
+        };
+        read_geometry_table(&table)
+    }
+
     /// Load one cell's block, returning its objects and charging the block
-    /// bytes to the I/O ledger.
+    /// bytes to the query I/O ledger.
     pub fn load_cell(&self, idx: usize) -> Result<Vec<(u32, Geometry)>> {
         let cell = self
             .cells
             .get(idx)
             .ok_or_else(|| StorageError::Io(format!("no cell {idx}")))?;
-        let table = match &self.store {
-            BlockStore::Disk(dir) => {
-                let (t, _) = persist::read_table(&cell_path(dir, cell.coords))?;
-                t
-            }
-            BlockStore::Memory(blocks) => persist::decode_table(&blocks[idx])?,
-        };
+        let objects = self.read_block(idx)?;
         *self.bytes_read.lock().unwrap() += cell.bytes;
-        read_geometry_table(&table)
+        Ok(objects)
     }
 
-    /// Bytes read through [`GridIndex::load_cell`] so far.
+    /// Load one cell's block for compaction: same read path, charged to
+    /// the maintenance ledger instead of the query one.
+    pub fn load_cell_compact(&self, idx: usize) -> Result<Vec<(u32, Geometry)>> {
+        let cell = self
+            .cells
+            .get(idx)
+            .ok_or_else(|| StorageError::Io(format!("no cell {idx}")))?;
+        let objects = self.read_block(idx)?;
+        *self.compact_bytes_read.lock().unwrap() += cell.bytes;
+        Ok(objects)
+    }
+
+    /// Reference to cell `idx`'s stored block (file name or shared bytes),
+    /// so compaction can carry unchanged cells into the next generation
+    /// without copying them.
+    pub(crate) fn block_ref(&self, idx: usize) -> BlockRef {
+        match &self.store {
+            BlockStore::Disk { files, .. } => BlockRef::File(files[idx].clone()),
+            BlockStore::Memory(blocks) => BlockRef::Bytes(Arc::clone(&blocks[idx])),
+        }
+    }
+
+    /// Bytes read through [`GridIndex::load_cell`] so far. Per-generation:
+    /// each compacted index starts a fresh ledger.
     pub fn bytes_read(&self) -> u64 {
         *self.bytes_read.lock().unwrap()
     }
 
-    /// Reset the I/O ledger (per-query accounting).
+    /// Reset the query I/O ledger (per-query accounting).
     pub fn reset_bytes_read(&self) {
         *self.bytes_read.lock().unwrap() = 0;
     }
+
+    /// Bytes read by compaction over this index.
+    pub fn compact_bytes_read(&self) -> u64 {
+        *self.compact_bytes_read.lock().unwrap()
+    }
+
+    // ------------------------------------------------------------------
+    // Manifest persistence (disk-backed indexes)
+    // ------------------------------------------------------------------
+
+    /// Persist this generation's cell table as `manifest_g{N}.mf` and
+    /// atomically repoint `CURRENT` at it. `wal_seq` records the WAL
+    /// sequence folded into this generation (0 = none): recovery replays
+    /// only records after it. No-op for memory-backed indexes.
+    pub fn save_manifest(&self, wal_seq: u64) -> Result<()> {
+        let BlockStore::Disk { dir, files } = &self.store else {
+            return Ok(());
+        };
+        let mut buf = Vec::new();
+        cursor::put_slice(&mut buf, b"SPGM");
+        cursor::put_u8(&mut buf, 1); // version
+        cursor::put_u64_le(&mut buf, self.generation);
+        cursor::put_u64_le(&mut buf, wal_seq);
+        cursor::put_f64_le(&mut buf, self.cell_size);
+        cursor::put_f64_le(&mut buf, self.origin.x);
+        cursor::put_f64_le(&mut buf, self.origin.y);
+        cursor::put_u32_le(&mut buf, self.cells.len() as u32);
+        for (cell, file) in self.cells.iter().zip(files) {
+            cursor::put_u32_le(&mut buf, cell.coords.0 as u32);
+            cursor::put_u32_le(&mut buf, cell.coords.1 as u32);
+            cursor::put_u64_le(&mut buf, cell.num_objects as u64);
+            cursor::put_u64_le(&mut buf, cell.bytes);
+            cursor::put_u32_le(&mut buf, cell.id_min);
+            cursor::put_u32_le(&mut buf, cell.id_max);
+            cursor::put_str(&mut buf, file);
+            let hull = encode_geometry(&Geometry::Polygon(cell.hull.clone()));
+            cursor::put_u32_le(&mut buf, hull.len() as u32);
+            cursor::put_slice(&mut buf, &hull);
+        }
+        let crc = crc32(&buf);
+        cursor::put_u32_le(&mut buf, crc);
+
+        let name = format!("manifest_g{}.mf", self.generation);
+        std::fs::write(dir.join(&name), &buf)?;
+        // Atomic CURRENT swap: write a temp file, then rename over.
+        let tmp = dir.join("CURRENT.tmp");
+        std::fs::write(&tmp, name.as_bytes())?;
+        std::fs::rename(&tmp, dir.join("CURRENT"))?;
+        Ok(())
+    }
+
+    /// Open the generation `CURRENT` points at. Returns the index plus the
+    /// WAL sequence its manifest recorded as folded in.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<(GridIndex, u64)> {
+        let dir = dir.into();
+        let current = std::fs::read_to_string(dir.join("CURRENT"))?;
+        let data = std::fs::read(dir.join(current.trim()))?;
+        let corrupt = |m: &str| StorageError::Corrupt(format!("manifest: {m}"));
+        if data.len() < 4 {
+            return Err(corrupt("too short"));
+        }
+        let (body, tail) = data.split_at(data.len() - 4);
+        let mut crc_cur = tail;
+        let stored = cursor::get_u32_le(&mut crc_cur).ok_or_else(|| corrupt("no crc"))?;
+        if crc32(body) != stored {
+            return Err(corrupt("checksum mismatch"));
+        }
+        let mut cur = body;
+        let magic = cursor::get_bytes(&mut cur, 4).ok_or_else(|| corrupt("no magic"))?;
+        if magic != b"SPGM" {
+            return Err(corrupt("bad magic"));
+        }
+        let _version = cursor::get_u8(&mut cur).ok_or_else(|| corrupt("no version"))?;
+        let generation = cursor::get_u64_le(&mut cur).ok_or_else(|| corrupt("truncated"))?;
+        let wal_seq = cursor::get_u64_le(&mut cur).ok_or_else(|| corrupt("truncated"))?;
+        let cell_size = cursor::get_f64_le(&mut cur).ok_or_else(|| corrupt("truncated"))?;
+        let ox = cursor::get_f64_le(&mut cur).ok_or_else(|| corrupt("truncated"))?;
+        let oy = cursor::get_f64_le(&mut cur).ok_or_else(|| corrupt("truncated"))?;
+        let n = cursor::get_u32_le(&mut cur).ok_or_else(|| corrupt("truncated"))? as usize;
+        let mut cells = Vec::with_capacity(n);
+        let mut files = Vec::with_capacity(n);
+        for _ in 0..n {
+            let cx = cursor::get_u32_le(&mut cur).ok_or_else(|| corrupt("truncated"))? as i32;
+            let cy = cursor::get_u32_le(&mut cur).ok_or_else(|| corrupt("truncated"))? as i32;
+            let num_objects =
+                cursor::get_u64_le(&mut cur).ok_or_else(|| corrupt("truncated"))? as usize;
+            let bytes = cursor::get_u64_le(&mut cur).ok_or_else(|| corrupt("truncated"))?;
+            let id_min = cursor::get_u32_le(&mut cur).ok_or_else(|| corrupt("truncated"))?;
+            let id_max = cursor::get_u32_le(&mut cur).ok_or_else(|| corrupt("truncated"))?;
+            let flen = cursor::get_u32_le(&mut cur).ok_or_else(|| corrupt("truncated"))? as usize;
+            let fname = cursor::get_bytes(&mut cur, flen).ok_or_else(|| corrupt("truncated"))?;
+            let file = String::from_utf8(fname.to_vec()).map_err(|_| corrupt("bad file name"))?;
+            let hlen = cursor::get_u32_le(&mut cur).ok_or_else(|| corrupt("truncated"))? as usize;
+            let hbytes = cursor::get_bytes(&mut cur, hlen).ok_or_else(|| corrupt("truncated"))?;
+            let Geometry::Polygon(hull) = decode_geometry(hbytes)? else {
+                return Err(corrupt("hull is not a polygon"));
+            };
+            cells.push(GridCell {
+                coords: (cx, cy),
+                hull,
+                num_objects,
+                bytes,
+                id_min,
+                id_max,
+            });
+            files.push(file);
+        }
+        Ok((
+            GridIndex::from_parts(
+                cell_size,
+                Point::new(ox, oy),
+                generation,
+                cells,
+                BlockStore::Disk { dir, files },
+            ),
+            wal_seq,
+        ))
+    }
 }
 
-fn cell_path(dir: &std::path::Path, coords: (i32, i32)) -> PathBuf {
-    dir.join(format!("cell_{}_{}.blk", coords.0, coords.1))
+/// Reference to one stored block, for carrying cells across generations.
+pub(crate) enum BlockRef {
+    File(String),
+    Bytes(Arc<Vec<u8>>),
+}
+
+/// The discrete cell that `centroid` falls into.
+pub(crate) fn bucket_of(centroid: Point, origin: Point, cell_size: f64) -> (i32, i32) {
+    (
+        ((centroid.x - origin.x) / cell_size).floor() as i32,
+        ((centroid.y - origin.y) / cell_size).floor() as i32,
+    )
+}
+
+/// Hull + encode one cell's member objects. Shared by the initial build
+/// and compaction so both produce identical blocks for identical members.
+pub(crate) fn encode_cell(
+    coords: (i32, i32),
+    items: &[(u32, Geometry)],
+) -> Result<(GridCell, Vec<u8>)> {
+    // Bounding polygon: convex hull over all member geometry vertices
+    // (expands past the cell box for spanning objects).
+    let mut pts: Vec<Point> = Vec::new();
+    for (_, g) in items {
+        collect_vertices(g, &mut pts);
+    }
+    let hull = convex_hull_polygon(&pts).unwrap_or_else(|| {
+        // Degenerate cell (all collinear): fall back to an inflated
+        // bbox so the bound is still a polygon.
+        Polygon::rect(BBox::from_points(pts.iter().copied()).inflate(1e-9))
+    });
+    let table = geometry_table(&format!("cell_{}_{}", coords.0, coords.1), items)?;
+    let encoded = persist::encode_table(&table);
+    let bytes = encoded.len() as u64;
+    let id_min = items.iter().map(|(id, _)| *id).min().unwrap_or(0);
+    let id_max = items.iter().map(|(id, _)| *id).max().unwrap_or(0);
+    Ok((
+        GridCell {
+            coords,
+            hull,
+            num_objects: items.len(),
+            bytes,
+            id_min,
+            id_max,
+        },
+        encoded,
+    ))
 }
 
 fn collect_vertices(g: &Geometry, out: &mut Vec<Point>) {
@@ -257,7 +485,7 @@ mod tests {
     use super::*;
     use spade_geometry::predicates::point_in_polygon;
 
-    fn point_set(n: usize) -> Vec<(u32, Geometry)> {
+    pub(crate) fn point_set(n: usize) -> Vec<(u32, Geometry)> {
         // Deterministic scatter over [0, 100)².
         let mut s = 99u64;
         (0..n)
@@ -282,6 +510,7 @@ mod tests {
         assert_eq!(idx.num_objects(), 500);
         assert!(idx.num_cells() <= 16);
         assert!(idx.total_bytes() > 0);
+        assert_eq!(idx.generation, 0);
     }
 
     #[test]
@@ -320,6 +549,7 @@ mod tests {
     #[test]
     fn disk_backed_roundtrip() {
         let dir = std::env::temp_dir().join(format!("spade-grid-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
         let objects = point_set(100);
         let idx = GridIndex::build(Some(dir.clone()), &objects, 50.0).unwrap();
         let total: usize = (0..idx.num_cells())
@@ -363,6 +593,7 @@ mod tests {
     #[test]
     fn corrupt_block_is_reported_not_panicking() {
         let dir = std::env::temp_dir().join(format!("spade-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
         let idx = GridIndex::build(Some(dir.clone()), &point_set(50), 100.0).unwrap();
         // Truncate every block file on disk.
         for entry in std::fs::read_dir(&dir).unwrap() {
@@ -392,5 +623,73 @@ mod tests {
             .collect();
         let idx = GridIndex::build(None, &objects, 100.0).unwrap();
         assert_eq!(idx.num_cells(), 1);
+    }
+
+    #[test]
+    fn id_ranges_cover_members() {
+        let objects = point_set(120);
+        let idx = GridIndex::build(None, &objects, 25.0).unwrap();
+        for i in 0..idx.num_cells() {
+            let cell = &idx.cells()[i];
+            for (id, _) in idx.load_cell(i).unwrap() {
+                assert!(cell.id_min <= id && id <= cell.id_max);
+            }
+        }
+    }
+
+    #[test]
+    fn compaction_ledger_is_separate() {
+        let objects = point_set(80);
+        let idx = GridIndex::build(None, &objects, 25.0).unwrap();
+        idx.load_cell_compact(0).unwrap();
+        assert_eq!(idx.bytes_read(), 0, "compaction reads are not query I/O");
+        assert!(idx.compact_bytes_read() > 0);
+        idx.load_cell(0).unwrap();
+        assert_eq!(idx.bytes_read(), idx.cells()[0].bytes);
+    }
+
+    #[test]
+    fn manifest_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("spade-manifest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let objects = point_set(60);
+        let idx = GridIndex::build(Some(dir.clone()), &objects, 25.0).unwrap();
+        idx.save_manifest(42).unwrap();
+        let (back, wal_seq) = GridIndex::open(&dir).unwrap();
+        assert_eq!(wal_seq, 42);
+        assert_eq!(back.generation, 0);
+        assert_eq!(back.num_cells(), idx.num_cells());
+        assert_eq!(back.cell_size, idx.cell_size);
+        let total: usize = (0..back.num_cells())
+            .map(|i| back.load_cell(i).unwrap().len())
+            .sum();
+        assert_eq!(total, 60);
+        for (a, b) in idx.cells().iter().zip(back.cells()) {
+            assert_eq!(a.coords, b.coords);
+            assert_eq!(a.bytes, b.bytes);
+            assert_eq!(a.id_min, b.id_min);
+            assert_eq!(a.id_max, b.id_max);
+            assert_eq!(a.hull.exterior.points, b.hull.exterior.points);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_manifest_is_reported() {
+        let dir = std::env::temp_dir().join(format!("spade-manifest-bad-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let idx = GridIndex::build(Some(dir.clone()), &point_set(30), 50.0).unwrap();
+        idx.save_manifest(0).unwrap();
+        let current = std::fs::read_to_string(dir.join("CURRENT")).unwrap();
+        let mpath = dir.join(current.trim());
+        let mut data = std::fs::read(&mpath).unwrap();
+        let mid = data.len() / 2;
+        data[mid] ^= 0x55;
+        std::fs::write(&mpath, &data).unwrap();
+        assert!(matches!(
+            GridIndex::open(&dir),
+            Err(spade_storage::StorageError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

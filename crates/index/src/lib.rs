@@ -16,8 +16,16 @@
 //! (bounding polygons over R-tree leaves) and serves the cluster baseline's
 //! per-partition index.
 
+//! Live ingestion support: writes stage in a per-dataset [`delta`] store
+//! and a background [`compact`] pass folds them into a fresh index
+//! generation, leaving in-flight readers on the old one.
+
+pub mod compact;
+pub mod delta;
 pub mod grid;
 pub mod rtree;
 
+pub use compact::{compact, CompactReport};
+pub use delta::{DeltaSnapshot, DeltaStore};
 pub use grid::{GridCell, GridIndex};
 pub use rtree::RTree;

@@ -33,7 +33,7 @@
 //! let service = QueryService::new(ServiceConfig {
 //!     engine: EngineConfig::test_small(),
 //!     workers: 2,
-//!     fairness_cap: 2,
+//!     ..Default::default()
 //! });
 //! let pts = spade_datagen::spider::uniform_points(200, 7);
 //! service.register("pts", Dataset::from_points("pts", pts));

@@ -121,6 +121,14 @@ pub(crate) struct MetricsRegistry {
     pub io_nanos: Counter,
     pub io_hidden_nanos: Counter,
     pub gpu_nanos: Counter,
+    /// Compaction runs completed (foreground or background).
+    pub compact_runs: Counter,
+    /// Encoded cell bytes compaction read back to rewrite.
+    pub compact_bytes_read: Counter,
+    /// Encoded cell bytes compaction wrote for new generations.
+    pub compact_bytes_written: Counter,
+    /// Grid cells split because the merged cell exceeded the byte budget.
+    pub compact_cells_split: Counter,
 }
 
 impl MetricsRegistry {

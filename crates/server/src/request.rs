@@ -33,6 +33,20 @@ pub enum QueryRequest {
         analyze: bool,
         request: Box<QueryRequest>,
     },
+    /// Insert (or replace) one object of a grid-indexed dataset. The write
+    /// is WAL-logged (when the service has a WAL) and staged in the
+    /// dataset's delta store; queries see it immediately.
+    Insert {
+        dataset: String,
+        id: u32,
+        geometry: spade_geometry::Geometry,
+    },
+    /// Delete one object of a grid-indexed dataset (a staged tombstone
+    /// masks the base index until compaction folds it in).
+    Delete { dataset: String, id: u32 },
+    /// Force durability and full compaction of one dataset: fsync the WAL,
+    /// drain the delta into a fresh index generation, and checkpoint.
+    Flush { dataset: String },
 }
 
 impl QueryRequest {
@@ -54,6 +68,9 @@ impl QueryRequest {
             },
             QueryRequest::Sql(_) => "sql",
             QueryRequest::Explain { .. } => "explain",
+            QueryRequest::Insert { .. } => "insert",
+            QueryRequest::Delete { .. } => "delete",
+            QueryRequest::Flush { .. } => "flush",
         }
     }
 }
@@ -67,6 +84,10 @@ pub enum ResponsePayload {
     Sql(SqlResult),
     /// The rendered plan of an `EXPLAIN` / `EXPLAIN ANALYZE` request.
     Explain(String),
+    /// Acknowledgement of a write: the WAL sequence it was assigned (for
+    /// `Flush`, the checkpointed sequence) and the index generation the
+    /// dataset is on after the request.
+    Ack { seq: u64, generation: u64 },
 }
 
 impl ResponsePayload {
@@ -82,6 +103,14 @@ impl ResponsePayload {
     pub fn explain(&self) -> Option<&str> {
         match self {
             ResponsePayload::Explain(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The `(seq, generation)` acknowledgement, when the payload is one.
+    pub fn ack(&self) -> Option<(u64, u64)> {
+        match self {
+            ResponsePayload::Ack { seq, generation } => Some((*seq, *generation)),
             _ => None,
         }
     }

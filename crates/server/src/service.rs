@@ -23,8 +23,10 @@ use spade_core::cancel::CancelToken;
 use spade_core::dataset::{Dataset, IndexedDataset};
 use spade_core::query::{self, QueryResult, SelectQuery};
 use spade_core::{EngineConfig, QueryStats, Spade};
+use spade_storage::wal::{pending_by_dataset, PendingWrites, Wal, WalOp};
 use spade_storage::Database;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
@@ -40,6 +42,14 @@ pub struct ServiceConfig {
     /// Maximum queries of one session running at once; further queries of
     /// that session wait even when workers and memory are free.
     pub fairness_cap: usize,
+    /// Directory of the write-ahead log. `None` (the default) runs without
+    /// durability: writes stage into delta stores but are lost on restart.
+    /// With a directory, every insert/delete appends a checksummed WAL
+    /// record before it becomes visible, and [`QueryService::with_engine`]
+    /// replays unapplied records when the service reopens — datasets
+    /// registered afterwards ([`QueryService::register_indexed`]) receive
+    /// their pending writes at registration time.
+    pub wal_dir: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -48,6 +58,7 @@ impl Default for ServiceConfig {
             engine: EngineConfig::default(),
             workers: 4,
             fairness_cap: 2,
+            wal_dir: None,
         }
     }
 }
@@ -83,6 +94,19 @@ struct Shared {
     fairness_cap: usize,
     shutdown: AtomicBool,
     next_session: AtomicU64,
+    /// The write-ahead log, when the service was configured with a
+    /// `wal_dir`. Appends serialize under this mutex (the WAL is a single
+    /// sequenced stream across datasets); group-commit batching inside
+    /// [`Wal`] keeps the fsync rate low regardless of writer count.
+    wal: Option<Mutex<Wal>>,
+    /// WAL records replayed at open that still await their dataset: keyed
+    /// by dataset name, drained when [`QueryService::register_indexed`]
+    /// registers that dataset.
+    pending: Mutex<BTreeMap<String, PendingWrites>>,
+    /// Datasets whose staged delta crossed `compact_trigger_bytes`,
+    /// awaiting the background compactor. Deduplicated on push.
+    compact_queue: Mutex<VecDeque<String>>,
+    compact_ready: Condvar,
 }
 
 /// A query service over one shared engine. Dropping the service shuts the
@@ -90,6 +114,7 @@ struct Shared {
 pub struct QueryService {
     shared: Arc<Shared>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    compactor: Option<std::thread::JoinHandle<()>>,
 }
 
 impl QueryService {
@@ -102,6 +127,14 @@ impl QueryService {
     /// Build a service over an existing (shareable) engine. The admission
     /// controller gates on the engine's device capacity.
     pub fn with_engine(engine: Arc<Spade>, config: ServiceConfig) -> Self {
+        let (wal, pending) = match &config.wal_dir {
+            Some(dir) => {
+                let (wal, records) =
+                    Wal::open(dir, config.engine.wal_sync).expect("open write-ahead log");
+                (Some(Mutex::new(wal)), pending_by_dataset(&records))
+            }
+            None => (None, BTreeMap::new()),
+        };
         let shared = Arc::new(Shared {
             admission: AdmissionController::new(engine.device.capacity()),
             spade: engine,
@@ -115,6 +148,10 @@ impl QueryService {
             fairness_cap: config.fairness_cap.max(1),
             shutdown: AtomicBool::new(false),
             next_session: AtomicU64::new(1),
+            wal,
+            pending: Mutex::new(pending),
+            compact_queue: Mutex::new(VecDeque::new()),
+            compact_ready: Condvar::new(),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -125,7 +162,18 @@ impl QueryService {
                     .expect("spawn service worker")
             })
             .collect();
-        QueryService { shared, workers }
+        let compactor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("spade-compact".into())
+                .spawn(move || compactor_loop(&shared))
+                .expect("spawn compactor")
+        };
+        QueryService {
+            shared,
+            workers,
+            compactor: Some(compactor),
+        }
     }
 
     /// The shared engine (for inspection: device ledger, config).
@@ -151,12 +199,32 @@ impl QueryService {
 
     /// Register a grid-indexed (out-of-core) dataset under `name`. Name
     /// resolution prefers the indexed form when both are registered.
+    ///
+    /// Crash recovery happens here: WAL records replayed at service open
+    /// that name this dataset and postdate its persisted checkpoint are
+    /// applied to the delta store before the dataset becomes queryable, so
+    /// acknowledged writes survive a crash between WAL append and
+    /// compaction.
     pub fn register_indexed(&self, name: impl Into<String>, data: IndexedDataset) {
+        let name = name.into();
+        if let Some(pending) = self.shared.pending.lock().unwrap().remove(&name) {
+            let floor = data.checkpoint_seq();
+            for rec in &pending.ops {
+                if rec.seq <= floor {
+                    continue; // already folded into the persisted index
+                }
+                match &rec.op {
+                    WalOp::Insert { id, geom } => data.insert_at(rec.seq, *id, geom.clone()),
+                    WalOp::Delete { id } => data.delete_at(rec.seq, *id),
+                    WalOp::Checkpoint { .. } => {}
+                }
+            }
+        }
         self.shared
             .indexed
             .write()
             .unwrap()
-            .insert(name.into(), Arc::new(data));
+            .insert(name, Arc::new(data));
     }
 
     /// Open a new session. Sessions are cheap id-carrying handles; the
@@ -356,6 +424,84 @@ impl QueryService {
             "Bytes of arena textures currently checked out.",
             arena.live_bytes,
         );
+        // Live-ingestion surface: WAL write rates, staged delta debt, and
+        // compaction work, per the write path in DESIGN.md.
+        if let Some(wal) = &self.shared.wal {
+            let w = wal.lock().unwrap().stats();
+            render_counter(
+                &mut out,
+                "spade_wal_appends_total",
+                "Records appended to the write-ahead log.",
+                w.appends,
+            );
+            render_counter(
+                &mut out,
+                "spade_wal_fsyncs_total",
+                "WAL fsync calls (group commit amortizes these).",
+                w.fsyncs,
+            );
+            render_counter(
+                &mut out,
+                "spade_wal_bytes_total",
+                "Bytes appended to the write-ahead log, framing included.",
+                w.bytes_written,
+            );
+            render_counter(
+                &mut out,
+                "spade_wal_segments_total",
+                "WAL segment rotations.",
+                w.segments_rotated,
+            );
+        }
+        let (mut staged, mut tombstones, mut delta_bytes) = (0u64, 0u64, 0u64);
+        for d in self.shared.indexed.read().unwrap().values() {
+            let s = d.delta_stats();
+            staged += s.staged as u64;
+            tombstones += s.tombstones as u64;
+            delta_bytes += s.bytes;
+        }
+        render_gauge(
+            &mut out,
+            "spade_delta_staged_objects",
+            "Objects staged in delta stores, awaiting compaction.",
+            staged,
+        );
+        render_gauge(
+            &mut out,
+            "spade_delta_tombstones",
+            "Delete tombstones staged in delta stores.",
+            tombstones,
+        );
+        render_gauge(
+            &mut out,
+            "spade_delta_bytes",
+            "Approximate staged delta bytes (compaction debt) right now.",
+            delta_bytes,
+        );
+        render_counter(
+            &mut out,
+            "spade_compact_runs_total",
+            "Compaction runs completed (background or synchronous).",
+            m.compact_runs.get(),
+        );
+        render_counter(
+            &mut out,
+            "spade_compact_bytes_read_total",
+            "Encoded cell bytes compaction read back to rewrite.",
+            m.compact_bytes_read.get(),
+        );
+        render_counter(
+            &mut out,
+            "spade_compact_bytes_written_total",
+            "Encoded cell bytes compaction wrote for new generations.",
+            m.compact_bytes_written.get(),
+        );
+        render_counter(
+            &mut out,
+            "spade_compact_cells_split_total",
+            "Cells split by compaction to respect the cell byte budget.",
+            m.compact_cells_split.get(),
+        );
         out
     }
 }
@@ -364,8 +510,17 @@ impl Drop for QueryService {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.work_ready.notify_all();
+        self.shared.compact_ready.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        if let Some(c) = self.compactor.take() {
+            let _ = c.join();
+        }
+        // Acknowledged writes stay durable across a clean shutdown even in
+        // GroupCommit mode: flush whatever tail the commit window holds.
+        if let Some(wal) = &self.shared.wal {
+            let _ = wal.lock().unwrap().sync();
         }
     }
 }
@@ -477,7 +632,10 @@ impl Ticket {
 fn estimate_footprint(shared: &Shared, request: &QueryRequest) -> Result<u64, ServiceError> {
     let cfg = &shared.spade.config;
     let canvas = |res: u32| (res as u64) * (res as u64) * 16;
-    let max_cell = |d: &IndexedDataset| d.grid.cells().iter().map(|c| c.bytes).max().unwrap_or(0);
+    let max_cell = |d: &IndexedDataset| {
+        let grid = d.grid();
+        grid.cells().iter().map(|c| c.bytes).max().unwrap_or(0)
+    };
     match request {
         QueryRequest::Select { dataset, query } => {
             if let Some(idx) = shared.indexed.read().unwrap().get(dataset) {
@@ -520,6 +678,18 @@ fn estimate_footprint(shared: &Shared, request: &QueryRequest) -> Result<u64, Se
         // Spatial requests execute to discover their plan, so an EXPLAIN
         // needs the same reservation as the request it wraps.
         QueryRequest::Explain { request, .. } => estimate_footprint(shared, request),
+        // Writes stage on the host (WAL + delta store); they reserve no
+        // device memory but still resolve the dataset so unknown names
+        // fail fast. Flush-triggered compaction also runs host-side.
+        QueryRequest::Insert { dataset, .. }
+        | QueryRequest::Delete { dataset, .. }
+        | QueryRequest::Flush { dataset } => {
+            if shared.indexed.read().unwrap().contains_key(dataset) {
+                Ok(0)
+            } else {
+                Err(ServiceError::UnknownDataset(dataset.clone()))
+            }
+        }
     }
 }
 
@@ -695,10 +865,274 @@ fn execute(
         }
         QueryRequest::Sql(stmt) => {
             let db = shared.db.lock().unwrap();
-            let result = spade_storage::sql::execute(&db, stmt)?;
+            let mut observer = SpatialInsertObserver { shared };
+            let result = spade_storage::sql::execute_observed(&db, stmt, Some(&mut observer))?;
             Ok((ResponsePayload::Sql(result), QueryStats::default()))
         }
         QueryRequest::Explain { analyze, request } => explain(shared, *analyze, request, cancel),
+        QueryRequest::Insert { .. } | QueryRequest::Delete { .. } | QueryRequest::Flush { .. } => {
+            execute_write(shared, request)
+        }
+    }
+}
+
+/// Routes SQL `INSERT` statements into registered spatial datasets through
+/// the same WAL + delta-store path as typed [`QueryRequest::Insert`]s. A
+/// spatial table row is `(id INT, x, y)`; tables not registered as indexed
+/// datasets pass through untouched. The callback fires before the rows
+/// land in the relational table, so the WAL append is the durability point
+/// for both representations.
+struct SpatialInsertObserver<'a> {
+    shared: &'a Shared,
+}
+
+impl spade_storage::sql::SqlObserver for SpatialInsertObserver<'_> {
+    fn before_insert(
+        &mut self,
+        table: &str,
+        rows: &[Vec<spade_storage::Value>],
+    ) -> spade_storage::Result<()> {
+        let idx = self.shared.indexed.read().unwrap().get(table).cloned();
+        let Some(idx) = idx else { return Ok(()) };
+        for row in rows {
+            let (id, geom) = spatial_row(table, row)?;
+            match &self.shared.wal {
+                Some(wal) => {
+                    let seq = wal.lock().unwrap().append(
+                        table,
+                        WalOp::Insert {
+                            id,
+                            geom: geom.clone(),
+                        },
+                    )?;
+                    idx.insert_at(seq, id, geom);
+                }
+                None => {
+                    idx.insert(id, geom);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Interpret one relational row destined for a spatial table: column 0 is
+/// the object id, columns 1–2 the point coordinates.
+fn spatial_row(
+    table: &str,
+    row: &[spade_storage::Value],
+) -> spade_storage::Result<(u32, spade_geometry::Geometry)> {
+    use spade_storage::Value;
+    let num = |v: &Value| -> Option<f64> {
+        match v {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    };
+    match row {
+        [Value::Int(id), x, y] if num(x).is_some() && num(y).is_some() && *id >= 0 => Ok((
+            *id as u32,
+            spade_geometry::Geometry::Point(spade_geometry::Point::new(
+                num(x).unwrap(),
+                num(y).unwrap(),
+            )),
+        )),
+        _ => Err(spade_storage::StorageError::Parse(format!(
+            "table '{table}' is a registered spatial dataset; INSERT rows must be (id INT, x, y)"
+        ))),
+    }
+}
+
+/// Resolve a grid-indexed dataset or fail with [`ServiceError::UnknownDataset`].
+fn resolve_indexed(shared: &Shared, name: &str) -> Result<Arc<IndexedDataset>, ServiceError> {
+    shared
+        .indexed
+        .read()
+        .unwrap()
+        .get(name)
+        .cloned()
+        .ok_or_else(|| ServiceError::UnknownDataset(name.to_string()))
+}
+
+/// Execute one write request. The write path is: (1) backpressure — if the
+/// staged delta already exceeds `delta_max_bytes`, compact synchronously on
+/// the writer's worker before admitting more debt; (2) WAL append (the
+/// durability point — `wal_sync` decides whether the append fsyncs); (3)
+/// stage into the delta store, which makes the write visible to queries;
+/// (4) if the delta crossed `compact_trigger_bytes`, signal the background
+/// compactor. Without a WAL the service sequences writes itself and skips
+/// the durability step.
+fn execute_write(
+    shared: &Shared,
+    request: &QueryRequest,
+) -> Result<(ResponsePayload, QueryStats), ServiceError> {
+    match request {
+        QueryRequest::Insert {
+            dataset,
+            id,
+            geometry,
+        } => {
+            let idx = resolve_indexed(shared, dataset)?;
+            backpressure(shared, dataset, &idx)?;
+            let seq = match &shared.wal {
+                Some(wal) => {
+                    let seq = wal.lock().unwrap().append(
+                        dataset,
+                        WalOp::Insert {
+                            id: *id,
+                            geom: geometry.clone(),
+                        },
+                    )?;
+                    idx.insert_at(seq, *id, geometry.clone());
+                    seq
+                }
+                None => idx.insert(*id, geometry.clone()),
+            };
+            let stats = idx.delta_stats();
+            maybe_signal_compactor(shared, dataset, stats.bytes);
+            Ok((
+                ResponsePayload::Ack {
+                    seq,
+                    generation: stats.generation,
+                },
+                QueryStats::default(),
+            ))
+        }
+        QueryRequest::Delete { dataset, id } => {
+            let idx = resolve_indexed(shared, dataset)?;
+            backpressure(shared, dataset, &idx)?;
+            let seq = match &shared.wal {
+                Some(wal) => {
+                    let seq = wal
+                        .lock()
+                        .unwrap()
+                        .append(dataset, WalOp::Delete { id: *id })?;
+                    idx.delete_at(seq, *id);
+                    seq
+                }
+                None => idx.delete(*id),
+            };
+            let stats = idx.delta_stats();
+            maybe_signal_compactor(shared, dataset, stats.bytes);
+            Ok((
+                ResponsePayload::Ack {
+                    seq,
+                    generation: stats.generation,
+                },
+                QueryStats::default(),
+            ))
+        }
+        QueryRequest::Flush { dataset } => {
+            let idx = resolve_indexed(shared, dataset)?;
+            if let Some(wal) = &shared.wal {
+                wal.lock().unwrap().sync()?;
+            }
+            compact_now(shared, dataset, &idx)?;
+            let stats = idx.delta_stats();
+            Ok((
+                ResponsePayload::Ack {
+                    seq: idx.checkpoint_seq(),
+                    generation: stats.generation,
+                },
+                QueryStats::default(),
+            ))
+        }
+        other => unreachable!("execute_write on non-write request {:?}", other.class()),
+    }
+}
+
+/// Writer backpressure: a write against a delta already at or over
+/// `delta_max_bytes` pays for compaction synchronously instead of growing
+/// the debt without bound.
+fn backpressure(
+    shared: &Shared,
+    dataset: &str,
+    idx: &Arc<IndexedDataset>,
+) -> Result<(), ServiceError> {
+    if idx.delta_stats().bytes >= shared.spade.config.delta_max_bytes {
+        compact_now(shared, dataset, idx)?;
+    }
+    Ok(())
+}
+
+/// Run one compaction of `idx` and account for it: fold the report into
+/// the compaction counters and append a `Checkpoint` record so WAL replay
+/// after the *next* open skips everything the new generation persisted.
+/// The checkpoint is written after [`IndexedDataset::compact`] returns —
+/// i.e. after the new generation's manifest is durable — so a crash
+/// between the two only costs a harmless re-application of already-folded
+/// records (inserts replace, deletes re-tombstone: replay is idempotent).
+fn compact_now(
+    shared: &Shared,
+    dataset: &str,
+    idx: &Arc<IndexedDataset>,
+) -> Result<(), ServiceError> {
+    let report = idx.compact(shared.spade.config.max_cell_bytes)?;
+    if let Some(report) = report {
+        shared.metrics.compact_runs.add(1);
+        shared.metrics.compact_bytes_read.add(report.bytes_read);
+        shared
+            .metrics
+            .compact_bytes_written
+            .add(report.bytes_written);
+        shared
+            .metrics
+            .compact_cells_split
+            .add(report.cells_split as u64);
+        if let Some(wal) = &shared.wal {
+            wal.lock().unwrap().append(
+                dataset,
+                WalOp::Checkpoint {
+                    generation: report.generation,
+                    through_seq: idx.checkpoint_seq(),
+                },
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Queue `dataset` for background compaction once its staged delta crosses
+/// the trigger threshold. Deduplicates: a dataset already queued is not
+/// queued twice.
+fn maybe_signal_compactor(shared: &Shared, dataset: &str, delta_bytes: u64) {
+    if delta_bytes < shared.spade.config.compact_trigger_bytes.max(1) {
+        return;
+    }
+    let mut q = shared.compact_queue.lock().unwrap();
+    if !q.iter().any(|n| n == dataset) {
+        q.push_back(dataset.to_string());
+        shared.compact_ready.notify_one();
+    }
+}
+
+/// The background compactor: drains the compaction queue, rewriting each
+/// dataset's delta into a fresh index generation while queries keep
+/// reading the old one. Compaction failures are absorbed (the delta stays
+/// staged and correct; the next trigger retries).
+fn compactor_loop(shared: &Shared) {
+    loop {
+        let name = {
+            let mut q = shared.compact_queue.lock().unwrap();
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if let Some(name) = q.pop_front() {
+                    break name;
+                }
+                let (guard, _) = shared
+                    .compact_ready
+                    .wait_timeout(q, Duration::from_millis(20))
+                    .unwrap();
+                q = guard;
+            }
+        };
+        let idx = shared.indexed.read().unwrap().get(&name).cloned();
+        if let Some(idx) = idx {
+            let _ = compact_now(shared, &name, &idx);
+        }
     }
 }
 
@@ -757,6 +1191,9 @@ fn describe(request: &QueryRequest) -> String {
         }
         QueryRequest::Sql(stmt) => format!("sql: {stmt}"),
         QueryRequest::Explain { request, .. } => format!("explain of {}", describe(request)),
+        QueryRequest::Insert { dataset, id, .. } => format!("insert {id} into \"{dataset}\""),
+        QueryRequest::Delete { dataset, id } => format!("delete {id} from \"{dataset}\""),
+        QueryRequest::Flush { dataset } => format!("flush \"{dataset}\""),
     }
 }
 

@@ -131,8 +131,12 @@ fn baseline(config: &EngineConfig) -> Vec<QueryResult> {
                     .unwrap()
                     .result
             }
-            QueryRequest::Sql(_) | QueryRequest::Explain { .. } => {
-                unreachable!("workload has no SQL or EXPLAIN")
+            QueryRequest::Sql(_)
+            | QueryRequest::Explain { .. }
+            | QueryRequest::Insert { .. }
+            | QueryRequest::Delete { .. }
+            | QueryRequest::Flush { .. } => {
+                unreachable!("workload has no SQL, EXPLAIN, or writes")
             }
         })
         .collect()
@@ -160,6 +164,7 @@ fn differential_one_session() {
         engine: config,
         workers: 2,
         fairness_cap: 2,
+        wal_dir: None,
     });
     let session = svc.session();
     for (req, want) in workload().into_iter().zip(&expected) {
@@ -179,6 +184,7 @@ fn differential_sixteen_sessions() {
         engine: config,
         workers: 4,
         fairness_cap: 2,
+        wal_dir: None,
     }));
     std::thread::scope(|s| {
         for t in 0..16u64 {
@@ -211,12 +217,138 @@ fn differential_sixteen_sessions() {
     assert_eq!(svc.engine().device.used(), 0);
 }
 
+/// Sixteen reader sessions race one writer session that inserts, replaces,
+/// deletes, and periodically flushes a WAL-backed dataset while the
+/// background compactor churns generations underneath. Invariants: every
+/// ticket resolves (no deadlock), no read is torn (an id appears at most
+/// once per result, whatever generation the query ran against), the final
+/// state equals the writer's script, and the ledgers balance.
+#[test]
+fn sixteen_sessions_with_live_writer() {
+    let wal_dir = std::env::temp_dir().join(format!("spade-svc-stress-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let mut config = tiny_config();
+    config.compact_trigger_bytes = 512; // keep the compactor busy
+    let svc = Arc::new(service(ServiceConfig {
+        engine: config,
+        workers: 4,
+        fairness_cap: 2,
+        wal_dir: Some(wal_dir.clone()),
+    }));
+
+    const WRITES: u32 = 150;
+    std::thread::scope(|s| {
+        // One writer: fresh inserts, replacements of its own earlier ids,
+        // deletes of every tenth, a flush every fortieth.
+        {
+            let svc = Arc::clone(&svc);
+            s.spawn(move || {
+                let session = svc.session();
+                for i in 0..WRITES {
+                    let geometry = spade_geometry::Geometry::Point(Point::new(
+                        (i % 23) as f64 * 4.2,
+                        (i % 29) as f64 * 3.3,
+                    ));
+                    let req = if i % 10 == 9 {
+                        QueryRequest::Delete {
+                            dataset: "pts".into(),
+                            id: 20_000 + i - 5, // delete an id inserted earlier
+                        }
+                    } else {
+                        QueryRequest::Insert {
+                            dataset: "pts".into(),
+                            id: 20_000 + i,
+                            geometry,
+                        }
+                    };
+                    let resp = session.submit(req).wait().expect("write succeeds");
+                    assert!(resp.payload.ack().is_some());
+                    if i % 40 == 39 {
+                        session
+                            .submit(QueryRequest::Flush {
+                                dataset: "pts".into(),
+                            })
+                            .wait()
+                            .expect("flush succeeds");
+                    }
+                }
+            });
+        }
+        // Sixteen readers: each replays the workload; results vary with the
+        // in-flight writes, but every result must be internally consistent.
+        for t in 0..16u64 {
+            let svc = Arc::clone(&svc);
+            s.spawn(move || {
+                let session = svc.session();
+                // Half the workload each; the rotation still covers every
+                // query class across the 16 sessions.
+                let reqs = workload();
+                for i in 0..reqs.len() / 2 {
+                    let req = reqs[(i + t as usize) % reqs.len()].clone();
+                    let resp = session.submit(req).wait().expect("query succeeds");
+                    if let ResponsePayload::Query(QueryResult::Ids(ids)) = &resp.payload {
+                        let mut dedup = ids.clone();
+                        dedup.sort_unstable();
+                        dedup.dedup();
+                        assert_eq!(dedup.len(), ids.len(), "torn read: duplicate ids");
+                    }
+                }
+            });
+        }
+    });
+
+    // Quiesce: flush folds every surviving write into a fresh generation.
+    let session = svc.session();
+    session
+        .submit(QueryRequest::Flush {
+            dataset: "pts".into(),
+        })
+        .wait()
+        .expect("final flush succeeds");
+
+    // The writer's script, replayed sequentially, is the expected state.
+    let mut expect: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+    for i in 0..WRITES {
+        if i % 10 == 9 {
+            expect.remove(&(20_000 + i - 5));
+        } else {
+            expect.insert(20_000 + i);
+        }
+    }
+    let resp = session
+        .submit(QueryRequest::Select {
+            dataset: "pts".into(),
+            query: SelectQuery::Range(BBox::new(
+                Point::new(-10.0, -10.0),
+                Point::new(200.0, 200.0),
+            )),
+        })
+        .wait()
+        .expect("final query succeeds");
+    let got: Vec<u32> = match resp.payload {
+        ResponsePayload::Query(QueryResult::Ids(ids)) => {
+            ids.into_iter().filter(|id| *id >= 20_000).collect()
+        }
+        other => panic!("expected ids, got {other:?}"),
+    };
+    assert_eq!(got, expect.into_iter().collect::<Vec<u32>>());
+
+    let snap = svc.stats();
+    assert_eq!(snap.failed + snap.rejected + snap.cancelled, 0);
+    assert_eq!(snap.completed, snap.submitted);
+    assert_eq!(snap.accounted(), snap.submitted);
+    assert_eq!(svc.engine().device.used(), 0);
+    drop(svc);
+    std::fs::remove_dir_all(&wal_dir).ok();
+}
+
 #[test]
 fn sql_round_trips_through_sessions() {
     let svc = QueryService::new(ServiceConfig {
         engine: tiny_config(),
         workers: 2,
         fairness_cap: 2,
+        wal_dir: None,
     });
     let session = svc.session();
     for stmt in [
@@ -264,6 +396,7 @@ fn unknown_dataset_fails_fast() {
         engine: tiny_config(),
         workers: 1,
         fairness_cap: 1,
+        wal_dir: None,
     });
     let err = svc
         .session()
@@ -287,6 +420,7 @@ fn oversized_footprint_is_rejected() {
         engine,
         workers: 1,
         fairness_cap: 1,
+        wal_dir: None,
     });
     let err = svc
         .session()
@@ -317,6 +451,7 @@ fn cancelled_mid_join_leaves_ledger_balanced() {
         engine,
         workers: 1,
         fairness_cap: 1,
+        wal_dir: None,
     });
     let session = svc.session();
     let token = CancelToken::new();
@@ -346,6 +481,7 @@ fn deadline_expires_queued_or_running() {
         engine: tiny_config(),
         workers: 1,
         fairness_cap: 1,
+        wal_dir: None,
     });
     let session = svc.session();
     let ticket = session.submit_with_deadline(
@@ -367,6 +503,7 @@ fn snapshot_accounts_for_every_submission() {
         engine: tiny_config(),
         workers: 2,
         fairness_cap: 2,
+        wal_dir: None,
     });
     let session = svc.session();
     let mut tickets = Vec::new();
@@ -404,6 +541,7 @@ proptest! {
             engine: tiny_config(),
             workers,
             fairness_cap: cap,
+            wal_dir: None,
         }));
         let reqs = workload();
         let capacity = svc.engine().device.capacity();
@@ -458,6 +596,7 @@ fn four_sessions_beat_one_by_1_5x() {
             engine,
             workers: 4,
             fairness_cap: 2,
+            wal_dir: None,
         })
     };
     let req = || QueryRequest::Select {
@@ -509,6 +648,7 @@ fn metrics_text_exposes_service_and_engine_counters() {
         engine: tiny_config(),
         workers: 2,
         fairness_cap: 4,
+        wal_dir: None,
     });
     let session = svc.session();
     for req in workload() {
@@ -573,6 +713,7 @@ fn concurrent_mixed_draw_sizes_share_executor_and_arena() {
         engine: config,
         workers: 4,
         fairness_cap: 2,
+        wal_dir: None,
     }));
     // Mixed draw-call sizes: knn (few small circles), range (no canvas),
     // distance (medium circle canvas), polygon joins (full-resolution
@@ -618,6 +759,7 @@ fn explain_analyze_reports_join_decisions() {
         engine: tiny_config(),
         workers: 1,
         fairness_cap: 4,
+        wal_dir: None,
     });
     let session = svc.session();
     let join = QueryRequest::Join {
@@ -664,6 +806,7 @@ fn explain_select_reports_map_choice() {
         engine: tiny_config(),
         workers: 1,
         fairness_cap: 4,
+        wal_dir: None,
     });
     let session = svc.session();
     let resp = session
@@ -690,6 +833,7 @@ fn explain_sql_forwards_to_sql_planner() {
         engine: tiny_config(),
         workers: 1,
         fairness_cap: 4,
+        wal_dir: None,
     });
     let session = svc.session();
     session

@@ -26,6 +26,7 @@ pub mod persist;
 pub mod sql;
 pub mod table;
 pub mod value;
+pub mod wal;
 
 pub use catalog::Database;
 pub use column::{Column, DataType};

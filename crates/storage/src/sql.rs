@@ -35,15 +35,36 @@ pub enum SqlResult {
     Rows(Table),
 }
 
+/// Hook into DML execution, letting an embedding engine mirror relational
+/// writes into other subsystems. SPADE's query service routes SQL `INSERT`
+/// into registered spatial datasets through its write-ahead log with this,
+/// so SQL and typed-request writes share one durability path.
+pub trait SqlObserver {
+    /// Called once per `INSERT` statement, with the parsed rows, *before*
+    /// they become visible in the table — the observer's side effects
+    /// (e.g. a WAL append) happen at the durability point. An error aborts
+    /// the statement; no row is inserted.
+    fn before_insert(&mut self, table: &str, rows: &[Vec<Value>]) -> Result<()>;
+}
+
 /// Parse and execute one SQL statement against a database.
 pub fn execute(db: &Database, sql: &str) -> Result<SqlResult> {
+    execute_observed(db, sql, None)
+}
+
+/// [`execute`] with an optional [`SqlObserver`] receiving DML callbacks.
+pub fn execute_observed(
+    db: &Database,
+    sql: &str,
+    observer: Option<&mut dyn SqlObserver>,
+) -> Result<SqlResult> {
     let mut toks = Lexer::new(sql).tokenize()?;
     toks.retain(|t| !matches!(t, Tok::Semi));
     let mut p = Parser { toks, pos: 0 };
     match p.peek_keyword().as_deref() {
         Some("CREATE") => p.create(db),
         Some("DROP") => p.drop(db),
-        Some("INSERT") => p.insert(db),
+        Some("INSERT") => p.insert(db, observer),
         Some("SELECT") => p.select(db),
         Some("EXPLAIN") => p.explain(db),
         other => Err(StorageError::Parse(format!(
@@ -281,7 +302,11 @@ impl Parser {
         Ok(SqlResult::Affected(0))
     }
 
-    fn insert(&mut self, db: &Database) -> Result<SqlResult> {
+    fn insert(
+        &mut self,
+        db: &Database,
+        observer: Option<&mut dyn SqlObserver>,
+    ) -> Result<SqlResult> {
         self.expect_keyword("INSERT")?;
         self.expect_keyword("INTO")?;
         let name = self.ident()?;
@@ -310,6 +335,9 @@ impl Parser {
             break;
         }
         let n = rows.len();
+        if let Some(obs) = observer {
+            obs.before_insert(&name, &rows)?;
+        }
         db.with_table_mut(&name, |t| -> Result<()> {
             for row in rows {
                 t.insert(row)?;

@@ -1,0 +1,615 @@
+//! Write-ahead log for live ingestion.
+//!
+//! An append-only, checksummed, length-prefixed log of spatial writes.
+//! Each record is framed as `[len: u32][crc32: u32][payload]` where the
+//! CRC covers the payload only; payloads carry a monotonically increasing
+//! sequence number, the target dataset name, and the operation (insert
+//! with geometry bytes, delete, or a compaction checkpoint).
+//!
+//! The log is segmented: records append to `wal_NNNNNN.seg` files under
+//! one directory, rotating to a fresh segment once the current one passes
+//! the byte threshold. Replay-on-open walks the segments in order and
+//! tolerates a torn tail: the first record whose frame is incomplete or
+//! whose checksum mismatches marks the end of history — the file is
+//! physically truncated there and any later segments are dropped. Replay
+//! never panics on corrupt input.
+//!
+//! Durability policy is [`WalSync`]: `Always` fsyncs after every record,
+//! `GroupCommit` batches records and fsyncs once per group (amortizing
+//! the sync over [`GROUP_COMMIT_WINDOW`] appends or an explicit
+//! [`Wal::sync`]), `Never` leaves flushing to the OS.
+
+use crate::cursor::{
+    get_bytes, get_u32_le, get_u64_le, get_u8, put_slice, put_str, put_u32_le, put_u64_le, put_u8,
+};
+use crate::geom::{decode_geometry, encode_geometry};
+use crate::{Result, StorageError};
+use spade_geometry::Geometry;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Default byte threshold after which the current segment is rotated.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 4 << 20;
+
+/// Records per fsync under [`WalSync::GroupCommit`].
+pub const GROUP_COMMIT_WINDOW: u64 = 64;
+
+/// When appends are made durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalSync {
+    /// fsync after every record (strongest durability, slowest).
+    Always,
+    /// fsync once per group of records — the classic group-commit
+    /// amortization. A crash can lose at most the last unsynced group.
+    GroupCommit,
+    /// Never fsync; the OS flushes on close. Fastest, weakest.
+    Never,
+}
+
+/// One logged operation against a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalOp {
+    /// Insert (or replace) object `id` with `geom`.
+    Insert { id: u32, geom: Geometry },
+    /// Delete object `id`.
+    Delete { id: u32 },
+    /// Compaction checkpoint: every operation with `seq <= through_seq`
+    /// for this dataset is folded into persisted `generation`.
+    Checkpoint { generation: u64, through_seq: u64 },
+}
+
+/// A fully decoded log record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    /// Monotonic sequence number, global across datasets and segments.
+    pub seq: u64,
+    /// Target dataset name.
+    pub dataset: String,
+    pub op: WalOp,
+}
+
+/// Lifetime write-side counters, for metrics exposition.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WalStats {
+    pub appends: u64,
+    pub fsyncs: u64,
+    pub bytes_written: u64,
+    pub segments_rotated: u64,
+}
+
+const OP_INSERT: u8 = 1;
+const OP_DELETE: u8 = 2;
+const OP_CHECKPOINT: u8 = 3;
+
+/// Standard CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+fn encode_payload(rec: &WalRecord) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64_le(&mut buf, rec.seq);
+    put_str(&mut buf, &rec.dataset);
+    match &rec.op {
+        WalOp::Insert { id, geom } => {
+            put_u8(&mut buf, OP_INSERT);
+            put_u32_le(&mut buf, *id);
+            let g = encode_geometry(geom);
+            put_u32_le(&mut buf, g.len() as u32);
+            put_slice(&mut buf, &g);
+        }
+        WalOp::Delete { id } => {
+            put_u8(&mut buf, OP_DELETE);
+            put_u32_le(&mut buf, *id);
+        }
+        WalOp::Checkpoint {
+            generation,
+            through_seq,
+        } => {
+            put_u8(&mut buf, OP_CHECKPOINT);
+            put_u64_le(&mut buf, *generation);
+            put_u64_le(&mut buf, *through_seq);
+        }
+    }
+    buf
+}
+
+fn decode_payload(mut cur: &[u8]) -> Result<WalRecord> {
+    let corrupt = || StorageError::Corrupt("wal payload truncated".into());
+    let seq = get_u64_le(&mut cur).ok_or_else(corrupt)?;
+    let name_len = get_u32_le(&mut cur).ok_or_else(corrupt)? as usize;
+    let name_bytes = get_bytes(&mut cur, name_len).ok_or_else(corrupt)?;
+    let dataset = String::from_utf8(name_bytes.to_vec())
+        .map_err(|_| StorageError::Corrupt("wal dataset name not utf-8".into()))?;
+    let op = match get_u8(&mut cur).ok_or_else(corrupt)? {
+        OP_INSERT => {
+            let id = get_u32_le(&mut cur).ok_or_else(corrupt)?;
+            let glen = get_u32_le(&mut cur).ok_or_else(corrupt)? as usize;
+            let gbytes = get_bytes(&mut cur, glen).ok_or_else(corrupt)?;
+            WalOp::Insert {
+                id,
+                geom: decode_geometry(gbytes)?,
+            }
+        }
+        OP_DELETE => WalOp::Delete {
+            id: get_u32_le(&mut cur).ok_or_else(corrupt)?,
+        },
+        OP_CHECKPOINT => WalOp::Checkpoint {
+            generation: get_u64_le(&mut cur).ok_or_else(corrupt)?,
+            through_seq: get_u64_le(&mut cur).ok_or_else(corrupt)?,
+        },
+        t => {
+            return Err(StorageError::Corrupt(format!("wal: unknown op tag {t}")));
+        }
+    };
+    Ok(WalRecord { seq, dataset, op })
+}
+
+/// Frame a payload: `[len][crc][payload]`.
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(payload.len() + 8);
+    put_u32_le(&mut buf, payload.len() as u32);
+    put_u32_le(&mut buf, crc32(payload));
+    put_slice(&mut buf, payload);
+    buf
+}
+
+fn segment_name(index: u64) -> String {
+    format!("wal_{index:06}.seg")
+}
+
+fn segment_index(name: &str) -> Option<u64> {
+    name.strip_prefix("wal_")?
+        .strip_suffix(".seg")?
+        .parse()
+        .ok()
+}
+
+/// Scan one segment's bytes, pushing decoded records. Returns the byte
+/// offset of the first bad (torn/corrupt) frame, or `None` if the whole
+/// segment was clean. `expect_seq` threads the required next sequence
+/// number across segments: appends assign consecutive sequences, so a
+/// record that skips ahead betrays a tear that happened to land on a frame
+/// boundary (the frames after it decode fine but follow lost history).
+fn scan_segment(
+    data: &[u8],
+    out: &mut Vec<WalRecord>,
+    expect_seq: &mut Option<u64>,
+) -> Option<usize> {
+    let mut off = 0usize;
+    while off < data.len() {
+        let mut cur = &data[off..];
+        let Some(len) = get_u32_le(&mut cur) else {
+            return Some(off);
+        };
+        let Some(crc) = get_u32_le(&mut cur) else {
+            return Some(off);
+        };
+        let Some(payload) = get_bytes(&mut cur, len as usize) else {
+            return Some(off); // torn tail: frame longer than the file
+        };
+        if crc32(payload) != crc {
+            return Some(off);
+        }
+        match decode_payload(payload) {
+            Ok(rec) => {
+                if expect_seq.is_some_and(|e| rec.seq != e) {
+                    return Some(off); // sequence gap: frame-aligned tear
+                }
+                *expect_seq = Some(rec.seq + 1);
+                out.push(rec);
+            }
+            Err(_) => return Some(off),
+        }
+        off += 8 + len as usize;
+    }
+    None
+}
+
+/// The write-ahead log: an open segment plus replayed history.
+pub struct Wal {
+    dir: PathBuf,
+    file: File,
+    segment_index: u64,
+    segment_bytes: u64,
+    segment_max_bytes: u64,
+    sync: WalSync,
+    unsynced: u64,
+    next_seq: u64,
+    stats: WalStats,
+}
+
+impl Wal {
+    /// Open (creating if needed) the log under `dir`, replaying existing
+    /// segments. Returns the writer positioned for append plus every
+    /// surviving record in order. A torn tail is truncated in place.
+    pub fn open(dir: impl Into<PathBuf>, sync: WalSync) -> Result<(Wal, Vec<WalRecord>)> {
+        Self::open_with(dir, sync, DEFAULT_SEGMENT_BYTES)
+    }
+
+    /// [`Wal::open`] with an explicit segment rotation threshold.
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        sync: WalSync,
+        segment_max_bytes: u64,
+    ) -> Result<(Wal, Vec<WalRecord>)> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut segments: Vec<u64> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| segment_index(&e.file_name().to_string_lossy()))
+            .collect();
+        segments.sort_unstable();
+
+        let mut records = Vec::new();
+        let mut last_index = 1u64;
+        let mut truncated = false;
+        let mut expect_seq = None;
+        for (i, &seg) in segments.iter().enumerate() {
+            last_index = seg;
+            let path = dir.join(segment_name(seg));
+            let data = std::fs::read(&path)?;
+            if let Some(bad_at) = scan_segment(&data, &mut records, &mut expect_seq) {
+                // Torn tail: cut the file at the last good frame and drop
+                // everything after it, including later segments — records
+                // past a bad frame have no trustworthy ordering.
+                let f = OpenOptions::new().write(true).open(&path)?;
+                f.set_len(bad_at as u64)?;
+                f.sync_all()?;
+                for &later in &segments[i + 1..] {
+                    let _ = std::fs::remove_file(dir.join(segment_name(later)));
+                }
+                truncated = true;
+                break;
+            }
+        }
+        let _ = truncated;
+
+        let next_seq = records.iter().map(|r| r.seq + 1).max().unwrap_or(1);
+        let path = dir.join(segment_name(last_index));
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let segment_bytes = file.metadata()?.len();
+        Ok((
+            Wal {
+                dir,
+                file,
+                segment_index: last_index,
+                segment_bytes,
+                segment_max_bytes,
+                sync,
+                unsynced: 0,
+                next_seq,
+                stats: WalStats::default(),
+            },
+            records,
+        ))
+    }
+
+    /// Append one operation, returning its assigned sequence number. The
+    /// record is durable on return iff the sync policy says so.
+    pub fn append(&mut self, dataset: &str, op: WalOp) -> Result<u64> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let rec = WalRecord {
+            seq,
+            dataset: dataset.to_string(),
+            op,
+        };
+        let buf = frame(&encode_payload(&rec));
+        self.rotate_if_needed(buf.len() as u64)?;
+        self.file.write_all(&buf)?;
+        self.segment_bytes += buf.len() as u64;
+        self.stats.appends += 1;
+        self.stats.bytes_written += buf.len() as u64;
+        self.unsynced += 1;
+        match self.sync {
+            WalSync::Always => self.fsync()?,
+            WalSync::GroupCommit => {
+                if self.unsynced >= GROUP_COMMIT_WINDOW {
+                    self.fsync()?;
+                }
+            }
+            WalSync::Never => {}
+        }
+        Ok(seq)
+    }
+
+    /// Append a batch of operations with a single fsync at the end (for
+    /// `Always` and `GroupCommit`); the group-commit fast path.
+    pub fn append_batch(&mut self, dataset: &str, ops: Vec<WalOp>) -> Result<Vec<u64>> {
+        let mut seqs = Vec::with_capacity(ops.len());
+        let saved = self.sync;
+        self.sync = WalSync::Never;
+        let mut result = Ok(());
+        for op in ops {
+            match self.append(dataset, op) {
+                Ok(s) => seqs.push(s),
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        self.sync = saved;
+        result?;
+        if !matches!(self.sync, WalSync::Never) {
+            self.fsync()?;
+        }
+        Ok(seqs)
+    }
+
+    /// Force everything written so far to stable storage.
+    pub fn sync(&mut self) -> Result<()> {
+        if self.unsynced > 0 {
+            self.fsync()?;
+        }
+        Ok(())
+    }
+
+    fn fsync(&mut self) -> Result<()> {
+        self.file.flush()?;
+        self.file.sync_data()?;
+        self.stats.fsyncs += 1;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    fn rotate_if_needed(&mut self, incoming: u64) -> Result<()> {
+        if self.segment_bytes > 0 && self.segment_bytes + incoming > self.segment_max_bytes {
+            // Seal the old segment durably before switching.
+            self.fsync()?;
+            self.segment_index += 1;
+            let path = self.dir.join(segment_name(self.segment_index));
+            self.file = OpenOptions::new().create(true).append(true).open(&path)?;
+            self.segment_bytes = 0;
+            self.stats.segments_rotated += 1;
+        }
+        Ok(())
+    }
+
+    /// Sequence number the next append will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Current segment index (1-based).
+    pub fn segment(&self) -> u64 {
+        self.segment_index
+    }
+
+    pub fn stats(&self) -> WalStats {
+        self.stats
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+/// Per-dataset recovery state distilled from a replayed record stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PendingWrites {
+    /// Generation of the last checkpoint seen (0 if none).
+    pub generation: u64,
+    /// Sequence folded into that generation (0 if none).
+    pub through_seq: u64,
+    /// Insert/Delete records with `seq > through_seq`, in log order.
+    pub ops: Vec<WalRecord>,
+}
+
+/// Fold a replayed stream into per-dataset pending writes: operations not
+/// yet covered by a checkpoint, to be re-applied to each dataset's delta
+/// store on recovery.
+pub fn pending_by_dataset(records: &[WalRecord]) -> BTreeMap<String, PendingWrites> {
+    let mut out: BTreeMap<String, PendingWrites> = BTreeMap::new();
+    for rec in records {
+        let entry = out.entry(rec.dataset.clone()).or_default();
+        match &rec.op {
+            WalOp::Checkpoint {
+                generation,
+                through_seq,
+            } => {
+                if *through_seq >= entry.through_seq {
+                    entry.generation = *generation;
+                    entry.through_seq = *through_seq;
+                    entry.ops.retain(|r| r.seq > *through_seq);
+                }
+            }
+            _ => entry.ops.push(rec.clone()),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spade_geometry::Point;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("spade-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn pt(x: f64, y: f64) -> Geometry {
+        Geometry::Point(Point::new(x, y))
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn roundtrip_and_replay() {
+        let dir = tmp("roundtrip");
+        {
+            let (mut wal, old) = Wal::open(&dir, WalSync::Always).unwrap();
+            assert!(old.is_empty());
+            wal.append(
+                "a",
+                WalOp::Insert {
+                    id: 1,
+                    geom: pt(1.0, 2.0),
+                },
+            )
+            .unwrap();
+            wal.append("b", WalOp::Delete { id: 7 }).unwrap();
+            wal.append(
+                "a",
+                WalOp::Checkpoint {
+                    generation: 3,
+                    through_seq: 1,
+                },
+            )
+            .unwrap();
+        }
+        let (wal, recs) = Wal::open(&dir, WalSync::Always).unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].seq, 1);
+        assert_eq!(recs[0].dataset, "a");
+        assert_eq!(recs[1].op, WalOp::Delete { id: 7 });
+        assert_eq!(wal.next_seq(), 4);
+        let pending = pending_by_dataset(&recs);
+        assert_eq!(pending["a"].generation, 3);
+        assert!(pending["a"].ops.is_empty()); // folded by the checkpoint
+        assert_eq!(pending["b"].ops.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_prefix() {
+        let dir = tmp("torn");
+        let full = {
+            let (mut wal, _) = Wal::open(&dir, WalSync::Always).unwrap();
+            for i in 0..10u32 {
+                wal.append(
+                    "d",
+                    WalOp::Insert {
+                        id: i,
+                        geom: pt(i as f64, 0.0),
+                    },
+                )
+                .unwrap();
+            }
+            std::fs::read(dir.join(segment_name(1))).unwrap()
+        };
+        // Truncate at every byte boundary; replay must recover a prefix.
+        for cut in 0..=full.len() {
+            let d2 = tmp(&format!("torn-cut{cut}"));
+            std::fs::create_dir_all(&d2).unwrap();
+            std::fs::write(d2.join(segment_name(1)), &full[..cut]).unwrap();
+            let (_, recs) = Wal::open(&d2, WalSync::Never).unwrap();
+            // Records form a prefix 0..n of the original writes.
+            for (i, r) in recs.iter().enumerate() {
+                assert_eq!(
+                    r.op,
+                    WalOp::Insert {
+                        id: i as u32,
+                        geom: pt(i as f64, 0.0)
+                    }
+                );
+            }
+            std::fs::remove_dir_all(&d2).unwrap();
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_middle_byte_stops_replay_before_it() {
+        let dir = tmp("corrupt");
+        {
+            let (mut wal, _) = Wal::open(&dir, WalSync::Always).unwrap();
+            for i in 0..5u32 {
+                wal.append(
+                    "d",
+                    WalOp::Insert {
+                        id: i,
+                        geom: pt(0.0, 0.0),
+                    },
+                )
+                .unwrap();
+            }
+        }
+        let path = dir.join(segment_name(1));
+        let mut data = std::fs::read(&path).unwrap();
+        let mid = data.len() / 2;
+        data[mid] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        let (_, recs) = Wal::open(&dir, WalSync::Never).unwrap();
+        assert!(recs.len() < 5);
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(r.seq, i as u64 + 1);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segments_rotate_and_replay_in_order() {
+        let dir = tmp("rotate");
+        {
+            // Tiny segments force rotation every couple of records.
+            let (mut wal, _) = Wal::open_with(&dir, WalSync::Never, 128).unwrap();
+            for i in 0..50u32 {
+                wal.append(
+                    "d",
+                    WalOp::Insert {
+                        id: i,
+                        geom: pt(i as f64, 1.0),
+                    },
+                )
+                .unwrap();
+            }
+            assert!(wal.segment() > 1);
+            assert!(wal.stats().segments_rotated > 0);
+        }
+        let (_, recs) = Wal::open(&dir, WalSync::Never).unwrap();
+        assert_eq!(recs.len(), 50);
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(r.seq, i as u64 + 1);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_commit_defers_fsync() {
+        let dir = tmp("group");
+        let (mut wal, _) = Wal::open(&dir, WalSync::GroupCommit).unwrap();
+        for i in 0..10u32 {
+            wal.append("d", WalOp::Delete { id: i }).unwrap();
+        }
+        assert_eq!(wal.stats().fsyncs, 0, "under the window, no fsync yet");
+        wal.sync().unwrap();
+        assert_eq!(wal.stats().fsyncs, 1);
+        let mut always = Wal::open(tmp("always"), WalSync::Always).unwrap().0;
+        for i in 0..10u32 {
+            always.append("d", WalOp::Delete { id: i }).unwrap();
+        }
+        assert_eq!(always.stats().fsyncs, 10);
+        std::fs::remove_dir_all(&dir).unwrap();
+        let _ = std::fs::remove_dir_all(always.dir());
+    }
+
+    #[test]
+    fn append_batch_single_fsync() {
+        let dir = tmp("batch");
+        let (mut wal, _) = Wal::open(&dir, WalSync::Always).unwrap();
+        let ops: Vec<WalOp> = (0..20u32).map(|i| WalOp::Delete { id: i }).collect();
+        let seqs = wal.append_batch("d", ops).unwrap();
+        assert_eq!(seqs.len(), 20);
+        assert_eq!(wal.stats().fsyncs, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

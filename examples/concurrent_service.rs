@@ -29,6 +29,7 @@ fn main() {
         engine: EngineConfig::default(),
         workers: 4,
         fairness_cap: 2,
+        wal_dir: None,
     });
 
     // One shared catalog: taxi-like clustered pickups and an admin-polygon

@@ -55,7 +55,7 @@ fn main() {
     println!(
         "cells loaded: {} of {} (hull filter pruned the rest)",
         out.stats.cells_loaded,
-        indexed.grid.num_cells()
+        indexed.grid().num_cells()
     );
     println!(
         "I/O: {} KiB from disk, {} KiB to device, breakdown: {}",

@@ -38,7 +38,7 @@ fn disk_backed_selection_equals_in_memory() {
         let ooc = select::select_indexed(&spade, &indexed, &c).unwrap();
         assert_eq!(ooc.result, mem);
         // The hull filter must prune something for a 0.24-wide constraint.
-        assert!(ooc.stats.cells_loaded < indexed.grid.num_cells() as u64);
+        assert!(ooc.stats.cells_loaded < indexed.grid().num_cells() as u64);
         // Every disk byte crosses the bus, plus the constraint canvas and
         // its boundary index (§6.3: SPADE ships indexes with the data).
         assert!(ooc.stats.bytes_to_device >= ooc.stats.bytes_from_disk);
