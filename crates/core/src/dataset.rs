@@ -137,6 +137,13 @@ pub struct IndexedDataset {
     live: Mutex<LiveState>,
     /// Serializes compaction runs (writers and readers stay concurrent).
     compact_lock: Mutex<()>,
+    /// Superseded disk generations whose files await deletion. Each entry
+    /// keeps the retired [`GridIndex`] alive (so in-flight [`ReadView`]s
+    /// stay readable) next to the paths only that generation references;
+    /// sweeps on later compactions delete the paths once the `Arc` is
+    /// unshared. Bounds disk growth under sustained ingest without ever
+    /// unlinking a file a reader still needs.
+    retired: Mutex<Vec<(Arc<GridIndex>, Vec<std::path::PathBuf>)>>,
     /// Decoded-cell LRU cache, keyed by `(generation, cell)` so stale
     /// generations age out naturally. Host-side by design: cached cells
     /// still pay the modeled host→device transfer on every use (so
@@ -175,6 +182,7 @@ impl IndexedDataset {
                 checkpoint_seq: 0,
             }),
             compact_lock: Mutex::new(()),
+            retired: Mutex::new(Vec::new()),
             cache: CellCache::new(),
         }
     }
@@ -188,6 +196,11 @@ impl IndexedDataset {
         dir: impl Into<std::path::PathBuf>,
     ) -> spade_storage::Result<(Self, u64)> {
         let (grid, wal_seq) = GridIndex::open(dir)?;
+        // No reader can hold an older generation at open: sweep blocks and
+        // manifests the current manifest does not reference (leftovers of
+        // a crash mid-compaction or of generations retired while held by
+        // readers at shutdown).
+        grid.gc_unreferenced()?;
         let ds = Self::new(name, kind, grid);
         {
             let mut live = ds.live.lock().unwrap();
@@ -269,6 +282,7 @@ impl IndexedDataset {
     /// from the delta.
     pub fn compact(&self, max_cell_bytes: u64) -> spade_storage::Result<Option<CompactReport>> {
         let _serialize = self.compact_lock.lock().unwrap();
+        self.sweep_retired();
         let (grid, snap) = {
             let live = self.live.lock().unwrap();
             if live.delta.is_empty() {
@@ -280,13 +294,53 @@ impl IndexedDataset {
         // Durable before visible: a crash after this line recovers the new
         // generation and replays only WAL records past `snap.max_seq`.
         new_grid.save_manifest(snap.max_seq)?;
+        let new_grid = Arc::new(new_grid);
         {
             let mut live = self.live.lock().unwrap();
-            live.grid = Arc::new(new_grid);
+            live.grid = Arc::clone(&new_grid);
             live.delta.drain_through(snap.max_seq);
             live.checkpoint_seq = snap.max_seq;
         }
+        self.retire(grid, &new_grid);
         Ok(Some(report))
+    }
+
+    /// Queue the superseded generation's exclusive files for deletion and
+    /// sweep whatever earlier generations have shed their last reader.
+    fn retire(&self, old: Arc<GridIndex>, new: &GridIndex) {
+        let doomed: Vec<std::path::PathBuf> = {
+            let (Some(dir), Some(old_files), Some(new_files)) =
+                (old.dir(), old.block_files(), new.block_files())
+            else {
+                return; // memory-backed: Arc drop frees everything
+            };
+            let kept: std::collections::BTreeSet<&String> = new_files.iter().collect();
+            old_files
+                .iter()
+                .filter(|f| !kept.contains(f))
+                .map(|f| dir.join(f))
+                .chain([dir.join(format!("manifest_g{}.mf", old.generation))])
+                .collect()
+        };
+        self.retired.lock().unwrap().push((old, doomed));
+        self.sweep_retired();
+    }
+
+    /// Delete the files of retired generations no reader holds anymore.
+    /// `Arc::strong_count == 1` means only the retired list itself still
+    /// references the generation — no [`ReadView`] or [`Self::grid`] clone
+    /// can reach those files, and none can reappear (the list is private).
+    fn sweep_retired(&self) {
+        let mut retired = self.retired.lock().unwrap();
+        retired.retain(|(grid, files)| {
+            if Arc::strong_count(grid) > 1 {
+                return true;
+            }
+            for path in files {
+                let _ = std::fs::remove_file(path);
+            }
+            false
+        });
     }
 
     /// Load one cell of the *current* generation as an in-memory
@@ -754,6 +808,89 @@ mod tests {
         let all = logical(&idx.read_view());
         assert!(all.iter().any(|(id, _)| *id == 300));
         assert!(all.iter().any(|(id, _)| *id == 301));
+    }
+
+    fn disk_live_points(dir: &std::path::Path, n: u32) -> IndexedDataset {
+        let pts: Vec<Point> = (0..n)
+            .map(|i| Point::new((i % 10) as f64, (i / 10) as f64))
+            .collect();
+        let d = Dataset::from_points("p", pts);
+        let grid = GridIndex::build(Some(dir.to_path_buf()), &d.objects, 5.0).unwrap();
+        grid.save_manifest(0).unwrap();
+        IndexedDataset::new("p", DatasetKind::Points, grid)
+    }
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("spade-dataset-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn compaction_reclaims_superseded_generation_files() {
+        let dir = tmp("gengc");
+        let idx = disk_live_points(&dir, 60);
+        idx.delete(0);
+        idx.insert(500, Geometry::Point(Point::new(2.0, 2.0)));
+        let before = logical(&idx.read_view());
+        idx.compact(1 << 20).unwrap().unwrap();
+        // No reader held generation 0, so its manifest is gone and CURRENT
+        // points at the survivor; shared blocks were kept, not re-deleted.
+        assert!(!dir.join("manifest_g0.mf").exists());
+        assert!(dir.join("manifest_g1.mf").exists());
+        assert_eq!(
+            std::fs::read_to_string(dir.join("CURRENT")).unwrap(),
+            "manifest_g1.mf"
+        );
+        assert_eq!(logical(&idx.read_view()), before);
+        // The on-disk state reopens cleanly after the sweep.
+        let (reopened, wal_seq) = IndexedDataset::open("p", DatasetKind::Points, &dir).unwrap();
+        assert_eq!(wal_seq, 2);
+        assert_eq!(logical(&reopened.read_view()), before);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn in_flight_reader_defers_generation_reclaim() {
+        let dir = tmp("gengc-reader");
+        let idx = disk_live_points(&dir, 40);
+        idx.insert(600, Geometry::Point(Point::new(3.0, 3.0)));
+        let old_view = idx.read_view();
+        let before = logical(&old_view);
+        idx.compact(1 << 20).unwrap().unwrap();
+        // The view pins generation 0: its files must survive the sweep and
+        // still read correctly.
+        assert!(dir.join("manifest_g0.mf").exists());
+        assert_eq!(logical(&old_view), before);
+        drop(old_view);
+        // The next compaction cycle sweeps the now-unpinned generation.
+        idx.insert(601, Geometry::Point(Point::new(4.0, 4.0)));
+        idx.compact(1 << 20).unwrap().unwrap();
+        assert!(!dir.join("manifest_g0.mf").exists());
+        assert!(!dir.join("manifest_g1.mf").exists());
+        assert!(dir.join("manifest_g2.mf").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_sweeps_crash_orphaned_files() {
+        let dir = tmp("gengc-orphan");
+        {
+            let idx = disk_live_points(&dir, 30);
+            idx.insert(700, Geometry::Point(Point::new(5.0, 5.0)));
+            idx.compact(1 << 20).unwrap().unwrap();
+        }
+        // Simulate a crash mid-compaction: stray files from a generation
+        // that never made it into CURRENT.
+        std::fs::write(dir.join("cell_g9_0.blk"), b"torn").unwrap();
+        std::fs::write(dir.join("manifest_g9.mf"), b"torn").unwrap();
+        std::fs::write(dir.join("CURRENT.tmp"), b"manifest_g9.mf").unwrap();
+        let (idx, _) = IndexedDataset::open("p", DatasetKind::Points, &dir).unwrap();
+        assert!(!dir.join("cell_g9_0.blk").exists());
+        assert!(!dir.join("manifest_g9.mf").exists());
+        assert!(!dir.join("CURRENT.tmp").exists());
+        assert_eq!(logical(&idx.read_view()).len(), 31);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

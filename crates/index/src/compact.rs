@@ -156,7 +156,9 @@ pub fn compact(
         }
         for (i, (cell, encoded)) in new_blocks.into_iter().enumerate() {
             let name = format!("cell_g{generation}_{i}.blk");
-            std::fs::write(dir.join(&name), &encoded)?;
+            // fsynced now so the manifest that makes this block reachable
+            // can never be durable while the block bytes are not.
+            spade_storage::persist::write_durable(&dir.join(&name), &encoded)?;
             report.bytes_written += encoded.len() as u64;
             cells.push(cell);
             files.push(name);

@@ -158,7 +158,9 @@ impl GridIndex {
             match &dir {
                 Some(d) => {
                     let name = format!("cell_{}_{}.blk", coords.0, coords.1);
-                    std::fs::write(d.join(&name), &encoded)?;
+                    // fsynced now so `save_manifest` (which makes this
+                    // block reachable) never points at torn block bytes.
+                    persist::write_durable(&d.join(&name), &encoded)?;
                     files.push(name);
                 }
                 None => blocks.push(Arc::new(encoded)),
@@ -296,6 +298,46 @@ impl GridIndex {
         *self.compact_bytes_read.lock().unwrap()
     }
 
+    /// File names of every block of this generation, for disk-backed
+    /// indexes (`None` for memory stores). Generation GC diffs these
+    /// across generations to find files only the retired one references.
+    pub fn block_files(&self) -> Option<&[String]> {
+        match &self.store {
+            BlockStore::Disk { files, .. } => Some(files),
+            BlockStore::Memory(_) => None,
+        }
+    }
+
+    /// Delete files under the index directory that this generation's
+    /// manifest does not reference: blocks and manifests of superseded or
+    /// never-installed generations (e.g. left behind by a crash between
+    /// compaction's block writes and the `CURRENT` swap). Only call when
+    /// no reader can hold an older generation — i.e. right after open.
+    /// Returns the number of files removed.
+    pub fn gc_unreferenced(&self) -> Result<usize> {
+        let BlockStore::Disk { dir, files } = &self.store else {
+            return Ok(0);
+        };
+        let referenced: std::collections::BTreeSet<String> = files
+            .iter()
+            .cloned()
+            .chain([format!("manifest_g{}.mf", self.generation)])
+            .collect();
+        let mut removed = 0usize;
+        for entry in std::fs::read_dir(dir)? {
+            let Ok(entry) = entry else { continue };
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let sweepable = name.ends_with(".blk")
+                || (name.starts_with("manifest_") && name.ends_with(".mf"))
+                || name == "CURRENT.tmp";
+            if sweepable && !referenced.contains(&name) && std::fs::remove_file(entry.path()).is_ok()
+            {
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
     // ------------------------------------------------------------------
     // Manifest persistence (disk-backed indexes)
     // ------------------------------------------------------------------
@@ -332,12 +374,21 @@ impl GridIndex {
         let crc = crc32(&buf);
         cursor::put_u32_le(&mut buf, crc);
 
+        // This is the "durable before visible" point of the generation
+        // protocol, so the fsync order matters: (1) the manifest contents;
+        // (2) the directory, so the manifest's name and every block file
+        // written for this generation (each fsynced at write time) have
+        // durable directory entries; (3) CURRENT.tmp's contents; (4) the
+        // rename; (5) the directory again so the rename itself survives.
+        // A crash at any point leaves CURRENT referencing a manifest whose
+        // bytes and blocks are already on stable storage.
         let name = format!("manifest_g{}.mf", self.generation);
-        std::fs::write(dir.join(&name), &buf)?;
-        // Atomic CURRENT swap: write a temp file, then rename over.
+        persist::write_durable(&dir.join(&name), &buf)?;
+        persist::sync_dir(dir)?;
         let tmp = dir.join("CURRENT.tmp");
-        std::fs::write(&tmp, name.as_bytes())?;
+        persist::write_durable(&tmp, name.as_bytes())?;
         std::fs::rename(&tmp, dir.join("CURRENT"))?;
+        persist::sync_dir(dir)?;
         Ok(())
     }
 

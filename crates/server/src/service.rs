@@ -98,6 +98,14 @@ struct Shared {
     /// `wal_dir`. Appends serialize under this mutex (the WAL is a single
     /// sequenced stream across datasets); group-commit batching inside
     /// [`Wal`] keeps the fsync rate low regardless of writer count.
+    ///
+    /// Invariant: a WAL append and the delta staging of its record happen
+    /// inside ONE critical section of this mutex. Releasing the lock
+    /// between the two would let writers stage out of sequence order and,
+    /// worse, let a compaction snapshot+drain race swallow a sequence that
+    /// was assigned but not yet staged — a permanently lost acknowledged
+    /// write (the checkpoint would tell replay to skip it). Lock order is
+    /// always `wal` → dataset `live`; nothing takes them in reverse.
     wal: Option<Mutex<Wal>>,
     /// WAL records replayed at open that still await their dataset: keyed
     /// by dataset name, drained when [`QueryService::register_indexed`]
@@ -451,6 +459,12 @@ impl QueryService {
                 "spade_wal_segments_total",
                 "WAL segment rotations.",
                 w.segments_rotated,
+            );
+            render_counter(
+                &mut out,
+                "spade_wal_segments_deleted_total",
+                "Sealed WAL segments reclaimed after checkpoints.",
+                w.segments_deleted,
             );
         }
         let (mut staged, mut tombstones, mut delta_bytes) = (0u64, 0u64, 0u64);
@@ -894,20 +908,31 @@ impl spade_storage::sql::SqlObserver for SpatialInsertObserver<'_> {
     ) -> spade_storage::Result<()> {
         let idx = self.shared.indexed.read().unwrap().get(table).cloned();
         let Some(idx) = idx else { return Ok(()) };
-        for row in rows {
-            let (id, geom) = spatial_row(table, row)?;
-            match &self.shared.wal {
-                Some(wal) => {
-                    let seq = wal.lock().unwrap().append(
-                        table,
-                        WalOp::Insert {
-                            id,
-                            geom: geom.clone(),
-                        },
-                    )?;
+        // Parse every row before touching the WAL: a malformed row aborts
+        // the whole statement with nothing made durable or visible.
+        let parsed: Vec<(u32, spade_geometry::Geometry)> = rows
+            .iter()
+            .map(|row| spatial_row(table, row))
+            .collect::<spade_storage::Result<_>>()?;
+        match &self.shared.wal {
+            Some(wal) => {
+                // Batch append + stage under one WAL critical section (see
+                // the `Shared::wal` invariant); one fsync for the statement.
+                let mut wal = wal.lock().unwrap();
+                let ops = parsed
+                    .iter()
+                    .map(|(id, geom)| WalOp::Insert {
+                        id: *id,
+                        geom: geom.clone(),
+                    })
+                    .collect();
+                let seqs = wal.append_batch(table, ops)?;
+                for (seq, (id, geom)) in seqs.into_iter().zip(parsed) {
                     idx.insert_at(seq, id, geom);
                 }
-                None => {
+            }
+            None => {
+                for (id, geom) in parsed {
                     idx.insert(id, geom);
                 }
             }
@@ -977,7 +1002,10 @@ fn execute_write(
             backpressure(shared, dataset, &idx)?;
             let seq = match &shared.wal {
                 Some(wal) => {
-                    let seq = wal.lock().unwrap().append(
+                    // Append and stage under one WAL critical section (see
+                    // the `Shared::wal` invariant).
+                    let mut wal = wal.lock().unwrap();
+                    let seq = wal.append(
                         dataset,
                         WalOp::Insert {
                             id: *id,
@@ -1004,10 +1032,8 @@ fn execute_write(
             backpressure(shared, dataset, &idx)?;
             let seq = match &shared.wal {
                 Some(wal) => {
-                    let seq = wal
-                        .lock()
-                        .unwrap()
-                        .append(dataset, WalOp::Delete { id: *id })?;
+                    let mut wal = wal.lock().unwrap();
+                    let seq = wal.append(dataset, WalOp::Delete { id: *id })?;
                     idx.delete_at(seq, *id);
                     seq
                 }

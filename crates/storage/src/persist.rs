@@ -199,6 +199,28 @@ fn decode_column(buf: &mut &[u8], name: String, dt: DataType, nrows: usize) -> R
     Ok(Column::from_parts(name, data, nulls))
 }
 
+/// Write `bytes` to `path` and fsync the file before returning — for
+/// files that a crash-recovery protocol treats as durable once written
+/// (WAL-adjacent blocks and manifests). The containing directory still
+/// needs a [`sync_dir`] before the *name* is durable.
+pub fn write_durable(path: &Path, bytes: &[u8]) -> Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    Ok(())
+}
+
+/// fsync a directory so recently created/renamed/removed entries in it
+/// survive a crash. On platforms where directories cannot be opened for
+/// sync this degrades to a no-op error swallow — the worst case is the
+/// pre-fsync behavior.
+pub fn sync_dir(dir: &Path) -> Result<()> {
+    if let Ok(d) = std::fs::File::open(dir) {
+        d.sync_all()?;
+    }
+    Ok(())
+}
+
 /// Write a table file; returns bytes written.
 pub fn write_table(path: &Path, table: &Table) -> Result<u64> {
     let bytes = encode_table(table);

@@ -43,7 +43,10 @@ pub trait SqlObserver {
     /// Called once per `INSERT` statement, with the parsed rows, *before*
     /// they become visible in the table — the observer's side effects
     /// (e.g. a WAL append) happen at the durability point. An error aborts
-    /// the statement; no row is inserted.
+    /// the statement; no row is inserted. Rows are validated against the
+    /// table schema (arity and types) before this fires, so the relational
+    /// insert that follows a successful callback cannot fail — the two
+    /// representations commit or abort together.
     fn before_insert(&mut self, table: &str, rows: &[Vec<Value>]) -> Result<()>;
 }
 
@@ -335,6 +338,12 @@ impl Parser {
             break;
         }
         let n = rows.len();
+        // Validate every row against the schema (and that the table exists)
+        // before the observer fires: the observer's side effects (a WAL
+        // append) are the durability point, so nothing after it may fail.
+        db.with_table(&name, |t| -> Result<()> {
+            rows.iter().try_for_each(|row| t.check_row(row))
+        })??;
         if let Some(obs) = observer {
             obs.before_insert(&name, &rows)?;
         }

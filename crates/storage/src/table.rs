@@ -56,17 +56,18 @@ impl Table {
         self.columns.first().map_or(0, Column::len)
     }
 
-    /// Append a row; all columns advance together.
-    pub fn insert(&mut self, row: Vec<Value>) -> Result<()> {
+    /// Validate a row's arity and value types against the schema without
+    /// inserting it. Callers with side effects ordered around the insert
+    /// (e.g. the SQL observer's WAL append) use this to reject a doomed
+    /// row *before* any of those effects happen.
+    pub fn check_row(&self, row: &[Value]) -> Result<()> {
         if row.len() != self.columns.len() {
             return Err(StorageError::Arity {
                 expected: self.columns.len(),
                 got: row.len(),
             });
         }
-        // Validate all values first so a failed insert leaves the table
-        // unchanged.
-        for (col, v) in self.columns.iter().zip(&row) {
+        for (col, v) in self.columns.iter().zip(row) {
             if let Some(t) = v.data_type() {
                 let ok = t == col.data_type()
                     || (col.data_type() == DataType::Float && t == DataType::Int);
@@ -78,6 +79,13 @@ impl Table {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Append a row; all columns advance together. Validates first so a
+    /// failed insert leaves the table unchanged.
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<()> {
+        self.check_row(&row)?;
         for (col, v) in self.columns.iter_mut().zip(row) {
             col.push(v)?;
         }

@@ -18,11 +18,17 @@
 //! `GroupCommit` batches records and fsyncs once per group (amortizing
 //! the sync over [`GROUP_COMMIT_WINDOW`] appends or an explicit
 //! [`Wal::sync`]), `Never` leaves flushing to the OS.
+//!
+//! Checkpoints drive log truncation: once every insert/delete in a sealed
+//! segment is covered by its dataset's latest checkpoint, the segment is
+//! deleted ([`Wal::gc_segments`], run after each checkpoint append), so
+//! disk usage and replay time stay bounded under sustained ingest.
 
 use crate::cursor::{
     get_bytes, get_u32_le, get_u64_le, get_u8, put_slice, put_str, put_u32_le, put_u64_le, put_u8,
 };
 use crate::geom::{decode_geometry, encode_geometry};
+use crate::persist;
 use crate::{Result, StorageError};
 use spade_geometry::Geometry;
 use std::collections::BTreeMap;
@@ -77,6 +83,9 @@ pub struct WalStats {
     pub fsyncs: u64,
     pub bytes_written: u64,
     pub segments_rotated: u64,
+    /// Sealed segments deleted because a checkpoint covered every record
+    /// in them (log truncation).
+    pub segments_deleted: u64,
 }
 
 const OP_INSERT: u8 = 1;
@@ -227,6 +236,15 @@ pub struct Wal {
     unsynced: u64,
     next_seq: u64,
     stats: WalStats,
+    /// Sealed (rotated-away) segments still on disk, as
+    /// `(segment index, last sequence recorded in it)`, ascending. A
+    /// sealed segment whose last sequence is below every dataset's lowest
+    /// pending sequence holds only checkpoint-covered history and is
+    /// deleted by [`Wal::gc_segments`].
+    sealed: Vec<(u64, u64)>,
+    /// Per dataset: sequences of insert/delete records not yet covered by
+    /// a checkpoint. Drives log truncation; rebuilt from replay on open.
+    pending: BTreeMap<String, std::collections::BTreeSet<u64>>,
 }
 
 impl Wal {
@@ -255,6 +273,7 @@ impl Wal {
         let mut last_index = 1u64;
         let mut truncated = false;
         let mut expect_seq = None;
+        let mut sealed: Vec<(u64, u64)> = Vec::new();
         for (i, &seg) in segments.iter().enumerate() {
             last_index = seg;
             let path = dir.join(segment_name(seg));
@@ -272,13 +291,47 @@ impl Wal {
                 truncated = true;
                 break;
             }
+            if i + 1 < segments.len() {
+                // Cleanly scanned and not the tail: this segment is sealed.
+                // Its last sequence is whatever replay has seen so far (an
+                // empty segment inherits its predecessor's, which keeps the
+                // "all records <= last_seq" GC invariant trivially true).
+                sealed.push((seg, records.last().map_or(0, |r| r.seq)));
+            }
         }
         let _ = truncated;
+
+        // Rebuild the truncation bookkeeping: which sequences per dataset
+        // are not yet covered by a checkpoint.
+        let mut pending: BTreeMap<String, std::collections::BTreeSet<u64>> = BTreeMap::new();
+        for rec in &records {
+            match &rec.op {
+                WalOp::Checkpoint { through_seq, .. } => {
+                    if let Some(set) = pending.get_mut(&rec.dataset) {
+                        *set = set.split_off(&(through_seq + 1));
+                        if set.is_empty() {
+                            pending.remove(&rec.dataset);
+                        }
+                    }
+                }
+                _ => {
+                    pending
+                        .entry(rec.dataset.clone())
+                        .or_default()
+                        .insert(rec.seq);
+                }
+            }
+        }
 
         let next_seq = records.iter().map(|r| r.seq + 1).max().unwrap_or(1);
         let path = dir.join(segment_name(last_index));
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
         let segment_bytes = file.metadata()?.len();
+        // The segment's directory entry (and any truncation/removal above)
+        // must be durable before records appended to it are acknowledged:
+        // without this, a crash can forget a freshly created segment file
+        // entirely, silently dropping every record in it.
+        persist::sync_dir(&dir)?;
         Ok((
             Wal {
                 dir,
@@ -290,6 +343,8 @@ impl Wal {
                 unsynced: 0,
                 next_seq,
                 stats: WalStats::default(),
+                sealed,
+                pending,
             },
             records,
         ))
@@ -312,6 +367,24 @@ impl Wal {
         self.stats.appends += 1;
         self.stats.bytes_written += buf.len() as u64;
         self.unsynced += 1;
+        let mut checkpointed = false;
+        match &rec.op {
+            WalOp::Checkpoint { through_seq, .. } => {
+                if let Some(set) = self.pending.get_mut(&rec.dataset) {
+                    *set = set.split_off(&(through_seq + 1));
+                    if set.is_empty() {
+                        self.pending.remove(&rec.dataset);
+                    }
+                }
+                checkpointed = true;
+            }
+            _ => {
+                self.pending
+                    .entry(rec.dataset.clone())
+                    .or_default()
+                    .insert(seq);
+            }
+        }
         match self.sync {
             WalSync::Always => self.fsync()?,
             WalSync::GroupCommit => {
@@ -321,7 +394,47 @@ impl Wal {
             }
             WalSync::Never => {}
         }
+        if checkpointed {
+            self.gc_segments()?;
+        }
         Ok(seq)
+    }
+
+    /// Delete sealed segments every record of which is covered by a
+    /// dataset checkpoint, bounding disk usage and replay time under
+    /// sustained ingest. Safe because a checkpoint is only appended after
+    /// the generation it describes is durable (`save_manifest` precedes
+    /// the checkpoint in the service's compaction protocol), so recovery
+    /// never needs the deleted records — the manifest's folded-through
+    /// sequence already covers them. Returns the number of segments
+    /// removed. Runs automatically after every checkpoint append.
+    pub fn gc_segments(&mut self) -> Result<usize> {
+        // Lowest sequence any dataset still needs replayed; everything
+        // strictly below it is checkpoint-covered history.
+        let floor = self
+            .pending
+            .values()
+            .filter_map(|s| s.first().copied())
+            .min()
+            .unwrap_or(self.next_seq);
+        let covered: Vec<u64> = self
+            .sealed
+            .iter()
+            .filter(|&&(_, last_seq)| last_seq < floor)
+            .map(|&(index, _)| index)
+            .collect();
+        if covered.is_empty() {
+            return Ok(0);
+        }
+        for &index in &covered {
+            // A missing file (e.g. deleted by a previous crashed GC) is
+            // already the desired state.
+            let _ = std::fs::remove_file(self.dir.join(segment_name(index)));
+        }
+        self.sealed.retain(|&(index, _)| !covered.contains(&index));
+        persist::sync_dir(&self.dir)?;
+        self.stats.segments_deleted += covered.len() as u64;
+        Ok(covered.len())
     }
 
     /// Append a batch of operations with a single fsync at the end (for
@@ -368,9 +481,16 @@ impl Wal {
         if self.segment_bytes > 0 && self.segment_bytes + incoming > self.segment_max_bytes {
             // Seal the old segment durably before switching.
             self.fsync()?;
+            self.sealed
+                .push((self.segment_index, self.next_seq.saturating_sub(1)));
             self.segment_index += 1;
             let path = self.dir.join(segment_name(self.segment_index));
             self.file = OpenOptions::new().create(true).append(true).open(&path)?;
+            // fsync the directory so the new segment's entry is durable
+            // before any record in it is acknowledged — `fsync()` alone
+            // syncs file contents, not the directory entry, and a crash
+            // could otherwise forget the whole segment.
+            persist::sync_dir(&self.dir)?;
             self.segment_bytes = 0;
             self.stats.segments_rotated += 1;
         }
@@ -600,6 +720,95 @@ mod tests {
         assert_eq!(always.stats().fsyncs, 10);
         std::fs::remove_dir_all(&dir).unwrap();
         let _ = std::fs::remove_dir_all(always.dir());
+    }
+
+    #[test]
+    fn checkpoint_reclaims_covered_segments() {
+        let dir = tmp("walgc");
+        let count_segments = |d: &PathBuf| {
+            std::fs::read_dir(d)
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .filter(|e| segment_index(&e.file_name().to_string_lossy()).is_some())
+                .count()
+        };
+        {
+            // Tiny segments so fifty inserts seal a stack of them.
+            let (mut wal, _) = Wal::open_with(&dir, WalSync::Never, 128).unwrap();
+            for i in 0..50u32 {
+                wal.append(
+                    "d",
+                    WalOp::Insert {
+                        id: i,
+                        geom: pt(i as f64, 1.0),
+                    },
+                )
+                .unwrap();
+            }
+            let before = count_segments(&dir);
+            assert!(before > 2);
+            let through = wal.next_seq() - 1;
+            wal.append(
+                "d",
+                WalOp::Checkpoint {
+                    generation: 2,
+                    through_seq: through,
+                },
+            )
+            .unwrap();
+            // Every sealed segment held only checkpoint-covered records
+            // (the checkpoint append itself may rotate and seal one more).
+            assert_eq!(count_segments(&dir), 1);
+            assert!(wal.stats().segments_deleted as usize >= before - 1);
+        }
+        // The truncated log replays: the checkpoint survives, sequence
+        // numbering continues where it left off.
+        let (mut wal, recs) = Wal::open(&dir, WalSync::Never).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert!(matches!(recs[0].op, WalOp::Checkpoint { .. }));
+        assert_eq!(wal.append("d", WalOp::Delete { id: 1 }).unwrap(), 52);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn partial_checkpoint_keeps_needed_segments() {
+        let dir = tmp("walgc-partial");
+        let (mut wal, _) = Wal::open_with(&dir, WalSync::Never, 128).unwrap();
+        // Interleave two datasets; checkpoint only one of them. Segments
+        // holding the other dataset's pending records must survive.
+        for i in 0..40u32 {
+            let ds = if i.is_multiple_of(2) { "a" } else { "b" };
+            wal.append(
+                ds,
+                WalOp::Insert {
+                    id: i,
+                    geom: pt(i as f64, 0.0),
+                },
+            )
+            .unwrap();
+        }
+        let through = wal.next_seq() - 1;
+        wal.append(
+            "a",
+            WalOp::Checkpoint {
+                generation: 2,
+                through_seq: through,
+            },
+        )
+        .unwrap();
+        // GC may only reclaim segments wholly below b's lowest pending
+        // sequence; every b record must survive replay.
+        let (_, recs) = Wal::open(&dir, WalSync::Never).unwrap();
+        let b_ids: Vec<u32> = recs
+            .iter()
+            .filter(|r| r.dataset == "b")
+            .map(|r| match r.op {
+                WalOp::Insert { id, .. } => id,
+                _ => panic!("unexpected op"),
+            })
+            .collect();
+        assert_eq!(b_ids, (0..40u32).filter(|i| i % 2 == 1).collect::<Vec<_>>());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
