@@ -72,6 +72,16 @@ pub struct EngineConfig {
     /// Background compaction starts once a dataset's staged delta exceeds
     /// this many bytes (`0` compacts after every write batch).
     pub compact_trigger_bytes: u64,
+    /// Byte budget of the engine's result cache: rendered query results are
+    /// kept keyed by `(query fingerprint, dataset version)` and re-served
+    /// without touching disk or the pipeline while the dataset version is
+    /// unchanged. Staged writes and compactions invalidate entries for free
+    /// by bumping the version. Cached bytes are charged to the framebuffer
+    /// arena's device ledger so admission control sees their footprint.
+    pub result_cache_bytes: u64,
+    /// Master switch of the result cache. Off, every query renders cold
+    /// (`EXPLAIN ANALYZE` reports `cache: BYPASS`).
+    pub result_cache_enabled: bool,
 }
 
 impl Default for EngineConfig {
@@ -96,6 +106,8 @@ impl Default for EngineConfig {
             wal_sync: WalSync::GroupCommit,
             delta_max_bytes: 8 << 20,
             compact_trigger_bytes: 1 << 20,
+            result_cache_bytes: 8 << 20, // an eighth of scaled device memory
+            result_cache_enabled: true,
         }
     }
 }
@@ -115,6 +127,7 @@ impl EngineConfig {
             texture_pool_bytes: 4 << 20,
             delta_max_bytes: 1 << 20,
             compact_trigger_bytes: 64 << 10,
+            result_cache_bytes: 1 << 20,
             ..Default::default()
         }
     }
@@ -157,6 +170,15 @@ mod tests {
         assert!(c.compact_trigger_bytes <= c.delta_max_bytes);
         let t = EngineConfig::test_small();
         assert!(t.compact_trigger_bytes <= t.delta_max_bytes);
+    }
+
+    #[test]
+    fn result_cache_knobs_default_sane() {
+        let c = EngineConfig::default();
+        assert!(c.result_cache_enabled);
+        assert!(c.result_cache_bytes > 0 && c.result_cache_bytes <= c.device_memory);
+        let t = EngineConfig::test_small();
+        assert!(t.result_cache_bytes <= t.device_memory);
     }
 
     #[test]

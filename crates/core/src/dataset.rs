@@ -5,9 +5,20 @@ use spade_canvas::LayerIndex;
 use spade_geometry::{BBox, Geometry, LineString, Point, Polygon};
 use spade_index::compact::{compact, CompactReport};
 use spade_index::delta::{DeltaSnapshot, DeltaStore};
-use spade_index::GridIndex;
+use spade_index::{GridIndex, Version};
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Process-unique dataset identities, used as result-cache key components
+/// so two different datasets never share cache entries. Clones of an
+/// in-memory [`Dataset`] keep the identity — they are the same immutable
+/// contents.
+static NEXT_UID: AtomicU64 = AtomicU64::new(1);
+
+fn next_uid() -> u64 {
+    NEXT_UID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// The primitive class of a data set (mixed sets are supported through
 /// [`Geometry`], but the engine's planners specialize on the common
@@ -26,6 +37,8 @@ pub struct Dataset {
     pub kind: DatasetKind,
     pub objects: Vec<(u32, Geometry)>,
     pub extent: BBox,
+    /// Process-unique identity (see [`Dataset::uid`]).
+    uid: u64,
 }
 
 impl Dataset {
@@ -70,7 +83,16 @@ impl Dataset {
             kind,
             objects,
             extent,
+            uid: next_uid(),
         }
+    }
+
+    /// Process-unique identity of this dataset's contents, stable across
+    /// clones. In-memory datasets are immutable, so the uid plus
+    /// [`Version::MEMORY`] fully identifies what a query read — the
+    /// result-cache key component for the in-memory paths.
+    pub fn uid(&self) -> u64 {
+        self.uid
     }
 
     pub fn len(&self) -> usize {
@@ -150,6 +172,8 @@ pub struct IndexedDataset {
     /// device-balance and `bytes_to_device ≥ bytes_from_disk` invariants
     /// hold), but skip the disk read and decode.
     pub cache: CellCache,
+    /// Process-unique identity (see [`IndexedDataset::uid`]).
+    uid: u64,
 }
 
 struct LiveState {
@@ -184,6 +208,29 @@ impl IndexedDataset {
             compact_lock: Mutex::new(()),
             retired: Mutex::new(Vec::new()),
             cache: CellCache::new(),
+            uid: next_uid(),
+        }
+    }
+
+    /// Process-unique identity of this handle, paired with [`Self::version`]
+    /// in result-cache keys so entries of one dataset can never serve
+    /// another's queries.
+    pub fn uid(&self) -> u64 {
+        self.uid
+    }
+
+    /// The dataset's read-visible version: `(installed grid generation,
+    /// delta seq watermark)`, read atomically under the live lock — the
+    /// exact pair a [`Self::read_view`] taken at the same instant would
+    /// observe. Every staged write bumps the watermark and every compaction
+    /// bumps the generation (both monotone), so an unchanged version
+    /// guarantees an unchanged logical snapshot. This is what makes the
+    /// result cache's keys staleness-proof.
+    pub fn version(&self) -> Version {
+        let live = self.live.lock().unwrap();
+        Version {
+            generation: live.grid.generation,
+            seq: live.delta.max_seq(),
         }
     }
 

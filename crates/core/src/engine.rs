@@ -18,6 +18,11 @@ pub struct Spade {
     /// Shared with the pipeline's framebuffer arena, which charges
     /// checked-out render targets against the same ledger as data cells.
     pub device: Arc<DeviceMemory>,
+    /// The hot-query serving layer: rendered results keyed by
+    /// `(query fingerprint, dataset version)`, served by the cached
+    /// dispatchers in [`crate::query`]. Its resident bytes are charged
+    /// through the arena into the device ledger.
+    pub result_cache: crate::result_cache::ResultCache,
 }
 
 impl Spade {
@@ -34,10 +39,16 @@ impl Spade {
         );
         pipeline.arena().bind_ledger(Arc::clone(&device));
         pipeline.arena().set_retain_limit(config.texture_pool_bytes);
+        let result_cache = crate::result_cache::ResultCache::new(
+            config.result_cache_bytes,
+            config.result_cache_enabled,
+        );
+        result_cache.bind_arena(pipeline.arena_handle());
         Spade {
             config,
             pipeline,
             device,
+            result_cache,
         }
     }
 

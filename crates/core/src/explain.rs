@@ -65,6 +65,16 @@ pub struct DeltaInfo {
     pub bytes: u64,
 }
 
+/// How the query interacted with the engine's result cache: the outcome
+/// plus the key that was probed (fingerprint and input versions), so an
+/// `EXPLAIN ANALYZE` shows exactly which snapshot a HIT was served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheNote {
+    pub outcome: crate::stats::CacheOutcome,
+    /// The probed key; `None` for BYPASS (no key was ever computed).
+    pub key: Option<crate::result_cache::CacheKey>,
+}
+
 /// Everything a query reported about its planning.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PlanReport {
@@ -74,6 +84,8 @@ pub struct PlanReport {
     pub join: Option<JoinDecision>,
     /// Per-dataset delta merges (empty when every input was compacted).
     pub deltas: Vec<DeltaInfo>,
+    /// Result-cache provenance (None when no cached dispatcher ran).
+    pub cache: Option<CacheNote>,
 }
 
 impl PlanReport {
@@ -93,6 +105,9 @@ impl PlanReport {
             if !self.deltas.iter().any(|mine| mine.dataset == d.dataset) {
                 self.deltas.push(d.clone());
             }
+        }
+        if self.cache.is_none() {
+            self.cache = other.cache;
         }
     }
 
@@ -132,6 +147,20 @@ impl PlanReport {
                 "  delta[{}]: generation {}, {} staged + {} tombstones merged ({} B debt)\n",
                 d.dataset, d.generation, d.staged, d.tombstones, d.bytes
             ));
+        }
+        if let Some(c) = &self.cache {
+            out.push_str(&format!("  cache: {}", c.outcome.label()));
+            if let Some(k) = &c.key {
+                out.push_str(&format!(
+                    " (q=0x{:016x}, left {}",
+                    k.fingerprint, k.left.version
+                ));
+                if let Some(r) = &k.right {
+                    out.push_str(&format!(", right {}", r.version));
+                }
+                out.push(')');
+            }
+            out.push('\n');
         }
         if let Some(s) = actual {
             out.push_str(&format!("  actual: {}\n", s.breakdown()));
@@ -208,6 +237,31 @@ pub(crate) fn note_delta(info: DeltaInfo) {
             t.deltas.push(info);
         }
     });
+}
+
+/// Record the result-cache outcome of this query (called by
+/// [`crate::result_cache::ResultCache::serve`]). The first outcome wins:
+/// it belongs to the top-level cached dispatcher, not to any cold
+/// sub-query executed beneath it.
+pub(crate) fn note_cache(
+    outcome: crate::stats::CacheOutcome,
+    key: Option<crate::result_cache::CacheKey>,
+) {
+    with_top(|t| {
+        if t.cache.is_none() {
+            t.cache = Some(CacheNote { outcome, key });
+        }
+    });
+}
+
+/// Fold a plan report captured at render time back into the open report
+/// (called by [`crate::result_cache::ResultCache::serve`] when a hit is
+/// served). An `EXPLAIN ANALYZE` answered from cache thus still shows the
+/// optimizer decisions of the render that produced the entry; the cache
+/// note itself is unaffected because [`note_cache`] ran first and absorb
+/// keeps the first note.
+pub(crate) fn replay(report: &PlanReport) {
+    with_top(|t| t.absorb(report));
 }
 
 /// [`note_delta`] from a dataset read view — no-op when the view carries
@@ -308,8 +362,25 @@ mod tests {
                 tombstones: 2,
                 bytes: 4096,
             }],
+            cache: Some(CacheNote {
+                outcome: crate::stats::CacheOutcome::Hit,
+                key: Some(crate::result_cache::CacheKey {
+                    fingerprint: 0xdead_beef,
+                    left: crate::result_cache::InputVersion {
+                        token: 1,
+                        version: spade_index::Version {
+                            generation: 3,
+                            seq: 42,
+                        },
+                    },
+                    right: None,
+                }),
+            }),
         };
         let plain = report.render(None);
+        assert!(plain.contains("cache: HIT"));
+        assert!(plain.contains("0x00000000deadbeef"));
+        assert!(plain.contains("left g3s42"));
         assert!(plain.contains("LayerIndex"));
         assert!(plain.contains("est layer 1234 B vs naive 5678 B"));
         assert!(!plain.contains("actual"));

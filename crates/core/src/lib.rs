@@ -54,6 +54,7 @@ pub mod knn;
 pub mod optimizer;
 pub mod prefetch;
 pub mod query;
+pub mod result_cache;
 pub mod select;
 pub mod stats;
 pub mod trace;
@@ -63,4 +64,5 @@ pub use config::EngineConfig;
 pub use dataset::{Dataset, IndexedDataset};
 pub use engine::Spade;
 pub use explain::PlanReport;
-pub use stats::QueryStats;
+pub use result_cache::{ResultCache, ResultCacheStats};
+pub use stats::{CacheOutcome, QueryStats};

@@ -258,6 +258,175 @@ fn wrap_ids(out: QueryOutput<Vec<u32>>) -> QueryOutput<QueryResult> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Cached dispatch: the hot-query serving layer
+// ---------------------------------------------------------------------------
+//
+// Each `run_*_cached` variant routes the corresponding cold dispatcher
+// through the engine's [`crate::result_cache::ResultCache`]. Keys combine a
+// canonical fingerprint of the query AST with each input's
+// `(uid, generation, delta seq)` — so any staged write or compaction
+// invalidates entries for free, and identical concurrent misses coalesce
+// into one render (singleflight). When the cache is disabled the cold path
+// runs unchanged (stats report `BYPASS`).
+
+use crate::result_cache::{fingerprint_join, fingerprint_select, CacheKey, InputVersion};
+
+fn memory_input(d: &Dataset) -> InputVersion {
+    InputVersion {
+        token: d.uid(),
+        version: spade_index::Version::MEMORY,
+    }
+}
+
+fn indexed_input(d: &IndexedDataset) -> InputVersion {
+    InputVersion {
+        token: d.uid(),
+        version: d.version(),
+    }
+}
+
+fn unwrap_served(
+    served: (std::sync::Arc<QueryResult>, crate::stats::QueryStats),
+) -> QueryOutput<QueryResult> {
+    let (result, stats) = served;
+    QueryOutput {
+        // Hot path note: hits clone the payload out of the shared entry —
+        // still orders of magnitude cheaper than a render, and it keeps the
+        // public `QueryOutput` shape unchanged.
+        result: (*result).clone(),
+        stats,
+    }
+}
+
+/// [`run_select`] through the result cache. In-memory datasets are
+/// immutable, so their entries are keyed at [`spade_index::Version::MEMORY`]
+/// and never invalidate.
+pub fn run_select_cached(
+    spade: &Spade,
+    data: &Dataset,
+    q: &SelectQuery,
+) -> QueryOutput<QueryResult> {
+    let fingerprint = fingerprint_select(q);
+    let served = spade.result_cache.serve::<std::convert::Infallible>(
+        || CacheKey {
+            fingerprint,
+            left: memory_input(data),
+            right: None,
+        },
+        || {
+            let out = run_select(spade, data, q);
+            Ok((out.result, out.stats))
+        },
+        || Ok(()),
+    );
+    match served {
+        Ok(s) => unwrap_served(s),
+        Err(e) => match e {},
+    }
+}
+
+/// [`run_select_indexed`] through the result cache.
+pub fn run_select_indexed_cached(
+    spade: &Spade,
+    data: &IndexedDataset,
+    q: &SelectQuery,
+) -> spade_storage::Result<QueryOutput<QueryResult>> {
+    run_select_indexed_cached_with(spade, data, q, &crate::cancel::CancelToken::new())
+}
+
+/// [`run_select_indexed_with`] through the result cache. The key is
+/// computed from the dataset's live `(generation, seq)` watermark before
+/// execution and validated after, so a cached entry is always byte-identical
+/// to a cold run at its snapshot. The cancel token is polled while waiting
+/// on a coalesced in-flight render, too.
+pub fn run_select_indexed_cached_with(
+    spade: &Spade,
+    data: &IndexedDataset,
+    q: &SelectQuery,
+    cancel: &crate::cancel::CancelToken,
+) -> spade_storage::Result<QueryOutput<QueryResult>> {
+    let fingerprint = fingerprint_select(q);
+    spade
+        .result_cache
+        .serve(
+            || CacheKey {
+                fingerprint,
+                left: indexed_input(data),
+                right: None,
+            },
+            || {
+                let out = run_select_indexed_with(spade, data, q, cancel)?;
+                Ok((out.result, out.stats))
+            },
+            || cancel.check(),
+        )
+        .map(unwrap_served)
+}
+
+/// [`run_join`] through the result cache (both sides in-memory).
+pub fn run_join_cached(
+    spade: &Spade,
+    d1: &Dataset,
+    d2: &Dataset,
+    q: &JoinQuery,
+) -> QueryOutput<QueryResult> {
+    let fingerprint = fingerprint_join(q);
+    let served = spade.result_cache.serve::<std::convert::Infallible>(
+        || CacheKey {
+            fingerprint,
+            left: memory_input(d1),
+            right: Some(memory_input(d2)),
+        },
+        || {
+            let out = run_join(spade, d1, d2, q);
+            Ok((out.result, out.stats))
+        },
+        || Ok(()),
+    );
+    match served {
+        Ok(s) => unwrap_served(s),
+        Err(e) => match e {},
+    }
+}
+
+/// [`run_join_indexed`] through the result cache.
+pub fn run_join_indexed_cached(
+    spade: &Spade,
+    d1: &IndexedDataset,
+    d2: &IndexedDataset,
+    q: &JoinQuery,
+) -> spade_storage::Result<QueryOutput<QueryResult>> {
+    run_join_indexed_cached_with(spade, d1, d2, q, &crate::cancel::CancelToken::new())
+}
+
+/// [`run_join_indexed_with`] through the result cache: the key embeds both
+/// inputs' versions, so a write to either side invalidates.
+pub fn run_join_indexed_cached_with(
+    spade: &Spade,
+    d1: &IndexedDataset,
+    d2: &IndexedDataset,
+    q: &JoinQuery,
+    cancel: &crate::cancel::CancelToken,
+) -> spade_storage::Result<QueryOutput<QueryResult>> {
+    let fingerprint = fingerprint_join(q);
+    spade
+        .result_cache
+        .serve(
+            || CacheKey {
+                fingerprint,
+                left: indexed_input(d1),
+                right: Some(indexed_input(d2)),
+            },
+            || {
+                let out = run_join_indexed_with(spade, d1, d2, q, cancel)?;
+                Ok((out.result, out.stats))
+            },
+            || cancel.check(),
+        )
+        .map(unwrap_served)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,6 +9,41 @@
 
 use std::time::Duration;
 
+/// How one query interacted with the engine's result cache
+/// ([`crate::result_cache::ResultCache`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheOutcome {
+    /// The query did not consult the cache (cache disabled, or a path that
+    /// does not go through the cached dispatchers).
+    #[default]
+    Bypass,
+    /// The cache was probed, missed, and the query rendered cold (the
+    /// result may have been admitted afterwards).
+    Miss,
+    /// The result was served from the cache: no cell I/O, no passes.
+    Hit,
+    /// A concurrent identical miss was in flight; this query waited for the
+    /// leader's render instead of executing its own (singleflight).
+    CoalescedHit,
+}
+
+impl CacheOutcome {
+    /// Short uppercase label for plans and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CacheOutcome::Bypass => "BYPASS",
+            CacheOutcome::Miss => "MISS",
+            CacheOutcome::Hit => "HIT",
+            CacheOutcome::CoalescedHit => "COALESCED-HIT",
+        }
+    }
+
+    /// Whether the query was served without executing (hit or coalesced).
+    pub fn served_from_cache(&self) -> bool {
+        matches!(self, CacheOutcome::Hit | CacheOutcome::CoalescedHit)
+    }
+}
+
 /// Statistics for one query execution.
 #[derive(Debug, Clone, Default)]
 pub struct QueryStats {
@@ -47,6 +82,8 @@ pub struct QueryStats {
     /// Disk/decode time that overlapped GPU refinement work — producer I/O
     /// time minus the time the consumer actually stalled waiting on it.
     pub io_hidden: Duration,
+    /// Result-cache provenance of this execution.
+    pub result_cache: CacheOutcome,
 }
 
 impl QueryStats {
@@ -122,7 +159,10 @@ impl QueryStats {
             self.prefetch_hits,
             self.prefetch_misses,
             self.cache_hits,
-        )
+        ) + &match self.result_cache {
+            CacheOutcome::Bypass => String::new(),
+            outcome => format!(" result_cache={}", outcome.label()),
+        }
     }
 }
 

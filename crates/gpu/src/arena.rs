@@ -43,6 +43,9 @@ pub struct TexturePool {
     pooled_bytes: AtomicU64,
     /// Bytes currently checked out.
     live_bytes: AtomicU64,
+    /// Bytes charged by external residents (cached query results) that live
+    /// outside the free lists but inside the device ledger.
+    external_bytes: AtomicU64,
     retain_limit: AtomicU64,
     /// Device ledger charged for checked-out framebuffers, once bound.
     ledger: OnceLock<Arc<DeviceMemory>>,
@@ -57,6 +60,9 @@ pub struct ArenaStats {
     pub misses: u64,
     pub pooled_bytes: u64,
     pub live_bytes: u64,
+    /// Bytes held by external residents (e.g. cached query results) charged
+    /// through [`TexturePool::charge_external`].
+    pub external_bytes: u64,
 }
 
 impl Default for TexturePool {
@@ -73,6 +79,7 @@ impl TexturePool {
             misses: AtomicU64::new(0),
             pooled_bytes: AtomicU64::new(0),
             live_bytes: AtomicU64::new(0),
+            external_bytes: AtomicU64::new(0),
             retain_limit: AtomicU64::new(DEFAULT_RETAIN_BYTES),
             ledger: OnceLock::new(),
         }
@@ -151,12 +158,41 @@ impl TexturePool {
         }
     }
 
+    /// Charge `bytes` held by an external resident — a cached query result
+    /// or canvas that occupies device memory without living in the free
+    /// lists. The footprint is reflected in [`ArenaStats::external_bytes`]
+    /// and, when a ledger is bound, reserved in the device ledger so
+    /// admission control sees it. Returns whether the ledger accepted the
+    /// reservation (accounting is best-effort, like [`Self::checkout`]);
+    /// pass the flag back to [`Self::release_external`] when the resident
+    /// is dropped.
+    pub fn charge_external(&self, bytes: u64) -> bool {
+        self.external_bytes.fetch_add(bytes, Ordering::Relaxed);
+        match self.ledger.get() {
+            Some(ledger) => ledger.alloc(bytes).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Release a charge taken via [`Self::charge_external`]. `accounted`
+    /// must be the flag that call returned so the ledger only refunds
+    /// reservations it actually granted.
+    pub fn release_external(&self, bytes: u64, accounted: bool) {
+        self.external_bytes.fetch_sub(bytes, Ordering::Relaxed);
+        if accounted {
+            if let Some(ledger) = self.ledger.get() {
+                ledger.free(bytes);
+            }
+        }
+    }
+
     pub fn stats(&self) -> ArenaStats {
         ArenaStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             pooled_bytes: self.pooled_bytes.load(Ordering::Relaxed),
             live_bytes: self.live_bytes.load(Ordering::Relaxed),
+            external_bytes: self.external_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -283,6 +319,29 @@ mod tests {
         assert_eq!(t.width(), 8);
         assert_eq!(ledger.used(), 0, "unaccounted checkout leaves ledger alone");
         drop(t);
+        assert_eq!(ledger.used(), 0);
+    }
+
+    #[test]
+    fn external_charges_hit_ledger_and_stats() {
+        let pool = TexturePool::new();
+        let ledger = Arc::new(DeviceMemory::new(1 << 20));
+        pool.bind_ledger(Arc::clone(&ledger));
+        let accounted = pool.charge_external(4096);
+        assert!(accounted);
+        assert_eq!(pool.stats().external_bytes, 4096);
+        assert_eq!(ledger.used(), 4096);
+        pool.release_external(4096, accounted);
+        assert_eq!(pool.stats().external_bytes, 0);
+        assert_eq!(ledger.used(), 0);
+        // An exhausted ledger declines the reservation but the charge is
+        // still visible in the arena stats; release must not over-free.
+        let big = pool.charge_external(2 << 20);
+        assert!(!big);
+        assert_eq!(ledger.used(), 0);
+        assert_eq!(pool.stats().external_bytes, 2 << 20);
+        pool.release_external(2 << 20, big);
+        assert_eq!(pool.stats().external_bytes, 0);
         assert_eq!(ledger.used(), 0);
     }
 

@@ -36,6 +36,7 @@ use crate::stats::PipelineStats;
 use crate::texture::{PixelValue, Texture};
 use crate::viewport::Viewport;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The state of one rendering pass.
@@ -78,7 +79,7 @@ impl<'a> DrawCall<'a> {
 /// reference between operators and across concurrent queries.
 pub struct Pipeline {
     pool: WorkerPool,
-    arena: TexturePool,
+    arena: Arc<TexturePool>,
     pub stats: PipelineStats,
 }
 
@@ -96,7 +97,7 @@ impl Pipeline {
     pub fn with_workers(workers: usize) -> Self {
         Pipeline {
             pool: WorkerPool::new(workers),
-            arena: TexturePool::new(),
+            arena: Arc::new(TexturePool::new()),
             stats: PipelineStats::new(),
         }
     }
@@ -113,6 +114,12 @@ impl Pipeline {
     /// The framebuffer arena transient render targets come from.
     pub fn arena(&self) -> &TexturePool {
         &self.arena
+    }
+
+    /// An owned handle to the arena, for long-lived residents (the result
+    /// cache) that charge their footprint through it.
+    pub fn arena_handle(&self) -> Arc<TexturePool> {
+        Arc::clone(&self.arena)
     }
 
     /// Execute one rendering pass against `target`, returning the final

@@ -330,7 +330,9 @@ impl GridIndex {
             let sweepable = name.ends_with(".blk")
                 || (name.starts_with("manifest_") && name.ends_with(".mf"))
                 || name == "CURRENT.tmp";
-            if sweepable && !referenced.contains(&name) && std::fs::remove_file(entry.path()).is_ok()
+            if sweepable
+                && !referenced.contains(&name)
+                && std::fs::remove_file(entry.path()).is_ok()
             {
                 removed += 1;
             }

@@ -29,3 +29,37 @@ pub use compact::{compact, CompactReport};
 pub use delta::{DeltaSnapshot, DeltaStore};
 pub use grid::{GridCell, GridIndex};
 pub use rtree::RTree;
+
+/// A dataset's read-visible version: the installed grid generation plus the
+/// delta-store sequence watermark.
+///
+/// Both components are monotone non-decreasing over a dataset's lifetime —
+/// compaction only installs higher generations, and [`DeltaStore`] never
+/// lowers `max_seq` (draining after compaction keeps the watermark). Every
+/// write bumps `seq` and every compaction bumps `generation`, so two equal
+/// `Version` values observed at different times denote the *same* logical
+/// snapshot: no mutation can have happened in between (no ABA). That makes
+/// the pair a sound cache key component: anything keyed by `Version` is
+/// invalidated for free by the next staged write or compaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Version {
+    /// Generation of the installed [`GridIndex`].
+    pub generation: u64,
+    /// Largest delta sequence applied so far ([`DeltaStore::max_seq`]).
+    pub seq: u64,
+}
+
+impl Version {
+    /// The fixed version of immutable in-memory datasets, which have no
+    /// grid generation or delta stream.
+    pub const MEMORY: Version = Version {
+        generation: 0,
+        seq: 0,
+    };
+}
+
+impl std::fmt::Display for Version {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "g{}s{}", self.generation, self.seq)
+    }
+}

@@ -432,6 +432,68 @@ impl QueryService {
             "Bytes of arena textures currently checked out.",
             arena.live_bytes,
         );
+        render_gauge(
+            &mut out,
+            "spade_arena_external_bytes",
+            "Bytes charged by external arena residents (result cache).",
+            arena.external_bytes,
+        );
+        // Hot-query serving layer: the generation-keyed result cache.
+        let rc = self.shared.spade.result_cache.stats();
+        render_counter(
+            &mut out,
+            "spade_result_cache_hits_total",
+            "Queries served from the result cache.",
+            rc.hits,
+        );
+        render_counter(
+            &mut out,
+            "spade_result_cache_coalesced_total",
+            "Queries coalesced onto a concurrent identical render.",
+            rc.coalesced,
+        );
+        render_counter(
+            &mut out,
+            "spade_result_cache_misses_total",
+            "Cache probes that had to render cold.",
+            rc.misses,
+        );
+        render_counter(
+            &mut out,
+            "spade_result_cache_bypass_total",
+            "Queries that skipped the result cache (disabled).",
+            rc.bypasses,
+        );
+        render_counter(
+            &mut out,
+            "spade_result_cache_inserted_total",
+            "Results admitted to the cache.",
+            rc.inserted,
+        );
+        render_counter(
+            &mut out,
+            "spade_result_cache_evicted_total",
+            "Entries evicted or purged from the cache.",
+            rc.evicted,
+        );
+        render_counter(
+            &mut out,
+            "spade_result_cache_not_stored_total",
+            "Computed results not admitted (version moved or oversized).",
+            rc.not_stored,
+        );
+        render_gauge(
+            &mut out,
+            "spade_result_cache_entries",
+            "Entries resident in the result cache right now.",
+            rc.entries,
+        );
+        render_gauge(
+            &mut out,
+            "spade_result_cache_bytes",
+            "Bytes resident in the result cache right now.",
+            rc.bytes,
+        );
         // Live-ingestion surface: WAL write rates, staged delta debt, and
         // compaction work, per the write path in DESIGN.md.
         if let Some(wal) = &self.shared.wal {
@@ -844,15 +906,20 @@ fn execute(
     cancel.check().map_err(ServiceError::from)?;
     match request {
         QueryRequest::Select { dataset, query } => {
+            // All read paths go through the cached dispatchers: repeated
+            // hot-tile queries are served straight from the result cache
+            // while the dataset version is unchanged, and identical
+            // concurrent misses coalesce into one render.
             let indexed = shared.indexed.read().unwrap().get(dataset).cloned();
             if let Some(idx) = indexed {
-                let out = query::run_select_indexed_with(&shared.spade, &idx, query, cancel)?;
+                let out =
+                    query::run_select_indexed_cached_with(&shared.spade, &idx, query, cancel)?;
                 return Ok((ResponsePayload::Query(out.result), out.stats));
             }
             let mem = shared.datasets.read().unwrap().get(dataset).cloned();
             match mem {
                 Some(d) => {
-                    let out = query::run_select(&shared.spade, &d, query);
+                    let out = query::run_select_cached(&shared.spade, &d, query);
                     Ok((ResponsePayload::Query(out.result), out.stats))
                 }
                 None => Err(ServiceError::UnknownDataset(dataset.clone())),
@@ -863,7 +930,8 @@ fn execute(
             let (l_idx, r_idx) = (idx.get(left).cloned(), idx.get(right).cloned());
             drop(idx);
             if let (Some(l), Some(r)) = (l_idx, r_idx) {
-                let out = query::run_join_indexed_with(&shared.spade, &l, &r, query, cancel)?;
+                let out =
+                    query::run_join_indexed_cached_with(&shared.spade, &l, &r, query, cancel)?;
                 return Ok((ResponsePayload::Query(out.result), out.stats));
             }
             let mem = shared.datasets.read().unwrap();
@@ -874,7 +942,7 @@ fn execute(
             };
             let (l, r) = (resolve(left)?, resolve(right)?);
             drop(mem);
-            let out = query::run_join(&shared.spade, &l, &r, query);
+            let out = query::run_join_cached(&shared.spade, &l, &r, query);
             Ok((ResponsePayload::Query(out.result), out.stats))
         }
         QueryRequest::Sql(stmt) => {
@@ -1106,6 +1174,13 @@ fn compact_now(
             .metrics
             .compact_cells_split
             .add(report.cells_split as u64);
+        // Entries keyed at the superseded version are unreachable now that
+        // the generation moved; purge them so their bytes leave the device
+        // ledger immediately instead of waiting for LRU pressure.
+        shared
+            .spade
+            .result_cache
+            .purge_outdated(idx.uid(), idx.version());
         if let Some(wal) = &shared.wal {
             wal.lock().unwrap().append(
                 dataset,
