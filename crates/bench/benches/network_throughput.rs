@@ -1,0 +1,139 @@
+//! Wire-protocol throughput: queries per second through the TCP front
+//! door, comparing three client strategies against one loopback server:
+//!
+//! * `per_connection` — the naive baseline: every request opens a fresh
+//!   TCP connection, handshakes, sends one query, waits, closes. This is
+//!   what an HTTP/1.0-style integration would do, and it pays connection
+//!   setup plus two full round trips per query.
+//! * `sequential` — one pooled connection, submit/wait/repeat. Saves the
+//!   setup cost but still serialises round trips.
+//! * `pipelined` — one pooled connection with the whole batch in flight
+//!   at once: request frames coalesce into shared `write_all`s and the
+//!   replies stream back out of order. This is where the `request_id`
+//!   framing earns its keep; the acceptance gate (network_gate.rs)
+//!   requires ≥3× over `per_connection`.
+//!
+//! The query is a cache-warm range select, so the measured time is the
+//! wire, not the engine: framing, syscalls, thread handoffs, round trips.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spade_client::{Client, ClientConfig};
+use spade_core::dataset::{Dataset, DatasetKind, IndexedDataset};
+use spade_core::query::SelectQuery;
+use spade_core::EngineConfig;
+use spade_geometry::{BBox, Point};
+use spade_index::GridIndex;
+use spade_net::proto::{decode_server, encode_client, ClientMsg, ServerMsg};
+use spade_net::wire::{read_frame, write_frame, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};
+use spade_net::{NetServer, NetServerConfig};
+use spade_server::{QueryRequest, QueryService, ServiceConfig};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+const REQUESTS_PER_SAMPLE: usize = 64;
+
+fn serve() -> NetServer {
+    let mut engine = EngineConfig::test_small();
+    engine.resolution = 128;
+    engine.layer_resolution = 128;
+    engine.filter_resolution = 64;
+    let svc = Arc::new(QueryService::new(ServiceConfig {
+        engine,
+        workers: 4,
+        fairness_cap: 8,
+        wal_dir: None,
+    }));
+    let unit = spade_datagen::spider::uniform_points(4_000, 11);
+    let pts = spade_datagen::spider::scale_points(
+        &unit,
+        &BBox::new(Point::ZERO, Point::new(100.0, 100.0)),
+    );
+    let d = Dataset::from_points("pts", pts);
+    let grid = GridIndex::build(None, &d.objects, 25.0).expect("grid build");
+    svc.register_indexed("pts", IndexedDataset::new("pts", DatasetKind::Points, grid));
+    NetServer::serve(svc, "127.0.0.1:0", NetServerConfig::default()).expect("serve")
+}
+
+fn request() -> QueryRequest {
+    QueryRequest::Select {
+        dataset: "pts".into(),
+        query: SelectQuery::Range(BBox::new(Point::new(20.0, 20.0), Point::new(70.0, 60.0))),
+    }
+}
+
+/// One request over one throwaway connection: connect, handshake, query,
+/// close. The raw wire API, because `Client` would amortise the setup.
+fn one_shot(addr: SocketAddr, req: &QueryRequest) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    let hello = ClientMsg::Hello {
+        version: PROTOCOL_VERSION,
+        namespace: "default".into(),
+        token: None,
+    };
+    write_frame(&mut stream, 0, &encode_client(&hello)).expect("hello");
+    let frame = read_frame(&mut stream, DEFAULT_MAX_FRAME).expect("hello reply");
+    assert!(matches!(
+        decode_server(&frame.payload).expect("decode"),
+        ServerMsg::HelloOk { .. }
+    ));
+    write_frame(
+        &mut stream,
+        1,
+        &encode_client(&ClientMsg::Request(req.clone())),
+    )
+    .expect("send");
+    let frame = read_frame(&mut stream, DEFAULT_MAX_FRAME).expect("reply");
+    match decode_server(&frame.payload).expect("decode") {
+        ServerMsg::Reply(r) => {
+            r.expect("query succeeds");
+        }
+        other => panic!("expected a reply, got {other:?}"),
+    }
+}
+
+fn bench_network_throughput(c: &mut Criterion) {
+    let server = serve();
+    let addr = server.addr();
+    // Warm the result cache so every strategy measures the wire, not the
+    // first render.
+    one_shot(addr, &request());
+
+    let mut g = c.benchmark_group("network_throughput");
+    g.sample_size(10);
+
+    g.bench_function("per_connection", |b| {
+        b.iter(|| {
+            for _ in 0..REQUESTS_PER_SAMPLE {
+                one_shot(addr, &request());
+            }
+        })
+    });
+
+    let client = Client::connect(addr, ClientConfig::default()).expect("connect");
+    g.bench_function("sequential", |b| {
+        b.iter(|| {
+            for _ in 0..REQUESTS_PER_SAMPLE {
+                client.query(&request()).expect("query");
+            }
+        })
+    });
+
+    g.bench_function("pipelined", |b| {
+        b.iter(|| {
+            let pending: Vec<_> = (0..REQUESTS_PER_SAMPLE)
+                .map(|_| client.submit(&request()).expect("submit"))
+                .collect();
+            for p in pending {
+                p.wait().expect("reply");
+            }
+        })
+    });
+
+    g.finish();
+    drop(client);
+    server.stop();
+}
+
+criterion_group!(benches, bench_network_throughput);
+criterion_main!(benches);

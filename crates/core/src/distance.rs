@@ -23,7 +23,7 @@ use spade_geometry::{BBox, LineString, Point, Polygon, Segment};
 use std::time::{Duration, Instant};
 
 /// The geometry a distance constraint measures from.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum DistanceConstraint {
     Point(Point),
     Line(LineString),

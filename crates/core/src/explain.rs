@@ -158,6 +158,12 @@ impl PlanReport {
                 if let Some(r) = &k.right {
                     out.push_str(&format!(", right {}", r.version));
                 }
+                // The namespace is part of the key: a HIT was provably
+                // produced inside this tenant. Elided for the default
+                // (in-process) namespace 0.
+                if k.tenant != 0 {
+                    out.push_str(&format!(", tenant {}", k.tenant));
+                }
                 out.push(')');
             }
             out.push('\n');
@@ -366,6 +372,7 @@ mod tests {
                 outcome: crate::stats::CacheOutcome::Hit,
                 key: Some(crate::result_cache::CacheKey {
                     fingerprint: 0xdead_beef,
+                    tenant: 9,
                     left: crate::result_cache::InputVersion {
                         token: 1,
                         version: spade_index::Version {
@@ -381,6 +388,7 @@ mod tests {
         assert!(plain.contains("cache: HIT"));
         assert!(plain.contains("0x00000000deadbeef"));
         assert!(plain.contains("left g3s42"));
+        assert!(plain.contains("tenant 9"));
         assert!(plain.contains("LayerIndex"));
         assert!(plain.contains("est layer 1234 B vs naive 5678 B"));
         assert!(!plain.contains("actual"));

@@ -13,7 +13,7 @@ use crate::stats::QueryOutput;
 use spade_geometry::{BBox, Point, Polygon};
 
 /// A single-data-set spatial query.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SelectQuery {
     /// `ST_INTERSECTS` with a polygonal constraint (§5.2).
     Intersects(Polygon),
@@ -28,7 +28,7 @@ pub enum SelectQuery {
 }
 
 /// A two-data-set query.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum JoinQuery {
     /// Spatial (intersection) join (§5.2).
     Intersects,
@@ -307,10 +307,23 @@ pub fn run_select_cached(
     data: &Dataset,
     q: &SelectQuery,
 ) -> QueryOutput<QueryResult> {
+    run_select_cached_in(spade, 0, data, q)
+}
+
+/// [`run_select_cached`] on behalf of a tenant: the namespace id joins the
+/// cache key, so namespaces never share cached bytes (the default
+/// in-process namespace is `0`).
+pub fn run_select_cached_in(
+    spade: &Spade,
+    tenant: u64,
+    data: &Dataset,
+    q: &SelectQuery,
+) -> QueryOutput<QueryResult> {
     let fingerprint = fingerprint_select(q);
     let served = spade.result_cache.serve::<std::convert::Infallible>(
         || CacheKey {
             fingerprint,
+            tenant,
             left: memory_input(data),
             right: None,
         },
@@ -346,12 +359,24 @@ pub fn run_select_indexed_cached_with(
     q: &SelectQuery,
     cancel: &crate::cancel::CancelToken,
 ) -> spade_storage::Result<QueryOutput<QueryResult>> {
+    run_select_indexed_cached_in(spade, 0, data, q, cancel)
+}
+
+/// [`run_select_indexed_cached_with`] on behalf of a tenant namespace.
+pub fn run_select_indexed_cached_in(
+    spade: &Spade,
+    tenant: u64,
+    data: &IndexedDataset,
+    q: &SelectQuery,
+    cancel: &crate::cancel::CancelToken,
+) -> spade_storage::Result<QueryOutput<QueryResult>> {
     let fingerprint = fingerprint_select(q);
     spade
         .result_cache
         .serve(
             || CacheKey {
                 fingerprint,
+                tenant,
                 left: indexed_input(data),
                 right: None,
             },
@@ -371,10 +396,22 @@ pub fn run_join_cached(
     d2: &Dataset,
     q: &JoinQuery,
 ) -> QueryOutput<QueryResult> {
+    run_join_cached_in(spade, 0, d1, d2, q)
+}
+
+/// [`run_join_cached`] on behalf of a tenant namespace.
+pub fn run_join_cached_in(
+    spade: &Spade,
+    tenant: u64,
+    d1: &Dataset,
+    d2: &Dataset,
+    q: &JoinQuery,
+) -> QueryOutput<QueryResult> {
     let fingerprint = fingerprint_join(q);
     let served = spade.result_cache.serve::<std::convert::Infallible>(
         || CacheKey {
             fingerprint,
+            tenant,
             left: memory_input(d1),
             right: Some(memory_input(d2)),
         },
@@ -409,12 +446,25 @@ pub fn run_join_indexed_cached_with(
     q: &JoinQuery,
     cancel: &crate::cancel::CancelToken,
 ) -> spade_storage::Result<QueryOutput<QueryResult>> {
+    run_join_indexed_cached_in(spade, 0, d1, d2, q, cancel)
+}
+
+/// [`run_join_indexed_cached_with`] on behalf of a tenant namespace.
+pub fn run_join_indexed_cached_in(
+    spade: &Spade,
+    tenant: u64,
+    d1: &IndexedDataset,
+    d2: &IndexedDataset,
+    q: &JoinQuery,
+    cancel: &crate::cancel::CancelToken,
+) -> spade_storage::Result<QueryOutput<QueryResult>> {
     let fingerprint = fingerprint_join(q);
     spade
         .result_cache
         .serve(
             || CacheKey {
                 fingerprint,
+                tenant,
                 left: indexed_input(d1),
                 right: Some(indexed_input(d2)),
             },

@@ -53,11 +53,16 @@ pub struct InputVersion {
 }
 
 /// Full identity of a cacheable execution: what was asked, of which
-/// relations, at which versions.
+/// relations, at which versions — and on behalf of which tenant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     /// Canonical FNV-1a fingerprint of the query AST.
     pub fingerprint: u64,
+    /// Namespace the query ran in. Dataset uid tokens are process-unique,
+    /// but the tenant joins the key anyway so no registration pattern (uid
+    /// reuse across service restarts, colliding external uids) can ever let
+    /// two tenants share cached bytes. `0` is the default namespace.
+    pub tenant: u64,
     pub left: InputVersion,
     /// Second relation for joins.
     pub right: Option<InputVersion>,
@@ -617,12 +622,54 @@ mod tests {
     fn key_at(fp: u64, seq: u64) -> CacheKey {
         CacheKey {
             fingerprint: fp,
+            tenant: 0,
             left: InputVersion {
                 token: 7,
                 version: Version { generation: 1, seq },
             },
             right: None,
         }
+    }
+
+    /// Regression for cross-tenant cache sharing: identical fingerprints
+    /// over identical `(token, version)` inputs must still be distinct
+    /// entries when the tenant differs, so one namespace's cached bytes can
+    /// never be served to another — even if dataset uids collide.
+    #[test]
+    fn tenants_never_share_entries() {
+        let cache = ResultCache::new(1 << 20, true);
+        let key_for = |tenant: u64| CacheKey {
+            tenant,
+            ..key_at(0xfeed, 3)
+        };
+        let (r1, _) = cache
+            .serve::<Infallible>(
+                || key_for(1),
+                || Ok((ids(4), QueryStats::default())),
+                || Ok(()),
+            )
+            .unwrap();
+        // Same query, same dataset token/version, different tenant: a miss
+        // computing different data, not a hit on tenant 1's entry.
+        let (r2, s2) = cache
+            .serve::<Infallible>(
+                || key_for(2),
+                || Ok((ids(9), QueryStats::default())),
+                || Ok(()),
+            )
+            .unwrap();
+        assert_eq!(s2.result_cache, crate::stats::CacheOutcome::Miss);
+        assert_ne!(*r1, *r2);
+        // Repeats hit within their own tenant only.
+        let (r1b, s1b) = cache
+            .serve::<Infallible>(
+                || key_for(1),
+                || panic!("tenant 1 repeat must be a hit"),
+                || Ok(()),
+            )
+            .unwrap();
+        assert_eq!(s1b.result_cache, crate::stats::CacheOutcome::Hit);
+        assert_eq!(*r1, *r1b);
     }
 
     fn ids(n: u32) -> QueryResult {

@@ -1,0 +1,28 @@
+//! # spade-net — the network front door of the SPADE query service
+//!
+//! [`spade_server::QueryService`] is an in-process service: sessions are
+//! handles and replies travel over channels. This crate puts it on a TCP
+//! socket without changing that model:
+//!
+//! - [`wire`] — versioned length-prefixed frames
+//!   `[len][crc32][request_id][payload]` with a pre-allocation size cap;
+//!   the crc reuses the write-ahead log's checksum.
+//! - [`proto`] — binary encodings of the typed request/response surface
+//!   ([`spade_server::QueryRequest`] and friends), reusing the storage
+//!   layer's geometry and table codecs, plus the handshake messages
+//!   (protocol version, tenant namespace, auth token).
+//! - [`server`] — the listener: one reader/writer thread pair per
+//!   connection, pipelined out-of-order responses keyed by `request_id`,
+//!   cancellation-on-disconnect wired into the engine's cooperative
+//!   [`spade_core::CancelToken`]s, and a graceful stop path that drains
+//!   the service before closing sockets.
+//!
+//! The matching client lives in `spade-client`.
+
+pub mod proto;
+pub mod server;
+pub mod wire;
+
+pub use proto::{ClientMsg, ServerMsg};
+pub use server::{NetServer, NetServerConfig};
+pub use wire::{Frame, WireError, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};

@@ -1,0 +1,267 @@
+//! Length-prefixed binary framing.
+//!
+//! Every message on a SPADE connection — in either direction — travels in
+//! one frame:
+//!
+//! ```text
+//! [len: u32 LE] [crc32: u32 LE] [request_id: u64 LE] [payload bytes]
+//! ```
+//!
+//! `len` counts everything after the crc field (`request_id` plus the
+//! payload), so the smallest legal value is 8. `crc32` (same polynomial and
+//! table as the write-ahead log's frame checksum) covers those same bytes,
+//! so a flipped bit anywhere in the id or payload is caught before the
+//! payload is decoded. `request_id` is chosen by the client and echoed by
+//! the server on the matching response, which is what lets one connection
+//! keep many requests in flight and receive their responses out of order.
+//!
+//! A reader enforces a maximum frame size *before* allocating the body
+//! buffer: a corrupt or hostile length prefix can neither allocate
+//! gigabytes nor stall the connection half-way through a bogus frame.
+//! Framing errors are not recoverable — once a crc fails or a length is
+//! out of range the stream offset can no longer be trusted, so the
+//! connection is dropped (and, server-side, its in-flight queries are
+//! cancelled).
+
+use spade_storage::wal::crc32;
+use std::io::{self, Read, Write};
+
+/// Version negotiated in the handshake. Bump on any incompatible change to
+/// the framing or message encodings in [`crate::proto`].
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Default cap on `len` (request id + payload). Large enough for any
+/// realistic result table, small enough that a corrupt length prefix
+/// cannot make the reader allocate without bound.
+pub const DEFAULT_MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// Bytes of `[len][crc32]` preceding the checksummed body.
+pub const HEADER_LEN: usize = 8;
+
+/// Smallest legal `len`: the 8-byte request id with an empty payload.
+pub const MIN_BODY_LEN: u32 = 8;
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    pub request_id: u64,
+    pub payload: Vec<u8>,
+}
+
+/// Why a read or decode failed.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying transport failed.
+    Io(io::Error),
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// The byte stream is not a valid frame or message: truncated frame,
+    /// crc mismatch, unknown tag, short or trailing payload bytes.
+    Corrupt(String),
+    /// The length prefix exceeds the reader's cap; the frame was not read.
+    FrameTooLarge { len: u32, max: u32 },
+    /// Handshake version mismatch.
+    Unsupported { client: u16, server: u16 },
+    /// The server refused the handshake (unknown namespace, bad token, …).
+    Handshake(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "io error: {e}"),
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::Corrupt(why) => write!(f, "corrupt frame: {why}"),
+            WireError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} B exceeds the {max} B cap")
+            }
+            WireError::Unsupported { client, server } => write!(
+                f,
+                "protocol version mismatch: client speaks v{client}, server v{server}"
+            ),
+            WireError::Handshake(why) => write!(f, "handshake refused: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Append one encoded frame to `out`. Used directly by the client's
+/// write-coalescing path, which batches several frames into one
+/// `write_all`.
+pub fn encode_frame(out: &mut Vec<u8>, request_id: u64, payload: &[u8]) {
+    let body_len = 8 + payload.len();
+    assert!(body_len <= u32::MAX as usize, "frame payload too large");
+    out.reserve(HEADER_LEN + body_len);
+    out.extend_from_slice(&(body_len as u32).to_le_bytes());
+    // crc over [request_id][payload] without materialising the body twice:
+    // the id bytes are fed through the same table-driven crc as the
+    // payload by concatenation.
+    let mut body = Vec::with_capacity(body_len);
+    body.extend_from_slice(&request_id.to_le_bytes());
+    body.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+}
+
+/// Write one frame (a single `write_all`, so concurrent writers holding a
+/// lock interleave whole frames, never partial ones).
+pub fn write_frame(w: &mut impl Write, request_id: u64, payload: &[u8]) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(HEADER_LEN + 8 + payload.len());
+    encode_frame(&mut buf, request_id, payload);
+    w.write_all(&buf)
+}
+
+/// Fill `buf` from the reader. `at_boundary` distinguishes a clean close
+/// (EOF before the first header byte → [`WireError::Closed`]) from a
+/// truncated frame (EOF anywhere else → [`WireError::Corrupt`]).
+fn read_full(r: &mut impl Read, buf: &mut [u8], at_boundary: bool) -> Result<(), WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if filled == 0 && at_boundary {
+                    WireError::Closed
+                } else {
+                    WireError::Corrupt("truncated frame".into())
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Read one frame, verifying the length against `max_frame` before
+/// allocating and the crc before returning.
+pub fn read_frame(r: &mut impl Read, max_frame: u32) -> Result<Frame, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    read_full(r, &mut header, true)?;
+    let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    if len < MIN_BODY_LEN {
+        return Err(WireError::Corrupt(format!(
+            "frame length {len} below the {MIN_BODY_LEN} B minimum"
+        )));
+    }
+    if len > max_frame {
+        return Err(WireError::FrameTooLarge {
+            len,
+            max: max_frame,
+        });
+    }
+    let mut body = vec![0u8; len as usize];
+    read_full(r, &mut body, false)?;
+    if crc32(&body) != crc {
+        return Err(WireError::Corrupt("crc mismatch".into()));
+    }
+    let request_id = u64::from_le_bytes(body[0..8].try_into().unwrap());
+    Ok(Frame {
+        request_id,
+        payload: body[8..].to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn frame_bytes(id: u64, payload: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, id, payload);
+        buf
+    }
+
+    #[test]
+    fn round_trip() {
+        let bytes = frame_bytes(42, b"hello");
+        let f = read_frame(&mut Cursor::new(&bytes), DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(f.request_id, 42);
+        assert_eq!(f.payload, b"hello");
+    }
+
+    #[test]
+    fn empty_payload_is_legal() {
+        let bytes = frame_bytes(7, b"");
+        let f = read_frame(&mut Cursor::new(&bytes), DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(f.request_id, 7);
+        assert!(f.payload.is_empty());
+    }
+
+    #[test]
+    fn clean_eof_is_closed() {
+        let err = read_frame(&mut Cursor::new(&[]), DEFAULT_MAX_FRAME).unwrap_err();
+        assert!(matches!(err, WireError::Closed));
+    }
+
+    #[test]
+    fn truncation_anywhere_is_corrupt() {
+        let bytes = frame_bytes(1, b"payload");
+        for cut in 1..bytes.len() {
+            let err = read_frame(&mut Cursor::new(&bytes[..cut]), DEFAULT_MAX_FRAME).unwrap_err();
+            assert!(
+                matches!(err, WireError::Corrupt(_)),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flip_anywhere_is_detected() {
+        let good = frame_bytes(9, b"payload bytes");
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x40;
+            // A flip may corrupt the length, the crc, the id, or the
+            // payload; whatever it hits must NOT decode as the original
+            // frame.
+            if let Ok(f) = read_frame(&mut Cursor::new(&bad), DEFAULT_MAX_FRAME) {
+                panic!("flip at {i} went undetected: {f:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_alloc() {
+        let mut bytes = frame_bytes(1, b"x");
+        bytes[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut Cursor::new(&bytes), 1024).unwrap_err();
+        assert!(matches!(
+            err,
+            WireError::FrameTooLarge {
+                len: u32::MAX,
+                max: 1024
+            }
+        ));
+    }
+
+    #[test]
+    fn undersized_length_is_corrupt() {
+        let mut bytes = frame_bytes(1, b"x");
+        bytes[0..4].copy_from_slice(&4u32.to_le_bytes());
+        let err = read_frame(&mut Cursor::new(&bytes), 1024).unwrap_err();
+        assert!(matches!(err, WireError::Corrupt(_)));
+    }
+
+    #[test]
+    fn back_to_back_frames_stream() {
+        let mut bytes = frame_bytes(1, b"a");
+        bytes.extend_from_slice(&frame_bytes(2, b"bb"));
+        let mut cur = Cursor::new(&bytes);
+        assert_eq!(read_frame(&mut cur, 1024).unwrap().request_id, 1);
+        assert_eq!(read_frame(&mut cur, 1024).unwrap().payload, b"bb");
+        assert!(matches!(
+            read_frame(&mut cur, 1024).unwrap_err(),
+            WireError::Closed
+        ));
+    }
+}

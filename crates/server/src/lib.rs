@@ -50,11 +50,13 @@
 
 pub mod admission;
 pub mod metrics;
+pub mod namespace;
 pub mod request;
 pub mod service;
 pub mod stats;
 
 pub use admission::AdmissionController;
+pub use namespace::{NamespaceConfig, DEFAULT_NAMESPACE};
 pub use request::{QueryRequest, QueryResponse, ResponsePayload, ServiceError};
-pub use service::{QueryService, ServiceConfig, Session, Ticket};
+pub use service::{QueryService, Reply, ServiceConfig, Session, Ticket};
 pub use stats::ServiceSnapshot;

@@ -103,6 +103,68 @@ pub fn render_gauge(out: &mut String, name: &str, help: &str, value: u64) {
     ));
 }
 
+/// Escape a value interpolated into a Prometheus label per the text
+/// exposition format: backslash, double quote, and newline must be
+/// escaped; everything else passes through. Names reaching here are
+/// already length- and charset-validated at namespace/dataset creation,
+/// but escaping is still applied so a label can never terminate the
+/// quoted string early.
+pub fn sanitize_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One labeled sample of a counter family. `# HELP`/`# TYPE` headers are
+/// emitted once per family (pass `first = true` for the first sample).
+pub fn render_labeled_counter(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    labels: &[(&str, &str)],
+    value: u64,
+    first: bool,
+) {
+    if first {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+    }
+    render_sample(out, name, labels, value);
+}
+
+/// One labeled sample of a gauge family; see [`render_labeled_counter`].
+pub fn render_labeled_gauge(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    labels: &[(&str, &str)],
+    value: u64,
+    first: bool,
+) {
+    if first {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
+    }
+    render_sample(out, name, labels, value);
+}
+
+fn render_sample(out: &mut String, name: &str, labels: &[(&str, &str)], value: u64) {
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{k}=\"{}\"", sanitize_label(v)));
+    }
+    out.push_str(&format!("}} {value}\n"));
+}
+
 /// Engine-side totals the service aggregates across completed queries,
 /// plus the service-side wall-split histograms.
 #[derive(Debug, Default)]

@@ -10,7 +10,7 @@ use std::time::Duration;
 /// [`crate::QueryService::register_indexed`]); selection and join classes
 /// reuse the engine's query AST. Name resolution prefers the grid-indexed
 /// (out-of-core) form of a dataset when both are registered.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum QueryRequest {
     /// A selection (intersects / range / containment / distance / kNN)
     /// over one dataset.
@@ -143,6 +143,14 @@ pub enum ServiceError {
     DeadlineExceeded,
     /// The request referenced a dataset the catalog does not know.
     UnknownDataset(String),
+    /// The session referenced a namespace the service does not know.
+    UnknownNamespace(String),
+    /// The presented token does not match the namespace's.
+    Unauthorized(String),
+    /// A namespace or dataset name failed validation (empty, oversized,
+    /// contains control characters or the reserved `:` separator), or a
+    /// namespace with that name already exists.
+    InvalidName(String),
     /// The service is shutting down; the query will not run.
     Shutdown,
     /// The engine or storage layer failed.
@@ -162,6 +170,9 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Cancelled => write!(f, "cancelled"),
             ServiceError::DeadlineExceeded => write!(f, "deadline exceeded"),
             ServiceError::UnknownDataset(n) => write!(f, "unknown dataset '{n}'"),
+            ServiceError::UnknownNamespace(n) => write!(f, "unknown namespace '{n}'"),
+            ServiceError::Unauthorized(n) => write!(f, "unauthorized for namespace '{n}'"),
+            ServiceError::InvalidName(why) => write!(f, "invalid name: {why}"),
             ServiceError::Shutdown => write!(f, "service shut down"),
             ServiceError::Storage(e) => write!(f, "storage error: {e}"),
         }

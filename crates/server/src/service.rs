@@ -16,7 +16,10 @@
 //! large query cannot be starved by a stream of small ones.
 
 use crate::admission::AdmissionController;
-use crate::metrics::{render_counter, render_gauge, MetricsRegistry};
+use crate::metrics::{
+    render_counter, render_gauge, render_labeled_counter, render_labeled_gauge, MetricsRegistry,
+};
+use crate::namespace::{validate_name, Namespace, NamespaceConfig, DEFAULT_NAMESPACE};
 use crate::request::{QueryRequest, QueryResponse, ResponsePayload, ServiceError};
 use crate::stats::{ServiceSnapshot, ServiceStats};
 use spade_core::cancel::CancelToken;
@@ -63,15 +66,43 @@ impl Default for ServiceConfig {
     }
 }
 
-type Reply = Result<QueryResponse, ServiceError>;
+/// The resolution of one submitted query.
+pub type Reply = Result<QueryResponse, ServiceError>;
+
+/// Where a completed query's reply goes. Tickets carry a per-query
+/// channel; the network server routes many in-flight queries of one
+/// connection into a single writer channel, tagged by the wire
+/// `request_id`, so responses leave in completion order (out-of-order
+/// relative to submission — that is request pipelining).
+pub(crate) enum ReplySink {
+    Ticket(mpsc::Sender<Reply>),
+    Routed {
+        tx: mpsc::Sender<(u64, Reply)>,
+        id: u64,
+    },
+}
+
+impl ReplySink {
+    fn send(&self, reply: Reply) {
+        match self {
+            ReplySink::Ticket(tx) => {
+                let _ = tx.send(reply);
+            }
+            ReplySink::Routed { tx, id } => {
+                let _ = tx.send((*id, reply));
+            }
+        }
+    }
+}
 
 struct Pending {
     session: u64,
+    ns: Arc<Namespace>,
     request: QueryRequest,
     cancel: CancelToken,
     footprint: u64,
     enqueued: Instant,
-    reply: mpsc::Sender<Reply>,
+    reply: ReplySink,
 }
 
 #[derive(Default)]
@@ -84,14 +115,23 @@ struct Queue {
 struct Shared {
     spade: Arc<Spade>,
     db: Mutex<Database>,
-    datasets: RwLock<HashMap<String, Arc<Dataset>>>,
-    indexed: RwLock<HashMap<String, Arc<IndexedDataset>>>,
+    /// Per-tenant catalogs: keys are `(namespace id, dataset name)`, so
+    /// two tenants registering the same name never collide.
+    datasets: RwLock<HashMap<(u64, String), Arc<Dataset>>>,
+    indexed: RwLock<HashMap<(u64, String), Arc<IndexedDataset>>>,
+    /// Tenant namespaces by name. The default namespace (id 0) is created
+    /// at construction and cannot be removed.
+    namespaces: RwLock<HashMap<String, Arc<Namespace>>>,
+    next_namespace: AtomicU64,
     admission: AdmissionController,
     queue: Mutex<Queue>,
     work_ready: Condvar,
     stats: ServiceStats,
     metrics: MetricsRegistry,
     fairness_cap: usize,
+    /// Graceful-shutdown phase: new submissions are refused while queued
+    /// and running queries drain ([`QueryService::shutdown`]).
+    draining: AtomicBool,
     shutdown: AtomicBool,
     next_session: AtomicU64,
     /// The write-ahead log, when the service was configured with a
@@ -112,17 +152,20 @@ struct Shared {
     /// registers that dataset.
     pending: Mutex<BTreeMap<String, PendingWrites>>,
     /// Datasets whose staged delta crossed `compact_trigger_bytes`,
-    /// awaiting the background compactor. Deduplicated on push.
-    compact_queue: Mutex<VecDeque<String>>,
+    /// awaiting the background compactor. Deduplicated on push; entries
+    /// carry their namespace so the compactor writes tenant-qualified
+    /// checkpoint records.
+    compact_queue: Mutex<VecDeque<(Arc<Namespace>, String)>>,
     compact_ready: Condvar,
 }
 
-/// A query service over one shared engine. Dropping the service shuts the
-/// worker pool down; queued queries reply [`ServiceError::Shutdown`].
+/// A query service over one shared engine. [`QueryService::shutdown`]
+/// drains gracefully; dropping the service without it shuts the worker
+/// pool down hard — queued queries reply [`ServiceError::Shutdown`].
 pub struct QueryService {
     shared: Arc<Shared>,
-    workers: Vec<std::thread::JoinHandle<()>>,
-    compactor: Option<std::thread::JoinHandle<()>>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    compactor: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl QueryService {
@@ -143,17 +186,29 @@ impl QueryService {
             }
             None => (None, BTreeMap::new()),
         };
+        let mut namespaces = HashMap::new();
+        namespaces.insert(
+            DEFAULT_NAMESPACE.to_string(),
+            Arc::new(Namespace::new(
+                0,
+                DEFAULT_NAMESPACE.to_string(),
+                NamespaceConfig::default(),
+            )),
+        );
         let shared = Arc::new(Shared {
             admission: AdmissionController::new(engine.device.capacity()),
             spade: engine,
             db: Mutex::new(Database::in_memory()),
             datasets: RwLock::new(HashMap::new()),
             indexed: RwLock::new(HashMap::new()),
+            namespaces: RwLock::new(namespaces),
+            next_namespace: AtomicU64::new(1),
             queue: Mutex::new(Queue::default()),
             work_ready: Condvar::new(),
             stats: ServiceStats::default(),
             metrics: MetricsRegistry::default(),
             fairness_cap: config.fairness_cap.max(1),
+            draining: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
             next_session: AtomicU64::new(1),
             wal,
@@ -179,8 +234,8 @@ impl QueryService {
         };
         QueryService {
             shared,
-            workers,
-            compactor: Some(compactor),
+            workers: Mutex::new(workers),
+            compactor: Mutex::new(Some(compactor)),
         }
     }
 
@@ -196,13 +251,63 @@ impl QueryService {
         self.shared.db.lock().unwrap()
     }
 
-    /// Register an in-memory dataset under `name`.
+    /// Create a tenant namespace. Names are validated (non-empty, at most
+    /// [`crate::namespace::MAX_NAME_LEN`] bytes, no control characters, no
+    /// `:`); a clashing name fails with [`ServiceError::InvalidName`].
+    pub fn create_namespace(
+        &self,
+        name: impl Into<String>,
+        config: NamespaceConfig,
+    ) -> Result<(), ServiceError> {
+        let name = name.into();
+        validate_name("namespace", &name)?;
+        let mut namespaces = self.shared.namespaces.write().unwrap();
+        if namespaces.contains_key(&name) {
+            return Err(ServiceError::InvalidName(format!(
+                "namespace '{name}' already exists"
+            )));
+        }
+        let id = self.shared.next_namespace.fetch_add(1, Ordering::Relaxed);
+        namespaces.insert(name.clone(), Arc::new(Namespace::new(id, name, config)));
+        Ok(())
+    }
+
+    /// Resolve a namespace by name.
+    fn namespace(&self, name: &str) -> Result<Arc<Namespace>, ServiceError> {
+        self.shared
+            .namespaces
+            .read()
+            .unwrap()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServiceError::UnknownNamespace(name.to_string()))
+    }
+
+    /// Register an in-memory dataset under `name` in the default
+    /// namespace.
     pub fn register(&self, name: impl Into<String>, data: Dataset) {
+        self.register_in(DEFAULT_NAMESPACE, name, data)
+            .expect("default namespace always exists");
+    }
+
+    /// Register an in-memory dataset under `name` in `namespace`. Dataset
+    /// names are validated like namespace names, so they interpolate
+    /// safely into WAL keys and metric labels.
+    pub fn register_in(
+        &self,
+        namespace: &str,
+        name: impl Into<String>,
+        data: Dataset,
+    ) -> Result<(), ServiceError> {
+        let name = name.into();
+        validate_name("dataset", &name)?;
+        let ns = self.namespace(namespace)?;
         self.shared
             .datasets
             .write()
             .unwrap()
-            .insert(name.into(), Arc::new(data));
+            .insert((ns.id(), name), Arc::new(data));
+        Ok(())
     }
 
     /// Register a grid-indexed (out-of-core) dataset under `name`. Name
@@ -214,8 +319,24 @@ impl QueryService {
     /// acknowledged writes survive a crash between WAL append and
     /// compaction.
     pub fn register_indexed(&self, name: impl Into<String>, data: IndexedDataset) {
+        self.register_indexed_in(DEFAULT_NAMESPACE, name, data)
+            .expect("default namespace always exists");
+    }
+
+    /// Register a grid-indexed dataset in `namespace`. WAL records of
+    /// non-default tenants are keyed `namespace:dataset`, so replayed
+    /// pending writes route back to exactly this tenant's dataset.
+    pub fn register_indexed_in(
+        &self,
+        namespace: &str,
+        name: impl Into<String>,
+        data: IndexedDataset,
+    ) -> Result<(), ServiceError> {
         let name = name.into();
-        if let Some(pending) = self.shared.pending.lock().unwrap().remove(&name) {
+        validate_name("dataset", &name)?;
+        let ns = self.namespace(namespace)?;
+        let wal_key = ns.wal_key(&name);
+        if let Some(pending) = self.shared.pending.lock().unwrap().remove(&wal_key) {
             let floor = data.checkpoint_seq();
             for rec in &pending.ops {
                 if rec.seq <= floor {
@@ -232,15 +353,71 @@ impl QueryService {
             .indexed
             .write()
             .unwrap()
-            .insert(name, Arc::new(data));
+            .insert((ns.id(), name), Arc::new(data));
+        Ok(())
     }
 
-    /// Open a new session. Sessions are cheap id-carrying handles; the
-    /// fairness cap applies per session id.
+    /// Open a new session in the default namespace. Sessions are cheap
+    /// id-carrying handles; the fairness cap applies per session id.
     pub fn session(&self) -> Session {
-        Session {
+        self.session_in(DEFAULT_NAMESPACE, None)
+            .expect("default namespace always exists and has no token")
+    }
+
+    /// Open a session in a tenant namespace, presenting its auth token
+    /// (`None` for namespaces without one). The wire handshake calls this;
+    /// embedded multi-tenant callers can too.
+    pub fn session_in(
+        &self,
+        namespace: &str,
+        token: Option<&str>,
+    ) -> Result<Session, ServiceError> {
+        let ns = self.namespace(namespace)?;
+        ns.authorize(token)?;
+        Ok(Session {
             shared: Arc::clone(&self.shared),
+            ns,
             id: self.shared.next_session.fetch_add(1, Ordering::Relaxed),
+        })
+    }
+
+    /// Gracefully shut the service down: refuse new submissions, let every
+    /// queued and running query finish, park the compactor, and flush the
+    /// WAL tail so acknowledged writes stay durable. Idempotent; the
+    /// network server's stop path calls this, and `Drop` falls back to a
+    /// hard variant (queued queries answered [`ServiceError::Shutdown`])
+    /// when it never ran.
+    pub fn shutdown(&self) {
+        self.shared.draining.store(true, Ordering::Release);
+        // Drain: both queued and running counts must reach zero. Workers
+        // keep admitting while only `draining` is set.
+        loop {
+            {
+                let q = self.shared.queue.lock().unwrap();
+                if q.pending.is_empty() && q.running == 0 {
+                    break;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        self.stop_threads();
+    }
+
+    /// Signal worker/compactor exit and join them, then flush the WAL.
+    fn stop_threads(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.work_ready.notify_all();
+        self.shared.compact_ready.notify_all();
+        for w in self.workers.lock().unwrap().drain(..) {
+            let _ = w.join();
+        }
+        if let Some(c) = self.compactor.lock().unwrap().take() {
+            let _ = c.join();
+        }
+        // Acknowledged writes stay durable across a clean shutdown even in
+        // GroupCommit mode: flush whatever tail the commit window holds.
+        if let Some(wal) = &self.shared.wal {
+            let _ = wal.lock().unwrap().sync();
         }
     }
 
@@ -530,11 +707,26 @@ impl QueryService {
             );
         }
         let (mut staged, mut tombstones, mut delta_bytes) = (0u64, 0u64, 0u64);
-        for d in self.shared.indexed.read().unwrap().values() {
+        // Tenant names by id, for labeled per-dataset/per-tenant samples.
+        let tenant_names: BTreeMap<u64, String> = self
+            .shared
+            .namespaces
+            .read()
+            .unwrap()
+            .values()
+            .map(|ns| (ns.id(), ns.name().to_string()))
+            .collect();
+        let mut per_dataset: Vec<(String, String, u64)> = Vec::new();
+        for ((ns_id, name), d) in self.shared.indexed.read().unwrap().iter() {
             let s = d.delta_stats();
             staged += s.staged as u64;
             tombstones += s.tombstones as u64;
             delta_bytes += s.bytes;
+            let tenant = tenant_names
+                .get(ns_id)
+                .cloned()
+                .unwrap_or_else(|| ns_id.to_string());
+            per_dataset.push((tenant, name.clone(), s.bytes));
         }
         render_gauge(
             &mut out,
@@ -554,6 +746,107 @@ impl QueryService {
             "Approximate staged delta bytes (compaction debt) right now.",
             delta_bytes,
         );
+        // Per-dataset compaction debt, labeled by tenant and dataset. Both
+        // label values were validated at creation and are escaped again at
+        // render time (`sanitize_label`).
+        per_dataset.sort();
+        for (i, (tenant, dataset, bytes)) in per_dataset.iter().enumerate() {
+            render_labeled_gauge(
+                &mut out,
+                "spade_dataset_delta_bytes",
+                "Staged delta bytes of one dataset.",
+                &[("tenant", tenant), ("dataset", dataset)],
+                *bytes,
+                i == 0,
+            );
+        }
+        // Per-tenant admission and outcome counters. Tenants are rendered
+        // in id order so the default namespace leads and output is stable.
+        let mut tenants: Vec<Arc<Namespace>> = self
+            .shared
+            .namespaces
+            .read()
+            .unwrap()
+            .values()
+            .cloned()
+            .collect();
+        tenants.sort_by_key(|a| a.id());
+        let tenant_counter =
+            |out: &mut String, name: &str, help: &str, first: bool, ns: &Namespace, v: u64| {
+                render_labeled_counter(out, name, help, &[("tenant", ns.name())], v, first);
+            };
+        for (i, ns) in tenants.iter().enumerate() {
+            let first = i == 0;
+            let s = &ns.stats;
+            tenant_counter(
+                &mut out,
+                "spade_tenant_queries_submitted_total",
+                "Queries submitted by this tenant.",
+                first,
+                ns,
+                s.submitted.load(Ordering::Relaxed),
+            );
+        }
+        for (i, ns) in tenants.iter().enumerate() {
+            tenant_counter(
+                &mut out,
+                "spade_tenant_queries_completed_total",
+                "Queries of this tenant that completed with a result.",
+                i == 0,
+                ns,
+                ns.stats.completed.load(Ordering::Relaxed),
+            );
+        }
+        for (i, ns) in tenants.iter().enumerate() {
+            tenant_counter(
+                &mut out,
+                "spade_tenant_queries_rejected_total",
+                "Queries of this tenant rejected by admission control.",
+                i == 0,
+                ns,
+                ns.stats.rejected.load(Ordering::Relaxed),
+            );
+        }
+        for (i, ns) in tenants.iter().enumerate() {
+            tenant_counter(
+                &mut out,
+                "spade_tenant_queries_cancelled_total",
+                "Queries of this tenant cancelled or expired.",
+                i == 0,
+                ns,
+                ns.stats.cancelled.load(Ordering::Relaxed),
+            );
+        }
+        for (i, ns) in tenants.iter().enumerate() {
+            tenant_counter(
+                &mut out,
+                "spade_tenant_queries_failed_total",
+                "Queries of this tenant that failed with an error.",
+                i == 0,
+                ns,
+                ns.stats.failed.load(Ordering::Relaxed),
+            );
+        }
+        for (i, ns) in tenants.iter().enumerate() {
+            tenant_counter(
+                &mut out,
+                "spade_tenant_quota_deferrals_total",
+                "Admission scans that bypassed this tenant at its quota.",
+                i == 0,
+                ns,
+                ns.stats.quota_deferrals.load(Ordering::Relaxed),
+            );
+        }
+        for (i, ns) in tenants.iter().enumerate() {
+            render_labeled_gauge(
+                &mut out,
+                "spade_tenant_reserved_bytes",
+                "Estimated device bytes reserved by this tenant's running queries.",
+                &[("tenant", ns.name())],
+                ns.reserved(),
+                i == 0,
+            );
+        }
         render_counter(
             &mut out,
             "spade_compact_runs_total",
@@ -584,32 +877,29 @@ impl QueryService {
 
 impl Drop for QueryService {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Release);
-        self.shared.work_ready.notify_all();
-        self.shared.compact_ready.notify_all();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
-        if let Some(c) = self.compactor.take() {
-            let _ = c.join();
-        }
-        // Acknowledged writes stay durable across a clean shutdown even in
-        // GroupCommit mode: flush whatever tail the commit window holds.
-        if let Some(wal) = &self.shared.wal {
-            let _ = wal.lock().unwrap().sync();
-        }
+        // Hard shutdown when `shutdown()` never ran: queued queries are
+        // answered `Shutdown` by the draining workers instead of
+        // executing.
+        self.stop_threads();
     }
 }
 
-/// A client handle submitting queries under one session id.
+/// A client handle submitting queries under one session id, inside one
+/// tenant namespace.
 pub struct Session {
     shared: Arc<Shared>,
+    ns: Arc<Namespace>,
     id: u64,
 }
 
 impl Session {
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// The namespace this session operates in.
+    pub fn namespace(&self) -> &str {
+        self.ns.name()
     }
 
     /// Submit a query with no deadline.
@@ -631,43 +921,74 @@ impl Session {
             cancel: cancel.clone(),
             rx,
         };
-        self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        self.enqueue(request, cancel, ReplySink::Ticket(tx));
+        ticket
+    }
 
-        if self.shared.shutdown.load(Ordering::Acquire) {
-            let _ = tx.send(Err(ServiceError::Shutdown));
-            return ticket;
+    /// Submit with the reply routed into a shared `(request id, reply)`
+    /// channel instead of a per-query ticket. This is the network server's
+    /// entry point: one connection keeps many requests in flight and its
+    /// writer thread delivers responses in completion order, keyed by
+    /// `id`.
+    pub fn submit_routed(
+        &self,
+        request: QueryRequest,
+        cancel: CancelToken,
+        id: u64,
+        tx: mpsc::Sender<(u64, Reply)>,
+    ) {
+        self.enqueue(request, cancel, ReplySink::Routed { tx, id });
+    }
+
+    fn enqueue(&self, request: QueryRequest, cancel: CancelToken, reply: ReplySink) {
+        self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        self.ns.stats.submitted.fetch_add(1, Ordering::Relaxed);
+
+        if self.shared.shutdown.load(Ordering::Acquire)
+            || self.shared.draining.load(Ordering::Acquire)
+        {
+            reply.send(Err(ServiceError::Shutdown));
+            return;
         }
         // Resolve names and estimate the device footprint up front:
         // unknown datasets and can-never-fit queries fail fast instead of
         // occupying the queue.
-        let footprint = match estimate_footprint(&self.shared, &request) {
+        let footprint = match estimate_footprint(&self.shared, &self.ns, &request) {
             Ok(f) => f,
             Err(e) => {
-                let _ = tx.send(Err(e));
-                return ticket;
+                reply.send(Err(e));
+                return;
             }
         };
-        if !self.shared.admission.admissible(footprint) {
+        if !self.shared.admission.admissible(footprint) || !self.ns.admissible(footprint) {
             self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
-            let _ = tx.send(Err(ServiceError::Rejected {
+            self.ns.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            // The binding constraint is whichever is smaller: the tenant's
+            // quota or the whole device.
+            let capacity = self
+                .ns
+                .quota()
+                .unwrap_or(u64::MAX)
+                .min(self.shared.admission.capacity());
+            reply.send(Err(ServiceError::Rejected {
                 estimated: footprint,
-                capacity: self.shared.admission.capacity(),
+                capacity,
             }));
-            return ticket;
+            return;
         }
 
         let mut q = self.shared.queue.lock().unwrap();
         q.pending.push_back(Pending {
             session: self.id,
+            ns: Arc::clone(&self.ns),
             request,
             cancel,
             footprint,
             enqueued: Instant::now(),
-            reply: tx,
+            reply,
         });
         drop(q);
         self.shared.work_ready.notify_one();
-        ticket
     }
 }
 
@@ -705,16 +1026,21 @@ impl Ticket {
 /// requests add the largest grid cell per streamed side, since the
 /// executors hold at most one cell per side resident. SQL runs on the
 /// host, so its device footprint is zero.
-fn estimate_footprint(shared: &Shared, request: &QueryRequest) -> Result<u64, ServiceError> {
+fn estimate_footprint(
+    shared: &Shared,
+    ns: &Namespace,
+    request: &QueryRequest,
+) -> Result<u64, ServiceError> {
     let cfg = &shared.spade.config;
     let canvas = |res: u32| (res as u64) * (res as u64) * 16;
     let max_cell = |d: &IndexedDataset| {
         let grid = d.grid();
         grid.cells().iter().map(|c| c.bytes).max().unwrap_or(0)
     };
+    let key = |name: &String| (ns.id(), name.clone());
     match request {
         QueryRequest::Select { dataset, query } => {
-            if let Some(idx) = shared.indexed.read().unwrap().get(dataset) {
+            if let Some(idx) = shared.indexed.read().unwrap().get(&key(dataset)) {
                 let constraint = match query {
                     SelectQuery::WithinDistance(..) | SelectQuery::Knn(..) => {
                         canvas(cfg.distance_resolution)
@@ -722,7 +1048,7 @@ fn estimate_footprint(shared: &Shared, request: &QueryRequest) -> Result<u64, Se
                     _ => canvas(cfg.resolution),
                 };
                 Ok(constraint + canvas(cfg.filter_resolution) + max_cell(idx))
-            } else if shared.datasets.read().unwrap().contains_key(dataset) {
+            } else if shared.datasets.read().unwrap().contains_key(&key(dataset)) {
                 // In-memory plans render but never allocate device memory;
                 // the constraint canvas is still a fair working-set proxy.
                 Ok(canvas(cfg.resolution))
@@ -734,9 +1060,9 @@ fn estimate_footprint(shared: &Shared, request: &QueryRequest) -> Result<u64, Se
             let idx = shared.indexed.read().unwrap();
             let mem = shared.datasets.read().unwrap();
             let side = |name: &String| -> Result<u64, ServiceError> {
-                if let Some(d) = idx.get(name) {
+                if let Some(d) = idx.get(&key(name)) {
                     Ok(max_cell(d))
-                } else if mem.contains_key(name) {
+                } else if mem.contains_key(&key(name)) {
                     Ok(0)
                 } else {
                     Err(ServiceError::UnknownDataset(name.clone()))
@@ -753,14 +1079,14 @@ fn estimate_footprint(shared: &Shared, request: &QueryRequest) -> Result<u64, Se
         QueryRequest::Sql(_) => Ok(0),
         // Spatial requests execute to discover their plan, so an EXPLAIN
         // needs the same reservation as the request it wraps.
-        QueryRequest::Explain { request, .. } => estimate_footprint(shared, request),
+        QueryRequest::Explain { request, .. } => estimate_footprint(shared, ns, request),
         // Writes stage on the host (WAL + delta store); they reserve no
         // device memory but still resolve the dataset so unknown names
         // fail fast. Flush-triggered compaction also runs host-side.
         QueryRequest::Insert { dataset, .. }
         | QueryRequest::Delete { dataset, .. }
         | QueryRequest::Flush { dataset } => {
-            if shared.indexed.read().unwrap().contains_key(dataset) {
+            if shared.indexed.read().unwrap().contains_key(&key(dataset)) {
                 Ok(0)
             } else {
                 Err(ServiceError::UnknownDataset(dataset.clone()))
@@ -776,8 +1102,11 @@ fn worker_loop(shared: &Shared) {
             loop {
                 if shared.shutdown.load(Ordering::Acquire) {
                     // Drain: every queued query learns the service is gone.
+                    // (Graceful shutdown never reaches here with a
+                    // non-empty queue — it sets the flag only once both
+                    // queued and running counts hit zero.)
                     for p in q.pending.drain(..) {
-                        let _ = p.reply.send(Err(ServiceError::Shutdown));
+                        p.reply.send(Err(ServiceError::Shutdown));
                     }
                     return;
                 }
@@ -804,10 +1133,11 @@ fn worker_loop(shared: &Shared) {
             .fetch_add(queue_wait.as_nanos() as u64, Ordering::Relaxed);
 
         let t0 = Instant::now();
-        let outcome = execute(shared, &job.request, &job.cancel);
+        let outcome = execute(shared, &job.ns, &job.request, &job.cancel);
         let exec_time = t0.elapsed();
 
         shared.admission.release(job.footprint);
+        job.ns.release(job.footprint);
         {
             let mut q = shared.queue.lock().unwrap();
             q.running -= 1;
@@ -832,6 +1162,7 @@ fn worker_loop(shared: &Shared) {
         let reply = match outcome {
             Ok((payload, stats)) => {
                 shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                job.ns.stats.completed.fetch_add(1, Ordering::Relaxed);
                 shared.metrics.record_query(&stats);
                 Ok(QueryResponse {
                     payload,
@@ -844,20 +1175,30 @@ fn worker_loop(shared: &Shared) {
                 let e = refine_cancel(e, &job.cancel);
                 match e {
                     ServiceError::Cancelled | ServiceError::DeadlineExceeded => {
-                        shared.stats.cancelled.fetch_add(1, Ordering::Relaxed)
+                        shared.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+                        job.ns.stats.cancelled.fetch_add(1, Ordering::Relaxed);
                     }
-                    _ => shared.stats.failed.fetch_add(1, Ordering::Relaxed),
+                    _ => {
+                        shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                        job.ns.stats.failed.fetch_add(1, Ordering::Relaxed);
+                    }
                 };
                 Err(e)
             }
         };
-        let _ = job.reply.send(reply);
+        job.reply.send(reply);
     }
 }
 
 /// Pick the next admissible queued query. See the module docs for the
 /// scan's fairness and FIFO rules. Expired/cancelled entries are purged
 /// (replied to) in place.
+///
+/// Tenant quotas behave like the session fairness cap, not like device
+/// memory: a query whose tenant is at its quota is *skipped* (the scan
+/// continues), so one tenant saturating its carve-out can never starve
+/// another tenant's queries — only device-memory exhaustion stops the
+/// scan, keeping memory admission strictly FIFO.
 fn admit_next(shared: &Shared, q: &mut Queue) -> Option<Pending> {
     let mut i = 0;
     while i < q.pending.len() {
@@ -865,7 +1206,8 @@ fn admit_next(shared: &Shared, q: &mut Queue) -> Option<Pending> {
             let p = q.pending.remove(i).expect("index in bounds");
             let err = refine_cancel(ServiceError::Cancelled, &p.cancel);
             shared.stats.cancelled.fetch_add(1, Ordering::Relaxed);
-            let _ = p.reply.send(Err(err));
+            p.ns.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+            p.reply.send(Err(err));
             continue;
         }
         let session = q.pending[i].session;
@@ -874,9 +1216,21 @@ fn admit_next(shared: &Shared, q: &mut Queue) -> Option<Pending> {
             i += 1; // fairness: bypass a session already at its cap
             continue;
         }
+        if !q.pending[i].ns.try_reserve(q.pending[i].footprint) {
+            // Tenant at its admission quota: bypass, other tenants (and
+            // this tenant's already-running queries) proceed.
+            q.pending[i]
+                .ns
+                .stats
+                .quota_deferrals
+                .fetch_add(1, Ordering::Relaxed);
+            i += 1;
+            continue;
+        }
         if !shared.admission.try_reserve(q.pending[i].footprint) {
             // Memory admission is strictly FIFO: stop, don't starve the
             // head with later small queries.
+            q.pending[i].ns.release(q.pending[i].footprint);
             return None;
         }
         let p = q.pending.remove(i).expect("index in bounds");
@@ -900,26 +1254,34 @@ fn refine_cancel(e: ServiceError, cancel: &CancelToken) -> ServiceError {
 
 fn execute(
     shared: &Shared,
+    ns: &Arc<Namespace>,
     request: &QueryRequest,
     cancel: &CancelToken,
 ) -> Result<(ResponsePayload, QueryStats), ServiceError> {
     cancel.check().map_err(ServiceError::from)?;
+    let key = |name: &String| (ns.id(), name.clone());
     match request {
         QueryRequest::Select { dataset, query } => {
             // All read paths go through the cached dispatchers: repeated
             // hot-tile queries are served straight from the result cache
             // while the dataset version is unchanged, and identical
-            // concurrent misses coalesce into one render.
-            let indexed = shared.indexed.read().unwrap().get(dataset).cloned();
+            // concurrent misses coalesce into one render. The namespace id
+            // joins the cache key, so tenants never share cached bytes.
+            let indexed = shared.indexed.read().unwrap().get(&key(dataset)).cloned();
             if let Some(idx) = indexed {
-                let out =
-                    query::run_select_indexed_cached_with(&shared.spade, &idx, query, cancel)?;
+                let out = query::run_select_indexed_cached_in(
+                    &shared.spade,
+                    ns.id(),
+                    &idx,
+                    query,
+                    cancel,
+                )?;
                 return Ok((ResponsePayload::Query(out.result), out.stats));
             }
-            let mem = shared.datasets.read().unwrap().get(dataset).cloned();
+            let mem = shared.datasets.read().unwrap().get(&key(dataset)).cloned();
             match mem {
                 Some(d) => {
-                    let out = query::run_select_cached(&shared.spade, &d, query);
+                    let out = query::run_select_cached_in(&shared.spade, ns.id(), &d, query);
                     Ok((ResponsePayload::Query(out.result), out.stats))
                 }
                 None => Err(ServiceError::UnknownDataset(dataset.clone())),
@@ -927,33 +1289,41 @@ fn execute(
         }
         QueryRequest::Join { left, right, query } => {
             let idx = shared.indexed.read().unwrap();
-            let (l_idx, r_idx) = (idx.get(left).cloned(), idx.get(right).cloned());
+            let (l_idx, r_idx) = (idx.get(&key(left)).cloned(), idx.get(&key(right)).cloned());
             drop(idx);
             if let (Some(l), Some(r)) = (l_idx, r_idx) {
-                let out =
-                    query::run_join_indexed_cached_with(&shared.spade, &l, &r, query, cancel)?;
+                let out = query::run_join_indexed_cached_in(
+                    &shared.spade,
+                    ns.id(),
+                    &l,
+                    &r,
+                    query,
+                    cancel,
+                )?;
                 return Ok((ResponsePayload::Query(out.result), out.stats));
             }
             let mem = shared.datasets.read().unwrap();
             let resolve = |name: &String| -> Result<Arc<Dataset>, ServiceError> {
-                mem.get(name)
+                mem.get(&key(name))
                     .cloned()
                     .ok_or_else(|| ServiceError::UnknownDataset(name.clone()))
             };
             let (l, r) = (resolve(left)?, resolve(right)?);
             drop(mem);
-            let out = query::run_join_cached(&shared.spade, &l, &r, query);
+            let out = query::run_join_cached_in(&shared.spade, ns.id(), &l, &r, query);
             Ok((ResponsePayload::Query(out.result), out.stats))
         }
         QueryRequest::Sql(stmt) => {
             let db = shared.db.lock().unwrap();
-            let mut observer = SpatialInsertObserver { shared };
+            let mut observer = SpatialInsertObserver { shared, ns };
             let result = spade_storage::sql::execute_observed(&db, stmt, Some(&mut observer))?;
             Ok((ResponsePayload::Sql(result), QueryStats::default()))
         }
-        QueryRequest::Explain { analyze, request } => explain(shared, *analyze, request, cancel),
+        QueryRequest::Explain { analyze, request } => {
+            explain(shared, ns, *analyze, request, cancel)
+        }
         QueryRequest::Insert { .. } | QueryRequest::Delete { .. } | QueryRequest::Flush { .. } => {
-            execute_write(shared, request)
+            execute_write(shared, ns, request)
         }
     }
 }
@@ -966,6 +1336,7 @@ fn execute(
 /// for both representations.
 struct SpatialInsertObserver<'a> {
     shared: &'a Shared,
+    ns: &'a Arc<Namespace>,
 }
 
 impl spade_storage::sql::SqlObserver for SpatialInsertObserver<'_> {
@@ -974,7 +1345,13 @@ impl spade_storage::sql::SqlObserver for SpatialInsertObserver<'_> {
         table: &str,
         rows: &[Vec<spade_storage::Value>],
     ) -> spade_storage::Result<()> {
-        let idx = self.shared.indexed.read().unwrap().get(table).cloned();
+        let idx = self
+            .shared
+            .indexed
+            .read()
+            .unwrap()
+            .get(&(self.ns.id(), table.to_string()))
+            .cloned();
         let Some(idx) = idx else { return Ok(()) };
         // Parse every row before touching the WAL: a malformed row aborts
         // the whole statement with nothing made durable or visible.
@@ -994,7 +1371,7 @@ impl spade_storage::sql::SqlObserver for SpatialInsertObserver<'_> {
                         geom: geom.clone(),
                     })
                     .collect();
-                let seqs = wal.append_batch(table, ops)?;
+                let seqs = wal.append_batch(&self.ns.wal_key(table), ops)?;
                 for (seq, (id, geom)) in seqs.into_iter().zip(parsed) {
                     idx.insert_at(seq, id, geom);
                 }
@@ -1037,13 +1414,18 @@ fn spatial_row(
     }
 }
 
-/// Resolve a grid-indexed dataset or fail with [`ServiceError::UnknownDataset`].
-fn resolve_indexed(shared: &Shared, name: &str) -> Result<Arc<IndexedDataset>, ServiceError> {
+/// Resolve a grid-indexed dataset in a namespace or fail with
+/// [`ServiceError::UnknownDataset`].
+fn resolve_indexed(
+    shared: &Shared,
+    ns: &Namespace,
+    name: &str,
+) -> Result<Arc<IndexedDataset>, ServiceError> {
     shared
         .indexed
         .read()
         .unwrap()
-        .get(name)
+        .get(&(ns.id(), name.to_string()))
         .cloned()
         .ok_or_else(|| ServiceError::UnknownDataset(name.to_string()))
 }
@@ -1058,6 +1440,7 @@ fn resolve_indexed(shared: &Shared, name: &str) -> Result<Arc<IndexedDataset>, S
 /// the durability step.
 fn execute_write(
     shared: &Shared,
+    ns: &Arc<Namespace>,
     request: &QueryRequest,
 ) -> Result<(ResponsePayload, QueryStats), ServiceError> {
     match request {
@@ -1066,15 +1449,15 @@ fn execute_write(
             id,
             geometry,
         } => {
-            let idx = resolve_indexed(shared, dataset)?;
-            backpressure(shared, dataset, &idx)?;
+            let idx = resolve_indexed(shared, ns, dataset)?;
+            backpressure(shared, ns, dataset, &idx)?;
             let seq = match &shared.wal {
                 Some(wal) => {
                     // Append and stage under one WAL critical section (see
                     // the `Shared::wal` invariant).
                     let mut wal = wal.lock().unwrap();
                     let seq = wal.append(
-                        dataset,
+                        &ns.wal_key(dataset),
                         WalOp::Insert {
                             id: *id,
                             geom: geometry.clone(),
@@ -1086,7 +1469,7 @@ fn execute_write(
                 None => idx.insert(*id, geometry.clone()),
             };
             let stats = idx.delta_stats();
-            maybe_signal_compactor(shared, dataset, stats.bytes);
+            maybe_signal_compactor(shared, ns, dataset, stats.bytes);
             Ok((
                 ResponsePayload::Ack {
                     seq,
@@ -1096,19 +1479,19 @@ fn execute_write(
             ))
         }
         QueryRequest::Delete { dataset, id } => {
-            let idx = resolve_indexed(shared, dataset)?;
-            backpressure(shared, dataset, &idx)?;
+            let idx = resolve_indexed(shared, ns, dataset)?;
+            backpressure(shared, ns, dataset, &idx)?;
             let seq = match &shared.wal {
                 Some(wal) => {
                     let mut wal = wal.lock().unwrap();
-                    let seq = wal.append(dataset, WalOp::Delete { id: *id })?;
+                    let seq = wal.append(&ns.wal_key(dataset), WalOp::Delete { id: *id })?;
                     idx.delete_at(seq, *id);
                     seq
                 }
                 None => idx.delete(*id),
             };
             let stats = idx.delta_stats();
-            maybe_signal_compactor(shared, dataset, stats.bytes);
+            maybe_signal_compactor(shared, ns, dataset, stats.bytes);
             Ok((
                 ResponsePayload::Ack {
                     seq,
@@ -1118,11 +1501,11 @@ fn execute_write(
             ))
         }
         QueryRequest::Flush { dataset } => {
-            let idx = resolve_indexed(shared, dataset)?;
+            let idx = resolve_indexed(shared, ns, dataset)?;
             if let Some(wal) = &shared.wal {
                 wal.lock().unwrap().sync()?;
             }
-            compact_now(shared, dataset, &idx)?;
+            compact_now(shared, ns, dataset, &idx)?;
             let stats = idx.delta_stats();
             Ok((
                 ResponsePayload::Ack {
@@ -1141,11 +1524,12 @@ fn execute_write(
 /// the debt without bound.
 fn backpressure(
     shared: &Shared,
+    ns: &Arc<Namespace>,
     dataset: &str,
     idx: &Arc<IndexedDataset>,
 ) -> Result<(), ServiceError> {
     if idx.delta_stats().bytes >= shared.spade.config.delta_max_bytes {
-        compact_now(shared, dataset, idx)?;
+        compact_now(shared, ns, dataset, idx)?;
     }
     Ok(())
 }
@@ -1159,6 +1543,7 @@ fn backpressure(
 /// records (inserts replace, deletes re-tombstone: replay is idempotent).
 fn compact_now(
     shared: &Shared,
+    ns: &Arc<Namespace>,
     dataset: &str,
     idx: &Arc<IndexedDataset>,
 ) -> Result<(), ServiceError> {
@@ -1183,7 +1568,7 @@ fn compact_now(
             .purge_outdated(idx.uid(), idx.version());
         if let Some(wal) = &shared.wal {
             wal.lock().unwrap().append(
-                dataset,
+                &ns.wal_key(dataset),
                 WalOp::Checkpoint {
                     generation: report.generation,
                     through_seq: idx.checkpoint_seq(),
@@ -1197,13 +1582,13 @@ fn compact_now(
 /// Queue `dataset` for background compaction once its staged delta crosses
 /// the trigger threshold. Deduplicates: a dataset already queued is not
 /// queued twice.
-fn maybe_signal_compactor(shared: &Shared, dataset: &str, delta_bytes: u64) {
+fn maybe_signal_compactor(shared: &Shared, ns: &Arc<Namespace>, dataset: &str, delta_bytes: u64) {
     if delta_bytes < shared.spade.config.compact_trigger_bytes.max(1) {
         return;
     }
     let mut q = shared.compact_queue.lock().unwrap();
-    if !q.iter().any(|n| n == dataset) {
-        q.push_back(dataset.to_string());
+    if !q.iter().any(|(n, d)| n.id() == ns.id() && d == dataset) {
+        q.push_back((Arc::clone(ns), dataset.to_string()));
         shared.compact_ready.notify_one();
     }
 }
@@ -1214,14 +1599,14 @@ fn maybe_signal_compactor(shared: &Shared, dataset: &str, delta_bytes: u64) {
 /// staged and correct; the next trigger retries).
 fn compactor_loop(shared: &Shared) {
     loop {
-        let name = {
+        let (ns, name) = {
             let mut q = shared.compact_queue.lock().unwrap();
             loop {
                 if shared.shutdown.load(Ordering::Acquire) {
                     return;
                 }
-                if let Some(name) = q.pop_front() {
-                    break name;
+                if let Some(job) = q.pop_front() {
+                    break job;
                 }
                 let (guard, _) = shared
                     .compact_ready
@@ -1230,9 +1615,14 @@ fn compactor_loop(shared: &Shared) {
                 q = guard;
             }
         };
-        let idx = shared.indexed.read().unwrap().get(&name).cloned();
+        let idx = shared
+            .indexed
+            .read()
+            .unwrap()
+            .get(&(ns.id(), name.clone()))
+            .cloned();
         if let Some(idx) = idx {
-            let _ = compact_now(shared, &name, &idx);
+            let _ = compact_now(shared, &ns, &name, &idx);
         }
     }
 }
@@ -1244,6 +1634,7 @@ fn compactor_loop(shared: &Shared) {
 /// and render the decisions, with actual runtime numbers when `analyze`.
 fn explain(
     shared: &Shared,
+    ns: &Arc<Namespace>,
     analyze: bool,
     request: &QueryRequest,
     cancel: &CancelToken,
@@ -1265,7 +1656,7 @@ fn explain(
         return Ok((ResponsePayload::Explain(text), QueryStats::default()));
     }
     spade_core::explain::begin();
-    let outcome = execute(shared, request, cancel);
+    let outcome = execute(shared, ns, request, cancel);
     let report = spade_core::explain::finish();
     let (_, stats) = outcome?;
     let mut text = format!(

@@ -11,6 +11,10 @@
 //! * [`engine`] — the SPADE query engine (planner, optimizer, executors).
 //! * [`server`] — the concurrent query service (sessions, GPU-memory
 //!   admission control, cancellation, service-level stats).
+//! * [`net`] — the network front door: binary wire protocol and the
+//!   TCP server that exposes a [`server`] service to remote clients.
+//! * [`client`] — the blocking client: connection pool, pipelining,
+//!   transparent write coalescing.
 //! * [`baselines`] — S2-like, STIG-like and cluster (GeoSpark-like) baselines.
 //! * [`datagen`] — synthetic data generators used by examples and benches.
 //!
@@ -18,10 +22,12 @@
 
 pub use spade_baselines as baselines;
 pub use spade_canvas as canvas;
+pub use spade_client as client;
 pub use spade_core as engine;
 pub use spade_datagen as datagen;
 pub use spade_geometry as geometry;
 pub use spade_gpu as gpu;
 pub use spade_index as index;
+pub use spade_net as net;
 pub use spade_server as server;
 pub use spade_storage as storage;
