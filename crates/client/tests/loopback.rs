@@ -344,3 +344,38 @@ fn graceful_stop_drains_in_flight_requests() {
     assert!(answered >= 1, "drain should answer the in-flight requests");
     stopper.join().unwrap();
 }
+
+#[test]
+fn oversized_reply_is_an_in_band_error_not_a_dropped_connection() {
+    // A server with a small frame cap and a query whose result encodes
+    // larger than that cap: the reply must come back as a per-request
+    // ReplyTooLarge error, and the connection (with other requests on it)
+    // must keep working.
+    let svc = Arc::new(QueryService::new(ServiceConfig {
+        engine: tiny_config(),
+        workers: 2,
+        fairness_cap: 8,
+        wal_dir: None,
+    }));
+    let pts = scatter(4_000, 100.0, 11);
+    let d = Dataset::from_points("pts", pts);
+    let grid = GridIndex::build(None, &d.objects, 25.0).unwrap();
+    svc.register_indexed("pts", IndexedDataset::new("pts", DatasetKind::Points, grid));
+    let server = NetServer::serve(svc, "127.0.0.1:0", NetServerConfig { max_frame: 4096 }).unwrap();
+    let client = connect(&server);
+
+    // ~4000 ids at 4 B each encode well past the 4096 B cap.
+    let big = client.query(&range_query(0.0, 100.0)).unwrap_err();
+    match big {
+        ClientError::Service(ServiceError::ReplyTooLarge { size, max }) => {
+            assert_eq!(max, 4096);
+            assert!(size > max, "size {size} must exceed cap {max}");
+        }
+        other => panic!("expected ReplyTooLarge, got {other}"),
+    }
+
+    // The connection survived: a small query on the same client succeeds.
+    let small = client.query(&range_query(0.0, 5.0)).unwrap();
+    assert!(small.payload.query().is_some());
+    server.stop();
+}

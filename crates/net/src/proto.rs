@@ -705,6 +705,7 @@ const ERR_UNAUTHORIZED: u8 = 6;
 const ERR_INVALID_NAME: u8 = 7;
 const ERR_SHUTDOWN: u8 = 8;
 const ERR_STORAGE: u8 = 9;
+const ERR_REPLY_TOO_LARGE: u8 = 10;
 
 fn put_service_error(buf: &mut Vec<u8>, e: &ServiceError) {
     match e {
@@ -735,6 +736,11 @@ fn put_service_error(buf: &mut Vec<u8>, e: &ServiceError) {
             put_str(buf, s);
         }
         ServiceError::Shutdown => put_u8(buf, ERR_SHUTDOWN),
+        ServiceError::ReplyTooLarge { size, max } => {
+            put_u8(buf, ERR_REPLY_TOO_LARGE);
+            put_u64_le(buf, *size);
+            put_u64_le(buf, *max);
+        }
         ServiceError::Storage(se) => {
             put_u8(buf, ERR_STORAGE);
             put_storage_error(buf, se);
@@ -756,6 +762,10 @@ fn get_service_error(buf: &mut &[u8]) -> Result<ServiceError, WireError> {
         ERR_INVALID_NAME => Ok(ServiceError::InvalidName(get_string(buf)?)),
         ERR_SHUTDOWN => Ok(ServiceError::Shutdown),
         ERR_STORAGE => Ok(ServiceError::Storage(get_storage_error(buf)?)),
+        ERR_REPLY_TOO_LARGE => Ok(ServiceError::ReplyTooLarge {
+            size: get_u64_le(buf).ok_or_else(|| corrupt("reply size"))?,
+            max: get_u64_le(buf).ok_or_else(|| corrupt("reply cap"))?,
+        }),
         t => Err(WireError::Corrupt(format!("unknown service error tag {t}"))),
     }
 }

@@ -32,7 +32,7 @@
 use crate::proto::{decode_client, encode_server, ClientMsg, ServerMsg};
 use crate::wire::{read_frame, write_frame, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};
 use spade_core::CancelToken;
-use spade_server::{QueryService, Reply};
+use spade_server::{QueryService, Reply, ServiceError};
 use std::collections::HashMap;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -254,7 +254,23 @@ fn handle_conn(inner: &Arc<Inner>, mut stream: TcpStream) {
             .spawn(move || {
                 while let Ok((id, reply)) = rx.recv() {
                     in_flight.lock().unwrap().remove(&id);
-                    let payload = encode_server(&ServerMsg::Reply(reply));
+                    let mut payload = encode_server(&ServerMsg::Reply(reply));
+                    // The reader enforces `max_frame` on receive, client
+                    // side included: a reply over the cap would be framed,
+                    // sent, rejected by the client as FrameTooLarge, and
+                    // take the whole connection (and every other in-flight
+                    // request) down with it. Substitute a small in-band
+                    // error instead — the request fails, the connection
+                    // lives. `len` counts the 8-byte request id plus the
+                    // payload, so the same sum is compared here.
+                    let framed = payload.len() as u64 + 8;
+                    if framed > u64::from(max_frame) {
+                        let err = ServiceError::ReplyTooLarge {
+                            size: framed,
+                            max: u64::from(max_frame),
+                        };
+                        payload = encode_server(&ServerMsg::Reply(Err(err)));
+                    }
                     if write_frame(&mut stream, id, &payload).is_err() {
                         // Client gone: stop writing. Dropping `rx` makes
                         // workers' sends no-ops (ReplySink ignores a

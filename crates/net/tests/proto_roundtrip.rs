@@ -113,7 +113,7 @@ fn request(rng: &mut TestRng, depth: u32) -> QueryRequest {
         },
         5 => QueryRequest::Flush { dataset: name(rng) },
         _ => QueryRequest::Explain {
-            analyze: rng.next_u64() % 2 == 0,
+            analyze: rng.next_u64().is_multiple_of(2),
             request: Box::new(request(rng, depth - 1)),
         },
     }
@@ -147,7 +147,7 @@ fn query_result(rng: &mut TestRng) -> QueryResult {
 }
 
 fn sql_result(rng: &mut TestRng) -> SqlResult {
-    if rng.next_u64() % 2 == 0 {
+    if rng.next_u64().is_multiple_of(2) {
         SqlResult::Affected(rng.next_u64() as usize % 10_000)
     } else {
         let items: Vec<(u32, Geometry)> = (0..(rng.next_u64() as usize % 5))
@@ -209,7 +209,7 @@ fn storage_error(rng: &mut TestRng) -> StorageError {
 }
 
 fn service_error(rng: &mut TestRng) -> ServiceError {
-    match rng.next_u64() % 9 {
+    match rng.next_u64() % 10 {
         0 => ServiceError::Rejected {
             estimated: rng.next_u64(),
             capacity: rng.next_u64(),
@@ -221,6 +221,10 @@ fn service_error(rng: &mut TestRng) -> ServiceError {
         5 => ServiceError::Unauthorized(name(rng)),
         6 => ServiceError::InvalidName(name(rng)),
         7 => ServiceError::Shutdown,
+        8 => ServiceError::ReplyTooLarge {
+            size: rng.next_u64(),
+            max: rng.next_u64(),
+        },
         _ => ServiceError::Storage(storage_error(rng)),
     }
 }
@@ -248,7 +252,7 @@ fn client_msg(rng: &mut TestRng) -> ClientMsg {
         0 => ClientMsg::Hello {
             version: rng.next_u64() as u16,
             namespace: name(rng),
-            token: if rng.next_u64() % 2 == 0 {
+            token: if rng.next_u64().is_multiple_of(2) {
                 Some(name(rng))
             } else {
                 None

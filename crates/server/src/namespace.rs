@@ -2,12 +2,15 @@
 //!
 //! A namespace is an isolated tenant of one [`crate::QueryService`]: it has
 //! its own dataset catalog (two tenants can register different data under
-//! the same name), its own result-cache identity (the namespace id joins
-//! every cache key, so tenants can never share cached bytes), its own
-//! write-ahead-log key prefix (recovery routes replayed records back to the
-//! right tenant's dataset), an optional admission quota carved out of the
-//! device-memory admission controller, and an optional auth token that
-//! sessions — local or over the wire — must present.
+//! the same name), its own embedded relational store (SQL statements —
+//! including those arriving over the wire — can only ever touch the
+//! submitting tenant's tables), its own result-cache identity (the
+//! namespace id joins every cache key, so tenants can never share cached
+//! bytes), its own write-ahead-log key prefix (recovery routes replayed
+//! records back to the right tenant's dataset), an optional admission
+//! quota carved out of the device-memory admission controller, and an
+//! optional auth token that sessions — local or over the wire — must
+//! present.
 //!
 //! The default namespace (id 0, name `"default"`) always exists, has no
 //! quota and no token, and is what the pre-namespace `QueryService` API
@@ -15,7 +18,9 @@
 //! is unchanged.
 
 use crate::request::ServiceError;
+use spade_storage::Database;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Name of the always-present default namespace.
 pub const DEFAULT_NAMESPACE: &str = "default";
@@ -64,6 +69,11 @@ pub struct Namespace {
     /// Estimated bytes of this tenant's currently running queries.
     reserved: AtomicU64,
     pub(crate) stats: TenantStats,
+    /// This tenant's embedded relational store. SQL requests submitted
+    /// through a session execute against the submitting session's
+    /// namespace only — tenants can never read or modify each other's
+    /// tables, matching the dataset-catalog isolation above.
+    pub(crate) db: Mutex<Database>,
 }
 
 impl Namespace {
@@ -75,6 +85,7 @@ impl Namespace {
             quota: config.quota_bytes,
             reserved: AtomicU64::new(0),
             stats: TenantStats::default(),
+            db: Mutex::new(Database::in_memory()),
         }
     }
 
@@ -97,12 +108,14 @@ impl Namespace {
 
     /// Check a presented token against the namespace's. A namespace with
     /// no token admits any presentation; one with a token requires an
-    /// exact match.
+    /// exact match, compared in constant time — this check is reachable
+    /// straight from the wire handshake, so an early-exit comparison
+    /// would leak how many leading bytes of a guess were right.
     pub(crate) fn authorize(&self, presented: Option<&str>) -> Result<(), ServiceError> {
-        match &self.token {
-            None => Ok(()),
-            Some(t) if presented == Some(t.as_str()) => Ok(()),
-            Some(_) => Err(ServiceError::Unauthorized(self.name.clone())),
+        match (&self.token, presented) {
+            (None, _) => Ok(()),
+            (Some(t), Some(p)) if constant_time_eq(t.as_bytes(), p.as_bytes()) => Ok(()),
+            (Some(_), _) => Err(ServiceError::Unauthorized(self.name.clone())),
         }
     }
 
@@ -164,6 +177,21 @@ impl Namespace {
             format!("{}:{}", self.name, dataset)
         }
     }
+}
+
+/// Equality whose timing depends only on the operand lengths, never on
+/// where the first differing byte sits: every byte of both operands is
+/// folded into an accumulator before a single final comparison decides.
+/// `black_box` keeps the optimizer from reintroducing a data-dependent
+/// early exit.
+pub(crate) fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    let mut diff = a.len() ^ b.len();
+    for i in 0..a.len().max(b.len()) {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= std::hint::black_box((x ^ y) as usize);
+    }
+    diff == 0
 }
 
 /// Validate a namespace or dataset name at creation/registration time.
@@ -240,6 +268,23 @@ mod tests {
         let open = Namespace::new(2, "o".into(), NamespaceConfig::default());
         assert!(open.authorize(None).is_ok());
         assert!(open.authorize(Some("anything")).is_ok());
+    }
+
+    #[test]
+    fn constant_time_eq_agrees_with_plain_equality() {
+        let cases: &[(&[u8], &[u8])] = &[
+            (b"", b""),
+            (b"", b"a"),
+            (b"a", b""),
+            (b"s3cret", b"s3cret"),
+            (b"s3cret", b"s3cres"),
+            (b"s3cret", b"t3cret"),
+            (b"s3cret", b"s3cret-longer"),
+            (b"short", b"a-much-longer-token"),
+        ];
+        for (a, b) in cases {
+            assert_eq!(constant_time_eq(a, b), a == b, "{a:?} vs {b:?}");
+        }
     }
 
     #[test]

@@ -153,6 +153,10 @@ pub enum ServiceError {
     InvalidName(String),
     /// The service is shutting down; the query will not run.
     Shutdown,
+    /// The query completed, but its encoded reply exceeded the
+    /// connection's frame-size cap and could not be delivered over the
+    /// wire. Narrow the query (or raise the server's `max_frame`).
+    ReplyTooLarge { size: u64, max: u64 },
     /// The engine or storage layer failed.
     Storage(spade_storage::StorageError),
 }
@@ -174,6 +178,9 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Unauthorized(n) => write!(f, "unauthorized for namespace '{n}'"),
             ServiceError::InvalidName(why) => write!(f, "invalid name: {why}"),
             ServiceError::Shutdown => write!(f, "service shut down"),
+            ServiceError::ReplyTooLarge { size, max } => {
+                write!(f, "reply of {size} B exceeds the {max} B frame cap")
+            }
             ServiceError::Storage(e) => write!(f, "storage error: {e}"),
         }
     }

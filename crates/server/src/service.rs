@@ -114,7 +114,6 @@ struct Queue {
 
 struct Shared {
     spade: Arc<Spade>,
-    db: Mutex<Database>,
     /// Per-tenant catalogs: keys are `(namespace id, dataset name)`, so
     /// two tenants registering the same name never collide.
     datasets: RwLock<HashMap<(u64, String), Arc<Dataset>>>,
@@ -122,6 +121,10 @@ struct Shared {
     /// Tenant namespaces by name. The default namespace (id 0) is created
     /// at construction and cannot be removed.
     namespaces: RwLock<HashMap<String, Arc<Namespace>>>,
+    /// The always-present default namespace, held directly so accessors
+    /// like [`QueryService::database`] can borrow through it without going
+    /// through the map.
+    default_ns: Arc<Namespace>,
     next_namespace: AtomicU64,
     admission: AdmissionController,
     queue: Mutex<Queue>,
@@ -186,22 +189,20 @@ impl QueryService {
             }
             None => (None, BTreeMap::new()),
         };
-        let mut namespaces = HashMap::new();
-        namespaces.insert(
+        let default_ns = Arc::new(Namespace::new(
+            0,
             DEFAULT_NAMESPACE.to_string(),
-            Arc::new(Namespace::new(
-                0,
-                DEFAULT_NAMESPACE.to_string(),
-                NamespaceConfig::default(),
-            )),
-        );
+            NamespaceConfig::default(),
+        ));
+        let mut namespaces = HashMap::new();
+        namespaces.insert(DEFAULT_NAMESPACE.to_string(), Arc::clone(&default_ns));
         let shared = Arc::new(Shared {
             admission: AdmissionController::new(engine.device.capacity()),
             spade: engine,
-            db: Mutex::new(Database::in_memory()),
             datasets: RwLock::new(HashMap::new()),
             indexed: RwLock::new(HashMap::new()),
             namespaces: RwLock::new(namespaces),
+            default_ns,
             next_namespace: AtomicU64::new(1),
             queue: Mutex::new(Queue::default()),
             work_ready: Condvar::new(),
@@ -244,11 +245,26 @@ impl QueryService {
         &self.shared.spade
     }
 
-    /// The embedded relational store, for direct setup/loading. SQL
-    /// requests submitted through sessions execute against the same
-    /// database.
+    /// The *default namespace's* embedded relational store, for direct
+    /// setup/loading. SQL requests submitted through default-namespace
+    /// sessions execute against this database; every other tenant has its
+    /// own isolated store ([`QueryService::with_database`]).
     pub fn database(&self) -> MutexGuard<'_, Database> {
-        self.shared.db.lock().unwrap()
+        self.shared.default_ns.db.lock().unwrap()
+    }
+
+    /// Run `f` against one tenant's relational store, for direct
+    /// setup/loading outside the request path. SQL requests submitted
+    /// through a session in `namespace` execute against this same store
+    /// and no other tenant's.
+    pub fn with_database<R>(
+        &self,
+        namespace: &str,
+        f: impl FnOnce(&Database) -> R,
+    ) -> Result<R, ServiceError> {
+        let ns = self.namespace(namespace)?;
+        let db = ns.db.lock().unwrap();
+        Ok(f(&db))
     }
 
     /// Create a tenant namespace. Names are validated (non-empty, at most
@@ -388,7 +404,15 @@ impl QueryService {
     /// hard variant (queued queries answered [`ServiceError::Shutdown`])
     /// when it never ran.
     pub fn shutdown(&self) {
-        self.shared.draining.store(true, Ordering::Release);
+        // The flag is set while holding the queue mutex, and enqueue
+        // re-checks it under that same mutex right before pushing: every
+        // submission therefore either lands before this store (and is
+        // seen by the drain loop below) or observes the flag and is
+        // refused — a push can never slip in after the drain completes.
+        {
+            let _q = self.shared.queue.lock().unwrap();
+            self.shared.draining.store(true, Ordering::Release);
+        }
         // Drain: both queued and running counts must reach zero. Workers
         // keep admitting while only `draining` is set.
         loop {
@@ -405,7 +429,19 @@ impl QueryService {
 
     /// Signal worker/compactor exit and join them, then flush the WAL.
     fn stop_threads(&self) {
-        self.shared.shutdown.store(true, Ordering::Release);
+        // Set the flag and sweep the queue under the queue mutex (the
+        // same discipline as `shutdown`): a submit racing this call either
+        // pushed before the store — and is answered by this sweep or by a
+        // worker's final drain — or observes the flag under the lock and
+        // is refused. Without the sweep, a push landing after the workers
+        // exited would leave its ticket waiting forever.
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            self.shared.shutdown.store(true, Ordering::Release);
+            for p in q.pending.drain(..) {
+                p.reply.send(Err(ServiceError::Shutdown));
+            }
+        }
         self.shared.work_ready.notify_all();
         self.shared.compact_ready.notify_all();
         for w in self.workers.lock().unwrap().drain(..) {
@@ -978,6 +1014,20 @@ impl Session {
         }
 
         let mut q = self.shared.queue.lock().unwrap();
+        // Re-check the shutdown flags under the queue mutex: they are set
+        // under this same mutex, so either this push happens-before the
+        // flag flips (and the drain/sweep paths answer it) or the flip is
+        // visible here and the query is refused. The lock-free check above
+        // is only a fast path; this one is the correctness gate — without
+        // it a submit racing `shutdown` could land in the queue after the
+        // workers drained and exited, blocking its ticket forever.
+        if self.shared.shutdown.load(Ordering::Acquire)
+            || self.shared.draining.load(Ordering::Acquire)
+        {
+            drop(q);
+            reply.send(Err(ServiceError::Shutdown));
+            return;
+        }
         q.pending.push_back(Pending {
             session: self.id,
             ns: Arc::clone(&self.ns),
@@ -1314,7 +1364,11 @@ fn execute(
             Ok((ResponsePayload::Query(out.result), out.stats))
         }
         QueryRequest::Sql(stmt) => {
-            let db = shared.db.lock().unwrap();
+            // SQL is tenant-scoped like every other request: the statement
+            // executes against the submitting session's namespace store,
+            // so a tenant (local or over the wire) can never read or
+            // modify another tenant's tables.
+            let db = ns.db.lock().unwrap();
             let mut observer = SpatialInsertObserver { shared, ns };
             let result = spade_storage::sql::execute_observed(&db, stmt, Some(&mut observer))?;
             Ok((ResponsePayload::Sql(result), QueryStats::default()))
@@ -1641,7 +1695,7 @@ fn explain(
 ) -> Result<(ResponsePayload, QueryStats), ServiceError> {
     if let QueryRequest::Sql(stmt) = request {
         let prefixed = format!("EXPLAIN {}{stmt}", if analyze { "ANALYZE " } else { "" });
-        let db = shared.db.lock().unwrap();
+        let db = ns.db.lock().unwrap();
         let result = spade_storage::sql::execute(&db, &prefixed)?;
         let text = match &result {
             spade_storage::sql::SqlResult::Rows(table) => (0..table.num_rows())

@@ -865,3 +865,47 @@ fn explain_sql_forwards_to_sql_planner() {
     assert!(text.contains("Filter"), "{text}");
     assert!(text.contains("Scan t"), "{text}");
 }
+
+#[test]
+fn submits_racing_shutdown_all_resolve() {
+    // Submissions racing `shutdown()` must never strand a ticket: each
+    // either executes (drained gracefully) or is refused with `Shutdown`.
+    // Before the enqueue path re-checked the drain flags under the queue
+    // mutex, a push could land after the workers drained and exited,
+    // leaving `wait()` blocked forever — this test then hangs.
+    for _ in 0..8 {
+        let svc = std::sync::Arc::new(service(ServiceConfig {
+            engine: tiny_config(),
+            workers: 2,
+            fairness_cap: 8,
+            wal_dir: None,
+        }));
+        let submitters: Vec<_> = (0..4)
+            .map(|_| {
+                let svc = std::sync::Arc::clone(&svc);
+                std::thread::spawn(move || {
+                    let session = svc.session();
+                    for i in 0..50 {
+                        let lo = (i % 90) as f64;
+                        let ticket = session.submit(QueryRequest::Select {
+                            dataset: "pts".into(),
+                            query: SelectQuery::Range(BBox::new(
+                                Point::new(lo, lo),
+                                Point::new(lo + 5.0, lo + 5.0),
+                            )),
+                        });
+                        // Every ticket must resolve, whichever side of the
+                        // drain gate it landed on.
+                        let _ = ticket.wait();
+                    }
+                })
+            })
+            .collect();
+        // Let the burst get going, then shut down concurrently.
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        svc.shutdown();
+        for s in submitters {
+            s.join().unwrap();
+        }
+    }
+}

@@ -317,3 +317,94 @@ fn invalid_names_are_rejected_at_creation() {
         Err(ServiceError::InvalidName(_))
     ));
 }
+
+#[test]
+fn sql_tables_are_isolated_per_tenant() {
+    let svc = QueryService::new(ServiceConfig {
+        engine: tiny_config(),
+        workers: 2,
+        fairness_cap: 4,
+        wal_dir: None,
+    });
+    svc.create_namespace("acme", NamespaceConfig::default())
+        .unwrap();
+    svc.create_namespace("globex", NamespaceConfig::default())
+        .unwrap();
+    let acme = svc.session_in("acme", None).unwrap();
+    let globex = svc.session_in("globex", None).unwrap();
+    let default = svc.session();
+    let sql = |s: &str| QueryRequest::Sql(s.into());
+
+    // acme creates and fills a table.
+    acme.submit(sql("CREATE TABLE accounts (id INT, balance FLOAT)"))
+        .wait()
+        .unwrap();
+    acme.submit(sql("INSERT INTO accounts VALUES (1, 100.0)"))
+        .wait()
+        .unwrap();
+
+    // globex must not see acme's table at all — neither to read it...
+    let err = globex
+        .submit(sql("SELECT id FROM accounts"))
+        .wait()
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ServiceError::Storage(spade_storage::StorageError::UnknownTable(_))
+        ),
+        "cross-tenant SQL read must fail: {err}"
+    );
+    // ...nor to modify it.
+    let err = globex
+        .submit(sql("INSERT INTO accounts VALUES (666, 0.0)"))
+        .wait()
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ServiceError::Storage(spade_storage::StorageError::UnknownTable(_))
+        ),
+        "cross-tenant SQL write must fail: {err}"
+    );
+    // The default namespace is a tenant like any other.
+    assert!(default.submit(sql("SELECT id FROM accounts")).wait().is_err());
+
+    // globex can register its own colliding table name with different data
+    // and each tenant reads back only its own rows.
+    globex
+        .submit(sql("CREATE TABLE accounts (id INT, balance FLOAT)"))
+        .wait()
+        .unwrap();
+    globex
+        .submit(sql("INSERT INTO accounts VALUES (2, 7.0)"))
+        .wait()
+        .unwrap();
+    let rows = |payload: &ResponsePayload| -> Vec<i64> {
+        match payload {
+            ResponsePayload::Sql(spade_storage::sql::SqlResult::Rows(t)) => (0..t.num_rows())
+                .filter_map(|i| match t.row(i).into_iter().next() {
+                    Some(spade_storage::Value::Int(v)) => Some(v),
+                    _ => None,
+                })
+                .collect(),
+            other => panic!("expected rows, got {other:?}"),
+        }
+    };
+    let a = acme.submit(sql("SELECT id FROM accounts")).wait().unwrap();
+    let g = globex.submit(sql("SELECT id FROM accounts")).wait().unwrap();
+    assert_eq!(rows(&a.payload), vec![1]);
+    assert_eq!(rows(&g.payload), vec![2]);
+
+    // Direct programmatic access agrees: each tenant's store holds exactly
+    // its own table contents.
+    let acme_rows = svc
+        .with_database("acme", |db| {
+            spade_storage::sql::execute(db, "SELECT id FROM accounts").unwrap()
+        })
+        .unwrap();
+    match acme_rows {
+        spade_storage::sql::SqlResult::Rows(t) => assert_eq!(t.num_rows(), 1),
+        other => panic!("expected rows, got {other:?}"),
+    }
+}
