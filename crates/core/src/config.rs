@@ -82,6 +82,15 @@ pub struct EngineConfig {
     /// Master switch of the result cache. Off, every query renders cold
     /// (`EXPLAIN ANALYZE` reports `cache: BYPASS`).
     pub result_cache_enabled: bool,
+    /// Let the optimizer consult observed per-dataset statistics
+    /// ([`crate::optimizer::stats`]) once a dataset is warm: measured
+    /// result-size ratios refine the Map 1-pass/2-pass choice, measured
+    /// per-strategy costs refine the join strategy. Off, every decision
+    /// uses the paper's static estimates only. Either way observations are
+    /// still recorded (the decision counters feed the server metrics) and
+    /// query results are byte-identical — the knob changes how queries
+    /// run, never what they return.
+    pub adaptive_stats: bool,
 }
 
 impl Default for EngineConfig {
@@ -108,6 +117,7 @@ impl Default for EngineConfig {
             compact_trigger_bytes: 1 << 20,
             result_cache_bytes: 8 << 20, // an eighth of scaled device memory
             result_cache_enabled: true,
+            adaptive_stats: true,
         }
     }
 }
@@ -179,6 +189,12 @@ mod tests {
         assert!(c.result_cache_bytes > 0 && c.result_cache_bytes <= c.device_memory);
         let t = EngineConfig::test_small();
         assert!(t.result_cache_bytes <= t.device_memory);
+    }
+
+    #[test]
+    fn adaptive_stats_default_on() {
+        assert!(EngineConfig::default().adaptive_stats);
+        assert!(EngineConfig::test_small().adaptive_stats);
     }
 
     #[test]

@@ -135,6 +135,7 @@ pub fn distance_select_indexed_with(
 ) -> spade_storage::Result<QueryOutput<Vec<u32>>> {
     let mut qspan = crate::trace::span("query.distance.indexed");
     let measure = spade.begin();
+    let _stat_scope = crate::optimizer::stats::scope(data.uid());
     let mut polygon_time = Duration::ZERO;
 
     let c = build_distance_constraint(spade, constraint, r, &mut polygon_time);
@@ -164,6 +165,7 @@ pub fn distance_select_indexed_with(
         cancel,
         |cell| {
             let _ = spade.device.upload(cell.bytes);
+            spade.observed.observe_cell_load(data.uid(), cell.bytes);
             ids.extend(crate::select::select_points_mem(
                 spade,
                 &cell.data.as_points(),

@@ -23,6 +23,10 @@ pub struct Spade {
     /// dispatchers in [`crate::query`]. Its resident bytes are charged
     /// through the arena into the device ledger.
     pub result_cache: crate::result_cache::ResultCache,
+    /// Measured per-dataset statistics feeding the optimizer's adaptive
+    /// decisions (and the decision/misprediction counters the server
+    /// exports) — see [`crate::optimizer::stats`].
+    pub observed: crate::optimizer::stats::ObservedStats,
 }
 
 impl Spade {
@@ -49,6 +53,7 @@ impl Spade {
             pipeline,
             device,
             result_cache,
+            observed: crate::optimizer::stats::ObservedStats::new(),
         }
     }
 

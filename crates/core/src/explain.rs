@@ -27,6 +27,14 @@ pub struct MapDecisions {
     pub two_pass: u64,
     /// 1-pass attempts whose estimate proved wrong (fell back to 2-pass).
     pub fallbacks: u64,
+    /// Draw calls burned by failed 1-pass attempts. Recorded separately —
+    /// the wasted work is discarded from the query's `QueryStats` frame so
+    /// actuals describe the passes that produced the answer.
+    pub wasted_passes: u64,
+    /// 2-pass Maps whose result turned out to fit a 1-pass canvas (the
+    /// bound exceeded the slots but the actual result did not): in
+    /// hindsight, 1-pass would have been chosen.
+    pub overshoots: u64,
     /// Largest result-size estimate (`n_max`) any Map saw.
     pub max_n_max: u64,
     /// The list-canvas slot budget the estimates were compared against.
@@ -46,6 +54,40 @@ pub struct JoinDecision {
     pub cell_pairs: u64,
     /// Residency changes in the boustrophedon-ordered load sequence.
     pub sequence_len: u64,
+    /// True when warm observed statistics (not the static estimates)
+    /// decided the strategy.
+    pub adaptive: bool,
+    /// Adaptive decisions only: predicted execution nanos (layer, naive)
+    /// from the observed per-strategy cost model.
+    pub predicted_cost_nanos: Option<(u64, u64)>,
+    /// Bytes the residency walk actually moved to the device (filled in
+    /// after execution).
+    pub actual_bytes: Option<u64>,
+    /// Execution nanos (GPU + modeled bus) the walk actually took.
+    pub actual_cost_nanos: Option<u64>,
+    /// Hindsight verdict: the decision's own prediction was exceeded by
+    /// the actuals AND the alternative's prediction beat them.
+    pub mispredicted: bool,
+    /// The strategy hindsight says should have run (set iff mispredicted).
+    pub would_have_chosen: Option<JoinStrategy>,
+}
+
+impl Default for JoinDecision {
+    fn default() -> Self {
+        JoinDecision {
+            strategy: JoinStrategy::LayerIndex,
+            layer_est_bytes: 0,
+            naive_est_bytes: 0,
+            cell_pairs: 0,
+            sequence_len: 0,
+            adaptive: false,
+            predicted_cost_nanos: None,
+            actual_bytes: None,
+            actual_cost_nanos: None,
+            mispredicted: false,
+            would_have_chosen: None,
+        }
+    }
 }
 
 /// Live-ingestion state one dataset contributed to a query: how much
@@ -95,6 +137,8 @@ impl PlanReport {
             mine.one_pass += m.one_pass;
             mine.two_pass += m.two_pass;
             mine.fallbacks += m.fallbacks;
+            mine.wasted_passes += m.wasted_passes;
+            mine.overshoots += m.overshoots;
             mine.max_n_max = mine.max_n_max.max(m.max_n_max);
             mine.slots = mine.slots.max(m.slots);
         }
@@ -124,10 +168,49 @@ impl PlanReport {
                 Some(s) => out.push_str(&format!("; actual to-device {} B)\n", s.bytes_to_device)),
                 None => out.push_str(")\n"),
             }
+            if let Some((lp, np)) = j.predicted_cost_nanos {
+                out.push_str(&format!(
+                    "  observed: predicted cost layer {} µs vs naive {} µs (adaptive)\n",
+                    lp / 1_000,
+                    np / 1_000
+                ));
+            }
             out.push_str(&format!(
                 "  cell pairs: {} ({} loads after boustrophedon ordering)\n",
                 j.cell_pairs, j.sequence_len
             ));
+            if j.mispredicted {
+                let would = j.would_have_chosen.unwrap_or(match j.strategy {
+                    JoinStrategy::LayerIndex => JoinStrategy::NaiveSelects,
+                    JoinStrategy::NaiveSelects => JoinStrategy::LayerIndex,
+                });
+                match (j.adaptive, j.predicted_cost_nanos, j.actual_cost_nanos) {
+                    (true, Some((lp, np)), Some(ac)) => {
+                        let est = match j.strategy {
+                            JoinStrategy::LayerIndex => lp,
+                            JoinStrategy::NaiveSelects => np,
+                        };
+                        out.push_str(&format!(
+                            "  mispredicted: est {} µs, actual {} µs, would-have-chosen {:?}\n",
+                            est / 1_000,
+                            ac / 1_000,
+                            would
+                        ));
+                    }
+                    _ => {
+                        let est = match j.strategy {
+                            JoinStrategy::LayerIndex => j.layer_est_bytes,
+                            JoinStrategy::NaiveSelects => j.naive_est_bytes,
+                        };
+                        out.push_str(&format!(
+                            "  mispredicted: est {} B, actual {} B, would-have-chosen {:?}\n",
+                            est,
+                            j.actual_bytes.unwrap_or(0),
+                            would
+                        ));
+                    }
+                }
+            }
         }
         if let Some(m) = &self.map {
             out.push_str(&format!(
@@ -140,6 +223,18 @@ impl PlanReport {
             match actual {
                 Some(s) => out.push_str(&format!("; actual results {})\n", s.result_count)),
                 None => out.push_str(")\n"),
+            }
+            if m.fallbacks > 0 {
+                out.push_str(&format!(
+                    "  mispredicted: {} 1-pass attempts overflowed ({} wasted passes discarded from actuals), would-have-chosen TwoPass\n",
+                    m.fallbacks, m.wasted_passes
+                ));
+            }
+            if m.overshoots > 0 {
+                out.push_str(&format!(
+                    "  mispredicted: {} 2-pass runs whose results fit the 1-pass canvas (est n_max {} vs {} slots), would-have-chosen OnePass\n",
+                    m.overshoots, m.max_n_max, m.slots
+                ));
             }
         }
         for d in &self.deltas {
@@ -208,7 +303,17 @@ fn with_top(apply: impl FnOnce(&mut PlanReport)) {
 }
 
 /// Record one Map execution (called by [`crate::optimizer::run_map`]).
-pub(crate) fn note_map(chosen: MapImpl, n_max: u64, slots: u64, fell_back: bool) {
+/// `wasted_passes` are the draw calls a failed 1-pass attempt burned
+/// before falling back; `overshoot` marks a 2-pass whose result fit the
+/// 1-pass canvas after all.
+pub(crate) fn note_map(
+    chosen: MapImpl,
+    n_max: u64,
+    slots: u64,
+    fell_back: bool,
+    wasted_passes: u64,
+    overshoot: bool,
+) {
     with_top(|t| {
         let m = t.map.get_or_insert_with(MapDecisions::default);
         match chosen {
@@ -217,6 +322,10 @@ pub(crate) fn note_map(chosen: MapImpl, n_max: u64, slots: u64, fell_back: bool)
         }
         if fell_back {
             m.fallbacks += 1;
+            m.wasted_passes += wasted_passes;
+        }
+        if overshoot {
+            m.overshoots += 1;
         }
         m.max_n_max = m.max_n_max.max(n_max);
         m.slots = m.slots.max(slots);
@@ -230,6 +339,30 @@ pub(crate) fn note_join(decision: JoinDecision) {
     with_top(|t| {
         if t.join.is_none() {
             t.join = Some(decision);
+        }
+    });
+}
+
+/// Fill in the executed join's actuals and hindsight verdict (called by
+/// [`crate::join::join_indexed_with`] after the residency walk). Matches
+/// the first-wins discipline of [`note_join`]: only the decision that has
+/// not been analyzed yet — the one the enclosing executor just noted — is
+/// updated, so nested sub-queries cannot overwrite an outer join's
+/// verdict.
+pub(crate) fn note_join_actual(
+    actual_bytes: u64,
+    actual_cost_nanos: u64,
+    mispredicted: bool,
+    would_have_chosen: Option<JoinStrategy>,
+) {
+    with_top(|t| {
+        if let Some(j) = &mut t.join {
+            if j.actual_bytes.is_none() {
+                j.actual_bytes = Some(actual_bytes);
+                j.actual_cost_nanos = Some(actual_cost_nanos);
+                j.mispredicted = mispredicted;
+                j.would_have_chosen = would_have_chosen;
+            }
         }
     });
 }
@@ -290,22 +423,24 @@ mod tests {
 
     #[test]
     fn notes_without_open_report_are_dropped() {
-        note_map(MapImpl::OnePass, 10, 100, false);
+        note_map(MapImpl::OnePass, 10, 100, false, 0, false);
         assert_eq!(finish(), PlanReport::default());
     }
 
     #[test]
     fn map_decisions_aggregate() {
         begin();
-        note_map(MapImpl::OnePass, 10, 100, false);
-        note_map(MapImpl::OnePass, 50, 100, false);
-        note_map(MapImpl::TwoPass, 500, 100, false);
-        note_map(MapImpl::TwoPass, 20, 100, true);
+        note_map(MapImpl::OnePass, 10, 100, false, 0, false);
+        note_map(MapImpl::OnePass, 50, 100, false, 0, false);
+        note_map(MapImpl::TwoPass, 500, 100, false, 0, true);
+        note_map(MapImpl::TwoPass, 20, 100, true, 3, false);
         let r = finish();
         let m = r.map.unwrap();
         assert_eq!(m.one_pass, 2);
         assert_eq!(m.two_pass, 2);
         assert_eq!(m.fallbacks, 1);
+        assert_eq!(m.wasted_passes, 3);
+        assert_eq!(m.overshoots, 1);
         assert_eq!(m.max_n_max, 500);
         assert_eq!(m.slots, 100);
     }
@@ -313,9 +448,9 @@ mod tests {
     #[test]
     fn nested_reports_fold_into_parent() {
         begin();
-        note_map(MapImpl::OnePass, 5, 100, false);
+        note_map(MapImpl::OnePass, 5, 100, false, 0, false);
         begin();
-        note_map(MapImpl::OnePass, 7, 100, false);
+        note_map(MapImpl::OnePass, 7, 100, false, 0, false);
         let inner = finish();
         let outer = finish();
         assert_eq!(inner.map.unwrap().one_pass, 1);
@@ -332,6 +467,7 @@ mod tests {
             naive_est_bytes: 200,
             cell_pairs: 4,
             sequence_len: 6,
+            ..JoinDecision::default()
         };
         note_join(first);
         note_join(JoinDecision {
@@ -340,8 +476,28 @@ mod tests {
             naive_est_bytes: 1,
             cell_pairs: 1,
             sequence_len: 1,
+            ..JoinDecision::default()
         });
         assert_eq!(finish().join, Some(first));
+    }
+
+    #[test]
+    fn join_actuals_fill_first_unanalyzed_decision() {
+        begin();
+        note_join(JoinDecision {
+            strategy: JoinStrategy::LayerIndex,
+            layer_est_bytes: 100,
+            naive_est_bytes: 200,
+            ..JoinDecision::default()
+        });
+        note_join_actual(480, 9_000, true, Some(JoinStrategy::NaiveSelects));
+        // A later (nested) actual must not overwrite the verdict.
+        note_join_actual(1, 1, false, None);
+        let j = finish().join.unwrap();
+        assert_eq!(j.actual_bytes, Some(480));
+        assert_eq!(j.actual_cost_nanos, Some(9_000));
+        assert!(j.mispredicted);
+        assert_eq!(j.would_have_chosen, Some(JoinStrategy::NaiveSelects));
     }
 
     #[test]
@@ -349,10 +505,9 @@ mod tests {
         let report = PlanReport {
             map: Some(MapDecisions {
                 one_pass: 3,
-                two_pass: 0,
-                fallbacks: 0,
                 max_n_max: 1000,
                 slots: 4096,
+                ..MapDecisions::default()
             }),
             join: Some(JoinDecision {
                 strategy: JoinStrategy::LayerIndex,
@@ -360,6 +515,7 @@ mod tests {
                 naive_est_bytes: 5678,
                 cell_pairs: 9,
                 sequence_len: 12,
+                ..JoinDecision::default()
             }),
             deltas: vec![DeltaInfo {
                 dataset: "live".into(),
@@ -403,6 +559,72 @@ mod tests {
         assert!(analyzed.contains("total="));
         assert!(analyzed.contains("delta[live]: generation 3"));
         assert!(analyzed.contains("17 staged + 2 tombstones"));
+    }
+
+    #[test]
+    fn render_prints_join_misprediction_verdict() {
+        let report = PlanReport {
+            join: Some(JoinDecision {
+                strategy: JoinStrategy::LayerIndex,
+                layer_est_bytes: 1_200,
+                naive_est_bytes: 5_000,
+                actual_bytes: Some(4_800),
+                actual_cost_nanos: Some(77_000),
+                mispredicted: true,
+                would_have_chosen: Some(JoinStrategy::NaiveSelects),
+                ..JoinDecision::default()
+            }),
+            ..PlanReport::default()
+        };
+        let s = report.render(None);
+        assert!(
+            s.contains("mispredicted: est 1200 B, actual 4800 B, would-have-chosen NaiveSelects"),
+            "missing verdict line in:\n{s}"
+        );
+    }
+
+    #[test]
+    fn render_prints_adaptive_cost_misprediction() {
+        let report = PlanReport {
+            join: Some(JoinDecision {
+                strategy: JoinStrategy::NaiveSelects,
+                adaptive: true,
+                predicted_cost_nanos: Some((40_000, 90_000)),
+                actual_bytes: Some(100),
+                actual_cost_nanos: Some(250_000),
+                mispredicted: true,
+                would_have_chosen: Some(JoinStrategy::LayerIndex),
+                ..JoinDecision::default()
+            }),
+            ..PlanReport::default()
+        };
+        let s = report.render(None);
+        assert!(s.contains("observed: predicted cost layer 40 µs vs naive 90 µs (adaptive)"));
+        assert!(
+            s.contains("mispredicted: est 90 µs, actual 250 µs, would-have-chosen LayerIndex"),
+            "missing adaptive verdict line in:\n{s}"
+        );
+    }
+
+    #[test]
+    fn render_prints_map_mispredictions() {
+        let report = PlanReport {
+            map: Some(MapDecisions {
+                one_pass: 1,
+                two_pass: 4,
+                fallbacks: 1,
+                wasted_passes: 1,
+                overshoots: 3,
+                max_n_max: 6_000,
+                slots: 4_096,
+            }),
+            ..PlanReport::default()
+        };
+        let s = report.render(None);
+        assert!(s.contains("1 1-pass attempts overflowed (1 wasted passes discarded from actuals), would-have-chosen TwoPass"));
+        assert!(s.contains(
+            "3 2-pass runs whose results fit the 1-pass canvas (est n_max 6000 vs 4096 slots), would-have-chosen OnePass"
+        ));
     }
 
     #[test]

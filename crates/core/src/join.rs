@@ -323,13 +323,20 @@ pub fn join_indexed_with(
     let mut cell_pairs: Vec<(u32, u32)> =
         join_polygon_polygon_mem_res(spade, &set1, &set2, spade.config.filter_resolution);
 
+    // Identify the order of join operations first: share resident cells.
+    // Ordering before estimating lets the layer estimate walk the very
+    // slice the executor will, so estimator and executor cannot drift.
+    optimizer::order_cell_pairs(&mut cell_pairs);
+
     // Optimizer: strategy choice by transfer estimate (§5.4). The naive
     // strategy's per-object filtering is approximated at cell granularity
     // for the estimate; its execution below is per cell pair as well, so
     // the estimates compare the *order* benefit.
+    let pair_key = optimizer::stats::join_key(d1.uid(), d2.uid());
+    let _stat_scope = optimizer::stats::scope(pair_key);
     let left_bytes: Vec<u64> = view1.grid.cells().iter().map(|c| c.bytes).collect();
     let right_bytes: Vec<u64> = view2.grid.cells().iter().map(|c| c.bytes).collect();
-    let layer_est = optimizer::estimate_layer_bytes(&cell_pairs, &left_bytes, &right_bytes);
+    let layer_est = optimizer::estimate_layer_bytes_ordered(&cell_pairs, &left_bytes, &right_bytes);
     let per_object: Vec<Vec<u32>> = {
         let mut m = std::collections::BTreeMap::<u32, Vec<u32>>::new();
         for (l, r) in &cell_pairs {
@@ -337,12 +344,39 @@ pub fn join_indexed_with(
         }
         m.into_values().collect()
     };
-    let naive_est =
-        optimizer::estimate_naive_bytes(&per_object, &right_bytes) + left_bytes.iter().sum::<u64>();
-    let strategy = optimizer::choose_join_strategy(layer_est, naive_est);
+    // The naive probes read only left cells that matched a pair — an
+    // unmatched cell yields no probe objects and costs no transfer.
+    let naive_est = optimizer::estimate_naive_bytes(&per_object, &right_bytes)
+        + optimizer::estimate_probe_bytes(&cell_pairs, &left_bytes);
+    let mut strategy = optimizer::choose_join_strategy(layer_est, naive_est);
 
-    // Identify the order of join operations: share resident cells.
-    optimizer::order_cell_pairs(&mut cell_pairs);
+    // Adaptive refinement: both strategies walk the same cells, so their
+    // byte estimates rarely disagree — what differs is refinement compute
+    // per estimated byte. Once both strategies are warm for this dataset
+    // pair, pick the cheaper *predicted execution cost* instead.
+    let mut adaptive = false;
+    let mut predicted_cost = None;
+    if spade.config.adaptive_stats {
+        if let Some((lc, nc)) = spade.observed.join_costs(pair_key) {
+            let lp = (lc * layer_est as f64) as u64;
+            let np = (nc * naive_est as f64) as u64;
+            predicted_cost = Some((lp, np));
+            strategy = if np < lp {
+                JoinStrategy::NaiveSelects
+            } else {
+                JoinStrategy::LayerIndex
+            };
+            adaptive = true;
+        }
+    }
+    if let Some(forced) = spade.observed.join_override() {
+        strategy = forced;
+        adaptive = false;
+    }
+    spade.observed.count_decision(
+        Some(d1.uid()),
+        optimizer::stats::Decision::of_join(strategy),
+    );
 
     // Precompute the exact load sequence the single-cell-residency walk
     // below will need: one entry per residency change, in pair order. The
@@ -368,6 +402,9 @@ pub fn join_indexed_with(
         naive_est_bytes: naive_est,
         cell_pairs: cell_pairs.len() as u64,
         sequence_len: sequence.len() as u64,
+        adaptive,
+        predicted_cost_nanos: predicted_cost,
+        ..crate::explain::JoinDecision::default()
     });
 
     // Refinement with single-cell residency per side. A resident cell
@@ -380,6 +417,12 @@ pub fn join_indexed_with(
     let mut resident1: Option<(u32, Resident)> = None;
     let mut resident2: Option<(u32, Resident)> = None;
     let mut pair_idx = 0usize;
+    // A nested recording frame isolates the residency walk, so the actual
+    // transfer volume and execution cost of the *strategy* (not the delta
+    // merge below, which is strategy-invariant) can be measured and fed
+    // back to the observed statistics. The frame folds into the query's
+    // measure on finish — total accounting is unchanged.
+    spade_gpu::record::begin();
     let stream_res = crate::prefetch::stream_cells_with(
         spade.config.prefetch_depth,
         spade.config.cell_cache_bytes,
@@ -396,6 +439,10 @@ pub fn join_indexed_with(
                 spade.device.free(source.cell_bytes(i as usize));
             }
             let _ = spade.device.upload(cell.bytes);
+            spade.observed.observe_cell_load(
+                if cell.source == 0 { d1.uid() } else { d2.uid() },
+                cell.bytes,
+            );
             *resident = Some((
                 cell.cell as u32,
                 Resident::prepare(spade, (*cell.data).clone(), &mut polygon_time),
@@ -424,8 +471,60 @@ pub fn join_indexed_with(
     if let Some((i, _)) = resident2 {
         spade.device.free(view2.cell_bytes(i as usize));
     }
+    let walk = spade_gpu::record::finish();
     let stream = stream_res?;
     debug_assert_eq!(pair_idx, cell_pairs.len(), "all cell pairs refined");
+
+    // Feed the realized walk back to the observed statistics and render
+    // the hindsight verdict for EXPLAIN ANALYZE.
+    let actual_bytes = walk.transfer_bytes;
+    let actual_cost = walk.gpu.gpu_nanos + walk.transfer_nanos;
+    let est_chosen = match strategy {
+        JoinStrategy::LayerIndex => layer_est,
+        JoinStrategy::NaiveSelects => naive_est,
+    };
+    spade
+        .observed
+        .observe_join(pair_key, strategy, est_chosen, actual_bytes, actual_cost);
+    let (mispredicted, would_have_chosen) = if adaptive {
+        // An adaptive decision mispredicts when the actual cost blew past
+        // its own prediction while the alternative's prediction would have
+        // beaten the actuals.
+        match predicted_cost {
+            Some((lp, np)) => {
+                let (chosen_pred, other_pred, other) = match strategy {
+                    JoinStrategy::LayerIndex => (lp, np, JoinStrategy::NaiveSelects),
+                    JoinStrategy::NaiveSelects => (np, lp, JoinStrategy::LayerIndex),
+                };
+                if actual_cost > chosen_pred && other_pred < actual_cost {
+                    (true, Some(other))
+                } else {
+                    (false, None)
+                }
+            }
+            None => (false, None),
+        }
+    } else {
+        // A static decision mispredicts when the walk moved more bytes
+        // than the chosen estimate while the alternative's estimate was
+        // below the actuals.
+        let (other_est, other) = match strategy {
+            JoinStrategy::LayerIndex => (naive_est, JoinStrategy::NaiveSelects),
+            JoinStrategy::NaiveSelects => (layer_est, JoinStrategy::LayerIndex),
+        };
+        if actual_bytes > est_chosen && other_est < actual_bytes {
+            (true, Some(other))
+        } else {
+            (false, None)
+        }
+    };
+    if mispredicted {
+        spade.observed.count_misprediction(
+            Some(d1.uid()),
+            optimizer::stats::Decision::of_join(strategy),
+        );
+    }
+    crate::explain::note_join_actual(actual_bytes, actual_cost, mispredicted, would_have_chosen);
 
     // Delta cross terms: each side's staged writes behave as one extra
     // cell and join against every cell of the other side through the same

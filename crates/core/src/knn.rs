@@ -161,6 +161,7 @@ pub fn knn_select_indexed_with(
     let mut qspan = crate::trace::span("query.knn.indexed");
     qspan.attr("k", k as u64);
     let measure = spade.begin();
+    let _stat_scope = crate::optimizer::stats::scope(data.uid());
     let view = data.read_view();
     crate::explain::note_view(&view);
     if k == 0 || (view.grid.num_objects() == 0 && view.delta.staged.is_empty()) {
@@ -196,6 +197,7 @@ pub fn knn_select_indexed_with(
         cancel,
         |cell| {
             let _ = spade.device.upload(cell.bytes);
+            spade.observed.observe_cell_load(data.uid(), cell.bytes);
             let pts = cell.data.as_points();
             let prims: Vec<Primitive> = pts
                 .iter()

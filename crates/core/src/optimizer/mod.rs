@@ -1,0 +1,485 @@
+//! The query optimizer (§5.4).
+//!
+//! Three decisions, exactly the ones the paper's QO makes:
+//!
+//! 1. **Map implementation** — 1-pass when the result-size estimate
+//!    (`n_max`) fits the maximum list-canvas allocation, 2-pass otherwise;
+//!    estimates follow §5.4 (selection: `|D|`; point join: `n` points per
+//!    layer; polygon join: `m·n` per layer).
+//! 2. **Out-of-core join strategy** — layer-index join vs. a naive loop of
+//!    selects, chosen by the estimated bytes transferred to the device
+//!    ("the join strategy that requires the least memory transfer is then
+//!    selected").
+//! 3. **Join operation order** — consecutive selects should share at least
+//!    one resident grid cell, so cell loads carry over between iterations.
+//!
+//! On top of the paper's static estimates sits the [`stats`] layer: when a
+//! dataset is warm (≥ [`stats::MIN_SAMPLES`] observed queries) and
+//! `EngineConfig::adaptive_stats` is on, the Map decision uses the
+//! measured result-size ratio instead of the loose `n_max` bound, and the
+//! join decision uses the measured per-strategy execution cost. A wrong
+//! adaptive call is never a wrong answer: an undersized 1-pass Map falls
+//! back to 2-pass, and both join strategies compute the same pair set —
+//! so results stay byte-identical with adaptive statistics on or off.
+
+pub mod stats;
+
+use crate::engine::Spade;
+use spade_canvas::algebra::{self, MapResult};
+use spade_gpu::{record, DrawCall, Primitive};
+
+/// Which Map implementation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapImpl {
+    OnePass,
+    TwoPass,
+}
+
+/// Pick the Map implementation from the result-size estimate, refined by
+/// the observed result ratio when the current dataset scope is warm.
+pub fn choose_map_impl(spade: &Spade, n_max: usize) -> MapImpl {
+    choose_map(spade, n_max).0
+}
+
+/// The Map choice plus the list-canvas capacity to allocate for it: the
+/// static 1-pass uses the `n_max` bound itself, the adaptive 1-pass the
+/// (smaller) observed prediction. Capacity only sizes the list canvas —
+/// values are placed linearly and compacted, so the result bytes are
+/// identical for any capacity that fits.
+fn choose_map(spade: &Spade, n_max: usize) -> (MapImpl, usize) {
+    let slots = spade.config.max_map_slots;
+    if n_max <= slots {
+        return (MapImpl::OnePass, n_max);
+    }
+    if spade.config.adaptive_stats {
+        if let Some(key) = stats::current() {
+            if let Some(pred) = spade.observed.map_prediction(key, n_max as u64) {
+                if pred as usize <= slots {
+                    // Warm stats say the real result fits a 1-pass canvas
+                    // even though the static bound does not. If the
+                    // prediction is wrong, the overflow fallback runs the
+                    // 2-pass — a misprediction, never a wrong answer.
+                    return (MapImpl::OnePass, pred as usize);
+                }
+            }
+        }
+    }
+    (MapImpl::TwoPass, n_max)
+}
+
+/// Execute a Map with the chosen implementation, falling back to 2-pass if
+/// a 1-pass estimate proves wrong (impossible for the paper's static upper
+/// bounds, routine for adaptive predictions). The failed attempt's work is
+/// recorded in its own discarded frame so the query's `QueryStats` report
+/// only the passes that produced the answer; the waste is surfaced
+/// separately as `wasted_passes` in the plan report.
+pub fn run_map(spade: &Spade, prims: &[Primitive], call: &DrawCall<'_>, n_max: usize) -> MapResult {
+    let slots = spade.config.max_map_slots as u64;
+    let key = stats::current();
+    let (choice, capacity) = choose_map(spade, n_max);
+    match choice {
+        MapImpl::OnePass => {
+            record::begin();
+            match algebra::map_1pass(&spade.pipeline, prims, call, capacity) {
+                Ok(r) => {
+                    record::finish();
+                    spade
+                        .observed
+                        .count_decision(key, stats::Decision::MapOnePass);
+                    if let Some(k) = key {
+                        spade
+                            .observed
+                            .observe_map(k, n_max as u64, r.values.len() as u64);
+                    }
+                    crate::explain::note_map(
+                        MapImpl::OnePass,
+                        n_max as u64,
+                        slots,
+                        false,
+                        0,
+                        false,
+                    );
+                    r
+                }
+                Err(_) => {
+                    // The attempt was wasted: drop its draw calls from the
+                    // enclosing query frame (globals already saw them).
+                    let wasted = record::discard();
+                    spade
+                        .observed
+                        .count_decision(key, stats::Decision::MapOnePass);
+                    spade
+                        .observed
+                        .count_misprediction(key, stats::Decision::MapOnePass);
+                    let r = algebra::map_2pass(&spade.pipeline, prims, call);
+                    if let Some(k) = key {
+                        spade
+                            .observed
+                            .observe_map(k, n_max as u64, r.values.len() as u64);
+                    }
+                    crate::explain::note_map(
+                        MapImpl::TwoPass,
+                        n_max as u64,
+                        slots,
+                        true,
+                        wasted.gpu.draw_calls,
+                        false,
+                    );
+                    r
+                }
+            }
+        }
+        MapImpl::TwoPass => {
+            let r = algebra::map_2pass(&spade.pipeline, prims, call);
+            let produced = r.values.len() as u64;
+            spade
+                .observed
+                .count_decision(key, stats::Decision::MapTwoPass);
+            if let Some(k) = key {
+                spade.observed.observe_map(k, n_max as u64, produced);
+            }
+            // Hindsight check: the 2-pass was chosen because the bound
+            // exceeded the canvas, yet the result fit — a 1-pass would
+            // have done it in one rendering pass.
+            let overshoot = produced <= slots;
+            if overshoot {
+                spade
+                    .observed
+                    .count_misprediction(key, stats::Decision::MapTwoPass);
+            }
+            crate::explain::note_map(MapImpl::TwoPass, n_max as u64, slots, false, 0, overshoot);
+            r
+        }
+    }
+}
+
+/// The two out-of-core join strategies of §5.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinStrategy {
+    /// Layer-index join over filtered cell pairs.
+    LayerIndex,
+    /// A loop of per-object selections.
+    NaiveSelects,
+}
+
+/// Choose the join strategy by estimated transfer volume (§5.4 "Choose the
+/// join implementation").
+pub fn choose_join_strategy(layer_bytes: u64, naive_bytes: u64) -> JoinStrategy {
+    if naive_bytes < layer_bytes {
+        JoinStrategy::NaiveSelects
+    } else {
+        JoinStrategy::LayerIndex
+    }
+}
+
+/// Order cell pairs so consecutive iterations share a resident cell: sort
+/// lexicographically, with every odd left-group's right-cells reversed
+/// (boustrophedon), so both the left cell carries over within a group and
+/// the right cell carries over across group boundaries.
+pub fn order_cell_pairs(pairs: &mut [(u32, u32)]) {
+    pairs.sort_unstable();
+    let mut i = 0;
+    let mut group = 0usize;
+    while i < pairs.len() {
+        let left = pairs[i].0;
+        let mut j = i;
+        while j < pairs.len() && pairs[j].0 == left {
+            j += 1;
+        }
+        if group % 2 == 1 {
+            pairs[i..j].reverse();
+        }
+        group += 1;
+        i = j;
+    }
+}
+
+/// Estimated bytes transferred by the layer-index strategy over pairs
+/// ALREADY in execution order: a walk of the exact residency rule the
+/// executor's sequence uses (a resident cell is not re-transferred), so
+/// the estimate equals the bytes the walk will actually request. Call
+/// [`order_cell_pairs`] once and pass the ordered slice — estimating on a
+/// differently-ordered copy is exactly the estimator/executor drift this
+/// function exists to prevent.
+pub fn estimate_layer_bytes_ordered(
+    ordered: &[(u32, u32)],
+    left_bytes: &[u64],
+    right_bytes: &[u64],
+) -> u64 {
+    let mut total = 0u64;
+    let mut resident_left = None;
+    let mut resident_right = None;
+    for &(l, r) in ordered {
+        if resident_left != Some(l) {
+            total += left_bytes[l as usize];
+            resident_left = Some(l);
+        }
+        if resident_right != Some(r) {
+            total += right_bytes[r as usize];
+            resident_right = Some(r);
+        }
+    }
+    total
+}
+
+/// Convenience form of [`estimate_layer_bytes_ordered`] that orders a copy
+/// of `pairs` first. For callers that will execute the pairs, prefer
+/// ordering the real vector once and estimating on it directly.
+pub fn estimate_layer_bytes(pairs: &[(u32, u32)], left_bytes: &[u64], right_bytes: &[u64]) -> u64 {
+    let mut ordered: Vec<(u32, u32)> = pairs.to_vec();
+    order_cell_pairs(&mut ordered);
+    estimate_layer_bytes_ordered(&ordered, left_bytes, right_bytes)
+}
+
+/// Estimated bytes transferred by the naive strategy: for each probe
+/// object, the blocks of every cell its filter matched (no sharing across
+/// probes beyond consecutive duplicates).
+pub fn estimate_naive_bytes(per_object_cells: &[Vec<u32>], cell_bytes: &[u64]) -> u64 {
+    let mut total = 0u64;
+    let mut resident = None;
+    for cells in per_object_cells {
+        for &c in cells {
+            if resident != Some(c) {
+                total += cell_bytes[c as usize];
+                resident = Some(c);
+            }
+        }
+    }
+    total
+}
+
+/// Bytes of the probe-side (left) cells the naive strategy reads to
+/// enumerate its probe objects: only the cells that appear in a candidate
+/// pair. A left cell whose filter matched nothing contributes no probes —
+/// charging the whole left grid (the old formula) overcharges the naive
+/// strategy on selective joins.
+pub fn estimate_probe_bytes(pairs: &[(u32, u32)], left_bytes: &[u64]) -> u64 {
+    let mut matched: Vec<u32> = pairs.iter().map(|&(l, _)| l).collect();
+    matched.sort_unstable();
+    matched.dedup();
+    matched.into_iter().map(|l| left_bytes[l as usize]).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use spade_geometry::{BBox, Point};
+    use spade_gpu::{BlendMode, Viewport};
+
+    #[test]
+    fn map_choice_threshold() {
+        let spade = Spade::new(EngineConfig {
+            max_map_slots: 100,
+            ..EngineConfig::test_small()
+        });
+        assert_eq!(choose_map_impl(&spade, 100), MapImpl::OnePass);
+        assert_eq!(choose_map_impl(&spade, 101), MapImpl::TwoPass);
+    }
+
+    #[test]
+    fn map_choice_uses_warm_observations() {
+        let spade = Spade::new(EngineConfig {
+            max_map_slots: 100,
+            ..EngineConfig::test_small()
+        });
+        let _scope = stats::scope(42);
+        // Cold: the static bound rules.
+        assert_eq!(choose_map_impl(&spade, 1000), MapImpl::TwoPass);
+        // Warm with a tiny observed ratio: 1000 × (0.01 × 1.5) = 15 ≤ 100.
+        for _ in 0..stats::MIN_SAMPLES {
+            spade.observed.observe_map(42, 1000, 10);
+        }
+        assert_eq!(choose_map_impl(&spade, 1000), MapImpl::OnePass);
+        // A huge bound still overwhelms the observed ratio.
+        assert_eq!(choose_map_impl(&spade, 100_000), MapImpl::TwoPass);
+    }
+
+    #[test]
+    fn map_choice_ignores_observations_when_disabled() {
+        let spade = Spade::new(EngineConfig {
+            max_map_slots: 100,
+            adaptive_stats: false,
+            ..EngineConfig::test_small()
+        });
+        let _scope = stats::scope(42);
+        for _ in 0..stats::MIN_SAMPLES {
+            spade.observed.observe_map(42, 1000, 10);
+        }
+        assert_eq!(choose_map_impl(&spade, 1000), MapImpl::TwoPass);
+    }
+
+    #[test]
+    fn fallback_work_not_double_counted() {
+        // An adaptive 1-pass attempt that overflows must (a) fall back to
+        // a correct 2-pass, (b) keep the wasted attempt's draw calls out
+        // of the query's recording frame, and (c) surface the waste and
+        // the misprediction in the plan report and counters.
+        let spade = Spade::new(EngineConfig {
+            max_map_slots: 4,
+            ..EngineConfig::test_small()
+        });
+        let _scope = stats::scope(99);
+        // Warm: three tiny results against a 100 bound → prediction
+        // ceil(100 × 0.01 × 1.5) = 2 ≤ 4 slots → adaptive 1-pass.
+        for _ in 0..stats::MIN_SAMPLES {
+            spade.observed.observe_map(99, 100, 1);
+        }
+        assert_eq!(choose_map_impl(&spade, 100), MapImpl::OnePass);
+        // But this run actually produces 10 values: overflow → fallback.
+        let prims: Vec<Primitive> = (0..10)
+            .map(|i| Primitive::point(Point::new(i as f64 + 0.5, 0.5), [i + 1, 0, 0, 0]))
+            .collect();
+        let vp = Viewport::new(BBox::new(Point::ZERO, Point::new(10.0, 10.0)), 10, 10);
+        let call = DrawCall::simple(vp, BlendMode::Replace, false);
+        spade_gpu::record::begin();
+        crate::explain::begin();
+        let r = run_map(&spade, &prims, &call, 100);
+        let report = crate::explain::finish();
+        let frame = spade_gpu::record::finish();
+        assert_eq!(r.values.len(), 10);
+        assert_eq!(r.passes, 2);
+        // The query frame sees exactly the 2-pass (count + materialize);
+        // the failed attempt's draw call was discarded, not folded in.
+        assert_eq!(frame.gpu.draw_calls, 2, "wasted pass leaked into frame");
+        let m = report.map.unwrap();
+        assert_eq!(m.one_pass, 0);
+        assert_eq!(m.two_pass, 1);
+        assert_eq!(m.fallbacks, 1);
+        assert_eq!(m.wasted_passes, 1);
+        let (dec, mis) = spade.observed.counters_for(&[99]);
+        // Index 0 is Decision::ALL[0] = MapOnePass.
+        assert_eq!(dec[0], 1, "the (wrong) decision was 1-pass");
+        assert_eq!(mis[0], 1, "and it counts as a misprediction");
+    }
+
+    #[test]
+    fn two_pass_overshoot_counts_misprediction() {
+        let spade = Spade::new(EngineConfig {
+            max_map_slots: 4,
+            ..EngineConfig::test_small()
+        });
+        let _scope = stats::scope(7);
+        // Cold stats, bound 100 > 4 slots → static 2-pass; but only 3
+        // values are produced, which would have fit 1-pass: overshoot.
+        let prims: Vec<Primitive> = (0..3)
+            .map(|i| Primitive::point(Point::new(i as f64 + 0.5, 0.5), [i + 1, 0, 0, 0]))
+            .collect();
+        let vp = Viewport::new(BBox::new(Point::ZERO, Point::new(10.0, 10.0)), 10, 10);
+        let call = DrawCall::simple(vp, BlendMode::Replace, false);
+        crate::explain::begin();
+        let r = run_map(&spade, &prims, &call, 100);
+        let report = crate::explain::finish();
+        assert_eq!(r.values.len(), 3);
+        assert_eq!(report.map.unwrap().overshoots, 1);
+        let (dec, mis) = spade.observed.counters_for(&[7]);
+        // Index 1 is Decision::ALL[1] = MapTwoPass.
+        assert_eq!(dec[1], 1);
+        assert_eq!(mis[1], 1);
+        // The rendered analyze output carries the would-have-chosen line.
+        let s = report.render(Some(&crate::stats::QueryStats::default()));
+        assert!(
+            s.contains("would-have-chosen OnePass"),
+            "missing line in:\n{s}"
+        );
+    }
+
+    #[test]
+    fn join_strategy_prefers_fewer_bytes() {
+        assert_eq!(choose_join_strategy(100, 200), JoinStrategy::LayerIndex);
+        assert_eq!(choose_join_strategy(300, 200), JoinStrategy::NaiveSelects);
+        // Ties go to the layer index (fewer rendering passes).
+        assert_eq!(choose_join_strategy(200, 200), JoinStrategy::LayerIndex);
+    }
+
+    #[test]
+    fn cell_pair_ordering_shares_loads() {
+        // A dense pair grid: the boustrophedon order shares a cell between
+        // every consecutive pair.
+        let mut pairs = vec![(1, 5), (0, 3), (1, 3), (0, 5), (2, 5), (2, 3)];
+        order_cell_pairs(&mut pairs);
+        for w in pairs.windows(2) {
+            assert!(
+                w[0].0 == w[1].0 || w[0].1 == w[1].1,
+                "no shared cell between {:?} and {:?} in {pairs:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn cell_pair_ordering_reduces_transfer_estimate() {
+        // Versus plain sorted order, the boustrophedon never transfers more.
+        let pairs: Vec<(u32, u32)> = (0..4).flat_map(|l| (0..4).map(move |r| (l, r))).collect();
+        let bytes = vec![10u64; 4];
+        let shared = estimate_layer_bytes(&pairs, &bytes, &bytes);
+        // Plain sorted order: left loads 4×10; right loads 4 per left group.
+        let plain = 4 * 10 + 4 * 4 * 10;
+        assert!(shared <= plain as u64);
+    }
+
+    #[test]
+    fn layer_estimate_counts_residency() {
+        let pairs = vec![(0, 0), (0, 1), (1, 1)];
+        let left = vec![10, 20];
+        let right = vec![100, 200];
+        // Ordered: (0,0),(0,1),(1,1): loads 10+100, then 200, then 20.
+        assert_eq!(estimate_layer_bytes(&pairs, &left, &right), 330);
+    }
+
+    #[test]
+    fn ordered_estimate_matches_ordering_copy() {
+        let mut pairs = vec![(3, 1), (0, 2), (3, 2), (0, 1), (1, 1)];
+        let left = vec![10u64, 20, 30, 40];
+        let right = vec![100u64, 200, 300];
+        let via_copy = estimate_layer_bytes(&pairs, &left, &right);
+        order_cell_pairs(&mut pairs);
+        assert_eq!(
+            estimate_layer_bytes_ordered(&pairs, &left, &right),
+            via_copy
+        );
+    }
+
+    #[test]
+    fn naive_estimate_sums_per_object() {
+        let cells = vec![vec![0, 1], vec![1, 2], vec![2]];
+        let bytes = vec![5, 7, 11];
+        // 5+7 (obj0) + 7 is resident? resident=1 after obj0 → obj1 loads
+        // nothing for 1, then 11; obj2: 2 already resident.
+        assert_eq!(estimate_naive_bytes(&cells, &bytes), 5 + 7 + 11);
+    }
+
+    #[test]
+    fn probe_bytes_count_only_matched_left_cells() {
+        let pairs = vec![(0, 2), (1, 2), (1, 5), (2, 5)];
+        let left_bytes = vec![25u64; 20]; // 20 left cells, only 3 matched
+        assert_eq!(estimate_probe_bytes(&pairs, &left_bytes), 75);
+        assert_eq!(estimate_probe_bytes(&[], &left_bytes), 0);
+    }
+
+    #[test]
+    fn probe_bytes_fix_flips_join_decision() {
+        // Regression for the naive_est overcharge: a selective join over a
+        // mostly-unmatched left grid. The old formula charged the naive
+        // strategy every left cell and picked LayerIndex; charging only
+        // the matched probe cells flips the decision to NaiveSelects.
+        let pairs = vec![(0, 2), (1, 2), (1, 5), (2, 5)];
+        let left_bytes = vec![25u64; 20];
+        let mut right_bytes = vec![0u64; 6];
+        right_bytes[2] = 100;
+        right_bytes[5] = 100;
+        let layer = estimate_layer_bytes(&pairs, &left_bytes, &right_bytes);
+        // The boustrophedon walk re-loads right cell 2: (0,2),(1,5),(1,2),(2,5).
+        assert_eq!(layer, 25 + 100 + 25 + 100 + 100 + 25 + 100);
+        let per_object = vec![vec![2], vec![2, 5], vec![5]];
+        let scan = estimate_naive_bytes(&per_object, &right_bytes);
+        let fixed = scan + estimate_probe_bytes(&pairs, &left_bytes);
+        let buggy = scan + left_bytes.iter().sum::<u64>();
+        assert_eq!(choose_join_strategy(layer, buggy), JoinStrategy::LayerIndex);
+        assert_eq!(
+            choose_join_strategy(layer, fixed),
+            JoinStrategy::NaiveSelects
+        );
+    }
+}

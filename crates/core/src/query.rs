@@ -77,6 +77,7 @@ impl QueryResult {
 
 /// Execute a selection query against an in-memory data set.
 pub fn run_select(spade: &Spade, data: &Dataset, q: &SelectQuery) -> QueryOutput<QueryResult> {
+    let _stat_scope = crate::optimizer::stats::scope(data.uid());
     match q {
         SelectQuery::Intersects(poly) => wrap_ids(crate::select::select(spade, data, poly)),
         SelectQuery::Range(bb) => wrap_ids(crate::select::select_range(spade, data, *bb)),
@@ -217,6 +218,8 @@ pub fn run_join(
     d2: &Dataset,
     q: &JoinQuery,
 ) -> QueryOutput<QueryResult> {
+    let _stat_scope =
+        crate::optimizer::stats::scope(crate::optimizer::stats::join_key(d1.uid(), d2.uid()));
     match q {
         JoinQuery::Intersects => {
             let out = crate::join::join(spade, d1, d2);

@@ -330,6 +330,7 @@ pub fn select_contained_indexed_with(
 ) -> spade_storage::Result<QueryOutput<Vec<u32>>> {
     let mut qspan = crate::trace::span("query.contained.indexed");
     let measure = spade.begin();
+    let _stat_scope = crate::optimizer::stats::scope(data.uid());
     let mut polygon_time = Duration::ZERO;
 
     let view = data.read_view();
@@ -356,6 +357,7 @@ pub fn select_contained_indexed_with(
         cancel,
         |cell| {
             let _ = spade.device.upload(cell.bytes);
+            spade.observed.observe_cell_load(data.uid(), cell.bytes);
             ids.extend(select_contained(spade, &cell.data, constraint_poly).result);
             spade.device.free(cell.bytes);
             Ok(())
@@ -468,6 +470,7 @@ pub fn select_indexed_with(
 ) -> spade_storage::Result<QueryOutput<Vec<u32>>> {
     let mut qspan = crate::trace::span("query.select.indexed");
     let measure = spade.begin();
+    let _stat_scope = crate::optimizer::stats::scope(data.uid());
     let mut polygon_time = Duration::ZERO;
 
     // Prepare the constraint once; the same canvas serves the filter and
@@ -509,6 +512,7 @@ pub fn select_indexed_with(
         cancel,
         |cell| {
             let _ = spade.device.upload(cell.bytes);
+            spade.observed.observe_cell_load(data.uid(), cell.bytes);
             ids.extend(select_mem_dispatch(spade, &cell.data, &constraint));
             spade.device.free(cell.bytes);
             Ok(())

@@ -883,6 +883,67 @@ impl QueryService {
                 i == 0,
             );
         }
+        // Per-tenant optimizer decision and misprediction counters,
+        // aggregated from the engine's observed statistics: a tenant owns
+        // the counters keyed by its datasets' uids plus every pairwise
+        // join key over them (joins attribute their statistics to the
+        // dataset pair). Namespaces isolate the aggregation — one tenant's
+        // decisions never appear under another's labels.
+        let tenant_stat_keys = |ns: &Namespace| -> Vec<u64> {
+            let mut uids: Vec<u64> = Vec::new();
+            for ((tid, _), d) in self.shared.datasets.read().unwrap().iter() {
+                if *tid == ns.id() {
+                    uids.push(d.uid());
+                }
+            }
+            for ((tid, _), d) in self.shared.indexed.read().unwrap().iter() {
+                if *tid == ns.id() {
+                    uids.push(d.uid());
+                }
+            }
+            let mut keys = uids.clone();
+            for &a in &uids {
+                for &b in &uids {
+                    keys.push(spade_core::optimizer::stats::join_key(a, b));
+                }
+            }
+            keys
+        };
+        use spade_core::optimizer::stats::Decision;
+        for (i, ns) in tenants.iter().enumerate() {
+            let (dec, _) = self
+                .shared
+                .spade
+                .observed
+                .counters_for(&tenant_stat_keys(ns));
+            for (j, d) in Decision::ALL.iter().enumerate() {
+                render_labeled_counter(
+                    &mut out,
+                    "spade_optimizer_decisions_total",
+                    "Optimizer decisions (Map implementation, join strategy) on this tenant's datasets.",
+                    &[("tenant", ns.name()), ("decision", d.label())],
+                    dec[j],
+                    i == 0 && j == 0,
+                );
+            }
+        }
+        for (i, ns) in tenants.iter().enumerate() {
+            let (_, mis) = self
+                .shared
+                .spade
+                .observed
+                .counters_for(&tenant_stat_keys(ns));
+            for (j, d) in Decision::ALL.iter().enumerate() {
+                render_labeled_counter(
+                    &mut out,
+                    "spade_optimizer_mispredictions_total",
+                    "Optimizer decisions hindsight proved wrong (1-pass overflows, 2-pass overshoots, join strategy flips).",
+                    &[("tenant", ns.name()), ("decision", d.label())],
+                    mis[j],
+                    i == 0 && j == 0,
+                );
+            }
+        }
         render_counter(
             &mut out,
             "spade_compact_runs_total",

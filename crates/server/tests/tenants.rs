@@ -368,7 +368,10 @@ fn sql_tables_are_isolated_per_tenant() {
         "cross-tenant SQL write must fail: {err}"
     );
     // The default namespace is a tenant like any other.
-    assert!(default.submit(sql("SELECT id FROM accounts")).wait().is_err());
+    assert!(default
+        .submit(sql("SELECT id FROM accounts"))
+        .wait()
+        .is_err());
 
     // globex can register its own colliding table name with different data
     // and each tenant reads back only its own rows.
@@ -392,7 +395,10 @@ fn sql_tables_are_isolated_per_tenant() {
         }
     };
     let a = acme.submit(sql("SELECT id FROM accounts")).wait().unwrap();
-    let g = globex.submit(sql("SELECT id FROM accounts")).wait().unwrap();
+    let g = globex
+        .submit(sql("SELECT id FROM accounts"))
+        .wait()
+        .unwrap();
     assert_eq!(rows(&a.payload), vec![1]);
     assert_eq!(rows(&g.payload), vec![2]);
 

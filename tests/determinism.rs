@@ -165,6 +165,37 @@ fn all_query_families_byte_identical_across_worker_counts() {
     }
 }
 
+/// Adaptive statistics must be invisible in result bytes. With a small
+/// 1-pass budget the optimizer's choices actually differ between the two
+/// engines once observations warm up (the adaptive engine shrinks 1-pass
+/// canvases and flips join strategies), yet three warm rounds of all five
+/// query families must stay byte-identical to the cold static engine —
+/// adaptivity may only re-route work, never change answers.
+#[test]
+fn adaptive_stats_on_off_byte_identical() {
+    let f = Fixture::build();
+    let cfg = |adaptive| EngineConfig {
+        workers: 2,
+        max_map_slots: 64,
+        adaptive_stats: adaptive,
+        ..EngineConfig::test_small()
+    };
+    let on = Spade::new(cfg(true));
+    let off = Spade::new(cfg(false));
+    for round in 0..3 {
+        let a = run_suite(&on, &f);
+        let b = run_suite(&off, &f);
+        assert_eq!(a, b, "adaptive stats changed result bytes at round {round}");
+    }
+    // The comparison is vacuous unless the adaptive engine actually made
+    // decisions from its observations.
+    let (decisions, _) = on.observed.totals();
+    assert!(
+        decisions.iter().sum::<u64>() > 0,
+        "adaptive engine recorded no optimizer decisions"
+    );
+}
+
 /// Arena regression: the second round above rendered into recycled
 /// framebuffers. Prove the recycling actually happened (hits > 0) and that
 /// disabling the arena entirely still yields the same bytes — pooling is

@@ -196,3 +196,170 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Optimizer cell-pair ordering and transfer estimation.
+
+use spade::engine::optimizer::{estimate_layer_bytes_ordered, order_cell_pairs, JoinStrategy};
+
+/// Replay the executor's residency rule over an ordered pair sequence: a
+/// side's cell is uploaded only when it differs from the one currently
+/// resident. Deliberately re-derived here rather than calling the
+/// estimator, so the proptest pins both to the same contract.
+fn executor_sequence_loads(ordered: &[(u32, u32)], left: &[u64], right: &[u64]) -> u64 {
+    let mut loaded = 0u64;
+    let mut res = (u32::MAX, u32::MAX);
+    for &(l, r) in ordered {
+        if res.0 != l {
+            loaded += left[l as usize];
+            res.0 = l;
+        }
+        if res.1 != r {
+            loaded += right[r as usize];
+            res.1 = r;
+        }
+    }
+    loaded
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The ordered sequence is a permutation of the input, its left groups
+    /// are contiguous with strictly increasing left cells, consecutive
+    /// pairs inside a group keep the left cell resident, and the estimator
+    /// equals an independent replay of the executor's load sequence.
+    /// Pairs are sparse: possibly empty, with duplicates, touching only a
+    /// fraction of either grid.
+    #[test]
+    fn cell_pair_ordering_invariants(
+        left in prop::collection::vec(1u64..5_000, 1..10),
+        right in prop::collection::vec(1u64..5_000, 1..10),
+        raw in prop::collection::vec((0u32..1_000, 0u32..1_000), 0..40),
+    ) {
+        let mut pairs: Vec<(u32, u32)> = raw
+            .iter()
+            .map(|&(l, r)| (l % left.len() as u32, r % right.len() as u32))
+            .collect();
+        let mut multiset = pairs.clone();
+        multiset.sort_unstable();
+        order_cell_pairs(&mut pairs);
+
+        // Permutation: same multiset of pairs in, possibly new order out.
+        let mut check = pairs.clone();
+        check.sort_unstable();
+        prop_assert_eq!(check, multiset);
+
+        // Contiguous groups, strictly increasing left cells across groups.
+        let mut seen_left = Vec::new();
+        for &(l, _) in &pairs {
+            match seen_left.last() {
+                Some(&last) if last == l => {}
+                _ => seen_left.push(l),
+            }
+        }
+        let mut sorted_left = seen_left.clone();
+        sorted_left.sort_unstable();
+        sorted_left.dedup();
+        prop_assert_eq!(
+            &seen_left, &sorted_left,
+            "left groups must be contiguous and ascending"
+        );
+
+        // The ordering is deterministic on the multiset: ordering any
+        // permutation of the same pairs yields the identical sequence.
+        let mut shuffled: Vec<(u32, u32)> = pairs.iter().rev().copied().collect();
+        order_cell_pairs(&mut shuffled);
+        prop_assert_eq!(&shuffled, &pairs);
+
+        // Estimator == executor sequence loads, exactly.
+        prop_assert_eq!(
+            estimate_layer_bytes_ordered(&pairs, &left, &right),
+            executor_sequence_loads(&pairs, &left, &right)
+        );
+    }
+
+    /// On dense pair sets (full cross products, the worst case the
+    /// boustrophedon targets) the serpentine order never transfers more
+    /// than plain lexicographic order: reversing odd groups lets the right
+    /// cell carry over across every group boundary.
+    #[test]
+    fn boustrophedon_beats_plain_sort_on_dense_grids(
+        left in prop::collection::vec(1u64..5_000, 1..8),
+        right in prop::collection::vec(1u64..5_000, 1..8),
+    ) {
+        let mut dense = Vec::new();
+        for l in 0..left.len() as u32 {
+            for r in 0..right.len() as u32 {
+                dense.push((l, r));
+            }
+        }
+        let mut plain = dense.clone();
+        plain.sort_unstable();
+        order_cell_pairs(&mut dense);
+        prop_assert!(
+            estimate_layer_bytes_ordered(&dense, &left, &right)
+                <= estimate_layer_bytes_ordered(&plain, &left, &right)
+        );
+    }
+}
+
+#[test]
+fn order_cell_pairs_degenerate_inputs() {
+    // Empty input: a no-op, and a zero estimate.
+    let mut empty: Vec<(u32, u32)> = Vec::new();
+    order_cell_pairs(&mut empty);
+    assert!(empty.is_empty());
+    assert_eq!(estimate_layer_bytes_ordered(&empty, &[], &[]), 0);
+
+    // A single left group is plain-sorted (group 0 is never reversed).
+    let mut single = vec![(4u32, 2u32), (4, 0), (4, 1)];
+    order_cell_pairs(&mut single);
+    assert_eq!(single, vec![(4, 0), (4, 1), (4, 2)]);
+    let bytes = [0u64, 0, 0, 0, 7];
+    let rbytes = [10u64, 20, 30];
+    // One left load, three right loads.
+    assert_eq!(estimate_layer_bytes_ordered(&single, &bytes, &rbytes), 67);
+
+    // Duplicate pairs survive ordering and cost nothing extra: the
+    // duplicate finds both cells already resident.
+    let mut dupes = vec![(0u32, 1u32), (0, 1), (0, 0)];
+    order_cell_pairs(&mut dupes);
+    assert_eq!(dupes, vec![(0, 0), (0, 1), (0, 1)]);
+    assert_eq!(
+        estimate_layer_bytes_ordered(&dupes, &[5], &[11, 13]),
+        5 + 11 + 13
+    );
+}
+
+/// End-to-end: the layer estimate computed before the walk equals the
+/// bytes the real out-of-core join actually uploads. The strategy is
+/// pinned to LayerIndex via the calibration override so the walk under
+/// measurement is the one the estimate models.
+#[test]
+fn layer_estimate_matches_real_join_transfers() {
+    use spade::datagen::spider;
+    use spade::engine::{explain, join};
+
+    let spade = Spade::new(EngineConfig::test_small());
+    spade
+        .observed
+        .set_join_override(Some(JoinStrategy::LayerIndex));
+    let parcels = Dataset::from_polygons("parcels", spider::parcels(60, 0.06, 41));
+    let pts = Dataset::from_points("p", spider::gaussian_points(4_000, 43));
+    let gp = GridIndex::build(None, &parcels.objects, 0.3).unwrap();
+    let gq = GridIndex::build(None, &pts.objects, 0.2).unwrap();
+    let parcels_idx = IndexedDataset::new("parcels", DatasetKind::Polygons, gp);
+    let pts_idx = IndexedDataset::new("p", DatasetKind::Points, gq);
+
+    explain::begin();
+    join::join_indexed(&spade, &parcels_idx, &pts_idx).unwrap();
+    let report = explain::finish();
+    let j = report.join.expect("join plan must be reported");
+    assert_eq!(j.strategy, JoinStrategy::LayerIndex);
+    assert_eq!(
+        j.actual_bytes,
+        Some(j.layer_est_bytes),
+        "estimate drifted from the executor's transfers"
+    );
+}
