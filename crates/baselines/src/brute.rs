@@ -1,18 +1,35 @@
 //! Brute-force oracles: the ground truth every engine is tested against.
 
 use spade_geometry::distance::point_polygon_distance;
-use spade_geometry::predicates::{point_in_polygon, polygons_intersect};
+use spade_geometry::predicates::{points_in_polygon_mask, polygons_intersect};
 use spade_geometry::{Point, Polygon};
+
+/// Bbox-prefilter then batched containment: gather candidate ids, run the
+/// lane-parallel polygon mask over the gathered (contiguous) points, and
+/// keep the survivors. Bit-identical to filtering with the scalar
+/// `point_in_polygon` — the mask kernel falls back to it on
+/// boundary-ambiguous lanes — and candidate order is preserved.
+fn contained_ids(points: &[Point], poly: &Polygon) -> Vec<u32> {
+    let bb = poly.bbox();
+    let mut ids: Vec<u32> = Vec::new();
+    let mut cand: Vec<Point> = Vec::new();
+    for (i, p) in points.iter().enumerate() {
+        if bb.contains(*p) {
+            ids.push(i as u32);
+            cand.push(*p);
+        }
+    }
+    let mut mask = Vec::new();
+    points_in_polygon_mask(&cand, poly, &mut mask);
+    ids.into_iter()
+        .zip(mask)
+        .filter_map(|(id, m)| m.then_some(id))
+        .collect()
+}
 
 /// Ids of points inside the polygon (boundary inclusive).
 pub fn select_points(points: &[Point], poly: &Polygon) -> Vec<u32> {
-    let bb = poly.bbox();
-    points
-        .iter()
-        .enumerate()
-        .filter(|(_, p)| bb.contains(**p) && point_in_polygon(**p, poly))
-        .map(|(i, _)| i as u32)
-        .collect()
+    contained_ids(points, poly)
 }
 
 /// Ids of polygons intersecting the constraint polygon.
@@ -29,11 +46,8 @@ pub fn select_polygons(polys: &[Polygon], constraint: &Polygon) -> Vec<u32> {
 pub fn join_polygon_point(polys: &[Polygon], points: &[Point]) -> Vec<(u32, u32)> {
     let mut out = Vec::new();
     for (i, poly) in polys.iter().enumerate() {
-        let bb = poly.bbox();
-        for (j, p) in points.iter().enumerate() {
-            if bb.contains(*p) && point_in_polygon(*p, poly) {
-                out.push((i as u32, j as u32));
-            }
+        for j in contained_ids(points, poly) {
+            out.push((i as u32, j));
         }
     }
     out
@@ -82,14 +96,7 @@ pub fn aggregate(polys: &[Polygon], points: &[Point]) -> Vec<(u32, u64)> {
     polys
         .iter()
         .enumerate()
-        .map(|(i, poly)| {
-            let bb = poly.bbox();
-            let c = points
-                .iter()
-                .filter(|p| bb.contains(**p) && point_in_polygon(**p, poly))
-                .count() as u64;
-            (i as u32, c)
-        })
+        .map(|(i, poly)| (i as u32, contained_ids(points, poly).len() as u64))
         .collect()
 }
 
@@ -106,7 +113,52 @@ pub fn select_within_distance(points: &[Point], poly: &Polygon, r: f64) -> Vec<u
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spade_geometry::predicates::point_in_polygon;
     use spade_geometry::BBox;
+
+    fn lcg(seed: &mut u64) -> f64 {
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((*seed >> 11) as f64) / ((1u64 << 53) as f64)
+    }
+
+    #[test]
+    fn batched_containment_matches_scalar_filter() {
+        // The mask-kernel path must reproduce the per-point scalar filter
+        // exactly, including points on edges/vertices of a concave ring.
+        let poly = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(6.0, 0.0),
+            Point::new(6.0, 6.0),
+            Point::new(4.0, 6.0),
+            Point::new(4.0, 2.0),
+            Point::new(2.0, 2.0),
+            Point::new(2.0, 6.0),
+            Point::new(0.0, 6.0),
+        ]);
+        let mut seed = 4242u64;
+        let mut pts: Vec<Point> = (0..500)
+            .map(|_| Point::new(lcg(&mut seed) * 8.0 - 1.0, lcg(&mut seed) * 8.0 - 1.0))
+            .collect();
+        pts.extend(poly.exterior.points.iter().copied());
+        pts.push(Point::new(3.0, 0.0)); // on the bottom edge
+        pts.push(Point::new(3.0, 2.0)); // on the notch floor
+        let bb = poly.bbox();
+        let want: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| bb.contains(**p) && point_in_polygon(**p, &poly))
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(select_points(&pts, &poly), want);
+        let polys = [poly];
+        assert_eq!(
+            join_polygon_point(&polys, &pts),
+            want.iter().map(|&j| (0, j)).collect::<Vec<_>>()
+        );
+        assert_eq!(aggregate(&polys, &pts), vec![(0, want.len() as u64)]);
+    }
 
     #[test]
     fn oracles_agree_on_a_tiny_case() {

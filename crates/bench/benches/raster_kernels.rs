@@ -1,0 +1,211 @@
+//! Microbenchmarks for the batched (lane-parallel) kernels in isolation:
+//! coverage counting, fragment blending, point-containment scans, and the
+//! storage filter kernel, each against its scalar form. The end-to-end
+//! effect is gated by `tests/simd_gate.rs`; these isolate where the time
+//! goes when a kernel regresses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spade_geometry::predicates::{point_in_polygon, points_in_polygon_mask};
+use spade_geometry::{BBox, Point, Polygon};
+use spade_gpu::{raster, BlendMode, Primitive, Viewport, NULL_PIXEL};
+use spade_storage::exec::{scan_with, CmpOp, Expr};
+use spade_storage::table::{Schema, Table};
+use spade_storage::value::Value;
+use spade_storage::DataType;
+
+fn lcg(seed: &mut u64) -> f64 {
+    *seed = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    ((*seed >> 11) as f64) / ((1u64 << 53) as f64)
+}
+
+fn vp() -> Viewport {
+    Viewport::new(BBox::new(Point::ZERO, Point::new(1.0, 1.0)), 512, 512)
+}
+
+/// Medium triangles covering a few thousand pixels each — the shape of
+/// canvas-creation draws, where per-pixel cost dominates.
+fn triangles(n: usize) -> Vec<Primitive> {
+    let mut seed = 0xbeef_u64;
+    (0..n)
+        .map(|i| {
+            let (x, y) = (lcg(&mut seed) * 0.8, lcg(&mut seed) * 0.8);
+            Primitive::triangle(
+                Point::new(x, y),
+                Point::new(x + 0.05 + lcg(&mut seed) * 0.1, y + lcg(&mut seed) * 0.02),
+                Point::new(x + lcg(&mut seed) * 0.02, y + 0.05 + lcg(&mut seed) * 0.1),
+                [i as u32 + 1, 0, 0, 0],
+            )
+        })
+        .collect()
+}
+
+fn bench_coverage(c: &mut Criterion) {
+    let prims = triangles(64);
+    let vp = vp();
+    let mut g = c.benchmark_group("coverage_count");
+    g.bench_function("scalar", |b| {
+        b.iter(|| -> usize {
+            prims
+                .iter()
+                .map(|p| raster::coverage_count_with(p, &vp, false, false))
+                .sum()
+        })
+    });
+    g.bench_function("batched", |b| {
+        b.iter(|| -> usize {
+            prims
+                .iter()
+                .map(|p| raster::coverage_count_with(p, &vp, false, true))
+                .sum()
+        })
+    });
+    g.finish();
+}
+
+fn bench_rasterize(c: &mut Criterion) {
+    let prims = triangles(64);
+    let vp = vp();
+    let mut g = c.benchmark_group("rasterize");
+    g.bench_function("scalar", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in &prims {
+                raster::rasterize_with(p, &vp, false, false, &mut |x, y| {
+                    acc = acc.wrapping_add(u64::from(x) ^ u64::from(y));
+                });
+            }
+            acc
+        })
+    });
+    g.bench_function("batched_emit", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in &prims {
+                raster::rasterize_with(p, &vp, false, true, &mut |x, y| {
+                    acc = acc.wrapping_add(u64::from(x) ^ u64::from(y));
+                });
+            }
+            acc
+        })
+    });
+    g.bench_function("batched_blocks", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in &prims {
+                raster::rasterize_blocks(p, &vp, false, &mut |x, _y, _n, m| {
+                    acc = acc.wrapping_add(u64::from(x) + u64::from(m.count_ones()));
+                });
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_blend(c: &mut Criterion) {
+    let n = 1 << 16;
+    let mut seed = 0xf00d_u64;
+    let src: Vec<_> = (0..n)
+        .map(|_| {
+            if lcg(&mut seed) < 0.3 {
+                NULL_PIXEL
+            } else {
+                [(lcg(&mut seed) * 1e6) as u32, 0, 0, 0]
+            }
+        })
+        .collect();
+    let base: Vec<_> = (0..n).map(|i| [i as u32, 0, 0, 0]).collect();
+    let mut g = c.benchmark_group("blend_add");
+    g.bench_function("scalar", |b| {
+        b.iter(|| {
+            let mut dst = base.clone();
+            for (px, &sv) in dst.iter_mut().zip(&src) {
+                if sv != NULL_PIXEL {
+                    *px = BlendMode::Add.apply(*px, sv);
+                }
+            }
+            dst
+        })
+    });
+    g.bench_function("apply_slice", |b| {
+        b.iter(|| {
+            let mut dst = base.clone();
+            BlendMode::Add.apply_slice(&mut dst, &src);
+            dst
+        })
+    });
+    g.finish();
+}
+
+fn bench_containment(c: &mut Criterion) {
+    let mut seed = 0xabcd_u64;
+    let verts: Vec<Point> = (0..64)
+        .map(|i| {
+            let a = (i as f64) / 64.0 * std::f64::consts::TAU;
+            let r = 0.3 + lcg(&mut seed) * 0.15;
+            Point::new(0.5 + r * a.cos(), 0.5 + r * a.sin())
+        })
+        .collect();
+    let poly = Polygon::new(verts);
+    let pts: Vec<Point> = (0..10_000)
+        .map(|_| Point::new(lcg(&mut seed), lcg(&mut seed)))
+        .collect();
+    let mut g = c.benchmark_group("polygon_containment");
+    g.bench_function("scalar", |b| {
+        b.iter(|| -> usize { pts.iter().filter(|&&p| point_in_polygon(p, &poly)).count() })
+    });
+    g.bench_function("mask_kernel", |b| {
+        let mut mask = Vec::new();
+        b.iter(|| -> usize {
+            points_in_polygon_mask(&pts, &poly, &mut mask);
+            mask.iter().filter(|&&m| m).count()
+        })
+    });
+    g.finish();
+}
+
+fn bench_filter_scan(c: &mut Criterion) {
+    let mut seed = 0x51ab_u64;
+    let mut t = Table::new(
+        "bench",
+        Schema::new(vec![
+            ("a".into(), DataType::Int),
+            ("b".into(), DataType::Float),
+        ]),
+    );
+    for _ in 0..100_000 {
+        let a = Value::Int((lcg(&mut seed) * 1000.0) as i64);
+        let b = if lcg(&mut seed) < 0.05 {
+            Value::Null
+        } else {
+            Value::Float(lcg(&mut seed))
+        };
+        t.insert(vec![a, b]).unwrap();
+    }
+    let f = Expr::cmp(CmpOp::Gt, Expr::col("a"), Expr::lit(500i64)).and(Expr::cmp(
+        CmpOp::Lt,
+        Expr::col("b"),
+        Expr::lit(0.25),
+    ));
+    let mut g = c.benchmark_group("filter_scan");
+    g.sample_size(20);
+    g.bench_function("row_wise", |b| {
+        b.iter(|| scan_with(&t, &[], Some(&f), false).unwrap().num_rows())
+    });
+    g.bench_function("block_kernel", |b| {
+        b.iter(|| scan_with(&t, &[], Some(&f), true).unwrap().num_rows())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_coverage,
+    bench_rasterize,
+    bench_blend,
+    bench_containment,
+    bench_filter_scan
+);
+criterion_main!(benches);

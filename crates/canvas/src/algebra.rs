@@ -75,12 +75,7 @@ pub fn blend(dst: &mut Texture, src: &Texture, mode: spade_gpu::BlendMode, pool:
     assert_eq!(dst.len(), src.len(), "blend requires equal-size canvases");
     let src_pixels = src.pixels();
     pool.for_each_chunk_mut(dst.pixels_mut(), |_, base, slice| {
-        for (i, px) in slice.iter_mut().enumerate() {
-            let sv = src_pixels[base + i];
-            if sv != NULL_PIXEL {
-                *px = mode.apply(*px, sv);
-            }
-        }
+        mode.apply_slice(slice, &src_pixels[base..base + slice.len()]);
     });
 }
 
@@ -225,6 +220,7 @@ where
 {
     pipe.stats.add_draw_call();
     let world = viewport.world;
+    let simd = pipe.simd_kernels();
     let start = std::time::Instant::now();
     let chunks: Vec<Vec<PixelValue>> = pipe.pool().parallel_map_chunks(prims, |_, chunk| {
         let mut out = Vec::new();
@@ -234,7 +230,7 @@ where
                 continue;
             }
             let attrs = prim.attrs();
-            raster::rasterize(prim, &viewport, conservative, &mut |x, y| {
+            raster::rasterize_with(prim, &viewport, conservative, simd, &mut |x, y| {
                 let frag = Fragment {
                     x,
                     y,
@@ -269,6 +265,7 @@ fn shade_chunks(
         uniforms_u: call.uniforms_u,
         counter: &counter,
     };
+    let simd = pipe.simd_kernels();
     let start = std::time::Instant::now();
     let chunks: Vec<Vec<PixelValue>> = pipe.pool().parallel_map_chunks(prims, |_, chunk| {
         let mut out = Vec::new();
@@ -289,7 +286,7 @@ fn shade_chunks(
                     continue;
                 }
                 let attrs = prim.attrs();
-                raster::rasterize(prim, &vp, call.conservative, &mut |x, y| {
+                raster::rasterize_with(prim, &vp, call.conservative, simd, &mut |x, y| {
                     let frag = Fragment {
                         x,
                         y,

@@ -91,6 +91,12 @@ pub struct EngineConfig {
     /// query results are byte-identical — the knob changes how queries
     /// run, never what they return.
     pub adaptive_stats: bool,
+    /// Use the batched (lane-parallel) rasterization, blending, and scan
+    /// kernels. Off, every per-pixel and per-row loop runs its scalar
+    /// form. Both paths are bit-identical by construction — the batched
+    /// kernels perform the same floating-point operation sequences on the
+    /// same operands — so the knob changes throughput only, never results.
+    pub simd_kernels: bool,
 }
 
 impl Default for EngineConfig {
@@ -118,6 +124,7 @@ impl Default for EngineConfig {
             result_cache_bytes: 8 << 20, // an eighth of scaled device memory
             result_cache_enabled: true,
             adaptive_stats: true,
+            simd_kernels: true,
         }
     }
 }
@@ -195,6 +202,12 @@ mod tests {
     fn adaptive_stats_default_on() {
         assert!(EngineConfig::default().adaptive_stats);
         assert!(EngineConfig::test_small().adaptive_stats);
+    }
+
+    #[test]
+    fn simd_kernels_default_on() {
+        assert!(EngineConfig::default().simd_kernels);
+        assert!(EngineConfig::test_small().simd_kernels);
     }
 
     #[test]

@@ -37,6 +37,7 @@ impl Spade {
             crate::trace::set_enabled(true);
         }
         let pipeline = Pipeline::with_workers(config.effective_workers());
+        pipeline.set_simd_kernels(config.simd_kernels);
         let device = Arc::new(
             DeviceMemory::with_bandwidth(config.device_memory, config.bandwidth)
                 .paced(config.pace_transfers),

@@ -176,6 +176,137 @@ fn ray_cast(p: Point, ring: &[Point]) -> bool {
     inside
 }
 
+/// Lane width of the batched predicate kernels below.
+pub const PRED_LANES: usize = 8;
+
+/// Batched boundary-inclusive point-in-triangle: fills `out` so that
+/// `out[i] == point_in_triangle(points[i], t)`.
+///
+/// Evaluates the three cross products for [`PRED_LANES`] points at a time
+/// over fixed-size lane arrays with branch-free sign accumulation — the
+/// shape LLVM autovectorizes. Each lane runs exactly the scalar test's fp
+/// expressions, and the sign test is total (a point is never
+/// boundary-ambiguous: collinear lanes contribute neither `has_neg` nor
+/// `has_pos`), so this kernel is exact with no scalar fallback.
+pub fn points_in_triangle_mask(points: &[Point], t: &Triangle, out: &mut Vec<bool>) {
+    out.clear();
+    out.resize(points.len(), false);
+    let (a, b, c) = (t.a, t.b, t.c);
+    let (d1x, d1y) = (b.x - a.x, b.y - a.y);
+    let (d2x, d2y) = (c.x - b.x, c.y - b.y);
+    let (d3x, d3y) = (a.x - c.x, a.y - c.y);
+    for (chunk, ochunk) in points.chunks(PRED_LANES).zip(out.chunks_mut(PRED_LANES)) {
+        let n = chunk.len();
+        let mut px = [0.0f64; PRED_LANES];
+        let mut py = [0.0f64; PRED_LANES];
+        for i in 0..n {
+            px[i] = chunk[i].x;
+            py[i] = chunk[i].y;
+        }
+        let mut neg = [false; PRED_LANES];
+        let mut pos = [false; PRED_LANES];
+        for i in 0..PRED_LANES {
+            let d1 = d1x * (py[i] - a.y) - d1y * (px[i] - a.x);
+            let d2 = d2x * (py[i] - b.y) - d2y * (px[i] - b.x);
+            let d3 = d3x * (py[i] - c.y) - d3y * (px[i] - c.x);
+            neg[i] = d1 < 0.0 || d2 < 0.0 || d3 < 0.0;
+            pos[i] = d1 > 0.0 || d2 > 0.0 || d3 > 0.0;
+        }
+        for i in 0..n {
+            ochunk[i] = !(neg[i] && pos[i]);
+        }
+    }
+}
+
+/// Batched boundary-inclusive point-in-ring: fills `out` so that `out[i]`
+/// matches the scalar ring test `point_in_polygon` uses for exteriors.
+///
+/// Lane-parallel ray casting: per edge, all lanes compute the crossing
+/// toggle branch-free (the intersection abscissa is computed
+/// unconditionally; horizontal edges yield ±inf/NaN which the crossing
+/// condition masks out, exactly as the scalar test never reaches them).
+/// Lanes that might touch the ring *boundary* — some edge's orientation
+/// cross product is exactly `0.0` — cannot be resolved by ray casting
+/// alone and fall back to the exact scalar predicate; for every other lane
+/// `point_on_segment` is false for all edges, so the ray-cast parity *is*
+/// the scalar answer.
+pub fn points_in_ring_mask(points: &[Point], ring: &[Point], out: &mut Vec<bool>) {
+    ring_mask_impl(points, ring, false, out);
+}
+
+/// Batched polygon containment with hole support: exterior boundary
+/// inclusive, holes strict — fills `out[i] == point_in_polygon(points[i],
+/// poly)`.
+pub fn points_in_polygon_mask(points: &[Point], poly: &Polygon, out: &mut Vec<bool>) {
+    ring_mask_impl(points, &poly.exterior.points, false, out);
+    if poly.holes.is_empty() {
+        return;
+    }
+    let mut in_hole: Vec<bool> = Vec::new();
+    for h in &poly.holes {
+        ring_mask_impl(points, &h.points, true, &mut in_hole);
+        for (o, hm) in out.iter_mut().zip(&in_hole) {
+            *o = *o && !*hm;
+        }
+    }
+}
+
+/// Shared ring kernel: `strict` selects the hole semantics (boundary
+/// excluded) for the ambiguous-lane fallback. Non-ambiguous lanes cannot
+/// lie on the boundary, where the two semantics coincide with plain
+/// ray-cast parity.
+fn ring_mask_impl(points: &[Point], ring: &[Point], strict: bool, out: &mut Vec<bool>) {
+    out.clear();
+    out.resize(points.len(), false);
+    let n = ring.len();
+    if n < 3 {
+        return;
+    }
+    for (chunk, ochunk) in points.chunks(PRED_LANES).zip(out.chunks_mut(PRED_LANES)) {
+        let cn = chunk.len();
+        let mut px = [0.0f64; PRED_LANES];
+        let mut py = [0.0f64; PRED_LANES];
+        for i in 0..cn {
+            px[i] = chunk[i].x;
+            py[i] = chunk[i].y;
+        }
+        let mut inside = [false; PRED_LANES];
+        let mut ambiguous = [false; PRED_LANES];
+        // Same edge order as `ray_cast`: (ring[i], ring[j]) with j trailing.
+        let mut j = n - 1;
+        for i in 0..n {
+            let a = ring[i];
+            let b = ring[j];
+            let (dx, dy) = (b.x - a.x, b.y - a.y);
+            // The scalar boundary check walks forward edges (ring[j],
+            // ring[i]) anchored at ring[j] = `b`; the ambiguity cross must
+            // use those exact operands — the reversed-edge cross rounds
+            // differently and could miss an exactly-collinear point.
+            let (fx, fy) = (a.x - b.x, a.y - b.y);
+            for l in 0..PRED_LANES {
+                let crossing = (a.y > py[l]) != (b.y > py[l]);
+                let x_int = a.x + (py[l] - a.y) / dy * dx;
+                inside[l] ^= crossing && px[l] < x_int;
+                // Boundary ambiguity: the point is collinear with the edge
+                // line (superset of `point_on_segment`'s condition).
+                ambiguous[l] |= fx * (py[l] - b.y) - fy * (px[l] - b.x) == 0.0;
+            }
+            j = i;
+        }
+        for i in 0..cn {
+            ochunk[i] = if ambiguous[i] {
+                if strict {
+                    point_strictly_in_ring(chunk[i], ring)
+                } else {
+                    point_in_ring(chunk[i], ring)
+                }
+            } else {
+                inside[i]
+            };
+        }
+    }
+}
+
 /// Segment-vs-polygon intersection (general form, used by oracles).
 pub fn segment_intersects_polygon(s: Segment, poly: &Polygon) -> bool {
     if point_in_polygon(s.a, poly) || point_in_polygon(s.b, poly) {
@@ -419,6 +550,175 @@ mod tests {
         assert!(point_in_polygon(Point::new(5.0, 5.0), &p)); // right arm
         assert!(!point_in_polygon(Point::new(3.0, 5.0), &p)); // the notch
         assert!(point_in_polygon(Point::new(3.0, 1.0), &p)); // the base
+    }
+
+    fn lcg(seed: &mut u64) -> f64 {
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((*seed >> 11) as f64) / ((1u64 << 53) as f64)
+    }
+
+    #[test]
+    fn triangle_mask_matches_scalar_randomized() {
+        let mut seed = 20240601u64;
+        for case in 0..50u32 {
+            let t = Triangle::new(
+                Point::new(lcg(&mut seed) * 8.0, lcg(&mut seed) * 8.0),
+                Point::new(lcg(&mut seed) * 8.0, lcg(&mut seed) * 8.0),
+                Point::new(lcg(&mut seed) * 8.0, lcg(&mut seed) * 8.0),
+            );
+            // Random points plus exact boundary hits: vertices, edge
+            // midpoints, and points just off each edge.
+            let mut pts: Vec<Point> = (0..53)
+                .map(|_| Point::new(lcg(&mut seed) * 10.0 - 1.0, lcg(&mut seed) * 10.0 - 1.0))
+                .collect();
+            pts.extend([t.a, t.b, t.c]);
+            for e in t.edges() {
+                pts.push(Point::new((e.a.x + e.b.x) * 0.5, (e.a.y + e.b.y) * 0.5));
+            }
+            let mut mask = Vec::new();
+            points_in_triangle_mask(&pts, &t, &mut mask);
+            assert_eq!(mask.len(), pts.len());
+            for (i, p) in pts.iter().enumerate() {
+                assert_eq!(
+                    mask[i],
+                    point_in_triangle(*p, &t),
+                    "case={case} i={i} p={p:?} t={t:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_mask_degenerate_triangles() {
+        // Collinear (zero-area) and needle triangles: every lane must agree
+        // with the scalar test, which treats the degenerate hull as its
+        // boundary.
+        let flat = Triangle::new(Point::ZERO, Point::new(4.0, 0.0), Point::new(2.0, 0.0));
+        let pts = vec![
+            Point::new(1.0, 0.0),  // on the segment
+            Point::new(5.0, 0.0),  // past the end, still collinear
+            Point::new(1.0, 0.01), // just off
+            Point::ZERO,
+        ];
+        let mut mask = Vec::new();
+        points_in_triangle_mask(&pts, &flat, &mut mask);
+        for (i, p) in pts.iter().enumerate() {
+            assert_eq!(mask[i], point_in_triangle(*p, &flat), "i={i}");
+        }
+    }
+
+    #[test]
+    fn ring_mask_matches_scalar_randomized() {
+        let mut seed = 777777u64;
+        for case in 0..40u32 {
+            // Random star-shaped ring around a center (always simple).
+            let cx = lcg(&mut seed) * 4.0 + 2.0;
+            let cy = lcg(&mut seed) * 4.0 + 2.0;
+            let nv = 3 + (case as usize % 7);
+            let ring: Vec<Point> = (0..nv)
+                .map(|k| {
+                    let th = (k as f64 / nv as f64) * std::f64::consts::TAU;
+                    let r = 1.0 + lcg(&mut seed) * 2.0;
+                    Point::new(cx + r * th.cos(), cy + r * th.sin())
+                })
+                .collect();
+            let mut pts: Vec<Point> = (0..61)
+                .map(|_| Point::new(lcg(&mut seed) * 10.0 - 1.0, lcg(&mut seed) * 10.0 - 1.0))
+                .collect();
+            // Exact boundary points: vertices and edge midpoints (always
+            // ambiguous lanes → scalar fallback).
+            pts.extend(ring.iter().copied());
+            for i in 0..nv {
+                let (a, b) = (ring[i], ring[(i + 1) % nv]);
+                pts.push(Point::new((a.x + b.x) * 0.5, (a.y + b.y) * 0.5));
+            }
+            // Points sharing a y with a vertex (horizontal-edge / vertex
+            // grazing cases for the ray cast).
+            for v in ring.iter().take(3) {
+                pts.push(Point::new(v.x - 1.5, v.y));
+                pts.push(Point::new(v.x + 1.5, v.y));
+            }
+            let mut mask = Vec::new();
+            points_in_ring_mask(&pts, &ring, &mut mask);
+            for (i, p) in pts.iter().enumerate() {
+                assert_eq!(
+                    mask[i],
+                    point_in_ring(*p, &ring),
+                    "case={case} i={i} p={p:?} ring={ring:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ring_mask_axis_aligned_boundaries() {
+        // Axis-aligned rectangles put many points exactly on horizontal /
+        // vertical edges — the worst case for ray casting.
+        let ring = vec![
+            Point::new(1.0, 1.0),
+            Point::new(5.0, 1.0),
+            Point::new(5.0, 5.0),
+            Point::new(1.0, 5.0),
+        ];
+        let mut pts = Vec::new();
+        for k in 0..=8 {
+            let t = k as f64 * 0.5 + 1.0;
+            pts.push(Point::new(t, 1.0)); // bottom edge
+            pts.push(Point::new(t, 5.0)); // top edge
+            pts.push(Point::new(1.0, t)); // left edge
+            pts.push(Point::new(5.0, t)); // right edge
+            pts.push(Point::new(t, 3.0)); // interior / exterior row
+        }
+        let mut mask = Vec::new();
+        points_in_ring_mask(&pts, &ring, &mut mask);
+        for (i, p) in pts.iter().enumerate() {
+            assert_eq!(mask[i], point_in_ring(*p, &ring), "i={i} p={p:?}");
+        }
+    }
+
+    #[test]
+    fn polygon_mask_matches_scalar_with_holes() {
+        let poly = Polygon::with_holes(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(10.0, 0.0),
+                Point::new(10.0, 10.0),
+                Point::new(0.0, 10.0),
+            ],
+            vec![vec![
+                Point::new(4.0, 4.0),
+                Point::new(6.0, 4.0),
+                Point::new(6.0, 6.0),
+                Point::new(4.0, 6.0),
+            ]],
+        );
+        let mut pts = vec![
+            Point::new(2.0, 2.0),   // inside
+            Point::new(5.0, 5.0),   // in the hole
+            Point::new(4.0, 5.0),   // on the hole rim (counts as inside)
+            Point::new(0.0, 5.0),   // on the exterior edge
+            Point::new(-1.0, 5.0),  // outside
+            Point::new(10.0, 10.0), // exterior vertex
+        ];
+        let mut seed = 31337u64;
+        for _ in 0..60 {
+            pts.push(Point::new(
+                lcg(&mut seed) * 12.0 - 1.0,
+                lcg(&mut seed) * 12.0 - 1.0,
+            ));
+        }
+        let mut mask = Vec::new();
+        points_in_polygon_mask(&pts, &poly, &mut mask);
+        for (i, p) in pts.iter().enumerate() {
+            assert_eq!(mask[i], point_in_polygon(*p, &poly), "i={i} p={p:?}");
+        }
+        // Degenerate ring: fewer than 3 vertices matches the scalar "never
+        // inside" answer.
+        let mut dmask = Vec::new();
+        points_in_ring_mask(&pts, &[Point::ZERO, Point::new(1.0, 1.0)], &mut dmask);
+        assert!(dmask.iter().all(|&m| !m));
     }
 
     #[test]

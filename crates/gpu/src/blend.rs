@@ -6,6 +6,7 @@
 //! blending for everything else (§5.1 "Multiway Blend"); the fixed-function
 //! modes supported here cover both.
 
+use crate::fragments::FragmentBuffer;
 use crate::texture::{PixelValue, NULL_PIXEL};
 
 /// Fixed-function blend modes applied when a fragment lands on a pixel.
@@ -69,9 +70,81 @@ impl BlendMode {
         }
     }
 
+    /// Dense batched form of [`BlendMode::apply`]: blend `src[i]` into
+    /// `dst[i]` for every `i`, skipping null source pixels (null means "no
+    /// geometry here", not the value zero — the same convention the canvas
+    /// algebra's binary blend uses). The mode dispatch is hoisted out of
+    /// the loop and each lane is a branch-free select on a computed result,
+    /// so the body is the shape LLVM autovectorizes; per lane it performs
+    /// exactly `apply`'s operations, making the two forms bit-identical by
+    /// construction.
+    pub fn apply_slice(self, dst: &mut [PixelValue], src: &[PixelValue]) {
+        assert_eq!(dst.len(), src.len());
+        match self {
+            BlendMode::Replace => dense(dst, src, |d, s| BlendMode::Replace.apply(d, s)),
+            BlendMode::KeepFirst => dense(dst, src, |d, s| BlendMode::KeepFirst.apply(d, s)),
+            BlendMode::Add => dense(dst, src, |d, s| BlendMode::Add.apply(d, s)),
+            BlendMode::Max => dense(dst, src, |d, s| BlendMode::Max.apply(d, s)),
+            BlendMode::Min => dense(dst, src, |d, s| BlendMode::Min.apply(d, s)),
+        }
+    }
+
+    /// Scatter batched form of [`BlendMode::apply`] over an SoA fragment
+    /// buffer: each live (`mask = 1`) fragment blends into
+    /// `dst[(y − y0)·width + x]`; masked-off lanes of batched coverage
+    /// blocks blend as no-ops through the same select, not a branch.
+    /// Fragments are applied in buffer order, preserving primitive-ordered
+    /// `Replace`/`KeepFirst` semantics.
+    pub fn blend_soa(self, dst: &mut [PixelValue], y0: u32, width: usize, fb: &FragmentBuffer) {
+        match self {
+            BlendMode::Replace => {
+                scatter(dst, y0, width, fb, |d, s| BlendMode::Replace.apply(d, s))
+            }
+            BlendMode::KeepFirst => {
+                scatter(dst, y0, width, fb, |d, s| BlendMode::KeepFirst.apply(d, s))
+            }
+            BlendMode::Add => scatter(dst, y0, width, fb, |d, s| BlendMode::Add.apply(d, s)),
+            BlendMode::Max => scatter(dst, y0, width, fb, |d, s| BlendMode::Max.apply(d, s)),
+            BlendMode::Min => scatter(dst, y0, width, fb, |d, s| BlendMode::Min.apply(d, s)),
+        }
+    }
+
     /// True when the blend result does not depend on fragment order.
     pub fn is_commutative(self) -> bool {
         !matches!(self, BlendMode::Replace | BlendMode::KeepFirst)
+    }
+}
+
+/// Monomorphized dense blend loop: `f` is a mode-specific `apply` closure,
+/// so the mode match happens once per slice, not once per pixel.
+#[inline]
+fn dense(
+    dst: &mut [PixelValue],
+    src: &[PixelValue],
+    f: impl Fn(PixelValue, PixelValue) -> PixelValue,
+) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        let r = f(*d, *s);
+        *d = if *s != NULL_PIXEL { r } else { *d };
+    }
+}
+
+/// Monomorphized SoA scatter loop: the blend result is always computed and
+/// a select on the lane mask decides whether it lands — no per-fragment
+/// branch, no per-fragment mode dispatch.
+#[inline]
+fn scatter(
+    dst: &mut [PixelValue],
+    y0: u32,
+    width: usize,
+    fb: &FragmentBuffer,
+    f: impl Fn(PixelValue, PixelValue) -> PixelValue,
+) {
+    for k in 0..fb.len() {
+        let i = (fb.ys[k] - y0) as usize * width + fb.xs[k] as usize;
+        let d = dst[i];
+        let r = f(d, fb.vals[k]);
+        dst[i] = if fb.mask[k] != 0 { r } else { d };
     }
 }
 
@@ -137,5 +210,101 @@ mod tests {
         let b = [3, 7, 2, 1];
         assert_eq!(BlendMode::Max.apply(a, b), BlendMode::Max.apply(b, a));
         assert_eq!(BlendMode::Add.apply(a, b), BlendMode::Add.apply(b, a));
+    }
+
+    const MODES: [BlendMode; 5] = [
+        BlendMode::Replace,
+        BlendMode::KeepFirst,
+        BlendMode::Add,
+        BlendMode::Max,
+        BlendMode::Min,
+    ];
+
+    /// u32 edge cases: zero (every channel zero is `NULL_PIXEL`, the "no
+    /// data" sentinel), small values, both sides of the saturation
+    /// boundary, and `u32::MAX` itself.
+    const EDGES: [u32; 7] = [0, 1, 2, 7, u32::MAX / 2, u32::MAX - 1, u32::MAX];
+
+    /// Exhaustive property test over the u32 edge cases (satellite of the
+    /// branch-free Add saturation requirement): for every mode and every
+    /// edge pair, the scalar `apply`, the dense `apply_slice` and the SoA
+    /// `blend_soa` must be bit-identical — including saturating Add at the
+    /// `u32::MAX` boundary and the null-destination modes — and a
+    /// masked-off SoA lane must be an exact no-op for every mode.
+    #[test]
+    fn batched_blends_bit_identical_to_scalar_over_edge_cases() {
+        for mode in MODES {
+            for &a in &EDGES {
+                for &b in &EDGES {
+                    // Mixed channels exercise per-channel independence.
+                    let d: PixelValue = [a, b, a, b];
+                    let s: PixelValue = [b, a, u32::MAX - (a / 2), b.wrapping_add(1)];
+                    let want = mode.apply(d, s);
+
+                    let mut dense_dst = [d];
+                    mode.apply_slice(&mut dense_dst, &[s]);
+                    let dense_want = if s == NULL_PIXEL { d } else { want };
+                    assert_eq!(dense_dst[0], dense_want, "{mode:?} dense d={d:?} s={s:?}");
+
+                    let mut fb = FragmentBuffer::new();
+                    fb.push(0, 0, s);
+                    let mut soa_dst = [d];
+                    mode.blend_soa(&mut soa_dst, 0, 1, &fb);
+                    assert_eq!(soa_dst[0], want, "{mode:?} soa d={d:?} s={s:?}");
+
+                    // Masked-off lane: exact no-op regardless of value.
+                    let mut masked = FragmentBuffer::new();
+                    masked.push_block(0, 0, 1, 0, s);
+                    let mut noop_dst = [d];
+                    mode.blend_soa(&mut noop_dst, 0, 1, &masked);
+                    assert_eq!(noop_dst[0], d, "{mode:?} masked lane mutated dst");
+                }
+            }
+        }
+    }
+
+    /// Add saturation is branch-free per channel (`saturating_add` on the
+    /// lane type); pin the extremes so the scalar and batched forms can
+    /// never diverge on overflow.
+    #[test]
+    fn add_saturation_edge_matrix() {
+        for &a in &EDGES {
+            for &b in &EDGES {
+                let want = a.saturating_add(b);
+                assert_eq!(BlendMode::Add.apply([a; 4], [b; 4]), [want; 4]);
+                let mut dst = [[a; 4]];
+                BlendMode::Add.apply_slice(&mut dst, &[[b; 4]]);
+                let dense_want = if b == 0 { a } else { want }; // all-b-zero source is NULL
+                assert_eq!(dst[0], [dense_want; 4]);
+            }
+        }
+    }
+
+    /// The dense form must skip null *sources* (the canvas algebra's
+    /// convention), not blend zeros in.
+    #[test]
+    fn apply_slice_skips_null_sources() {
+        for mode in MODES {
+            let mut dst = [[5, 6, 7, 8], [5, 6, 7, 8]];
+            let src = [NULL_PIXEL, [1, 2, 3, 4]];
+            mode.apply_slice(&mut dst, &src);
+            assert_eq!(dst[0], [5, 6, 7, 8], "{mode:?} blended a null source");
+            assert_eq!(dst[1], mode.apply([5, 6, 7, 8], [1, 2, 3, 4]));
+        }
+    }
+
+    /// Scatter indexing: fragments land at `(y − y0)·width + x` and apply
+    /// in buffer order (primitive order for `Replace`).
+    #[test]
+    fn blend_soa_scatter_indexing_and_order() {
+        let mut fb = FragmentBuffer::new();
+        fb.push(1, 5, [10, 0, 0, 0]);
+        fb.push(2, 6, [20, 0, 0, 0]);
+        fb.push(1, 5, [30, 0, 0, 0]); // later fragment wins under Replace
+        let mut dst = [NULL_PIXEL; 8]; // 4 wide × 2 rows, band starts at y0=5
+        BlendMode::Replace.blend_soa(&mut dst, 5, 4, &fb);
+        assert_eq!(dst[1], [30, 0, 0, 0]);
+        assert_eq!(dst[4 + 2], [20, 0, 0, 0]);
+        assert_eq!(dst.iter().filter(|&&p| p != NULL_PIXEL).count(), 2);
     }
 }

@@ -30,6 +30,7 @@
 pub mod arena;
 pub mod blend;
 pub mod device;
+pub mod fragments;
 pub mod pipeline;
 pub mod pool;
 pub mod primitive;
@@ -45,6 +46,7 @@ pub mod viewport;
 pub use arena::{ArenaStats, PooledTexture, TexturePool};
 pub use blend::BlendMode;
 pub use device::{DeviceMemory, TransferStats};
+pub use fragments::FragmentBuffer;
 pub use pipeline::{DrawCall, Pipeline};
 pub use pool::{PoolStats, WorkerPool};
 pub use primitive::{Primitive, Vertex};

@@ -25,6 +25,7 @@
 
 use crate::arena::TexturePool;
 use crate::blend::BlendMode;
+use crate::fragments::FragmentBuffer;
 use crate::pool::{self, WorkerPool};
 use crate::primitive::Primitive;
 use crate::raster;
@@ -33,9 +34,9 @@ use crate::shader::{
     WriteAttrs,
 };
 use crate::stats::PipelineStats;
-use crate::texture::{PixelValue, Texture};
+use crate::texture::Texture;
 use crate::viewport::Viewport;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -81,6 +82,13 @@ pub struct Pipeline {
     pool: WorkerPool,
     arena: Arc<TexturePool>,
     pub stats: PipelineStats,
+    /// Batched (lane-parallel) raster/blend kernels enabled. On by default;
+    /// results are bit-identical either way, so the knob exists for
+    /// differential testing and the CI kernel gate, not semantics.
+    simd: AtomicBool,
+    /// Coverage blocks emitted through the batched rasterizer (stays 0 with
+    /// `simd` off) — lets differential tests prove the fast path ran.
+    batched_blocks: AtomicU64,
 }
 
 impl Default for Pipeline {
@@ -99,11 +107,28 @@ impl Pipeline {
             pool: WorkerPool::new(workers),
             arena: Arc::new(TexturePool::new()),
             stats: PipelineStats::new(),
+            simd: AtomicBool::new(true),
+            batched_blocks: AtomicU64::new(0),
         }
     }
 
     pub fn workers(&self) -> usize {
         self.pool.workers()
+    }
+
+    /// Toggle the batched (8-wide) raster/blend kernels.
+    pub fn set_simd_kernels(&self, on: bool) {
+        self.simd.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the batched kernels are enabled for this pipeline.
+    pub fn simd_kernels(&self) -> bool {
+        self.simd.load(Ordering::Relaxed)
+    }
+
+    /// Total coverage blocks the batched rasterizer has emitted.
+    pub fn batched_blocks(&self) -> u64 {
+        self.batched_blocks.load(Ordering::Relaxed)
     }
 
     /// The persistent executor every pass of this pipeline dispatches to.
@@ -144,76 +169,107 @@ impl Pipeline {
         // --- Fused vertex + geometry + clip + rasterize + fragment stage.
         // Each chunk of the *input* stream shades, expands, clips and
         // rasterizes in one pass — the shaded primitive stream is never
-        // materialized. One buffer per (worker chunk, band), worker-major,
-        // so the blend can walk chunks in primitive order.
-        let prim_count = std::sync::atomic::AtomicU64::new(0);
-        let clip_count = std::sync::atomic::AtomicU64::new(0);
-        let frag_count = std::sync::atomic::AtomicU64::new(0);
-        let disc_count = std::sync::atomic::AtomicU64::new(0);
-        let buffers: Vec<Vec<Vec<(u32, u32, PixelValue)>>> =
-            self.pool.parallel_map_chunks(prims, |_, chunk| {
-                let mut bands_out: Vec<Vec<(u32, u32, PixelValue)>> = vec![Vec::new(); bands];
-                let mut expand_buf: Vec<Primitive> = Vec::new();
-                let mut nprim = 0u64;
-                let mut nclip = 0u64;
-                let mut nfrag = 0u64;
-                let mut ndisc = 0u64;
-                for prim in chunk {
-                    let moved =
-                        prim.map_positions(|p| self::shade_pos(call.vertex, p, prim.attrs()));
-                    expand_buf.clear();
-                    match call.geometry {
-                        Some(gs) => gs.expand(&moved, &mut expand_buf),
-                        None => expand_buf.push(moved),
+        // materialized. One SoA fragment buffer per (worker chunk, band),
+        // worker-major, so the blend can walk chunks in primitive order.
+        //
+        // When the batched kernels are on and the fragment shader writes
+        // attrs verbatim (`writes_attrs`, the canvas-creation shader),
+        // default-rule triangles skip per-pixel shading entirely: the block
+        // rasterizer pushes whole 8-wide coverage blocks — masked lanes
+        // included — straight into the SoA buffers, and the masked blend
+        // neutralizes the dead lanes. Everything else (points, lines,
+        // conservative passes, shaders that can discard or compute values)
+        // takes the scalar per-fragment path into the same buffers, so both
+        // paths stay bit-identical by construction.
+        let simd = self.simd_kernels();
+        let direct_blocks = simd && !call.conservative && call.fragment.writes_attrs();
+        let prim_count = AtomicU64::new(0);
+        let clip_count = AtomicU64::new(0);
+        let frag_count = AtomicU64::new(0);
+        let disc_count = AtomicU64::new(0);
+        let block_count = AtomicU64::new(0);
+        let buffers: Vec<Vec<FragmentBuffer>> = self.pool.parallel_map_chunks(prims, |_, chunk| {
+            let mut bands_out: Vec<FragmentBuffer> =
+                (0..bands).map(|_| FragmentBuffer::new()).collect();
+            let mut expand_buf: Vec<Primitive> = Vec::new();
+            let mut nprim = 0u64;
+            let mut nclip = 0u64;
+            let mut nfrag = 0u64;
+            let mut ndisc = 0u64;
+            let mut nblocks = 0u64;
+            for prim in chunk {
+                let moved = prim.map_positions(|p| self::shade_pos(call.vertex, p, prim.attrs()));
+                expand_buf.clear();
+                match call.geometry {
+                    Some(gs) => gs.expand(&moved, &mut expand_buf),
+                    None => expand_buf.push(moved),
+                }
+                nprim += expand_buf.len() as u64;
+                for prim in &expand_buf {
+                    if !prim.bbox().intersects(&world) {
+                        nclip += 1;
+                        continue;
                     }
-                    nprim += expand_buf.len() as u64;
-                    for prim in &expand_buf {
-                        if !prim.bbox().intersects(&world) {
-                            nclip += 1;
+                    let attrs = prim.attrs();
+                    if direct_blocks {
+                        let used = raster::rasterize_blocks(
+                            prim,
+                            &vp,
+                            call.conservative,
+                            &mut |x, y, n, m| {
+                                nfrag += u64::from(m.count_ones());
+                                nblocks += 1;
+                                let band = ((y / rows_per_band) as usize).min(bands - 1);
+                                bands_out[band].push_block(x, y, n, m, attrs);
+                            },
+                        );
+                        if used {
                             continue;
                         }
-                        let attrs = prim.attrs();
-                        raster::rasterize(prim, &vp, call.conservative, &mut |x, y| {
-                            nfrag += 1;
-                            let frag = Fragment {
-                                x,
-                                y,
-                                world: vp.pixel_center(x, y),
-                                attrs,
-                            };
-                            match call.fragment.shade(&frag, &ctx) {
-                                Some(v) => {
-                                    let band = ((y / rows_per_band) as usize).min(bands - 1);
-                                    bands_out[band].push((x, y, v));
-                                }
-                                None => ndisc += 1,
-                            }
-                        });
                     }
+                    raster::rasterize_with(prim, &vp, call.conservative, simd, &mut |x, y| {
+                        nfrag += 1;
+                        let frag = Fragment {
+                            x,
+                            y,
+                            world: vp.pixel_center(x, y),
+                            attrs,
+                        };
+                        match call.fragment.shade(&frag, &ctx) {
+                            Some(v) => {
+                                let band = ((y / rows_per_band) as usize).min(bands - 1);
+                                bands_out[band].push(x, y, v);
+                            }
+                            None => ndisc += 1,
+                        }
+                    });
                 }
-                prim_count.fetch_add(nprim, Ordering::Relaxed);
-                clip_count.fetch_add(nclip, Ordering::Relaxed);
-                frag_count.fetch_add(nfrag, Ordering::Relaxed);
-                disc_count.fetch_add(ndisc, Ordering::Relaxed);
-                bands_out
-            });
+            }
+            prim_count.fetch_add(nprim, Ordering::Relaxed);
+            clip_count.fetch_add(nclip, Ordering::Relaxed);
+            frag_count.fetch_add(nfrag, Ordering::Relaxed);
+            disc_count.fetch_add(ndisc, Ordering::Relaxed);
+            block_count.fetch_add(nblocks, Ordering::Relaxed);
+            bands_out
+        });
         self.stats
             .add_primitives(prim_count.load(Ordering::Relaxed));
         self.stats.add_clipped(clip_count.load(Ordering::Relaxed));
         self.stats.add_fragments(frag_count.load(Ordering::Relaxed));
         self.stats.add_discarded(disc_count.load(Ordering::Relaxed));
+        self.batched_blocks
+            .fetch_add(block_count.load(Ordering::Relaxed), Ordering::Relaxed);
 
-        // --- Blend bands in parallel; chunks applied in primitive order. ---
+        // --- Blend bands in parallel; chunks applied in primitive order,
+        // each through the masked SoA kernel (mode dispatch per buffer, not
+        // per fragment). ---
         let width = target.width();
         let blend = call.blend;
         let mut band_slices = target.band_slices(bands);
         self.pool.for_each_mut(&mut band_slices, |band_idx, band| {
             let (y0, slice) = band;
             for chunk_bufs in &buffers {
-                for &(x, y, v) in &chunk_bufs[band_idx] {
-                    let i = ((y - *y0) as usize) * (width as usize) + x as usize;
-                    slice[i] = blend.apply(slice[i], v);
-                }
+                blend.blend_soa(slice, *y0, width as usize, &chunk_bufs[band_idx]);
             }
         });
 
@@ -247,6 +303,7 @@ impl Pipeline {
         // counting pass count coverage directly — the rasterizer's scanline
         // fast path — instead of enumerating every pixel through a closure.
         let count_coverage = call.fragment.always_emits();
+        let simd = self.simd_kernels();
         let counts = self.pool.parallel_map_chunks(prims, |_, chunk| {
             let mut n = 0u64;
             let mut expand_buf: Vec<Primitive> = Vec::new();
@@ -262,11 +319,11 @@ impl Pipeline {
                         continue;
                     }
                     if count_coverage {
-                        n += raster::coverage_count(prim, &vp, call.conservative) as u64;
+                        n += raster::coverage_count_with(prim, &vp, call.conservative, simd) as u64;
                         continue;
                     }
                     let attrs = prim.attrs();
-                    raster::rasterize(prim, &vp, call.conservative, &mut |x, y| {
+                    raster::rasterize_with(prim, &vp, call.conservative, simd, &mut |x, y| {
                         let frag = Fragment {
                             x,
                             y,
@@ -523,6 +580,111 @@ mod tests {
         };
         let c = pl.draw(&mut tex, &prims, &call);
         assert_eq!(c, 10);
+    }
+
+    #[test]
+    fn simd_kernels_on_off_bit_identical_draws() {
+        // The SoA block path (WriteAttrs + default rule) and the scalar
+        // per-fragment path must produce bit-identical textures for every
+        // blend mode, at several worker counts — and the batched engine
+        // must actually have taken the block path.
+        let vp = Viewport::new(BBox::new(Point::ZERO, Point::new(10.0, 10.0)), 64, 64);
+        let prims: Vec<Primitive> = (0..40)
+            .map(|i| {
+                let x = (i as f64 * 0.37) % 9.0;
+                let y = (i as f64 * 0.71) % 9.0;
+                Primitive::triangle(
+                    Point::new(x, y),
+                    Point::new(x + 2.3, y + 0.4),
+                    Point::new(x + 0.6, y + 2.1),
+                    [i + 1, i, 0, 1],
+                )
+            })
+            .collect();
+        for blend in [
+            BlendMode::Replace,
+            BlendMode::KeepFirst,
+            BlendMode::Add,
+            BlendMode::Max,
+            BlendMode::Min,
+        ] {
+            for workers in [1, 2, 8] {
+                let on = Pipeline::with_workers(workers);
+                let off = Pipeline::with_workers(workers);
+                off.set_simd_kernels(false);
+                let call = DrawCall::simple(vp, blend, false);
+                let mut ta = Texture::new(64, 64);
+                let mut tb = Texture::new(64, 64);
+                on.draw(&mut ta, &prims, &call);
+                off.draw(&mut tb, &prims, &call);
+                assert_eq!(ta, tb, "blend={blend:?} workers={workers}");
+                assert!(on.batched_blocks() > 0, "block path never taken");
+                assert_eq!(off.batched_blocks(), 0, "simd=off took the block path");
+                // Stats must agree too: same fragment counts either way.
+                assert_eq!(
+                    on.stats.snapshot().fragments,
+                    off.stats.snapshot().fragments
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simd_count_pass_matches_scalar() {
+        let prims: Vec<Primitive> = (0..20)
+            .map(|i| {
+                let x = (i as f64 * 0.53) % 8.0;
+                Primitive::triangle(
+                    Point::new(x, x * 0.5),
+                    Point::new(x + 2.0, x * 0.5 + 0.2),
+                    Point::new(x + 0.5, x * 0.5 + 1.7),
+                    [i + 1, 0, 0, 0],
+                )
+            })
+            .collect();
+        let call = DrawCall::simple(vp10(), BlendMode::Replace, false);
+        let on = Pipeline::with_workers(4);
+        let off = Pipeline::with_workers(4);
+        off.set_simd_kernels(false);
+        assert_eq!(on.count_pass(&prims, &call), off.count_pass(&prims, &call));
+    }
+
+    #[test]
+    fn discarding_shader_bypasses_block_path() {
+        // A shader that can discard must not take the direct-attrs block
+        // path even with simd on; results must still match the scalar
+        // engine and discard statistics must be preserved.
+        let frag = FnFragment(|f: &Fragment, _: &ShaderContext<'_>| {
+            if (f.x + f.y).is_multiple_of(3) {
+                None
+            } else {
+                Some(f.attrs)
+            }
+        });
+        let prims = vec![Primitive::triangle(
+            Point::new(1.0, 1.0),
+            Point::new(8.0, 1.0),
+            Point::new(4.0, 8.0),
+            [7, 0, 0, 0],
+        )];
+        let call = DrawCall {
+            fragment: &frag,
+            ..DrawCall::simple(vp10(), BlendMode::Replace, false)
+        };
+        let on = Pipeline::with_workers(2);
+        let off = Pipeline::with_workers(2);
+        off.set_simd_kernels(false);
+        let mut ta = Texture::new(10, 10);
+        let mut tb = Texture::new(10, 10);
+        on.draw(&mut ta, &prims, &call);
+        off.draw(&mut tb, &prims, &call);
+        assert_eq!(ta, tb);
+        assert_eq!(on.batched_blocks(), 0, "discard shader took block path");
+        assert_eq!(
+            on.stats.snapshot().discarded,
+            off.stats.snapshot().discarded
+        );
+        assert!(on.stats.snapshot().discarded > 0);
     }
 
     #[test]

@@ -17,6 +17,247 @@ use crate::primitive::Primitive;
 use crate::viewport::Viewport;
 use spade_geometry::{BBox, Point, Triangle};
 
+/// Width of the batched edge-function kernel: one coverage block is eight
+/// consecutive pixels of a scanline.
+pub const LANES: usize = 8;
+
+/// Bitmask selecting the low `n` lanes of a coverage block.
+#[inline]
+pub fn lane_mask(n: usize) -> u8 {
+    debug_assert!((1..=LANES).contains(&n));
+    (((1u16 << n) - 1) & 0xff) as u8
+}
+
+/// Row-hoisted evaluator for the default (pixel-center) triangle coverage
+/// rule.
+///
+/// The per-pixel test of [`rasterize`] computes, per edge `(u, v)`,
+/// `e = (v − u) × (p − u) = (v.x−u.x)·(p.y−u.y) − (v.y−u.y)·(p.x−u.x)`.
+/// The first product is constant along a scanline, so this kernel computes
+/// it once per row ([`TriRowKernel::begin_row`]) and leaves one multiply
+/// and one subtract per pixel per edge. Each per-pixel value runs the
+/// *same* fp operations on the *same* operands as the naive loop (Rust
+/// never contracts the multiply-subtract into an FMA), so [`inside`] and
+/// [`coverage_mask`] are bit-identical to the enumerating rasterizer — the
+/// scalar oracle — by construction, not by tolerance.
+///
+/// [`inside`]: TriRowKernel::inside
+/// [`coverage_mask`]: TriRowKernel::coverage_mask
+pub struct TriRowKernel {
+    /// Per-edge `v − u` deltas and `u` anchors, edges in oracle order
+    /// `(a,b) (b,c) (c,a)` after CCW winding normalization.
+    dx: [f64; 3],
+    dy: [f64; 3],
+    ux: [f64; 3],
+    uy: [f64; 3],
+    /// Row-constant edge terms `dx·(py − uy)`, set by `begin_row`.
+    t: [f64; 3],
+    /// Pixel-center x is `minx + (x + 0.5)·psx` — the exact
+    /// `Viewport::pixel_center` expression with its x-invariant parts
+    /// hoisted (`pixel_size` is a deterministic division, so hoisting it
+    /// cannot change the value).
+    minx: f64,
+    psx: f64,
+    /// 4-wide AVX lanes available (detected once per kernel; AVX arithmetic
+    /// is IEEE-exact, so lane width never changes a single bit).
+    use_avx: bool,
+}
+
+#[cfg(target_arch = "x86_64")]
+fn have_avx() -> bool {
+    std::is_x86_feature_detected!("avx")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn have_avx() -> bool {
+    false
+}
+
+impl TriRowKernel {
+    pub fn new(tri: &Triangle, vp: &Viewport) -> TriRowKernel {
+        // Same winding normalization as the enumerating rasterizer.
+        let (a, b, c) = if tri.signed_area() >= 0.0 {
+            (tri.a, tri.b, tri.c)
+        } else {
+            (tri.a, tri.c, tri.b)
+        };
+        let mut k = TriRowKernel {
+            dx: [0.0; 3],
+            dy: [0.0; 3],
+            ux: [0.0; 3],
+            uy: [0.0; 3],
+            t: [0.0; 3],
+            minx: vp.world.min.x,
+            psx: vp.pixel_size().x,
+            use_avx: have_avx(),
+        };
+        for (i, (u, v)) in [(a, b), (b, c), (c, a)].into_iter().enumerate() {
+            k.dx[i] = v.x - u.x;
+            k.dy[i] = v.y - u.y;
+            k.ux[i] = u.x;
+            k.uy[i] = u.y;
+        }
+        k
+    }
+
+    /// Load the row-constant edge terms for the scanline whose pixel-center
+    /// y is `py` (callers pass `vp.pixel_center(_, y).y`).
+    pub fn begin_row(&mut self, py: f64) {
+        for k in 0..3 {
+            self.t[k] = self.dx[k] * (py - self.uy[k]);
+        }
+    }
+
+    /// Exact scalar coverage test for pixel column `x` of the current row.
+    #[inline]
+    pub fn inside(&self, x: u32) -> bool {
+        let px = self.minx + (x as f64 + 0.5) * self.psx;
+        let e0 = self.t[0] - self.dy[0] * (px - self.ux[0]);
+        let e1 = self.t[1] - self.dy[1] * (px - self.ux[1]);
+        let e2 = self.t[2] - self.dy[2] * (px - self.ux[2]);
+        e0 >= 0.0 && e1 >= 0.0 && e2 >= 0.0
+    }
+
+    /// Coverage bits for the `n` pixels starting at column `x0` (bit `i` =
+    /// column `x0 + i`; bits at and above `n` are zero). On x86_64 the
+    /// eight lanes run through explicit SSE2 (baseline) or AVX (detected)
+    /// intrinsics; elsewhere through a branch-free fixed-array loop LLVM
+    /// autovectorizes. Every variant performs the identical IEEE operation
+    /// sequence as [`inside`], so the bits agree exactly.
+    ///
+    /// [`inside`]: TriRowKernel::inside
+    #[inline]
+    pub fn coverage_mask(&self, x0: u32, n: usize) -> u8 {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if self.use_avx {
+                // SAFETY: AVX support was detected at kernel construction.
+                unsafe { x86::coverage_mask_avx(self, x0, n) }
+            } else {
+                x86::coverage_mask_sse2(self, x0, n)
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            self.coverage_mask_portable(x0, n)
+        }
+    }
+
+    /// Portable block kernel: the non-x86_64 implementation of
+    /// [`coverage_mask`], and the oracle the intrinsic paths are verified
+    /// against in tests.
+    ///
+    /// [`coverage_mask`]: TriRowKernel::coverage_mask
+    #[cfg(any(not(target_arch = "x86_64"), test))]
+    fn coverage_mask_portable(&self, x0: u32, n: usize) -> u8 {
+        let mut px = [0.0f64; LANES];
+        for (i, p) in px.iter_mut().enumerate() {
+            *p = self.minx + ((x0 as u64 + i as u64) as f64 + 0.5) * self.psx;
+        }
+        let mut ok = [true; LANES];
+        for k in 0..3 {
+            let (t, dy, ux) = (self.t[k], self.dy[k], self.ux[k]);
+            for (i, o) in ok.iter_mut().enumerate() {
+                *o &= t - dy * (px[i] - ux) >= 0.0;
+            }
+        }
+        let mut m = 0u8;
+        for (i, o) in ok.iter().enumerate() {
+            m |= u8::from(*o) << i;
+        }
+        m & lane_mask(n)
+    }
+
+    /// Popcount of the row's coverage on `[x0, x1]`, one block at a time —
+    /// the batched form of the linear-scan fallback.
+    fn count_row(&self, x0: u32, x1: u32) -> usize {
+        let mut total = 0usize;
+        let mut x = x0;
+        loop {
+            let n = ((x1 - x) as usize + 1).min(LANES);
+            total += self.coverage_mask(x, n).count_ones() as usize;
+            if n < LANES {
+                return total;
+            }
+            match x.checked_add(LANES as u32) {
+                Some(nx) if nx <= x1 => x = nx,
+                _ => return total,
+            }
+        }
+    }
+}
+
+/// Explicit x86_64 lane kernels for [`TriRowKernel::coverage_mask`].
+///
+/// Pixel-center x for lane `i` is `minx + ((x0 + i) as f64 + 0.5)·psx`.
+/// Here it is computed as `minx + ((x0 as f64 + (i as f64 + 0.5))·psx)`:
+/// `x0 as f64` is exact (x0 < 2³²), `i as f64 + 0.5` is a compile-time
+/// constant, and their sum `x0 + i + 0.5` needs at most 34 significand
+/// bits — exact in f64 — so it equals the scalar `(x0+i) as f64 + 0.5`
+/// bit-for-bit, and the subsequent multiply/add round identically.
+/// `cmpge` returns false on unordered operands, matching scalar `>=`.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{lane_mask, TriRowKernel, LANES};
+    use std::arch::x86_64::*;
+
+    /// Lane offsets `i as f64 + 0.5`.
+    const OFF: [f64; LANES] = [0.5, 1.5, 2.5, 3.5, 4.5, 5.5, 6.5, 7.5];
+
+    /// SSE2 (x86_64 baseline): two lanes per 128-bit op, four pairs.
+    pub(super) fn coverage_mask_sse2(k: &TriRowKernel, x0: u32, n: usize) -> u8 {
+        // SAFETY: SSE2 is part of the x86_64 baseline feature set.
+        unsafe {
+            let minx = _mm_set1_pd(k.minx);
+            let psx = _mm_set1_pd(k.psx);
+            let x0v = _mm_set1_pd(x0 as f64);
+            let zero = _mm_setzero_pd();
+            let mut m = 0u32;
+            for pair in 0..LANES / 2 {
+                let off = _mm_loadu_pd(OFF.as_ptr().add(pair * 2));
+                let px = _mm_add_pd(minx, _mm_mul_pd(_mm_add_pd(x0v, off), psx));
+                let mut ok = _mm_castsi128_pd(_mm_set1_epi64x(-1));
+                for e in 0..3 {
+                    let t = _mm_set1_pd(k.t[e]);
+                    let dy = _mm_set1_pd(k.dy[e]);
+                    let ux = _mm_set1_pd(k.ux[e]);
+                    let v = _mm_sub_pd(t, _mm_mul_pd(dy, _mm_sub_pd(px, ux)));
+                    ok = _mm_and_pd(ok, _mm_cmpge_pd(v, zero));
+                }
+                m |= (_mm_movemask_pd(ok) as u32) << (pair * 2);
+            }
+            (m as u8) & lane_mask(n)
+        }
+    }
+
+    /// AVX: four lanes per 256-bit op, two halves.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX support (`TriRowKernel::use_avx`).
+    #[target_feature(enable = "avx")]
+    pub(super) unsafe fn coverage_mask_avx(k: &TriRowKernel, x0: u32, n: usize) -> u8 {
+        let minx = _mm256_set1_pd(k.minx);
+        let psx = _mm256_set1_pd(k.psx);
+        let x0v = _mm256_set1_pd(x0 as f64);
+        let zero = _mm256_setzero_pd();
+        let mut m = 0u32;
+        for half in 0..LANES / 4 {
+            let off = _mm256_loadu_pd(OFF.as_ptr().add(half * 4));
+            let px = _mm256_add_pd(minx, _mm256_mul_pd(_mm256_add_pd(x0v, off), psx));
+            let mut ok = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+            for e in 0..3 {
+                let t = _mm256_set1_pd(k.t[e]);
+                let dy = _mm256_set1_pd(k.dy[e]);
+                let ux = _mm256_set1_pd(k.ux[e]);
+                let v = _mm256_sub_pd(t, _mm256_mul_pd(dy, _mm256_sub_pd(px, ux)));
+                ok = _mm256_and_pd(ok, _mm256_cmp_pd::<_CMP_GE_OQ>(v, zero));
+            }
+            m |= (_mm256_movemask_pd(ok) as u32) << (half * 4);
+        }
+        (m as u8) & lane_mask(n)
+    }
+}
+
 /// Enumerate the pixels covered by a primitive, invoking `emit(x, y)` for
 /// each covered pixel inside the viewport. Pixels are emitted in a
 /// deterministic order (row-major for areal primitives, start-to-end for
@@ -51,6 +292,85 @@ pub fn rasterize(
     }
 }
 
+/// [`rasterize`] with the batched kernels toggled explicitly: when
+/// `batched` is set, default-rule triangles run through the 8-wide block
+/// kernel (each mask decoded in ascending-bit order, so the fragment
+/// sequence — order included — is unchanged); everything else, and
+/// `batched == false`, takes the scalar path. Both paths are bit-identical;
+/// the flag only selects the kernel.
+pub fn rasterize_with(
+    prim: &Primitive,
+    vp: &Viewport,
+    conservative: bool,
+    batched: bool,
+    emit: &mut impl FnMut(u32, u32),
+) {
+    if batched {
+        let done = rasterize_blocks(prim, vp, conservative, &mut |x, y, _n, mut m| {
+            while m != 0 {
+                emit(x + m.trailing_zeros(), y);
+                m &= m - 1;
+            }
+        });
+        if done {
+            return;
+        }
+    }
+    rasterize(prim, vp, conservative, emit);
+}
+
+/// Block-emitting front door for the batched SoA fragment path. Invokes
+/// `block(x, y, n, mask)` for every non-empty coverage block (`n ≤`
+/// [`LANES`] pixels starting at column `x`, bit `i` of `mask` = column
+/// `x + i` covered), row-major / left-to-right — the same pixel order as
+/// [`rasterize`]. Returns `true` when the primitive was rasterized in
+/// block form (default-rule triangles); `false` — without emitting
+/// anything — when it has no block form (points, lines, the conservative
+/// rule) and the caller must fall back to [`rasterize`].
+pub fn rasterize_blocks(
+    prim: &Primitive,
+    vp: &Viewport,
+    conservative: bool,
+    block: &mut impl FnMut(u32, u32, u32, u8),
+) -> bool {
+    match prim {
+        Primitive::Triangle { a, b, c, .. } if !conservative => {
+            raster_tri_blocks(&Triangle::new(*a, *b, *c), vp, block);
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Default-rule triangle rasterization in coverage blocks: per scanline,
+/// evaluate all three edge functions for up to [`LANES`] pixels at once
+/// through [`TriRowKernel::coverage_mask`] and hand each non-empty block to
+/// `block`.
+fn raster_tri_blocks(tri: &Triangle, vp: &Viewport, block: &mut impl FnMut(u32, u32, u32, u8)) {
+    let Some((x0, y0, x1, y1)) = vp.pixel_range(&tri.bbox()) else {
+        return;
+    };
+    let mut ev = TriRowKernel::new(tri, vp);
+    for y in y0..=y1 {
+        ev.begin_row(vp.pixel_center(x0, y).y);
+        let mut x = x0;
+        loop {
+            let n = ((x1 - x) as usize + 1).min(LANES);
+            let m = ev.coverage_mask(x, n);
+            if m != 0 {
+                block(x, y, n as u32, m);
+            }
+            if n < LANES {
+                break;
+            }
+            match x.checked_add(LANES as u32) {
+                Some(nx) if nx <= x1 => x = nx,
+                _ => break,
+            }
+        }
+    }
+}
+
 /// Count covered pixels without materializing them (used by the 2-pass Map
 /// operator's counting pass and by tests).
 ///
@@ -60,6 +380,19 @@ pub fn rasterize(
 /// because every pixel that decides the count is tested with the exact same
 /// floating-point predicate the enumerating rasterizer uses.
 pub fn coverage_count(prim: &Primitive, vp: &Viewport, conservative: bool) -> usize {
+    coverage_count_with(prim, vp, conservative, false)
+}
+
+/// [`coverage_count`] with the batched kernels toggled explicitly: when a
+/// default-rule triangle row falls off the analytic interval search, the
+/// linear rescan runs as block popcounts instead of per-pixel probes.
+/// Counts are identical either way.
+pub fn coverage_count_with(
+    prim: &Primitive,
+    vp: &Viewport,
+    conservative: bool,
+    batched: bool,
+) -> usize {
     match prim {
         Primitive::Point { p, .. } => usize::from(vp.world_to_pixel(*p).is_some()),
         Primitive::Line { .. } => {
@@ -69,7 +402,7 @@ pub fn coverage_count(prim: &Primitive, vp: &Viewport, conservative: bool) -> us
         }
         Primitive::Triangle { a, b, c, .. } => {
             let tri = Triangle::new(*a, *b, *c);
-            coverage_count_tri(&tri, vp, conservative)
+            coverage_count_tri(&tri, vp, conservative, batched)
         }
     }
 }
@@ -84,7 +417,7 @@ pub fn coverage_count(prim: &Primitive, vp: &Viewport, conservative: bool) -> us
 /// both ends of the run — all probes use the exact per-pixel predicate. If
 /// the hint finds no covered pixel the row falls back to a linear scan,
 /// which can never be wrong.
-fn coverage_count_tri(tri: &Triangle, vp: &Viewport, conservative: bool) -> usize {
+fn coverage_count_tri(tri: &Triangle, vp: &Viewport, conservative: bool, batched: bool) -> usize {
     let Some((x0, y0, x1, y1)) = vp.pixel_range(&tri.bbox()) else {
         return 0;
     };
@@ -94,6 +427,9 @@ fn coverage_count_tri(tri: &Triangle, vp: &Viewport, conservative: bool) -> usiz
     } else {
         (tri.a, tri.c, tri.b)
     };
+    // Default-rule probes go through the row-hoisted kernel; its per-pixel
+    // values are bit-identical to the naive edge-function expressions.
+    let mut ev = (!conservative).then(|| TriRowKernel::new(tri, vp));
     let mut total = 0usize;
     for y in y0..=y1 {
         // Row-constant pixel-center y, computed with the exact expression
@@ -140,18 +476,24 @@ fn coverage_count_tri(tri: &Triangle, vp: &Viewport, conservative: bool) -> usiz
         };
         // Exact per-pixel predicates: bit-identical expressions to
         // `raster_tri_default` / `raster_tri_conservative`.
-        total += if conservative {
-            row_interval_count(x0, x1, hint, &|x| {
-                triangle_overlaps_box(tri, &vp.pixel_box(x, y))
-            })
-        } else {
-            row_interval_count(x0, x1, hint, &|x| {
-                let p = vp.pixel_center(x, y);
-                let e0 = (b - a).cross(p - a);
-                let e1 = (c - b).cross(p - b);
-                let e2 = (a - c).cross(p - c);
-                e0 >= 0.0 && e1 >= 0.0 && e2 >= 0.0
-            })
+        total += match &mut ev {
+            Some(ev) => {
+                ev.begin_row(py);
+                let ev = &*ev;
+                row_interval_count(x0, x1, hint, &|x| ev.inside(x), || {
+                    if batched {
+                        ev.count_row(x0, x1)
+                    } else {
+                        (x0..=x1).filter(|&x| ev.inside(x)).count()
+                    }
+                })
+            }
+            None => {
+                let inside = |x: u32| triangle_overlaps_box(tri, &vp.pixel_box(x, y));
+                row_interval_count(x0, x1, hint, &inside, || {
+                    (x0..=x1).filter(|&x| inside(x)).count()
+                })
+            }
         };
     }
     total
@@ -159,8 +501,16 @@ fn coverage_count_tri(tri: &Triangle, vp: &Viewport, conservative: bool) -> usiz
 
 /// Count the covered run of an interval-shaped row predicate on
 /// `[x0, x1]`. Probes `hint` and its neighbours; on a seed, binary-searches
-/// both run ends; otherwise linear-scans the row (never wrong).
-fn row_interval_count(x0: u32, x1: u32, hint: u32, inside: &impl Fn(u32) -> bool) -> usize {
+/// both run ends; otherwise rescans the whole row through `fallback`
+/// (which must be an exhaustive count with the same predicate — never
+/// wrong, just slower).
+fn row_interval_count(
+    x0: u32,
+    x1: u32,
+    hint: u32,
+    inside: &impl Fn(u32) -> bool,
+    fallback: impl FnOnce() -> usize,
+) -> usize {
     let h = hint.clamp(x0, x1);
     let seed = if inside(h) {
         Some(h)
@@ -177,7 +527,7 @@ fn row_interval_count(x0: u32, x1: u32, hint: u32, inside: &impl Fn(u32) -> bool
             let last = bisect_last(s, x1, inside);
             (last - first + 1) as usize
         }
-        None => (x0..=x1).filter(|&x| inside(x)).count(),
+        None => fallback(),
     }
 }
 
@@ -660,6 +1010,172 @@ mod tests {
                         coverage_count(&t, vp, cons),
                         n,
                         "case={case} cons={cons} pts={pts:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_kernels_match_scalar_oracle_randomized() {
+        // The 8-wide block kernel must reproduce the scalar rasterizer's
+        // fragment sequence exactly — order included — and the batched
+        // coverage fallback must count identically, across random
+        // triangles including slivers, degenerates and out-of-viewport
+        // shapes on two resolutions.
+        let vps = [
+            vp10(),
+            Viewport::new(BBox::new(Point::ZERO, Point::new(10.0, 10.0)), 256, 256),
+        ];
+        let mut seed = 987654321u64;
+        for case in 0..200u32 {
+            let mut pts = [Point::ZERO; 3];
+            for p in &mut pts {
+                *p = Point::new(lcg(&mut seed) * 14.0 - 2.0, lcg(&mut seed) * 14.0 - 2.0);
+            }
+            if case % 4 == 0 {
+                pts[1].y = pts[0].y + 0.013;
+                pts[2].y = pts[0].y + 0.021;
+            }
+            if case % 7 == 0 {
+                pts[2] = Point::new((pts[0].x + pts[1].x) * 0.5, (pts[0].y + pts[1].y) * 0.5);
+            }
+            let t = Primitive::triangle(pts[0], pts[1], pts[2], [0; 4]);
+            for vp in &vps {
+                let mut scalar = Vec::new();
+                rasterize(&t, vp, false, &mut |x, y| scalar.push((x, y)));
+                let mut batched = Vec::new();
+                rasterize_with(&t, vp, false, true, &mut |x, y| batched.push((x, y)));
+                assert_eq!(batched, scalar, "case={case} pts={pts:?}");
+                assert_eq!(
+                    coverage_count_with(&t, vp, false, true),
+                    scalar.len(),
+                    "case={case} pts={pts:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_kernel_variants_agree_with_portable_oracle() {
+        // The intrinsic paths (SSE2/AVX on x86_64) must produce the exact
+        // bits of the portable fixed-array kernel, which in turn matches
+        // the scalar `inside` probe — across random triangles, rows, and
+        // ragged block widths.
+        let vp = Viewport::new(BBox::new(Point::ZERO, Point::new(10.0, 10.0)), 512, 512);
+        let mut seed = 31415926u64;
+        for case in 0..100u32 {
+            let mut pts = [Point::ZERO; 3];
+            for p in &mut pts {
+                *p = Point::new(lcg(&mut seed) * 14.0 - 2.0, lcg(&mut seed) * 14.0 - 2.0);
+            }
+            let tri = Triangle::new(pts[0], pts[1], pts[2]);
+            let mut ev = TriRowKernel::new(&tri, &vp);
+            for _ in 0..8 {
+                let y = (lcg(&mut seed) * 511.0) as u32;
+                let x0 = (lcg(&mut seed) * 500.0) as u32;
+                let n = 1 + (lcg(&mut seed) * 7.99) as usize;
+                ev.begin_row(vp.pixel_center(0, y).y);
+                let want = ev.coverage_mask_portable(x0, n);
+                assert_eq!(
+                    ev.coverage_mask(x0, n),
+                    want,
+                    "case={case} y={y} x0={x0} n={n}"
+                );
+                let mut scalar = 0u8;
+                for i in 0..n {
+                    scalar |= u8::from(ev.inside(x0 + i as u32)) << i;
+                }
+                assert_eq!(want, scalar, "portable vs inside: case={case}");
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_blocks_respect_lane_bounds() {
+        let vp = Viewport::new(BBox::new(Point::ZERO, Point::new(10.0, 10.0)), 100, 100);
+        let t = Primitive::triangle(
+            Point::new(0.31, 0.27),
+            Point::new(9.83, 1.12),
+            Point::new(4.77, 9.41),
+            [0; 4],
+        );
+        let mut decoded = BTreeSet::new();
+        let used = rasterize_blocks(&t, &vp, false, &mut |x, y, n, m| {
+            assert!((1..=LANES as u32).contains(&n));
+            assert_ne!(m, 0, "empty blocks must be skipped");
+            assert_eq!(m & !lane_mask(n as usize), 0, "mask bits beyond n");
+            let mut m = m;
+            while m != 0 {
+                let px = x + m.trailing_zeros();
+                assert!(px < vp.width && y < vp.height);
+                decoded.insert((px, y));
+                m &= m - 1;
+            }
+        });
+        assert!(used, "default-rule triangle must take the block form");
+        assert_eq!(decoded, collect(&t, &vp, false));
+        // No block form for the conservative rule or non-areal primitives:
+        // the caller must be told to fall back without any emission.
+        let mut emitted = false;
+        assert!(!rasterize_blocks(&t, &vp, true, &mut |_, _, _, _| {
+            emitted = true
+        }));
+        let l = Primitive::line(Point::new(0.5, 0.5), Point::new(9.5, 9.5), [0; 4]);
+        assert!(!rasterize_blocks(&l, &vp, false, &mut |_, _, _, _| {
+            emitted = true
+        }));
+        assert!(!emitted);
+    }
+
+    #[test]
+    fn hoisted_fallback_matches_enumeration_on_degenerate_slivers() {
+        // Degenerate rows (zero-area, collinear, sub-pixel slivers) are the
+        // ones whose analytic seed fails, forcing the linear fallback —
+        // now row-hoisted (scalar) or block-popcount (batched). Both must
+        // agree with full enumeration exactly.
+        let vps = [
+            vp10(),
+            Viewport::new(BBox::new(Point::ZERO, Point::new(10.0, 10.0)), 512, 512),
+        ];
+        let mut seed = 55667788u64;
+        for case in 0..150u32 {
+            let x = lcg(&mut seed) * 9.0;
+            let y = lcg(&mut seed) * 9.0;
+            let w = lcg(&mut seed) * 8.0;
+            let pts = match case % 3 {
+                // Zero-area: exactly horizontal degenerate segment.
+                0 => [
+                    Point::new(x, y),
+                    Point::new(x + w, y),
+                    Point::new(x + 0.5 * w, y),
+                ],
+                // Collinear along a random slope.
+                1 => {
+                    let dx = lcg(&mut seed) * 4.0 - 2.0;
+                    let dy = lcg(&mut seed) * 4.0 - 2.0;
+                    [
+                        Point::new(x, y),
+                        Point::new(x + dx, y + dy),
+                        Point::new(x + 0.5 * dx, y + 0.5 * dy),
+                    ]
+                }
+                // Sub-pixel sliver: thinner than a 10×10-grid pixel.
+                _ => [
+                    Point::new(x, y),
+                    Point::new(x + w, y + 0.004),
+                    Point::new(x + w, y + 0.009),
+                ],
+            };
+            let t = Primitive::triangle(pts[0], pts[1], pts[2], [0; 4]);
+            for vp in &vps {
+                let mut n = 0usize;
+                rasterize(&t, vp, false, &mut |_, _| n += 1);
+                for batched in [false, true] {
+                    assert_eq!(
+                        coverage_count_with(&t, vp, false, batched),
+                        n,
+                        "case={case} batched={batched} pts={pts:?}"
                     );
                 }
             }

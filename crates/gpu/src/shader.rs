@@ -79,6 +79,17 @@ pub trait FragmentShader: Sync {
     fn always_emits(&self) -> bool {
         false
     }
+
+    /// `true` when this shader writes `frag.attrs` verbatim for every
+    /// fragment (which implies [`always_emits`]). Lets the pipeline push
+    /// whole batched coverage blocks into the SoA fragment buffers without
+    /// invoking the shader per pixel — the rasterizer already knows the
+    /// value every covered pixel will carry.
+    ///
+    /// [`always_emits`]: FragmentShader::always_emits
+    fn writes_attrs(&self) -> bool {
+        false
+    }
 }
 
 /// The identity vertex shader (positions already in screen space).
@@ -132,6 +143,10 @@ impl FragmentShader for WriteAttrs {
     }
 
     fn always_emits(&self) -> bool {
+        true
+    }
+
+    fn writes_attrs(&self) -> bool {
         true
     }
 }
