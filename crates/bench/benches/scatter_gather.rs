@@ -1,0 +1,158 @@
+//! Scatter-gather payoff: wall time for the heavy query families on a
+//! 3-shard loopback cluster vs a single node holding the same data.
+//!
+//! The workload is deliberately cell-skewed — gaussian points pile most
+//! of the bytes into the central cells — because that is where the
+//! byte-balanced shard map earns its keep: a count-balanced cut would
+//! hand one worker the hot center and idle the rest, while the greedy
+//! byte cut splits the center across workers. The join additionally
+//! exercises the pair router (co-located pairs run on their owner,
+//! cross-shard pairs on the cheaper side).
+//!
+//! Loopback shards share one machine, so the measured speedup is bounded
+//! by real parallel speedup minus coordination (scatter frames + merge).
+//! On a box with spare cores the 3-shard numbers approach the single
+//! node divided by min(3, cores); on a single core (CI) there is no
+//! parallelism to win and the delta *is* the coordination overhead —
+//! scatter frames, merge, and the cell prep that cross-shard pairs
+//! duplicate across workers. Both are worth watching; neither is gated.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spade_client::{Client, ClientConfig};
+use spade_cluster::{ClusterClient, ClusterConfig};
+use spade_core::dataset::{Dataset, DatasetKind, IndexedDataset};
+use spade_core::query::{JoinQuery, SelectQuery};
+use spade_core::EngineConfig;
+use spade_geometry::{BBox, Geometry, Point, Polygon};
+use spade_index::GridIndex;
+use spade_net::{NetServer, NetServerConfig};
+use spade_server::{QueryRequest, QueryService, ServiceConfig};
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+fn engine() -> EngineConfig {
+    let mut c = EngineConfig::test_small();
+    c.resolution = 256;
+    c.layer_resolution = 256;
+    c.filter_resolution = 64;
+    c.distance_resolution = 128;
+    // Shard executors bypass the result cache (a partial keyed by cell
+    // range would poison whole-query lookups), so turn it off on the
+    // single node too: both sides execute every query fresh.
+    c.result_cache_enabled = false;
+    c
+}
+
+/// Gaussian points: most of the data lands in the central cells, so the
+/// byte-balanced map cuts the hot center across shards.
+fn skewed_points(name: &str, n: usize, seed: u64) -> IndexedDataset {
+    let unit = spade_datagen::spider::gaussian_points(n, seed);
+    let pts = spade_datagen::spider::scale_points(
+        &unit,
+        &BBox::new(Point::ZERO, Point::new(100.0, 100.0)),
+    );
+    let d = Dataset::from_points(name, pts);
+    let grid = GridIndex::build(None, &d.objects, 25.0).expect("grid build");
+    IndexedDataset::new(name, DatasetKind::Points, grid)
+}
+
+fn skewed_polys(name: &str, n: usize, seed: u64) -> IndexedDataset {
+    let scaled: Vec<(u32, Geometry)> = spade_datagen::spider::gaussian_boxes(n, 0.05, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let stretched = Polygon::new(
+                p.exterior
+                    .points
+                    .iter()
+                    .map(|q| Point::new(q.x * 100.0, q.y * 100.0))
+                    .collect(),
+            );
+            (i as u32, Geometry::Polygon(stretched))
+        })
+        .collect();
+    let grid = GridIndex::build(None, &scaled, 25.0).expect("grid build");
+    IndexedDataset::new(name, DatasetKind::Polygons, grid)
+}
+
+/// Every worker holds the complete data; sharding partitions execution.
+fn make_service() -> Arc<QueryService> {
+    let svc = Arc::new(QueryService::new(ServiceConfig {
+        engine: engine(),
+        workers: 4,
+        fairness_cap: 8,
+        wal_dir: None,
+    }));
+    svc.register_indexed("pts", skewed_points("pts", 60_000, 11));
+    svc.register_indexed("polys", skewed_polys("polys", 400, 23));
+    svc
+}
+
+fn select_request() -> QueryRequest {
+    // A band across the hot center: touches most cells, result-heavy.
+    QueryRequest::Select {
+        dataset: "pts".into(),
+        query: SelectQuery::Range(BBox::new(Point::new(10.0, 30.0), Point::new(90.0, 70.0))),
+    }
+}
+
+fn join_request() -> QueryRequest {
+    QueryRequest::Join {
+        left: "polys".into(),
+        right: "pts".into(),
+        query: JoinQuery::Intersects,
+    }
+}
+
+fn bench_scatter_gather(c: &mut Criterion) {
+    let workers: Vec<NetServer> = (0..3)
+        .map(|_| {
+            NetServer::serve(make_service(), "127.0.0.1:0", NetServerConfig::default())
+                .expect("serve")
+        })
+        .collect();
+    let addrs: Vec<SocketAddr> = workers.iter().map(|w| w.addr()).collect();
+
+    let single = Client::connect(addrs[0], ClientConfig::default()).expect("connect");
+    let cluster = ClusterClient::connect(&addrs, ClusterConfig::default()).expect("connect");
+    cluster.refresh_shard_map("pts").expect("map");
+    cluster.refresh_shard_map("polys").expect("map");
+
+    let mut g = c.benchmark_group("scatter_gather");
+    g.sample_size(10);
+
+    // Sanity before timing: the scattered answers must stay byte-identical
+    // to the single node's on this workload.
+    for req in [select_request(), join_request()] {
+        let on_single = single.query(&req).expect("single node");
+        let on_cluster = cluster.query(&req).expect("cluster");
+        assert_eq!(
+            on_single.payload, on_cluster.payload,
+            "scatter-gather must stay byte-identical to the single node"
+        );
+    }
+
+    g.bench_function("select/single_node", |b| {
+        b.iter(|| single.query(&select_request()).expect("select"));
+    });
+    g.bench_function("select/three_shard", |b| {
+        b.iter(|| cluster.query(&select_request()).expect("select"));
+    });
+
+    g.bench_function("join/single_node", |b| {
+        b.iter(|| single.query(&join_request()).expect("join"));
+    });
+    g.bench_function("join/three_shard", |b| {
+        b.iter(|| cluster.query(&join_request()).expect("join"));
+    });
+
+    g.finish();
+    drop(cluster);
+    drop(single);
+    for w in workers {
+        w.stop();
+    }
+}
+
+criterion_group!(benches, bench_scatter_gather);
+criterion_main!(benches);

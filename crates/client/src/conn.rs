@@ -5,10 +5,11 @@ use spade_net::wire::{encode_frame, read_frame, WireError, DEFAULT_MAX_FRAME, PR
 use spade_server::{QueryRequest, QueryResponse, ServiceError};
 use std::collections::HashMap;
 use std::io::{self, Write};
-use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread;
+use std::time::{Duration, Instant};
 
 /// Client tuning.
 #[derive(Debug, Clone)]
@@ -23,6 +24,12 @@ pub struct ClientConfig {
     pub connections: usize,
     /// Frame size cap for received frames.
     pub max_frame: u32,
+    /// Delay before the first reconnect attempt after a dial failure on a
+    /// dead pool slot. Doubles per consecutive failure up to
+    /// [`ClientConfig::reconnect_backoff_max`]; resets on success.
+    pub reconnect_backoff: Duration,
+    /// Cap for the exponential reconnect backoff.
+    pub reconnect_backoff_max: Duration,
 }
 
 impl Default for ClientConfig {
@@ -32,6 +39,8 @@ impl Default for ClientConfig {
             token: None,
             connections: 1,
             max_frame: DEFAULT_MAX_FRAME,
+            reconnect_backoff: Duration::from_millis(10),
+            reconnect_backoff_max: Duration::from_secs(1),
         }
     }
 }
@@ -239,21 +248,42 @@ impl PendingReply {
     }
 }
 
-/// A pooled, pipelining client for one SPADE server.
+/// One pool slot: the current connection plus that slot's reconnect
+/// backoff state. Slots hold the connection behind a lock so a dead one
+/// can be replaced in place — handles returned by earlier picks keep
+/// their own `Arc` and fail independently.
+struct Slot {
+    conn: RwLock<Arc<Conn>>,
+    retry: Mutex<Backoff>,
+}
+
+struct Backoff {
+    /// Earliest instant the next dial may be attempted.
+    next_attempt: Instant,
+    /// Delay applied after the *next* failure (doubles, capped).
+    delay: Duration,
+}
+
+/// A pooled, pipelining client for one SPADE server. Dead connections are
+/// redialed lazily: the next submission that lands on a dead slot attempts
+/// a reconnect (under a capped exponential backoff), so a pool survives a
+/// server restart without being rebuilt.
 pub struct Client {
-    conns: Vec<Arc<Conn>>,
+    slots: Vec<Slot>,
+    addrs: Vec<SocketAddr>,
+    config: ClientConfig,
     round_robin: AtomicUsize,
 }
 
 impl std::fmt::Debug for Client {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let live = self
-            .conns
+            .slots
             .iter()
-            .filter(|c| !c.dead.load(Ordering::Acquire))
+            .filter(|s| !s.conn.read().unwrap().dead.load(Ordering::Acquire))
             .count();
         f.debug_struct("Client")
-            .field("connections", &self.conns.len())
+            .field("connections", &self.slots.len())
             .field("live", &live)
             .finish()
     }
@@ -261,38 +291,87 @@ impl std::fmt::Debug for Client {
 
 impl Client {
     /// Connect `config.connections` sockets and perform the handshake on
-    /// each.
+    /// each. The resolved address is kept for lazy reconnects.
     pub fn connect(
         addr: impl ToSocketAddrs + Copy,
         config: ClientConfig,
     ) -> Result<Client, ClientError> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(ClientError::Transport(WireError::Io(io::Error::new(
+                io::ErrorKind::AddrNotAvailable,
+                "address resolved to nothing",
+            ))));
+        }
         let n = config.connections.max(1);
-        let mut conns = Vec::with_capacity(n);
+        let mut slots = Vec::with_capacity(n);
         for _ in 0..n {
-            conns.push(Conn::connect(addr, &config)?);
+            slots.push(Slot {
+                conn: RwLock::new(Conn::connect(&addrs[..], &config)?),
+                retry: Mutex::new(Backoff {
+                    next_attempt: Instant::now(),
+                    delay: config.reconnect_backoff,
+                }),
+            });
         }
         Ok(Client {
-            conns,
+            slots,
+            addrs,
+            config,
             round_robin: AtomicUsize::new(0),
         })
     }
 
-    fn pick(&self) -> Result<&Arc<Conn>, ClientError> {
+    fn pick(&self) -> Result<Arc<Conn>, ClientError> {
         let start = self.round_robin.fetch_add(1, Ordering::Relaxed);
-        for i in 0..self.conns.len() {
-            let conn = &self.conns[(start + i) % self.conns.len()];
+        let mut last_err = None;
+        for i in 0..self.slots.len() {
+            let slot = &self.slots[(start + i) % self.slots.len()];
+            let conn = Arc::clone(&slot.conn.read().unwrap());
             if !conn.dead.load(Ordering::Acquire) {
                 return Ok(conn);
             }
+            match self.revive(slot) {
+                Ok(conn) => return Ok(conn),
+                Err(e) => last_err = Some(e),
+            }
         }
-        Err(ClientError::ConnectionLost)
+        Err(last_err.unwrap_or(ClientError::ConnectionLost))
+    }
+
+    /// Replace a dead slot's connection, at most once per backoff window.
+    /// Concurrent callers serialize on the slot's retry lock; whoever dials
+    /// successfully resets the backoff for everyone.
+    fn revive(&self, slot: &Slot) -> Result<Arc<Conn>, ClientError> {
+        let mut retry = slot.retry.lock().unwrap();
+        // A predecessor may have revived the slot while we waited.
+        let current = Arc::clone(&slot.conn.read().unwrap());
+        if !current.dead.load(Ordering::Acquire) {
+            return Ok(current);
+        }
+        if Instant::now() < retry.next_attempt {
+            return Err(ClientError::ConnectionLost);
+        }
+        match Conn::connect(&self.addrs[..], &self.config) {
+            Ok(conn) => {
+                *slot.conn.write().unwrap() = Arc::clone(&conn);
+                retry.delay = self.config.reconnect_backoff;
+                retry.next_attempt = Instant::now();
+                Ok(conn)
+            }
+            Err(e) => {
+                retry.next_attempt = Instant::now() + retry.delay;
+                retry.delay = (retry.delay * 2).min(self.config.reconnect_backoff_max);
+                Err(e)
+            }
+        }
     }
 
     /// Submit without waiting: returns a [`PendingReply`] handle. Submit
     /// many, then wait on each — that is request pipelining, and it is
     /// where the wire protocol's throughput comes from.
     pub fn submit(&self, request: &QueryRequest) -> Result<PendingReply, ClientError> {
-        let conn = Arc::clone(self.pick()?);
+        let conn = self.pick()?;
         let id = conn.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = mpsc::channel();
         conn.pending.lock().unwrap().insert(id, tx);
@@ -314,7 +393,8 @@ impl Client {
     pub fn batching_stats(&self) -> (u64, u64) {
         let mut frames = 0;
         let mut flushes = 0;
-        for c in &self.conns {
+        for s in &self.slots {
+            let c = s.conn.read().unwrap();
             frames += c.frames_sent.load(Ordering::Relaxed);
             flushes += c.flushes.load(Ordering::Relaxed);
         }
@@ -324,12 +404,14 @@ impl Client {
 
 impl Drop for Client {
     fn drop(&mut self) {
-        for conn in &self.conns {
+        for slot in &self.slots {
+            let conn = slot.conn.read().unwrap();
             conn.dead.store(true, Ordering::Release);
             let _ = conn.stream.shutdown(Shutdown::Both);
         }
-        for conn in &self.conns {
-            if let Some(h) = conn.reader.lock().unwrap().take() {
+        for slot in &self.slots {
+            let handle = slot.conn.read().unwrap().reader.lock().unwrap().take();
+            if let Some(h) = handle {
                 let _ = h.join();
             }
         }

@@ -379,3 +379,76 @@ fn oversized_reply_is_an_in_band_error_not_a_dropped_connection() {
     assert!(small.payload.query().is_some());
     server.stop();
 }
+
+#[test]
+fn pool_recovers_after_server_restart_without_a_new_client() {
+    // Kill the server, restart it on the same port, and keep using the
+    // same Client: lazy reconnect must revive the dead pool slots.
+    let server = serve(2);
+    let addr = server.addr();
+    let baseline = server
+        .service()
+        .session()
+        .submit(range_query(10.0, 60.0))
+        .wait()
+        .unwrap();
+    let client = Client::connect(
+        addr,
+        ClientConfig {
+            connections: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        client.query(&range_query(10.0, 60.0)).unwrap().payload,
+        baseline.payload
+    );
+
+    server.stop();
+    drop(server);
+    // With the server gone, the pool fails (shutdown reply or dead
+    // socket, depending on what the stop raced with).
+    assert!(client.query(&range_query(10.0, 60.0)).is_err());
+
+    // Restart on the same address. The old port may sit in TIME_WAIT
+    // briefly; retry the bind.
+    let restarted = {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let svc = Arc::new(QueryService::new(ServiceConfig {
+                engine: tiny_config(),
+                workers: 2,
+                fairness_cap: 8,
+                wal_dir: None,
+            }));
+            let pts = scatter(4_000, 100.0, 11);
+            let d = Dataset::from_points("pts", pts);
+            let grid = GridIndex::build(None, &d.objects, 25.0).unwrap();
+            svc.register_indexed("pts", IndexedDataset::new("pts", DatasetKind::Points, grid));
+            match NetServer::serve(svc, addr, NetServerConfig::default()) {
+                Ok(s) => break s,
+                Err(e) if Instant::now() < deadline => {
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(e) => panic!("could not rebind {addr}: {e}"),
+            }
+        }
+    };
+
+    // The same client recovers: the next picks redial the dead slots
+    // (within their backoff windows) and the query round-trips again.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let recovered = loop {
+        match client.query(&range_query(10.0, 60.0)) {
+            Ok(r) => break r,
+            Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => panic!("pool never recovered: {e}"),
+        }
+    };
+    assert_eq!(recovered.payload, baseline.payload);
+    restarted.stop();
+}

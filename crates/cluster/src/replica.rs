@@ -1,0 +1,290 @@
+//! WAL-shipping read replicas.
+//!
+//! A [`Replica`] pairs a local [`QueryService`] (the follower) with a
+//! leader address. A background thread polls the leader for WAL records
+//! past the follower's applied watermark (`QueryRequest::WalFetch`) and
+//! replays each through the follower's *normal write path* — the same
+//! `Insert`/`Delete`/`Flush` requests a client would submit — so the
+//! follower's visible state is byte-equivalent to a cold rebuild of the
+//! applied prefix, and its own WAL (if configured) makes the replica
+//! independently durable.
+//!
+//! **Staleness is bounded and observable.** The watermark
+//! ([`Replica::applied_seq`]) only advances after a record is applied, so
+//! a read served by the follower reflects every leader write up to that
+//! sequence; [`Replica::lag`] is the number of leader sequences the
+//! follower has not yet applied (leader's last assigned minus applied).
+//! With the leader idle, one poll round drives lag to 0; under load, lag
+//! is bounded by what the leader appends during one poll interval plus
+//! one batch, because each round keeps fetching while full batches
+//! arrive. `metrics_text` exposes the lag as `spade_replica_lag_seq`.
+//!
+//! **Leader restart costs nothing.** The protocol is pull-based and the
+//! follower names its own position: every fetch says "records after seq
+//! N". A restarted leader rebuilds its WAL tail from disk and serves
+//! `records_since(N)` — shipping resumes from the follower's ack with no
+//! negotiation and no risk of a gap (the leader's WAL is the one source
+//! of ordering).
+
+use spade_client::{Client, ClientConfig, ClientError};
+use spade_server::metrics::{render_counter, render_gauge};
+use spade_server::{QueryRequest, QueryService, ResponsePayload};
+use spade_storage::wal::{WalOp, WalRecord};
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Replication tuning.
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// Sleep between poll rounds once the follower is caught up.
+    pub poll_interval: Duration,
+    /// Records per fetch; a full batch triggers an immediate re-fetch.
+    pub batch_limit: u32,
+    /// Resume point: apply only records with `seq > start_after_seq`
+    /// (a restarted follower passes its last durable watermark).
+    pub start_after_seq: u64,
+    /// Connection to the leader. Replication frames are restricted to the
+    /// default namespace; leave the namespace at its default.
+    pub client: ClientConfig,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> Self {
+        ReplicaConfig {
+            poll_interval: Duration::from_millis(20),
+            batch_limit: 512,
+            start_after_seq: 0,
+            client: ClientConfig::default(),
+        }
+    }
+}
+
+struct Inner {
+    service: Arc<QueryService>,
+    applied: AtomicU64,
+    leader_seq: AtomicU64,
+    apply_errors: AtomicU64,
+    stop: AtomicBool,
+}
+
+/// A WAL-shipping follower; see the module docs for the protocol.
+pub struct Replica {
+    inner: Arc<Inner>,
+    thread: Mutex<Option<thread::JoinHandle<()>>>,
+}
+
+impl Replica {
+    /// Start replicating `leader` into `service`. Datasets must be
+    /// registered on the follower (same names as the leader) for their
+    /// records to apply; records for unknown datasets count as apply
+    /// errors and are skipped — the watermark still advances, keeping a
+    /// partial follower (one that mirrors a subset) making progress.
+    pub fn start(leader: SocketAddr, service: Arc<QueryService>, config: ReplicaConfig) -> Replica {
+        let inner = Arc::new(Inner {
+            service,
+            applied: AtomicU64::new(config.start_after_seq),
+            leader_seq: AtomicU64::new(config.start_after_seq),
+            apply_errors: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+        });
+        let thread_inner = Arc::clone(&inner);
+        let handle = thread::Builder::new()
+            .name("spade-replica".into())
+            .spawn(move || replicate_loop(&thread_inner, leader, &config))
+            .expect("spawn replica thread");
+        Replica {
+            inner,
+            thread: Mutex::new(Some(handle)),
+        }
+    }
+
+    /// Highest leader sequence applied locally — the staleness watermark:
+    /// follower reads reflect every leader write up to this sequence.
+    pub fn applied_seq(&self) -> u64 {
+        self.inner.applied.load(Ordering::Acquire)
+    }
+
+    /// The leader's last assigned sequence, as of the last poll.
+    pub fn leader_seq(&self) -> u64 {
+        self.inner.leader_seq.load(Ordering::Acquire)
+    }
+
+    /// Leader sequences not yet applied (0 when caught up).
+    pub fn lag(&self) -> u64 {
+        self.leader_seq().saturating_sub(self.applied_seq())
+    }
+
+    /// Records that failed to apply (unknown dataset, write error) and
+    /// were skipped.
+    pub fn apply_errors(&self) -> u64 {
+        self.inner.apply_errors.load(Ordering::Relaxed)
+    }
+
+    /// Block until the follower has applied through `seq` (or the
+    /// deadline passes). Returns whether it caught up.
+    pub fn wait_for(&self, seq: u64, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while self.applied_seq() < seq {
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            thread::sleep(Duration::from_millis(2));
+        }
+        true
+    }
+
+    /// Replication metrics in Prometheus text format.
+    pub fn metrics_text(&self) -> String {
+        let mut out = String::new();
+        render_gauge(
+            &mut out,
+            "spade_replica_lag_seq",
+            "Leader WAL sequences not yet applied by this follower.",
+            self.lag(),
+        );
+        render_gauge(
+            &mut out,
+            "spade_replica_applied_seq",
+            "Highest leader WAL sequence applied by this follower.",
+            self.applied_seq(),
+        );
+        render_counter(
+            &mut out,
+            "spade_replica_apply_errors_total",
+            "Replicated records that failed to apply and were skipped.",
+            self.apply_errors(),
+        );
+        out
+    }
+
+    /// Stop polling and join the replication thread. Idempotent; `Drop`
+    /// calls it.
+    pub fn stop(&self) {
+        self.inner.stop.store(true, Ordering::Release);
+        if let Some(h) = self.thread.lock().unwrap().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Replica {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn replicate_loop(inner: &Arc<Inner>, leader: SocketAddr, config: &ReplicaConfig) {
+    // The pooled client redials lazily with capped backoff, so a leader
+    // restart needs no handling here: fetches fail while it is down and
+    // succeed again once it is back, resuming from `applied`.
+    let mut client: Option<Client> = None;
+    // One session per tenant namespace, opened on first use.
+    let mut sessions = HashMap::new();
+    loop {
+        if inner.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let conn = match &client {
+            Some(c) => c,
+            None => match Client::connect(leader, config.client.clone()) {
+                Ok(c) => {
+                    client = Some(c);
+                    client.as_ref().unwrap()
+                }
+                Err(_) => {
+                    thread::sleep(config.poll_interval);
+                    continue;
+                }
+            },
+        };
+        let fetched = fetch_round(inner, conn, &mut sessions, config);
+        match fetched {
+            // A full batch means more is probably waiting; poll again
+            // immediately. Anything else (caught up, transport error)
+            // waits out the interval.
+            Ok(full) if full => {}
+            Ok(_) => thread::sleep(config.poll_interval),
+            Err(_) => thread::sleep(config.poll_interval),
+        }
+    }
+}
+
+/// One fetch + apply round. Returns whether the batch came back full.
+fn fetch_round(
+    inner: &Arc<Inner>,
+    client: &Client,
+    sessions: &mut HashMap<String, spade_server::Session>,
+    config: &ReplicaConfig,
+) -> Result<bool, ClientError> {
+    let after = inner.applied.load(Ordering::Acquire);
+    let reply = client.query(&QueryRequest::WalFetch {
+        after_seq: after,
+        limit: config.batch_limit,
+    })?;
+    let ResponsePayload::WalBatch {
+        leader_seq,
+        records,
+    } = reply.payload
+    else {
+        return Ok(false);
+    };
+    inner.leader_seq.store(leader_seq, Ordering::Release);
+    let full = records.len() as u32 >= config.batch_limit;
+    for rec in records {
+        if inner.stop.load(Ordering::Acquire) {
+            return Ok(false);
+        }
+        if apply(inner, sessions, &rec).is_err() {
+            inner.apply_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        // Advance even past failures: replication mirrors what the leader
+        // logged, and a record that cannot apply here (e.g. a dataset the
+        // follower does not mirror) would otherwise wedge the stream.
+        inner.applied.store(rec.seq, Ordering::Release);
+    }
+    Ok(full)
+}
+
+/// Replay one WAL record through the follower's write path. WAL keys are
+/// `dataset` for the default namespace and `ns:dataset` for tenants.
+fn apply(
+    inner: &Arc<Inner>,
+    sessions: &mut HashMap<String, spade_server::Session>,
+    rec: &WalRecord,
+) -> Result<(), ()> {
+    let (ns, dataset) = match rec.dataset.split_once(':') {
+        Some((ns, d)) => (ns, d),
+        None => ("default", rec.dataset.as_str()),
+    };
+    let request = match &rec.op {
+        WalOp::Insert { id, geom } => QueryRequest::Insert {
+            dataset: dataset.to_string(),
+            id: *id,
+            geometry: geom.clone(),
+        },
+        WalOp::Delete { id } => QueryRequest::Delete {
+            dataset: dataset.to_string(),
+            id: *id,
+        },
+        // The leader compacted through this point; mirror it so the
+        // follower's delta does not grow without bound. Flush also makes
+        // the follower's own WAL checkpoint, bounding *its* replay cost.
+        WalOp::Checkpoint { .. } => QueryRequest::Flush {
+            dataset: dataset.to_string(),
+        },
+    };
+    if !sessions.contains_key(ns) {
+        // Tenant sessions authenticate with no token: replicating a
+        // token-gated namespace requires the operator to mirror it
+        // without one on the follower (follower reads are the operator's
+        // surface, not the tenant's).
+        let session = inner.service.session_in(ns, None).map_err(|_| ())?;
+        sessions.insert(ns.to_string(), session);
+    }
+    let session = sessions.get(ns).expect("just inserted");
+    session.submit(request).wait().map(|_| ()).map_err(|_| ())
+}

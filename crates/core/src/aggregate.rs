@@ -183,6 +183,39 @@ pub fn aggregate_indexed_with(
     points: &crate::dataset::IndexedDataset,
     cancel: &crate::cancel::CancelToken,
 ) -> spade_storage::Result<QueryOutput<Counts>> {
+    aggregate_indexed_inner(spade, polys, points, cancel, None)
+}
+
+/// Out-of-core aggregation over an explicit set of `(polygon cell, point
+/// cell)` pairs — the scatter-gather entry point. Every polygon id is
+/// still zero-initialized, so shard partials cover the full id set and a
+/// coordinator merges by summing counts per id. Delta cross terms run only
+/// when `include_delta` is set (exactly one scatter request per query owns
+/// them); out-of-range pairs from a stale shard map are dropped.
+pub fn aggregate_indexed_pairs_with(
+    spade: &Spade,
+    polys: &crate::dataset::IndexedDataset,
+    points: &crate::dataset::IndexedDataset,
+    cell_pairs: Vec<(u32, u32)>,
+    include_delta: bool,
+    cancel: &crate::cancel::CancelToken,
+) -> spade_storage::Result<QueryOutput<Counts>> {
+    aggregate_indexed_inner(
+        spade,
+        polys,
+        points,
+        cancel,
+        Some((cell_pairs, include_delta)),
+    )
+}
+
+fn aggregate_indexed_inner(
+    spade: &Spade,
+    polys: &crate::dataset::IndexedDataset,
+    points: &crate::dataset::IndexedDataset,
+    cancel: &crate::cancel::CancelToken,
+    explicit: Option<(Vec<(u32, u32)>, bool)>,
+) -> spade_storage::Result<QueryOutput<Counts>> {
     let mut qspan = crate::trace::span("query.aggregate.indexed");
     let measure = spade.begin();
     let pview = polys.read_view();
@@ -192,37 +225,52 @@ pub fn aggregate_indexed_with(
     let mut totals: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
     let mut inner = crate::stats::QueryStats::default();
 
-    // Reuse the join driver's filter: pairs of intersecting cell hulls.
-    let filter_pairs = {
-        let hulls1: Vec<spade_canvas::create::PreparedPolygon> = pview
-            .grid
-            .bounding_polygons()
-            .into_iter()
-            .map(|(i, h)| spade_canvas::create::PreparedPolygon::prepare(i, &h))
-            .collect();
-        let hulls2: Vec<spade_canvas::create::PreparedPolygon> = tview
-            .grid
-            .bounding_polygons()
-            .into_iter()
-            .map(|(i, h)| spade_canvas::create::PreparedPolygon::prepare(i, &h))
-            .collect();
-        let s1 = crate::dataset::PreparedPolygonSet {
-            layers: spade_canvas::layer::build_layer_index(
-                &spade.pipeline,
-                &hulls1,
-                spade.config.layer_resolution,
-            ),
-            polygons: hulls1,
-        };
-        let s2 = crate::dataset::PreparedPolygonSet {
-            layers: spade_canvas::layer::build_layer_index(
-                &spade.pipeline,
-                &hulls2,
-                spade.config.layer_resolution,
-            ),
-            polygons: hulls2,
-        };
-        crate::join::join_polygon_polygon_mem_res(spade, &s1, &s2, spade.config.filter_resolution)
+    let include_delta = explicit.as_ref().is_none_or(|(_, d)| *d);
+    let filter_pairs = match explicit {
+        Some((pairs, _)) => {
+            let (n1, n2) = (pview.grid.num_cells() as u32, tview.grid.num_cells() as u32);
+            pairs
+                .into_iter()
+                .filter(|&(l, r)| l < n1 && r < n2)
+                .collect()
+        }
+        // Reuse the join driver's filter: pairs of intersecting cell hulls.
+        None => {
+            let hulls1: Vec<spade_canvas::create::PreparedPolygon> = pview
+                .grid
+                .bounding_polygons()
+                .into_iter()
+                .map(|(i, h)| spade_canvas::create::PreparedPolygon::prepare(i, &h))
+                .collect();
+            let hulls2: Vec<spade_canvas::create::PreparedPolygon> = tview
+                .grid
+                .bounding_polygons()
+                .into_iter()
+                .map(|(i, h)| spade_canvas::create::PreparedPolygon::prepare(i, &h))
+                .collect();
+            let s1 = crate::dataset::PreparedPolygonSet {
+                layers: spade_canvas::layer::build_layer_index(
+                    &spade.pipeline,
+                    &hulls1,
+                    spade.config.layer_resolution,
+                ),
+                polygons: hulls1,
+            };
+            let s2 = crate::dataset::PreparedPolygonSet {
+                layers: spade_canvas::layer::build_layer_index(
+                    &spade.pipeline,
+                    &hulls2,
+                    spade.config.layer_resolution,
+                ),
+                polygons: hulls2,
+            };
+            crate::join::join_polygon_polygon_mem_res(
+                spade,
+                &s1,
+                &s2,
+                spade.config.filter_resolution,
+            )
+        }
     };
     let mut ordered = filter_pairs;
     crate::optimizer::order_cell_pairs(&mut ordered);
@@ -259,8 +307,9 @@ pub fn aggregate_indexed_with(
     // Delta cross terms: each side's staged writes are one extra "cell"
     // and run through the same point-optimized plan against every cell of
     // the other side (the delta is small; hull filtering buys little).
-    let delta_polys = pview.has_delta().then(|| pview.delta_dataset());
-    let delta_points = tview.has_delta().then(|| tview.delta_dataset());
+    // Scoped (scatter-gather) calls run these on exactly one shard.
+    let delta_polys = (include_delta && pview.has_delta()).then(|| pview.delta_dataset());
+    let delta_points = (include_delta && tview.has_delta()).then(|| tview.delta_dataset());
     if let Some(dp) = &delta_polys {
         for tc in 0..tview.grid.num_cells() {
             cancel.check()?;

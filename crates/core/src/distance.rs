@@ -133,6 +133,21 @@ pub fn distance_select_indexed_with(
     r: f64,
     cancel: &crate::cancel::CancelToken,
 ) -> spade_storage::Result<QueryOutput<Vec<u32>>> {
+    distance_select_indexed_scoped(spade, data, constraint, r, cancel, Default::default())
+}
+
+/// [`distance_select_indexed_with`] restricted to a cell scope: only
+/// candidate cells inside the scope refine, and the staged delta merges
+/// only when the scope owns it. With the full scope this is exactly the
+/// unscoped run.
+pub fn distance_select_indexed_scoped(
+    spade: &Spade,
+    data: &crate::dataset::IndexedDataset,
+    constraint: &DistanceConstraint,
+    r: f64,
+    cancel: &crate::cancel::CancelToken,
+    scope: crate::scope::CellScope,
+) -> spade_storage::Result<QueryOutput<Vec<u32>>> {
     let mut qspan = crate::trace::span("query.distance.indexed");
     let measure = spade.begin();
     let _stat_scope = crate::optimizer::stats::scope(data.uid());
@@ -152,7 +167,8 @@ pub fn distance_select_indexed_with(
         .map(|(i, h)| PreparedPolygon::prepare(i, &h))
         .collect();
     polygon_time += t0.elapsed();
-    let candidates = crate::select::select_polygons_mem(spade, &hulls, &c);
+    let mut candidates = crate::select::select_polygons_mem(spade, &hulls, &c);
+    candidates.retain(|&i| scope.contains(i));
 
     // Refinement, pipelined through the prefetcher + cell cache.
     let sequence: Vec<(usize, usize)> = candidates.iter().map(|&i| (0, i as usize)).collect();
@@ -177,7 +193,7 @@ pub fn distance_select_indexed_with(
     );
     // Staged writes refine against the same distance canvas, so merged
     // results match a cold rebuild.
-    if stream_res.is_ok() && view.has_delta() {
+    if stream_res.is_ok() && scope.include_delta && view.has_delta() {
         ids.extend(crate::select::select_points_mem(
             spade,
             &view.delta_dataset().as_points(),

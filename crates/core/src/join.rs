@@ -280,6 +280,36 @@ pub fn join_indexed_with(
     d2: &IndexedDataset,
     cancel: &crate::cancel::CancelToken,
 ) -> spade_storage::Result<QueryOutput<Pairs>> {
+    join_indexed_inner(spade, d1, d2, cancel, None)
+}
+
+/// Out-of-core join over an explicit set of cell pairs instead of the
+/// hull-filter phase — the scatter-gather entry point. The caller (a
+/// cluster coordinator) supplies candidate `(left cell, right cell)`
+/// pairs; any pair of cells with no intersecting objects contributes
+/// nothing (refinement is exact), so a conservative superset of the
+/// hull-filter pairs is safe. Pairs referencing out-of-range cells (stale
+/// shard maps racing a compaction) are dropped. The delta cross terms run
+/// only when `include_delta` is set — exactly one scatter request per
+/// query must own them.
+pub fn join_indexed_pairs_with(
+    spade: &Spade,
+    d1: &IndexedDataset,
+    d2: &IndexedDataset,
+    cell_pairs: Vec<(u32, u32)>,
+    include_delta: bool,
+    cancel: &crate::cancel::CancelToken,
+) -> spade_storage::Result<QueryOutput<Pairs>> {
+    join_indexed_inner(spade, d1, d2, cancel, Some((cell_pairs, include_delta)))
+}
+
+fn join_indexed_inner(
+    spade: &Spade,
+    d1: &IndexedDataset,
+    d2: &IndexedDataset,
+    cancel: &crate::cancel::CancelToken,
+    explicit: Option<(Vec<(u32, u32)>, bool)>,
+) -> spade_storage::Result<QueryOutput<Pairs>> {
     let mut qspan = crate::trace::span("query.join.indexed");
     let measure = spade.begin();
     let mut polygon_time = Duration::ZERO;
@@ -288,40 +318,51 @@ pub fn join_indexed_with(
     crate::explain::note_view(&view1);
     crate::explain::note_view(&view2);
 
-    // Filter phase: Polygon ⋈ Polygon join over the bounding polygons of
-    // the two grid indexes.
-    let t0 = Instant::now();
-    let hulls1: Vec<PreparedPolygon> = view1
-        .grid
-        .bounding_polygons()
-        .into_iter()
-        .map(|(i, h)| PreparedPolygon::prepare(i, &h))
-        .collect();
-    let hulls2: Vec<PreparedPolygon> = view2
-        .grid
-        .bounding_polygons()
-        .into_iter()
-        .map(|(i, h)| PreparedPolygon::prepare(i, &h))
-        .collect();
-    polygon_time += t0.elapsed();
-    let set1 = PreparedPolygonSet {
-        layers: spade_canvas::layer::build_layer_index(
-            &spade.pipeline,
-            &hulls1,
-            spade.config.layer_resolution,
-        ),
-        polygons: hulls1,
+    let include_delta = explicit.as_ref().is_none_or(|(_, d)| *d);
+    let mut cell_pairs: Vec<(u32, u32)> = match explicit {
+        Some((pairs, _)) => {
+            let (n1, n2) = (view1.grid.num_cells() as u32, view2.grid.num_cells() as u32);
+            pairs
+                .into_iter()
+                .filter(|&(l, r)| l < n1 && r < n2)
+                .collect()
+        }
+        None => {
+            // Filter phase: Polygon ⋈ Polygon join over the bounding
+            // polygons of the two grid indexes.
+            let t0 = Instant::now();
+            let hulls1: Vec<PreparedPolygon> = view1
+                .grid
+                .bounding_polygons()
+                .into_iter()
+                .map(|(i, h)| PreparedPolygon::prepare(i, &h))
+                .collect();
+            let hulls2: Vec<PreparedPolygon> = view2
+                .grid
+                .bounding_polygons()
+                .into_iter()
+                .map(|(i, h)| PreparedPolygon::prepare(i, &h))
+                .collect();
+            polygon_time += t0.elapsed();
+            let set1 = PreparedPolygonSet {
+                layers: spade_canvas::layer::build_layer_index(
+                    &spade.pipeline,
+                    &hulls1,
+                    spade.config.layer_resolution,
+                ),
+                polygons: hulls1,
+            };
+            let set2 = PreparedPolygonSet {
+                layers: spade_canvas::layer::build_layer_index(
+                    &spade.pipeline,
+                    &hulls2,
+                    spade.config.layer_resolution,
+                ),
+                polygons: hulls2,
+            };
+            join_polygon_polygon_mem_res(spade, &set1, &set2, spade.config.filter_resolution)
+        }
     };
-    let set2 = PreparedPolygonSet {
-        layers: spade_canvas::layer::build_layer_index(
-            &spade.pipeline,
-            &hulls2,
-            spade.config.layer_resolution,
-        ),
-        polygons: hulls2,
-    };
-    let mut cell_pairs: Vec<(u32, u32)> =
-        join_polygon_polygon_mem_res(spade, &set1, &set2, spade.config.filter_resolution);
 
     // Identify the order of join operations first: share resident cells.
     // Ordering before estimating lets the layer estimate walk the very
@@ -529,10 +570,11 @@ pub fn join_indexed_with(
     // Delta cross terms: each side's staged writes behave as one extra
     // cell and join against every cell of the other side through the same
     // refinement kernels, so merged pairs match a cold rebuild. The cell
-    // cache is warm from the walk above.
-    let delta1 = (!view1.delta.staged.is_empty())
+    // cache is warm from the walk above. Scoped (scatter-gather) calls run
+    // these on exactly one shard.
+    let delta1 = (include_delta && !view1.delta.staged.is_empty())
         .then(|| Resident::prepare(spade, view1.delta_dataset(), &mut polygon_time));
-    let delta2 = (!view2.delta.staged.is_empty())
+    let delta2 = (include_delta && !view2.delta.staged.is_empty())
         .then(|| Resident::prepare(spade, view2.delta_dataset(), &mut polygon_time));
     if let Some(dl) = &delta1 {
         for i in 0..view2.grid.num_cells() {

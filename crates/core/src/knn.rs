@@ -158,6 +158,25 @@ pub fn knn_select_indexed_with(
     k: usize,
     cancel: &crate::cancel::CancelToken,
 ) -> spade_storage::Result<QueryOutput<Vec<(u32, f64)>>> {
+    knn_select_indexed_scoped(spade, data, q, k, cancel, Default::default())
+}
+
+/// [`knn_select_indexed_with`] restricted to a cell scope: the circle
+/// histogram, the nested distance selection and the delta merge all see
+/// only the scoped cells, so the output is this scope's exact local top-k
+/// by `(distance, id)`. Any member of the *global* top-k living in this
+/// scope is necessarily in the local top-k (fewer than `k` objects beat it
+/// anywhere), so concatenating per-scope results over a covering, disjoint
+/// scope set, re-sorting by `(distance, id)` and truncating to `k`
+/// reproduces the full-scope answer exactly.
+pub fn knn_select_indexed_scoped(
+    spade: &Spade,
+    data: &crate::dataset::IndexedDataset,
+    q: Point,
+    k: usize,
+    cancel: &crate::cancel::CancelToken,
+    scope: crate::scope::CellScope,
+) -> spade_storage::Result<QueryOutput<Vec<(u32, f64)>>> {
     let mut qspan = crate::trace::span("query.knn.indexed");
     qspan.attr("k", k as u64);
     let measure = spade.begin();
@@ -186,7 +205,10 @@ pub fn knn_select_indexed_with(
     // Per-cell histogram accumulation: one pipelined pass over every cell.
     // The pass also warms the cell cache, so the distance selection below
     // re-reads its candidate cells from memory instead of disk.
-    let sequence: Vec<(usize, usize)> = (0..view.grid.num_cells()).map(|i| (0, i)).collect();
+    let sequence: Vec<(usize, usize)> = (0..view.grid.num_cells())
+        .filter(|&i| scope.contains(i as u32))
+        .map(|i| (0, i))
+        .collect();
     let mut hist = vec![0u64; circles];
     let mut positions: std::collections::HashMap<u32, Point> = std::collections::HashMap::new();
     let stream = crate::prefetch::stream_cells_with(
@@ -213,7 +235,7 @@ pub fn knn_select_indexed_with(
         },
     )?;
     // The staged writes are one more "cell" of the distributive histogram.
-    if view.has_delta() {
+    if scope.include_delta && view.has_delta() {
         let pts = view.delta_dataset().as_points();
         let prims: Vec<Primitive> = pts
             .iter()
@@ -235,13 +257,15 @@ pub fn knn_select_indexed_with(
         }
     }
 
-    // Indexed distance selection with the chosen radius, then exact sort.
-    let sel = crate::distance::distance_select_indexed_with(
+    // Indexed distance selection with the chosen radius (scoped to the
+    // same cells as the histogram), then exact sort.
+    let sel = crate::distance::distance_select_indexed_scoped(
         spade,
         data,
         &crate::distance::DistanceConstraint::Point(q),
         radius,
         cancel,
+        scope,
     )?;
     // Ids without a recorded position belong to writes that landed after
     // the histogram snapshot (the nested selection reads its own view);

@@ -55,6 +55,7 @@ pub mod optimizer;
 pub mod prefetch;
 pub mod query;
 pub mod result_cache;
+pub mod scope;
 pub mod select;
 pub mod stats;
 pub mod trace;
@@ -65,4 +66,5 @@ pub use dataset::{Dataset, IndexedDataset};
 pub use engine::Spade;
 pub use explain::PlanReport;
 pub use result_cache::{ResultCache, ResultCacheStats};
+pub use scope::CellScope;
 pub use stats::{CacheOutcome, QueryStats};

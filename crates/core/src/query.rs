@@ -144,6 +144,92 @@ pub fn run_select_indexed_with(
     })
 }
 
+/// [`run_select_indexed_with`] restricted to a cell scope — the
+/// scatter-gather entry point used by cluster shard executors. Results are
+/// never served from (or admitted to) the result cache: a scoped partial
+/// is not a full answer. With [`crate::scope::CellScope::full`] the output
+/// is byte-identical to the unscoped run.
+pub fn run_select_indexed_scoped(
+    spade: &Spade,
+    data: &IndexedDataset,
+    q: &SelectQuery,
+    scope: crate::scope::CellScope,
+    cancel: &crate::cancel::CancelToken,
+) -> spade_storage::Result<QueryOutput<QueryResult>> {
+    let _stat_scope = crate::optimizer::stats::scope(data.uid());
+    Ok(match q {
+        SelectQuery::Intersects(poly) => wrap_ids(crate::select::select_indexed_scoped(
+            spade, data, poly, cancel, scope,
+        )?),
+        SelectQuery::Range(bb) => wrap_ids(crate::select::select_indexed_scoped(
+            spade,
+            data,
+            &Polygon::rect(*bb),
+            cancel,
+            scope,
+        )?),
+        SelectQuery::WithinDistance(c, r) => wrap_ids(
+            crate::distance::distance_select_indexed_scoped(spade, data, c, *r, cancel, scope)?,
+        ),
+        SelectQuery::Knn(p, k) => {
+            let out = crate::knn::knn_select_indexed_scoped(spade, data, *p, *k, cancel, scope)?;
+            QueryOutput {
+                result: QueryResult::Ranked(out.result),
+                stats: out.stats,
+            }
+        }
+        SelectQuery::Contained(poly) => wrap_ids(crate::select::select_contained_indexed_scoped(
+            spade, data, poly, cancel, scope,
+        )?),
+    })
+}
+
+/// Execute a join query over an explicit set of cell pairs — the
+/// scatter-gather entry point for the two families with a cell-pair plan
+/// (`Intersects` and `CountPoints`). Distance and kNN joins have no
+/// pairwise decomposition; a coordinator routes them whole to one worker,
+/// so receiving one here falls back to the full unscoped run (correct on
+/// any single worker holding the complete dataset).
+pub fn run_join_indexed_pairs(
+    spade: &Spade,
+    d1: &IndexedDataset,
+    d2: &IndexedDataset,
+    q: &JoinQuery,
+    pairs: Vec<(u32, u32)>,
+    include_delta: bool,
+    cancel: &crate::cancel::CancelToken,
+) -> spade_storage::Result<QueryOutput<QueryResult>> {
+    let _stat_scope =
+        crate::optimizer::stats::scope(crate::optimizer::stats::join_key(d1.uid(), d2.uid()));
+    Ok(match q {
+        JoinQuery::Intersects => {
+            let out =
+                crate::join::join_indexed_pairs_with(spade, d1, d2, pairs, include_delta, cancel)?;
+            QueryOutput {
+                result: QueryResult::Pairs(out.result),
+                stats: out.stats,
+            }
+        }
+        JoinQuery::CountPoints => {
+            let out = crate::aggregate::aggregate_indexed_pairs_with(
+                spade,
+                d1,
+                d2,
+                pairs,
+                include_delta,
+                cancel,
+            )?;
+            QueryOutput {
+                result: QueryResult::Counts(out.result),
+                stats: out.stats,
+            }
+        }
+        JoinQuery::WithinDistance(_) | JoinQuery::Knn(_) => {
+            run_join_indexed_with(spade, d1, d2, q, cancel)?
+        }
+    })
+}
+
 /// Execute a join query over two out-of-core data sets. `Intersects` runs
 /// the optimizer-driven indexed join, `CountPoints` the indexed
 /// aggregation; distance and kNN joins have no out-of-core plan yet, so
@@ -590,6 +676,134 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r.result.len(), 9);
+    }
+
+    /// Scoped execution must partition exactly: a 3-way split of the
+    /// cell-id space, with the delta granted to exactly one scope,
+    /// unions back to the unscoped result for every select family, and
+    /// a partition of the join's cell pairs concatenates back to the
+    /// full join. This is the local form of the cluster coordinator's
+    /// byte-identity merge argument.
+    #[test]
+    fn scoped_execution_partitions_exactly() {
+        let s = engine();
+        let data = grid_points();
+        let grid = spade_index::GridIndex::build(None, &data.objects, 3.0).unwrap();
+        let indexed = IndexedDataset::new("g", crate::dataset::DatasetKind::Points, grid);
+        let n = indexed.grid().num_cells() as u32;
+        assert!(n >= 3, "need a multi-cell grid, got {n} cells");
+        let cuts = [0u32, n / 3, 2 * n / 3, u32::MAX];
+        let cancel = crate::cancel::CancelToken::new();
+
+        let poly = Polygon::circle(Point::new(4.5, 4.5), 3.0, 16);
+        let queries = vec![
+            SelectQuery::Intersects(poly.clone()),
+            SelectQuery::Range(BBox::new(Point::new(1.0, 1.0), Point::new(7.0, 6.0))),
+            SelectQuery::Contained(poly),
+            SelectQuery::WithinDistance(DistanceConstraint::Point(Point::new(4.0, 4.0)), 2.5),
+            SelectQuery::Knn(Point::new(2.0, 7.0), 7),
+        ];
+        for q in &queries {
+            let full = run_select_indexed(&s, &indexed, q).unwrap().result;
+            let parts: Vec<QueryResult> = (0..3)
+                .map(|i| {
+                    let scope = crate::scope::CellScope {
+                        lo: cuts[i],
+                        hi: cuts[i + 1],
+                        include_delta: i == 0,
+                    };
+                    run_select_indexed_scoped(&s, &indexed, q, scope, &cancel)
+                        .unwrap()
+                        .result
+                })
+                .collect();
+            match full {
+                QueryResult::Ids(full_ids) => {
+                    let mut union: Vec<u32> = parts
+                        .iter()
+                        .flat_map(|p| p.ids().expect("scoped kind matches").iter().copied())
+                        .collect();
+                    let before = union.len();
+                    union.sort_unstable();
+                    union.dedup();
+                    assert_eq!(before, union.len(), "scopes must be disjoint ({q:?})");
+                    assert_eq!(union, full_ids, "union must equal the whole ({q:?})");
+                }
+                QueryResult::Ranked(full_ranked) => {
+                    let mut union: Vec<(u32, f64)> = parts
+                        .iter()
+                        .flat_map(|p| match p {
+                            QueryResult::Ranked(v) => v.clone(),
+                            other => panic!("expected ranked partial, got {other:?}"),
+                        })
+                        .collect();
+                    union.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+                    union.truncate(full_ranked.len());
+                    assert_eq!(union, full_ranked, "merged top-k must equal the whole");
+                }
+                other => panic!("unexpected full result {other:?}"),
+            }
+        }
+
+        // The join: partition every cell pair across three executions.
+        let polys = Dataset::from_polygons(
+            "tiles",
+            vec![
+                Polygon::rect(BBox::new(Point::new(-0.5, -0.5), Point::new(4.5, 4.5))),
+                Polygon::rect(BBox::new(Point::new(4.5, 4.5), Point::new(9.5, 9.5))),
+                Polygon::rect(BBox::new(Point::new(2.0, 2.0), Point::new(7.0, 7.0))),
+            ],
+        );
+        let pg = spade_index::GridIndex::build(None, &polys.objects, 5.0).unwrap();
+        let ip = IndexedDataset::new("tiles", crate::dataset::DatasetKind::Polygons, pg);
+        let all_pairs: Vec<(u32, u32)> = (0..ip.grid().num_cells() as u32)
+            .flat_map(|l| (0..n).map(move |r| (l, r)))
+            .collect();
+        for q in [JoinQuery::Intersects, JoinQuery::CountPoints] {
+            let full = run_join_indexed(&s, &ip, &indexed, &q).unwrap().result;
+            let parts: Vec<QueryResult> = (0..3)
+                .map(|i| {
+                    let slice: Vec<(u32, u32)> = all_pairs
+                        .iter()
+                        .filter(|(l, r)| (l + r) % 3 == i)
+                        .copied()
+                        .collect();
+                    run_join_indexed_pairs(&s, &ip, &indexed, &q, slice, i == 0, &cancel)
+                        .unwrap()
+                        .result
+                })
+                .collect();
+            match full {
+                QueryResult::Pairs(full_pairs) => {
+                    let mut union: Vec<(u32, u32)> = parts
+                        .iter()
+                        .flat_map(|p| match p {
+                            QueryResult::Pairs(v) => v.clone(),
+                            other => panic!("expected pairs partial, got {other:?}"),
+                        })
+                        .collect();
+                    union.sort_unstable();
+                    union.dedup();
+                    let mut expect = full_pairs.clone();
+                    expect.sort_unstable();
+                    assert_eq!(union, expect, "pair union must equal the whole");
+                }
+                QueryResult::Counts(full_counts) => {
+                    let mut sums = std::collections::BTreeMap::new();
+                    for p in &parts {
+                        let QueryResult::Counts(v) = p else {
+                            panic!("expected counts partial, got {p:?}")
+                        };
+                        for (id, c) in v {
+                            *sums.entry(*id).or_insert(0u64) += c;
+                        }
+                    }
+                    let union: Vec<(u32, u64)> = sums.into_iter().collect();
+                    assert_eq!(union, full_counts, "summed counts must equal the whole");
+                }
+                other => panic!("unexpected full join result {other:?}"),
+            }
+        }
     }
 
     #[test]

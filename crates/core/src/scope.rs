@@ -1,0 +1,81 @@
+//! Cell-range scoping for distributed scatter-gather execution.
+//!
+//! The clustered grid index assigns every object to exactly one
+//! hull-bounded cell, so a query's result is the disjoint union of its
+//! per-cell results (plus the staged delta, which behaves as one more
+//! cell). A [`CellScope`] restricts an indexed executor to a contiguous
+//! range of cell indices — the unit a cluster coordinator scatters across
+//! shards — and says whether this executor also owns the delta. Running
+//! the same query once per scope of a covering, disjoint set of scopes
+//! (with `include_delta` set on exactly one of them) and merging yields
+//! byte-identical results to a single full-scope run.
+
+/// A half-open range `[lo, hi)` of grid-cell indices plus delta ownership.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellScope {
+    /// First cell index covered (inclusive).
+    pub lo: u32,
+    /// First cell index *not* covered (exclusive). Shard maps set the last
+    /// shard's `hi` to `u32::MAX` so coverage stays complete even when the
+    /// cell count grows under the map (compaction between statistics
+    /// refreshes).
+    pub hi: u32,
+    /// Whether this executor also merges the dataset's staged delta
+    /// writes. Exactly one scope of a covering set must own the delta.
+    pub include_delta: bool,
+}
+
+impl CellScope {
+    /// The scope equivalent to unscoped execution: every cell + the delta.
+    pub const fn full() -> CellScope {
+        CellScope {
+            lo: 0,
+            hi: u32::MAX,
+            include_delta: true,
+        }
+    }
+
+    /// Does this scope cover cell index `cell`?
+    pub fn contains(&self, cell: u32) -> bool {
+        self.lo <= cell && cell < self.hi
+    }
+
+    /// Is this the full (unscoped) scope?
+    pub fn is_full(&self) -> bool {
+        *self == Self::full()
+    }
+}
+
+impl Default for CellScope {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scope_covers_everything() {
+        let f = CellScope::full();
+        assert!(f.is_full());
+        assert!(f.contains(0));
+        assert!(f.contains(u32::MAX - 1));
+        assert_eq!(f, CellScope::default());
+    }
+
+    #[test]
+    fn half_open_bounds() {
+        let s = CellScope {
+            lo: 4,
+            hi: 9,
+            include_delta: false,
+        };
+        assert!(!s.contains(3));
+        assert!(s.contains(4));
+        assert!(s.contains(8));
+        assert!(!s.contains(9));
+        assert!(!s.is_full());
+    }
+}

@@ -328,6 +328,28 @@ pub fn select_contained_indexed_with(
     constraint_poly: &Polygon,
     cancel: &crate::cancel::CancelToken,
 ) -> spade_storage::Result<QueryOutput<Vec<u32>>> {
+    select_contained_indexed_scoped(
+        spade,
+        data,
+        constraint_poly,
+        cancel,
+        crate::scope::CellScope::full(),
+    )
+}
+
+/// [`select_contained_indexed_with`] restricted to a cell scope: only
+/// candidate cells inside the scope refine, and the staged delta merges
+/// only when the scope owns it. With [`CellScope::full`] this is exactly
+/// the unscoped run.
+///
+/// [`CellScope::full`]: crate::scope::CellScope::full
+pub fn select_contained_indexed_scoped(
+    spade: &Spade,
+    data: &IndexedDataset,
+    constraint_poly: &Polygon,
+    cancel: &crate::cancel::CancelToken,
+    scope: crate::scope::CellScope,
+) -> spade_storage::Result<QueryOutput<Vec<u32>>> {
     let mut qspan = crate::trace::span("query.contained.indexed");
     let measure = spade.begin();
     let _stat_scope = crate::optimizer::stats::scope(data.uid());
@@ -345,7 +367,8 @@ pub fn select_contained_indexed_with(
         .collect();
     polygon_time += t0.elapsed();
     let filter = Constraint::from_polygons_res(spade, &prepared, spade.config.filter_resolution);
-    let candidates = select_polygons_mem(spade, &hulls, &filter);
+    let mut candidates = select_polygons_mem(spade, &hulls, &filter);
+    candidates.retain(|&c| scope.contains(c));
 
     let sequence: Vec<(usize, usize)> = candidates.iter().map(|&c| (0, c as usize)).collect();
     let mut ids = Vec::new();
@@ -365,7 +388,7 @@ pub fn select_contained_indexed_with(
     )?;
     // Merge staged writes through the same refinement: the delta is one
     // extra in-memory "cell", so merged results match a cold rebuild.
-    if view.has_delta() {
+    if scope.include_delta && view.has_delta() {
         ids.extend(select_contained(spade, &view.delta_dataset(), constraint_poly).result);
     }
     ids.sort_unstable();
@@ -468,6 +491,29 @@ pub fn select_indexed_with(
     constraint_poly: &Polygon,
     cancel: &crate::cancel::CancelToken,
 ) -> spade_storage::Result<QueryOutput<Vec<u32>>> {
+    select_indexed_scoped(
+        spade,
+        data,
+        constraint_poly,
+        cancel,
+        crate::scope::CellScope::full(),
+    )
+}
+
+/// [`select_indexed_with`] restricted to a cell scope: the hull filter
+/// runs as usual, but only candidate cells inside the scope stream through
+/// refinement, and the staged delta merges only when the scope owns it.
+/// With [`CellScope::full`] this is exactly the unscoped run — the
+/// scatter-gather invariant cluster executors rely on.
+///
+/// [`CellScope::full`]: crate::scope::CellScope::full
+pub fn select_indexed_scoped(
+    spade: &Spade,
+    data: &IndexedDataset,
+    constraint_poly: &Polygon,
+    cancel: &crate::cancel::CancelToken,
+    scope: crate::scope::CellScope,
+) -> spade_storage::Result<QueryOutput<Vec<u32>>> {
     let mut qspan = crate::trace::span("query.select.indexed");
     let measure = spade.begin();
     let _stat_scope = crate::optimizer::stats::scope(data.uid());
@@ -496,7 +542,8 @@ pub fn select_indexed_with(
     polygon_time += t0.elapsed();
     let filter_constraint =
         Constraint::from_polygons_res(spade, &prepared, spade.config.filter_resolution);
-    let candidate_cells = select_polygons_mem(spade, &hull_prepared, &filter_constraint);
+    let mut candidate_cells = select_polygons_mem(spade, &hull_prepared, &filter_constraint);
+    candidate_cells.retain(|&c| scope.contains(c));
 
     // Refinement: stream each candidate cell through the in-memory plan,
     // prefetching ahead. Cell bytes are shipped to the device per use
@@ -520,7 +567,7 @@ pub fn select_indexed_with(
     );
     // Staged writes refine against the same resident constraint canvas,
     // so the merged result is identical to a fully-compacted run.
-    if stream_res.is_ok() && view.has_delta() {
+    if stream_res.is_ok() && scope.include_delta && view.has_delta() {
         ids.extend(select_mem_dispatch(
             spade,
             &view.delta_dataset(),

@@ -275,6 +275,10 @@ const REQ_EXPLAIN: u8 = 4;
 const REQ_INSERT: u8 = 5;
 const REQ_DELETE: u8 = 6;
 const REQ_FLUSH: u8 = 7;
+const REQ_SHARD_SELECT: u8 = 8;
+const REQ_SHARD_JOIN: u8 = 9;
+const REQ_CELL_STATS: u8 = 10;
+const REQ_WAL_FETCH: u8 = 11;
 
 fn put_request(buf: &mut Vec<u8>, req: &QueryRequest) {
     match req {
@@ -317,6 +321,54 @@ fn put_request(buf: &mut Vec<u8>, req: &QueryRequest) {
             put_u8(buf, REQ_FLUSH);
             put_str(buf, dataset);
         }
+        QueryRequest::ShardSelect {
+            dataset,
+            query,
+            cells,
+            include_delta,
+        } => {
+            put_u8(buf, REQ_SHARD_SELECT);
+            put_str(buf, dataset);
+            put_select(buf, query);
+            put_u32_le(buf, cells.0);
+            put_u32_le(buf, cells.1);
+            put_u8(buf, u8::from(*include_delta));
+        }
+        QueryRequest::ShardJoin {
+            left,
+            right,
+            query,
+            pairs,
+            include_delta,
+        } => {
+            put_u8(buf, REQ_SHARD_JOIN);
+            put_str(buf, left);
+            put_str(buf, right);
+            put_join(buf, query);
+            put_u32_le(buf, pairs.len() as u32);
+            for (l, r) in pairs {
+                put_u32_le(buf, *l);
+                put_u32_le(buf, *r);
+            }
+            put_u8(buf, u8::from(*include_delta));
+        }
+        QueryRequest::CellStats { dataset } => {
+            put_u8(buf, REQ_CELL_STATS);
+            put_str(buf, dataset);
+        }
+        QueryRequest::WalFetch { after_seq, limit } => {
+            put_u8(buf, REQ_WAL_FETCH);
+            put_u64_le(buf, *after_seq);
+            put_u32_le(buf, *limit);
+        }
+    }
+}
+
+fn get_bool(buf: &mut &[u8], what: &str) -> Result<bool, WireError> {
+    match get_u8(buf).ok_or_else(|| WireError::Corrupt(format!("short or invalid {what}")))? {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(WireError::Corrupt(format!("short or invalid {what}"))),
     }
 }
 
@@ -354,6 +406,49 @@ fn get_request(buf: &mut &[u8]) -> Result<QueryRequest, WireError> {
         }),
         REQ_FLUSH => Ok(QueryRequest::Flush {
             dataset: get_string(buf)?,
+        }),
+        REQ_SHARD_SELECT => {
+            let dataset = get_string(buf)?;
+            let query = get_select(buf)?;
+            let lo = get_u32_le(buf).ok_or_else(|| corrupt("shard lo"))?;
+            let hi = get_u32_le(buf).ok_or_else(|| corrupt("shard hi"))?;
+            let include_delta = get_bool(buf, "shard delta flag")?;
+            Ok(QueryRequest::ShardSelect {
+                dataset,
+                query,
+                cells: (lo, hi),
+                include_delta,
+            })
+        }
+        REQ_SHARD_JOIN => {
+            let left = get_string(buf)?;
+            let right = get_string(buf)?;
+            let query = get_join(buf)?;
+            let n = get_u32_le(buf).ok_or_else(|| corrupt("pair count"))? as usize;
+            if n > buf.len() {
+                return Err(corrupt("pair count"));
+            }
+            let mut pairs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let l = get_u32_le(buf).ok_or_else(|| corrupt("pair left cell"))?;
+                let r = get_u32_le(buf).ok_or_else(|| corrupt("pair right cell"))?;
+                pairs.push((l, r));
+            }
+            let include_delta = get_bool(buf, "shard delta flag")?;
+            Ok(QueryRequest::ShardJoin {
+                left,
+                right,
+                query,
+                pairs,
+                include_delta,
+            })
+        }
+        REQ_CELL_STATS => Ok(QueryRequest::CellStats {
+            dataset: get_string(buf)?,
+        }),
+        REQ_WAL_FETCH => Ok(QueryRequest::WalFetch {
+            after_seq: get_u64_le(buf).ok_or_else(|| corrupt("wal-fetch seq"))?,
+            limit: get_u32_le(buf).ok_or_else(|| corrupt("wal-fetch limit"))?,
         }),
         t => Err(WireError::Corrupt(format!("unknown request tag {t}"))),
     }
@@ -566,6 +661,8 @@ const PAYLOAD_QUERY: u8 = 1;
 const PAYLOAD_SQL: u8 = 2;
 const PAYLOAD_EXPLAIN: u8 = 3;
 const PAYLOAD_ACK: u8 = 4;
+const PAYLOAD_CELL_STATS: u8 = 5;
+const PAYLOAD_WAL_BATCH: u8 = 6;
 
 fn put_payload(buf: &mut Vec<u8>, p: &ResponsePayload) {
     match p {
@@ -586,6 +683,37 @@ fn put_payload(buf: &mut Vec<u8>, p: &ResponsePayload) {
             put_u64_le(buf, *seq);
             put_u64_le(buf, *generation);
         }
+        ResponsePayload::CellStats {
+            generation,
+            seq,
+            cells,
+        } => {
+            put_u8(buf, PAYLOAD_CELL_STATS);
+            put_u64_le(buf, *generation);
+            put_u64_le(buf, *seq);
+            put_u32_le(buf, cells.len() as u32);
+            for c in cells {
+                put_bbox(buf, &c.bbox);
+                put_u64_le(buf, c.bytes);
+                put_u32_le(buf, c.objects);
+            }
+        }
+        // WAL records cross the wire as length-prefixed storage blobs —
+        // the same bytes they occupy inside a segment, so replication
+        // inherits the WAL codec's round-trip guarantees for free.
+        ResponsePayload::WalBatch {
+            leader_seq,
+            records,
+        } => {
+            put_u8(buf, PAYLOAD_WAL_BATCH);
+            put_u64_le(buf, *leader_seq);
+            put_u32_le(buf, records.len() as u32);
+            for rec in records {
+                let blob = spade_storage::wal::encode_record(rec);
+                put_u32_le(buf, blob.len() as u32);
+                put_slice(buf, &blob);
+            }
+        }
     }
 }
 
@@ -598,6 +726,49 @@ fn get_payload(buf: &mut &[u8]) -> Result<ResponsePayload, WireError> {
             let seq = get_u64_le(buf).ok_or_else(|| corrupt("ack seq"))?;
             let generation = get_u64_le(buf).ok_or_else(|| corrupt("ack generation"))?;
             Ok(ResponsePayload::Ack { seq, generation })
+        }
+        PAYLOAD_CELL_STATS => {
+            let generation = get_u64_le(buf).ok_or_else(|| corrupt("stats generation"))?;
+            let seq = get_u64_le(buf).ok_or_else(|| corrupt("stats seq"))?;
+            let n = get_u32_le(buf).ok_or_else(|| corrupt("cell count"))? as usize;
+            if n > buf.len() {
+                return Err(corrupt("cell count"));
+            }
+            let mut cells = Vec::with_capacity(n);
+            for _ in 0..n {
+                let bbox = get_bbox(buf)?;
+                let bytes = get_u64_le(buf).ok_or_else(|| corrupt("cell bytes"))?;
+                let objects = get_u32_le(buf).ok_or_else(|| corrupt("cell objects"))?;
+                cells.push(spade_server::CellInfo {
+                    bbox,
+                    bytes,
+                    objects,
+                });
+            }
+            Ok(ResponsePayload::CellStats {
+                generation,
+                seq,
+                cells,
+            })
+        }
+        PAYLOAD_WAL_BATCH => {
+            let leader_seq = get_u64_le(buf).ok_or_else(|| corrupt("batch leader seq"))?;
+            let n = get_u32_le(buf).ok_or_else(|| corrupt("batch count"))? as usize;
+            if n > buf.len() {
+                return Err(corrupt("batch count"));
+            }
+            let mut records = Vec::with_capacity(n);
+            for _ in 0..n {
+                let len = get_u32_le(buf).ok_or_else(|| corrupt("record length"))? as usize;
+                let blob = get_bytes(buf, len).ok_or_else(|| corrupt("record bytes"))?;
+                let rec = spade_storage::wal::decode_record(blob)
+                    .map_err(|e| WireError::Corrupt(format!("wal record: {e}")))?;
+                records.push(rec);
+            }
+            Ok(ResponsePayload::WalBatch {
+                leader_seq,
+                records,
+            })
         }
         t => Err(WireError::Corrupt(format!("unknown payload tag {t}"))),
     }

@@ -90,7 +90,7 @@ fn join_query(rng: &mut TestRng) -> JoinQuery {
 
 fn request(rng: &mut TestRng, depth: u32) -> QueryRequest {
     // Explain recurses; cap the depth so generation terminates.
-    let variants = if depth == 0 { 6 } else { 7 };
+    let variants = if depth == 0 { 10 } else { 11 };
     match rng.next_u64() % variants {
         0 => QueryRequest::Select {
             dataset: name(rng),
@@ -112,10 +112,52 @@ fn request(rng: &mut TestRng, depth: u32) -> QueryRequest {
             id: rng.next_u64() as u32,
         },
         5 => QueryRequest::Flush { dataset: name(rng) },
+        6 => QueryRequest::ShardSelect {
+            dataset: name(rng),
+            query: select_query(rng),
+            cells: (rng.next_u64() as u32, rng.next_u64() as u32),
+            include_delta: rng.next_u64().is_multiple_of(2),
+        },
+        7 => QueryRequest::ShardJoin {
+            left: name(rng),
+            right: name(rng),
+            query: join_query(rng),
+            pairs: (0..(rng.next_u64() as usize % 10))
+                .map(|_| (rng.next_u64() as u32, rng.next_u64() as u32))
+                .collect(),
+            include_delta: rng.next_u64().is_multiple_of(2),
+        },
+        8 => QueryRequest::CellStats { dataset: name(rng) },
+        9 => QueryRequest::WalFetch {
+            after_seq: rng.next_u64(),
+            limit: rng.next_u64() as u32,
+        },
         _ => QueryRequest::Explain {
             analyze: rng.next_u64().is_multiple_of(2),
             request: Box::new(request(rng, depth - 1)),
         },
+    }
+}
+
+fn wal_record(rng: &mut TestRng, seq: u64) -> spade_storage::wal::WalRecord {
+    use spade_storage::wal::{WalOp, WalRecord};
+    let op = match rng.next_u64() % 3 {
+        0 => WalOp::Insert {
+            id: rng.next_u64() as u32,
+            geom: geometry(rng),
+        },
+        1 => WalOp::Delete {
+            id: rng.next_u64() as u32,
+        },
+        _ => WalOp::Checkpoint {
+            generation: rng.next_u64() % 1000,
+            through_seq: rng.next_u64(),
+        },
+    };
+    WalRecord {
+        seq,
+        dataset: name(rng),
+        op,
     }
 }
 
@@ -230,10 +272,30 @@ fn service_error(rng: &mut TestRng) -> ServiceError {
 }
 
 fn response(rng: &mut TestRng) -> QueryResponse {
-    let payload = match rng.next_u64() % 4 {
+    let payload = match rng.next_u64() % 6 {
         0 => ResponsePayload::Query(query_result(rng)),
         1 => ResponsePayload::Sql(sql_result(rng)),
         2 => ResponsePayload::Explain(format!("plan for {}", name(rng))),
+        3 => ResponsePayload::CellStats {
+            generation: rng.next_u64() % 1000,
+            seq: rng.next_u64(),
+            cells: (0..(rng.next_u64() as usize % 12))
+                .map(|_| spade_server::CellInfo {
+                    bbox: BBox::new(point(rng), point(rng)),
+                    bytes: rng.next_u64(),
+                    objects: rng.next_u64() as u32,
+                })
+                .collect(),
+        },
+        4 => {
+            let base = rng.next_u64() % (1 << 40);
+            ResponsePayload::WalBatch {
+                leader_seq: rng.next_u64(),
+                records: (0..(rng.next_u64() as usize % 8))
+                    .map(|i| wal_record(rng, base + i as u64))
+                    .collect(),
+            }
+        }
         _ => ResponsePayload::Ack {
             seq: rng.next_u64(),
             generation: rng.next_u64() % 1000,

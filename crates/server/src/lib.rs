@@ -57,6 +57,6 @@ pub mod stats;
 
 pub use admission::AdmissionController;
 pub use namespace::{NamespaceConfig, DEFAULT_NAMESPACE};
-pub use request::{QueryRequest, QueryResponse, ResponsePayload, ServiceError};
+pub use request::{CellInfo, QueryRequest, QueryResponse, ResponsePayload, ServiceError};
 pub use service::{QueryService, Reply, ServiceConfig, Session, Ticket};
 pub use stats::ServiceSnapshot;

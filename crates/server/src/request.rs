@@ -47,6 +47,37 @@ pub enum QueryRequest {
     /// Force durability and full compaction of one dataset: fsync the WAL,
     /// drain the delta into a fresh index generation, and checkpoint.
     Flush { dataset: String },
+    /// A selection restricted to a half-open cell range `[cells.0, cells.1)`
+    /// — one shard's slice of a scatter-gather plan. Exactly one shard of a
+    /// covering plan sets `include_delta` so staged writes are counted once.
+    /// Shard partials bypass the result cache.
+    ShardSelect {
+        dataset: String,
+        query: SelectQuery,
+        cells: (u32, u32),
+        include_delta: bool,
+    },
+    /// A join over an explicit list of `(left_cell, right_cell)` pairs —
+    /// one shard's slice of a scatter-gather join plan. Pairs outside the
+    /// worker's current cell ranges are dropped (stale shard-map safety);
+    /// refinement is exact, so a bbox-superset pair list is harmless.
+    ShardJoin {
+        left: String,
+        right: String,
+        query: JoinQuery,
+        pairs: Vec<(u32, u32)>,
+        include_delta: bool,
+    },
+    /// Per-cell statistics of a grid-indexed dataset (bbox, byte size,
+    /// object count per cell, plus the index generation and last applied
+    /// WAL sequence). Coordinators use this to build byte-balanced shard
+    /// maps and to cost join-pair routing.
+    CellStats { dataset: String },
+    /// Stream WAL records with sequence numbers strictly greater than
+    /// `after_seq`, at most `limit` of them. The replication pull path:
+    /// followers poll this and replay the batch into their own write path.
+    /// Restricted to default-namespace sessions.
+    WalFetch { after_seq: u64, limit: u32 },
 }
 
 impl QueryRequest {
@@ -71,8 +102,23 @@ impl QueryRequest {
             QueryRequest::Insert { .. } => "insert",
             QueryRequest::Delete { .. } => "delete",
             QueryRequest::Flush { .. } => "flush",
+            QueryRequest::ShardSelect { .. } => "shard-select",
+            QueryRequest::ShardJoin { .. } => "shard-join",
+            QueryRequest::CellStats { .. } => "cell-stats",
+            QueryRequest::WalFetch { .. } => "wal-fetch",
         }
     }
+}
+
+/// One cell's statistics in a [`ResponsePayload::CellStats`] reply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellInfo {
+    /// The cell's bounding box.
+    pub bbox: spade_geometry::BBox,
+    /// On-disk byte size of the cell's fragment data.
+    pub bytes: u64,
+    /// Number of objects resident in the cell.
+    pub objects: u32,
 }
 
 /// What a completed query returns.
@@ -88,6 +134,23 @@ pub enum ResponsePayload {
     /// `Flush`, the checkpointed sequence) and the index generation the
     /// dataset is on after the request.
     Ack { seq: u64, generation: u64 },
+    /// Per-cell statistics of one grid-indexed dataset.
+    CellStats {
+        /// Index generation the statistics describe.
+        generation: u64,
+        /// Last WAL sequence the serving node has applied (0 without a WAL).
+        seq: u64,
+        /// One entry per grid cell, in cell order.
+        cells: Vec<CellInfo>,
+    },
+    /// A batch of WAL records for replication. `leader_seq` is the highest
+    /// sequence the leader has assigned so far; `records` are consecutive
+    /// records after the requested sequence (possibly fewer than the
+    /// requested limit, empty when the follower is caught up).
+    WalBatch {
+        leader_seq: u64,
+        records: Vec<spade_storage::wal::WalRecord>,
+    },
 }
 
 impl ResponsePayload {

@@ -1203,6 +1203,47 @@ fn estimate_footprint(
                 Err(ServiceError::UnknownDataset(dataset.clone()))
             }
         }
+        // A shard slice streams at most one cell per side resident, same
+        // as the full request; reserve identically.
+        QueryRequest::ShardSelect { dataset, query, .. } => {
+            if let Some(idx) = shared.indexed.read().unwrap().get(&key(dataset)) {
+                let constraint = match query {
+                    SelectQuery::WithinDistance(..) | SelectQuery::Knn(..) => {
+                        canvas(cfg.distance_resolution)
+                    }
+                    _ => canvas(cfg.resolution),
+                };
+                Ok(constraint + canvas(cfg.filter_resolution) + max_cell(idx))
+            } else {
+                Err(ServiceError::UnknownDataset(dataset.clone()))
+            }
+        }
+        QueryRequest::ShardJoin {
+            left, right, query, ..
+        } => {
+            let idx = shared.indexed.read().unwrap();
+            let side = |name: &String| -> Result<u64, ServiceError> {
+                idx.get(&key(name))
+                    .map(|d| max_cell(d))
+                    .ok_or_else(|| ServiceError::UnknownDataset(name.clone()))
+            };
+            let base = side(left)? + side(right)?;
+            let constraint = match query {
+                spade_core::query::JoinQuery::WithinDistance(_)
+                | spade_core::query::JoinQuery::Knn(_) => canvas(cfg.distance_resolution),
+                _ => canvas(cfg.filter_resolution),
+            };
+            Ok(base + constraint)
+        }
+        // Statistics and WAL streaming run on the host.
+        QueryRequest::CellStats { dataset } => {
+            if shared.indexed.read().unwrap().contains_key(&key(dataset)) {
+                Ok(0)
+            } else {
+                Err(ServiceError::UnknownDataset(dataset.clone()))
+            }
+        }
+        QueryRequest::WalFetch { .. } => Ok(0),
     }
 }
 
@@ -1439,6 +1480,101 @@ fn execute(
         }
         QueryRequest::Insert { .. } | QueryRequest::Delete { .. } | QueryRequest::Flush { .. } => {
             execute_write(shared, ns, request)
+        }
+        // Shard partials bypass the result cache on purpose: a scoped
+        // result is not the full answer for its (dataset, query) key, and
+        // coordinators already cache at the merged level if they want to.
+        QueryRequest::ShardSelect {
+            dataset,
+            query,
+            cells,
+            include_delta,
+        } => {
+            let idx = resolve_indexed(shared, ns, dataset)?;
+            let scope = spade_core::CellScope {
+                lo: cells.0,
+                hi: cells.1,
+                include_delta: *include_delta,
+            };
+            let out = query::run_select_indexed_scoped(&shared.spade, &idx, query, scope, cancel)?;
+            Ok((ResponsePayload::Query(out.result), out.stats))
+        }
+        QueryRequest::ShardJoin {
+            left,
+            right,
+            query,
+            pairs,
+            include_delta,
+        } => {
+            let l = resolve_indexed(shared, ns, left)?;
+            let r = resolve_indexed(shared, ns, right)?;
+            let out = query::run_join_indexed_pairs(
+                &shared.spade,
+                &l,
+                &r,
+                query,
+                pairs.clone(),
+                *include_delta,
+                cancel,
+            )?;
+            Ok((ResponsePayload::Query(out.result), out.stats))
+        }
+        QueryRequest::CellStats { dataset } => {
+            let idx = resolve_indexed(shared, ns, dataset)?;
+            let cells = idx
+                .grid()
+                .cells()
+                .iter()
+                .map(|c| crate::request::CellInfo {
+                    bbox: c.bbox(),
+                    bytes: c.bytes,
+                    objects: c.num_objects as u32,
+                })
+                .collect();
+            let seq = shared
+                .wal
+                .as_ref()
+                .map_or(0, |w| w.lock().unwrap().next_seq().saturating_sub(1));
+            Ok((
+                ResponsePayload::CellStats {
+                    generation: idx.delta_stats().generation,
+                    seq,
+                    cells,
+                },
+                QueryStats::default(),
+            ))
+        }
+        QueryRequest::WalFetch { after_seq, limit } => {
+            // Replication is an operator-level facility: only the default
+            // namespace may read the raw (cross-tenant) WAL stream.
+            if ns.id() != 0 {
+                return Err(ServiceError::Unauthorized(ns.name().to_string()));
+            }
+            let Some(wal) = &shared.wal else {
+                return Ok((
+                    ResponsePayload::WalBatch {
+                        leader_seq: 0,
+                        records: Vec::new(),
+                    },
+                    QueryStats::default(),
+                ));
+            };
+            // Holding the WAL mutex while streaming keeps the tail stable
+            // under concurrent appends; `limit` bounds the critical section.
+            let wal = wal.lock().unwrap();
+            let leader_seq = wal.next_seq().saturating_sub(1);
+            let records: Vec<_> = wal
+                .records_since(*after_seq)
+                .take((*limit).max(1) as usize)
+                .collect();
+            drop(wal);
+            Ok((
+                ResponsePayload::WalBatch {
+                    leader_seq,
+                    records,
+                },
+                QueryStats::default(),
+            ))
         }
     }
 }
@@ -1801,6 +1937,23 @@ fn describe(request: &QueryRequest) -> String {
         QueryRequest::Insert { dataset, id, .. } => format!("insert {id} into \"{dataset}\""),
         QueryRequest::Delete { dataset, id } => format!("delete {id} from \"{dataset}\""),
         QueryRequest::Flush { dataset } => format!("flush \"{dataset}\""),
+        QueryRequest::ShardSelect { dataset, cells, .. } => format!(
+            "{} on \"{dataset}\" cells [{}, {})",
+            request.class(),
+            cells.0,
+            cells.1
+        ),
+        QueryRequest::ShardJoin {
+            left, right, pairs, ..
+        } => format!(
+            "{} on \"{left}\" x \"{right}\" ({} pairs)",
+            request.class(),
+            pairs.len()
+        ),
+        QueryRequest::CellStats { dataset } => format!("cell-stats on \"{dataset}\""),
+        QueryRequest::WalFetch { after_seq, limit } => {
+            format!("wal-fetch after {after_seq} limit {limit}")
+        }
     }
 }
 

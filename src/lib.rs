@@ -23,6 +23,7 @@
 pub use spade_baselines as baselines;
 pub use spade_canvas as canvas;
 pub use spade_client as client;
+pub use spade_cluster as cluster;
 pub use spade_core as engine;
 pub use spade_datagen as datagen;
 pub use spade_geometry as geometry;
